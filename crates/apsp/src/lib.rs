@@ -1,0 +1,37 @@
+//! # ear-apsp
+//!
+//! All-pairs shortest paths via ear decomposition (paper §2), plus every
+//! baseline the paper compares against.
+//!
+//! * [`matrix`] — dense distance-matrix storage;
+//! * [`ear`] — Algorithm 1: reduce → all-sources Dijkstra on `G^r` on the
+//!   heterogeneous executor → closed-form post-processing back to `G`;
+//! * [`oracle`] — the general-graph extension (paper §2.2): per-BCC tables,
+//!   the articulation-point table `A`, block-cut-tree routing, and the
+//!   `O(a² + Σ nᵢ²)` memory accounting of Table 1;
+//! * [`reduced_oracle`] — the memory-frugal variant: only *reduced* block
+//!   tables are stored (`a² + Σ (nᵢʳ)²`) and the §2.1.3 extension runs per
+//!   query — the storage level the paper's published MB figures for its
+//!   chain-heavy graphs imply;
+//! * [`baselines`] — plain Dijkstra-from-every-vertex and Floyd–Warshall
+//!   (the correctness oracle);
+//! * [`partition`] — region-growing graph partitioner (METIS substitute);
+//! * [`djidjev`] — the partition-based planar APSP baseline of Djidjev
+//!   et al. that Figure 2 compares against on planar graphs.
+//!
+//! The Banerjee et al. baseline (BCC decomposition *without* ear reduction)
+//! is [`oracle::build_oracle`] with [`oracle::ApspMethod::Plain`] — exactly
+//! the paper's own "w/o ear decomposition" axis.
+
+pub mod baselines;
+pub mod djidjev;
+pub mod ear;
+pub mod matrix;
+pub mod oracle;
+pub mod partition;
+pub mod reduced_oracle;
+
+pub use ear::{ear_apsp, EarApspOutput};
+pub use matrix::DistMatrix;
+pub use oracle::{build_oracle, ApspMethod, DistanceOracle, OracleStats};
+pub use reduced_oracle::ReducedOracle;

@@ -1,0 +1,613 @@
+//! The general-graph APSP pipeline and distance oracle (paper §2.2–§2.3).
+//!
+//! Large sparse graphs are rarely biconnected, so the paper splits the
+//! input into biconnected components, solves APSP inside each block
+//! (with or without ear reduction — the "without" configuration *is* the
+//! Banerjee et al. baseline of Figure 2), and stitches blocks through the
+//! block-cut tree:
+//!
+//! * per-block tables `A_i` hold within-block distances — exact global
+//!   distances, because a shortest path between two vertices of a block
+//!   never leaves it (it would have to re-enter through the same
+//!   articulation point);
+//! * the `a × a` articulation-point table `A` holds distances between all
+//!   articulation points, computed by Dijkstra over the *AP graph* (APs
+//!   connected within each block by within-block distances);
+//! * a query `d(u,v)` across blocks resolves its gateway articulation
+//!   points with block-cut-tree LCA routing and sums
+//!   `d(u,a₁) + A[a₁,a₂] + d(a₂,v)`.
+//!
+//! Storage is `O(a² + Σᵢ nᵢ²)` instead of `O(n²)` — the paper's Table 1
+//! "Our's Memory" vs "Max Memory" columns, reproduced by [`OracleStats`].
+
+use ear_decomp::bcc::biconnected_components;
+use ear_decomp::block_cut::{BlockCutTree, Route};
+use ear_decomp::reduce::reduce_graph;
+use ear_graph::{
+    dijkstra_with_stats, dist_add, edge_subgraph, CsrGraph, SubgraphMap, VertexId, Weight, INF,
+};
+use ear_hetero::{ExecutionReport, HeteroExecutor, RunOutput, WorkCounters};
+
+use crate::matrix::DistMatrix;
+
+/// How each biconnected component is solved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ApspMethod {
+    /// The paper's approach: ear-decomposition reduction first.
+    Ear,
+    /// The Banerjee et al. baseline: plain all-sources Dijkstra per block.
+    Plain,
+}
+
+/// Structural and memory statistics — the columns of the paper's Table 1.
+#[derive(Clone, Debug)]
+pub struct OracleStats {
+    /// `|V|`.
+    pub n: usize,
+    /// `|E|`.
+    pub m: usize,
+    /// Number of biconnected components.
+    pub n_bccs: usize,
+    /// Edges in the largest component, as a fraction of `|E|`.
+    pub largest_bcc_edge_share: f64,
+    /// Degree-2 vertices removed by preprocessing (all blocks), as stored.
+    pub removed_vertices: usize,
+    /// Articulation-point count `a`.
+    pub articulation_points: usize,
+    /// Stored table entries: `a² + Σ nᵢ²`.
+    pub table_entries: u64,
+    /// Entries a flat `n × n` table would need.
+    pub max_entries: u64,
+}
+
+impl OracleStats {
+    /// Fraction of vertices removed in preprocessing (Table 1 column
+    /// "Nodes Removed (% |V|)").
+    pub fn removed_share(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.removed_vertices as f64 / self.n as f64
+        }
+    }
+
+    /// Paper-style memory in bytes: 4-byte entries, as the published MB
+    /// figures imply (float distance tables).
+    pub fn memory_bytes_f32(&self) -> u64 {
+        self.table_entries * 4
+    }
+
+    /// Paper-style upper bound (`n²` 4-byte entries).
+    pub fn max_memory_bytes_f32(&self) -> u64 {
+        self.max_entries * 4
+    }
+}
+
+/// The queryable distance oracle.
+#[derive(Debug)]
+pub struct DistanceOracle {
+    bct: BlockCutTree,
+    tables: Vec<DistMatrix>,
+    maps: Vec<SubgraphMap>,
+    ap_table: DistMatrix,
+    stats: OracleStats,
+    /// Executor report of the per-block processing phases (II + III).
+    pub processing: ExecutionReport,
+    /// Executor report of the articulation-point table construction.
+    pub ap_phase: ExecutionReport,
+}
+
+impl DistanceOracle {
+    /// Structural statistics (Table 1 columns).
+    pub fn stats(&self) -> &OracleStats {
+        &self.stats
+    }
+
+    /// Block-cut tree access.
+    pub fn block_cut_tree(&self) -> &BlockCutTree {
+        &self.bct
+    }
+
+    /// Total modelled device time across all build phases.
+    pub fn modelled_time_s(&self) -> f64 {
+        self.processing.makespan_s + self.ap_phase.makespan_s
+    }
+
+    /// Shortest-path distance between any two vertices (`INF` when
+    /// disconnected).
+    pub fn dist(&self, u: VertexId, v: VertexId) -> Weight {
+        if u == v {
+            return 0;
+        }
+        match self.bct.route(u, v) {
+            Route::Disconnected => INF,
+            Route::SameBlock(b) => self.block_dist(b, u, v),
+            Route::ViaAps { a1, a2 } => {
+                let d1 = if a1 == u {
+                    0
+                } else {
+                    self.block_dist(self.common_block(u, a1), u, a1)
+                };
+                let d2 = if a2 == v {
+                    0
+                } else {
+                    self.block_dist(self.common_block(v, a2), v, a2)
+                };
+                let mid = self.ap_dist(a1, a2);
+                dist_add(d1, dist_add(mid, d2))
+            }
+        }
+    }
+
+    /// Distance between two articulation points from the `a × a` table.
+    pub fn ap_dist(&self, a1: VertexId, a2: VertexId) -> Weight {
+        let i = self.bct.ap_index[a1 as usize];
+        let j = self.bct.ap_index[a2 as usize];
+        debug_assert!(i != u32::MAX && j != u32::MAX);
+        self.ap_table.get(i, j)
+    }
+
+    /// Reconstructs an actual shortest path `u → v` as a vertex sequence
+    /// (inclusive of both endpoints), or `None` when disconnected.
+    ///
+    /// Works by greedy descent on the distance function: from `x`, some
+    /// neighbor `y` always satisfies `w(x,y) + d(y,v) = d(x,v)` (ties break
+    /// to the smallest edge id, so the path is deterministic). Each step
+    /// costs one oracle query per incident edge — path extraction is a
+    /// per-query operation, exactly how the paper's oracle is meant to be
+    /// used (§2.3 keeps tables, not parent matrices).
+    pub fn path(&self, g: &CsrGraph, u: VertexId, v: VertexId) -> Option<Vec<VertexId>> {
+        if self.dist(u, v) >= INF {
+            return None;
+        }
+        let mut path = vec![u];
+        let mut x = u;
+        let mut guard = g.n() + 1;
+        while x != v {
+            let dx = self.dist(x, v);
+            let mut next: Option<(VertexId, ear_graph::EdgeId)> = None;
+            for &(y, e) in g.neighbors(x) {
+                if y == x {
+                    continue;
+                }
+                if dist_add(g.weight(e), self.dist(y, v)) == dx
+                    && next.is_none_or(|(_, be)| e < be)
+                {
+                    next = Some((y, e));
+                }
+            }
+            let (y, _) = next.expect("finite distance must have a tight edge");
+            path.push(y);
+            x = y;
+            guard -= 1;
+            assert!(guard > 0, "path reconstruction looped");
+        }
+        Some(path)
+    }
+
+    /// Materialises the full `n × n` matrix (tests / small graphs only).
+    pub fn materialize(&self) -> DistMatrix {
+        let n = self.stats.n;
+        let mut m = DistMatrix::new(n);
+        for u in 0..n as u32 {
+            for v in 0..n as u32 {
+                m.set(u, v, self.dist(u, v));
+            }
+        }
+        m
+    }
+
+    fn block_dist(&self, block: u32, u: VertexId, v: VertexId) -> Weight {
+        let map = &self.maps[block as usize];
+        let (Some(lu), Some(lv)) = (map.local(u), map.local(v)) else {
+            return INF;
+        };
+        self.tables[block as usize].get(lu, lv)
+    }
+
+    /// A block containing both `x` (any vertex) and articulation point `a`.
+    /// For the routing results this always exists: `a` is the gateway of
+    /// `x`'s own block.
+    fn common_block(&self, x: VertexId, a: VertexId) -> u32 {
+        let b = self.bct.vertex_block[x as usize];
+        debug_assert_ne!(b, u32::MAX);
+        if self.maps[b as usize].local(a).is_some() {
+            return b;
+        }
+        // `x` is itself an articulation point whose stored block does not
+        // contain `a`: find the block of `x` adjacent to `a` in the tree.
+        (0..self.bct.n_blocks as u32)
+            .find(|&blk| {
+                self.maps[blk as usize].local(x).is_some()
+                    && self.maps[blk as usize].local(a).is_some()
+            })
+            .expect("routing produced a non-adjacent gateway")
+    }
+}
+
+/// Builds the oracle: BCC split, per-block APSP (`method` decides whether
+/// ear reduction runs first), articulation-point table, routing structure.
+///
+/// ```
+/// use ear_apsp::{build_oracle, ApspMethod};
+/// use ear_graph::CsrGraph;
+/// use ear_hetero::HeteroExecutor;
+/// // Two triangles sharing vertex 2 (an articulation point).
+/// let g = CsrGraph::from_edges(5, &[
+///     (0, 1, 1), (1, 2, 2), (2, 0, 3),
+///     (2, 3, 4), (3, 4, 5), (4, 2, 6),
+/// ]);
+/// let oracle = build_oracle(&g, &HeteroExecutor::cpu_gpu(), ApspMethod::Ear);
+/// assert_eq!(oracle.dist(0, 3), 1 + 2 + 4); // 0-1-2-3
+/// assert_eq!(oracle.stats().articulation_points, 1);
+/// ```
+pub fn build_oracle(g: &CsrGraph, exec: &HeteroExecutor, method: ApspMethod) -> DistanceOracle {
+    let bcc = biconnected_components(g);
+    let bct = BlockCutTree::new(g, &bcc);
+    let nb = bcc.count();
+
+    // Per-block subgraphs (and reductions, in Ear mode).
+    let mut subs: Vec<(CsrGraph, SubgraphMap)> = Vec::with_capacity(nb);
+    for b in 0..nb {
+        subs.push(edge_subgraph(g, &bcc.comps[b]));
+    }
+    // Ear reduction requires simple blocks; a multigraph input's parallel
+    // bundles fall back to plain processing for that block.
+    let reductions: Vec<Option<ear_decomp::reduce::ReducedGraph>> = match method {
+        ApspMethod::Ear => subs
+            .iter()
+            .map(|(sg, _)| sg.is_simple().then(|| reduce_graph(sg)))
+            .collect(),
+        ApspMethod::Plain => subs.iter().map(|_| None).collect(),
+    };
+
+    // Phase II: one workunit per (block, source-in-processed-graph).
+    let units: Vec<(u32, u32)> = (0..nb as u32)
+        .flat_map(|b| {
+            let srcs = match &reductions[b as usize] {
+                Some(r) => r.reduced.n(),
+                None => subs[b as usize].0.n(),
+            };
+            (0..srcs as u32).map(move |s| (b, s))
+        })
+        .collect();
+    let RunOutput { results: rows, report: phase2 } = exec.run(
+        units.clone(),
+        |&(b, _)| match &reductions[b as usize] {
+            Some(r) => r.reduced.m() as u64 + 1,
+            None => subs[b as usize].0.m() as u64 + 1,
+        },
+        |&(b, s)| {
+            let target = match &reductions[b as usize] {
+                Some(r) => &r.reduced,
+                None => &subs[b as usize].0,
+            };
+            let (dist, stats) = dijkstra_with_stats(target, s);
+            (
+                dist,
+                WorkCounters {
+                    edges_relaxed: stats.edges_relaxed,
+                    vertices_settled: stats.settled,
+                    ..Default::default()
+                },
+            )
+        },
+    );
+    // Assemble per-block reduced (or full) matrices.
+    let mut srs: Vec<DistMatrix> = (0..nb)
+        .map(|b| match &reductions[b] {
+            Some(r) => DistMatrix::new(r.reduced.n()),
+            None => DistMatrix::new(subs[b].0.n()),
+        })
+        .collect();
+    for ((b, s), row) in units.into_iter().zip(rows) {
+        for (t, w) in row.into_iter().enumerate() {
+            srs[b as usize].set(s, t as u32, w);
+        }
+    }
+
+    // Phase III (Ear only): extend each block's reduced matrix to the whole
+    // block; workunits are (block, vertex) rows.
+    let (tables, phase3) = match method {
+        ApspMethod::Plain => (srs, None),
+        ApspMethod::Ear => {
+            let units: Vec<(u32, u32)> = (0..nb as u32)
+                .flat_map(|b| (0..subs[b as usize].0.n() as u32).map(move |x| (b, x)))
+                .collect();
+            let RunOutput { results: rows, report } = exec.run(
+                units.clone(),
+                |&(b, _)| subs[b as usize].0.n() as u64,
+                |&(b, x)| match reductions[b as usize].as_ref() {
+                    Some(r) => crate::ear::extend_row(&subs[b as usize].0, r, &srs[b as usize], x),
+                    // Non-simple block processed plainly: its reduced matrix
+                    // is already the full per-block table.
+                    None => (srs[b as usize].row(x).to_vec(), Default::default()),
+                },
+            );
+            let mut tables: Vec<DistMatrix> =
+                (0..nb).map(|b| DistMatrix::new(subs[b].0.n())).collect();
+            for ((b, x), row) in units.into_iter().zip(rows) {
+                for (t, w) in row.into_iter().enumerate() {
+                    tables[b as usize].set(x, t as u32, w);
+                }
+            }
+            (tables, Some(report))
+        }
+    };
+
+    // Stage 2 post-processing: the AP graph and its all-sources Dijkstra.
+    let a = bct.ap_count();
+    let mut ap_edges: Vec<(u32, u32, Weight)> = Vec::new();
+    for b in 0..nb {
+        let aps = &bct.block_aps[b];
+        let map = &subs[b].1;
+        for i in 0..aps.len() {
+            for j in i + 1..aps.len() {
+                let (li, lj) = (map.local(aps[i]).unwrap(), map.local(aps[j]).unwrap());
+                let w = tables[b].get(li, lj);
+                if w < INF {
+                    ap_edges.push((
+                        bct.ap_index[aps[i] as usize],
+                        bct.ap_index[aps[j] as usize],
+                        w,
+                    ));
+                }
+            }
+        }
+    }
+    let ap_graph = CsrGraph::from_edges(a, &ap_edges);
+    let RunOutput { results: ap_rows, report: ap_phase } = exec.run(
+        (0..a as u32).collect::<Vec<_>>(),
+        |_| ap_graph.m() as u64 + 1,
+        |&s| {
+            let (dist, stats) = dijkstra_with_stats(&ap_graph, s);
+            (
+                dist,
+                WorkCounters {
+                    edges_relaxed: stats.edges_relaxed,
+                    vertices_settled: stats.settled,
+                    ..Default::default()
+                },
+            )
+        },
+    );
+    let ap_table = DistMatrix::from_rows(ap_rows);
+
+    // Statistics.
+    let removed = reductions
+        .iter()
+        .map(|r| r.as_ref().map_or(0, |r| r.removed_count()))
+        .sum();
+    let largest = bcc.largest().map_or(0, |b| bcc.comps[b].len());
+    let table_entries =
+        (a as u64) * (a as u64) + subs.iter().map(|(sg, _)| (sg.n() as u64).pow(2)).sum::<u64>();
+    let stats = OracleStats {
+        n: g.n(),
+        m: g.m(),
+        n_bccs: nb,
+        largest_bcc_edge_share: if g.m() == 0 { 0.0 } else { largest as f64 / g.m() as f64 },
+        removed_vertices: removed,
+        articulation_points: a,
+        table_entries,
+        max_entries: (g.n() as u64).pow(2),
+    };
+
+    let processing = match phase3 {
+        Some(p3) => merge_reports(phase2, p3),
+        None => phase2,
+    };
+    let maps = subs.into_iter().map(|(_, m)| m).collect();
+    DistanceOracle { bct, tables, maps, ap_table, stats, processing, ap_phase }
+}
+
+fn merge_reports(mut a: ExecutionReport, b: ExecutionReport) -> ExecutionReport {
+    for (da, dbr) in a.devices.iter_mut().zip(&b.devices) {
+        da.units += dbr.units;
+        da.batches += dbr.batches;
+        da.busy_s += dbr.busy_s;
+        da.counters.merge(&dbr.counters);
+    }
+    a.makespan_s += b.makespan_s;
+    a.wall_s += b.wall_s;
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::floyd_warshall;
+
+    fn check_both_methods(g: &CsrGraph) -> (DistanceOracle, DistanceOracle) {
+        let exec = HeteroExecutor::sequential();
+        let ear = build_oracle(g, &exec, ApspMethod::Ear);
+        let plain = build_oracle(g, &exec, ApspMethod::Plain);
+        let oracle = floyd_warshall(g);
+        for u in 0..g.n() as u32 {
+            for v in 0..g.n() as u32 {
+                assert_eq!(ear.dist(u, v), oracle.get(u, v), "ear ({u},{v})");
+                assert_eq!(plain.dist(u, v), oracle.get(u, v), "plain ({u},{v})");
+            }
+        }
+        (ear, plain)
+    }
+
+    /// triangle — bridge — square — pendant
+    fn mixed_graph() -> CsrGraph {
+        CsrGraph::from_edges(
+            8,
+            &[
+                (0, 1, 2),
+                (1, 2, 3),
+                (2, 0, 4),
+                (2, 3, 5),
+                (3, 4, 1),
+                (4, 5, 2),
+                (5, 6, 3),
+                (6, 3, 4),
+                (5, 7, 9),
+            ],
+        )
+    }
+
+    #[test]
+    fn mixed_graph_both_methods_match_oracle() {
+        let g = mixed_graph();
+        let (ear, plain) = check_both_methods(&g);
+        assert_eq!(ear.stats().n_bccs, plain.stats().n_bccs);
+        assert!(ear.stats().n_bccs >= 3);
+        // The square 3-4-5-6 contains degree-2 vertices for ear to remove.
+        assert!(ear.stats().removed_vertices > 0);
+        assert_eq!(plain.stats().removed_vertices, 0);
+    }
+
+    #[test]
+    fn memory_stats_beat_flat_table_on_blocky_graphs() {
+        let g = mixed_graph();
+        let (ear, _) = check_both_methods(&g);
+        assert!(ear.stats().table_entries < ear.stats().max_entries);
+        assert!(ear.stats().memory_bytes_f32() < ear.stats().max_memory_bytes_f32());
+    }
+
+    #[test]
+    fn biconnected_graph_is_one_block() {
+        let g = CsrGraph::from_edges(4, &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 0, 1), (0, 2, 5)]);
+        let (ear, _) = check_both_methods(&g);
+        assert_eq!(ear.stats().n_bccs, 1);
+        assert_eq!(ear.stats().articulation_points, 0);
+    }
+
+    #[test]
+    fn disconnected_components_are_inf_apart() {
+        let g = CsrGraph::from_edges(6, &[(0, 1, 1), (1, 2, 1), (2, 0, 1), (3, 4, 1), (4, 5, 2)]);
+        let (ear, _) = check_both_methods(&g);
+        assert_eq!(ear.dist(0, 3), INF);
+        assert_eq!(ear.dist(0, 0), 0);
+    }
+
+    #[test]
+    fn isolated_vertices() {
+        let g = CsrGraph::from_edges(4, &[(0, 1, 7)]);
+        let (ear, _) = check_both_methods(&g);
+        assert_eq!(ear.dist(2, 3), INF);
+        assert_eq!(ear.dist(2, 2), 0);
+        assert_eq!(ear.dist(0, 1), 7);
+    }
+
+    #[test]
+    fn long_bridge_chain_between_blocks() {
+        // Two triangles joined by a path of bridges; every interior path
+        // vertex is an articulation point.
+        let g = CsrGraph::from_edges(
+            9,
+            &[
+                (0, 1, 1),
+                (1, 2, 1),
+                (2, 0, 1),
+                (2, 3, 2),
+                (3, 4, 2),
+                (4, 5, 2),
+                (5, 6, 1),
+                (6, 7, 1),
+                (7, 5, 1),
+                (0, 8, 4),
+            ],
+        );
+        check_both_methods(&g);
+    }
+
+    #[test]
+    fn star_of_triangles() {
+        // Hub vertex shared by three triangles: one AP, three blocks.
+        let g = CsrGraph::from_edges(
+            7,
+            &[
+                (0, 1, 1),
+                (1, 2, 2),
+                (2, 0, 3),
+                (0, 3, 1),
+                (3, 4, 2),
+                (4, 0, 3),
+                (0, 5, 1),
+                (5, 6, 2),
+                (6, 0, 3),
+            ],
+        );
+        let (ear, _) = check_both_methods(&g);
+        assert_eq!(ear.stats().articulation_points, 1);
+        assert_eq!(ear.stats().n_bccs, 3);
+    }
+
+    #[test]
+    fn materialize_matches_queries() {
+        let g = mixed_graph();
+        let exec = HeteroExecutor::sequential();
+        let o = build_oracle(&g, &exec, ApspMethod::Ear);
+        let m = o.materialize();
+        assert!(m.is_symmetric());
+        assert_eq!(m.get(0, 7), o.dist(0, 7));
+    }
+
+    #[test]
+    fn path_reconstruction_is_tight() {
+        let g = mixed_graph();
+        let exec = HeteroExecutor::sequential();
+        let o = build_oracle(&g, &exec, ApspMethod::Ear);
+        for u in 0..g.n() as u32 {
+            for v in 0..g.n() as u32 {
+                let p = o.path(&g, u, v).unwrap();
+                assert_eq!(p[0], u);
+                assert_eq!(*p.last().unwrap(), v);
+                // Sum the walked edges.
+                let mut total = 0;
+                for w in p.windows(2) {
+                    let best = g
+                        .neighbors(w[0])
+                        .iter()
+                        .filter(|&&(y, _)| y == w[1])
+                        .map(|&(_, e)| g.weight(e))
+                        .min()
+                        .expect("consecutive path vertices must be adjacent");
+                    total += best;
+                }
+                assert_eq!(total, o.dist(u, v), "path ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn path_is_none_across_components() {
+        let g = CsrGraph::from_edges(4, &[(0, 1, 1), (2, 3, 1)]);
+        let exec = HeteroExecutor::sequential();
+        let o = build_oracle(&g, &exec, ApspMethod::Ear);
+        assert!(o.path(&g, 0, 2).is_none());
+        assert_eq!(o.path(&g, 0, 0), Some(vec![0]));
+    }
+
+    #[test]
+    fn hetero_executor_matches_sequential() {
+        let g = mixed_graph();
+        let a = build_oracle(&g, &HeteroExecutor::sequential(), ApspMethod::Ear);
+        let b = build_oracle(&g, &HeteroExecutor::cpu_gpu(), ApspMethod::Ear);
+        assert_eq!(a.materialize(), b.materialize());
+    }
+
+    #[test]
+    fn ear_phase2_does_less_work_than_plain() {
+        // A graph rich in degree-2 chains.
+        let mut edges = Vec::new();
+        // ring of 30 with two hubs
+        for i in 0..30u32 {
+            edges.push((i, (i + 1) % 30, 1u64));
+        }
+        edges.push((0, 15, 1));
+        edges.push((5, 20, 1));
+        let g = CsrGraph::from_edges(30, &edges);
+        let exec = HeteroExecutor::sequential();
+        let ear = build_oracle(&g, &exec, ApspMethod::Ear);
+        let plain = build_oracle(&g, &exec, ApspMethod::Plain);
+        let e_relax = ear.processing.total_counters().edges_relaxed;
+        let p_relax = plain.processing.total_counters().edges_relaxed;
+        assert!(e_relax < p_relax, "ear {e_relax} vs plain {p_relax}");
+        check_both_methods(&g);
+    }
+}

@@ -1,0 +1,265 @@
+//! Region-growing k-way graph partitioner.
+//!
+//! Substitute for the METIS/ParMETIS decomposition that the Djidjev et al.
+//! baseline uses (see DESIGN.md): the baseline only needs a roughly
+//! balanced partition with a small boundary on planar-ish graphs, which
+//! farthest-point seeding plus multi-source BFS region growing delivers.
+//! Seeds are spread with farthest-point sampling (hop metric), then every
+//! vertex joins the seed that reaches it first; ties break on seed index so
+//! the partition is deterministic.
+
+use ear_graph::{CsrGraph, VertexId};
+
+/// A `k`-way vertex partition.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// Part id per vertex (`0..k`).
+    pub part: Vec<u32>,
+    /// Number of parts actually used.
+    pub k: usize,
+}
+
+impl Partition {
+    /// Vertices grouped per part.
+    pub fn members(&self) -> Vec<Vec<VertexId>> {
+        let mut out = vec![Vec::new(); self.k];
+        for (v, &p) in self.part.iter().enumerate() {
+            out[p as usize].push(v as VertexId);
+        }
+        out
+    }
+
+    /// Vertices incident to an edge that crosses parts.
+    pub fn boundary_vertices(&self, g: &CsrGraph) -> Vec<VertexId> {
+        let mut is_boundary = vec![false; g.n()];
+        for e in g.edges() {
+            if self.part[e.u as usize] != self.part[e.v as usize] {
+                is_boundary[e.u as usize] = true;
+                is_boundary[e.v as usize] = true;
+            }
+        }
+        (0..g.n() as u32).filter(|&v| is_boundary[v as usize]).collect()
+    }
+
+    /// Edges whose endpoints lie in different parts.
+    pub fn cut_edges(&self, g: &CsrGraph) -> Vec<ear_graph::EdgeId> {
+        (0..g.m() as u32)
+            .filter(|&e| {
+                let r = g.edge(e);
+                self.part[r.u as usize] != self.part[r.v as usize]
+            })
+            .collect()
+    }
+}
+
+/// Partitions `g` into (at most) `k` parts.
+///
+/// Each connected component receives seeds proportional to its size (at
+/// least one), so no part ever spans two components.
+pub fn partition_graph(g: &CsrGraph, k: usize) -> Partition {
+    let n = g.n();
+    assert!(k >= 1, "k must be positive");
+    if n == 0 {
+        return Partition { part: Vec::new(), k: 0 };
+    }
+    let comps = ear_graph::connected_components(g);
+    let groups = comps.members();
+    // Seeds per component, proportional with a floor of one.
+    let mut seeds: Vec<VertexId> = Vec::new();
+    for members in &groups {
+        let share = ((members.len() * k) as f64 / n as f64).round() as usize;
+        let want = share.clamp(1, members.len());
+        seeds.extend(farthest_point_seeds(g, members, want));
+    }
+    // Multi-source BFS with a per-region size cap: each vertex joins the
+    // earliest-reaching seed, but a region that hits its cap stops growing,
+    // which keeps a central seed from swallowing the whole component.
+    let mut part = vec![u32::MAX; n];
+    let mut size = vec![0usize; seeds.len()];
+    let mut cap = vec![usize::MAX; seeds.len()];
+    {
+        // Cap per region: 1.3x its component's fair share.
+        let mut comp_seed_count = vec![0usize; groups.len()];
+        for &s in &seeds {
+            comp_seed_count[comps.comp[s as usize] as usize] += 1;
+        }
+        for (i, &s) in seeds.iter().enumerate() {
+            let c = comps.comp[s as usize] as usize;
+            let fair = groups[c].len().div_ceil(comp_seed_count[c]);
+            cap[i] = (fair + fair / 3).max(1);
+        }
+    }
+    let mut queue = std::collections::VecDeque::new();
+    for (i, &s) in seeds.iter().enumerate() {
+        part[s as usize] = i as u32;
+        size[i] += 1;
+        queue.push_back(s);
+    }
+    while let Some(u) = queue.pop_front() {
+        let p = part[u as usize] as usize;
+        if size[p] >= cap[p] {
+            continue;
+        }
+        for &(v, _) in g.neighbors(u) {
+            if part[v as usize] == u32::MAX {
+                part[v as usize] = p as u32;
+                size[p] += 1;
+                queue.push_back(v);
+                if size[p] >= cap[p] {
+                    break;
+                }
+            }
+        }
+    }
+    // Mop-up: capped regions may strand pockets; attach them to any
+    // adjacent region, caps ignored (connectivity of the pocket's region is
+    // preserved because attachment is again breadth-first).
+    let mut pending: std::collections::VecDeque<VertexId> = (0..n as u32)
+        .filter(|&v| part[v as usize] == u32::MAX)
+        .collect();
+    let mut stall = 0usize;
+    while let Some(u) = pending.pop_front() {
+        if let Some(&(w, _)) = g
+            .neighbors(u)
+            .iter()
+            .find(|&&(w, _)| part[w as usize] != u32::MAX)
+        {
+            part[u as usize] = part[w as usize];
+            stall = 0;
+        } else {
+            pending.push_back(u);
+            stall += 1;
+            if stall > pending.len() {
+                break; // isolated from every seed (cannot happen: seeds cover components)
+            }
+        }
+    }
+    debug_assert!(part.iter().all(|&p| p != u32::MAX));
+    Partition { part, k: seeds.len() }
+}
+
+/// Farthest-point sampling restricted to one component's members.
+fn farthest_point_seeds(g: &CsrGraph, members: &[VertexId], want: usize) -> Vec<VertexId> {
+    let mut seeds = vec![members[0]];
+    if want == 1 {
+        return seeds;
+    }
+    let n = g.n();
+    // dist-to-nearest-seed, updated incrementally with one BFS per seed.
+    let mut best = vec![u32::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    let mut relax_from = |s: VertexId, best: &mut Vec<u32>| {
+        best[s as usize] = 0;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for &(v, _) in g.neighbors(u) {
+                if best[u as usize] + 1 < best[v as usize] {
+                    best[v as usize] = best[u as usize] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+    };
+    relax_from(members[0], &mut best);
+    while seeds.len() < want {
+        let far = members
+            .iter()
+            .copied()
+            .max_by_key(|&v| (best[v as usize], std::cmp::Reverse(v)))
+            .unwrap();
+        if best[far as usize] == 0 {
+            break; // everything already a seed / adjacent: stop early
+        }
+        seeds.push(far);
+        relax_from(far, &mut best);
+    }
+    seeds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(rows: u32, cols: u32) -> CsrGraph {
+        let idx = |r: u32, c: u32| r * cols + c;
+        let mut edges = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                if c + 1 < cols {
+                    edges.push((idx(r, c), idx(r, c + 1), 1u64));
+                }
+                if r + 1 < rows {
+                    edges.push((idx(r, c), idx(r + 1, c), 1u64));
+                }
+            }
+        }
+        CsrGraph::from_edges((rows * cols) as usize, &edges)
+    }
+
+    #[test]
+    fn every_vertex_gets_a_part() {
+        let g = grid(10, 10);
+        let p = partition_graph(&g, 4);
+        assert_eq!(p.k, 4);
+        assert!(p.part.iter().all(|&x| (x as usize) < p.k));
+    }
+
+    #[test]
+    fn parts_are_roughly_balanced_on_grids() {
+        let g = grid(16, 16);
+        let p = partition_graph(&g, 4);
+        let sizes: Vec<usize> = p.members().iter().map(|m| m.len()).collect();
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        assert!(*min * 3 >= *max, "unbalanced: {sizes:?}");
+    }
+
+    #[test]
+    fn boundary_is_small_on_grids() {
+        let g = grid(16, 16);
+        let p = partition_graph(&g, 4);
+        let b = p.boundary_vertices(&g);
+        assert!(b.len() < g.n() / 3, "boundary {} of {}", b.len(), g.n());
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn cut_edges_cross_parts() {
+        let g = grid(8, 8);
+        let p = partition_graph(&g, 2);
+        for e in p.cut_edges(&g) {
+            let r = g.edge(e);
+            assert_ne!(p.part[r.u as usize], p.part[r.v as usize]);
+        }
+    }
+
+    #[test]
+    fn k_one_is_trivial() {
+        let g = grid(4, 4);
+        let p = partition_graph(&g, 1);
+        assert_eq!(p.k, 1);
+        assert!(p.boundary_vertices(&g).is_empty());
+    }
+
+    #[test]
+    fn components_never_share_a_part() {
+        let g = CsrGraph::from_edges(6, &[(0, 1, 1), (1, 2, 1), (3, 4, 1), (4, 5, 1)]);
+        let p = partition_graph(&g, 2);
+        assert_ne!(p.part[0], p.part[3]);
+    }
+
+    #[test]
+    fn more_parts_than_vertices_degrades_gracefully() {
+        let g = CsrGraph::from_edges(3, &[(0, 1, 1), (1, 2, 1)]);
+        let p = partition_graph(&g, 10);
+        assert!(p.k <= 3);
+        assert!(p.part.iter().all(|&x| (x as usize) < p.k));
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = grid(12, 12);
+        let a = partition_graph(&g, 5);
+        let b = partition_graph(&g, 5);
+        assert_eq!(a.part, b.part);
+    }
+}

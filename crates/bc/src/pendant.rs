@@ -1,0 +1,200 @@
+//! Pendant-tree reduction for betweenness centrality.
+//!
+//! Pendant trees route all of their traffic through their attachment root,
+//! so their contributions to betweenness are available in closed form:
+//! Brandes only needs to run on the 1-core, with vertex *masses* standing
+//! in for the peeled populations. This is the same structural-compression
+//! idea the paper applies to APSP (remove what carries no routing choice,
+//! account for it in post-processing), applied to the neighbouring
+//! path-based problem its conclusions point at.
+//!
+//! Exact decomposition, per connected component of size `N`:
+//!
+//! * **core ↔ core traffic** — weighted Brandes on the core, source and
+//!   target masses `w_r = 1 + b(r)` (`b(r)` = peeled vertices rooted at
+//!   `r`); credits interior core vertices;
+//! * **root gateway** — every pair (tree vertex of `r`, anything outside
+//!   `r`'s tree) passes `r`: credit `b(r) · (N − w_r)`;
+//! * **tree separators** — a peeled `x` with subtree size `sub(x)` lies on
+//!   every path between its subtree and the rest: credit
+//!   `(sub(x)−1) · (N − sub(x))`;
+//! * **branch junctions** — pairs in different child subtrees of any `y`
+//!   meet at `y`: credit `Σ_{i<j} sub(cᵢ)·sub(cⱼ)`.
+//!
+//! All shares are 1 (tree paths are unique), so no σ-fractions appear
+//! outside the core Brandes.
+
+use ear_decomp::pendant::peel_pendants;
+use ear_graph::{connected_components, induced_subgraph, CsrGraph, VertexId};
+
+use crate::brandes::betweenness_weighted;
+
+/// Exact betweenness via pendant-tree reduction. Equals
+/// [`crate::betweenness`] on every graph (property-tested) while running
+/// Brandes only on the 1-core.
+pub fn betweenness_pendant_reduced(g: &CsrGraph) -> Vec<f64> {
+    let n = g.n();
+    let peel = peel_pendants(g);
+    let comps = connected_components(g);
+    let comp_size: Vec<usize> = {
+        let mut sizes = vec![0usize; comps.count];
+        for &c in &comps.comp {
+            sizes[c as usize] += 1;
+        }
+        sizes
+    };
+    let comp_n = |v: VertexId| comp_size[comps.comp[v as usize] as usize] as f64;
+
+    // Subtree sizes of peeled vertices and per-vertex branch sums; one
+    // forward sweep in peel order (children precede parents).
+    let mut sub = vec![0.0f64; n];
+    for &x in &peel.peel_order {
+        sub[x as usize] = 1.0;
+    }
+    let mut b = vec![0.0f64; n]; // peeled mass rooted at a core vertex
+    let mut sum1 = vec![0.0f64; n];
+    let mut sum2 = vec![0.0f64; n];
+    // First pass: accumulate children into parents bottom-up. peel_order
+    // guarantees every child is processed before its parent is peeled, but
+    // a parent may appear later in the order, so accumulate sub lazily.
+    for &x in &peel.peel_order {
+        let p = peel.parent[x as usize];
+        let sx = sub[x as usize];
+        sum1[p as usize] += sx;
+        sum2[p as usize] += sx * sx;
+        if peel.in_core[p as usize] {
+            b[p as usize] += sx;
+        } else {
+            sub[p as usize] += sx;
+        }
+    }
+
+    let mut bc = vec![0.0f64; n];
+    // Tree separator + branch junction terms.
+    for &x in &peel.peel_order {
+        let nn = comp_n(x);
+        let sx = sub[x as usize];
+        bc[x as usize] += (sx - 1.0) * (nn - sx);
+        bc[x as usize] += 0.5 * (sum1[x as usize] * sum1[x as usize] - sum2[x as usize]);
+    }
+    // Root gateway + junction terms for core vertices.
+    for v in 0..n as u32 {
+        if !peel.in_core[v as usize] {
+            continue;
+        }
+        let nn = comp_n(v);
+        let w_v = 1.0 + b[v as usize];
+        bc[v as usize] += b[v as usize] * (nn - w_v);
+        bc[v as usize] += 0.5 * (sum1[v as usize] * sum1[v as usize] - sum2[v as usize]);
+    }
+
+    // Core ↔ core traffic: weighted Brandes on the induced 1-core.
+    let core: Vec<VertexId> = (0..n as u32).filter(|&v| peel.in_core[v as usize]).collect();
+    if !core.is_empty() {
+        let (cg, map) = induced_subgraph(g, &core);
+        let w: Vec<f64> = (0..cg.n() as u32)
+            .map(|l| 1.0 + b[map.parent(l) as usize])
+            .collect();
+        let sources: Vec<VertexId> = (0..cg.n() as u32).collect();
+        let core_bc = betweenness_weighted(&cg, &sources, &w, &w);
+        for (l, val) in core_bc.into_iter().enumerate() {
+            bc[map.parent(l as u32) as usize] += val;
+        }
+    }
+    bc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brandes::betweenness;
+    use proptest::prelude::*;
+
+    fn close(a: &[f64], b: &[f64]) {
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < 1e-7, "vertex {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn triangle_with_tail() {
+        let g = CsrGraph::from_edges(5, &[(0, 1, 1), (1, 2, 1), (2, 0, 1), (2, 3, 5), (3, 4, 7)]);
+        close(&betweenness_pendant_reduced(&g), &betweenness(&g));
+    }
+
+    #[test]
+    fn pure_tree() {
+        let g = CsrGraph::from_edges(
+            7,
+            &[(0, 1, 1), (1, 2, 1), (1, 3, 1), (3, 4, 2), (3, 5, 2), (0, 6, 1)],
+        );
+        close(&betweenness_pendant_reduced(&g), &betweenness(&g));
+    }
+
+    #[test]
+    fn star_of_paths() {
+        // Hub with three legs of length 3 — deep pendant chains.
+        let mut edges = vec![];
+        let mut next = 1u32;
+        for _ in 0..3 {
+            edges.push((0, next, 1));
+            edges.push((next, next + 1, 1));
+            edges.push((next + 1, next + 2, 1));
+            next += 3;
+        }
+        let g = CsrGraph::from_edges(10, &edges);
+        close(&betweenness_pendant_reduced(&g), &betweenness(&g));
+    }
+
+    #[test]
+    fn weighted_core_with_trees() {
+        let g = CsrGraph::from_edges(
+            9,
+            &[
+                (0, 1, 2),
+                (1, 2, 3),
+                (2, 3, 1),
+                (3, 0, 2),
+                (0, 2, 4),
+                // trees
+                (1, 4, 1),
+                (4, 5, 2),
+                (4, 6, 3),
+                (3, 7, 1),
+                (7, 8, 1),
+            ],
+        );
+        close(&betweenness_pendant_reduced(&g), &betweenness(&g));
+    }
+
+    #[test]
+    fn disconnected_mixture() {
+        let g = CsrGraph::from_edges(
+            8,
+            &[(0, 1, 1), (1, 2, 1), (2, 0, 1), (2, 3, 1), (4, 5, 1), (5, 6, 1), (5, 7, 1)],
+        );
+        close(&betweenness_pendant_reduced(&g), &betweenness(&g));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The reduction is exact on arbitrary simple graphs.
+        #[test]
+        fn matches_plain_brandes(n in 2usize..20, raw in proptest::collection::vec((0u32..20, 0u32..20, 1u64..6), 0..50)) {
+            let mut seen = std::collections::HashSet::new();
+            let edges: Vec<(u32, u32, u64)> = raw
+                .into_iter()
+                .map(|(u, v, w)| (u % n as u32, v % n as u32, w))
+                .filter(|&(u, v, _)| u != v)
+                .filter(|&(u, v, _)| seen.insert((u.min(v), u.max(v))))
+                .collect();
+            let g = CsrGraph::from_edges(n, &edges);
+            let a = betweenness_pendant_reduced(&g);
+            let b = betweenness(&g);
+            for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+                prop_assert!((x - y).abs() < 1e-7, "vertex {}: {} vs {}", i, x, y);
+            }
+        }
+    }
+}

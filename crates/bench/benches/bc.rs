@@ -1,0 +1,30 @@
+//! Wall-clock benchmarks of betweenness centrality: plain Brandes vs the
+//! pendant-tree reduction, on pendant-rich workloads where the reduction
+//! shrinks the Brandes workload substantially.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ear_bc::{betweenness, betweenness_pendant_reduced};
+use ear_workloads::combinators::attach_pendants;
+use ear_workloads::generators::random_min_deg3;
+use std::hint::black_box;
+
+fn bench_bc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bc");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    // 300-vertex core with 700 pendant vertices: the reduction runs Brandes
+    // on 30% of the graph.
+    let core = random_min_deg3(300, 800, 21);
+    let g = attach_pendants(&core, 700, 22);
+
+    group.bench_function("brandes/n1000", |b| b.iter(|| black_box(betweenness(&g))));
+    group.bench_function("pendant_reduced/n1000", |b| {
+        b.iter(|| black_box(betweenness_pendant_reduced(&g)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bc);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Microbenchmarks of the decomposition substrate: biconnected components,
+//! ear decomposition, degree-2 reduction, FVS — the preprocessing phases of
+//! both pipeline variants.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ear_decomp::bcc::biconnected_components;
+use ear_decomp::ear::ear_decomposition;
+use ear_decomp::fvs::feedback_vertex_set;
+use ear_decomp::reduce::reduce_graph;
+use ear_workloads::combinators::subdivide_edges;
+use ear_workloads::generators::{random_min_deg3, triangulated_grid};
+use std::hint::black_box;
+
+fn bench_decomp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decomp");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    for &n in &[1000usize, 4000] {
+        let core = random_min_deg3(n, 3 * n, 42);
+        let chained = subdivide_edges(&core, n, 2, 43);
+        group.bench_with_input(BenchmarkId::new("bcc", n), &chained, |b, g| {
+            b.iter(|| black_box(biconnected_components(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("reduce", n), &chained, |b, g| {
+            b.iter(|| black_box(reduce_graph(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("fvs", n), &chained, |b, g| {
+            b.iter(|| black_box(feedback_vertex_set(g)))
+        });
+        let rows = (n as f64).sqrt() as usize;
+        let mesh = triangulated_grid(rows, rows, 44);
+        group.bench_with_input(BenchmarkId::new("ear_decomposition", n), &mesh, |b, g| {
+            b.iter(|| black_box(ear_decomposition(g).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decomp);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Wall-clock benchmarks of the MCB implementations, including the
+//! ear-reduction ablation and the algorithm-vs-algorithm ladder
+//! (Horton → signed de Pina → candidate-restricted de Pina).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ear_hetero::HeteroExecutor;
+use ear_mcb::depina::{depina_mcb, DepinaOptions};
+use ear_mcb::{horton_mcb, mcb, signed_mcb, ExecMode, McbConfig};
+use ear_workloads::combinators::subdivide_edges;
+use ear_workloads::generators::random_min_deg3;
+use std::hint::black_box;
+
+fn bench_mcb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mcb");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    // Small graph where even Horton is feasible: the algorithm ladder.
+    let small = random_min_deg3(60, 140, 3);
+    group.bench_function("horton/n60", |b| b.iter(|| black_box(horton_mcb(&small))));
+    group.bench_function("signed_depina/n60", |b| b.iter(|| black_box(signed_mcb(&small))));
+    group.bench_function("restricted_depina/n60", |b| {
+        let exec = HeteroExecutor::sequential();
+        b.iter(|| black_box(depina_mcb(&small, &exec, &DepinaOptions::default())))
+    });
+
+    // Chain-heavy medium graph: the ear ablation (paper Table 2 'w' vs
+    // 'w/o').
+    let core = random_min_deg3(90, 200, 5);
+    let chained = subdivide_edges(&core, 180, 2, 6);
+    group.bench_function("pipeline_ear/n450", |b| {
+        b.iter(|| black_box(mcb(&chained, &McbConfig { mode: ExecMode::Hetero, use_ear: true })))
+    });
+    group.bench_function("pipeline_noear/n450", |b| {
+        b.iter(|| black_box(mcb(&chained, &McbConfig { mode: ExecMode::Hetero, use_ear: false })))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mcb);
+criterion_main!(benches);

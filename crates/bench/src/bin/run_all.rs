@@ -1,0 +1,24 @@
+//! Runs every table/figure binary's logic in sequence — the one-shot
+//! regeneration entry point whose output backs EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release -p ear-bench --bin run_all [-- --scale N]
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bins = ["table1", "fig2_apsp", "fig3_mteps", "table2_mcb", "fig5_speedup", "fig6_absolute"];
+    for bin in bins {
+        println!("\n{}", "=".repeat(78));
+        println!("== {bin}");
+        println!("{}\n", "=".repeat(78));
+        let mut cmd = Command::new(std::env::current_exe().unwrap().parent().unwrap().join(bin));
+        if bin == "table2_mcb" {
+            cmd.arg("--phases");
+        }
+        let status = cmd.args(&args).status().expect("failed to launch sibling binary");
+        assert!(status.success(), "{bin} failed");
+    }
+}

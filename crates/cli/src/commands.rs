@@ -1,0 +1,163 @@
+//! Subcommand implementations.
+
+use ear_core::prelude::*;
+use ear_decomp::{biconnected_components, ear_decomposition, reduce_graph, BlockCutTree};
+use ear_graph::edge_subgraph;
+use ear_mcb::verify_basis;
+use ear_workloads::specs::all_specs;
+use ear_workloads::GraphStats;
+
+use crate::CommonOpts;
+
+/// `ear stats` — the Table 1 columns for an arbitrary graph.
+pub fn stats(g: &CsrGraph) -> Result<(), String> {
+    let s = GraphStats::measure(g);
+    println!("vertices              {}", s.n);
+    println!("edges                 {}", s.m);
+    println!("biconnected comps     {}", s.n_bccs);
+    println!("largest BCC           {:.2}% of edges", s.largest_bcc_pct());
+    println!("articulation points   {}", s.articulation_points);
+    println!("degree-2 removable    {} ({:.2}% of vertices)", s.removed, s.removed_pct());
+    println!("table memory          {:.1} MB (blocks + AP table, 4-byte entries)", s.ours_memory_mb());
+    println!("reduced-table memory  {:.1} MB (on-demand extension variant)", s.reduced_memory_mb());
+    println!("flat n^2 memory       {:.1} MB", s.max_memory_mb());
+    Ok(())
+}
+
+/// `ear decompose` — blocks, articulation points, per-block ears and
+/// reduction summary.
+pub fn decompose(g: &CsrGraph) -> Result<(), String> {
+    let bcc = biconnected_components(g);
+    let bct = BlockCutTree::new(g, &bcc);
+    println!("{} biconnected components, {} articulation points", bcc.count(), bct.ap_count());
+    let mut order: Vec<usize> = (0..bcc.count()).collect();
+    order.sort_by_key(|&b| std::cmp::Reverse(bcc.comps[b].len()));
+    for (rank, b) in order.into_iter().take(10).enumerate() {
+        let (sub, _) = edge_subgraph(g, &bcc.comps[b]);
+        print!("  block {rank}: {} vertices, {} edges", sub.n(), sub.m());
+        if sub.m() >= sub.n() && sub.is_simple() {
+            match ear_decomposition(&sub) {
+                Ok(d) => print!(", {} ears", d.ears.len()),
+                Err(e) => print!(", no open ear decomposition ({e})"),
+            }
+            let r = reduce_graph(&sub);
+            print!(
+                ", reduction {} -> {} vertices ({} chains)",
+                sub.n(),
+                r.reduced.n(),
+                r.chains.len()
+            );
+        }
+        println!();
+    }
+    if bcc.count() > 10 {
+        println!("  ... {} more blocks", bcc.count() - 10);
+    }
+    println!("bridges: {}", bcc.bridges.len());
+    Ok(())
+}
+
+/// `ear apsp` — build the oracle, report stats, answer queries.
+pub fn apsp(g: &CsrGraph, opts: &CommonOpts, pairs: &[(u32, u32)]) -> Result<(), String> {
+    let out = ApspPipeline::new()
+        .mode(opts.mode)
+        .use_ear(!opts.no_ear)
+        .run(g);
+    let st = out.oracle.stats();
+    println!(
+        "oracle built: {} blocks, {} APs, {} removed vertices, {} table entries",
+        st.n_bccs, st.articulation_points, st.removed_vertices, st.table_entries
+    );
+    println!("modelled device time: {:.3} ms", out.modelled_time_s * 1e3);
+    for &(u, v) in pairs {
+        let d = out.oracle.dist(u, v);
+        if d >= INF {
+            println!("d({u},{v}) = unreachable");
+        } else {
+            match out.oracle.path(g, u, v) {
+                Some(p) => println!("d({u},{v}) = {d}  path {p:?}"),
+                None => println!("d({u},{v}) = {d}"),
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `ear mcb` — minimum cycle basis with verification.
+pub fn mcb(g: &CsrGraph, opts: &CommonOpts, print_cycles: bool) -> Result<(), String> {
+    if !g.is_simple() {
+        return Err("mcb expects a simple graph (parallel edges/self-loops in input)".into());
+    }
+    let out = McbPipeline::new()
+        .mode(opts.mode)
+        .use_ear(!opts.no_ear)
+        .run(g);
+    verify_basis(g, &out.result.cycles).map_err(|e| format!("basis verification failed: {e}"))?;
+    println!(
+        "minimum cycle basis: dimension {}, total weight {}",
+        out.result.dim, out.result.total_weight
+    );
+    println!(
+        "ear reduction removed {} vertices; modelled device time {:.3} ms",
+        out.result.removed_vertices,
+        out.modelled_time_s * 1e3
+    );
+    let (l, s, u) = out.result.profile.shares();
+    println!(
+        "phase shares: labels {:.0}% search {:.0}% update {:.0}%",
+        l * 100.0,
+        s * 100.0,
+        u * 100.0
+    );
+    if print_cycles {
+        for (i, c) in out.result.cycles.iter().enumerate() {
+            println!("cycle {i}: weight {} edges {:?}", c.weight, c.edges);
+        }
+    } else {
+        let mut sizes: Vec<usize> = out.result.cycles.iter().map(|c| c.edges.len()).collect();
+        sizes.sort_unstable();
+        println!("cycle lengths: {sizes:?}");
+    }
+    Ok(())
+}
+
+/// `ear bc` — betweenness centrality (pendant-reduced), top-K report.
+pub fn bc(g: &CsrGraph, top: usize) -> Result<(), String> {
+    if !g.is_simple() {
+        return Err("bc expects a simple graph".into());
+    }
+    let scores = ear_bc::betweenness_pendant_reduced(g);
+    let mut ranked: Vec<(u32, f64)> =
+        scores.iter().enumerate().map(|(v, &s)| (v as u32, s)).collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    println!("top {} vertices by betweenness centrality:", top.min(ranked.len()));
+    for (v, s) in ranked.into_iter().take(top) {
+        println!("  {v:>8}  {s:.2}");
+    }
+    Ok(())
+}
+
+/// `ear generate` — synthesize a Table 1 analog to a file (or stdout).
+pub fn generate(name: &str, scale: usize, out: Option<&str>) -> Result<(), String> {
+    let spec = all_specs()
+        .into_iter()
+        .find(|s| s.name.eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown spec '{name}'"))?;
+    if scale == 0 {
+        return Err("scale must be >= 1".into());
+    }
+    let g = spec.build(scale, 7);
+    match out {
+        Some(path) => {
+            let f = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+            ear_graph::io::write_edge_list(&g, std::io::BufWriter::new(f))
+                .map_err(|e| e.to_string())?;
+            println!("{}: wrote n={} m={} to {path}", spec.name, g.n(), g.m());
+        }
+        None => {
+            ear_graph::io::write_edge_list(&g, std::io::stdout().lock())
+                .map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,166 @@
+//! `ear` — command-line front end for the ear-decomposition suite.
+//!
+//! ```text
+//! ear stats <graph>                      Table-1 style statistics
+//! ear decompose <graph>                  blocks, articulation points, ears, reduction
+//! ear apsp <graph> [--pairs u:v,...]     build the distance oracle, answer queries
+//! ear mcb <graph> [--print-cycles]       minimum cycle basis
+//! ear bc <graph> [--top K]               betweenness centrality
+//! ear generate <spec> <scale> [out]      write a synthetic Table-1 analog
+//! ```
+//!
+//! `<graph>` is a Matrix Market (`.mtx`) or whitespace edge-list file
+//! (`u v [w]` per line, zero-based ids); `-` reads the edge list from
+//! stdin. All subcommands accept `--mode seq|multicore|gpu|hetero`
+//! (default hetero) and `--no-ear` to disable the reduction.
+
+use std::process::ExitCode;
+
+use ear_core::prelude::*;
+use ear_graph::io::{read_edge_list, read_matrix_market};
+
+mod commands;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage:
+  ear stats <graph>
+  ear decompose <graph>
+  ear apsp <graph> [--pairs u:v[,u:v...]] [--mode M] [--no-ear]
+  ear mcb <graph> [--print-cycles] [--mode M] [--no-ear]
+  ear bc <graph> [--top K]
+  ear generate <spec-name> <scale> [out-file]
+
+graph: .mtx (Matrix Market) or edge list 'u v [w]' per line; '-' = stdin
+mode:  seq | multicore | gpu | hetero (default)
+specs: nopoly OPF_3754 ca-AstroPh as-22july06 c-50 cond_mat_2003
+       delaunay_n15 Rajat26 Wordnet3 soc-sign-epinions Planar_1..Planar_5"
+}
+
+fn run(args: Vec<String>) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err("missing subcommand".into());
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "stats" => commands::stats(&load(rest.first().ok_or("missing graph path")?)?),
+        "decompose" => commands::decompose(&load(rest.first().ok_or("missing graph path")?)?),
+        "apsp" => {
+            let g = load(rest.first().ok_or("missing graph path")?)?;
+            let opts = CommonOpts::parse(&rest[1..])?;
+            let pairs = parse_pairs(&rest[1..], g.n())?;
+            commands::apsp(&g, &opts, &pairs)
+        }
+        "bc" => {
+            let g = load(rest.first().ok_or("missing graph path")?)?;
+            let top = rest
+                .iter()
+                .position(|a| a == "--top")
+                .and_then(|i| rest.get(i + 1))
+                .map(|s| s.parse::<usize>().map_err(|_| "--top takes an integer"))
+                .transpose()?
+                .unwrap_or(10);
+            commands::bc(&g, top)
+        }
+        "mcb" => {
+            let g = load(rest.first().ok_or("missing graph path")?)?;
+            let opts = CommonOpts::parse(&rest[1..])?;
+            let print_cycles = rest.iter().any(|a| a == "--print-cycles");
+            commands::mcb(&g, &opts, print_cycles)
+        }
+        "generate" => {
+            let name = rest.first().ok_or("missing spec name")?;
+            let scale: usize = rest
+                .get(1)
+                .ok_or("missing scale")?
+                .parse()
+                .map_err(|_| "scale must be an integer")?;
+            let out = rest.get(2).map(|s| s.as_str());
+            commands::generate(name, scale, out)
+        }
+        other => Err(format!("unknown subcommand '{other}'")),
+    }
+}
+
+/// Shared options.
+pub struct CommonOpts {
+    /// Device mode.
+    pub mode: ExecMode,
+    /// Disable the ear reduction.
+    pub no_ear: bool,
+}
+
+impl CommonOpts {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut mode = ExecMode::Hetero;
+        let mut no_ear = false;
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--mode" => {
+                    i += 1;
+                    mode = match args.get(i).map(|s| s.as_str()) {
+                        Some("seq") => ExecMode::Sequential,
+                        Some("multicore") => ExecMode::MultiCore,
+                        Some("gpu") => ExecMode::Gpu,
+                        Some("hetero") => ExecMode::Hetero,
+                        other => return Err(format!("bad --mode {other:?}")),
+                    };
+                }
+                "--no-ear" => no_ear = true,
+                "--pairs" | "--print-cycles" => {
+                    if args[i] == "--pairs" {
+                        i += 1; // value consumed by parse_pairs
+                    }
+                }
+                other => return Err(format!("unknown option '{other}'")),
+            }
+            i += 1;
+        }
+        Ok(CommonOpts { mode, no_ear })
+    }
+}
+
+fn parse_pairs(args: &[String], n: usize) -> Result<Vec<(u32, u32)>, String> {
+    let Some(pos) = args.iter().position(|a| a == "--pairs") else {
+        return Ok(Vec::new());
+    };
+    let spec = args.get(pos + 1).ok_or("--pairs needs a value")?;
+    let mut out = Vec::new();
+    for part in spec.split(',') {
+        let (a, b) = part.split_once(':').ok_or_else(|| format!("bad pair '{part}'"))?;
+        let u: u32 = a.parse().map_err(|_| format!("bad vertex '{a}'"))?;
+        let v: u32 = b.parse().map_err(|_| format!("bad vertex '{b}'"))?;
+        if u as usize >= n || v as usize >= n {
+            return Err(format!("pair {u}:{v} out of range (n = {n})"));
+        }
+        out.push((u, v));
+    }
+    Ok(out)
+}
+
+fn load(path: &str) -> Result<CsrGraph, String> {
+    if path == "-" {
+        let stdin = std::io::stdin();
+        return read_edge_list(stdin.lock(), 0).map_err(|e| e.to_string());
+    }
+    let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let reader = std::io::BufReader::new(file);
+    if path.ends_with(".mtx") {
+        read_matrix_market(reader).map_err(|e| e.to_string())
+    } else {
+        read_edge_list(reader, 0).map_err(|e| e.to_string())
+    }
+}

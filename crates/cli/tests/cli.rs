@@ -1,0 +1,158 @@
+//! End-to-end tests of the `ear` binary: every subcommand against real
+//! files, exercised the way a user would.
+
+use std::io::Write;
+use std::process::{Command, Output, Stdio};
+
+fn ear(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_ear"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn ear_stdin(args: &[&str], stdin: &str) -> Output {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ear"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    child.stdin.as_mut().unwrap().write_all(stdin.as_bytes()).unwrap();
+    child.wait_with_output().unwrap()
+}
+
+fn tmpfile(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("ear-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, contents).unwrap();
+    path
+}
+
+const THETA: &str = "0 1 1\n1 2 2\n0 2 10\n0 3 3\n3 2 4\n";
+
+#[test]
+fn stats_on_edge_list() {
+    let p = tmpfile("theta.txt", THETA);
+    let out = ear(&["stats", p.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("vertices              4"), "{text}");
+    assert!(text.contains("edges                 5"), "{text}");
+    assert!(text.contains("biconnected comps     1"), "{text}");
+}
+
+#[test]
+fn stats_on_matrix_market() {
+    let mtx = "%%MatrixMarket matrix coordinate pattern symmetric\n3 3 3\n2 1\n3 1\n3 2\n";
+    let p = tmpfile("tri.mtx", mtx);
+    let out = ear(&["stats", p.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("vertices              3"), "{text}");
+}
+
+#[test]
+fn decompose_reports_blocks_and_ears() {
+    let p = tmpfile("theta2.txt", THETA);
+    let out = ear(&["decompose", p.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("1 biconnected components"), "{text}");
+    assert!(text.contains("ears"), "{text}");
+    assert!(text.contains("reduction 4 -> 2"), "{text}");
+}
+
+#[test]
+fn apsp_answers_queries_with_paths() {
+    let p = tmpfile("theta3.txt", THETA);
+    let out = ear(&["apsp", p.to_str().unwrap(), "--pairs", "1:3,0:2", "--mode", "seq"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    // d(1,3) = 1 + 3 = 4 via vertex 0; d(0,2) = 3 via vertex 1.
+    assert!(text.contains("d(1,3) = 4"), "{text}");
+    assert!(text.contains("d(0,2) = 3"), "{text}");
+    assert!(text.contains("path"), "{text}");
+}
+
+#[test]
+fn apsp_ear_toggle_agrees() {
+    let p = tmpfile("theta4.txt", THETA);
+    let a = ear(&["apsp", p.to_str().unwrap(), "--pairs", "1:3"]);
+    let b = ear(&["apsp", p.to_str().unwrap(), "--pairs", "1:3", "--no-ear"]);
+    let ta = String::from_utf8_lossy(&a.stdout);
+    let tb = String::from_utf8_lossy(&b.stdout);
+    assert!(ta.contains("d(1,3) = 4"), "{ta}");
+    assert!(tb.contains("d(1,3) = 4"), "{tb}");
+}
+
+#[test]
+fn mcb_finds_the_basis() {
+    let p = tmpfile("theta5.txt", THETA);
+    let out = ear(&["mcb", p.to_str().unwrap(), "--print-cycles", "--mode", "multicore"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("dimension 2"), "{text}");
+    // MCB: chain-pair cycle (1+2+3+4=10) + light cycle (1+2+10=13 vs
+    // 3+4+10=17) -> total 23.
+    assert!(text.contains("total weight 23"), "{text}");
+    assert!(text.contains("cycle 1:"), "{text}");
+}
+
+#[test]
+fn reads_edge_list_from_stdin() {
+    let out = ear_stdin(&["stats", "-"], THETA);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("vertices              4"));
+}
+
+#[test]
+fn generate_roundtrips_through_stats() {
+    let dir = std::env::temp_dir().join("ear-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out_path = dir.join("gen.txt");
+    let out = ear(&["generate", "nopoly", "64", out_path.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stats = ear(&["stats", out_path.to_str().unwrap()]);
+    assert!(stats.status.success());
+    let text = String::from_utf8_lossy(&stats.stdout);
+    assert!(text.contains("vertices"), "{text}");
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage() {
+    let out = ear(&["frobnicate"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage"), "{err}");
+}
+
+#[test]
+fn bad_pair_is_rejected() {
+    let p = tmpfile("theta6.txt", THETA);
+    let out = ear(&["apsp", p.to_str().unwrap(), "--pairs", "0:99"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("out of range"));
+}
+
+#[test]
+fn mcb_rejects_multigraphs() {
+    let p = tmpfile("multi.txt", "0 1 1\n0 1 2\n");
+    let out = ear(&["mcb", p.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("simple"));
+}
+
+#[test]
+fn bc_ranks_the_hub_first() {
+    // Star: the hub dominates betweenness.
+    let p = tmpfile("star.txt", "0 1 1\n0 2 1\n0 3 1\n0 4 1\n");
+    let out = ear(&["bc", p.to_str().unwrap(), "--top", "2"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    let first = text.lines().nth(1).unwrap();
+    assert!(first.trim().starts_with('0'), "{text}");
+    assert!(first.contains("6.00"), "{text}");
+}

@@ -1,0 +1,319 @@
+//! Biconnected components, articulation points and bridges.
+//!
+//! Iterative Hopcroft–Tarjan: a DFS with an explicit frame stack (no
+//! recursion — the paper's graphs have hundred-thousand-vertex chains that
+//! would blow the call stack) and an edge stack that is flushed into a
+//! component every time a subtree cannot reach above its attachment point
+//! (`low[child] >= disc[parent]`).
+//!
+//! Multigraph rules:
+//! * parallel edges are honest cycles — only the *specific* tree edge to the
+//!   parent is skipped (by edge id), so a second parallel edge correctly
+//!   registers as a back edge and merges the endpoints into one component;
+//! * each self-loop forms its own singleton component and never affects
+//!   articulation status.
+
+use ear_graph::{CsrGraph, EdgeId, VertexId};
+
+/// Result of [`biconnected_components`].
+#[derive(Clone, Debug)]
+pub struct Bcc {
+    /// Edge ids of each biconnected component.
+    pub comps: Vec<Vec<EdgeId>>,
+    /// Component id of every edge.
+    pub edge_comp: Vec<u32>,
+    /// Articulation-point flags per vertex.
+    pub is_articulation: Vec<bool>,
+    /// Edges whose removal disconnects their endpoints (the single-edge
+    /// non-loop components).
+    pub bridges: Vec<EdgeId>,
+}
+
+impl Bcc {
+    /// Number of components.
+    pub fn count(&self) -> usize {
+        self.comps.len()
+    }
+
+    /// Articulation-point vertex ids in ascending order.
+    pub fn articulation_points(&self) -> Vec<VertexId> {
+        self.is_articulation
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a)
+            .map(|(v, _)| v as VertexId)
+            .collect()
+    }
+
+    /// Distinct vertices of component `c`, ascending.
+    pub fn comp_vertices(&self, g: &CsrGraph, c: usize) -> Vec<VertexId> {
+        let mut vs: Vec<VertexId> = self.comps[c]
+            .iter()
+            .flat_map(|&e| {
+                let r = g.edge(e);
+                [r.u, r.v]
+            })
+            .collect();
+        vs.sort_unstable();
+        vs.dedup();
+        vs
+    }
+
+    /// Index of the component with the most edges, if any.
+    pub fn largest(&self) -> Option<usize> {
+        (0..self.comps.len()).max_by_key(|&i| self.comps[i].len())
+    }
+}
+
+/// Computes the biconnected components of an undirected multigraph.
+pub fn biconnected_components(g: &CsrGraph) -> Bcc {
+    let n = g.n();
+    let m = g.m();
+    let mut disc = vec![0u32; n]; // 0 = unvisited; otherwise time+1
+    let mut low = vec![0u32; n];
+    let mut time = 0u32;
+    let mut is_articulation = vec![false; n];
+    let mut comps: Vec<Vec<EdgeId>> = Vec::new();
+    let mut edge_comp = vec![u32::MAX; m];
+    let mut edge_stack: Vec<EdgeId> = Vec::new();
+    // DFS frame: (vertex, incoming tree edge id, cursor into neighbor list).
+    let mut frames: Vec<(VertexId, EdgeId, u32)> = Vec::new();
+
+    for root in 0..n as u32 {
+        if disc[root as usize] != 0 {
+            continue;
+        }
+        time += 1;
+        disc[root as usize] = time;
+        low[root as usize] = time;
+        frames.push((root, u32::MAX, 0));
+        let mut root_children = 0u32;
+
+        while let Some(&mut (u, pe, ref mut cursor)) = frames.last_mut() {
+            let nbrs = g.neighbors(u);
+            if (*cursor as usize) < nbrs.len() {
+                let (v, e) = nbrs[*cursor as usize];
+                *cursor += 1;
+                if e == pe || v == u {
+                    continue; // incoming tree edge, or a self-loop
+                }
+                if disc[v as usize] == 0 {
+                    // Tree edge: descend.
+                    edge_stack.push(e);
+                    time += 1;
+                    disc[v as usize] = time;
+                    low[v as usize] = time;
+                    frames.push((v, e, 0));
+                } else if disc[v as usize] < disc[u as usize] {
+                    // Back edge to a strict ancestor (or parallel edge to the
+                    // parent): record once, from the deeper endpoint.
+                    edge_stack.push(e);
+                    low[u as usize] = low[u as usize].min(disc[v as usize]);
+                }
+            } else {
+                // Finished u: propagate low to the parent and maybe flush a
+                // component. `pe` is the tree edge (p, u) — parallel (p, u)
+                // back edges sit above it on the edge stack, so flushing
+                // until exactly `pe` pops the whole component and nothing
+                // more.
+                frames.pop();
+                if let Some(&mut (p, _, _)) = frames.last_mut() {
+                    low[p as usize] = low[p as usize].min(low[u as usize]);
+                    if low[u as usize] >= disc[p as usize] {
+                        if frames.len() == 1 {
+                            root_children += 1;
+                        } else {
+                            is_articulation[p as usize] = true;
+                        }
+                        let cid = comps.len() as u32;
+                        let mut comp = Vec::new();
+                        loop {
+                            let e = edge_stack.pop().expect("edge stack underflow");
+                            edge_comp[e as usize] = cid;
+                            comp.push(e);
+                            if e == pe {
+                                break;
+                            }
+                        }
+                        comps.push(comp);
+                    }
+                }
+            }
+        }
+        if root_children >= 2 {
+            is_articulation[root as usize] = true;
+        }
+    }
+
+    // Every self-loop is its own component.
+    for e in 0..m as u32 {
+        if g.edge(e).is_self_loop() {
+            let cid = comps.len() as u32;
+            edge_comp[e as usize] = cid;
+            comps.push(vec![e]);
+        }
+    }
+
+    let bridges = comps
+        .iter()
+        .filter(|c| c.len() == 1 && !g.edge(c[0]).is_self_loop())
+        .map(|c| c[0])
+        .collect();
+
+    Bcc { comps, edge_comp, is_articulation, bridges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ear_graph::CsrGraph;
+
+    fn sorted(mut v: Vec<u32>) -> Vec<u32> {
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn single_cycle_is_one_component() {
+        let g = CsrGraph::from_edges(4, &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 0, 1)]);
+        let b = biconnected_components(&g);
+        assert_eq!(b.count(), 1);
+        assert!(b.articulation_points().is_empty());
+        assert!(b.bridges.is_empty());
+        assert_eq!(sorted(b.comps[0].clone()), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn two_triangles_sharing_a_vertex() {
+        // 0-1-2-0 and 2-3-4-2; vertex 2 is the articulation point.
+        let g = CsrGraph::from_edges(
+            5,
+            &[(0, 1, 1), (1, 2, 1), (2, 0, 1), (2, 3, 1), (3, 4, 1), (4, 2, 1)],
+        );
+        let b = biconnected_components(&g);
+        assert_eq!(b.count(), 2);
+        assert_eq!(b.articulation_points(), vec![2]);
+        assert!(b.bridges.is_empty());
+        // Each component has 3 edges.
+        assert!(b.comps.iter().all(|c| c.len() == 3));
+        // edge_comp is consistent with comps.
+        for (cid, comp) in b.comps.iter().enumerate() {
+            for &e in comp {
+                assert_eq!(b.edge_comp[e as usize], cid as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn path_is_all_bridges() {
+        let g = CsrGraph::from_edges(4, &[(0, 1, 1), (1, 2, 1), (2, 3, 1)]);
+        let b = biconnected_components(&g);
+        assert_eq!(b.count(), 3);
+        assert_eq!(sorted(b.bridges.clone()), vec![0, 1, 2]);
+        assert_eq!(b.articulation_points(), vec![1, 2]);
+    }
+
+    #[test]
+    fn star_center_is_articulation() {
+        let g = CsrGraph::from_edges(4, &[(0, 1, 1), (0, 2, 1), (0, 3, 1)]);
+        let b = biconnected_components(&g);
+        assert_eq!(b.count(), 3);
+        assert_eq!(b.articulation_points(), vec![0]);
+    }
+
+    #[test]
+    fn barbell_bridge_between_triangles() {
+        // triangle 0-1-2, bridge 2-3, triangle 3-4-5
+        let g = CsrGraph::from_edges(
+            6,
+            &[
+                (0, 1, 1),
+                (1, 2, 1),
+                (2, 0, 1),
+                (2, 3, 1),
+                (3, 4, 1),
+                (4, 5, 1),
+                (5, 3, 1),
+            ],
+        );
+        let b = biconnected_components(&g);
+        assert_eq!(b.count(), 3);
+        assert_eq!(b.bridges, vec![3]);
+        assert_eq!(b.articulation_points(), vec![2, 3]);
+    }
+
+    #[test]
+    fn parallel_edges_are_biconnected() {
+        let g = CsrGraph::from_edges(2, &[(0, 1, 1), (0, 1, 2)]);
+        let b = biconnected_components(&g);
+        assert_eq!(b.count(), 1);
+        assert_eq!(b.comps[0].len(), 2);
+        assert!(b.bridges.is_empty());
+        assert!(b.articulation_points().is_empty());
+    }
+
+    #[test]
+    fn self_loop_is_singleton_component() {
+        let g = CsrGraph::from_edges(2, &[(0, 0, 1), (0, 1, 1)]);
+        let b = biconnected_components(&g);
+        assert_eq!(b.count(), 2);
+        assert_eq!(b.bridges, vec![1]);
+        let loop_comp = b.edge_comp[0] as usize;
+        assert_eq!(b.comps[loop_comp], vec![0]);
+        // A self-loop plus one bridge does not make vertex 0 an articulation
+        // point of anything.
+        assert!(b.articulation_points().is_empty());
+    }
+
+    #[test]
+    fn disconnected_graph_handles_each_piece() {
+        let g = CsrGraph::from_edges(
+            7,
+            &[(0, 1, 1), (1, 2, 1), (2, 0, 1), (3, 4, 1), (5, 6, 1)],
+        );
+        let b = biconnected_components(&g);
+        assert_eq!(b.count(), 3);
+        assert_eq!(sorted(b.bridges.clone()), vec![3, 4]);
+    }
+
+    #[test]
+    fn comp_vertices_extracts_distinct_endpoints() {
+        let g = CsrGraph::from_edges(3, &[(0, 1, 1), (1, 2, 1), (2, 0, 1)]);
+        let b = biconnected_components(&g);
+        assert_eq!(b.comp_vertices(&g, 0), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn largest_finds_biggest_component() {
+        let g = CsrGraph::from_edges(
+            6,
+            &[(0, 1, 1), (1, 2, 1), (2, 0, 1), (2, 3, 1), (3, 4, 1), (4, 5, 1), (5, 3, 1), (3, 5, 1)],
+        );
+        let b = biconnected_components(&g);
+        let l = b.largest().unwrap();
+        assert_eq!(b.comps[l].len(), 4);
+    }
+
+    #[test]
+    fn edges_partition_into_components() {
+        let g = CsrGraph::from_edges(
+            8,
+            &[
+                (0, 1, 1),
+                (1, 2, 1),
+                (2, 0, 1),
+                (2, 3, 1),
+                (3, 4, 1),
+                (4, 2, 1),
+                (4, 5, 1),
+                (5, 6, 1),
+                (6, 7, 1),
+                (7, 5, 1),
+            ],
+        );
+        let b = biconnected_components(&g);
+        let total: usize = b.comps.iter().map(|c| c.len()).sum();
+        assert_eq!(total, g.m());
+        assert!(b.edge_comp.iter().all(|&c| c != u32::MAX));
+    }
+}

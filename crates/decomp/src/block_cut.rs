@@ -1,0 +1,412 @@
+//! The block-cut tree and articulation-point routing (paper §2.2, Stage 2).
+//!
+//! Nodes are the biconnected components (*blocks*) plus the articulation
+//! points; a block is adjacent to exactly the articulation points it
+//! contains. The structure is a forest (one tree per connected component of
+//! the graph). Binary-lifting LCA answers, for any two vertices in
+//! different blocks, *which* articulation point their shortest path leaves
+//! the first block through and enters the last block through — exactly the
+//! `a_1`/`a_2` of the paper's cross-component distance formula
+//! `d(n_1,n_2) = d(n_1,a_1) + d(a_1,a_2) + d(a_2,n_2)`.
+
+use crate::bcc::Bcc;
+use ear_graph::{CsrGraph, VertexId};
+
+/// Block-cut tree with LCA acceleration.
+#[derive(Clone, Debug)]
+pub struct BlockCutTree {
+    /// Number of blocks (tree nodes `0..n_blocks`).
+    pub n_blocks: usize,
+    /// Articulation vertices; tree node of `aps[i]` is `n_blocks + i`.
+    pub aps: Vec<VertexId>,
+    /// `vertex → index into aps` (`u32::MAX` when not an articulation point).
+    pub ap_index: Vec<u32>,
+    /// `vertex → a block containing it` (`u32::MAX` for isolated vertices).
+    /// Unique for non-articulation vertices.
+    pub vertex_block: Vec<u32>,
+    /// Articulation points contained in each block.
+    pub block_aps: Vec<Vec<VertexId>>,
+    parent: Vec<u32>,
+    depth: Vec<u32>,
+    tree_id: Vec<u32>,
+    up: Vec<Vec<u32>>, // binary-lifting table, up[k][node]
+}
+
+/// How two vertices relate in the block-cut forest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Route {
+    /// Different connected components: no path at all.
+    Disconnected,
+    /// Some common block contains both vertices: the within-block table
+    /// already has the answer.
+    SameBlock(u32),
+    /// The path must run `u → a1 → … → a2 → v`; `a1 == a2` is possible
+    /// (single shared articulation point).
+    ViaAps {
+        /// Articulation point through which the path leaves `u`'s block.
+        a1: VertexId,
+        /// Articulation point through which the path enters `v`'s block.
+        a2: VertexId,
+    },
+}
+
+impl BlockCutTree {
+    /// Builds the tree from a graph and its biconnected components.
+    pub fn new(g: &CsrGraph, bcc: &Bcc) -> Self {
+        let n = g.n();
+        let n_blocks = bcc.count();
+        let mut ap_index = vec![u32::MAX; n];
+        let mut aps = Vec::new();
+        for v in 0..n as u32 {
+            if bcc.is_articulation[v as usize] {
+                ap_index[v as usize] = aps.len() as u32;
+                aps.push(v);
+            }
+        }
+        let node_count = n_blocks + aps.len();
+
+        let mut vertex_block = vec![u32::MAX; n];
+        let mut block_aps: Vec<Vec<VertexId>> = vec![Vec::new(); n_blocks];
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); node_count];
+        for b in 0..n_blocks {
+            for v in bcc.comp_vertices(g, b) {
+                if ap_index[v as usize] != u32::MAX {
+                    block_aps[b].push(v);
+                    let ap_node = n_blocks as u32 + ap_index[v as usize];
+                    adj[b].push(ap_node);
+                    adj[ap_node as usize].push(b as u32);
+                    // For an AP, keep any one containing block.
+                    vertex_block[v as usize] = b as u32;
+                } else {
+                    vertex_block[v as usize] = b as u32;
+                }
+            }
+        }
+
+        // BFS forest over tree nodes.
+        let mut parent = vec![u32::MAX; node_count];
+        let mut depth = vec![0u32; node_count];
+        let mut tree_id = vec![u32::MAX; node_count];
+        let mut queue = std::collections::VecDeque::new();
+        let mut trees = 0u32;
+        for r in 0..node_count as u32 {
+            if tree_id[r as usize] != u32::MAX {
+                continue;
+            }
+            tree_id[r as usize] = trees;
+            queue.push_back(r);
+            while let Some(x) = queue.pop_front() {
+                for &y in &adj[x as usize] {
+                    if tree_id[y as usize] == u32::MAX {
+                        tree_id[y as usize] = trees;
+                        parent[y as usize] = x;
+                        depth[y as usize] = depth[x as usize] + 1;
+                        queue.push_back(y);
+                    }
+                }
+            }
+            trees += 1;
+        }
+
+        // Binary lifting table.
+        let max_depth = depth.iter().copied().max().unwrap_or(0);
+        let levels = (32 - u32::leading_zeros(max_depth.max(1))) as usize;
+        let mut up = Vec::with_capacity(levels);
+        up.push(parent.clone());
+        for k in 1..levels {
+            let prev = &up[k - 1];
+            let next: Vec<u32> = (0..node_count)
+                .map(|x| {
+                    let p = prev[x];
+                    if p == u32::MAX {
+                        u32::MAX
+                    } else {
+                        prev[p as usize]
+                    }
+                })
+                .collect();
+            up.push(next);
+        }
+
+        BlockCutTree {
+            n_blocks,
+            aps,
+            ap_index,
+            vertex_block,
+            block_aps,
+            parent,
+            depth,
+            tree_id,
+            up,
+        }
+    }
+
+    /// Number of articulation points.
+    pub fn ap_count(&self) -> usize {
+        self.aps.len()
+    }
+
+    /// Tree node of a vertex: its AP node when articulation, otherwise its
+    /// unique block. `None` for isolated vertices.
+    pub fn node_of_vertex(&self, v: VertexId) -> Option<u32> {
+        let ai = self.ap_index[v as usize];
+        if ai != u32::MAX {
+            return Some(self.n_blocks as u32 + ai);
+        }
+        let b = self.vertex_block[v as usize];
+        (b != u32::MAX).then_some(b)
+    }
+
+    /// Lifts `x` up by `steps` ancestors.
+    fn ancestor(&self, mut x: u32, mut steps: u32) -> u32 {
+        let mut k = 0;
+        while steps > 0 && x != u32::MAX {
+            if steps & 1 == 1 {
+                x = self.up[k][x as usize];
+            }
+            steps >>= 1;
+            k += 1;
+        }
+        x
+    }
+
+    /// Lowest common ancestor of two tree nodes, `None` across trees.
+    pub fn lca(&self, mut x: u32, mut y: u32) -> Option<u32> {
+        if self.tree_id[x as usize] != self.tree_id[y as usize] {
+            return None;
+        }
+        if self.depth[x as usize] < self.depth[y as usize] {
+            std::mem::swap(&mut x, &mut y);
+        }
+        x = self.ancestor(x, self.depth[x as usize] - self.depth[y as usize]);
+        if x == y {
+            return Some(x);
+        }
+        for k in (0..self.up.len()).rev() {
+            let (px, py) = (self.up[k][x as usize], self.up[k][y as usize]);
+            if px != py {
+                x = px;
+                y = py;
+            }
+        }
+        Some(self.up[0][x as usize])
+    }
+
+    /// First node after `x` on the tree path from `x` to `y` (`x != y`,
+    /// same tree).
+    fn first_step(&self, x: u32, y: u32) -> u32 {
+        let l = self.lca(x, y).expect("same tree");
+        if l == x {
+            // Descend: the child of x that is an ancestor of y.
+            self.ancestor(y, self.depth[y as usize] - self.depth[x as usize] - 1)
+        } else {
+            self.parent[x as usize]
+        }
+    }
+
+    /// Resolves which articulation points a `u → v` path crosses.
+    pub fn route(&self, u: VertexId, v: VertexId) -> Route {
+        let (Some(nu), Some(nv)) = (self.node_of_vertex(u), self.node_of_vertex(v)) else {
+            return Route::Disconnected;
+        };
+        if self.tree_id[nu as usize] != self.tree_id[nv as usize] {
+            return Route::Disconnected;
+        }
+        let u_is_ap = self.ap_index[u as usize] != u32::MAX;
+        let v_is_ap = self.ap_index[v as usize] != u32::MAX;
+        // Same-block fast paths.
+        if nu == nv {
+            return Route::SameBlock(nu);
+        }
+        if !u_is_ap && !v_is_ap {
+            // Both are plain block nodes; distinct blocks.
+        } else if u_is_ap && !v_is_ap {
+            // If u sits in v's block the within-block table answers.
+            if self.block_contains_ap(nv, u) {
+                return Route::SameBlock(nv);
+            }
+        } else if !u_is_ap && v_is_ap {
+            if self.block_contains_ap(nu, v) {
+                return Route::SameBlock(nu);
+            }
+        } else {
+            // Both APs; adjacent in the tree through a shared block?
+            if let Some(b) = self.shared_block(u, v) {
+                return Route::SameBlock(b);
+            }
+        }
+        let a1 = if u_is_ap { u } else { self.ap_of_node(self.first_step(nu, nv)) };
+        let a2 = if v_is_ap { v } else { self.ap_of_node(self.first_step(nv, nu)) };
+        Route::ViaAps { a1, a2 }
+    }
+
+    fn ap_of_node(&self, node: u32) -> VertexId {
+        debug_assert!(node as usize >= self.n_blocks, "expected an AP node");
+        self.aps[node as usize - self.n_blocks]
+    }
+
+    fn block_contains_ap(&self, block: u32, ap: VertexId) -> bool {
+        self.block_aps[block as usize].contains(&ap)
+    }
+
+    fn shared_block(&self, a: VertexId, b: VertexId) -> Option<u32> {
+        (0..self.n_blocks as u32)
+            .find(|&blk| self.block_contains_ap(blk, a) && self.block_contains_ap(blk, b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bcc::biconnected_components;
+
+    /// triangle(0,1,2) — AP 2 — triangle(2,3,4) — AP 4 — edge(4,5)
+    fn chain_of_blocks() -> (CsrGraph, Bcc, BlockCutTree) {
+        let g = CsrGraph::from_edges(
+            6,
+            &[
+                (0, 1, 1),
+                (1, 2, 1),
+                (2, 0, 1),
+                (2, 3, 1),
+                (3, 4, 1),
+                (4, 2, 1),
+                (4, 5, 1),
+            ],
+        );
+        let b = biconnected_components(&g);
+        let t = BlockCutTree::new(&g, &b);
+        (g, b, t)
+    }
+
+    #[test]
+    fn counts_blocks_and_aps() {
+        let (_, b, t) = chain_of_blocks();
+        assert_eq!(t.n_blocks, b.count());
+        assert_eq!(t.n_blocks, 3);
+        assert_eq!(t.aps, vec![2, 4]);
+    }
+
+    #[test]
+    fn same_block_routing() {
+        let (_, _, t) = chain_of_blocks();
+        match t.route(0, 1) {
+            Route::SameBlock(_) => {}
+            r => panic!("expected SameBlock, got {r:?}"),
+        }
+        // AP with a vertex of its own block.
+        match t.route(2, 0) {
+            Route::SameBlock(_) => {}
+            r => panic!("expected SameBlock, got {r:?}"),
+        }
+    }
+
+    #[test]
+    fn cross_block_routing_finds_the_aps() {
+        let (_, _, t) = chain_of_blocks();
+        match t.route(0, 5) {
+            Route::ViaAps { a1, a2 } => {
+                assert_eq!(a1, 2);
+                assert_eq!(a2, 4);
+            }
+            r => panic!("expected ViaAps, got {r:?}"),
+        }
+        match t.route(5, 0) {
+            Route::ViaAps { a1, a2 } => {
+                assert_eq!(a1, 4);
+                assert_eq!(a2, 2);
+            }
+            r => panic!("expected ViaAps, got {r:?}"),
+        }
+    }
+
+    #[test]
+    fn adjacent_blocks_share_single_ap() {
+        let (_, _, t) = chain_of_blocks();
+        match t.route(0, 3) {
+            Route::ViaAps { a1, a2 } => {
+                assert_eq!(a1, 2);
+                assert_eq!(a2, 2);
+            }
+            r => panic!("expected ViaAps, got {r:?}"),
+        }
+    }
+
+    #[test]
+    fn two_aps_in_shared_block() {
+        let (_, _, t) = chain_of_blocks();
+        // 2 and 4 share the middle triangle.
+        match t.route(2, 4) {
+            Route::SameBlock(_) => {}
+            r => panic!("expected SameBlock, got {r:?}"),
+        }
+    }
+
+    #[test]
+    fn ap_to_distant_vertex() {
+        let (_, _, t) = chain_of_blocks();
+        match t.route(2, 5) {
+            Route::ViaAps { a1, a2 } => {
+                assert_eq!(a1, 2);
+                assert_eq!(a2, 4);
+            }
+            r => panic!("expected ViaAps, got {r:?}"),
+        }
+    }
+
+    #[test]
+    fn disconnected_vertices() {
+        let g = CsrGraph::from_edges(5, &[(0, 1, 1), (1, 2, 1), (2, 0, 1), (3, 4, 1)]);
+        let b = biconnected_components(&g);
+        let t = BlockCutTree::new(&g, &b);
+        assert_eq!(t.route(0, 3), Route::Disconnected);
+        assert_eq!(t.route(0, 4), Route::Disconnected);
+        match t.route(3, 4) {
+            Route::SameBlock(_) => {}
+            r => panic!("expected SameBlock, got {r:?}"),
+        }
+    }
+
+    #[test]
+    fn isolated_vertex_routes_nowhere() {
+        let g = CsrGraph::from_edges(3, &[(0, 1, 1)]);
+        let b = biconnected_components(&g);
+        let t = BlockCutTree::new(&g, &b);
+        assert_eq!(t.route(0, 2), Route::Disconnected);
+    }
+
+    #[test]
+    fn long_chain_of_bridges() {
+        // Path 0-1-2-3-4: every edge a block, inner vertices APs.
+        let g = CsrGraph::from_edges(5, &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1)]);
+        let b = biconnected_components(&g);
+        let t = BlockCutTree::new(&g, &b);
+        assert_eq!(t.ap_count(), 3);
+        match t.route(0, 4) {
+            Route::ViaAps { a1, a2 } => {
+                assert_eq!(a1, 1);
+                assert_eq!(a2, 3);
+            }
+            r => panic!("expected ViaAps, got {r:?}"),
+        }
+        match t.route(1, 3) {
+            Route::ViaAps { a1, a2 } => {
+                assert_eq!((a1, a2), (1, 3));
+            }
+            r => panic!("expected ViaAps, got {r:?}"),
+        }
+    }
+
+    #[test]
+    fn star_graph_hub_is_everyones_gateway() {
+        let g = CsrGraph::from_edges(4, &[(0, 1, 1), (0, 2, 1), (0, 3, 1)]);
+        let b = biconnected_components(&g);
+        let t = BlockCutTree::new(&g, &b);
+        match t.route(1, 2) {
+            Route::ViaAps { a1, a2 } => {
+                assert_eq!((a1, a2), (0, 0));
+            }
+            r => panic!("expected ViaAps, got {r:?}"),
+        }
+    }
+}

@@ -1,0 +1,404 @@
+//! Open ear decomposition of biconnected graphs.
+//!
+//! A graph has an ear decomposition iff it is 2-edge-connected, and an
+//! *open* ear decomposition (every ear after the first is a simple path) iff
+//! it is biconnected (Whitney; see paper §2.1.1). We construct it with
+//! Schmidt's *chain decomposition*: perform a DFS, then for every back edge
+//! — taken in DFS-discovery order of its upper endpoint — walk from the
+//! lower tree endpoint upward until hitting an already-visited vertex.
+//! Chain 0 is a cycle (the paper's `P0 ∪ P1`); every later chain is an open
+//! ear when the graph is biconnected.
+//!
+//! The paper's PRAM construction (Ramachandran) is replaced by this
+//! linear-time sequential pass: the decomposition is never the bottleneck
+//! (it is a once-per-graph preprocessing step), while the chain-contraction
+//! that follows *is* parallelised (see [`crate::reduce`]).
+
+use ear_graph::{CsrGraph, EdgeId, VertexId};
+
+/// One ear: a path (or, for the first ear only, a cycle).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Ear {
+    /// Edge ids along the ear, in path order.
+    pub edges: Vec<EdgeId>,
+    /// Vertices along the ear in path order, endpoints included. For a
+    /// cycle the first and last entries coincide.
+    pub vertices: Vec<VertexId>,
+    /// True only for the initial cycle.
+    pub is_cycle: bool,
+}
+
+impl Ear {
+    /// The two attachment endpoints (equal for the initial cycle).
+    pub fn endpoints(&self) -> (VertexId, VertexId) {
+        (*self.vertices.first().unwrap(), *self.vertices.last().unwrap())
+    }
+
+    /// Vertices strictly inside the ear (everything except the endpoints).
+    pub fn interior(&self) -> &[VertexId] {
+        &self.vertices[1..self.vertices.len() - 1]
+    }
+}
+
+/// An open ear decomposition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EarDecomposition {
+    /// Ears in construction order; `ears[0]` is the initial cycle.
+    pub ears: Vec<Ear>,
+}
+
+/// Why a graph failed to decompose.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EarError {
+    /// Fewer than two vertices, or no edges.
+    TooSmall,
+    /// The graph is not connected.
+    Disconnected,
+    /// A bridge or isolated vertex was found: not 2-edge-connected.
+    NotTwoEdgeConnected,
+    /// 2-edge-connected but has an articulation point: ears would be closed.
+    NotBiconnected,
+    /// Self-loops are not supported by ear decomposition.
+    HasSelfLoop,
+}
+
+impl std::fmt::Display for EarError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            EarError::TooSmall => "graph too small for an ear decomposition",
+            EarError::Disconnected => "graph is disconnected",
+            EarError::NotTwoEdgeConnected => "graph has a bridge (not 2-edge-connected)",
+            EarError::NotBiconnected => "graph has an articulation point (not biconnected)",
+            EarError::HasSelfLoop => "graph has a self-loop",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for EarError {}
+
+/// Computes an open ear decomposition of a biconnected graph.
+///
+/// Returns an error describing which precondition failed otherwise.
+/// Parallel edges are allowed (each extra copy becomes a one-edge ear).
+///
+/// ```
+/// use ear_decomp::ear::{ear_decomposition, validate_ears};
+/// use ear_graph::CsrGraph;
+/// // A theta graph: cycle 0-1-2-3 plus the path 0-4-2.
+/// let g = CsrGraph::from_edges(5, &[
+///     (0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 0, 1), (0, 4, 1), (4, 2, 1),
+/// ]);
+/// let d = ear_decomposition(&g).unwrap();
+/// assert_eq!(d.ears.len(), g.m() - g.n() + 1); // cycle rank
+/// assert!(d.ears[0].is_cycle);
+/// validate_ears(&g, &d).unwrap();
+/// ```
+pub fn ear_decomposition(g: &CsrGraph) -> Result<EarDecomposition, EarError> {
+    let n = g.n();
+    if n < 2 || g.m() == 0 {
+        return Err(EarError::TooSmall);
+    }
+    if g.edges().iter().any(|e| e.is_self_loop()) {
+        return Err(EarError::HasSelfLoop);
+    }
+
+    // DFS from vertex 0: discovery order, parents.
+    let mut disc = vec![u32::MAX; n];
+    let mut parent_vertex = vec![u32::MAX; n];
+    let mut parent_edge = vec![u32::MAX; n];
+    let mut stack: Vec<(VertexId, u32)> = vec![(0, 0)];
+    disc[0] = 0;
+    let mut t = 1u32;
+    while let Some(&mut (u, ref mut cursor)) = stack.last_mut() {
+        let nbrs = g.neighbors(u);
+        if (*cursor as usize) < nbrs.len() {
+            let (v, e) = nbrs[*cursor as usize];
+            *cursor += 1;
+            if disc[v as usize] == u32::MAX {
+                disc[v as usize] = t;
+                t += 1;
+                parent_vertex[v as usize] = u;
+                parent_edge[v as usize] = e;
+                stack.push((v, 0));
+            }
+        } else {
+            stack.pop();
+        }
+    }
+    if disc.iter().any(|&d| d == u32::MAX) {
+        return Err(EarError::Disconnected);
+    }
+    let mut by_disc: Vec<VertexId> = (0..n as u32).collect();
+    by_disc.sort_unstable_by_key(|&v| disc[v as usize]);
+
+    // Chain decomposition: visit vertices in discovery order; for each back
+    // edge whose *upper* endpoint is the current vertex, walk down-to-up.
+    let mut visited_v = vec![false; n];
+    let mut used_e = vec![false; g.m()];
+    // Mark tree edges as "used" only when swept into a chain; everything
+    // left unused at the end certifies a bridge.
+    let mut ears: Vec<Ear> = Vec::new();
+    let mut saw_late_cycle = false;
+    visited_v[0] = true;
+
+    for &u in &by_disc {
+        // Deterministic ear order: scan the adjacency list in CSR order.
+        for &(v, e) in g.neighbors(u) {
+            if used_e[e as usize] {
+                continue;
+            }
+            let is_tree = parent_edge[v as usize] == e || parent_edge[u as usize] == e;
+            if is_tree {
+                continue;
+            }
+            // Non-tree edge; only start a chain from the upper endpoint.
+            if disc[u as usize] > disc[v as usize] {
+                continue;
+            }
+            used_e[e as usize] = true;
+            // Schmidt's rule: the chain's start vertex is itself marked
+            // visited before the walk, so the walk can never run past it —
+            // a chain that closes back on an unvisited start would otherwise
+            // swallow the bridge above it. (On a biconnected graph `u` is
+            // always visited already; an unvisited `u` implies a bridge
+            // above it, which the edge-coverage check below reports.)
+            visited_v[u as usize] = true;
+            let mut edges = vec![e];
+            let mut vertices = vec![u, v];
+            let mut cur = v;
+            while !visited_v[cur as usize] {
+                visited_v[cur as usize] = true;
+                let pe = parent_edge[cur as usize];
+                debug_assert_ne!(pe, u32::MAX, "root is always visited");
+                used_e[pe as usize] = true;
+                cur = parent_vertex[cur as usize];
+                edges.push(pe);
+                vertices.push(cur);
+            }
+            let is_cycle = vertices.first() == vertices.last() && vertices.len() > 1;
+            if !ears.is_empty() && is_cycle {
+                // A later closed chain certifies an articulation point (or a
+                // chain whose start vertex was reachable only through it).
+                saw_late_cycle = true;
+            }
+            ears.push(Ear { edges, vertices, is_cycle });
+        }
+    }
+
+    if used_e.iter().any(|&u| !u) || visited_v.iter().any(|&v| !v) {
+        // An edge on no chain is a bridge; a vertex on no chain hangs off
+        // bridges only. Either way the graph is not even 2-edge-connected,
+        // which is the more precise diagnosis than `NotBiconnected`.
+        return Err(EarError::NotTwoEdgeConnected);
+    }
+    if saw_late_cycle {
+        return Err(EarError::NotBiconnected);
+    }
+    if !ears[0].is_cycle {
+        return Err(EarError::NotTwoEdgeConnected);
+    }
+    Ok(EarDecomposition { ears })
+}
+
+/// Validates the defining properties of an open ear decomposition
+/// (paper §2.1.1): the ears partition `E`; the first ear is a simple cycle;
+/// every later ear is a simple path whose endpoints — and only its endpoints
+/// — lie on earlier ears.
+pub fn validate_ears(g: &CsrGraph, d: &EarDecomposition) -> Result<(), String> {
+    let mut edge_seen = vec![false; g.m()];
+    let mut vertex_on_earlier = vec![false; g.n()];
+    for (i, ear) in d.ears.iter().enumerate() {
+        if ear.edges.len() + 1 != ear.vertices.len() {
+            return Err(format!("ear {i}: edge/vertex count mismatch"));
+        }
+        // Consecutive vertices joined by the listed edges.
+        for (k, &e) in ear.edges.iter().enumerate() {
+            let r = g.edge(e);
+            let (a, b) = (ear.vertices[k], ear.vertices[k + 1]);
+            if !(r.u == a && r.v == b || r.u == b && r.v == a) {
+                return Err(format!("ear {i}: edge {e} does not join step {k}"));
+            }
+            if edge_seen[e as usize] {
+                return Err(format!("edge {e} appears in two ears"));
+            }
+            edge_seen[e as usize] = true;
+        }
+        // Simplicity of the interior walk.
+        let mut inner = ear.vertices.clone();
+        if ear.is_cycle {
+            inner.pop();
+        }
+        let mut sorted = inner.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() != inner.len() {
+            return Err(format!("ear {i}: repeated vertex"));
+        }
+        if i == 0 {
+            if !ear.is_cycle {
+                return Err("ear 0 must be a cycle".into());
+            }
+        } else {
+            if ear.is_cycle {
+                return Err(format!("ear {i}: only ear 0 may be a cycle"));
+            }
+            let (a, b) = ear.endpoints();
+            if !vertex_on_earlier[a as usize] || !vertex_on_earlier[b as usize] {
+                return Err(format!("ear {i}: endpoint not on earlier ears"));
+            }
+            for &v in ear.interior() {
+                if vertex_on_earlier[v as usize] {
+                    return Err(format!("ear {i}: interior vertex {v} already covered"));
+                }
+            }
+        }
+        for &v in &ear.vertices {
+            vertex_on_earlier[v as usize] = true;
+        }
+    }
+    if edge_seen.iter().any(|&s| !s) {
+        return Err("ears do not cover all edges".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> CsrGraph {
+        let edges: Vec<_> =
+            (0..n).map(|i| (i as u32, ((i + 1) % n) as u32, 1u64)).collect();
+        CsrGraph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn simple_cycle_is_one_ear() {
+        let g = cycle(5);
+        let d = ear_decomposition(&g).unwrap();
+        assert_eq!(d.ears.len(), 1);
+        assert!(d.ears[0].is_cycle);
+        validate_ears(&g, &d).unwrap();
+    }
+
+    #[test]
+    fn theta_graph_has_two_ears() {
+        // cycle 0-1-2-3 plus chord path 0-4-2
+        let g = CsrGraph::from_edges(
+            5,
+            &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 0, 1), (0, 4, 1), (4, 2, 1)],
+        );
+        let d = ear_decomposition(&g).unwrap();
+        assert_eq!(d.ears.len(), 2);
+        assert!(!d.ears[1].is_cycle);
+        validate_ears(&g, &d).unwrap();
+    }
+
+    #[test]
+    fn complete_graph_k4() {
+        let g = CsrGraph::from_edges(4, &[(0, 1, 1), (0, 2, 1), (0, 3, 1), (1, 2, 1), (1, 3, 1), (2, 3, 1)]);
+        let d = ear_decomposition(&g).unwrap();
+        // m - n + 1 = 6 - 4 + 1 = 3 ears.
+        assert_eq!(d.ears.len(), 3);
+        validate_ears(&g, &d).unwrap();
+    }
+
+    #[test]
+    fn ear_count_is_cycle_rank() {
+        // For any biconnected graph the number of ears equals m - n + 1.
+        let g = CsrGraph::from_edges(
+            6,
+            &[
+                (0, 1, 1),
+                (1, 2, 1),
+                (2, 3, 1),
+                (3, 4, 1),
+                (4, 5, 1),
+                (5, 0, 1),
+                (0, 3, 1),
+                (1, 4, 1),
+            ],
+        );
+        let d = ear_decomposition(&g).unwrap();
+        assert_eq!(d.ears.len(), g.m() - g.n() + 1);
+        validate_ears(&g, &d).unwrap();
+    }
+
+    #[test]
+    fn parallel_edge_is_single_edge_ear() {
+        let g = CsrGraph::from_edges(3, &[(0, 1, 1), (1, 2, 1), (2, 0, 1), (0, 1, 5)]);
+        let d = ear_decomposition(&g).unwrap();
+        assert_eq!(d.ears.len(), 2);
+        let one_edge = d.ears.iter().find(|e| e.edges.len() == 1).unwrap();
+        assert_eq!(one_edge.endpoints(), (0, 1));
+        validate_ears(&g, &d).unwrap();
+    }
+
+    #[test]
+    fn bridge_is_rejected() {
+        let g = CsrGraph::from_edges(
+            6,
+            &[(0, 1, 1), (1, 2, 1), (2, 0, 1), (2, 3, 1), (3, 4, 1), (4, 5, 1), (5, 3, 1)],
+        );
+        assert_eq!(ear_decomposition(&g), Err(EarError::NotTwoEdgeConnected));
+    }
+
+    #[test]
+    fn articulation_point_is_rejected() {
+        // Two triangles sharing vertex 2: 2-edge-connected but not
+        // biconnected, so only a closed (non-open) decomposition exists.
+        let g = CsrGraph::from_edges(
+            5,
+            &[(0, 1, 1), (1, 2, 1), (2, 0, 1), (2, 3, 1), (3, 4, 1), (4, 2, 1)],
+        );
+        assert_eq!(ear_decomposition(&g), Err(EarError::NotBiconnected));
+    }
+
+    #[test]
+    fn disconnected_is_rejected() {
+        let g = CsrGraph::from_edges(6, &[(0, 1, 1), (1, 2, 1), (2, 0, 1), (3, 4, 1), (4, 5, 1), (5, 3, 1)]);
+        assert_eq!(ear_decomposition(&g), Err(EarError::Disconnected));
+    }
+
+    #[test]
+    fn self_loop_is_rejected() {
+        let g = CsrGraph::from_edges(3, &[(0, 1, 1), (1, 2, 1), (2, 0, 1), (1, 1, 1)]);
+        assert_eq!(ear_decomposition(&g), Err(EarError::HasSelfLoop));
+    }
+
+    #[test]
+    fn too_small_is_rejected() {
+        assert_eq!(ear_decomposition(&CsrGraph::from_edges(1, &[])), Err(EarError::TooSmall));
+        assert_eq!(ear_decomposition(&CsrGraph::from_edges(0, &[])), Err(EarError::TooSmall));
+    }
+
+    #[test]
+    fn grid_graph_decomposes() {
+        // 3x3 grid: biconnected.
+        let idx = |r: u32, c: u32| r * 3 + c;
+        let mut edges = Vec::new();
+        for r in 0..3u32 {
+            for c in 0..3u32 {
+                if c + 1 < 3 {
+                    edges.push((idx(r, c), idx(r, c + 1), 1u64));
+                }
+                if r + 1 < 3 {
+                    edges.push((idx(r, c), idx(r + 1, c), 1u64));
+                }
+            }
+        }
+        let g = CsrGraph::from_edges(9, &edges);
+        let d = ear_decomposition(&g).unwrap();
+        assert_eq!(d.ears.len(), g.m() - g.n() + 1);
+        validate_ears(&g, &d).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_tampered_decomposition() {
+        let g = cycle(4);
+        let mut d = ear_decomposition(&g).unwrap();
+        d.ears[0].edges.pop();
+        assert!(validate_ears(&g, &d).is_err());
+    }
+}

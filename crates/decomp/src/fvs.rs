@@ -1,0 +1,200 @@
+//! Feedback vertex sets.
+//!
+//! The Mehlhorn–Michail candidate restriction (paper §3.2) only needs a set
+//! `Z` that intersects every cycle — minimality affects the number of
+//! shortest-path trees built, not correctness. Computing a minimum FVS is
+//! NP-complete (Karp); the paper points at the Bafna–Berman–Fujito
+//! 2-approximation. We use the classic degree-driven greedy instead: strip
+//! degree ≤ 1 vertices to the 2-core, repeatedly take the highest-degree
+//! remaining vertex into `Z`, re-strip, until the graph is a forest. The
+//! residual-forest invariant guarantees `Z` covers every cycle; the sizes it
+//! produces on the paper's sparse workloads are within a small factor of
+//! the 2-approximation while being much simpler. (Documented substitution —
+//! see DESIGN.md.)
+//!
+//! Multigraph rules: a vertex with a self-loop is on a one-vertex cycle and
+//! is always taken; a parallel bundle is a two-vertex cycle and forces one
+//! endpoint in.
+
+use ear_graph::{CsrGraph, VertexId};
+
+/// Computes a feedback vertex set of `g` (every cycle contains a member).
+///
+/// The result is deterministic: ties are broken by smaller vertex id.
+pub fn feedback_vertex_set(g: &CsrGraph) -> Vec<VertexId> {
+    let n = g.n();
+    let mut alive = vec![true; n];
+    let mut fvs: Vec<VertexId> = Vec::new();
+
+    // Self-loop vertices are forced.
+    for e in g.edges() {
+        if e.is_self_loop() && alive[e.u as usize] {
+            alive[e.u as usize] = false;
+            fvs.push(e.u);
+        }
+    }
+
+    // Live degree = incidences to other live vertices (self-loops already
+    // handled; parallel edges counted individually so a bundle keeps its
+    // endpoints "cyclic").
+    let mut deg: Vec<u32> = (0..n as u32)
+        .map(|v| {
+            if !alive[v as usize] {
+                return 0;
+            }
+            g.neighbors(v)
+                .iter()
+                .filter(|&&(w, _)| w != v && alive[w as usize])
+                .count() as u32
+        })
+        .collect();
+
+    let strip = |deg: &mut Vec<u32>, alive: &mut Vec<bool>| {
+        let mut queue: Vec<VertexId> = (0..n as u32)
+            .filter(|&v| alive[v as usize] && deg[v as usize] <= 1)
+            .collect();
+        while let Some(v) = queue.pop() {
+            if !alive[v as usize] {
+                continue;
+            }
+            alive[v as usize] = false;
+            for &(w, _) in g.neighbors(v) {
+                if w != v && alive[w as usize] {
+                    deg[w as usize] -= 1;
+                    if deg[w as usize] <= 1 {
+                        queue.push(w);
+                    }
+                }
+            }
+        }
+    };
+
+    strip(&mut deg, &mut alive);
+    loop {
+        // Anything still alive has live-degree >= 2. A live graph where all
+        // degrees are >= 2 contains a cycle, unless nothing is alive.
+        let pick = (0..n as u32)
+            .filter(|&v| alive[v as usize])
+            .max_by_key(|&v| (deg[v as usize], std::cmp::Reverse(v)));
+        let Some(v) = pick else { break };
+        alive[v as usize] = false;
+        fvs.push(v);
+        for &(w, _) in g.neighbors(v) {
+            if w != v && alive[w as usize] {
+                deg[w as usize] -= 1;
+            }
+        }
+        strip(&mut deg, &mut alive);
+    }
+    fvs.sort_unstable();
+    fvs.dedup();
+    fvs
+}
+
+/// Checks the FVS property: deleting `z` from `g` leaves an acyclic graph.
+/// Used by tests and debug assertions; linear in `n + m`.
+pub fn is_feedback_vertex_set(g: &CsrGraph, z: &[VertexId]) -> bool {
+    let n = g.n();
+    let mut removed = vec![false; n];
+    for &v in z {
+        removed[v as usize] = true;
+    }
+    // Remaining graph must be a forest: check with a union-find over the
+    // surviving edges (a repeated root means a cycle; self-loops and
+    // parallel edges register naturally).
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+    for e in g.edges() {
+        if removed[e.u as usize] || removed[e.v as usize] {
+            continue;
+        }
+        let (ru, rv) = (find(&mut parent, e.u), find(&mut parent, e.v));
+        if ru == rv {
+            return false;
+        }
+        parent[ru as usize] = rv;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_needs_empty_fvs() {
+        let g = CsrGraph::from_edges(4, &[(0, 1, 1), (1, 2, 1), (1, 3, 1)]);
+        let z = feedback_vertex_set(&g);
+        assert!(z.is_empty());
+        assert!(is_feedback_vertex_set(&g, &z));
+    }
+
+    #[test]
+    fn cycle_needs_one_vertex() {
+        let g = CsrGraph::from_edges(4, &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 0, 1)]);
+        let z = feedback_vertex_set(&g);
+        assert_eq!(z.len(), 1);
+        assert!(is_feedback_vertex_set(&g, &z));
+    }
+
+    #[test]
+    fn self_loop_vertex_is_forced() {
+        let g = CsrGraph::from_edges(2, &[(0, 0, 1), (0, 1, 1)]);
+        let z = feedback_vertex_set(&g);
+        assert_eq!(z, vec![0]);
+        assert!(is_feedback_vertex_set(&g, &z));
+    }
+
+    #[test]
+    fn parallel_bundle_counts_as_cycle() {
+        let g = CsrGraph::from_edges(2, &[(0, 1, 1), (0, 1, 2)]);
+        let z = feedback_vertex_set(&g);
+        assert_eq!(z.len(), 1);
+        assert!(is_feedback_vertex_set(&g, &z));
+    }
+
+    #[test]
+    fn two_disjoint_cycles_need_two() {
+        let g = CsrGraph::from_edges(
+            6,
+            &[(0, 1, 1), (1, 2, 1), (2, 0, 1), (3, 4, 1), (4, 5, 1), (5, 3, 1)],
+        );
+        let z = feedback_vertex_set(&g);
+        assert_eq!(z.len(), 2);
+        assert!(is_feedback_vertex_set(&g, &z));
+    }
+
+    #[test]
+    fn hub_covers_wheel() {
+        // Wheel: hub 0 connected to a 5-cycle. FVS of size 2 suffices (hub +
+        // one rim vertex); greedy must stay small and valid.
+        let mut edges = vec![];
+        for i in 1..=5u32 {
+            edges.push((0, i, 1));
+            edges.push((i, if i == 5 { 1 } else { i + 1 }, 1));
+        }
+        let g = CsrGraph::from_edges(6, &edges);
+        let z = feedback_vertex_set(&g);
+        assert!(is_feedback_vertex_set(&g, &z));
+        assert!(z.len() <= 2, "greedy produced {z:?}");
+    }
+
+    #[test]
+    fn verifier_rejects_non_cover() {
+        let g = CsrGraph::from_edges(3, &[(0, 1, 1), (1, 2, 1), (2, 0, 1)]);
+        assert!(!is_feedback_vertex_set(&g, &[]));
+        assert!(is_feedback_vertex_set(&g, &[1]));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_edges(0, &[]);
+        assert!(feedback_vertex_set(&g).is_empty());
+    }
+}

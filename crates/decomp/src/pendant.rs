@@ -1,0 +1,195 @@
+//! Iterative pendant (degree-1) removal — the Banerjee et al. optimisation
+//! (paper §2.4.3: "it initially removes vertices of degree-1 from the
+//! graph. It then checks if the degree of any vertices adjacent to the
+//! vertices removed in the first iteration, degenerates to 1").
+//!
+//! Pendant vertices carry no cycles and lie on no shortest path between
+//! other vertices; each hangs off the rest of the graph through a unique
+//! attachment path. Removing them iteratively peels whole pendant trees,
+//! leaving the 1-core. Distances involving a peeled vertex decompose as
+//! `d(x, ·) = d(x, root(x)) + d(root(x), ·)` where `root(x)` is the 1-core
+//! vertex its tree hangs from.
+
+use ear_graph::{CsrGraph, VertexId, Weight};
+
+/// Result of the peel: the 1-core and, for every peeled vertex, its
+/// attachment root in the core plus the exact distance to it.
+#[derive(Clone, Debug)]
+pub struct PendantPeel {
+    /// `true` for vertices that survive (the 1-core).
+    pub in_core: Vec<bool>,
+    /// For peeled vertices: the closest core vertex (`u32::MAX` when the
+    /// whole component is a tree — then the "root" is the component's
+    /// peel-order last vertex, which stays in core by convention).
+    pub root: Vec<VertexId>,
+    /// Distance from a peeled vertex to its root along its pendant tree.
+    pub dist_to_root: Vec<Weight>,
+    /// Tree parent of each peeled vertex (one hop toward the core;
+    /// `u32::MAX` for core vertices).
+    pub parent: Vec<VertexId>,
+    /// Peeled vertices in removal order — children always precede their
+    /// parents, which makes subtree aggregation a single forward sweep.
+    pub peel_order: Vec<VertexId>,
+    /// Number of vertices peeled.
+    pub peeled: usize,
+    /// Rounds of peeling performed (the "iterations" of Banerjee et al.).
+    pub rounds: usize,
+}
+
+/// Iteratively removes degree-1 vertices.
+///
+/// Whole-tree components keep exactly one vertex in core (the last
+/// survivor), so every peeled vertex always has a well-defined root.
+pub fn peel_pendants(g: &CsrGraph) -> PendantPeel {
+    let n = g.n();
+    let mut deg: Vec<u32> = (0..n as u32)
+        .map(|v| g.neighbors(v).iter().filter(|&&(w, _)| w != v).count() as u32)
+        .collect();
+    let mut in_core = vec![true; n];
+    let mut queue: Vec<VertexId> = (0..n as u32).filter(|&v| deg[v as usize] == 1).collect();
+    let mut next_round: Vec<VertexId> = Vec::new();
+    // parent pointer toward the core, set at peel time.
+    let mut parent = vec![u32::MAX; n];
+    let mut parent_w: Vec<Weight> = vec![0; n];
+    let mut peel_order: Vec<VertexId> = Vec::new();
+    let mut peeled = 0usize;
+    let mut rounds = 0usize;
+
+    while !queue.is_empty() {
+        rounds += 1;
+        for &v in &queue {
+            if !in_core[v as usize] || deg[v as usize] != 1 {
+                continue;
+            }
+            // The unique live neighbor.
+            let Some(&(u, e)) = g
+                .neighbors(v)
+                .iter()
+                .find(|&&(u, _)| u != v && in_core[u as usize])
+            else {
+                continue;
+            };
+            in_core[v as usize] = false;
+            peeled += 1;
+            peel_order.push(v);
+            parent[v as usize] = u;
+            parent_w[v as usize] = g.weight(e);
+            deg[u as usize] -= 1;
+            if deg[u as usize] == 1 {
+                next_round.push(u);
+            }
+        }
+        queue = std::mem::take(&mut next_round);
+    }
+
+    // Resolve roots by path compression through the parent pointers.
+    let mut root = vec![u32::MAX; n];
+    let mut dist_to_root: Vec<Weight> = vec![0; n];
+    fn resolve(
+        v: VertexId,
+        in_core: &[bool],
+        parent: &[u32],
+        parent_w: &[Weight],
+        root: &mut [u32],
+        dist: &mut [Weight],
+    ) -> (VertexId, Weight) {
+        if in_core[v as usize] {
+            return (v, 0);
+        }
+        if root[v as usize] != u32::MAX {
+            return (root[v as usize], dist[v as usize]);
+        }
+        let (r, d) = resolve(parent[v as usize], in_core, parent, parent_w, root, dist);
+        root[v as usize] = r;
+        dist[v as usize] = d + parent_w[v as usize];
+        (r, dist[v as usize])
+    }
+    for v in 0..n as u32 {
+        if !in_core[v as usize] {
+            resolve(v, &in_core, &parent, &parent_w, &mut root, &mut dist_to_root);
+        }
+    }
+
+    PendantPeel { in_core, root, dist_to_root, parent, peel_order, peeled, rounds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ear_graph::dijkstra;
+
+    #[test]
+    fn triangle_with_tail() {
+        // triangle 0-1-2 with tail 2-3-4.
+        let g = CsrGraph::from_edges(5, &[(0, 1, 1), (1, 2, 1), (2, 0, 1), (2, 3, 5), (3, 4, 7)]);
+        let p = peel_pendants(&g);
+        assert_eq!(p.peeled, 2);
+        assert!(p.in_core[0] && p.in_core[1] && p.in_core[2]);
+        assert!(!p.in_core[3] && !p.in_core[4]);
+        assert_eq!(p.root[3], 2);
+        assert_eq!(p.root[4], 2);
+        assert_eq!(p.dist_to_root[3], 5);
+        assert_eq!(p.dist_to_root[4], 12);
+        assert_eq!(p.rounds, 2);
+    }
+
+    #[test]
+    fn core_distances_decompose() {
+        let g = CsrGraph::from_edges(
+            7,
+            &[(0, 1, 2), (1, 2, 3), (2, 0, 4), (0, 3, 1), (3, 4, 2), (1, 5, 6), (5, 6, 1)],
+        );
+        let p = peel_pendants(&g);
+        // d(x, y) = d2r(x) + d(root(x), y) for peeled x and core y.
+        for x in 0..g.n() as u32 {
+            if p.in_core[x as usize] {
+                continue;
+            }
+            let dx = dijkstra(&g, x);
+            let droot = dijkstra(&g, p.root[x as usize]);
+            for y in 0..g.n() as u32 {
+                if p.in_core[y as usize] {
+                    assert_eq!(
+                        dx[y as usize],
+                        p.dist_to_root[x as usize] + droot[y as usize],
+                        "x={x} y={y}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pure_tree_keeps_one_survivor() {
+        let g = CsrGraph::from_edges(5, &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (2, 4, 1)]);
+        let p = peel_pendants(&g);
+        assert_eq!(p.peeled, 4);
+        assert_eq!(p.in_core.iter().filter(|&&c| c).count(), 1);
+        // Every peeled vertex resolves to the survivor at the right cost.
+        let survivor = (0..5u32).find(|&v| p.in_core[v as usize]).unwrap();
+        let d = dijkstra(&g, survivor);
+        for v in 0..5u32 {
+            if v != survivor {
+                assert_eq!(p.root[v as usize], survivor);
+                assert_eq!(p.dist_to_root[v as usize], d[v as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_has_nothing_to_peel() {
+        let g = CsrGraph::from_edges(4, &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 0, 1)]);
+        let p = peel_pendants(&g);
+        assert_eq!(p.peeled, 0);
+        assert_eq!(p.rounds, 0);
+    }
+
+    #[test]
+    fn isolated_vertices_stay_in_core() {
+        let g = CsrGraph::from_edges(3, &[(0, 1, 1)]);
+        let p = peel_pendants(&g);
+        assert!(p.in_core[2]);
+        // The 0-1 edge: one endpoint peels, one survives.
+        assert_eq!(p.peeled, 1);
+    }
+}

@@ -1,0 +1,669 @@
+//! Degree-2 chain contraction: the paper's *reduced graph* `G^r`.
+//!
+//! Vertices retained in `G^r` are those whose degree differs from two (the
+//! paper's biconnected setting makes these exactly the degree ≥ 3 vertices);
+//! every maximal chain of degree-2 vertices between two retained anchors is
+//! replaced by a single edge whose weight is the chain's total weight
+//! (paper §2.1.1). Components that are pure cycles (every vertex degree 2)
+//! get one honorary anchor so the cycle survives as a self-loop — the paper
+//! implicitly assumes this case away; keeping it makes the reduction total.
+//!
+//! The contraction retains, for every removed vertex `x`, the anchors
+//! `left(x)`/`right(x)` and the exact prefix weights `wt(x, left(x))` /
+//! `wt(x, right(x))` along its chain: these are precisely the inputs of the
+//! APSP post-processing formulas (paper §2.1.3), and the chain edge lists
+//! drive the MCB cycle re-expansion (paper Lemma 3.1).
+//!
+//! `G^r` is a **multigraph**: parallel chains between the same anchor pair
+//! become parallel edges and anchor-to-self chains become self-loops. The
+//! MCB pipeline needs them (each is an independent cycle generator); APSP
+//! simply lets Dijkstra skip the non-minimal copies.
+
+use ear_graph::{CsrGraph, EdgeId, VertexId, Weight};
+
+/// A maximal degree-2 chain that was contracted into one reduced edge.
+#[derive(Clone, Debug)]
+pub struct Chain {
+    /// Left anchor (original vertex id, retained in `G^r`).
+    pub left: VertexId,
+    /// Right anchor (may equal `left` when the chain closes on itself).
+    pub right: VertexId,
+    /// Original edges in path order, `left → right`.
+    pub edges: Vec<EdgeId>,
+    /// Removed interior vertices in path order.
+    pub interior: Vec<VertexId>,
+    /// Total chain weight (the reduced edge's weight).
+    pub total_weight: Weight,
+}
+
+/// Where a reduced edge came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EdgeOrigin {
+    /// An original edge between two retained vertices, kept verbatim.
+    Direct(EdgeId),
+    /// A contracted chain, indexing [`ReducedGraph::chains`].
+    Chain(u32),
+}
+
+/// Per-removed-vertex metadata: the `left/right` functions of paper §2.1.1.
+#[derive(Clone, Copy, Debug)]
+pub struct RemovedInfo {
+    /// Chain the vertex sits on.
+    pub chain: u32,
+    /// Position inside [`Chain::interior`].
+    pub pos: u32,
+    /// `left(x)` — original id of the anchor towards the chain head.
+    pub left: VertexId,
+    /// `right(x)` — original id of the anchor towards the chain tail.
+    pub right: VertexId,
+    /// `wt(x, left(x))`: exact distance along the chain to the left anchor.
+    pub w_left: Weight,
+    /// `wt(x, right(x))`: exact distance along the chain to the right anchor.
+    pub w_right: Weight,
+}
+
+/// The reduced graph `G^r` plus everything needed to map results back to
+/// the original graph.
+#[derive(Clone, Debug)]
+pub struct ReducedGraph {
+    /// The contracted multigraph on the retained vertices (local ids).
+    pub reduced: CsrGraph,
+    /// `local → original` vertex ids.
+    pub retained: Vec<VertexId>,
+    /// `original → local` vertex ids (`u32::MAX` for removed vertices).
+    pub to_reduced: Vec<u32>,
+    /// One entry per reduced edge describing its origin.
+    pub edge_origin: Vec<EdgeOrigin>,
+    /// All contracted chains.
+    pub chains: Vec<Chain>,
+    /// `original vertex → removal metadata` (`None` for retained vertices).
+    pub removed: Vec<Option<RemovedInfo>>,
+}
+
+impl ReducedGraph {
+    /// True if `x` was removed by the contraction.
+    pub fn is_removed(&self, x: VertexId) -> bool {
+        self.removed[x as usize].is_some()
+    }
+
+    /// Number of vertices removed.
+    pub fn removed_count(&self) -> usize {
+        self.removed.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// Local reduced id of an original vertex, if retained.
+    pub fn local(&self, original: VertexId) -> Option<VertexId> {
+        let l = self.to_reduced[original as usize];
+        (l != u32::MAX).then_some(l)
+    }
+
+    /// Expands a reduced edge back to the original edge ids it stands for,
+    /// in path order from the edge's `u` endpoint.
+    pub fn expand_edge(&self, reduced_edge: EdgeId) -> Vec<EdgeId> {
+        match self.edge_origin[reduced_edge as usize] {
+            EdgeOrigin::Direct(e) => vec![e],
+            EdgeOrigin::Chain(c) => self.chains[c as usize].edges.clone(),
+        }
+    }
+}
+
+/// Contracts all maximal degree-2 chains of `g` (which must be simple —
+/// reduction is a preprocessing step on input graphs, and input graphs in
+/// this suite are simple; reduced graphs themselves are never re-reduced).
+///
+/// # Panics
+/// Panics if `g` has self-loops or parallel edges.
+pub fn reduce_graph(g: &CsrGraph) -> ReducedGraph {
+    assert!(g.is_simple(), "reduce_graph expects a simple input graph");
+    let n = g.n();
+
+    // Anchor set: degree != 2, plus one honorary anchor per pure-cycle
+    // component (smallest vertex id in the cycle).
+    let mut anchor = vec![false; n];
+    for v in 0..n as u32 {
+        if g.degree(v) != 2 {
+            anchor[v as usize] = true;
+        }
+    }
+    mark_pure_cycle_anchors(g, &mut anchor);
+
+    // Retained vertex numbering.
+    let mut to_reduced = vec![u32::MAX; n];
+    let mut retained = Vec::new();
+    for v in 0..n as u32 {
+        if anchor[v as usize] {
+            to_reduced[v as usize] = retained.len() as u32;
+            retained.push(v);
+        }
+    }
+
+    let mut chains: Vec<Chain> = Vec::new();
+    let mut removed: Vec<Option<RemovedInfo>> = vec![None; n];
+    let mut reduced_edges: Vec<(u32, u32, Weight)> = Vec::new();
+    let mut edge_origin: Vec<EdgeOrigin> = Vec::new();
+
+    // Direct edges: both endpoints anchors.
+    for (idx, e) in g.edges().iter().enumerate() {
+        if anchor[e.u as usize] && anchor[e.v as usize] {
+            reduced_edges.push((to_reduced[e.u as usize], to_reduced[e.v as usize], e.w));
+            edge_origin.push(EdgeOrigin::Direct(idx as EdgeId));
+        }
+    }
+
+    // Chains: walk from each anchor into each degree-2 neighbor.
+    let mut on_chain = vec![false; n];
+    for &a in &retained {
+        for &(first, first_edge) in g.neighbors(a) {
+            if anchor[first as usize] || on_chain[first as usize] {
+                continue;
+            }
+            let chain = walk_chain(g, &anchor, &mut on_chain, a, first, first_edge);
+            let cid = chains.len() as u32;
+            // Prefix weights along the chain: edge `k` joins the previous
+            // vertex to `interior[k]`, so `wt(interior[k], left)` is the sum
+            // of edges `0..=k`.
+            let mut acc: Weight = 0;
+            for (pos, &x) in chain.interior.iter().enumerate() {
+                acc += g.weight(chain.edges[pos]);
+                removed[x as usize] = Some(RemovedInfo {
+                    chain: cid,
+                    pos: pos as u32,
+                    left: chain.left,
+                    right: chain.right,
+                    w_left: acc,
+                    w_right: chain.total_weight - acc,
+                });
+            }
+            reduced_edges.push((
+                to_reduced[chain.left as usize],
+                to_reduced[chain.right as usize],
+                chain.total_weight,
+            ));
+            edge_origin.push(EdgeOrigin::Chain(cid));
+            chains.push(chain);
+        }
+    }
+
+    let reduced = CsrGraph::from_edges(retained.len(), &reduced_edges);
+    ReducedGraph { reduced, retained, to_reduced, edge_origin, chains, removed }
+}
+
+/// Walks a maximal chain starting at anchor `a` through degree-2 vertex
+/// `first`, reached by `first_edge`, until the next anchor.
+fn walk_chain(
+    g: &CsrGraph,
+    anchor: &[bool],
+    on_chain: &mut [bool],
+    a: VertexId,
+    first: VertexId,
+    first_edge: EdgeId,
+) -> Chain {
+    let mut edges = vec![first_edge];
+    let mut interior = vec![first];
+    let mut total = g.weight(first_edge);
+    on_chain[first as usize] = true;
+    let mut prev_edge = first_edge;
+    let mut cur = first;
+    loop {
+        // A degree-2 vertex has exactly two incidences; take the one we did
+        // not arrive by (edge-id comparison, so parallel topologies cannot
+        // confuse the walk).
+        let nbrs = g.neighbors(cur);
+        debug_assert_eq!(nbrs.len(), 2);
+        let (next, e) = if nbrs[0].1 == prev_edge { nbrs[1] } else { nbrs[0] };
+        edges.push(e);
+        total += g.weight(e);
+        if anchor[next as usize] {
+            return Chain { left: a, right: next, edges, interior, total_weight: total };
+        }
+        on_chain[next as usize] = true;
+        interior.push(next);
+        prev_edge = e;
+        cur = next;
+    }
+}
+
+/// Finds components where every vertex has degree exactly two (pure cycles)
+/// and marks their smallest vertex as an anchor.
+fn mark_pure_cycle_anchors(g: &CsrGraph, anchor: &mut [bool]) {
+    let n = g.n();
+    let mut seen = vec![false; n];
+    for s in 0..n as u32 {
+        if seen[s as usize] || anchor[s as usize] {
+            continue;
+        }
+        // Walk the component of s; if we ever meet an anchor it is not a
+        // pure cycle.
+        let mut stack = vec![s];
+        seen[s as usize] = true;
+        let mut members = vec![s];
+        let mut pure = true;
+        while let Some(u) = stack.pop() {
+            for &(v, _) in g.neighbors(u) {
+                if anchor[v as usize] {
+                    pure = false;
+                    continue;
+                }
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    members.push(v);
+                    stack.push(v);
+                }
+            }
+        }
+        if pure {
+            let rep = *members.iter().min().unwrap();
+            anchor[rep as usize] = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ear_graph::dijkstra;
+
+    /// Square 0-1-2-3 where 1 and 3 are degree-2; plus pendant chain at 0
+    /// and a hub edge 0-2 making 0 and 2 degree >= 3.
+    ///   0 -(1)- 1 -(2)- 2
+    ///   0 -(10)--------- 2
+    ///   0 -(3)- 3 -(4)- 2
+    fn theta() -> CsrGraph {
+        CsrGraph::from_edges(4, &[(0, 1, 1), (1, 2, 2), (0, 2, 10), (0, 3, 3), (3, 2, 4)])
+    }
+
+    #[test]
+    fn theta_contracts_two_chains() {
+        let g = theta();
+        let r = reduce_graph(&g);
+        assert_eq!(r.retained, vec![0, 2]);
+        assert_eq!(r.removed_count(), 2);
+        assert_eq!(r.reduced.n(), 2);
+        assert_eq!(r.reduced.m(), 3); // direct 0-2 plus two chain edges
+        let mut ws: Vec<Weight> = r.reduced.edges().iter().map(|e| e.w).collect();
+        ws.sort_unstable();
+        assert_eq!(ws, vec![3, 7, 10]);
+        assert_eq!(r.chains.len(), 2);
+    }
+
+    #[test]
+    fn removed_info_prefix_weights() {
+        let g = theta();
+        let r = reduce_graph(&g);
+        let i1 = r.removed[1].unwrap();
+        assert_eq!(i1.w_left + i1.w_right, 3);
+        // distance to the anchors along the chain must match Dijkstra on the
+        // original graph restricted to the chain (here global shortest too).
+        let d = dijkstra(&g, 1);
+        let (dl, dr) = (d[i1.left as usize], d[i1.right as usize]);
+        assert_eq!(i1.w_left.min(i1.w_right), dl.min(dr));
+        let i3 = r.removed[3].unwrap();
+        assert_eq!(i3.w_left + i3.w_right, 7);
+        assert_eq!({ i3.w_left }, 3);
+        assert_eq!({ i3.w_right }, 4);
+    }
+
+    #[test]
+    fn long_chain_positions_and_weights() {
+        // anchors 0 (deg 3 via extra edges) ... chain 0-1-2-3-4 with 4 deg>=3.
+        let g = CsrGraph::from_edges(
+            7,
+            &[
+                (0, 1, 1),
+                (1, 2, 2),
+                (2, 3, 3),
+                (3, 4, 4),
+                // make 0 and 4 degree 3:
+                (0, 5, 1),
+                (0, 6, 1),
+                (4, 5, 1),
+                (4, 6, 1),
+            ],
+        );
+        let r = reduce_graph(&g);
+        assert!(!r.is_removed(0));
+        assert!(!r.is_removed(4));
+        for (x, wl) in [(1u32, 1u64), (2, 3), (3, 6)] {
+            let info = r.removed[x as usize].unwrap();
+            let (l, rgt) = if info.left == 0 { (info.w_left, info.w_right) } else { (info.w_right, info.w_left) };
+            assert_eq!(l, wl, "vertex {x}");
+            assert_eq!(l + rgt, 10);
+        }
+        let chain = &r.chains[r.removed[1].unwrap().chain as usize];
+        assert_eq!(chain.interior.len(), 3);
+        assert_eq!(chain.total_weight, 10);
+    }
+
+    #[test]
+    fn pure_cycle_becomes_self_loop() {
+        let g = CsrGraph::from_edges(4, &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 0, 1)]);
+        let r = reduce_graph(&g);
+        assert_eq!(r.retained, vec![0]);
+        assert_eq!(r.reduced.m(), 1);
+        let e = r.reduced.edge(0);
+        assert!(e.is_self_loop());
+        assert_eq!(e.w, 4);
+        assert_eq!(r.removed_count(), 3);
+    }
+
+    #[test]
+    fn graph_without_degree_two_is_untouched() {
+        let g = CsrGraph::from_edges(4, &[(0, 1, 1), (0, 2, 1), (0, 3, 1), (1, 2, 1), (1, 3, 1), (2, 3, 1)]);
+        let r = reduce_graph(&g);
+        assert_eq!(r.removed_count(), 0);
+        assert_eq!(r.reduced.n(), 4);
+        assert_eq!(r.reduced.m(), 6);
+        assert!(r.edge_origin.iter().all(|o| matches!(o, EdgeOrigin::Direct(_))));
+    }
+
+    #[test]
+    fn pendant_path_keeps_leaf_as_anchor() {
+        // 0 (hub deg 3) with pendant chain 0-4-5 (5 is a degree-1 leaf).
+        let g = CsrGraph::from_edges(
+            6,
+            &[(0, 1, 1), (1, 2, 1), (2, 0, 1), (0, 3, 1), (3, 1, 1), (0, 4, 2), (4, 5, 3)],
+        );
+        let r = reduce_graph(&g);
+        assert!(r.is_removed(4));
+        assert!(!r.is_removed(5)); // degree-1 vertices are anchors
+        let info = r.removed[4].unwrap();
+        assert_eq!(info.w_left + info.w_right, 5);
+        // Edge 0..5 chain became one reduced edge of weight 5.
+        let w: Vec<Weight> = r
+            .chains
+            .iter()
+            .filter(|c| (c.left == 0 && c.right == 5) || (c.left == 5 && c.right == 0))
+            .map(|c| c.total_weight)
+            .collect();
+        assert_eq!(w, vec![5]);
+    }
+
+    #[test]
+    fn parallel_chains_become_parallel_edges() {
+        // Two vertices joined by three chains of lengths 2,2,1 edges.
+        let g = CsrGraph::from_edges(
+            4,
+            &[(0, 2, 1), (2, 1, 1), (0, 3, 2), (3, 1, 2), (0, 1, 9)],
+        );
+        let r = reduce_graph(&g);
+        assert_eq!(r.reduced.n(), 2);
+        assert_eq!(r.reduced.m(), 3);
+        assert!(!r.reduced.is_simple()); // parallel edges preserved
+        let mut ws: Vec<Weight> = r.reduced.edges().iter().map(|e| e.w).collect();
+        ws.sort_unstable();
+        assert_eq!(ws, vec![2, 4, 9]);
+    }
+
+    #[test]
+    fn expand_edge_roundtrips_chains() {
+        let g = theta();
+        let r = reduce_graph(&g);
+        for re in 0..r.reduced.m() as u32 {
+            let orig = r.expand_edge(re);
+            let total: Weight = orig.iter().map(|&e| g.weight(e)).sum();
+            assert_eq!(total, r.reduced.weight(re));
+        }
+    }
+
+    #[test]
+    fn chain_edge_count_partitions_original_edges() {
+        let g = theta();
+        let r = reduce_graph(&g);
+        let mut covered: Vec<EdgeId> =
+            (0..r.reduced.m() as u32).flat_map(|re| r.expand_edge(re)).collect();
+        covered.sort_unstable();
+        let all: Vec<EdgeId> = (0..g.m() as u32).collect();
+        assert_eq!(covered, all);
+    }
+
+    #[test]
+    fn anchor_to_self_chain_is_self_loop() {
+        // Hub 0 (degree 4) with a lollipop cycle 0-1-2-0 of degree-2 vertices.
+        let g = CsrGraph::from_edges(
+            5,
+            &[(0, 1, 1), (1, 2, 1), (2, 0, 1), (0, 3, 1), (0, 4, 1)],
+        );
+        let r = reduce_graph(&g);
+        let loops: Vec<_> = r.reduced.edges().iter().filter(|e| e.is_self_loop()).collect();
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].w, 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_multigraph_input() {
+        let g = CsrGraph::from_edges(2, &[(0, 1, 1), (0, 1, 2)]);
+        reduce_graph(&g);
+    }
+}
+
+/// Parallel variant of [`reduce_graph`]: chain walks are independent, so
+/// they fan out across the Rayon pool. Every chain is walked from both of
+/// its anchor ends; the walk that the sequential algorithm would have kept
+/// (the one whose `(anchor rank, adjacency index)` start comes first) wins,
+/// which makes the output **bit-identical** to [`reduce_graph`] — the
+/// equivalence is property-tested.
+///
+/// This replaces the paper's PRAM ear-decomposition parallelism
+/// (Ramachandran) at the step that actually matters in practice: the
+/// decomposition itself is a linear scan, while chain contraction touches
+/// every edge.
+pub fn reduce_graph_parallel(g: &CsrGraph) -> ReducedGraph {
+    use rayon::prelude::*;
+
+    assert!(g.is_simple(), "reduce_graph expects a simple input graph");
+    let n = g.n();
+    let mut anchor = vec![false; n];
+    for v in 0..n as u32 {
+        if g.degree(v) != 2 {
+            anchor[v as usize] = true;
+        }
+    }
+    mark_pure_cycle_anchors(g, &mut anchor);
+
+    let mut to_reduced = vec![u32::MAX; n];
+    let mut retained = Vec::new();
+    for v in 0..n as u32 {
+        if anchor[v as usize] {
+            to_reduced[v as usize] = retained.len() as u32;
+            retained.push(v);
+        }
+    }
+
+    // All chain starts with their sequential-order rank.
+    let starts: Vec<(u32, u32, VertexId, VertexId, EdgeId)> = retained
+        .iter()
+        .enumerate()
+        .flat_map(|(rank, &a)| {
+            g.neighbors(a)
+                .iter()
+                .enumerate()
+                .filter(|(_, &(first, _))| !anchor[first as usize])
+                .map(move |(ai, &(first, first_edge))| {
+                    (rank as u32, ai as u32, a, first, first_edge)
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    // Parallel walks; a dummy visited map per walk is unnecessary — the
+    // walk is fully determined by its start.
+    let walked: Vec<((u32, u32), Chain)> = starts
+        .par_iter()
+        .map(|&(rank, ai, a, first, first_edge)| {
+            let mut scratch = ChainScratch::default();
+            let chain = walk_chain_pure(g, &anchor, a, first, first_edge, &mut scratch);
+            ((rank, ai), chain)
+        })
+        .collect();
+
+    // Keep the first-start walk per chain. A chain's identity is its edge
+    // set; the boundary edge pair (unordered) identifies it uniquely in a
+    // simple graph.
+    use std::collections::HashMap;
+    let mut best: HashMap<(EdgeId, EdgeId), usize> = HashMap::with_capacity(walked.len());
+    for (i, ((_, _), chain)) in walked.iter().enumerate() {
+        let (e0, e1) = (*chain.edges.first().unwrap(), *chain.edges.last().unwrap());
+        let key = (e0.min(e1), e0.max(e1));
+        match best.entry(key) {
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(i);
+            }
+            std::collections::hash_map::Entry::Occupied(mut o) => {
+                if walked[i].0 < walked[*o.get()].0 {
+                    o.insert(i);
+                }
+            }
+        }
+    }
+    let mut kept: Vec<usize> = best.into_values().collect();
+    kept.sort_unstable_by_key(|&i| walked[i].0);
+
+    // Assemble in the sequential layout: direct edges first, then chains.
+    let mut chains: Vec<Chain> = Vec::with_capacity(kept.len());
+    let mut removed: Vec<Option<RemovedInfo>> = vec![None; n];
+    let mut reduced_edges: Vec<(u32, u32, Weight)> = Vec::new();
+    let mut edge_origin: Vec<EdgeOrigin> = Vec::new();
+    for (idx, e) in g.edges().iter().enumerate() {
+        if anchor[e.u as usize] && anchor[e.v as usize] {
+            reduced_edges.push((to_reduced[e.u as usize], to_reduced[e.v as usize], e.w));
+            edge_origin.push(EdgeOrigin::Direct(idx as EdgeId));
+        }
+    }
+    for i in kept {
+        let chain = walked[i].1.clone();
+        let cid = chains.len() as u32;
+        let mut acc: Weight = 0;
+        for (pos, &x) in chain.interior.iter().enumerate() {
+            acc += g.weight(chain.edges[pos]);
+            removed[x as usize] = Some(RemovedInfo {
+                chain: cid,
+                pos: pos as u32,
+                left: chain.left,
+                right: chain.right,
+                w_left: acc,
+                w_right: chain.total_weight - acc,
+            });
+        }
+        reduced_edges.push((
+            to_reduced[chain.left as usize],
+            to_reduced[chain.right as usize],
+            chain.total_weight,
+        ));
+        edge_origin.push(EdgeOrigin::Chain(cid));
+        chains.push(chain);
+    }
+
+    let reduced = CsrGraph::from_edges(retained.len(), &reduced_edges);
+    ReducedGraph { reduced, retained, to_reduced, edge_origin, chains, removed }
+}
+
+#[derive(Default)]
+struct ChainScratch;
+
+/// Side-effect-free chain walk (no shared visited map): a degree-2 interior
+/// uniquely determines the continuation, so the walk needs no marking.
+fn walk_chain_pure(
+    g: &CsrGraph,
+    anchor: &[bool],
+    a: VertexId,
+    first: VertexId,
+    first_edge: EdgeId,
+    _scratch: &mut ChainScratch,
+) -> Chain {
+    let mut edges = vec![first_edge];
+    let mut interior = vec![first];
+    let mut total = g.weight(first_edge);
+    let mut prev_edge = first_edge;
+    let mut cur = first;
+    loop {
+        let nbrs = g.neighbors(cur);
+        debug_assert_eq!(nbrs.len(), 2);
+        let (next, e) = if nbrs[0].1 == prev_edge { nbrs[1] } else { nbrs[0] };
+        edges.push(e);
+        total += g.weight(e);
+        if anchor[next as usize] {
+            return Chain { left: a, right: next, edges, interior, total_weight: total };
+        }
+        interior.push(next);
+        prev_edge = e;
+        cur = next;
+    }
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+
+    fn assert_identical(g: &CsrGraph) {
+        let a = reduce_graph(g);
+        let b = reduce_graph_parallel(g);
+        assert_eq!(a.retained, b.retained);
+        assert_eq!(a.to_reduced, b.to_reduced);
+        assert_eq!(a.reduced.edges(), b.reduced.edges());
+        assert_eq!(a.edge_origin.len(), b.edge_origin.len());
+        for (x, y) in a.edge_origin.iter().zip(&b.edge_origin) {
+            assert_eq!(x, y);
+        }
+        assert_eq!(a.chains.len(), b.chains.len());
+        for (ca, cb) in a.chains.iter().zip(&b.chains) {
+            assert_eq!(ca.edges, cb.edges);
+            assert_eq!(ca.interior, cb.interior);
+            assert_eq!((ca.left, ca.right), (cb.left, cb.right));
+        }
+        for v in 0..g.n() {
+            match (&a.removed[v], &b.removed[v]) {
+                (None, None) => {}
+                (Some(x), Some(y)) => {
+                    assert_eq!(
+                        (x.chain, x.pos, x.left, x.right, x.w_left, x.w_right),
+                        (y.chain, y.pos, y.left, y.right, y.w_left, y.w_right)
+                    );
+                }
+                _ => panic!("removed mismatch at {v}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_theta() {
+        let g = CsrGraph::from_edges(4, &[(0, 1, 1), (1, 2, 2), (0, 2, 10), (0, 3, 3), (3, 2, 4)]);
+        assert_identical(&g);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_pure_cycle() {
+        let g = CsrGraph::from_edges(5, &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1), (4, 0, 1)]);
+        assert_identical(&g);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_loop_chain() {
+        let g = CsrGraph::from_edges(
+            5,
+            &[(0, 1, 1), (1, 2, 1), (2, 0, 1), (0, 3, 1), (0, 4, 1)],
+        );
+        assert_identical(&g);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_random_graphs() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..12u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = rng.gen_range(6..60);
+            let mut seen = std::collections::HashSet::new();
+            let mut edges = Vec::new();
+            for _ in 0..rng.gen_range(n..4 * n) {
+                let u = rng.gen_range(0..n as u32);
+                let v = rng.gen_range(0..n as u32);
+                if u != v && seen.insert((u.min(v), u.max(v))) {
+                    edges.push((u, v, rng.gen_range(1..50u64)));
+                }
+            }
+            let g = CsrGraph::from_edges(n, &edges);
+            assert_identical(&g);
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Compressed-sparse-row storage for undirected weighted multigraphs.
+
+use crate::types::{Edge, EdgeId, VertexId, Weight};
+
+/// An immutable undirected weighted multigraph in CSR form.
+///
+/// Construction is done through [`crate::builder::GraphBuilder`] or
+/// [`CsrGraph::from_edges`]; once built the graph never changes, which lets
+/// every algorithm in the suite share it freely across threads (`&CsrGraph`
+/// is `Send + Sync`).
+///
+/// Storage layout:
+///
+/// * `edges[e]` — the canonical record of edge `e` (endpoints + weight);
+/// * `adj[offsets[v] .. offsets[v+1]]` — the incidence list of vertex `v`
+///   as `(neighbor, edge-id)` pairs.
+///
+/// Every non-loop edge contributes one incidence entry to each endpoint.
+/// A **self-loop contributes a single entry** to its vertex, so
+/// [`CsrGraph::degree`] counts a self-loop once; the suite's degree-based
+/// reductions only run on simple graphs where this distinction is moot, and
+/// the multigraph consumers (minimum cycle basis) never look at degrees.
+#[derive(Clone, Debug)]
+pub struct CsrGraph {
+    n: usize,
+    edges: Vec<Edge>,
+    offsets: Vec<u32>,
+    adj: Vec<(VertexId, EdgeId)>,
+}
+
+impl CsrGraph {
+    /// Builds a graph with `n` vertices from an edge list.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range.
+    pub fn from_edges(n: usize, list: &[(VertexId, VertexId, Weight)]) -> Self {
+        let edges: Vec<Edge> = list.iter().map(|&(u, v, w)| Edge::new(u, v, w)).collect();
+        Self::from_edge_records(n, edges)
+    }
+
+    /// Builds a graph from pre-assembled [`Edge`] records.
+    pub fn from_edge_records(n: usize, edges: Vec<Edge>) -> Self {
+        assert!(n <= u32::MAX as usize - 1, "vertex count exceeds u32 id space");
+        let mut deg = vec![0u32; n + 1];
+        for e in &edges {
+            assert!((e.u as usize) < n && (e.v as usize) < n, "edge endpoint out of range");
+            deg[e.u as usize + 1] += 1;
+            if !e.is_self_loop() {
+                deg[e.v as usize + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            deg[i + 1] += deg[i];
+        }
+        let offsets = deg;
+        let mut cursor = offsets.clone();
+        let mut adj = vec![(0u32, 0u32); *offsets.last().unwrap_or(&0) as usize];
+        for (idx, e) in edges.iter().enumerate() {
+            let id = idx as EdgeId;
+            adj[cursor[e.u as usize] as usize] = (e.v, id);
+            cursor[e.u as usize] += 1;
+            if !e.is_self_loop() {
+                adj[cursor[e.v as usize] as usize] = (e.u, id);
+                cursor[e.v as usize] += 1;
+            }
+        }
+        CsrGraph { n, edges, offsets, adj }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges (parallel edges and self-loops each count once).
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The full edge array.
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The record of edge `e`.
+    #[inline]
+    pub fn edge(&self, e: EdgeId) -> Edge {
+        self.edges[e as usize]
+    }
+
+    /// Weight of edge `e`.
+    #[inline]
+    pub fn weight(&self, e: EdgeId) -> Weight {
+        self.edges[e as usize].w
+    }
+
+    /// Incidence list of `v` as `(neighbor, edge-id)` pairs.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[(VertexId, EdgeId)] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.adj[lo..hi]
+    }
+
+    /// Incidence-list length of `v` (self-loops counted once).
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// Iterator over all vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        0..self.n as VertexId
+    }
+
+    /// Total weight of all edges.
+    pub fn total_weight(&self) -> Weight {
+        self.edges.iter().map(|e| e.w).sum()
+    }
+
+    /// True if the graph contains no parallel edges and no self-loops.
+    pub fn is_simple(&self) -> bool {
+        let mut seen = std::collections::HashSet::with_capacity(self.m());
+        for e in &self.edges {
+            if e.is_self_loop() || !seen.insert(e.key()) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Collapses the multigraph to a simple graph: self-loops are dropped and
+    /// each bundle of parallel edges is replaced by its minimum-weight member
+    /// (the right reduction for shortest-path computations — the paper's
+    /// Section 2.1.1 prescribes exactly this for the reduced graph).
+    ///
+    /// Returns the simple graph together with, for each new edge, the id of
+    /// the original edge it kept.
+    pub fn simplify_min_weight(&self) -> (CsrGraph, Vec<EdgeId>) {
+        use std::collections::HashMap;
+        let mut best: HashMap<(VertexId, VertexId), EdgeId> = HashMap::with_capacity(self.m());
+        for (idx, e) in self.edges.iter().enumerate() {
+            if e.is_self_loop() {
+                continue;
+            }
+            let id = idx as EdgeId;
+            best.entry(e.key())
+                .and_modify(|cur| {
+                    if e.w < self.weight(*cur) {
+                        *cur = id;
+                    }
+                })
+                .or_insert(id);
+        }
+        let mut kept: Vec<EdgeId> = best.into_values().collect();
+        kept.sort_unstable();
+        let edges = kept.iter().map(|&id| self.edge(id)).collect();
+        (CsrGraph::from_edge_records(self.n, edges), kept)
+    }
+
+    /// Sum of incidence-list lengths — `2m` minus the number of self-loops.
+    pub fn adjacency_len(&self) -> usize {
+        self.adj.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> CsrGraph {
+        CsrGraph::from_edges(3, &[(0, 1, 1), (1, 2, 2), (2, 0, 3)])
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = triangle();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.degree(2), 2);
+        assert_eq!(g.adjacency_len(), 6);
+    }
+
+    #[test]
+    fn neighbors_carry_edge_ids() {
+        let g = triangle();
+        let n0: Vec<_> = g.neighbors(0).to_vec();
+        assert!(n0.contains(&(1, 0)));
+        assert!(n0.contains(&(2, 2)));
+    }
+
+    #[test]
+    fn self_loop_counts_once_in_adjacency() {
+        let g = CsrGraph::from_edges(2, &[(0, 0, 5), (0, 1, 1)]);
+        assert_eq!(g.degree(0), 2); // one loop entry + one edge entry
+        assert_eq!(g.degree(1), 1);
+        assert_eq!(g.adjacency_len(), 3);
+        assert!(!g.is_simple());
+    }
+
+    #[test]
+    fn parallel_edges_are_distinct() {
+        let g = CsrGraph::from_edges(2, &[(0, 1, 4), (0, 1, 9)]);
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.degree(0), 2);
+        assert!(!g.is_simple());
+    }
+
+    #[test]
+    fn simplify_keeps_min_weight_parallel_edge() {
+        let g = CsrGraph::from_edges(3, &[(0, 1, 9), (0, 1, 4), (1, 2, 2), (2, 2, 7)]);
+        let (s, kept) = g.simplify_min_weight();
+        assert_eq!(s.m(), 2);
+        assert!(s.is_simple());
+        let w01: Vec<Weight> = s
+            .edges()
+            .iter()
+            .filter(|e| e.key() == (0, 1))
+            .map(|e| e.w)
+            .collect();
+        assert_eq!(w01, vec![4]);
+        // kept maps back to original ids
+        assert!(kept.contains(&1));
+        assert!(kept.contains(&2));
+        assert!(!kept.contains(&3)); // the self-loop is gone
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = CsrGraph::from_edges(0, &[]);
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.m(), 0);
+        assert!(g.is_simple());
+    }
+
+    #[test]
+    fn isolated_vertices_have_empty_neighborhoods() {
+        let g = CsrGraph::from_edges(4, &[(0, 1, 1)]);
+        assert_eq!(g.degree(2), 0);
+        assert!(g.neighbors(3).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_endpoint_panics() {
+        CsrGraph::from_edges(2, &[(0, 2, 1)]);
+    }
+
+    #[test]
+    fn total_weight_sums_all_edges() {
+        assert_eq!(triangle().total_weight(), 6);
+    }
+}

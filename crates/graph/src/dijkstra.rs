@@ -1,0 +1,272 @@
+//! Single-source shortest paths (Dijkstra) with operation instrumentation.
+//!
+//! The paper runs one Dijkstra instance per source vertex of the reduced
+//! graph, each instance on its own thread/GPU workunit (Section 2.1.2), so
+//! this implementation is deliberately self-contained: no shared scratch
+//! state, a lazy-deletion binary heap, and an optional shortest-path-tree
+//! output used by the minimum-cycle-basis candidate generation.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::csr::CsrGraph;
+use crate::types::{EdgeId, VertexId, Weight, INF};
+
+/// Operation counters for one SSSP run. These feed the heterogeneous cost
+/// model: `edges_relaxed` is the unit the paper's MTEPS metric counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DijkstraStats {
+    /// Settled heap pops (at most one per vertex).
+    pub settled: u64,
+    /// Edge relaxations attempted.
+    pub edges_relaxed: u64,
+    /// Heap pushes (successful relaxations).
+    pub heap_pushes: u64,
+}
+
+impl DijkstraStats {
+    /// Accumulates another run's counters into this one.
+    pub fn merge(&mut self, other: &DijkstraStats) {
+        self.settled += other.settled;
+        self.edges_relaxed += other.edges_relaxed;
+        self.heap_pushes += other.heap_pushes;
+    }
+}
+
+/// A shortest-path tree rooted at [`SsspTree::source`].
+///
+/// `parent_vertex[v]` / `parent_edge[v]` describe the last hop of the chosen
+/// shortest path to `v`; the source (and unreachable vertices) have
+/// `u32::MAX` sentinels.
+#[derive(Clone, Debug)]
+pub struct SsspTree {
+    /// Root of the tree.
+    pub source: VertexId,
+    /// Distance from the source to every vertex (`INF` when unreachable).
+    pub dist: Vec<Weight>,
+    /// Predecessor vertex on the shortest path, `u32::MAX` at the root /
+    /// unreachable vertices.
+    pub parent_vertex: Vec<VertexId>,
+    /// Edge id of the last hop, `u32::MAX` at the root / unreachable.
+    pub parent_edge: Vec<EdgeId>,
+    /// Instrumentation for the run that built this tree.
+    pub stats: DijkstraStats,
+}
+
+impl SsspTree {
+    /// True if `v` is reachable from the source.
+    pub fn reachable(&self, v: VertexId) -> bool {
+        self.dist[v as usize] < INF
+    }
+
+    /// Walks the tree path from `v` back to the source, returning the edge
+    /// ids in leaf-to-root order. Returns `None` if `v` is unreachable.
+    pub fn path_edges_to_root(&self, v: VertexId) -> Option<Vec<EdgeId>> {
+        if !self.reachable(v) {
+            return None;
+        }
+        let mut out = Vec::new();
+        let mut cur = v;
+        while cur != self.source {
+            let pe = self.parent_edge[cur as usize];
+            debug_assert_ne!(pe, u32::MAX);
+            out.push(pe);
+            cur = self.parent_vertex[cur as usize];
+        }
+        Some(out)
+    }
+
+    /// Depth (hop count) of `v` in the tree; `None` if unreachable.
+    pub fn depth(&self, v: VertexId) -> Option<u32> {
+        if !self.reachable(v) {
+            return None;
+        }
+        let mut d = 0;
+        let mut cur = v;
+        while cur != self.source {
+            cur = self.parent_vertex[cur as usize];
+            d += 1;
+        }
+        Some(d)
+    }
+
+    /// Vertices in order of non-decreasing distance (root first); ties are
+    /// broken by vertex id so the order is deterministic. Unreachable
+    /// vertices are omitted. This is the level-order style traversal the
+    /// label-computation pass of the MCB algorithm needs (parents always
+    /// precede children).
+    pub fn top_down_order(&self) -> Vec<VertexId> {
+        let mut order: Vec<VertexId> = (0..self.dist.len() as u32)
+            .filter(|&v| self.reachable(v))
+            .collect();
+        order.sort_unstable_by_key(|&v| (self.dist[v as usize], v));
+        order
+    }
+}
+
+/// Plain Dijkstra: distances only.
+pub fn dijkstra(g: &CsrGraph, source: VertexId) -> Vec<Weight> {
+    run(g, source, false).dist
+}
+
+/// Dijkstra with distances plus counters, avoiding the tree bookkeeping.
+pub fn dijkstra_with_stats(g: &CsrGraph, source: VertexId) -> (Vec<Weight>, DijkstraStats) {
+    let t = run(g, source, false);
+    (t.dist, t.stats)
+}
+
+/// Dijkstra producing the full shortest-path tree.
+///
+/// Tie-breaking is deterministic: among equal-distance relaxations the first
+/// one found with the smaller `(distance, vertex, edge)` ordering wins, so
+/// two runs on the same graph always produce the same tree. Deterministic
+/// trees keep the Mehlhorn–Michail candidate set stable across the
+/// sequential / multicore / GPU execution modes.
+pub fn dijkstra_tree(g: &CsrGraph, source: VertexId) -> SsspTree {
+    run(g, source, true)
+}
+
+fn run(g: &CsrGraph, source: VertexId, want_tree: bool) -> SsspTree {
+    let n = g.n();
+    assert!((source as usize) < n, "source out of range");
+    let mut dist = vec![INF; n];
+    let mut parent_vertex = vec![u32::MAX; n];
+    let mut parent_edge = vec![u32::MAX; n];
+    let mut done = vec![false; n];
+    let mut stats = DijkstraStats::default();
+
+    let mut heap: BinaryHeap<Reverse<(Weight, VertexId)>> = BinaryHeap::new();
+    dist[source as usize] = 0;
+    heap.push(Reverse((0, source)));
+
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if done[u as usize] {
+            continue; // stale entry (lazy deletion)
+        }
+        done[u as usize] = true;
+        stats.settled += 1;
+        debug_assert_eq!(d, dist[u as usize]);
+        for &(v, e) in g.neighbors(u) {
+            stats.edges_relaxed += 1;
+            if v == u {
+                continue; // self-loops never improve a distance
+            }
+            let nd = d + g.weight(e);
+            let strictly_better = nd < dist[v as usize];
+            // With non-negative weights a settled vertex can never be
+            // strictly improved, so `strictly_better` implies `!done[v]`.
+            let tie_better = want_tree
+                && nd == dist[v as usize]
+                && !done[v as usize]
+                && tie_prefers(u, e, parent_vertex[v as usize], parent_edge[v as usize]);
+            if strictly_better || tie_better {
+                dist[v as usize] = nd;
+                if want_tree {
+                    parent_vertex[v as usize] = u;
+                    parent_edge[v as usize] = e;
+                }
+                if strictly_better {
+                    heap.push(Reverse((nd, v)));
+                    stats.heap_pushes += 1;
+                }
+            }
+        }
+    }
+
+    SsspTree { source, dist, parent_vertex, parent_edge, stats }
+}
+
+/// Deterministic tie-break for equal-distance parents: prefer the smaller
+/// (parent vertex, edge id) pair.
+#[inline]
+fn tie_prefers(u: VertexId, e: EdgeId, cur_pv: VertexId, cur_pe: EdgeId) -> bool {
+    (u, e) < (cur_pv, cur_pe)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 0 -1- 1 -1- 2
+    ///  \----5----/
+    fn line_with_shortcut() -> CsrGraph {
+        CsrGraph::from_edges(3, &[(0, 1, 1), (1, 2, 1), (0, 2, 5)])
+    }
+
+    #[test]
+    fn picks_shorter_multi_hop_path() {
+        let d = dijkstra(&line_with_shortcut(), 0);
+        assert_eq!(d, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn unreachable_is_inf() {
+        let g = CsrGraph::from_edges(3, &[(0, 1, 1)]);
+        let d = dijkstra(&g, 0);
+        assert_eq!(d[2], INF);
+    }
+
+    #[test]
+    fn parallel_edges_use_cheapest() {
+        let g = CsrGraph::from_edges(2, &[(0, 1, 9), (0, 1, 3)]);
+        assert_eq!(dijkstra(&g, 0)[1], 3);
+    }
+
+    #[test]
+    fn self_loops_are_ignored() {
+        let g = CsrGraph::from_edges(2, &[(0, 0, 1), (0, 1, 4)]);
+        let d = dijkstra(&g, 0);
+        assert_eq!(d, vec![0, 4]);
+    }
+
+    #[test]
+    fn tree_paths_reconstruct_distances() {
+        let g = line_with_shortcut();
+        let t = dijkstra_tree(&g, 0);
+        let p2 = t.path_edges_to_root(2).unwrap();
+        let w: Weight = p2.iter().map(|&e| g.weight(e)).sum();
+        assert_eq!(w, t.dist[2]);
+        assert_eq!(t.depth(2), Some(2));
+        assert_eq!(t.depth(0), Some(0));
+    }
+
+    #[test]
+    fn tree_is_deterministic_under_ties() {
+        // Two equal-weight routes 0->1->3 and 0->2->3.
+        let g = CsrGraph::from_edges(4, &[(0, 1, 1), (0, 2, 1), (1, 3, 1), (2, 3, 1)]);
+        let a = dijkstra_tree(&g, 0);
+        let b = dijkstra_tree(&g, 0);
+        assert_eq!(a.parent_vertex, b.parent_vertex);
+        assert_eq!(a.parent_edge, b.parent_edge);
+    }
+
+    #[test]
+    fn stats_count_relaxations() {
+        let g = line_with_shortcut();
+        let (_, s) = dijkstra_with_stats(&g, 0);
+        assert_eq!(s.settled, 3);
+        assert_eq!(s.edges_relaxed, 6); // every incidence scanned once
+    }
+
+    #[test]
+    fn top_down_order_puts_parents_first() {
+        let g = CsrGraph::from_edges(5, &[(0, 1, 2), (1, 2, 2), (0, 3, 1), (3, 4, 10)]);
+        let t = dijkstra_tree(&g, 0);
+        let order = t.top_down_order();
+        let pos = |v: VertexId| order.iter().position(|&x| x == v).unwrap();
+        for v in 0..5u32 {
+            let p = t.parent_vertex[v as usize];
+            if p != u32::MAX {
+                assert!(pos(p) < pos(v), "parent {p} should precede {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_vertex_graph() {
+        let g = CsrGraph::from_edges(1, &[]);
+        let t = dijkstra_tree(&g, 0);
+        assert_eq!(t.dist, vec![0]);
+        assert_eq!(t.path_edges_to_root(0), Some(vec![]));
+    }
+}

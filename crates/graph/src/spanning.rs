@@ -1,0 +1,120 @@
+//! Spanning forests and tree/non-tree edge classification.
+//!
+//! The cycle-space machinery of the MCB algorithms is anchored on an
+//! arbitrary spanning tree `T` of the (multi)graph: the non-tree edges
+//! `E' = E \ T` index the witness space `{0,1}^f` (paper Section 3.2). Any
+//! spanning tree works; we use a BFS forest, which is deterministic and
+//! shallow.
+
+use crate::csr::CsrGraph;
+use crate::types::EdgeId;
+
+/// Returns the edge ids of a BFS spanning forest (one tree per connected
+/// component). Self-loops and the redundant members of parallel bundles are
+/// never tree edges.
+pub fn spanning_forest(g: &CsrGraph) -> Vec<EdgeId> {
+    let n = g.n();
+    let mut seen = vec![false; n];
+    let mut tree = Vec::with_capacity(n.saturating_sub(1));
+    let mut queue = std::collections::VecDeque::new();
+    for s in 0..n as u32 {
+        if seen[s as usize] {
+            continue;
+        }
+        seen[s as usize] = true;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for &(v, e) in g.neighbors(u) {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    tree.push(e);
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    tree
+}
+
+/// Boolean mask over edge ids: `true` for spanning-forest edges.
+///
+/// The complement (non-tree edges, in ascending edge-id order) is exactly
+/// the ordered set `E' = {e_1, ..., e_f}` that the de Pina witnesses are
+/// built over.
+pub fn tree_edge_flags(g: &CsrGraph) -> Vec<bool> {
+    let mut flags = vec![false; g.m()];
+    for e in spanning_forest(g) {
+        flags[e as usize] = true;
+    }
+    flags
+}
+
+/// Ascending list of non-tree edge ids with respect to the BFS forest.
+pub fn non_tree_edges(g: &CsrGraph) -> Vec<EdgeId> {
+    tree_edge_flags(g)
+        .iter()
+        .enumerate()
+        .filter(|(_, &t)| !t)
+        .map(|(i, _)| i as EdgeId)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traverse::connected_components;
+
+    #[test]
+    fn forest_size_is_n_minus_components() {
+        let g = CsrGraph::from_edges(6, &[(0, 1, 1), (1, 2, 1), (2, 0, 1), (3, 4, 1)]);
+        let c = connected_components(&g);
+        let f = spanning_forest(&g);
+        assert_eq!(f.len(), g.n() - c.count);
+    }
+
+    #[test]
+    fn tree_plus_nontree_partitions_edges() {
+        let g = CsrGraph::from_edges(4, &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 0, 1), (0, 2, 1)]);
+        let flags = tree_edge_flags(&g);
+        let tree: usize = flags.iter().filter(|&&t| t).count();
+        let non = non_tree_edges(&g);
+        assert_eq!(tree + non.len(), g.m());
+        assert_eq!(tree, 3);
+        assert_eq!(non.len(), 2);
+    }
+
+    #[test]
+    fn self_loops_are_never_tree_edges() {
+        let g = CsrGraph::from_edges(2, &[(0, 0, 1), (0, 1, 1), (1, 1, 2)]);
+        let flags = tree_edge_flags(&g);
+        assert!(!flags[0]);
+        assert!(flags[1]);
+        assert!(!flags[2]);
+    }
+
+    #[test]
+    fn parallel_bundle_contributes_one_tree_edge() {
+        let g = CsrGraph::from_edges(2, &[(0, 1, 1), (0, 1, 2), (0, 1, 3)]);
+        let flags = tree_edge_flags(&g);
+        assert_eq!(flags.iter().filter(|&&t| t).count(), 1);
+        assert_eq!(non_tree_edges(&g).len(), 2);
+    }
+
+    #[test]
+    fn tree_connects_each_component() {
+        // Verify spanning property: contracting tree edges yields one vertex
+        // per component.
+        let g = CsrGraph::from_edges(
+            7,
+            &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 0, 1), (4, 5, 1), (5, 6, 1), (6, 4, 1)],
+        );
+        let tree = spanning_forest(&g);
+        let sub: Vec<_> = tree.iter().map(|&e| {
+            let r = g.edge(e);
+            (r.u, r.v, r.w)
+        }).collect();
+        let tg = CsrGraph::from_edges(7, &sub);
+        let c = connected_components(&tg);
+        assert_eq!(c.count, connected_components(&g).count);
+    }
+}

@@ -1,0 +1,155 @@
+//! Subgraph extraction with bidirectional id maps.
+//!
+//! The biconnected-component pipeline slices the input graph into per-BCC
+//! subgraphs that are processed independently (and in parallel); results are
+//! then translated back through a [`SubgraphMap`].
+
+use crate::csr::CsrGraph;
+use crate::types::{EdgeId, VertexId};
+
+/// Id translation between a subgraph and its parent graph.
+#[derive(Clone, Debug)]
+pub struct SubgraphMap {
+    /// `local -> parent` vertex ids.
+    pub to_parent_vertex: Vec<VertexId>,
+    /// `local -> parent` edge ids.
+    pub to_parent_edge: Vec<EdgeId>,
+    /// `parent -> local` vertex ids (`u32::MAX` when absent). Kept as a dense
+    /// array: BCC extraction touches every parent vertex anyway, and dense
+    /// lookups are what the hot post-processing loops want.
+    pub to_local_vertex: Vec<VertexId>,
+}
+
+impl SubgraphMap {
+    /// Local id of a parent vertex, if present.
+    #[inline]
+    pub fn local(&self, parent: VertexId) -> Option<VertexId> {
+        let l = self.to_local_vertex[parent as usize];
+        (l != u32::MAX).then_some(l)
+    }
+
+    /// Parent id of a local vertex.
+    #[inline]
+    pub fn parent(&self, local: VertexId) -> VertexId {
+        self.to_parent_vertex[local as usize]
+    }
+}
+
+/// Extracts the subgraph spanned by `edge_ids` (vertices are those incident
+/// to the listed edges, renumbered compactly in order of first appearance).
+pub fn edge_subgraph(g: &CsrGraph, edge_ids: &[EdgeId]) -> (CsrGraph, SubgraphMap) {
+    let mut to_local = vec![u32::MAX; g.n()];
+    let mut to_parent_vertex = Vec::new();
+    let mut list = Vec::with_capacity(edge_ids.len());
+    let intern = |v: VertexId, to_local: &mut Vec<u32>, to_parent: &mut Vec<u32>| {
+        if to_local[v as usize] == u32::MAX {
+            to_local[v as usize] = to_parent.len() as u32;
+            to_parent.push(v);
+        }
+        to_local[v as usize]
+    };
+    for &e in edge_ids {
+        let r = g.edge(e);
+        let lu = intern(r.u, &mut to_local, &mut to_parent_vertex);
+        let lv = intern(r.v, &mut to_local, &mut to_parent_vertex);
+        list.push((lu, lv, r.w));
+    }
+    let sub = CsrGraph::from_edges(to_parent_vertex.len(), &list);
+    let map = SubgraphMap {
+        to_parent_vertex,
+        to_parent_edge: edge_ids.to_vec(),
+        to_local_vertex: to_local,
+    };
+    (sub, map)
+}
+
+/// Extracts the subgraph induced by a vertex set: all edges of `g` whose
+/// endpoints are both in `vertices`.
+pub fn induced_subgraph(g: &CsrGraph, vertices: &[VertexId]) -> (CsrGraph, SubgraphMap) {
+    let mut inset = vec![false; g.n()];
+    for &v in vertices {
+        inset[v as usize] = true;
+    }
+    let keep: Vec<EdgeId> = (0..g.m() as u32)
+        .filter(|&e| {
+            let r = g.edge(e);
+            inset[r.u as usize] && inset[r.v as usize]
+        })
+        .collect();
+    // Use edge_subgraph for the heavy lifting, then append isolated members
+    // of `vertices` so the induced subgraph keeps its full vertex set.
+    let (sub, mut map) = edge_subgraph(g, &keep);
+    let mut extra = Vec::new();
+    for &v in vertices {
+        if map.to_local_vertex[v as usize] == u32::MAX {
+            map.to_local_vertex[v as usize] = (map.to_parent_vertex.len() + extra.len()) as u32;
+            extra.push(v);
+        }
+    }
+    if extra.is_empty() {
+        return (sub, map);
+    }
+    map.to_parent_vertex.extend_from_slice(&extra);
+    let list: Vec<_> = sub.edges().iter().map(|e| (e.u, e.v, e.w)).collect();
+    let sub = CsrGraph::from_edges(map.to_parent_vertex.len(), &list);
+    (sub, map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_with_diagonal() -> CsrGraph {
+        CsrGraph::from_edges(4, &[(0, 1, 1), (1, 2, 2), (2, 3, 3), (3, 0, 4), (0, 2, 5)])
+    }
+
+    #[test]
+    fn edge_subgraph_renumbers_compactly() {
+        let g = square_with_diagonal();
+        let (sub, map) = edge_subgraph(&g, &[1, 2]); // edges (1,2) and (2,3)
+        assert_eq!(sub.n(), 3);
+        assert_eq!(sub.m(), 2);
+        let parents: Vec<_> = (0..3).map(|l| map.parent(l)).collect();
+        assert_eq!(parents, vec![1, 2, 3]);
+        assert_eq!(map.local(0), None);
+        assert_eq!(map.local(2), Some(1));
+    }
+
+    #[test]
+    fn edge_subgraph_preserves_weights_and_edge_ids() {
+        let g = square_with_diagonal();
+        let (sub, map) = edge_subgraph(&g, &[4, 0]);
+        assert_eq!(sub.weight(0), 5);
+        assert_eq!(sub.weight(1), 1);
+        assert_eq!(map.to_parent_edge, vec![4, 0]);
+    }
+
+    #[test]
+    fn induced_subgraph_takes_all_internal_edges() {
+        let g = square_with_diagonal();
+        let (sub, map) = induced_subgraph(&g, &[0, 1, 2]);
+        // internal edges: (0,1), (1,2), (0,2)
+        assert_eq!(sub.n(), 3);
+        assert_eq!(sub.m(), 3);
+        assert!(map.local(3).is_none());
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_isolated_vertices() {
+        let g = CsrGraph::from_edges(4, &[(0, 1, 1), (2, 3, 1)]);
+        let (sub, map) = induced_subgraph(&g, &[0, 1, 2]);
+        assert_eq!(sub.n(), 3);
+        assert_eq!(sub.m(), 1);
+        let l2 = map.local(2).unwrap();
+        assert_eq!(sub.degree(l2), 0);
+        assert_eq!(map.parent(l2), 2);
+    }
+
+    #[test]
+    fn empty_edge_set_gives_empty_graph() {
+        let g = square_with_diagonal();
+        let (sub, _) = edge_subgraph(&g, &[]);
+        assert_eq!(sub.n(), 0);
+        assert_eq!(sub.m(), 0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Breadth-first traversal and connected components.
+
+use crate::csr::CsrGraph;
+use crate::types::{EdgeId, VertexId};
+
+/// A BFS tree: hop distances and predecessors from a single root.
+#[derive(Clone, Debug)]
+pub struct BfsTree {
+    /// Root vertex.
+    pub source: VertexId,
+    /// Hop count from the root; `u32::MAX` when unreachable.
+    pub level: Vec<u32>,
+    /// Predecessor vertex; `u32::MAX` at root / unreachable.
+    pub parent_vertex: Vec<VertexId>,
+    /// Predecessor edge; `u32::MAX` at root / unreachable.
+    pub parent_edge: Vec<EdgeId>,
+    /// Vertices in visit order (root first).
+    pub order: Vec<VertexId>,
+}
+
+/// Unweighted BFS levels from `source` (`u32::MAX` = unreachable).
+pub fn bfs(g: &CsrGraph, source: VertexId) -> Vec<u32> {
+    bfs_tree(g, source).level
+}
+
+/// BFS producing the full tree and visit order.
+pub fn bfs_tree(g: &CsrGraph, source: VertexId) -> BfsTree {
+    let n = g.n();
+    assert!((source as usize) < n, "source out of range");
+    let mut level = vec![u32::MAX; n];
+    let mut parent_vertex = vec![u32::MAX; n];
+    let mut parent_edge = vec![u32::MAX; n];
+    let mut order = Vec::with_capacity(n);
+    let mut queue = std::collections::VecDeque::new();
+    level[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for &(v, e) in g.neighbors(u) {
+            if level[v as usize] == u32::MAX {
+                level[v as usize] = level[u as usize] + 1;
+                parent_vertex[v as usize] = u;
+                parent_edge[v as usize] = e;
+                queue.push_back(v);
+            }
+        }
+    }
+    BfsTree { source, level, parent_vertex, parent_edge, order }
+}
+
+/// Connected-component labelling.
+#[derive(Clone, Debug)]
+pub struct Components {
+    /// Component id of each vertex, compact in `0..count`.
+    pub comp: Vec<u32>,
+    /// Number of components.
+    pub count: usize,
+}
+
+impl Components {
+    /// True when the whole graph is one component (or empty).
+    pub fn is_connected(&self) -> bool {
+        self.count <= 1
+    }
+
+    /// Groups vertex ids by component.
+    pub fn members(&self) -> Vec<Vec<VertexId>> {
+        let mut out = vec![Vec::new(); self.count];
+        for (v, &c) in self.comp.iter().enumerate() {
+            out[c as usize].push(v as VertexId);
+        }
+        out
+    }
+}
+
+/// Labels connected components with a linear scan of BFS traversals.
+pub fn connected_components(g: &CsrGraph) -> Components {
+    let n = g.n();
+    let mut comp = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut queue = std::collections::VecDeque::new();
+    for s in 0..n as u32 {
+        if comp[s as usize] != u32::MAX {
+            continue;
+        }
+        comp[s as usize] = count;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for &(v, _) in g.neighbors(u) {
+                if comp[v as usize] == u32::MAX {
+                    comp[v as usize] = count;
+                    queue.push_back(v);
+                }
+            }
+        }
+        count += 1;
+    }
+    Components { comp, count: count as usize }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bfs_levels_on_path() {
+        let g = CsrGraph::from_edges(4, &[(0, 1, 1), (1, 2, 1), (2, 3, 1)]);
+        assert_eq!(bfs(&g, 0), vec![0, 1, 2, 3]);
+        assert_eq!(bfs(&g, 3), vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn bfs_order_and_parents_consistent() {
+        let g = CsrGraph::from_edges(5, &[(0, 1, 1), (0, 2, 1), (1, 3, 1), (2, 4, 1)]);
+        let t = bfs_tree(&g, 0);
+        assert_eq!(t.order[0], 0);
+        assert_eq!(t.order.len(), 5);
+        for &v in &t.order {
+            if v != 0 {
+                let p = t.parent_vertex[v as usize];
+                assert_eq!(t.level[v as usize], t.level[p as usize] + 1);
+                let e = g.edge(t.parent_edge[v as usize]);
+                assert!(e.u == v && e.v == p || e.u == p && e.v == v);
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_unreachable_vertices_keep_sentinel() {
+        let g = CsrGraph::from_edges(3, &[(0, 1, 1)]);
+        let t = bfs_tree(&g, 0);
+        assert_eq!(t.level[2], u32::MAX);
+        assert_eq!(t.order.len(), 2);
+    }
+
+    #[test]
+    fn components_on_two_islands() {
+        let g = CsrGraph::from_edges(5, &[(0, 1, 1), (1, 2, 1), (3, 4, 1)]);
+        let c = connected_components(&g);
+        assert_eq!(c.count, 2);
+        assert!(!c.is_connected());
+        assert_eq!(c.comp[0], c.comp[2]);
+        assert_ne!(c.comp[0], c.comp[3]);
+        let groups = c.members();
+        assert_eq!(groups[c.comp[0] as usize].len(), 3);
+        assert_eq!(groups[c.comp[3] as usize].len(), 2);
+    }
+
+    #[test]
+    fn isolated_vertices_are_singleton_components() {
+        let g = CsrGraph::from_edges(3, &[]);
+        let c = connected_components(&g);
+        assert_eq!(c.count, 3);
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        let g = CsrGraph::from_edges(0, &[]);
+        assert!(connected_components(&g).is_connected());
+    }
+
+    #[test]
+    fn self_loops_and_parallel_edges_do_not_confuse_traversal() {
+        let g = CsrGraph::from_edges(2, &[(0, 0, 1), (0, 1, 1), (0, 1, 2)]);
+        assert_eq!(bfs(&g, 0), vec![0, 1]);
+        assert_eq!(connected_components(&g).count, 1);
+    }
+}

@@ -1,0 +1,131 @@
+//! Fundamental identifier and weight types shared across the suite.
+
+/// Dense vertex identifier. Graphs in this suite always have vertex ids
+/// `0..n` with no holes; subgraph extraction produces remapped ids together
+/// with a [`crate::subgraph::SubgraphMap`] back to the parent graph.
+pub type VertexId = u32;
+
+/// Dense edge identifier, indexing the graph's edge array. Each undirected
+/// edge (including each copy of a parallel edge bundle and each self-loop)
+/// has exactly one id.
+pub type EdgeId = u32;
+
+/// Exact integer edge weight. Callers with fractional weights should scale
+/// to fixed point; keeping weights integral makes every distance equality in
+/// the test-suite exact, which matters for cross-validating five different
+/// minimum-cycle-basis implementations against each other.
+pub type Weight = u64;
+
+/// "Unreachable" sentinel distance. Chosen as `u64::MAX / 4` so that
+/// `INF + w + INF` for any realistic weight still cannot wrap.
+pub const INF: Weight = u64::MAX / 4;
+
+/// An undirected edge record: endpoints plus weight.
+///
+/// The `(u, v)` order is the insertion order and carries no meaning; use
+/// [`Edge::other`] to walk from a known endpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Edge {
+    /// First endpoint.
+    pub u: VertexId,
+    /// Second endpoint (equal to `u` for a self-loop).
+    pub v: VertexId,
+    /// Edge weight.
+    pub w: Weight,
+}
+
+impl Edge {
+    /// Creates an edge record.
+    pub fn new(u: VertexId, v: VertexId, w: Weight) -> Self {
+        Edge { u, v, w }
+    }
+
+    /// Returns the endpoint opposite `x`.
+    ///
+    /// For a self-loop both endpoints coincide, so the answer is `x` itself.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `x` is not an endpoint.
+    #[inline]
+    pub fn other(&self, x: VertexId) -> VertexId {
+        debug_assert!(x == self.u || x == self.v, "vertex {x} not on edge");
+        if x == self.u {
+            self.v
+        } else {
+            self.u
+        }
+    }
+
+    /// True when both endpoints coincide.
+    #[inline]
+    pub fn is_self_loop(&self) -> bool {
+        self.u == self.v
+    }
+
+    /// Endpoints in ascending order, useful as a canonical key when
+    /// deduplicating parallel edges.
+    #[inline]
+    pub fn key(&self) -> (VertexId, VertexId) {
+        if self.u <= self.v {
+            (self.u, self.v)
+        } else {
+            (self.v, self.u)
+        }
+    }
+}
+
+/// Saturating addition on distances that preserves the [`INF`] sentinel:
+/// anything at or above `INF` stays `INF`.
+#[inline]
+pub fn dist_add(a: Weight, b: Weight) -> Weight {
+    if a >= INF || b >= INF {
+        INF
+    } else {
+        let s = a.saturating_add(b);
+        if s >= INF {
+            INF
+        } else {
+            s
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_other_walks_both_ways() {
+        let e = Edge::new(3, 7, 10);
+        assert_eq!(e.other(3), 7);
+        assert_eq!(e.other(7), 3);
+    }
+
+    #[test]
+    fn edge_other_on_self_loop_is_identity() {
+        let e = Edge::new(5, 5, 2);
+        assert!(e.is_self_loop());
+        assert_eq!(e.other(5), 5);
+    }
+
+    #[test]
+    fn edge_key_is_canonical() {
+        assert_eq!(Edge::new(9, 2, 1).key(), (2, 9));
+        assert_eq!(Edge::new(2, 9, 1).key(), (2, 9));
+    }
+
+    #[test]
+    fn dist_add_saturates_at_inf() {
+        assert_eq!(dist_add(1, 2), 3);
+        assert_eq!(dist_add(INF, 5), INF);
+        assert_eq!(dist_add(5, INF), INF);
+        assert_eq!(dist_add(INF - 1, INF - 1), INF);
+        assert_eq!(dist_add(INF, INF), INF);
+    }
+
+    #[test]
+    fn inf_headroom_cannot_wrap() {
+        // Three INFs plus a large weight still fit in u64.
+        assert!(INF.checked_add(INF).and_then(|x| x.checked_add(INF)).is_some());
+    }
+}

@@ -1,0 +1,146 @@
+//! Operation counters reported by the algorithm kernels.
+//!
+//! Every workunit kernel returns a [`WorkCounters`] describing the work it
+//! actually performed; the device model converts those counts into modelled
+//! time. The categories mirror the phases the paper instruments in §3.5
+//! (label computation, minimum-cycle search, independence test) plus the
+//! Dijkstra relaxations that dominate the APSP phase (and define the MTEPS
+//! metric of Figure 3).
+
+/// Counts of the elementary operations a kernel performed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct WorkCounters {
+    /// Edge relaxations (Dijkstra / BFS sweeps).
+    pub edges_relaxed: u64,
+    /// Vertices settled / visited.
+    pub vertices_settled: u64,
+    /// Per-node labels computed (MCB Algorithm 3 passes).
+    pub labels_computed: u64,
+    /// Candidate cycles inspected during the minimum-cycle search.
+    pub cycles_inspected: u64,
+    /// 64-bit words touched by witness inner products and XOR updates.
+    pub words_xored: u64,
+    /// Post-processing distance combinations evaluated (the `min{...}`
+    /// formulas of paper §2.1.3) — irregular access (scattered anchor
+    /// lookups).
+    pub distances_combined: u64,
+    /// Dense, blocked distance combinations (the tiled min-plus kernels of
+    /// partition-based APSP): same arithmetic, cache/tile-resident
+    /// operands.
+    pub dense_combined: u64,
+}
+
+impl WorkCounters {
+    /// An empty counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Element-wise accumulation.
+    pub fn merge(&mut self, o: &WorkCounters) {
+        self.edges_relaxed += o.edges_relaxed;
+        self.vertices_settled += o.vertices_settled;
+        self.labels_computed += o.labels_computed;
+        self.cycles_inspected += o.cycles_inspected;
+        self.words_xored += o.words_xored;
+        self.distances_combined += o.distances_combined;
+        self.dense_combined += o.dense_combined;
+    }
+
+    /// Total elementary operations, weighted to a common "op" unit.
+    ///
+    /// An edge relaxation involves a weight fetch, an add, a compare and a
+    /// conditional heap push — heavier than a label XOR or a word XOR. The
+    /// weights keep different kernels comparable under one device model.
+    pub fn weighted_ops(&self) -> f64 {
+        self.edges_relaxed as f64 * 4.0
+            + self.vertices_settled as f64 * 6.0
+            + self.labels_computed as f64 * 2.0
+            + self.cycles_inspected as f64 * 3.0
+            + self.words_xored as f64 * 1.0
+            + self.distances_combined as f64 * 2.0
+            + self.dense_combined as f64 * 2.0
+    }
+
+    /// Approximate bytes of memory traffic behind those operations; the
+    /// device model compares compute-rate against bandwidth with this.
+    pub fn approx_bytes(&self) -> f64 {
+        self.edges_relaxed as f64 * 16.0
+            + self.vertices_settled as f64 * 24.0
+            + self.labels_computed as f64 * 16.0
+            + self.cycles_inspected as f64 * 12.0
+            + self.words_xored as f64 * 16.0
+            + self.distances_combined as f64 * 8.0
+            + self.dense_combined as f64 * 2.0
+    }
+
+    /// True when nothing was counted.
+    pub fn is_empty(&self) -> bool {
+        *self == WorkCounters::default()
+    }
+
+    /// Counters of `count` identical workunits of this cost.
+    pub fn scaled(&self, count: u64) -> WorkCounters {
+        WorkCounters {
+            edges_relaxed: self.edges_relaxed * count,
+            vertices_settled: self.vertices_settled * count,
+            labels_computed: self.labels_computed * count,
+            cycles_inspected: self.cycles_inspected * count,
+            words_xored: self.words_xored * count,
+            distances_combined: self.distances_combined * count,
+            dense_combined: self.dense_combined * count,
+        }
+    }
+}
+
+impl std::ops::Add for WorkCounters {
+    type Output = WorkCounters;
+    fn add(mut self, rhs: WorkCounters) -> WorkCounters {
+        self.merge(&rhs);
+        self
+    }
+}
+
+impl std::iter::Sum for WorkCounters {
+    fn sum<I: Iterator<Item = WorkCounters>>(iter: I) -> Self {
+        iter.fold(WorkCounters::default(), |acc, c| acc + c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates_all_fields() {
+        let a = WorkCounters { edges_relaxed: 1, vertices_settled: 2, labels_computed: 3, cycles_inspected: 4, words_xored: 5, distances_combined: 6, dense_combined: 7 };
+        let b = a;
+        let c = a + b;
+        assert_eq!(c.edges_relaxed, 2);
+        assert_eq!(c.distances_combined, 12);
+    }
+
+    #[test]
+    fn weighted_ops_monotone_in_counts() {
+        let small = WorkCounters { edges_relaxed: 10, ..Default::default() };
+        let big = WorkCounters { edges_relaxed: 100, ..Default::default() };
+        assert!(big.weighted_ops() > small.weighted_ops());
+        assert!(small.weighted_ops() > 0.0);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let parts = vec![
+            WorkCounters { words_xored: 7, ..Default::default() },
+            WorkCounters { words_xored: 3, ..Default::default() },
+        ];
+        let total: WorkCounters = parts.into_iter().sum();
+        assert_eq!(total.words_xored, 10);
+    }
+
+    #[test]
+    fn empty_detection() {
+        assert!(WorkCounters::new().is_empty());
+        assert!(!WorkCounters { labels_computed: 1, ..Default::default() }.is_empty());
+    }
+}

@@ -1,0 +1,132 @@
+//! The double-ended batched work queue (paper §2.3, after Indarapu et al.).
+//!
+//! Workunits are sorted by decreasing size so that the GPU — which amortises
+//! its launch overhead over big uniform batches — consumes from the *front*
+//! (largest units) while the CPU consumes from the *back* (smallest units).
+//! Both ends pop in batches sized to the device; the computation is done
+//! when the queue drains. Exactly-once delivery is guaranteed by a single
+//! mutex around the deque — contention is negligible because pops are
+//! batched (hundreds of units per lock acquisition).
+
+use std::collections::VecDeque;
+
+use parking_lot::Mutex;
+
+/// Thread-safe double-ended batch queue over workunit indices (or any
+/// payload `T`).
+#[derive(Debug)]
+pub struct WorkQueue<T> {
+    inner: Mutex<VecDeque<T>>,
+}
+
+impl<T> WorkQueue<T> {
+    /// Builds a queue from items already ordered front-to-back.
+    pub fn new(items: impl IntoIterator<Item = T>) -> Self {
+        WorkQueue { inner: Mutex::new(items.into_iter().collect()) }
+    }
+
+    /// Builds a queue sorted descending by `size`, so the front holds the
+    /// biggest workunits (paper: "sorted ... so that the GPU starts
+    /// accessing the bigger workunits"). Ties keep the input order.
+    pub fn sorted_desc_by_key<K: Ord>(mut items: Vec<T>, size: impl Fn(&T) -> K) -> Self {
+        items.sort_by(|a, b| size(b).cmp(&size(a)));
+        Self::new(items)
+    }
+
+    /// Pops up to `k` items from the front (the big-workunit end).
+    pub fn pop_front_batch(&self, k: usize) -> Vec<T> {
+        let mut q = self.inner.lock();
+        let take = k.min(q.len());
+        q.drain(..take).collect()
+    }
+
+    /// Pops up to `k` items from the back (the small-workunit end).
+    pub fn pop_back_batch(&self, k: usize) -> Vec<T> {
+        let mut q = self.inner.lock();
+        let take = k.min(q.len());
+        let start = q.len() - take;
+        let mut out: Vec<T> = q.drain(start..).collect();
+        // Keep "closest to the end first" ordering stable for consumers.
+        out.reverse();
+        out
+    }
+
+    /// Items remaining.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True when drained.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn sorted_desc_puts_big_units_in_front() {
+        let q = WorkQueue::sorted_desc_by_key(vec![3u64, 9, 1, 7], |&x| x);
+        assert_eq!(q.pop_front_batch(2), vec![9, 7]);
+        assert_eq!(q.pop_back_batch(2), vec![1, 3]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn front_and_back_batches_never_overlap() {
+        let q = WorkQueue::new(0..10u32);
+        let f = q.pop_front_batch(4);
+        let b = q.pop_back_batch(4);
+        assert_eq!(f, vec![0, 1, 2, 3]);
+        assert_eq!(b, vec![9, 8, 7, 6]);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn oversized_batch_drains_whats_left() {
+        let q = WorkQueue::new(0..3u32);
+        assert_eq!(q.pop_front_batch(100).len(), 3);
+        assert!(q.pop_back_batch(5).is_empty());
+    }
+
+    #[test]
+    fn concurrent_consumers_see_each_item_exactly_once() {
+        let n = 10_000u32;
+        let q = std::sync::Arc::new(WorkQueue::new(0..n));
+        let seen = std::sync::Arc::new(
+            (0..n).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>(),
+        );
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let q = q.clone();
+            let seen = seen.clone();
+            handles.push(std::thread::spawn(move || loop {
+                let batch = if t % 2 == 0 {
+                    q.pop_front_batch(7)
+                } else {
+                    q.pop_back_batch(13)
+                };
+                if batch.is_empty() {
+                    break;
+                }
+                for item in batch {
+                    seen[item as usize].fetch_add(1, Ordering::Relaxed);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(seen.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn empty_queue_reports_empty() {
+        let q: WorkQueue<u32> = WorkQueue::new(std::iter::empty());
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+    }
+}

@@ -1,0 +1,42 @@
+//! # ear-mcb
+//!
+//! Minimum weight cycle basis (paper §3): de Pina's witness algorithm with
+//! the Mehlhorn–Michail candidate restriction, run on the ear-reduced graph
+//! per Lemma 3.1, in four execution modes (sequential / multicore / GPU /
+//! CPU+GPU — the grid of the paper's Table 2).
+//!
+//! Module map:
+//! * [`cycle_space`] — spanning tree, the ordered non-tree edge set
+//!   `E' = {e₁..e_f}`, dense GF(2) witness vectors, sparse cycle vectors;
+//! * [`candidates`] — Horton cycles restricted to a feedback vertex set
+//!   (one SSSP tree per FVS vertex; cycles kept implicit as `(z, e)` pairs),
+//!   stored weight-sorted in the paper's hybrid linked-list-of-arrays
+//!   [`candidates::CycleStore`] with MSB tombstones;
+//! * [`labels`] — Algorithm 3: per-tree node labels that make each
+//!   orthogonality test O(1);
+//! * [`signed`] — de Pina's signed auxiliary-graph search (§3.2.1), used
+//!   both as a standalone exact algorithm and as the correctness backstop
+//!   when candidate restriction plus tie-breaking leaves a phase empty;
+//! * [`horton`] — Horton's original algorithm with Gaussian elimination
+//!   (small-graph cross-validation baseline);
+//! * [`depina`] — the phase loop: label pass → batched candidate scan →
+//!   witness update, instrumented per phase;
+//! * [`ear_mcb`] — the full pipeline: BCC split, ear reduction, per-block
+//!   MCB, chain re-expansion (Lemma 3.1);
+//! * [`verify`] — independence (GF(2) rank), dimension and weight checks.
+
+pub mod candidates;
+pub mod cycle_space;
+pub mod depina;
+pub mod ear_mcb;
+pub mod horton;
+pub mod labels;
+pub mod signed;
+pub mod verify;
+
+pub use cycle_space::{Cycle, CycleSpace, DenseBits};
+pub use depina::{depina_mcb, depina_mcb_traced, replay_trace, DepinaOptions, PhaseProfile, PhaseTrace};
+pub use ear_mcb::{mcb, mcb_all_modes, ExecMode, McbConfig, McbResult};
+pub use horton::horton_mcb;
+pub use signed::signed_mcb;
+pub use verify::{basis_rank, is_cycle_vector, verify_basis};

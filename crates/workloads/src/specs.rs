@@ -1,0 +1,241 @@
+//! The fifteen dataset rows of the paper's Table 1, as buildable specs.
+//!
+//! Each spec records the published statistics and a recipe that hits them:
+//! a base topology with (almost) no native degree-2 vertices, edge
+//! subdivision to plant the published degree-2 share, and pendants /
+//! satellite blocks to populate the published biconnected-component count.
+//! `build(scale, …)` divides all sizes by `scale`, keeping the *shares*
+//! fixed — the benches default to scaled-down graphs and EXPERIMENTS.md
+//! records the scale used.
+
+use ear_graph::CsrGraph;
+
+use crate::combinators::{attach_pendants, attach_satellite_blocks, subdivide_edges};
+use crate::generators::{power_law, random_min_deg3, small_world, triangulated_grid};
+
+/// The base topology family a spec grows from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BaseKind {
+    /// Triangulated grid — planar meshes (`nopoly`, `delaunay_n15`,
+    /// `Planar_*`).
+    Mesh,
+    /// Preferential attachment — collaboration and AS graphs.
+    PowerLaw,
+    /// Watts–Strogatz — optimisation-matrix style locality (`c-50`,
+    /// `OPF_3754`).
+    SmallWorld,
+    /// Random with minimum degree 3 — generic sparse cores.
+    RandomCore,
+}
+
+/// One Table 1 row.
+#[derive(Clone, Debug)]
+pub struct DatasetSpec {
+    /// Dataset name as printed in the paper.
+    pub name: &'static str,
+    /// Published `|V|`.
+    pub n: usize,
+    /// Published `|E|`.
+    pub m: usize,
+    /// Published number of biconnected components.
+    pub bccs: usize,
+    /// Published largest-BCC edge share (percent).
+    pub largest_bcc_pct: f64,
+    /// Published "Nodes Removed" share (percent of `|V|`).
+    pub removed_pct: f64,
+    /// Paper's reported memory for the paper's approach (MB).
+    pub paper_ours_mb: u64,
+    /// Paper's reported flat-table memory (MB).
+    pub paper_max_mb: u64,
+    /// Base topology.
+    pub base: BaseKind,
+    /// True for the OGDF-planar rows (drives the Djidjev comparison).
+    pub planar: bool,
+}
+
+impl DatasetSpec {
+    /// Builds a synthetic analog at `1/scale` of the published size.
+    ///
+    /// The recipe:
+    /// 1. budget the degree-2 population `n₂ = removed_pct·n` and the
+    ///    satellite/pendant population from the BCC count;
+    /// 2. generate the core on the remaining vertices with the remaining
+    ///    edge budget;
+    /// 3. subdivide random core edges to plant the `n₂` chain vertices;
+    /// 4. attach satellites/pendants for the BCC count.
+    pub fn build(&self, scale: usize, seed: u64) -> CsrGraph {
+        assert!(scale >= 1);
+        let n = (self.n / scale).max(24);
+        let m = (self.m / scale).max(n + 8);
+        let bccs = (self.bccs / scale).clamp(1, n / 8);
+
+        // Satellite blocks create bccs-1 extra components: half pendants
+        // (1 vertex, 1 edge), half triangles (2 vertices, 3 edges).
+        let extra = bccs - 1;
+        let pendants = extra / 2;
+        let satellites = extra - pendants;
+        let sat_vertices = satellites * 2 + pendants;
+        let sat_edges = satellites * 3 + pendants;
+
+        // Degree-2 chain vertices to plant, each adding one vertex and one
+        // edge over the core.
+        let n2 = ((self.removed_pct / 100.0) * n as f64) as usize;
+        let core_n = n.saturating_sub(n2 + sat_vertices).max(16);
+        let core_m = m.saturating_sub(n2 + sat_edges).max(core_n + 4);
+
+        // Chains: average length ~2 vertices (matching the short-chain
+        // profile of real sparse graphs); the count of subdivided edges
+        // follows.
+        let chain_len = 2usize;
+        let chains = n2.div_ceil(chain_len);
+
+        let core = match self.base {
+            BaseKind::Mesh => {
+                let rows = (core_n as f64).sqrt().round() as usize;
+                let cols = core_n.div_ceil(rows.max(1)).max(2);
+                triangulated_grid(rows.max(2), cols, seed)
+            }
+            BaseKind::PowerLaw => {
+                let attach = (core_m / core_n).clamp(2, 16);
+                power_law(core_n, attach, seed)
+            }
+            BaseKind::SmallWorld => {
+                let k = (core_m / core_n).clamp(2, 12);
+                small_world(core_n, k, 12, seed)
+            }
+            BaseKind::RandomCore => random_min_deg3(core_n, core_m, seed),
+        };
+        let with_chains = if n2 > 0 {
+            // Some chains come out shorter when n2 is not divisible; accept
+            // the ±chain_len wobble.
+            let mut g = subdivide_edges(&core, chains, chain_len, seed ^ 0xc4a1);
+            let planted = g.n() - core.n();
+            if planted + chain_len <= n2 {
+                g = subdivide_edges(&g, (n2 - planted) / chain_len, chain_len, seed ^ 0xc4a2);
+            }
+            g
+        } else {
+            core
+        };
+        let with_sats = if satellites > 0 {
+            attach_satellite_blocks(&with_chains, satellites, 3, seed ^ 0x5a7)
+        } else {
+            with_chains
+        };
+        if pendants > 0 {
+            attach_pendants(&with_sats, pendants, seed ^ 0x9e4d)
+        } else {
+            with_sats
+        }
+    }
+}
+
+/// The ten general-graph rows of Table 1 (University of Florida
+/// collection).
+pub fn table1_specs() -> Vec<DatasetSpec> {
+    vec![
+        DatasetSpec { name: "nopoly", n: 10_000, m: 30_000, bccs: 1, largest_bcc_pct: 100.0, removed_pct: 0.018, paper_ours_mb: 443, paper_max_mb: 443, base: BaseKind::Mesh, planar: false },
+        DatasetSpec { name: "OPF_3754", n: 15_000, m: 86_000, bccs: 1, largest_bcc_pct: 100.0, removed_pct: 1.98, paper_ours_mb: 873, paper_max_mb: 909, base: BaseKind::SmallWorld, planar: false },
+        DatasetSpec { name: "ca-AstroPh", n: 18_000, m: 198_000, bccs: 647, largest_bcc_pct: 98.43, removed_pct: 15.85, paper_ours_mb: 970, paper_max_mb: 1344, base: BaseKind::PowerLaw, planar: false },
+        DatasetSpec { name: "as-22july06", n: 22_000, m: 48_000, bccs: 13, largest_bcc_pct: 99.9, removed_pct: 77.60, paper_ours_mb: 851, paper_max_mb: 2012, base: BaseKind::PowerLaw, planar: false },
+        DatasetSpec { name: "c-50", n: 22_000, m: 90_000, bccs: 1, largest_bcc_pct: 100.0, removed_pct: 52.04, paper_ours_mb: 651, paper_max_mb: 1914, base: BaseKind::SmallWorld, planar: false },
+        DatasetSpec { name: "cond_mat_2003", n: 31_000, m: 120_000, bccs: 2157, largest_bcc_pct: 80.52, removed_pct: 26.88, paper_ours_mb: 1826, paper_max_mb: 3705, base: BaseKind::PowerLaw, planar: false },
+        DatasetSpec { name: "delaunay_n15", n: 32_000, m: 98_000, bccs: 1, largest_bcc_pct: 100.0, removed_pct: 0.0, paper_ours_mb: 4096, paper_max_mb: 4096, base: BaseKind::Mesh, planar: false },
+        DatasetSpec { name: "Rajat26", n: 51_000, m: 247_000, bccs: 5053, largest_bcc_pct: 95.17, removed_pct: 32.92, paper_ours_mb: 7176, paper_max_mb: 9934, base: BaseKind::RandomCore, planar: false },
+        DatasetSpec { name: "Wordnet3", n: 82_000, m: 132_000, bccs: 156, largest_bcc_pct: 98.92, removed_pct: 77.24, paper_ours_mb: 4663, paper_max_mb: 26_071, base: BaseKind::PowerLaw, planar: false },
+        DatasetSpec { name: "soc-sign-epinions", n: 131_000, m: 841_000, bccs: 609, largest_bcc_pct: 99.7, removed_pct: 67.86, paper_ours_mb: 12_932, paper_max_mb: 66_294, base: BaseKind::PowerLaw, planar: false },
+    ]
+}
+
+/// The five OGDF-planar rows of Table 1.
+pub fn planar_specs() -> Vec<DatasetSpec> {
+    vec![
+        DatasetSpec { name: "Planar_1", n: 19_000, m: 54_000, bccs: 46, largest_bcc_pct: 99.55, removed_pct: 12.42, paper_ours_mb: 1278, paper_max_mb: 1296, base: BaseKind::Mesh, planar: true },
+        DatasetSpec { name: "Planar_2", n: 25_000, m: 64_000, bccs: 164, largest_bcc_pct: 93.65, removed_pct: 5.63, paper_ours_mb: 1627, paper_max_mb: 1881, base: BaseKind::Mesh, planar: true },
+        DatasetSpec { name: "Planar_3", n: 30_000, m: 70_000, bccs: 298, largest_bcc_pct: 96.53, removed_pct: 19.72, paper_ours_mb: 2068, paper_max_mb: 2275, base: BaseKind::Mesh, planar: true },
+        DatasetSpec { name: "Planar_4", n: 36_000, m: 94_000, bccs: 175, largest_bcc_pct: 98.37, removed_pct: 18.56, paper_ours_mb: 3890, paper_max_mb: 4074, base: BaseKind::Mesh, planar: true },
+        DatasetSpec { name: "Planar_5", n: 41_000, m: 128_000, bccs: 223, largest_bcc_pct: 95.63, removed_pct: 16.34, paper_ours_mb: 4350, paper_max_mb: 4942, base: BaseKind::Mesh, planar: true },
+    ]
+}
+
+/// All fifteen rows, general then planar.
+pub fn all_specs() -> Vec<DatasetSpec> {
+    let mut v = table1_specs();
+    v.extend(planar_specs());
+    v
+}
+
+/// The seven MCB evaluation graphs (paper §3.5 uses "the first seven
+/// graphs listed in Table 1").
+pub fn mcb_specs() -> Vec<DatasetSpec> {
+    table1_specs().into_iter().take(7).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::GraphStats;
+    use ear_graph::connected_components;
+
+    #[test]
+    fn all_specs_build_connected_graphs_at_high_scale() {
+        for spec in all_specs() {
+            let g = spec.build(64, 7);
+            assert!(g.n() > 0, "{}", spec.name);
+            assert!(
+                connected_components(&g).is_connected(),
+                "{} disconnected",
+                spec.name
+            );
+            assert!(g.is_simple(), "{} not simple", spec.name);
+        }
+    }
+
+    #[test]
+    fn removed_share_tracks_spec() {
+        // The two specs with dominant degree-2 share must land close.
+        for spec in table1_specs() {
+            if spec.removed_pct < 30.0 {
+                continue;
+            }
+            let g = spec.build(32, 3);
+            let s = GraphStats::measure(&g);
+            let got = s.removed_pct();
+            assert!(
+                (got - spec.removed_pct).abs() < 12.0,
+                "{}: wanted {}% got {got}%",
+                spec.name,
+                spec.removed_pct
+            );
+        }
+    }
+
+    #[test]
+    fn bcc_counts_scale_down() {
+        let spec = &table1_specs()[5]; // cond_mat_2003, 2157 BCCs
+        let g = spec.build(32, 9);
+        let s = GraphStats::measure(&g);
+        let want = (spec.bccs / 32).max(1);
+        assert!(
+            s.n_bccs as f64 >= want as f64 * 0.5 && s.n_bccs as f64 <= want as f64 * 2.0,
+            "wanted ≈{want} got {}",
+            s.n_bccs
+        );
+    }
+
+    #[test]
+    fn mesh_specs_have_negligible_degree_two() {
+        let spec = &table1_specs()[6]; // delaunay_n15
+        let g = spec.build(16, 5);
+        let s = GraphStats::measure(&g);
+        assert!(s.removed_pct() < 2.0, "got {}%", s.removed_pct());
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let spec = &table1_specs()[2];
+        let a = spec.build(64, 1);
+        let b = spec.build(64, 1);
+        assert_eq!(a.edges(), b.edges());
+    }
+}

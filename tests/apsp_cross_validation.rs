@@ -1,0 +1,135 @@
+//! Cross-validation of every APSP implementation against the
+//! Floyd–Warshall oracle on random graphs.
+
+use ear_apsp::baselines::{floyd_warshall, plain_apsp};
+use ear_apsp::djidjev::djidjev_apsp;
+use ear_apsp::ear::ear_apsp;
+use ear_apsp::{build_oracle, ApspMethod};
+use ear_graph::{CsrGraph, Weight};
+use ear_hetero::HeteroExecutor;
+use proptest::prelude::*;
+
+fn simple_graph(nmax: usize) -> impl Strategy<Value = CsrGraph> {
+    (2..nmax).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32, 1..100u64), 0..(3 * n))
+            .prop_map(move |raw| {
+                let mut seen = std::collections::HashSet::new();
+                let edges: Vec<(u32, u32, Weight)> = raw
+                    .into_iter()
+                    .filter(|&(u, v, _)| u != v)
+                    .filter(|&(u, v, _)| seen.insert((u.min(v), u.max(v))))
+                    .collect();
+                CsrGraph::from_edges(n, &edges)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Algorithm 1 (single-matrix form) equals the oracle on arbitrary
+    /// simple graphs, under both device configurations.
+    #[test]
+    fn ear_apsp_matches_floyd_warshall(g in simple_graph(28)) {
+        let fw = floyd_warshall(&g);
+        for exec in [HeteroExecutor::sequential(), HeteroExecutor::cpu_gpu()] {
+            let out = ear_apsp(&g, &exec);
+            prop_assert_eq!(&out.dist, &fw);
+        }
+    }
+
+    /// The general-graph oracle (both per-block methods) answers every
+    /// query exactly.
+    #[test]
+    fn oracle_matches_floyd_warshall(g in simple_graph(28)) {
+        let fw = floyd_warshall(&g);
+        let exec = HeteroExecutor::cpu_gpu();
+        for method in [ApspMethod::Ear, ApspMethod::Plain] {
+            let o = build_oracle(&g, &exec, method);
+            for u in 0..g.n() as u32 {
+                for v in 0..g.n() as u32 {
+                    prop_assert_eq!(o.dist(u, v), fw.get(u, v), "method {:?} ({},{})", method, u, v);
+                }
+            }
+        }
+    }
+
+    /// The Djidjev partition baseline is exact for any part count.
+    #[test]
+    fn djidjev_matches_floyd_warshall(g in simple_graph(24), k in 1usize..6) {
+        let fw = floyd_warshall(&g);
+        let out = djidjev_apsp(&g, k, &HeteroExecutor::sequential());
+        prop_assert_eq!(&out.dist, &fw);
+    }
+
+    /// Plain all-sources Dijkstra agrees too (and with parallel edges and
+    /// self-loops present, which the others don't accept).
+    #[test]
+    fn plain_apsp_matches_on_multigraphs(
+        n in 2usize..20,
+        raw in proptest::collection::vec((0u32..20, 0u32..20, 1u64..50), 0..60)
+    ) {
+        let edges: Vec<(u32, u32, Weight)> = raw
+            .into_iter()
+            .map(|(u, v, w)| (u % n as u32, v % n as u32, w))
+            .collect();
+        let g = CsrGraph::from_edges(n, &edges);
+        let fw = floyd_warshall(&g);
+        let (m, _) = plain_apsp(&g, &HeteroExecutor::cpu_gpu());
+        prop_assert_eq!(&m, &fw);
+    }
+
+    /// Memory accounting: the oracle's table entries never exceed the flat
+    /// table, and they match the definition `a² + Σ nᵢ²` recomputed here.
+    #[test]
+    fn oracle_memory_accounting(g in simple_graph(32)) {
+        let o = build_oracle(&g, &HeteroExecutor::sequential(), ApspMethod::Ear);
+        let s = o.stats();
+        let bcc = ear_decomp::bcc::biconnected_components(&g);
+        let a = bcc.articulation_points().len() as u64;
+        let sum_sq: u64 = (0..bcc.count())
+            .map(|b| (bcc.comp_vertices(&g, b).len() as u64).pow(2))
+            .sum();
+        prop_assert_eq!(s.table_entries, a * a + sum_sq);
+        prop_assert_eq!(s.articulation_points as u64, a);
+    }
+}
+
+/// Deterministic regression: a graph exercising every routing case at once
+/// (blocks, bridges, pendants, chains, isolated vertices).
+#[test]
+fn kitchen_sink_graph() {
+    let g = CsrGraph::from_edges(
+        14,
+        &[
+            // Block A: square with chord.
+            (0, 1, 3),
+            (1, 2, 4),
+            (2, 3, 5),
+            (3, 0, 6),
+            (0, 2, 7),
+            // Bridge to block B (pure cycle of degree-2 vertices).
+            (2, 4, 2),
+            (4, 5, 1),
+            (5, 6, 1),
+            (6, 7, 1),
+            (7, 4, 1),
+            // Pendant chain.
+            (6, 8, 9),
+            (8, 9, 9),
+            // Second component: a triangle.
+            (10, 11, 2),
+            (11, 12, 2),
+            (12, 10, 2),
+            // Vertex 13 isolated.
+        ],
+    );
+    let fw = floyd_warshall(&g);
+    let exec = HeteroExecutor::cpu_gpu();
+    for method in [ApspMethod::Ear, ApspMethod::Plain] {
+        let o = build_oracle(&g, &exec, method);
+        assert_eq!(o.materialize(), fw, "{method:?}");
+    }
+    let out = ear_apsp(&g, &exec);
+    assert_eq!(out.dist, fw);
+}
