@@ -13,7 +13,10 @@ use crate::matrix::DistMatrix;
 
 /// All-sources Dijkstra through the heterogeneous executor; one workunit
 /// per source vertex, exactly like the paper's Phase II (`{cpu,gpu}`).
-pub fn plain_apsp(g: &CsrGraph, exec: &HeteroExecutor) -> (DistMatrix, ear_hetero::ExecutionReport) {
+pub fn plain_apsp(
+    g: &CsrGraph,
+    exec: &HeteroExecutor,
+) -> (DistMatrix, ear_hetero::ExecutionReport) {
     let sources: Vec<u32> = (0..g.n() as u32).collect();
     let m_hint = g.m() as u64 + 1;
     let RunOutput { results, report } = exec.run(

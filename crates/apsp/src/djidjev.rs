@@ -53,15 +53,20 @@ pub fn djidjev_apsp(g: &CsrGraph, k: usize, exec: &HeteroExecutor) -> DjidjevOut
     let k = p.k;
 
     // Per-part induced subgraphs.
-    let subs: Vec<(CsrGraph, ear_graph::SubgraphMap)> =
-        parts.iter().map(|m| ear_graph::induced_subgraph(g, m)).collect();
+    let subs: Vec<(CsrGraph, ear_graph::SubgraphMap)> = parts
+        .iter()
+        .map(|m| ear_graph::induced_subgraph(g, m))
+        .collect();
 
     // Phase A: all-sources Dijkstra inside every part, one workunit per
     // (part, source).
     let units: Vec<(u32, u32)> = (0..k as u32)
         .flat_map(|pi| (0..subs[pi as usize].0.n() as u32).map(move |s| (pi, s)))
         .collect();
-    let RunOutput { results: local_rows, report: part_report } = exec.run(
+    let RunOutput {
+        results: local_rows,
+        report: part_report,
+    } = exec.run(
         units.clone(),
         |&(pi, _)| subs[pi as usize].0.m() as u64 + 1,
         |&(pi, s)| {
@@ -77,8 +82,7 @@ pub fn djidjev_apsp(g: &CsrGraph, k: usize, exec: &HeteroExecutor) -> DjidjevOut
         },
     );
     // Assemble per-part matrices.
-    let mut local: Vec<DistMatrix> =
-        subs.iter().map(|(sg, _)| DistMatrix::new(sg.n())).collect();
+    let mut local: Vec<DistMatrix> = subs.iter().map(|(sg, _)| DistMatrix::new(sg.n())).collect();
     for ((pi, s), row) in units.into_iter().zip(local_rows) {
         for (t, w) in row.into_iter().enumerate() {
             local[pi as usize].set(s, t as u32, w);
@@ -115,7 +119,10 @@ pub fn djidjev_apsp(g: &CsrGraph, k: usize, exec: &HeteroExecutor) -> DjidjevOut
         }
     }
     let bg = CsrGraph::from_edges(bn, &b_edges);
-    let RunOutput { results: b_rows, report: bnd_report } = exec.run(
+    let RunOutput {
+        results: b_rows,
+        report: bnd_report,
+    } = exec.run(
         (0..bn as u32).collect::<Vec<_>>(),
         |_| bg.m() as u64 + 1,
         |&s| {
@@ -133,17 +140,36 @@ pub fn djidjev_apsp(g: &CsrGraph, k: usize, exec: &HeteroExecutor) -> DjidjevOut
     let db = DistMatrix::from_rows(b_rows);
 
     // Phase C: combine — one workunit per source vertex.
-    let RunOutput { results: rows, report: combine } = exec.run(
+    let RunOutput {
+        results: rows,
+        report: combine,
+    } = exec.run(
         (0..n as u32).collect::<Vec<_>>(),
         |_| n as u64,
         |&u| {
-            combine_row(g, &p, &subs, &local, &boundary, &b_index, &per_part_boundary, &db, u)
+            combine_row(
+                g,
+                &p,
+                &subs,
+                &local,
+                &boundary,
+                &b_index,
+                &per_part_boundary,
+                &db,
+                u,
+            )
         },
     );
     let dist = DistMatrix::from_rows(rows);
 
     let processing = merge_reports(part_report, bnd_report);
-    DjidjevOutput { dist, k, boundary_n: bn, processing, combine }
+    DjidjevOutput {
+        dist,
+        k,
+        boundary_n: bn,
+        processing,
+        combine,
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -212,7 +238,13 @@ fn combine_row(
         }
         row[v as usize] = best;
     }
-    (row, WorkCounters { dense_combined: combos, ..Default::default() })
+    (
+        row,
+        WorkCounters {
+            dense_combined: combos,
+            ..Default::default()
+        },
+    )
 }
 
 fn merge_reports(mut a: ExecutionReport, b: ExecutionReport) -> ExecutionReport {
@@ -282,15 +314,26 @@ mod tests {
 
     #[test]
     fn weighted_ring_crossing_parts() {
-        let edges: Vec<(u32, u32, u64)> =
-            (0..12).map(|i| (i, (i + 1) % 12, (i as u64 % 3) + 1)).collect();
+        let edges: Vec<(u32, u32, u64)> = (0..12)
+            .map(|i| (i, (i + 1) % 12, (i as u64 % 3) + 1))
+            .collect();
         let g = CsrGraph::from_edges(12, &edges);
         check(&g, 3);
     }
 
     #[test]
     fn disconnected_graph() {
-        let g = CsrGraph::from_edges(7, &[(0, 1, 2), (1, 2, 2), (2, 0, 3), (3, 4, 1), (4, 5, 1), (5, 6, 1)]);
+        let g = CsrGraph::from_edges(
+            7,
+            &[
+                (0, 1, 2),
+                (1, 2, 2),
+                (2, 0, 3),
+                (3, 4, 1),
+                (4, 5, 1),
+                (5, 6, 1),
+            ],
+        );
         check(&g, 3);
     }
 

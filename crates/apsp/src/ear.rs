@@ -58,7 +58,10 @@ pub fn ear_apsp(g: &CsrGraph, exec: &HeteroExecutor) -> EarApspOutput {
 
     // Phase II: all-sources Dijkstra on G^r.
     let m_hint = r.reduced.m() as u64 + 1;
-    let RunOutput { results: sr_rows, report: processing } = exec.run(
+    let RunOutput {
+        results: sr_rows,
+        report: processing,
+    } = exec.run(
         (0..nr as u32).collect::<Vec<_>>(),
         |_| m_hint,
         |&s| {
@@ -75,7 +78,10 @@ pub fn ear_apsp(g: &CsrGraph, exec: &HeteroExecutor) -> EarApspOutput {
 
     // Phase III: one workunit per original vertex (its row of S).
     let n = g.n();
-    let RunOutput { results: rows, report: post } = exec.run(
+    let RunOutput {
+        results: rows,
+        report: post,
+    } = exec.run(
         (0..n as u32).collect::<Vec<_>>(),
         |_| n as u64,
         |&x| extend_row(g, &r, &sr, x),
@@ -158,7 +164,10 @@ pub(crate) fn extend_row(
             }
         }
     }
-    let counters = WorkCounters { distances_combined: combos, ..Default::default() };
+    let counters = WorkCounters {
+        distances_combined: combos,
+        ..Default::default()
+    };
     (row, counters)
 }
 
@@ -229,7 +238,17 @@ mod tests {
 
     #[test]
     fn no_degree_two_vertices() {
-        let g = CsrGraph::from_edges(4, &[(0, 1, 1), (0, 2, 2), (0, 3, 3), (1, 2, 4), (1, 3, 5), (2, 3, 6)]);
+        let g = CsrGraph::from_edges(
+            4,
+            &[
+                (0, 1, 1),
+                (0, 2, 2),
+                (0, 3, 3),
+                (1, 2, 4),
+                (1, 3, 5),
+                (2, 3, 6),
+            ],
+        );
         let out = check(&g);
         assert_eq!(out.removed, 0);
         assert_eq!(out.reduced_n, 4);
@@ -237,7 +256,17 @@ mod tests {
 
     #[test]
     fn disconnected_graph_saturates() {
-        let g = CsrGraph::from_edges(6, &[(0, 1, 1), (1, 2, 1), (2, 0, 1), (3, 4, 2), (4, 5, 2), (5, 3, 2)]);
+        let g = CsrGraph::from_edges(
+            6,
+            &[
+                (0, 1, 1),
+                (1, 2, 1),
+                (2, 0, 1),
+                (3, 4, 2),
+                (4, 5, 2),
+                (5, 3, 2),
+            ],
+        );
         check(&g);
     }
 
@@ -246,7 +275,14 @@ mod tests {
         // Hub triangle with a dangling path 2-3-4-5.
         let g = CsrGraph::from_edges(
             6,
-            &[(0, 1, 1), (1, 2, 1), (2, 0, 1), (2, 3, 2), (3, 4, 3), (4, 5, 4)],
+            &[
+                (0, 1, 1),
+                (1, 2, 1),
+                (2, 0, 1),
+                (2, 3, 2),
+                (3, 4, 3),
+                (4, 5, 4),
+            ],
         );
         let out = check(&g);
         // 3 and 4 are interior of the pendant chain; the triangle's 0 and 1
@@ -301,7 +337,15 @@ mod tests {
     fn executor_variants_agree() {
         let g = CsrGraph::from_edges(
             6,
-            &[(0, 1, 3), (1, 2, 4), (2, 0, 5), (2, 3, 1), (3, 4, 2), (4, 5, 6), (5, 2, 7)],
+            &[
+                (0, 1, 3),
+                (1, 2, 4),
+                (2, 0, 5),
+                (2, 3, 1),
+                (3, 4, 2),
+                (4, 5, 6),
+                (5, 2, 7),
+            ],
         );
         let a = ear_apsp(&g, &HeteroExecutor::sequential());
         let b = ear_apsp(&g, &HeteroExecutor::cpu_gpu());
@@ -320,8 +364,7 @@ mod tests {
         let g = CsrGraph::from_edges(21, &edges);
         let out = check(&g);
         assert_eq!(out.reduced_n, 1);
-        let (_, plain_rep) =
-            crate::baselines::plain_apsp(&g, &HeteroExecutor::sequential());
+        let (_, plain_rep) = crate::baselines::plain_apsp(&g, &HeteroExecutor::sequential());
         assert!(
             out.processing.total_counters().edges_relaxed
                 < plain_rep.total_counters().edges_relaxed / 10

@@ -170,8 +170,7 @@ impl DistanceOracle {
                 if y == x {
                     continue;
                 }
-                if dist_add(g.weight(e), self.dist(y, v)) == dx
-                    && next.is_none_or(|(_, be)| e < be)
+                if dist_add(g.weight(e), self.dist(y, v)) == dx && next.is_none_or(|(_, be)| e < be)
                 {
                     next = Some((y, e));
                 }
@@ -271,7 +270,10 @@ pub fn build_oracle(g: &CsrGraph, exec: &HeteroExecutor, method: ApspMethod) -> 
             (0..srcs as u32).map(move |s| (b, s))
         })
         .collect();
-    let RunOutput { results: rows, report: phase2 } = exec.run(
+    let RunOutput {
+        results: rows,
+        report: phase2,
+    } = exec.run(
         units.clone(),
         |&(b, _)| match &reductions[b as usize] {
             Some(r) => r.reduced.m() as u64 + 1,
@@ -314,7 +316,10 @@ pub fn build_oracle(g: &CsrGraph, exec: &HeteroExecutor, method: ApspMethod) -> 
             let units: Vec<(u32, u32)> = (0..nb as u32)
                 .flat_map(|b| (0..subs[b as usize].0.n() as u32).map(move |x| (b, x)))
                 .collect();
-            let RunOutput { results: rows, report } = exec.run(
+            let RunOutput {
+                results: rows,
+                report,
+            } = exec.run(
                 units.clone(),
                 |&(b, _)| subs[b as usize].0.n() as u64,
                 |&(b, x)| match reductions[b as usize].as_ref() {
@@ -356,7 +361,10 @@ pub fn build_oracle(g: &CsrGraph, exec: &HeteroExecutor, method: ApspMethod) -> 
         }
     }
     let ap_graph = CsrGraph::from_edges(a, &ap_edges);
-    let RunOutput { results: ap_rows, report: ap_phase } = exec.run(
+    let RunOutput {
+        results: ap_rows,
+        report: ap_phase,
+    } = exec.run(
         (0..a as u32).collect::<Vec<_>>(),
         |_| ap_graph.m() as u64 + 1,
         |&s| {
@@ -379,13 +387,20 @@ pub fn build_oracle(g: &CsrGraph, exec: &HeteroExecutor, method: ApspMethod) -> 
         .map(|r| r.as_ref().map_or(0, |r| r.removed_count()))
         .sum();
     let largest = bcc.largest().map_or(0, |b| bcc.comps[b].len());
-    let table_entries =
-        (a as u64) * (a as u64) + subs.iter().map(|(sg, _)| (sg.n() as u64).pow(2)).sum::<u64>();
+    let table_entries = (a as u64) * (a as u64)
+        + subs
+            .iter()
+            .map(|(sg, _)| (sg.n() as u64).pow(2))
+            .sum::<u64>();
     let stats = OracleStats {
         n: g.n(),
         m: g.m(),
         n_bccs: nb,
-        largest_bcc_edge_share: if g.m() == 0 { 0.0 } else { largest as f64 / g.m() as f64 },
+        largest_bcc_edge_share: if g.m() == 0 {
+            0.0
+        } else {
+            largest as f64 / g.m() as f64
+        },
         removed_vertices: removed,
         articulation_points: a,
         table_entries,
@@ -397,7 +412,15 @@ pub fn build_oracle(g: &CsrGraph, exec: &HeteroExecutor, method: ApspMethod) -> 
         None => phase2,
     };
     let maps = subs.into_iter().map(|(_, m)| m).collect();
-    DistanceOracle { bct, tables, maps, ap_table, stats, processing, ap_phase }
+    DistanceOracle {
+        bct,
+        tables,
+        maps,
+        ap_table,
+        stats,
+        processing,
+        ap_phase,
+    }
 }
 
 fn merge_reports(mut a: ExecutionReport, b: ExecutionReport) -> ExecutionReport {

@@ -38,7 +38,9 @@ impl Partition {
                 is_boundary[e.v as usize] = true;
             }
         }
-        (0..g.n() as u32).filter(|&v| is_boundary[v as usize]).collect()
+        (0..g.n() as u32)
+            .filter(|&v| is_boundary[v as usize])
+            .collect()
     }
 
     /// Edges whose endpoints lie in different parts.
@@ -60,7 +62,10 @@ pub fn partition_graph(g: &CsrGraph, k: usize) -> Partition {
     let n = g.n();
     assert!(k >= 1, "k must be positive");
     if n == 0 {
-        return Partition { part: Vec::new(), k: 0 };
+        return Partition {
+            part: Vec::new(),
+            k: 0,
+        };
     }
     let comps = ear_graph::connected_components(g);
     let groups = comps.members();
@@ -135,7 +140,10 @@ pub fn partition_graph(g: &CsrGraph, k: usize) -> Partition {
         }
     }
     debug_assert!(part.iter().all(|&p| p != u32::MAX));
-    Partition { part, k: seeds.len() }
+    Partition {
+        part,
+        k: seeds.len(),
+    }
 }
 
 /// Farthest-point sampling restricted to one component's members.

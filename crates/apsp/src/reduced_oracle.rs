@@ -55,11 +55,14 @@ impl ReducedOracle {
             let (sub, map) = edge_subgraph(g, &bcc.comps[b]);
             let red = sub.is_simple().then(|| reduce_graph(&sub));
             let srn = red.as_ref().map_or(sub.n(), |r| r.reduced.n());
-            blocks.push(BlockData { map, red, sr: DistMatrix::new(srn) });
+            blocks.push(BlockData {
+                map,
+                red,
+                sr: DistMatrix::new(srn),
+            });
         }
         // Keep the subgraphs alive for the Dijkstra phase.
-        let subs: Vec<CsrGraph> =
-            (0..nb).map(|b| edge_subgraph(g, &bcc.comps[b]).0).collect();
+        let subs: Vec<CsrGraph> = (0..nb).map(|b| edge_subgraph(g, &bcc.comps[b]).0).collect();
 
         let units: Vec<(u32, u32)> = (0..nb as u32)
             .flat_map(|b| {
@@ -67,7 +70,10 @@ impl ReducedOracle {
                 (0..srcs as u32).map(move |s| (b, s))
             })
             .collect();
-        let RunOutput { results: rows, report: processing } = exec.run(
+        let RunOutput {
+            results: rows,
+            report: processing,
+        } = exec.run(
             units.clone(),
             |&(b, _)| subs[b as usize].m() as u64 + 1,
             |&(b, s)| {
@@ -97,11 +103,9 @@ impl ReducedOracle {
         // itself be a degree-2 vertex of its block).
         let a = bct.ap_count();
         let mut ap_edges: Vec<(u32, u32, Weight)> = Vec::new();
-        for b in 0..nb {
-            let aps = &bct.block_aps[b];
+        for (blk, aps) in blocks.iter().zip(&bct.block_aps) {
             for i in 0..aps.len() {
                 for j in i + 1..aps.len() {
-                    let blk = &blocks[b];
                     let (lu, lv) = (
                         blk.map.local(aps[i]).unwrap(),
                         blk.map.local(aps[j]).unwrap(),
@@ -118,17 +122,28 @@ impl ReducedOracle {
             }
         }
         let ap_graph = CsrGraph::from_edges(a, &ap_edges);
-        let ap_rows: Vec<Vec<Weight>> =
-            (0..a as u32).map(|s| ear_graph::dijkstra(&ap_graph, s)).collect();
+        let ap_rows: Vec<Vec<Weight>> = (0..a as u32)
+            .map(|s| ear_graph::dijkstra(&ap_graph, s))
+            .collect();
         let ap_table = DistMatrix::from_rows(ap_rows);
 
-        ReducedOracle { bct, blocks, ap_table, n: g.n(), processing }
+        ReducedOracle {
+            bct,
+            blocks,
+            ap_table,
+            n: g.n(),
+            processing,
+        }
     }
 
     /// Stored table entries: `a² + Σ (nᵢʳ)²`.
     pub fn table_entries(&self) -> u64 {
         (self.ap_table.n() as u64).pow(2)
-            + self.blocks.iter().map(|b| (b.sr.n() as u64).pow(2)).sum::<u64>()
+            + self
+                .blocks
+                .iter()
+                .map(|b| (b.sr.n() as u64).pow(2))
+                .sum::<u64>()
     }
 
     /// Shortest-path distance, `INF` when disconnected.
@@ -188,7 +203,9 @@ fn block_pair_dist(blk: &BlockData, u: VertexId, v: VertexId) -> Weight {
         return blk.sr.get(u, v);
     };
     match (r.removed[u as usize], r.removed[v as usize]) {
-        (None, None) => blk.sr.get(r.to_reduced[u as usize], r.to_reduced[v as usize]),
+        (None, None) => blk
+            .sr
+            .get(r.to_reduced[u as usize], r.to_reduced[v as usize]),
         (None, Some(iy)) => {
             let lu = r.to_reduced[u as usize];
             two_way(&blk.sr, lu, r, &iy)
@@ -198,12 +215,27 @@ fn block_pair_dist(blk: &BlockData, u: VertexId, v: VertexId) -> Weight {
             two_way(&blk.sr, lv, r, &ix)
         }
         (Some(ix), Some(iy)) => {
-            let (lxl, lxr) = (r.to_reduced[ix.left as usize], r.to_reduced[ix.right as usize]);
-            let (lyl, lyr) = (r.to_reduced[iy.left as usize], r.to_reduced[iy.right as usize]);
+            let (lxl, lxr) = (
+                r.to_reduced[ix.left as usize],
+                r.to_reduced[ix.right as usize],
+            );
+            let (lyl, lyr) = (
+                r.to_reduced[iy.left as usize],
+                r.to_reduced[iy.right as usize],
+            );
             let mut best = dist_add(ix.w_left, dist_add(blk.sr.get(lxl, lyl), iy.w_left))
-                .min(dist_add(ix.w_left, dist_add(blk.sr.get(lxl, lyr), iy.w_right)))
-                .min(dist_add(ix.w_right, dist_add(blk.sr.get(lxr, lyl), iy.w_left)))
-                .min(dist_add(ix.w_right, dist_add(blk.sr.get(lxr, lyr), iy.w_right)));
+                .min(dist_add(
+                    ix.w_left,
+                    dist_add(blk.sr.get(lxl, lyr), iy.w_right),
+                ))
+                .min(dist_add(
+                    ix.w_right,
+                    dist_add(blk.sr.get(lxr, lyl), iy.w_left),
+                ))
+                .min(dist_add(
+                    ix.w_right,
+                    dist_add(blk.sr.get(lxr, lyr), iy.w_right),
+                ));
             if ix.chain == iy.chain {
                 best = best.min(ix.w_left.abs_diff(iy.w_left));
             }

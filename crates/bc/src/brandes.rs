@@ -63,7 +63,13 @@ fn count_paths(g: &CsrGraph, s: VertexId) -> Sssp {
             }
         }
     }
-    Sssp { dist, sigma, preds, order, stats }
+    Sssp {
+        dist,
+        sigma,
+        preds,
+        order,
+        stats,
+    }
 }
 
 /// Dependency accumulation from one source: returns `δ_s(v)` for all `v`,
@@ -271,7 +277,15 @@ mod tests {
     fn hetero_matches_sequential() {
         let g = CsrGraph::from_edges(
             6,
-            &[(0, 1, 2), (1, 2, 2), (2, 3, 1), (3, 4, 1), (4, 5, 3), (5, 0, 2), (1, 4, 5)],
+            &[
+                (0, 1, 2),
+                (1, 2, 2),
+                (2, 3, 1),
+                (3, 4, 1),
+                (4, 5, 3),
+                (5, 0, 2),
+                (1, 4, 5),
+            ],
         );
         let (bc, report) = betweenness_hetero(&g, &HeteroExecutor::cpu_gpu());
         close(&bc, &betweenness(&g));

@@ -32,7 +32,10 @@ fn bench_queue(c: &mut Criterion) {
     let kernel = |x: &u64| {
         (
             x.wrapping_mul(2654435761),
-            WorkCounters { edges_relaxed: 16, ..Default::default() },
+            WorkCounters {
+                edges_relaxed: 16,
+                ..Default::default()
+            },
         )
     };
     for &n in &[1_000usize, 10_000] {

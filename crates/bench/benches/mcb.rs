@@ -19,7 +19,9 @@ fn bench_mcb(c: &mut Criterion) {
     // Small graph where even Horton is feasible: the algorithm ladder.
     let small = random_min_deg3(60, 140, 3);
     group.bench_function("horton/n60", |b| b.iter(|| black_box(horton_mcb(&small))));
-    group.bench_function("signed_depina/n60", |b| b.iter(|| black_box(signed_mcb(&small))));
+    group.bench_function("signed_depina/n60", |b| {
+        b.iter(|| black_box(signed_mcb(&small)))
+    });
     group.bench_function("restricted_depina/n60", |b| {
         let exec = HeteroExecutor::sequential();
         b.iter(|| black_box(depina_mcb(&small, &exec, &DepinaOptions::default())))
@@ -30,10 +32,26 @@ fn bench_mcb(c: &mut Criterion) {
     let core = random_min_deg3(90, 200, 5);
     let chained = subdivide_edges(&core, 180, 2, 6);
     group.bench_function("pipeline_ear/n450", |b| {
-        b.iter(|| black_box(mcb(&chained, &McbConfig { mode: ExecMode::Hetero, use_ear: true })))
+        b.iter(|| {
+            black_box(mcb(
+                &chained,
+                &McbConfig {
+                    mode: ExecMode::Hetero,
+                    use_ear: true,
+                },
+            ))
+        })
     });
     group.bench_function("pipeline_noear/n450", |b| {
-        b.iter(|| black_box(mcb(&chained, &McbConfig { mode: ExecMode::Hetero, use_ear: false })))
+        b.iter(|| {
+            black_box(mcb(
+                &chained,
+                &McbConfig {
+                    mode: ExecMode::Hetero,
+                    use_ear: false,
+                },
+            ))
+        })
     });
     group.finish();
 }

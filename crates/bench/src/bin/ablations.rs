@@ -35,8 +35,17 @@ fn main() {
     let z = feedback_vertex_set(&g);
     let exec = HeteroExecutor::sequential();
     let cands_fvs = ear_mcb::candidates::generate(&g);
-    println!("  graph: n={}, m={}, cycle dim={}", g.n(), g.m(), g.m() - g.n() + 1);
-    println!("  greedy FVS size:            {} (vs n = {})", z.len(), g.n());
+    println!(
+        "  graph: n={}, m={}, cycle dim={}",
+        g.n(),
+        g.m(),
+        g.m() - g.n() + 1
+    );
+    println!(
+        "  greedy FVS size:            {} (vs n = {})",
+        z.len(),
+        g.n()
+    );
     println!(
         "  candidate cycles with FVS:  {} (tree phase {})",
         cands_fvs.store.live(),
@@ -50,7 +59,12 @@ fn main() {
 
     // ---------------------------------------------------------------- 2
     println!("Ablation 2 — candidate store vs per-phase signed search\n");
-    let small = subdivide_edges(&random_min_deg3(160 / div.max(1) + 8, 400 / div.max(1) + 20, 3), 100, 2, 4);
+    let small = subdivide_edges(
+        &random_min_deg3(160 / div.max(1) + 8, 400 / div.max(1) + 20, 3),
+        100,
+        2,
+        4,
+    );
     let t0 = Instant::now();
     let (b1, p1) = depina_mcb(&small, &exec, &DepinaOptions::default());
     let w1 = t0.elapsed();
@@ -62,8 +76,18 @@ fn main() {
         b2.iter().map(|c| c.weight).sum::<u64>()
     );
     let mut t = Table::new(&["search strategy", "modelled", "wall", "fallbacks"]);
-    t.row(vec!["restricted store".into(), fmt_s(p1.total_s()), format!("{w1:.2?}"), p1.fallbacks.to_string()]);
-    t.row(vec!["signed per phase".into(), fmt_s(p2.total_s()), format!("{w2:.2?}"), "-".into()]);
+    t.row(vec![
+        "restricted store".into(),
+        fmt_s(p1.total_s()),
+        format!("{w1:.2?}"),
+        p1.fallbacks.to_string(),
+    ]);
+    t.row(vec![
+        "signed per phase".into(),
+        fmt_s(p2.total_s()),
+        format!("{w2:.2?}"),
+        "-".into(),
+    ]);
     t.print();
     println!();
 
@@ -76,17 +100,21 @@ fn main() {
         let mut gpu = DeviceProfile::k40c();
         gpu.batch_units = batch;
         let exec = HeteroExecutor::new(vec![DeviceProfile::e5_2650(), gpu]);
-        let out = exec.run(sources.clone(), |_| big.m() as u64, |&s| {
-            let (d, st) = dijkstra_with_stats(&big, s);
-            (
-                d.len() as u64,
-                WorkCounters {
-                    edges_relaxed: st.edges_relaxed,
-                    vertices_settled: st.settled,
-                    ..Default::default()
-                },
-            )
-        });
+        let out = exec.run(
+            sources.clone(),
+            |_| big.m() as u64,
+            |&s| {
+                let (d, st) = dijkstra_with_stats(&big, s);
+                (
+                    d.len() as u64,
+                    WorkCounters {
+                        edges_relaxed: st.edges_relaxed,
+                        vertices_settled: st.settled,
+                        ..Default::default()
+                    },
+                )
+            },
+        );
         let gpu_units = out.report.devices[1].units;
         let cpu_units = out.report.devices[0].units;
         t.row(vec![

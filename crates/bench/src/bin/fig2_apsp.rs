@@ -54,7 +54,11 @@ fn main() {
         let dj = [2usize, 4, 8]
             .into_iter()
             .map(|k| djidjev_apsp(&g, k, &exec))
-            .min_by(|a, b| a.modelled_time_s().partial_cmp(&b.modelled_time_s()).unwrap())
+            .min_by(|a, b| {
+                a.modelled_time_s()
+                    .partial_cmp(&b.modelled_time_s())
+                    .unwrap()
+            })
             .unwrap();
         let (to, td) = (ours.modelled_time_s(), dj.modelled_time_s());
         speedups.push(td / to);

@@ -32,9 +32,14 @@ fn main() {
     }
     t.print();
     println!("\naverages (geomean):");
-    for (i, (name, paper)) in
-        [("Multi-Core", 3.0), ("GPU", 9.0), ("CPU+GPU", 11.0)].into_iter().enumerate()
+    for (i, (name, paper)) in [("Multi-Core", 3.0), ("GPU", 9.0), ("CPU+GPU", 11.0)]
+        .into_iter()
+        .enumerate()
     {
-        println!("  {:<11} {:.2}x   [paper: {paper:.0}x]", name, geomean(&acc[i]));
+        println!(
+            "  {:<11} {:.2}x   [paper: {paper:.0}x]",
+            name,
+            geomean(&acc[i])
+        );
     }
 }

@@ -13,8 +13,14 @@ use ear_workloads::specs::mcb_specs;
 fn main() {
     let opts = BenchOpts::from_args();
     println!("Figure 6 — absolute MCB times (with ear decomposition)\n");
-    let mut t =
-        Table::new(&["Graph", "f (dim)", "Sequential", "Multi-Core", "GPU", "CPU+GPU"]);
+    let mut t = Table::new(&[
+        "Graph",
+        "f (dim)",
+        "Sequential",
+        "Multi-Core",
+        "GPU",
+        "CPU+GPU",
+    ]);
     for spec in mcb_specs() {
         let (g, _) = build_mcb(&spec, &opts);
         let (res, profiles) = mcb_all_modes(&g, true);

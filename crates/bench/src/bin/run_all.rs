@@ -9,7 +9,14 @@ use std::process::Command;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let bins = ["table1", "fig2_apsp", "fig3_mteps", "table2_mcb", "fig5_speedup", "fig6_absolute"];
+    let bins = [
+        "table1",
+        "fig2_apsp",
+        "fig3_mteps",
+        "table2_mcb",
+        "fig5_speedup",
+        "fig6_absolute",
+    ];
     for bin in bins {
         println!("\n{}", "=".repeat(78));
         println!("== {bin}");
@@ -18,7 +25,10 @@ fn main() {
         if bin == "table2_mcb" {
             cmd.arg("--phases");
         }
-        let status = cmd.args(&args).status().expect("failed to launch sibling binary");
+        let status = cmd
+            .args(&args)
+            .status()
+            .expect("failed to launch sibling binary");
         assert!(status.success(), "{bin} failed");
     }
 }

@@ -27,7 +27,11 @@ pub struct BenchOpts {
 impl BenchOpts {
     /// Parses `std::env::args()`.
     pub fn from_args() -> Self {
-        let mut opts = BenchOpts { scale: 1, seed: 7, phases: false };
+        let mut opts = BenchOpts {
+            scale: 1,
+            seed: 7,
+            phases: false,
+        };
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
         while i < args.len() {
@@ -115,7 +119,10 @@ pub struct Table {
 impl Table {
     /// New table with the given column headers.
     pub fn new(headers: &[&str]) -> Self {
-        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (must match the header count).
@@ -142,7 +149,10 @@ impl Table {
             println!("{}", s.trim_end());
         };
         line(&self.headers);
-        println!("{}", w.iter().map(|&x| "-".repeat(x + 2)).collect::<String>());
+        println!(
+            "{}",
+            w.iter().map(|&x| "-".repeat(x + 2)).collect::<String>()
+        );
         for r in &self.rows {
             line(r);
         }

@@ -17,9 +17,19 @@ pub fn stats(g: &CsrGraph) -> Result<(), String> {
     println!("biconnected comps     {}", s.n_bccs);
     println!("largest BCC           {:.2}% of edges", s.largest_bcc_pct());
     println!("articulation points   {}", s.articulation_points);
-    println!("degree-2 removable    {} ({:.2}% of vertices)", s.removed, s.removed_pct());
-    println!("table memory          {:.1} MB (blocks + AP table, 4-byte entries)", s.ours_memory_mb());
-    println!("reduced-table memory  {:.1} MB (on-demand extension variant)", s.reduced_memory_mb());
+    println!(
+        "degree-2 removable    {} ({:.2}% of vertices)",
+        s.removed,
+        s.removed_pct()
+    );
+    println!(
+        "table memory          {:.1} MB (blocks + AP table, 4-byte entries)",
+        s.ours_memory_mb()
+    );
+    println!(
+        "reduced-table memory  {:.1} MB (on-demand extension variant)",
+        s.reduced_memory_mb()
+    );
     println!("flat n^2 memory       {:.1} MB", s.max_memory_mb());
     Ok(())
 }
@@ -29,7 +39,11 @@ pub fn stats(g: &CsrGraph) -> Result<(), String> {
 pub fn decompose(g: &CsrGraph) -> Result<(), String> {
     let bcc = biconnected_components(g);
     let bct = BlockCutTree::new(g, &bcc);
-    println!("{} biconnected components, {} articulation points", bcc.count(), bct.ap_count());
+    println!(
+        "{} biconnected components, {} articulation points",
+        bcc.count(),
+        bct.ap_count()
+    );
     let mut order: Vec<usize> = (0..bcc.count()).collect();
     order.sort_by_key(|&b| std::cmp::Reverse(bcc.comps[b].len()));
     for (rank, b) in order.into_iter().take(10).enumerate() {
@@ -127,10 +141,16 @@ pub fn bc(g: &CsrGraph, top: usize) -> Result<(), String> {
         return Err("bc expects a simple graph".into());
     }
     let scores = ear_bc::betweenness_pendant_reduced(g);
-    let mut ranked: Vec<(u32, f64)> =
-        scores.iter().enumerate().map(|(v, &s)| (v as u32, s)).collect();
+    let mut ranked: Vec<(u32, f64)> = scores
+        .iter()
+        .enumerate()
+        .map(|(v, &s)| (v as u32, s))
+        .collect();
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
-    println!("top {} vertices by betweenness centrality:", top.min(ranked.len()));
+    println!(
+        "top {} vertices by betweenness centrality:",
+        top.min(ranked.len())
+    );
     for (v, s) in ranked.into_iter().take(top) {
         println!("  {v:>8}  {s:.2}");
     }

@@ -140,7 +140,9 @@ fn parse_pairs(args: &[String], n: usize) -> Result<Vec<(u32, u32)>, String> {
     let spec = args.get(pos + 1).ok_or("--pairs needs a value")?;
     let mut out = Vec::new();
     for part in spec.split(',') {
-        let (a, b) = part.split_once(':').ok_or_else(|| format!("bad pair '{part}'"))?;
+        let (a, b) = part
+            .split_once(':')
+            .ok_or_else(|| format!("bad pair '{part}'"))?;
         let u: u32 = a.parse().map_err(|_| format!("bad vertex '{a}'"))?;
         let v: u32 = b.parse().map_err(|_| format!("bad vertex '{b}'"))?;
         if u as usize >= n || v as usize >= n {

@@ -19,7 +19,12 @@ fn ear_stdin(args: &[&str], stdin: &str) -> Output {
         .stderr(Stdio::piped())
         .spawn()
         .expect("binary spawns");
-    child.stdin.as_mut().unwrap().write_all(stdin.as_bytes()).unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(stdin.as_bytes())
+        .unwrap();
     child.wait_with_output().unwrap()
 }
 
@@ -37,7 +42,11 @@ const THETA: &str = "0 1 1\n1 2 2\n0 2 10\n0 3 3\n3 2 4\n";
 fn stats_on_edge_list() {
     let p = tmpfile("theta.txt", THETA);
     let out = ear(&["stats", p.to_str().unwrap()]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("vertices              4"), "{text}");
     assert!(text.contains("edges                 5"), "{text}");
@@ -68,8 +77,19 @@ fn decompose_reports_blocks_and_ears() {
 #[test]
 fn apsp_answers_queries_with_paths() {
     let p = tmpfile("theta3.txt", THETA);
-    let out = ear(&["apsp", p.to_str().unwrap(), "--pairs", "1:3,0:2", "--mode", "seq"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = ear(&[
+        "apsp",
+        p.to_str().unwrap(),
+        "--pairs",
+        "1:3,0:2",
+        "--mode",
+        "seq",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     // d(1,3) = 1 + 3 = 4 via vertex 0; d(0,2) = 3 via vertex 1.
     assert!(text.contains("d(1,3) = 4"), "{text}");
@@ -91,8 +111,18 @@ fn apsp_ear_toggle_agrees() {
 #[test]
 fn mcb_finds_the_basis() {
     let p = tmpfile("theta5.txt", THETA);
-    let out = ear(&["mcb", p.to_str().unwrap(), "--print-cycles", "--mode", "multicore"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = ear(&[
+        "mcb",
+        p.to_str().unwrap(),
+        "--print-cycles",
+        "--mode",
+        "multicore",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("dimension 2"), "{text}");
     // MCB: chain-pair cycle (1+2+3+4=10) + light cycle (1+2+10=13 vs
@@ -114,7 +144,11 @@ fn generate_roundtrips_through_stats() {
     std::fs::create_dir_all(&dir).unwrap();
     let out_path = dir.join("gen.txt");
     let out = ear(&["generate", "nopoly", "64", out_path.to_str().unwrap()]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stats = ear(&["stats", out_path.to_str().unwrap()]);
     assert!(stats.status.success());
     let text = String::from_utf8_lossy(&stats.stdout);
@@ -150,7 +184,11 @@ fn bc_ranks_the_hub_first() {
     // Star: the hub dominates betweenness.
     let p = tmpfile("star.txt", "0 1 1\n0 2 1\n0 3 1\n0 4 1\n");
     let out = ear(&["bc", p.to_str().unwrap(), "--top", "2"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     let first = text.lines().nth(1).unwrap();
     assert!(first.trim().starts_with('0'), "{text}");

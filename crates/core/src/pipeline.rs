@@ -22,7 +22,10 @@ impl Default for ApspPipeline {
 impl ApspPipeline {
     /// Paper defaults: ear reduction, heterogeneous devices.
     pub fn new() -> Self {
-        ApspPipeline { mode: ExecMode::Hetero, use_ear: true }
+        ApspPipeline {
+            mode: ExecMode::Hetero,
+            use_ear: true,
+        }
     }
 
     /// Selects the device set.
@@ -41,10 +44,17 @@ impl ApspPipeline {
     /// Builds the distance oracle for `g`.
     pub fn run(&self, g: &CsrGraph) -> ApspOutcome {
         let exec = self.mode.executor();
-        let method = if self.use_ear { ApspMethod::Ear } else { ApspMethod::Plain };
+        let method = if self.use_ear {
+            ApspMethod::Ear
+        } else {
+            ApspMethod::Plain
+        };
         let oracle = build_oracle(g, &exec, method);
         let modelled_time_s = oracle.modelled_time_s();
-        ApspOutcome { oracle, modelled_time_s }
+        ApspOutcome {
+            oracle,
+            modelled_time_s,
+        }
     }
 }
 
@@ -85,7 +95,10 @@ impl McbPipeline {
     pub fn run(&self, g: &CsrGraph) -> McbOutcome {
         let result = mcb(g, &self.config);
         let modelled_time_s = result.modelled_time_s();
-        McbOutcome { result, modelled_time_s }
+        McbOutcome {
+            result,
+            modelled_time_s,
+        }
     }
 }
 
@@ -105,7 +118,15 @@ mod tests {
     fn sample() -> CsrGraph {
         CsrGraph::from_edges(
             6,
-            &[(0, 1, 2), (1, 2, 3), (2, 0, 4), (2, 3, 1), (3, 4, 2), (4, 5, 3), (5, 3, 4)],
+            &[
+                (0, 1, 2),
+                (1, 2, 3),
+                (2, 0, 4),
+                (2, 3, 1),
+                (3, 4, 2),
+                (4, 5, 3),
+                (5, 3, 4),
+            ],
         )
     }
 
@@ -121,7 +142,10 @@ mod tests {
     fn apsp_baseline_configuration_matches() {
         let g = sample();
         let ours = ApspPipeline::new().run(&g);
-        let banerjee = ApspPipeline::new().use_ear(false).mode(ExecMode::MultiCore).run(&g);
+        let banerjee = ApspPipeline::new()
+            .use_ear(false)
+            .mode(ExecMode::MultiCore)
+            .run(&g);
         for u in 0..g.n() as u32 {
             for v in 0..g.n() as u32 {
                 assert_eq!(ours.oracle.dist(u, v), banerjee.oracle.dist(u, v));

@@ -160,7 +160,12 @@ pub fn biconnected_components(g: &CsrGraph) -> Bcc {
         .map(|c| c[0])
         .collect();
 
-    Bcc { comps, edge_comp, is_articulation, bridges }
+    Bcc {
+        comps,
+        edge_comp,
+        is_articulation,
+        bridges,
+    }
 }
 
 #[cfg(test)]
@@ -188,7 +193,14 @@ mod tests {
         // 0-1-2-0 and 2-3-4-2; vertex 2 is the articulation point.
         let g = CsrGraph::from_edges(
             5,
-            &[(0, 1, 1), (1, 2, 1), (2, 0, 1), (2, 3, 1), (3, 4, 1), (4, 2, 1)],
+            &[
+                (0, 1, 1),
+                (1, 2, 1),
+                (2, 0, 1),
+                (2, 3, 1),
+                (3, 4, 1),
+                (4, 2, 1),
+            ],
         );
         let b = biconnected_components(&g);
         assert_eq!(b.count(), 2);
@@ -267,10 +279,7 @@ mod tests {
 
     #[test]
     fn disconnected_graph_handles_each_piece() {
-        let g = CsrGraph::from_edges(
-            7,
-            &[(0, 1, 1), (1, 2, 1), (2, 0, 1), (3, 4, 1), (5, 6, 1)],
-        );
+        let g = CsrGraph::from_edges(7, &[(0, 1, 1), (1, 2, 1), (2, 0, 1), (3, 4, 1), (5, 6, 1)]);
         let b = biconnected_components(&g);
         assert_eq!(b.count(), 3);
         assert_eq!(sorted(b.bridges.clone()), vec![3, 4]);
@@ -287,7 +296,16 @@ mod tests {
     fn largest_finds_biggest_component() {
         let g = CsrGraph::from_edges(
             6,
-            &[(0, 1, 1), (1, 2, 1), (2, 0, 1), (2, 3, 1), (3, 4, 1), (4, 5, 1), (5, 3, 1), (3, 5, 1)],
+            &[
+                (0, 1, 1),
+                (1, 2, 1),
+                (2, 0, 1),
+                (2, 3, 1),
+                (3, 4, 1),
+                (4, 5, 1),
+                (5, 3, 1),
+                (3, 5, 1),
+            ],
         );
         let b = biconnected_components(&g);
         let l = b.largest().unwrap();

@@ -235,8 +235,16 @@ impl BlockCutTree {
                 return Route::SameBlock(b);
             }
         }
-        let a1 = if u_is_ap { u } else { self.ap_of_node(self.first_step(nu, nv)) };
-        let a2 = if v_is_ap { v } else { self.ap_of_node(self.first_step(nv, nu)) };
+        let a1 = if u_is_ap {
+            u
+        } else {
+            self.ap_of_node(self.first_step(nu, nv))
+        };
+        let a2 = if v_is_ap {
+            v
+        } else {
+            self.ap_of_node(self.first_step(nv, nu))
+        };
         Route::ViaAps { a1, a2 }
     }
 

@@ -31,7 +31,10 @@ pub struct Ear {
 impl Ear {
     /// The two attachment endpoints (equal for the initial cycle).
     pub fn endpoints(&self) -> (VertexId, VertexId) {
-        (*self.vertices.first().unwrap(), *self.vertices.last().unwrap())
+        (
+            *self.vertices.first().unwrap(),
+            *self.vertices.last().unwrap(),
+        )
     }
 
     /// Vertices strictly inside the ear (everything except the endpoints).
@@ -126,7 +129,7 @@ pub fn ear_decomposition(g: &CsrGraph) -> Result<EarDecomposition, EarError> {
             stack.pop();
         }
     }
-    if disc.iter().any(|&d| d == u32::MAX) {
+    if disc.contains(&u32::MAX) {
         return Err(EarError::Disconnected);
     }
     let mut by_disc: Vec<VertexId> = (0..n as u32).collect();
@@ -182,7 +185,11 @@ pub fn ear_decomposition(g: &CsrGraph) -> Result<EarDecomposition, EarError> {
                 // chain whose start vertex was reachable only through it).
                 saw_late_cycle = true;
             }
-            ears.push(Ear { edges, vertices, is_cycle });
+            ears.push(Ear {
+                edges,
+                vertices,
+                is_cycle,
+            });
         }
     }
 
@@ -268,8 +275,9 @@ mod tests {
     use super::*;
 
     fn cycle(n: usize) -> CsrGraph {
-        let edges: Vec<_> =
-            (0..n).map(|i| (i as u32, ((i + 1) % n) as u32, 1u64)).collect();
+        let edges: Vec<_> = (0..n)
+            .map(|i| (i as u32, ((i + 1) % n) as u32, 1u64))
+            .collect();
         CsrGraph::from_edges(n, &edges)
     }
 
@@ -287,7 +295,14 @@ mod tests {
         // cycle 0-1-2-3 plus chord path 0-4-2
         let g = CsrGraph::from_edges(
             5,
-            &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 0, 1), (0, 4, 1), (4, 2, 1)],
+            &[
+                (0, 1, 1),
+                (1, 2, 1),
+                (2, 3, 1),
+                (3, 0, 1),
+                (0, 4, 1),
+                (4, 2, 1),
+            ],
         );
         let d = ear_decomposition(&g).unwrap();
         assert_eq!(d.ears.len(), 2);
@@ -297,7 +312,17 @@ mod tests {
 
     #[test]
     fn complete_graph_k4() {
-        let g = CsrGraph::from_edges(4, &[(0, 1, 1), (0, 2, 1), (0, 3, 1), (1, 2, 1), (1, 3, 1), (2, 3, 1)]);
+        let g = CsrGraph::from_edges(
+            4,
+            &[
+                (0, 1, 1),
+                (0, 2, 1),
+                (0, 3, 1),
+                (1, 2, 1),
+                (1, 3, 1),
+                (2, 3, 1),
+            ],
+        );
         let d = ear_decomposition(&g).unwrap();
         // m - n + 1 = 6 - 4 + 1 = 3 ears.
         assert_eq!(d.ears.len(), 3);
@@ -339,7 +364,15 @@ mod tests {
     fn bridge_is_rejected() {
         let g = CsrGraph::from_edges(
             6,
-            &[(0, 1, 1), (1, 2, 1), (2, 0, 1), (2, 3, 1), (3, 4, 1), (4, 5, 1), (5, 3, 1)],
+            &[
+                (0, 1, 1),
+                (1, 2, 1),
+                (2, 0, 1),
+                (2, 3, 1),
+                (3, 4, 1),
+                (4, 5, 1),
+                (5, 3, 1),
+            ],
         );
         assert_eq!(ear_decomposition(&g), Err(EarError::NotTwoEdgeConnected));
     }
@@ -350,14 +383,31 @@ mod tests {
         // biconnected, so only a closed (non-open) decomposition exists.
         let g = CsrGraph::from_edges(
             5,
-            &[(0, 1, 1), (1, 2, 1), (2, 0, 1), (2, 3, 1), (3, 4, 1), (4, 2, 1)],
+            &[
+                (0, 1, 1),
+                (1, 2, 1),
+                (2, 0, 1),
+                (2, 3, 1),
+                (3, 4, 1),
+                (4, 2, 1),
+            ],
         );
         assert_eq!(ear_decomposition(&g), Err(EarError::NotBiconnected));
     }
 
     #[test]
     fn disconnected_is_rejected() {
-        let g = CsrGraph::from_edges(6, &[(0, 1, 1), (1, 2, 1), (2, 0, 1), (3, 4, 1), (4, 5, 1), (5, 3, 1)]);
+        let g = CsrGraph::from_edges(
+            6,
+            &[
+                (0, 1, 1),
+                (1, 2, 1),
+                (2, 0, 1),
+                (3, 4, 1),
+                (4, 5, 1),
+                (5, 3, 1),
+            ],
+        );
         assert_eq!(ear_decomposition(&g), Err(EarError::Disconnected));
     }
 
@@ -369,8 +419,14 @@ mod tests {
 
     #[test]
     fn too_small_is_rejected() {
-        assert_eq!(ear_decomposition(&CsrGraph::from_edges(1, &[])), Err(EarError::TooSmall));
-        assert_eq!(ear_decomposition(&CsrGraph::from_edges(0, &[])), Err(EarError::TooSmall));
+        assert_eq!(
+            ear_decomposition(&CsrGraph::from_edges(1, &[])),
+            Err(EarError::TooSmall)
+        );
+        assert_eq!(
+            ear_decomposition(&CsrGraph::from_edges(0, &[])),
+            Err(EarError::TooSmall)
+        );
     }
 
     #[test]

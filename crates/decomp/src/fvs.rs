@@ -163,7 +163,14 @@ mod tests {
     fn two_disjoint_cycles_need_two() {
         let g = CsrGraph::from_edges(
             6,
-            &[(0, 1, 1), (1, 2, 1), (2, 0, 1), (3, 4, 1), (4, 5, 1), (5, 3, 1)],
+            &[
+                (0, 1, 1),
+                (1, 2, 1),
+                (2, 0, 1),
+                (3, 4, 1),
+                (4, 5, 1),
+                (5, 3, 1),
+            ],
         );
         let z = feedback_vertex_set(&g);
         assert_eq!(z.len(), 2);

@@ -30,4 +30,6 @@ pub use block_cut::BlockCutTree;
 pub use ear::{ear_decomposition, validate_ears, Ear, EarDecomposition, EarError};
 pub use fvs::feedback_vertex_set;
 pub use pendant::{peel_pendants, PendantPeel};
-pub use reduce::{reduce_graph, reduce_graph_parallel, Chain, EdgeOrigin, ReducedGraph, RemovedInfo};
+pub use reduce::{
+    reduce_graph, reduce_graph_parallel, Chain, EdgeOrigin, ReducedGraph, RemovedInfo,
+};

@@ -106,11 +106,26 @@ pub fn peel_pendants(g: &CsrGraph) -> PendantPeel {
     }
     for v in 0..n as u32 {
         if !in_core[v as usize] {
-            resolve(v, &in_core, &parent, &parent_w, &mut root, &mut dist_to_root);
+            resolve(
+                v,
+                &in_core,
+                &parent,
+                &parent_w,
+                &mut root,
+                &mut dist_to_root,
+            );
         }
     }
 
-    PendantPeel { in_core, root, dist_to_root, parent, peel_order, peeled, rounds }
+    PendantPeel {
+        in_core,
+        root,
+        dist_to_root,
+        parent,
+        peel_order,
+        peeled,
+        rounds,
+    }
 }
 
 #[cfg(test)]
@@ -137,7 +152,15 @@ mod tests {
     fn core_distances_decompose() {
         let g = CsrGraph::from_edges(
             7,
-            &[(0, 1, 2), (1, 2, 3), (2, 0, 4), (0, 3, 1), (3, 4, 2), (1, 5, 6), (5, 6, 1)],
+            &[
+                (0, 1, 2),
+                (1, 2, 3),
+                (2, 0, 4),
+                (0, 3, 1),
+                (3, 4, 2),
+                (1, 5, 6),
+                (5, 6, 1),
+            ],
         );
         let p = peel_pendants(&g);
         // d(x, y) = d2r(x) + d(root(x), y) for peeled x and core y.

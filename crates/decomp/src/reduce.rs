@@ -185,7 +185,14 @@ pub fn reduce_graph(g: &CsrGraph) -> ReducedGraph {
     }
 
     let reduced = CsrGraph::from_edges(retained.len(), &reduced_edges);
-    ReducedGraph { reduced, retained, to_reduced, edge_origin, chains, removed }
+    ReducedGraph {
+        reduced,
+        retained,
+        to_reduced,
+        edge_origin,
+        chains,
+        removed,
+    }
 }
 
 /// Walks a maximal chain starting at anchor `a` through degree-2 vertex
@@ -210,11 +217,21 @@ fn walk_chain(
         // confuse the walk).
         let nbrs = g.neighbors(cur);
         debug_assert_eq!(nbrs.len(), 2);
-        let (next, e) = if nbrs[0].1 == prev_edge { nbrs[1] } else { nbrs[0] };
+        let (next, e) = if nbrs[0].1 == prev_edge {
+            nbrs[1]
+        } else {
+            nbrs[0]
+        };
         edges.push(e);
         total += g.weight(e);
         if anchor[next as usize] {
-            return Chain { left: a, right: next, edges, interior, total_weight: total };
+            return Chain {
+                left: a,
+                right: next,
+                edges,
+                interior,
+                total_weight: total,
+            };
         }
         on_chain[next as usize] = true;
         interior.push(next);
@@ -325,7 +342,11 @@ mod tests {
         assert!(!r.is_removed(4));
         for (x, wl) in [(1u32, 1u64), (2, 3), (3, 6)] {
             let info = r.removed[x as usize].unwrap();
-            let (l, rgt) = if info.left == 0 { (info.w_left, info.w_right) } else { (info.w_right, info.w_left) };
+            let (l, rgt) = if info.left == 0 {
+                (info.w_left, info.w_right)
+            } else {
+                (info.w_right, info.w_left)
+            };
             assert_eq!(l, wl, "vertex {x}");
             assert_eq!(l + rgt, 10);
         }
@@ -348,12 +369,25 @@ mod tests {
 
     #[test]
     fn graph_without_degree_two_is_untouched() {
-        let g = CsrGraph::from_edges(4, &[(0, 1, 1), (0, 2, 1), (0, 3, 1), (1, 2, 1), (1, 3, 1), (2, 3, 1)]);
+        let g = CsrGraph::from_edges(
+            4,
+            &[
+                (0, 1, 1),
+                (0, 2, 1),
+                (0, 3, 1),
+                (1, 2, 1),
+                (1, 3, 1),
+                (2, 3, 1),
+            ],
+        );
         let r = reduce_graph(&g);
         assert_eq!(r.removed_count(), 0);
         assert_eq!(r.reduced.n(), 4);
         assert_eq!(r.reduced.m(), 6);
-        assert!(r.edge_origin.iter().all(|o| matches!(o, EdgeOrigin::Direct(_))));
+        assert!(r
+            .edge_origin
+            .iter()
+            .all(|o| matches!(o, EdgeOrigin::Direct(_))));
     }
 
     #[test]
@@ -361,7 +395,15 @@ mod tests {
         // 0 (hub deg 3) with pendant chain 0-4-5 (5 is a degree-1 leaf).
         let g = CsrGraph::from_edges(
             6,
-            &[(0, 1, 1), (1, 2, 1), (2, 0, 1), (0, 3, 1), (3, 1, 1), (0, 4, 2), (4, 5, 3)],
+            &[
+                (0, 1, 1),
+                (1, 2, 1),
+                (2, 0, 1),
+                (0, 3, 1),
+                (3, 1, 1),
+                (0, 4, 2),
+                (4, 5, 3),
+            ],
         );
         let r = reduce_graph(&g);
         assert!(r.is_removed(4));
@@ -381,10 +423,7 @@ mod tests {
     #[test]
     fn parallel_chains_become_parallel_edges() {
         // Two vertices joined by three chains of lengths 2,2,1 edges.
-        let g = CsrGraph::from_edges(
-            4,
-            &[(0, 2, 1), (2, 1, 1), (0, 3, 2), (3, 1, 2), (0, 1, 9)],
-        );
+        let g = CsrGraph::from_edges(4, &[(0, 2, 1), (2, 1, 1), (0, 3, 2), (3, 1, 2), (0, 1, 9)]);
         let r = reduce_graph(&g);
         assert_eq!(r.reduced.n(), 2);
         assert_eq!(r.reduced.m(), 3);
@@ -409,8 +448,9 @@ mod tests {
     fn chain_edge_count_partitions_original_edges() {
         let g = theta();
         let r = reduce_graph(&g);
-        let mut covered: Vec<EdgeId> =
-            (0..r.reduced.m() as u32).flat_map(|re| r.expand_edge(re)).collect();
+        let mut covered: Vec<EdgeId> = (0..r.reduced.m() as u32)
+            .flat_map(|re| r.expand_edge(re))
+            .collect();
         covered.sort_unstable();
         let all: Vec<EdgeId> = (0..g.m() as u32).collect();
         assert_eq!(covered, all);
@@ -419,12 +459,14 @@ mod tests {
     #[test]
     fn anchor_to_self_chain_is_self_loop() {
         // Hub 0 (degree 4) with a lollipop cycle 0-1-2-0 of degree-2 vertices.
-        let g = CsrGraph::from_edges(
-            5,
-            &[(0, 1, 1), (1, 2, 1), (2, 0, 1), (0, 3, 1), (0, 4, 1)],
-        );
+        let g = CsrGraph::from_edges(5, &[(0, 1, 1), (1, 2, 1), (2, 0, 1), (0, 3, 1), (0, 4, 1)]);
         let r = reduce_graph(&g);
-        let loops: Vec<_> = r.reduced.edges().iter().filter(|e| e.is_self_loop()).collect();
+        let loops: Vec<_> = r
+            .reduced
+            .edges()
+            .iter()
+            .filter(|e| e.is_self_loop())
+            .collect();
         assert_eq!(loops.len(), 1);
         assert_eq!(loops[0].w, 3);
     }
@@ -491,7 +533,7 @@ pub fn reduce_graph_parallel(g: &CsrGraph) -> ReducedGraph {
     let walked: Vec<((u32, u32), Chain)> = starts
         .par_iter()
         .map(|&(rank, ai, a, first, first_edge)| {
-            let mut scratch = ChainScratch::default();
+            let mut scratch = ChainScratch;
             let chain = walk_chain_pure(g, &anchor, a, first, first_edge, &mut scratch);
             ((rank, ai), chain)
         })
@@ -555,7 +597,14 @@ pub fn reduce_graph_parallel(g: &CsrGraph) -> ReducedGraph {
     }
 
     let reduced = CsrGraph::from_edges(retained.len(), &reduced_edges);
-    ReducedGraph { reduced, retained, to_reduced, edge_origin, chains, removed }
+    ReducedGraph {
+        reduced,
+        retained,
+        to_reduced,
+        edge_origin,
+        chains,
+        removed,
+    }
 }
 
 #[derive(Default)]
@@ -579,11 +628,21 @@ fn walk_chain_pure(
     loop {
         let nbrs = g.neighbors(cur);
         debug_assert_eq!(nbrs.len(), 2);
-        let (next, e) = if nbrs[0].1 == prev_edge { nbrs[1] } else { nbrs[0] };
+        let (next, e) = if nbrs[0].1 == prev_edge {
+            nbrs[1]
+        } else {
+            nbrs[0]
+        };
         edges.push(e);
         total += g.weight(e);
         if anchor[next as usize] {
-            return Chain { left: a, right: next, edges, interior, total_weight: total };
+            return Chain {
+                left: a,
+                right: next,
+                edges,
+                interior,
+                total_weight: total,
+            };
         }
         interior.push(next);
         prev_edge = e;
@@ -639,10 +698,7 @@ mod parallel_tests {
 
     #[test]
     fn parallel_matches_sequential_on_loop_chain() {
-        let g = CsrGraph::from_edges(
-            5,
-            &[(0, 1, 1), (1, 2, 1), (2, 0, 1), (0, 3, 1), (0, 4, 1)],
-        );
+        let g = CsrGraph::from_edges(5, &[(0, 1, 1), (1, 2, 1), (2, 0, 1), (0, 3, 1), (0, 4, 1)]);
         assert_identical(&g);
     }
 

@@ -25,12 +25,18 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Starts a builder with `n` vertices (ids `0..n`).
     pub fn new(n: usize) -> Self {
-        GraphBuilder { n, edges: Vec::new() }
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Starts a builder with `n` vertices and room for `m` edges.
     pub fn with_capacity(n: usize, m: usize) -> Self {
-        GraphBuilder { n, edges: Vec::with_capacity(m) }
+        GraphBuilder {
+            n,
+            edges: Vec::with_capacity(m),
+        }
     }
 
     /// Adds a fresh vertex and returns its id.

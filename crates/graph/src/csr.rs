@@ -40,10 +40,13 @@ impl CsrGraph {
 
     /// Builds a graph from pre-assembled [`Edge`] records.
     pub fn from_edge_records(n: usize, edges: Vec<Edge>) -> Self {
-        assert!(n <= u32::MAX as usize - 1, "vertex count exceeds u32 id space");
+        assert!(n < u32::MAX as usize, "vertex count exceeds u32 id space");
         let mut deg = vec![0u32; n + 1];
         for e in &edges {
-            assert!((e.u as usize) < n && (e.v as usize) < n, "edge endpoint out of range");
+            assert!(
+                (e.u as usize) < n && (e.v as usize) < n,
+                "edge endpoint out of range"
+            );
             deg[e.u as usize + 1] += 1;
             if !e.is_self_loop() {
                 deg[e.v as usize + 1] += 1;
@@ -64,7 +67,12 @@ impl CsrGraph {
                 cursor[e.v as usize] += 1;
             }
         }
-        CsrGraph { n, edges, offsets, adj }
+        CsrGraph {
+            n,
+            edges,
+            offsets,
+            adj,
+        }
     }
 
     /// Number of vertices.

@@ -173,7 +173,13 @@ fn run(g: &CsrGraph, source: VertexId, want_tree: bool) -> SsspTree {
         }
     }
 
-    SsspTree { source, dist, parent_vertex, parent_edge, stats }
+    SsspTree {
+        source,
+        dist,
+        parent_vertex,
+        parent_edge,
+        stats,
+    }
 }
 
 /// Deterministic tie-break for equal-distance parents: prefer the smaller

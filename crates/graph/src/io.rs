@@ -39,7 +39,10 @@ impl From<std::io::Error> for IoError {
 }
 
 fn parse_err(line: usize, msg: impl Into<String>) -> IoError {
-    IoError::Parse { line, msg: msg.into() }
+    IoError::Parse {
+        line,
+        msg: msg.into(),
+    }
 }
 
 /// Reads a Matrix Market `coordinate` file as an undirected graph.
@@ -64,9 +67,15 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<CsrGraph, IoError> {
             None => return Err(parse_err(0, "empty file")),
         }
     };
-    let h: Vec<String> = header.split_whitespace().map(|s| s.to_ascii_lowercase()).collect();
+    let h: Vec<String> = header
+        .split_whitespace()
+        .map(|s| s.to_ascii_lowercase())
+        .collect();
     if h.len() < 4 || h[0] != "%%matrixmarket" || h[1] != "matrix" || h[2] != "coordinate" {
-        return Err(parse_err(hline, "expected '%%MatrixMarket matrix coordinate ...' header"));
+        return Err(parse_err(
+            hline,
+            "expected '%%MatrixMarket matrix coordinate ...' header",
+        ));
     }
     let pattern = h[3] == "pattern";
     // Size line (skipping comments).
@@ -82,10 +91,12 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<CsrGraph, IoError> {
                 if parts.len() < 3 {
                     return Err(parse_err(i + 1, "size line needs rows cols nnz"));
                 }
-                let rows: usize =
-                    parts[0].parse().map_err(|_| parse_err(i + 1, "bad row count"))?;
-                let cols: usize =
-                    parts[1].parse().map_err(|_| parse_err(i + 1, "bad col count"))?;
+                let rows: usize = parts[0]
+                    .parse()
+                    .map_err(|_| parse_err(i + 1, "bad row count"))?;
+                let cols: usize = parts[1]
+                    .parse()
+                    .map_err(|_| parse_err(i + 1, "bad col count"))?;
                 let nnz: usize = parts[2].parse().map_err(|_| parse_err(i + 1, "bad nnz"))?;
                 break (rows.max(cols), nnz, i + 1);
             }
@@ -105,8 +116,12 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<CsrGraph, IoError> {
         if parts.len() < 2 {
             return Err(parse_err(i + 1, "entry needs at least row and col"));
         }
-        let r: usize = parts[0].parse().map_err(|_| parse_err(i + 1, "bad row index"))?;
-        let c: usize = parts[1].parse().map_err(|_| parse_err(i + 1, "bad col index"))?;
+        let r: usize = parts[0]
+            .parse()
+            .map_err(|_| parse_err(i + 1, "bad row index"))?;
+        let c: usize = parts[1]
+            .parse()
+            .map_err(|_| parse_err(i + 1, "bad col index"))?;
         if r == 0 || c == 0 || r > n || c > n {
             return Err(parse_err(i + 1, "index out of declared range"));
         }

@@ -106,13 +106,24 @@ mod tests {
         // per component.
         let g = CsrGraph::from_edges(
             7,
-            &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 0, 1), (4, 5, 1), (5, 6, 1), (6, 4, 1)],
+            &[
+                (0, 1, 1),
+                (1, 2, 1),
+                (2, 3, 1),
+                (3, 0, 1),
+                (4, 5, 1),
+                (5, 6, 1),
+                (6, 4, 1),
+            ],
         );
         let tree = spanning_forest(&g);
-        let sub: Vec<_> = tree.iter().map(|&e| {
-            let r = g.edge(e);
-            (r.u, r.v, r.w)
-        }).collect();
+        let sub: Vec<_> = tree
+            .iter()
+            .map(|&e| {
+                let r = g.edge(e);
+                (r.u, r.v, r.w)
+            })
+            .collect();
         let tg = CsrGraph::from_edges(7, &sub);
         let c = connected_components(&tg);
         assert_eq!(c.count, connected_components(&g).count);

@@ -45,7 +45,13 @@ pub fn bfs_tree(g: &CsrGraph, source: VertexId) -> BfsTree {
             }
         }
     }
-    BfsTree { source, level, parent_vertex, parent_edge, order }
+    BfsTree {
+        source,
+        level,
+        parent_vertex,
+        parent_edge,
+        order,
+    }
 }
 
 /// Connected-component labelling.
@@ -95,7 +101,10 @@ pub fn connected_components(g: &CsrGraph) -> Components {
         }
         count += 1;
     }
-    Components { comp, count: count as usize }
+    Components {
+        comp,
+        count: count as usize,
+    }
 }
 
 #[cfg(test)]

@@ -126,6 +126,9 @@ mod tests {
     #[test]
     fn inf_headroom_cannot_wrap() {
         // Three INFs plus a large weight still fit in u64.
-        assert!(INF.checked_add(INF).and_then(|x| x.checked_add(INF)).is_some());
+        assert!(INF
+            .checked_add(INF)
+            .and_then(|x| x.checked_add(INF))
+            .is_some());
     }
 }

@@ -113,7 +113,15 @@ mod tests {
 
     #[test]
     fn merge_accumulates_all_fields() {
-        let a = WorkCounters { edges_relaxed: 1, vertices_settled: 2, labels_computed: 3, cycles_inspected: 4, words_xored: 5, distances_combined: 6, dense_combined: 7 };
+        let a = WorkCounters {
+            edges_relaxed: 1,
+            vertices_settled: 2,
+            labels_computed: 3,
+            cycles_inspected: 4,
+            words_xored: 5,
+            distances_combined: 6,
+            dense_combined: 7,
+        };
         let b = a;
         let c = a + b;
         assert_eq!(c.edges_relaxed, 2);
@@ -122,8 +130,14 @@ mod tests {
 
     #[test]
     fn weighted_ops_monotone_in_counts() {
-        let small = WorkCounters { edges_relaxed: 10, ..Default::default() };
-        let big = WorkCounters { edges_relaxed: 100, ..Default::default() };
+        let small = WorkCounters {
+            edges_relaxed: 10,
+            ..Default::default()
+        };
+        let big = WorkCounters {
+            edges_relaxed: 100,
+            ..Default::default()
+        };
         assert!(big.weighted_ops() > small.weighted_ops());
         assert!(small.weighted_ops() > 0.0);
     }
@@ -131,8 +145,14 @@ mod tests {
     #[test]
     fn sum_over_iterator() {
         let parts = vec![
-            WorkCounters { words_xored: 7, ..Default::default() },
-            WorkCounters { words_xored: 3, ..Default::default() },
+            WorkCounters {
+                words_xored: 7,
+                ..Default::default()
+            },
+            WorkCounters {
+                words_xored: 3,
+                ..Default::default()
+            },
         ];
         let total: WorkCounters = parts.into_iter().sum();
         assert_eq!(total.words_xored, 10);
@@ -141,6 +161,10 @@ mod tests {
     #[test]
     fn empty_detection() {
         assert!(WorkCounters::new().is_empty());
-        assert!(!WorkCounters { labels_computed: 1, ..Default::default() }.is_empty());
+        assert!(!WorkCounters {
+            labels_computed: 1,
+            ..Default::default()
+        }
+        .is_empty());
     }
 }

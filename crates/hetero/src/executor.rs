@@ -169,7 +169,11 @@ impl HeteroExecutor {
             // unit list to one kernel launch / one parallel-for region,
             // exactly as single-device implementations do. Batching only
             // exists to interleave devices.
-            let take = if self.devices.len() == 1 { usize::MAX } else { dev.batch_units };
+            let take = if self.devices.len() == 1 {
+                usize::MAX
+            } else {
+                dev.batch_units
+            };
             let batch = match dev.kind {
                 DeviceKind::Gpu => queue.pop_front_batch(take),
                 DeviceKind::Cpu => queue.pop_back_batch(take),
@@ -204,8 +208,10 @@ impl HeteroExecutor {
         }
 
         let makespan_s = clocks.iter().copied().fold(0.0, f64::max);
-        let results: Vec<R> =
-            results.into_iter().map(|r| r.expect("every unit executed")).collect();
+        let results: Vec<R> = results
+            .into_iter()
+            .map(|r| r.expect("every unit executed"))
+            .collect();
         RunOutput {
             results,
             report: ExecutionReport {
@@ -244,7 +250,11 @@ impl HeteroExecutor {
                 .min_by(|&a, &b| clocks[a].partial_cmp(&clocks[b]).unwrap())
                 .unwrap();
             let dev = &self.devices[d];
-            let take = if self.devices.len() == 1 { usize::MAX } else { dev.batch_units };
+            let take = if self.devices.len() == 1 {
+                usize::MAX
+            } else {
+                dev.batch_units
+            };
             let batch = match dev.kind {
                 DeviceKind::Gpu => queue.pop_front_batch(take),
                 DeviceKind::Cpu => queue.pop_back_batch(take),
@@ -267,7 +277,11 @@ impl HeteroExecutor {
             }
         }
         let makespan_s = clocks.iter().copied().fold(0.0, f64::max);
-        ExecutionReport { devices: reports, makespan_s, wall_s: 0.0 }
+        ExecutionReport {
+            devices: reports,
+            makespan_s,
+            wall_s: 0.0,
+        }
     }
 
     /// Like [`HeteroExecutor::simulate`], but over *groups* of identical
@@ -401,13 +415,25 @@ impl HeteroExecutor {
                     units: if i == solo_d { total_units as usize } else { 0 },
                     batches: usize::from(i == solo_d),
                     busy_s: if i == solo_d { solo_t } else { 0.0 },
-                    counters: if i == solo_d { counters } else { WorkCounters::default() },
+                    counters: if i == solo_d {
+                        counters
+                    } else {
+                        WorkCounters::default()
+                    },
                 })
                 .collect();
             let _ = dev;
-            return ExecutionReport { devices, makespan_s: solo_t, wall_s: 0.0 };
+            return ExecutionReport {
+                devices,
+                makespan_s: solo_t,
+                wall_s: 0.0,
+            };
         }
-        ExecutionReport { devices: reports, makespan_s, wall_s: 0.0 }
+        ExecutionReport {
+            devices: reports,
+            makespan_s,
+            wall_s: 0.0,
+        }
     }
 
     /// Genuinely concurrent run: one OS thread per device, each pulling
@@ -480,11 +506,17 @@ impl HeteroExecutor {
             .into_iter()
             .map(|s| s.into_inner().expect("every unit executed"))
             .collect();
-        let devices: Vec<DeviceReport> =
-            reports.into_iter().map(|r| r.into_inner()).collect();
+        let devices: Vec<DeviceReport> = reports.into_iter().map(|r| r.into_inner()).collect();
         let wall_s = wall_start.elapsed().as_secs_f64();
         let makespan_s = devices.iter().map(|d| d.busy_s).fold(0.0, f64::max);
-        RunOutput { results, report: ExecutionReport { devices, makespan_s, wall_s } }
+        RunOutput {
+            results,
+            report: ExecutionReport {
+                devices,
+                makespan_s,
+                wall_s,
+            },
+        }
     }
 }
 
@@ -495,7 +527,10 @@ mod tests {
     fn square_kernel(x: &u64) -> (u64, WorkCounters) {
         (
             x * x,
-            WorkCounters { edges_relaxed: *x, ..Default::default() },
+            WorkCounters {
+                edges_relaxed: *x,
+                ..Default::default()
+            },
         )
     }
 
@@ -513,7 +548,11 @@ mod tests {
         let ex = HeteroExecutor::cpu_gpu();
         let units: Vec<u64> = (0..5000).map(|i| i % 997).collect();
         let out = ex.run(units, |&x| x + 1, square_kernel);
-        assert!(out.report.devices.iter().all(|d| d.units > 0), "{:#?}", out.report.devices);
+        assert!(
+            out.report.devices.iter().all(|d| d.units > 0),
+            "{:#?}",
+            out.report.devices
+        );
         assert_eq!(out.report.total_units(), 5000);
     }
 
@@ -522,9 +561,14 @@ mod tests {
         let ex = HeteroExecutor::cpu_gpu();
         // 256 huge units (exactly one GPU batch) + tiny ones.
         let mut units = vec![1_000_000u64; 256];
-        units.extend(std::iter::repeat(1u64).take(64));
+        units.extend(std::iter::repeat_n(1u64, 64));
         let out = ex.run(units, |&x| x, square_kernel);
-        let gpu = out.report.devices.iter().find(|d| d.kind == DeviceKind::Gpu).unwrap();
+        let gpu = out
+            .report
+            .devices
+            .iter()
+            .find(|d| d.kind == DeviceKind::Gpu)
+            .unwrap();
         assert!(gpu.counters.edges_relaxed >= 256 * 1_000_000);
     }
 
@@ -553,7 +597,11 @@ mod tests {
     #[test]
     fn modelled_hierarchy_sequential_multicore_gpu() {
         let units: Vec<u64> = vec![50_000; 2048];
-        let t = |ex: HeteroExecutor| ex.run(units.clone(), |&x| x, square_kernel).report.makespan_s;
+        let t = |ex: HeteroExecutor| {
+            ex.run(units.clone(), |&x| x, square_kernel)
+                .report
+                .makespan_s
+        };
         let seq = t(HeteroExecutor::sequential());
         let mc = t(HeteroExecutor::multicore());
         let gpu = t(HeteroExecutor::gpu_only());
@@ -602,7 +650,10 @@ mod grouped_tests {
     use super::*;
 
     fn unit(edges: u64) -> WorkCounters {
-        WorkCounters { edges_relaxed: edges, ..Default::default() }
+        WorkCounters {
+            edges_relaxed: edges,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -615,11 +666,19 @@ mod grouped_tests {
         }
         let groups: Vec<(u64, WorkCounters, u64)> =
             groups.into_iter().map(|(e, k)| (10, unit(e), k)).collect();
-        for exec in [HeteroExecutor::sequential(), HeteroExecutor::multicore(), HeteroExecutor::gpu_only()] {
+        for exec in [
+            HeteroExecutor::sequential(),
+            HeteroExecutor::multicore(),
+            HeteroExecutor::gpu_only(),
+        ] {
             let a = exec.simulate(&per_unit);
             let b = exec.simulate_grouped(&groups);
             // Single device: both sides run one batch over everything.
-            assert!((a.makespan_s - b.makespan_s).abs() < 1e-12, "{}", exec.devices()[0].name);
+            assert!(
+                (a.makespan_s - b.makespan_s).abs() < 1e-12,
+                "{}",
+                exec.devices()[0].name
+            );
             assert_eq!(a.total_counters(), b.total_counters());
         }
     }

@@ -139,8 +139,10 @@ impl DeviceProfile {
         }
         let total_ops: f64 = per_unit.iter().map(|c| c.weighted_ops()).sum();
         let total_bytes: f64 = per_unit.iter().map(|c| c.approx_bytes()).sum();
-        let critical_ops =
-            per_unit.iter().map(|c| c.weighted_ops()).fold(0.0_f64, f64::max);
+        let critical_ops = per_unit
+            .iter()
+            .map(|c| c.weighted_ops())
+            .fold(0.0_f64, f64::max);
         self.work_time(total_ops, total_bytes, critical_ops)
     }
 
@@ -153,7 +155,10 @@ impl DeviceProfile {
         }
         let total_ops: f64 = comp.iter().map(|(c, k)| c.weighted_ops() * *k as f64).sum();
         let total_bytes: f64 = comp.iter().map(|(c, k)| c.approx_bytes() * *k as f64).sum();
-        let critical_ops = comp.iter().map(|(c, _)| c.weighted_ops()).fold(0.0_f64, f64::max);
+        let critical_ops = comp
+            .iter()
+            .map(|(c, _)| c.weighted_ops())
+            .fold(0.0_f64, f64::max);
         self.work_time(total_ops, total_bytes, critical_ops)
     }
 
@@ -178,7 +183,10 @@ mod tests {
     use super::*;
 
     fn unit(ops_edges: u64) -> WorkCounters {
-        WorkCounters { edges_relaxed: ops_edges, ..Default::default() }
+        WorkCounters {
+            edges_relaxed: ops_edges,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -223,8 +231,14 @@ mod tests {
         let d = DeviceProfile::e5_2650();
         let batch = vec![unit(1_000_000); 40];
         let together = d.batch_time_s(&batch);
-        let serial: f64 = batch.iter().map(|c| d.batch_time_s(std::slice::from_ref(c))).sum();
-        assert!(together < serial * 0.5, "together={together} serial={serial}");
+        let serial: f64 = batch
+            .iter()
+            .map(|c| d.batch_time_s(std::slice::from_ref(c)))
+            .sum();
+        assert!(
+            together < serial * 0.5,
+            "together={together} serial={serial}"
+        );
     }
 
     #[test]

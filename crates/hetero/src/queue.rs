@@ -22,14 +22,16 @@ pub struct WorkQueue<T> {
 impl<T> WorkQueue<T> {
     /// Builds a queue from items already ordered front-to-back.
     pub fn new(items: impl IntoIterator<Item = T>) -> Self {
-        WorkQueue { inner: Mutex::new(items.into_iter().collect()) }
+        WorkQueue {
+            inner: Mutex::new(items.into_iter().collect()),
+        }
     }
 
     /// Builds a queue sorted descending by `size`, so the front holds the
     /// biggest workunits (paper: "sorted ... so that the GPU starts
     /// accessing the bigger workunits"). Ties keep the input order.
     pub fn sorted_desc_by_key<K: Ord>(mut items: Vec<T>, size: impl Fn(&T) -> K) -> Self {
-        items.sort_by(|a, b| size(b).cmp(&size(a)));
+        items.sort_by_key(|a| std::cmp::Reverse(size(a)));
         Self::new(items)
     }
 
@@ -96,9 +98,7 @@ mod tests {
     fn concurrent_consumers_see_each_item_exactly_once() {
         let n = 10_000u32;
         let q = std::sync::Arc::new(WorkQueue::new(0..n));
-        let seen = std::sync::Arc::new(
-            (0..n).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>(),
-        );
+        let seen = std::sync::Arc::new((0..n).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>());
         let mut handles = Vec::new();
         for t in 0..8 {
             let q = q.clone();

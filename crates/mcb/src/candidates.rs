@@ -72,7 +72,12 @@ impl CycleStore {
         if n > 0 {
             next.push(u32::MAX);
         }
-        CycleStore { nodes, next, head: if n == 0 { u32::MAX } else { 0 }, live }
+        CycleStore {
+            nodes,
+            next,
+            head: if n == 0 { u32::MAX } else { 0 },
+            live,
+        }
     }
 
     /// Live candidates remaining.
@@ -139,7 +144,11 @@ impl CycleStore {
 
     /// Iterates live candidates in weight order (tests / diagnostics).
     pub fn iter_live(&self) -> impl Iterator<Item = &CandRef> + '_ {
-        LiveIter { store: self, at: self.head, idx: 0 }
+        LiveIter {
+            store: self,
+            at: self.head,
+            idx: 0,
+        }
     }
 }
 
@@ -211,8 +220,7 @@ pub fn group_units(
     for c in per_unit {
         *map.entry(c).or_insert(0) += 1;
     }
-    let mut v: Vec<(u64, WorkCounters, u64)> =
-        map.into_iter().map(|(c, k)| (hint, c, k)).collect();
+    let mut v: Vec<(u64, WorkCounters, u64)> = map.into_iter().map(|(c, k)| (hint, c, k)).collect();
     // Deterministic order (HashMap iteration is not).
     v.sort_by_key(|&(_, c, k)| (std::cmp::Reverse(c.weighted_ops() as u64), k));
     v
@@ -284,7 +292,11 @@ pub fn generate(g: &CsrGraph) -> Candidates {
                 // A self-loop is a one-edge cycle through its vertex; emit
                 // it from that vertex's own tree only.
                 if r.u == t.source && seen.insert((r.w, splitmix64(e as u64))) {
-                    cands.push(CandRef { weight: r.w, z_idx: zi as u32, edge: e });
+                    cands.push(CandRef {
+                        weight: r.w,
+                        z_idx: zi as u32,
+                        edge: e,
+                    });
                 }
                 continue;
             }
@@ -295,22 +307,32 @@ pub fn generate(g: &CsrGraph) -> Candidates {
             if t.parent_edge[r.u as usize] == e || t.parent_edge[r.v as usize] == e {
                 continue;
             }
-            let lca_is_root = r.u == t.source
-                || r.v == t.source
-                || tc[r.u as usize] != tc[r.v as usize];
+            let lca_is_root =
+                r.u == t.source || r.v == t.source || tc[r.u as usize] != tc[r.v as usize];
             if !lca_is_root {
                 continue;
             }
             let w = t.dist[r.u as usize] + r.w + t.dist[r.v as usize];
             let sig = ph[r.u as usize] ^ ph[r.v as usize] ^ splitmix64(e as u64);
             if seen.insert((w, sig)) {
-                cands.push(CandRef { weight: w, z_idx: zi as u32, edge: e });
+                cands.push(CandRef {
+                    weight: w,
+                    z_idx: zi as u32,
+                    edge: e,
+                });
             }
         }
     }
     cands.sort_by_key(|c| (c.weight, c.edge, c.z_idx));
     let store = CycleStore::from_sorted(cands);
-    Candidates { z, trees, top_child, order, store, tree_units }
+    Candidates {
+        z,
+        trees,
+        top_child,
+        order,
+        store,
+        tree_units,
+    }
 }
 
 /// 64-bit finaliser (splitmix64): spreads edge ids into xor-combinable
@@ -346,10 +368,7 @@ mod tests {
     fn two_triangles_sharing_an_edge() {
         // 0-1-2-0 and 1-2-3-1: f = 2, candidates must include both light
         // triangles (weight 3 each), not only the outer square.
-        let g = CsrGraph::from_edges(
-            4,
-            &[(0, 1, 1), (1, 2, 1), (2, 0, 1), (2, 3, 1), (3, 1, 1)],
-        );
+        let g = CsrGraph::from_edges(4, &[(0, 1, 1), (1, 2, 1), (2, 0, 1), (2, 3, 1), (3, 1, 1)]);
         let c = gen(&g);
         let weights: Vec<Weight> = c.store.iter_live().map(|c| c.live_weight()).collect();
         assert!(weights.len() >= 2, "{weights:?}");
@@ -374,7 +393,14 @@ mod tests {
     fn materialized_candidate_weight_matches() {
         let g = CsrGraph::from_edges(
             5,
-            &[(0, 1, 2), (1, 2, 3), (2, 3, 4), (3, 4, 5), (4, 0, 6), (1, 3, 7)],
+            &[
+                (0, 1, 2),
+                (1, 2, 3),
+                (2, 3, 4),
+                (3, 4, 5),
+                (4, 0, 6),
+                (1, 3, 7),
+            ],
         );
         let c = gen(&g);
         for cand in c.store.iter_live() {
@@ -396,28 +422,43 @@ mod tests {
     #[test]
     fn store_take_first_respects_order_and_removes() {
         let cands: Vec<CandRef> = (0..200)
-            .map(|i| CandRef { weight: i as Weight, z_idx: 0, edge: i })
+            .map(|i| CandRef {
+                weight: i as Weight,
+                z_idx: 0,
+                edge: i,
+            })
             .collect();
         let mut store = CycleStore::from_sorted(cands);
         let mut inspected = 0;
         // Take the first with even weight >= 5 → 6.
         let c = store
-            .take_first(|c| c.live_weight() >= 5 && c.live_weight() % 2 == 0, &mut inspected)
+            .take_first(
+                |c| c.live_weight() >= 5 && c.live_weight() % 2 == 0,
+                &mut inspected,
+            )
             .unwrap();
         assert_eq!(c.live_weight(), 6);
         assert_eq!(store.live(), 199);
         assert!(inspected >= 7);
         // 6 is gone; next even >= 5 is 8.
         let c2 = store
-            .take_first(|c| c.live_weight() >= 5 && c.live_weight() % 2 == 0, &mut inspected)
+            .take_first(
+                |c| c.live_weight() >= 5 && c.live_weight() % 2 == 0,
+                &mut inspected,
+            )
             .unwrap();
         assert_eq!(c2.live_weight(), 8);
     }
 
     #[test]
     fn store_compaction_unlinks_empty_nodes() {
-        let cands: Vec<CandRef> =
-            (0..NODE_CAP as u32 * 3).map(|i| CandRef { weight: i as Weight, z_idx: 0, edge: i }).collect();
+        let cands: Vec<CandRef> = (0..NODE_CAP as u32 * 3)
+            .map(|i| CandRef {
+                weight: i as Weight,
+                z_idx: 0,
+                edge: i,
+            })
+            .collect();
         let mut store = CycleStore::from_sorted(cands);
         let mut ins = 0;
         // Drain the entire first node.

@@ -21,7 +21,10 @@ pub struct DenseBits {
 impl DenseBits {
     /// All-zero vector of length `len`.
     pub fn zero(len: usize) -> Self {
-        DenseBits { len, words: vec![0; len.div_ceil(64)] }
+        DenseBits {
+            len,
+            words: vec![0; len.div_ceil(64)],
+        }
     }
 
     /// Standard basis vector `e_i`.
@@ -144,7 +147,11 @@ impl CycleSpace {
         for (i, &e) in nontree.iter().enumerate() {
             nt_index[e as usize] = i as u32;
         }
-        CycleSpace { tree, nontree, nt_index }
+        CycleSpace {
+            tree,
+            nontree,
+            nt_index,
+        }
     }
 
     /// Cycle-space dimension `f = m − n + k`.
@@ -175,7 +182,11 @@ impl CycleSpace {
             })
             .collect();
         nt.sort_unstable();
-        Cycle { edges: kept, weight, nt }
+        Cycle {
+            edges: kept,
+            weight,
+            nt,
+        }
     }
 
     /// The witness-space representation of a cycle as a dense vector.
@@ -248,7 +259,14 @@ mod tests {
         // Two components, each a triangle: f = 6 - 6 + 2 = 2.
         let g2 = CsrGraph::from_edges(
             6,
-            &[(0, 1, 1), (1, 2, 1), (2, 0, 1), (3, 4, 1), (4, 5, 1), (5, 3, 1)],
+            &[
+                (0, 1, 1),
+                (1, 2, 1),
+                (2, 0, 1),
+                (3, 4, 1),
+                (4, 5, 1),
+                (5, 3, 1),
+            ],
         );
         assert_eq!(CycleSpace::new(&g2).dim(), 2);
     }

@@ -69,7 +69,10 @@ impl PhaseTrace {
 
 /// Scores a recorded trace under a device configuration.
 pub fn replay_trace(trace: &PhaseTrace, exec: &HeteroExecutor) -> PhaseProfile {
-    let mut profile = PhaseProfile { fallbacks: trace.fallbacks, ..Default::default() };
+    let mut profile = PhaseProfile {
+        fallbacks: trace.fallbacks,
+        ..Default::default()
+    };
     let tree_rep = exec.simulate_grouped(&trace.tree);
     profile.trees_s = tree_rep.makespan_s;
     profile.counters.merge(&tree_rep.total_counters());
@@ -184,7 +187,9 @@ pub fn depina_mcb_traced(g: &CsrGraph, opts: &DepinaOptions) -> (Vec<Cycle>, Pha
             .map(|(t, ord)| tree_labels(t, ord, &cs, &s))
             .collect();
         steps.labels = group_units(n_hint, labelled.iter().map(|(_, c)| *c));
-        let labels = Labels { per_tree: labelled.into_iter().map(|(l, _)| l).collect() };
+        let labels = Labels {
+            per_tree: labelled.into_iter().map(|(l, _)| l).collect(),
+        };
 
         // Phase 2: scan the weight-sorted store for the first cycle
         // non-orthogonal to S_i.
@@ -199,7 +204,10 @@ pub fn depina_mcb_traced(g: &CsrGraph, opts: &DepinaOptions) -> (Vec<Cycle>, Pha
         if inspected > 0 {
             steps.search.push((
                 1,
-                WorkCounters { cycles_inspected: 1, ..Default::default() },
+                WorkCounters {
+                    cycles_inspected: 1,
+                    ..Default::default()
+                },
                 inspected,
             ));
         }
@@ -253,8 +261,8 @@ pub fn depina_mcb_traced(g: &CsrGraph, opts: &DepinaOptions) -> (Vec<Cycle>, Pha
 mod tests {
     use super::*;
     use crate::signed::signed_mcb;
-    use ear_graph::Weight;
     use crate::verify::verify_basis;
+    use ear_graph::Weight;
 
     fn weight(basis: &[Cycle]) -> Weight {
         basis.iter().map(|c| c.weight).sum()
@@ -265,7 +273,11 @@ mod tests {
         let (basis, profile) = depina_mcb(g, &exec, &DepinaOptions::default());
         verify_basis(g, &basis).unwrap();
         let reference = signed_mcb(g);
-        assert_eq!(weight(&basis), weight(&reference), "weight vs signed reference");
+        assert_eq!(
+            weight(&basis),
+            weight(&reference),
+            "weight vs signed reference"
+        );
         (basis, profile)
     }
 
@@ -278,7 +290,14 @@ mod tests {
         ));
         check(&CsrGraph::from_edges(
             4,
-            &[(0, 1, 1), (0, 2, 1), (0, 3, 1), (1, 2, 1), (1, 3, 1), (2, 3, 1)],
+            &[
+                (0, 1, 1),
+                (0, 2, 1),
+                (0, 3, 1),
+                (1, 2, 1),
+                (1, 3, 1),
+                (2, 3, 1),
+            ],
         ));
     }
 
@@ -286,7 +305,14 @@ mod tests {
     fn multigraph_with_parallel_and_loops() {
         check(&CsrGraph::from_edges(
             3,
-            &[(0, 1, 1), (0, 1, 2), (1, 2, 1), (2, 0, 1), (2, 2, 4), (0, 0, 9)],
+            &[
+                (0, 1, 1),
+                (0, 1, 2),
+                (1, 2, 1),
+                (2, 0, 1),
+                (2, 2, 4),
+                (0, 0, 9),
+            ],
         ));
     }
 
@@ -324,7 +350,15 @@ mod tests {
     fn disconnected_graph() {
         check(&CsrGraph::from_edges(
             7,
-            &[(0, 1, 1), (1, 2, 1), (2, 0, 1), (3, 4, 2), (4, 5, 2), (5, 3, 2), (5, 6, 1)],
+            &[
+                (0, 1, 1),
+                (1, 2, 1),
+                (2, 0, 1),
+                (3, 4, 2),
+                (4, 5, 2),
+                (5, 3, 2),
+                (5, 6, 1),
+            ],
         ));
     }
 
@@ -332,7 +366,14 @@ mod tests {
     fn profile_phases_are_populated() {
         let g = CsrGraph::from_edges(
             4,
-            &[(0, 1, 1), (0, 2, 1), (0, 3, 1), (1, 2, 1), (1, 3, 1), (2, 3, 1)],
+            &[
+                (0, 1, 1),
+                (0, 2, 1),
+                (0, 3, 1),
+                (1, 2, 1),
+                (1, 3, 1),
+                (2, 3, 1),
+            ],
         );
         let (_, p) = check(&g);
         assert!(p.trees_s > 0.0);
@@ -348,7 +389,15 @@ mod tests {
     fn force_signed_agrees() {
         let g = CsrGraph::from_edges(
             5,
-            &[(0, 1, 3), (1, 2, 5), (2, 3, 7), (3, 4, 9), (4, 0, 2), (1, 3, 4), (0, 2, 8)],
+            &[
+                (0, 1, 3),
+                (1, 2, 5),
+                (2, 3, 7),
+                (3, 4, 9),
+                (4, 0, 2),
+                (1, 3, 4),
+                (0, 2, 8),
+            ],
         );
         let exec = HeteroExecutor::sequential();
         let (a, pa) = depina_mcb(&g, &exec, &DepinaOptions { force_signed: true });

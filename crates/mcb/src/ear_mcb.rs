@@ -46,7 +46,12 @@ impl ExecMode {
 
     /// All four modes, in the paper's Table 2 column order.
     pub fn all() -> [ExecMode; 4] {
-        [ExecMode::Sequential, ExecMode::MultiCore, ExecMode::Gpu, ExecMode::Hetero]
+        [
+            ExecMode::Sequential,
+            ExecMode::MultiCore,
+            ExecMode::Gpu,
+            ExecMode::Hetero,
+        ]
     }
 
     /// Display name.
@@ -72,7 +77,10 @@ pub struct McbConfig {
 
 impl Default for McbConfig {
     fn default() -> Self {
-        McbConfig { mode: ExecMode::Hetero, use_ear: true }
+        McbConfig {
+            mode: ExecMode::Hetero,
+            use_ear: true,
+        }
     }
 }
 
@@ -125,8 +133,7 @@ pub fn mcb(g: &CsrGraph, config: &McbConfig) -> McbResult {
 /// profile; `profiles` follows [`ExecMode::all`] order.
 pub fn mcb_all_modes(g: &CsrGraph, use_ear: bool) -> (McbResult, [PhaseProfile; 4]) {
     let (cycles, removed, trace, wall_s) = run_blocks(g, use_ear);
-    let profiles = ExecMode::all()
-        .map(|mode| replay_trace(&trace, &mode.executor()));
+    let profiles = ExecMode::all().map(|mode| replay_trace(&trace, &mode.executor()));
     let result = finish(cycles, removed, profiles[3].clone(), wall_s);
     (result, profiles)
 }
@@ -134,7 +141,14 @@ pub fn mcb_all_modes(g: &CsrGraph, use_ear: bool) -> (McbResult, [PhaseProfile; 
 fn finish(cycles: Vec<Cycle>, removed: usize, profile: PhaseProfile, wall_s: f64) -> McbResult {
     let total_weight = cycles.iter().map(|c| c.weight).sum();
     let dim = cycles.len();
-    McbResult { cycles, total_weight, dim, removed_vertices: removed, profile, wall_s }
+    McbResult {
+        cycles,
+        total_weight,
+        dim,
+        removed_vertices: removed,
+        profile,
+        wall_s,
+    }
 }
 
 /// The mode-independent part: per-block de Pina on the (reduced) blocks,
@@ -167,11 +181,8 @@ fn run_blocks(g: &CsrGraph, use_ear: bool) -> (Vec<Cycle>, usize, PhaseTrace, f6
             // by substituting every e_P present in the cycle with its
             // corresponding P").
             for c in basis_r {
-                let sub_edges: Vec<EdgeId> = c
-                    .edges
-                    .iter()
-                    .flat_map(|&re| r.expand_edge(re))
-                    .collect();
+                let sub_edges: Vec<EdgeId> =
+                    c.edges.iter().flat_map(|&re| r.expand_edge(re)).collect();
                 cycles.push(remap_cycle(g, &parent_cs, &map, sub_edges));
             }
         } else {
@@ -232,7 +243,14 @@ mod tests {
         // multigraph with three parallel edges.
         let g = CsrGraph::from_edges(
             5,
-            &[(0, 1, 1), (1, 2, 2), (0, 3, 3), (3, 2, 4), (0, 4, 5), (4, 2, 6)],
+            &[
+                (0, 1, 1),
+                (1, 2, 2),
+                (0, 3, 3),
+                (3, 2, 4),
+                (0, 4, 5),
+                (4, 2, 6),
+            ],
         );
         let out = check_grid(&g);
         assert_eq!(out.dim, 2);
@@ -310,11 +328,14 @@ mod tests {
         assert_eq!(out.removed_vertices, 12);
         assert_eq!(out.dim, 3);
         // Ear-reduced run must do far less label work than the direct run.
-        let direct = mcb(&g, &McbConfig { mode: ExecMode::Sequential, use_ear: false });
-        assert!(
-            out.profile.counters.labels_computed
-                < direct.profile.counters.labels_computed
+        let direct = mcb(
+            &g,
+            &McbConfig {
+                mode: ExecMode::Sequential,
+                use_ear: false,
+            },
         );
+        assert!(out.profile.counters.labels_computed < direct.profile.counters.labels_computed);
     }
 
     #[test]
@@ -325,8 +346,20 @@ mod tests {
         edges.push((20, 40, 5));
         edges.push((40, 0, 5));
         let g = CsrGraph::from_edges(60, &edges);
-        let with = mcb(&g, &McbConfig { mode: ExecMode::Sequential, use_ear: true });
-        let without = mcb(&g, &McbConfig { mode: ExecMode::Sequential, use_ear: false });
+        let with = mcb(
+            &g,
+            &McbConfig {
+                mode: ExecMode::Sequential,
+                use_ear: true,
+            },
+        );
+        let without = mcb(
+            &g,
+            &McbConfig {
+                mode: ExecMode::Sequential,
+                use_ear: false,
+            },
+        );
         assert_eq!(with.total_weight, without.total_weight);
         assert!(
             with.modelled_time_s() < without.modelled_time_s(),

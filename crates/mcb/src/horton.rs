@@ -105,17 +105,29 @@ mod tests {
     fn matches_signed_on_small_graphs() {
         let graphs = vec![
             CsrGraph::from_edges(3, &[(0, 1, 1), (1, 2, 2), (2, 0, 3)]),
+            CsrGraph::from_edges(4, &[(0, 1, 1), (1, 2, 1), (2, 0, 2), (2, 3, 1), (3, 1, 2)]),
             CsrGraph::from_edges(
                 4,
-                &[(0, 1, 1), (1, 2, 1), (2, 0, 2), (2, 3, 1), (3, 1, 2)],
-            ),
-            CsrGraph::from_edges(
-                4,
-                &[(0, 1, 1), (0, 2, 1), (0, 3, 1), (1, 2, 1), (1, 3, 1), (2, 3, 1)],
+                &[
+                    (0, 1, 1),
+                    (0, 2, 1),
+                    (0, 3, 1),
+                    (1, 2, 1),
+                    (1, 3, 1),
+                    (2, 3, 1),
+                ],
             ),
             CsrGraph::from_edges(
                 5,
-                &[(0, 1, 3), (1, 2, 5), (2, 3, 7), (3, 4, 9), (4, 0, 2), (1, 3, 4), (0, 2, 8)],
+                &[
+                    (0, 1, 3),
+                    (1, 2, 5),
+                    (2, 3, 7),
+                    (3, 4, 9),
+                    (4, 0, 2),
+                    (1, 3, 4),
+                    (0, 2, 8),
+                ],
             ),
         ];
         for g in graphs {

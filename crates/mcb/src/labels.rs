@@ -49,7 +49,13 @@ pub fn tree_labels(
         l[u as usize] = l[p as usize] ^ c;
         count += 1;
     }
-    (l, WorkCounters { labels_computed: count, ..Default::default() })
+    (
+        l,
+        WorkCounters {
+            labels_computed: count,
+            ..Default::default()
+        },
+    )
 }
 
 /// The O(1) orthogonality test for a candidate, given its tree's labels.
@@ -103,13 +109,21 @@ mod tests {
     fn labels_agree_with_brute_force_on_k4() {
         let g = CsrGraph::from_edges(
             4,
-            &[(0, 1, 1), (0, 2, 2), (0, 3, 3), (1, 2, 4), (1, 3, 5), (2, 3, 6)],
+            &[
+                (0, 1, 1),
+                (0, 2, 2),
+                (0, 3, 3),
+                (1, 2, 4),
+                (1, 3, 5),
+                (2, 3, 6),
+            ],
         );
         let cs = CycleSpace::new(&g);
         let c = generate(&g);
         // Try every unit witness and a couple of combined ones.
-        let mut witnesses: Vec<DenseBits> =
-            (0..cs.dim()).map(|i| DenseBits::unit(cs.dim(), i)).collect();
+        let mut witnesses: Vec<DenseBits> = (0..cs.dim())
+            .map(|i| DenseBits::unit(cs.dim(), i))
+            .collect();
         let mut combo = DenseBits::zero(cs.dim());
         for i in 0..cs.dim() {
             combo.set(i, true);

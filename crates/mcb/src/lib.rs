@@ -35,7 +35,9 @@ pub mod signed;
 pub mod verify;
 
 pub use cycle_space::{Cycle, CycleSpace, DenseBits};
-pub use depina::{depina_mcb, depina_mcb_traced, replay_trace, DepinaOptions, PhaseProfile, PhaseTrace};
+pub use depina::{
+    depina_mcb, depina_mcb_traced, replay_trace, DepinaOptions, PhaseProfile, PhaseTrace,
+};
 pub use ear_mcb::{mcb, mcb_all_modes, ExecMode, McbConfig, McbResult};
 pub use horton::horton_mcb;
 pub use signed::signed_mcb;

@@ -100,7 +100,10 @@ pub fn signed_mcb(g: &CsrGraph) -> Vec<Cycle> {
     for i in 0..f {
         let c = min_cycle_nonorthogonal(g, &cs, &witnesses[i], Some(&roots), &mut counters)
             .expect("de Pina witness always admits a cycle");
-        debug_assert!(witnesses[i].sparse_dot(&c.nt), "chosen cycle must hit witness");
+        debug_assert!(
+            witnesses[i].sparse_dot(&c.nt),
+            "chosen cycle must hit witness"
+        );
         for j in i + 1..f {
             if witnesses[j].sparse_dot(&c.nt) {
                 let (a, b) = witnesses.split_at_mut(j);
@@ -132,10 +135,7 @@ mod tests {
     #[test]
     fn two_triangles_sharing_an_edge() {
         // Outer square weight 8 must lose to the two triangles (4 + 4).
-        let g = CsrGraph::from_edges(
-            4,
-            &[(0, 1, 1), (1, 2, 1), (2, 0, 2), (2, 3, 1), (3, 1, 2)],
-        );
+        let g = CsrGraph::from_edges(4, &[(0, 1, 1), (1, 2, 1), (2, 0, 2), (2, 3, 1), (3, 1, 2)]);
         let basis = signed_mcb(&g);
         assert_eq!(basis.len(), 2);
         assert_eq!(total_weight(&basis), 8);
@@ -145,7 +145,14 @@ mod tests {
     fn k4_unit_weights() {
         let g = CsrGraph::from_edges(
             4,
-            &[(0, 1, 1), (0, 2, 1), (0, 3, 1), (1, 2, 1), (1, 3, 1), (2, 3, 1)],
+            &[
+                (0, 1, 1),
+                (0, 2, 1),
+                (0, 3, 1),
+                (1, 2, 1),
+                (1, 3, 1),
+                (2, 3, 1),
+            ],
         );
         let basis = signed_mcb(&g);
         assert_eq!(basis.len(), 3);
@@ -166,7 +173,14 @@ mod tests {
     fn disconnected_components() {
         let g = CsrGraph::from_edges(
             6,
-            &[(0, 1, 1), (1, 2, 1), (2, 0, 1), (3, 4, 2), (4, 5, 2), (5, 3, 2)],
+            &[
+                (0, 1, 1),
+                (1, 2, 1),
+                (2, 0, 1),
+                (3, 4, 2),
+                (4, 5, 2),
+                (5, 3, 2),
+            ],
         );
         let basis = signed_mcb(&g);
         assert_eq!(basis.len(), 2);

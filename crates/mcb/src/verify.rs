@@ -16,8 +16,7 @@ pub fn basis_rank(cs: &CycleSpace, cycles: &[Cycle]) -> usize {
     let mut pivot_cols: Vec<usize> = Vec::new();
     for c in cycles {
         let mut v = cs.to_dense(c);
-        loop {
-            let Some(low) = v.lowest_set() else { break };
+        while let Some(low) = v.lowest_set() {
             match pivot_cols.iter().position(|&p| p == low) {
                 Some(i) => {
                     let piv = pivots[i].clone();
@@ -110,7 +109,10 @@ pub fn verify_basis(g: &CsrGraph, cycles: &[Cycle]) -> Result<(), String> {
     let cs = CycleSpace::new(g);
     let f = cs.dim();
     if cycles.len() != f {
-        return Err(format!("dimension mismatch: got {} cycles, expected {f}", cycles.len()));
+        return Err(format!(
+            "dimension mismatch: got {} cycles, expected {f}",
+            cycles.len()
+        ));
     }
     for (i, c) in cycles.iter().enumerate() {
         if !is_cycle_vector(g, &c.edges) {
@@ -118,7 +120,10 @@ pub fn verify_basis(g: &CsrGraph, cycles: &[Cycle]) -> Result<(), String> {
         }
         let w: u64 = c.edges.iter().map(|&e| g.weight(e)).sum();
         if w != c.weight {
-            return Err(format!("member {i} weight mismatch: stored {} real {w}", c.weight));
+            return Err(format!(
+                "member {i} weight mismatch: stored {} real {w}",
+                c.weight
+            ));
         }
     }
     let rank = basis_rank(&cs, cycles);
@@ -135,7 +140,14 @@ mod tests {
     fn k4() -> CsrGraph {
         CsrGraph::from_edges(
             4,
-            &[(0, 1, 1), (0, 2, 1), (0, 3, 1), (1, 2, 1), (1, 3, 1), (2, 3, 1)],
+            &[
+                (0, 1, 1),
+                (0, 2, 1),
+                (0, 3, 1),
+                (1, 2, 1),
+                (1, 3, 1),
+                (2, 3, 1),
+            ],
         )
     }
 
@@ -153,10 +165,7 @@ mod tests {
 
     #[test]
     fn dependent_triple_is_rank_two() {
-        let g = CsrGraph::from_edges(
-            4,
-            &[(0, 1, 1), (1, 2, 1), (2, 0, 2), (2, 3, 1), (3, 1, 2)],
-        );
+        let g = CsrGraph::from_edges(4, &[(0, 1, 1), (1, 2, 1), (2, 0, 2), (2, 3, 1), (3, 1, 2)]);
         let cs = CycleSpace::new(&g);
         let t1 = cs.cycle_from_edges(&g, vec![0, 1, 2]);
         let t2 = cs.cycle_from_edges(&g, vec![1, 3, 4]);
@@ -171,11 +180,18 @@ mod tests {
         assert!(is_cycle_vector(&g, &[0, 3, 1]));
         assert!(!is_cycle_vector(&g, &[0, 3])); // open path
         assert!(!is_cycle_vector(&g, &[0, 0, 3, 1])); // repeated edge
-        // Union of two edge-disjoint triangles is a valid vector but not a
-        // simple cycle.
+                                                      // Union of two edge-disjoint triangles is a valid vector but not a
+                                                      // simple cycle.
         let g2 = CsrGraph::from_edges(
             6,
-            &[(0, 1, 1), (1, 2, 1), (2, 0, 1), (3, 4, 1), (4, 5, 1), (5, 3, 1)],
+            &[
+                (0, 1, 1),
+                (1, 2, 1),
+                (2, 0, 1),
+                (3, 4, 1),
+                (4, 5, 1),
+                (5, 3, 1),
+            ],
         );
         assert!(is_cycle_vector(&g2, &[0, 1, 2, 3, 4, 5]));
         assert!(!is_simple_cycle(&g2, &[0, 1, 2, 3, 4, 5]));

@@ -1,0 +1,353 @@
+//! Reusable invariant checkers.
+//!
+//! Every checker returns `Result<(), String>` so it plugs directly into
+//! [`crate::runner::Forall::run`] and composes with `?`. The checks encode
+//! the paper's exactness claims as machine-checkable statements:
+//!
+//! * [`metric_axioms`] — an APSP output is an honest metric on each
+//!   connected component;
+//! * [`oracle_consistency`] / [`oracle_paths_realize_distances`] — the
+//!   block-cut-tree distance oracle agrees with a reference matrix and its
+//!   reconstructed paths actually exist with the claimed lengths;
+//! * [`reduction_invariants`] — ear/chain contraction bookkeeping: edge
+//!   partition, `wt(x, left) + wt(x, right)` accounting, no leftover
+//!   degree-2 interior vertices, cycle-space dimension preservation
+//!   (Lemma 3.1's `dim MCB(G) = dim MCB(G^r)`), and distance preservation
+//!   between retained vertices;
+//! * [`basis_valid`] — a claimed cycle basis is independent, spanning and
+//!   made of genuine cycle vectors;
+//! * [`exactly_once`] — a heterogeneous execution processed every
+//!   workunit exactly once across all devices.
+
+use ear_apsp::matrix::DistMatrix;
+use ear_apsp::oracle::DistanceOracle;
+use ear_decomp::reduce::{reduce_graph, ReducedGraph};
+use ear_graph::{connected_components, dijkstra, CsrGraph, VertexId, Weight, INF};
+use ear_hetero::executor::ExecutionReport;
+use ear_mcb::cycle_space::{Cycle, CycleSpace};
+
+/// Checks that `d` is a metric consistent with `g`: square, zero on the
+/// diagonal, symmetric, finite exactly on intra-component pairs, never
+/// longer than any single edge, and satisfying the triangle inequality.
+pub fn metric_axioms(g: &CsrGraph, d: &DistMatrix) -> Result<(), String> {
+    let n = g.n();
+    if d.n() != n {
+        return Err(format!(
+            "matrix is {}×{}, graph has {n} vertices",
+            d.n(),
+            d.n()
+        ));
+    }
+    let comps = connected_components(g);
+    for i in 0..n as u32 {
+        if d.get(i, i) != 0 {
+            return Err(format!("d({i},{i}) = {} ≠ 0", d.get(i, i)));
+        }
+        for j in 0..n as u32 {
+            let dij = d.get(i, j);
+            if dij != d.get(j, i) {
+                return Err(format!(
+                    "asymmetry: d({i},{j})={dij}, d({j},{i})={}",
+                    d.get(j, i)
+                ));
+            }
+            let same_comp = comps.comp[i as usize] == comps.comp[j as usize];
+            if same_comp && dij >= INF {
+                return Err(format!("d({i},{j}) infinite within one component"));
+            }
+            if !same_comp && dij < INF {
+                return Err(format!("d({i},{j})={dij} finite across components"));
+            }
+        }
+    }
+    for e in g.edges() {
+        if !e.is_self_loop() && d.get(e.u, e.v) > e.w {
+            return Err(format!(
+                "d({},{}) = {} exceeds direct edge of weight {}",
+                e.u,
+                e.v,
+                d.get(e.u, e.v),
+                e.w
+            ));
+        }
+    }
+    for i in 0..n as u32 {
+        for j in 0..n as u32 {
+            let dij = d.get(i, j);
+            if dij >= INF {
+                continue;
+            }
+            for k in 0..n as u32 {
+                let dik = d.get(i, k);
+                let kj = d.get(k, j);
+                if dik < INF && kj < INF && dik.saturating_add(kj) < dij {
+                    return Err(format!(
+                        "triangle violation: d({i},{j})={dij} > d({i},{k})+d({k},{j})={}",
+                        dik + kj
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks the oracle's point queries against a reference matrix on every
+/// pair.
+pub fn oracle_consistency(oracle: &DistanceOracle, reference: &DistMatrix) -> Result<(), String> {
+    let n = reference.n();
+    for u in 0..n as u32 {
+        for v in 0..n as u32 {
+            let got = oracle.dist(u, v);
+            let want = reference.get(u, v);
+            if got != want {
+                return Err(format!(
+                    "oracle.dist({u},{v}) = {got}, reference says {want}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Minimum edge weight between two adjacent vertices (multigraph-aware).
+fn min_edge_weight(g: &CsrGraph, u: VertexId, v: VertexId) -> Option<Weight> {
+    g.neighbors(u)
+        .iter()
+        .filter(|&&(w, _)| w == v)
+        .map(|&(_, e)| g.weight(e))
+        .min()
+}
+
+/// Checks that every path the oracle reconstructs is a real walk in `g`
+/// whose (minimum-parallel-edge) length equals the claimed distance, and
+/// that unreachable pairs return no path.
+pub fn oracle_paths_realize_distances(
+    g: &CsrGraph,
+    oracle: &DistanceOracle,
+    reference: &DistMatrix,
+) -> Result<(), String> {
+    for u in 0..g.n() as u32 {
+        for v in 0..g.n() as u32 {
+            let d = reference.get(u, v);
+            let path = oracle.path(g, u, v);
+            if d >= INF {
+                if path.is_some() {
+                    return Err(format!("path({u},{v}) exists but pair is unreachable"));
+                }
+                continue;
+            }
+            let path = path.ok_or_else(|| format!("no path({u},{v}) though d = {d}"))?;
+            if path.first() != Some(&u) || path.last() != Some(&v) {
+                return Err(format!(
+                    "path({u},{v}) has endpoints {:?}..{:?}",
+                    path.first(),
+                    path.last()
+                ));
+            }
+            let mut total: Weight = 0;
+            for pair in path.windows(2) {
+                let w = min_edge_weight(g, pair[0], pair[1]).ok_or_else(|| {
+                    format!("path({u},{v}) uses non-edge {}–{}", pair[0], pair[1])
+                })?;
+                total += w;
+            }
+            // Any real walk is ≥ d; equality certifies shortestness.
+            if total != d {
+                return Err(format!("path({u},{v}) has length {total}, distance is {d}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks the ear/chain-contraction bookkeeping of [`reduce_graph`] on a
+/// simple graph `g` (§2 of the paper, plus Lemma 3.1's dimension claim).
+pub fn reduction_invariants(g: &CsrGraph) -> Result<(), String> {
+    if !g.is_simple() {
+        return Err("reduction_invariants needs a simple graph".into());
+    }
+    let r: ReducedGraph = reduce_graph(g);
+
+    // 1. Edge partition: every original edge is owned by exactly one
+    //    reduced edge's expansion.
+    let mut owner = vec![0usize; g.m()];
+    for re in 0..r.reduced.m() as u32 {
+        for e in r.expand_edge(re) {
+            owner[e as usize] += 1;
+        }
+    }
+    if let Some(e) = owner.iter().position(|&c| c != 1) {
+        return Err(format!(
+            "original edge {e} covered {} times by reduced edges",
+            owner[e]
+        ));
+    }
+
+    // 2. Weight bookkeeping: each reduced edge weighs as much as the
+    //    original edges it stands for, so totals match.
+    if r.reduced.total_weight() != g.total_weight() {
+        return Err(format!(
+            "total weight changed: {} → {}",
+            g.total_weight(),
+            r.reduced.total_weight()
+        ));
+    }
+    for (ci, chain) in r.chains.iter().enumerate() {
+        let sum: Weight = chain.edges.iter().map(|&e| g.weight(e)).sum();
+        if sum != chain.total_weight {
+            return Err(format!(
+                "chain {ci}: edges sum to {sum}, recorded {}",
+                chain.total_weight
+            ));
+        }
+    }
+
+    // 3. Removed-vertex prefix weights: wt(x,left) + wt(x,right) equals
+    //    the chain weight, both strictly positive (§2's d(x,v) formula
+    //    depends on this).
+    for (x, info) in r.removed.iter().enumerate() {
+        let Some(info) = info else { continue };
+        let chain = &r.chains[info.chain as usize];
+        if info.w_left == 0 || info.w_right == 0 {
+            return Err(format!("removed vertex {x}: zero-length half-chain"));
+        }
+        if info.w_left + info.w_right != chain.total_weight {
+            return Err(format!(
+                "removed vertex {x}: {} + {} ≠ chain weight {}",
+                info.w_left, info.w_right, chain.total_weight
+            ));
+        }
+    }
+
+    // 4. Exactly the degree-2 interior vertices are gone: no retained
+    //    vertex keeps plain degree 2 unless it anchors a pure cycle
+    //    (self-loop in the reduced graph).
+    for (local, &orig) in r.retained.iter().enumerate() {
+        let local = local as u32;
+        if g.degree(orig) == 2 {
+            let has_loop = r
+                .reduced
+                .neighbors(local)
+                .iter()
+                .any(|&(nb, _)| nb == local);
+            if !has_loop {
+                return Err(format!(
+                    "degree-2 vertex {orig} survived without anchoring a cycle"
+                ));
+            }
+        }
+    }
+
+    // 5. Lemma 3.1: dim MCB(G) = dim MCB(G^r). Contraction removes equal
+    //    numbers of vertices and edges per chain and keeps components, so
+    //    m − n + k is invariant.
+    let dim_g = CycleSpace::new(g).dim();
+    let dim_r = CycleSpace::new(&r.reduced).dim();
+    if dim_g != dim_r {
+        return Err(format!("cycle-space dimension changed: {dim_g} → {dim_r}"));
+    }
+
+    // 6. Distances between retained vertices are preserved (the §3
+    //    extrapolation formulas assume d_G = d_{G^r} on anchors).
+    for (local, &orig) in r.retained.iter().enumerate().take(4) {
+        let dg = dijkstra(g, orig);
+        let dr = dijkstra(&r.reduced, local as u32);
+        for (l2, &o2) in r.retained.iter().enumerate() {
+            if dg[o2 as usize] != dr[l2] {
+                return Err(format!(
+                    "d({orig},{o2}) = {} in G but {} in G^r",
+                    dg[o2 as usize], dr[l2]
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks that `cycles` is a valid minimum-structure cycle basis of `g`
+/// (independence, correct dimension, genuine cycle vectors) via the `mcb`
+/// crate's verifier.
+pub fn basis_valid(g: &CsrGraph, cycles: &[Cycle]) -> Result<(), String> {
+    ear_mcb::verify::verify_basis(g, cycles)
+}
+
+/// Checks that a heterogeneous run processed exactly `expected` workunits
+/// in total, with per-device unit/batch counts that are mutually
+/// consistent (no device reports units without batches or vice versa).
+pub fn exactly_once(report: &ExecutionReport, expected: usize) -> Result<(), String> {
+    let total = report.total_units();
+    if total != expected {
+        return Err(format!("processed {total} units, expected {expected}"));
+    }
+    for d in &report.devices {
+        if d.units > 0 && d.batches == 0 {
+            return Err(format!(
+                "device '{}' claims {} units in 0 batches",
+                d.name, d.units
+            ));
+        }
+        if d.units == 0 && d.batches > 0 {
+            return Err(format!(
+                "device '{}' popped {} batches but no units",
+                d.name, d.batches
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ear_apsp::baselines::floyd_warshall;
+
+    fn diamond() -> CsrGraph {
+        CsrGraph::from_edges(4, &[(0, 1, 1), (1, 2, 2), (2, 3, 1), (3, 0, 5), (0, 2, 7)])
+    }
+
+    #[test]
+    fn floyd_warshall_satisfies_metric_axioms() {
+        let g = diamond();
+        metric_axioms(&g, &floyd_warshall(&g)).unwrap();
+    }
+
+    #[test]
+    fn metric_axioms_reject_broken_matrices() {
+        let g = diamond();
+        let mut d = floyd_warshall(&g);
+        d.set(0, 2, 1000); // breaks symmetry and the edge bound
+        assert!(metric_axioms(&g, &d).is_err());
+    }
+
+    #[test]
+    fn reduction_invariants_hold_on_a_chain_graph() {
+        // Square with one side subdivided into a 3-edge chain.
+        let g = CsrGraph::from_edges(
+            6,
+            &[
+                (0, 1, 2),
+                (1, 2, 3),
+                (2, 3, 1),
+                (3, 4, 1),
+                (4, 5, 1),
+                (5, 0, 1),
+            ],
+        );
+        reduction_invariants(&g).unwrap();
+    }
+
+    #[test]
+    fn exactly_once_flags_lost_units() {
+        use ear_hetero::executor::HeteroExecutor;
+        use ear_hetero::WorkCounters;
+        let exec = HeteroExecutor::sequential();
+        let out = exec.run(
+            (0..10u32).collect::<Vec<_>>(),
+            |_| 1,
+            |&x| (x as u64, WorkCounters::default()),
+        );
+        exactly_once(&out.report, 10).unwrap();
+        assert!(exactly_once(&out.report, 11).is_err());
+    }
+}

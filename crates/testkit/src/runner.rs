@@ -1,0 +1,254 @@
+//! The property runner: seeded case generation, one-line replay, and
+//! greedy shrinking.
+//!
+//! Usage:
+//!
+//! ```
+//! use ear_testkit::{forall, simple_graphs};
+//!
+//! forall("doc_example_vertex_count")
+//!     .cases(16)
+//!     .run(&simple_graphs(12), |g| {
+//!         if g.n() >= 2 { Ok(()) } else { Err(format!("n = {}", g.n())) }
+//!     });
+//! ```
+//!
+//! On failure the runner shrinks the counterexample (for strategies that
+//! support it) and panics with a message containing
+//! `EAR_TESTKIT_SEED=0x… cargo test <name>`; exporting that variable makes
+//! the same property run exactly the one failing case.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Once;
+
+use crate::rng::{derive_seed, TestRng};
+use crate::strategy::Strategy;
+
+/// Environment variable that replays a single case of a property.
+pub const SEED_ENV: &str = "EAR_TESTKIT_SEED";
+
+/// Builder for a named property over a strategy. Construct with
+/// [`forall`].
+pub struct Forall {
+    name: &'static str,
+    cases: usize,
+}
+
+/// Starts a property named `name` (use the enclosing test function's name
+/// so the printed replay line is runnable as-is).
+pub fn forall(name: &'static str) -> Forall {
+    Forall { name, cases: 64 }
+}
+
+/// FNV-1a, so each property gets a distinct but stable base seed.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn parse_seed(raw: &str) -> Option<u64> {
+    let raw = raw.trim();
+    if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        raw.parse().ok()
+    }
+}
+
+thread_local! {
+    /// True while the runner probes shrink candidates — the panic hook
+    /// stays quiet for those expected failures.
+    static SUPPRESS_PANIC_OUTPUT: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn install_quiet_hook() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !SUPPRESS_PANIC_OUTPUT.with(|s| s.get()) {
+                default(info);
+            }
+        }));
+    });
+}
+
+/// Outcome of running a property on one value: `Ok` or a failure message
+/// (an `Err` return or a caught panic payload).
+fn check<V, P>(prop: &P, value: &V) -> Result<(), String>
+where
+    V: std::fmt::Debug,
+    P: Fn(&V) -> Result<(), String>,
+{
+    SUPPRESS_PANIC_OUTPUT.with(|s| s.set(true));
+    let outcome = catch_unwind(AssertUnwindSafe(|| prop(value)));
+    SUPPRESS_PANIC_OUTPUT.with(|s| s.set(false));
+    match outcome {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic (non-string payload)".to_string());
+            Err(format!("panicked: {msg}"))
+        }
+    }
+}
+
+impl Forall {
+    /// Number of random cases to draw (default 64).
+    pub fn cases(mut self, n: usize) -> Self {
+        self.cases = n.max(1);
+        self
+    }
+
+    /// Runs `prop` over generated values; panics with a replayable seed on
+    /// the first failure. Honors `EAR_TESTKIT_SEED` to replay one case.
+    pub fn run<S, P>(self, strategy: &S, prop: P)
+    where
+        S: Strategy,
+        P: Fn(&S::Value) -> Result<(), String>,
+    {
+        install_quiet_hook();
+        if let Some(seed) = std::env::var(SEED_ENV).ok().and_then(|s| parse_seed(&s)) {
+            // Replay mode: exactly the one requested case, loud and
+            // unshrunk so the user sees the original failure verbatim.
+            let value = strategy.generate(&mut TestRng::new(seed));
+            if let Err(msg) = prop(&value) {
+                panic!(
+                    "property '{}' failed on replayed seed {seed:#x}\n  failure: {msg}\n  value: {value:?}",
+                    self.name
+                );
+            }
+            return;
+        }
+        let base = fnv1a(self.name);
+        for i in 0..self.cases {
+            let seed = derive_seed(base, i as u64);
+            let value = strategy.generate(&mut TestRng::new(seed));
+            if let Err(msg) = check(&prop, &value) {
+                let (value, msg) = self.shrink(strategy, &prop, value, msg);
+                panic!(
+                    "property '{}' failed (case {i}/{})\n  failure: {msg}\n  counterexample: {value:?}\n  replay: {SEED_ENV}={seed:#x} cargo test {}",
+                    self.name, self.cases, self.name
+                );
+            }
+        }
+    }
+
+    /// Greedy shrink: repeatedly adopt the first still-failing candidate,
+    /// bounded to keep worst-case runtime sane.
+    fn shrink<S, P>(
+        &self,
+        strategy: &S,
+        prop: &P,
+        mut value: S::Value,
+        mut msg: String,
+    ) -> (S::Value, String)
+    where
+        S: Strategy,
+        P: Fn(&S::Value) -> Result<(), String>,
+    {
+        let mut steps = 0usize;
+        'outer: while steps < 200 {
+            for cand in strategy.shrink(&value) {
+                steps += 1;
+                if let Err(m) = check(prop, &cand) {
+                    value = cand;
+                    msg = m;
+                    continue 'outer;
+                }
+                if steps >= 200 {
+                    break;
+                }
+            }
+            break;
+        }
+        (value, msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{simple_graphs, usizes};
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let counted = std::cell::Cell::new(0usize);
+        forall("runner_passing")
+            .cases(10)
+            .run(&usizes(0..100), |_| {
+                counted.set(counted.get() + 1);
+                Ok(())
+            });
+        assert_eq!(counted.get(), 10);
+    }
+
+    #[test]
+    fn failing_property_reports_replay_seed_and_shrinks() {
+        let result = catch_unwind(|| {
+            forall("runner_failing")
+                .cases(50)
+                .run(&usizes(0..1000), |&x| {
+                    if x < 500 {
+                        Ok(())
+                    } else {
+                        Err(format!("{x} too big"))
+                    }
+                });
+        });
+        let msg = match result {
+            Err(payload) => payload.downcast_ref::<String>().cloned().unwrap(),
+            Ok(()) => panic!("property should have failed"),
+        };
+        assert!(msg.contains(SEED_ENV), "no replay line in: {msg}");
+        assert!(
+            msg.contains("cargo test runner_failing"),
+            "bad replay line: {msg}"
+        );
+        // Greedy shrink on the usize strategy converges to the boundary.
+        assert!(msg.contains("counterexample: 500"), "not shrunk: {msg}");
+    }
+
+    #[test]
+    fn replayed_seed_regenerates_identical_case() {
+        // The seed printed for case i must regenerate that exact value.
+        let base = fnv1a("some_property");
+        let seed = derive_seed(base, 3);
+        let s = simple_graphs(20);
+        let a = s.generate(&mut TestRng::new(seed));
+        let b = s.generate(&mut TestRng::new(seed));
+        assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn panics_inside_properties_are_caught_and_replayable() {
+        let result = catch_unwind(|| {
+            forall("runner_panics").cases(5).run(&usizes(0..10), |&x| {
+                assert!(x > 100, "x was {x}");
+                Ok(())
+            });
+        });
+        let msg = match result {
+            Err(payload) => payload.downcast_ref::<String>().cloned().unwrap(),
+            Ok(()) => panic!("property should have failed"),
+        };
+        assert!(msg.contains("panicked"), "panic not captured: {msg}");
+        assert!(msg.contains(SEED_ENV), "no replay line: {msg}");
+    }
+
+    #[test]
+    fn seed_parsing_accepts_hex_and_decimal() {
+        assert_eq!(parse_seed("0x10"), Some(16));
+        assert_eq!(parse_seed("0X10"), Some(16));
+        assert_eq!(parse_seed("42"), Some(42));
+        assert_eq!(parse_seed(" 7 "), Some(7));
+        assert_eq!(parse_seed("zebra"), None);
+    }
+}

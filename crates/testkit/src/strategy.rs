@@ -1,0 +1,534 @@
+//! Shared seeded strategies for the graph families the paper cares about.
+//!
+//! Each strategy is a pure function of a [`TestRng`] stream, so a single
+//! `u64` seed replays any generated case exactly. The families mirror the
+//! shapes that exercise different code paths across the workspace:
+//!
+//! * [`simple_graphs`] — arbitrary simple graphs (possibly disconnected,
+//!   with isolated vertices): the workhorse for cross-validation;
+//! * [`multigraphs`] — parallel edges and self-loops included, for the
+//!   algorithms that must accept raw multigraphs;
+//! * [`biconnected_graphs`] — one biconnected block (Hamiltonian cycle
+//!   plus chords): the precondition for ear decomposition;
+//! * [`chain_heavy_graphs`] — long degree-2 ears planted by edge
+//!   subdivision: the paper's favourable case, exercising chain
+//!   contraction and the `min{…}` extrapolation formulas;
+//! * [`cactus_graphs`] — trees of edge-disjoint cycles: every edge lies in
+//!   at most one cycle, so BCC splitting and per-block work dominate;
+//! * [`multi_bcc_graphs`] — disconnected unions of blocks, bridges,
+//!   pendants and isolated vertices: the block-cut-tree routing worst
+//!   case;
+//! * [`workload_graphs`] — the `ear-workloads` generators wrapped as a
+//!   strategy, so integration tests draw from the same family the
+//!   benchmarks use.
+
+use ear_graph::{CsrGraph, Weight};
+use ear_workloads::combinators::subdivide_edges;
+use ear_workloads::generators::{random_min_deg3, triangulated_grid};
+
+use crate::rng::TestRng;
+
+/// A generator of test values with optional shrinking.
+///
+/// `generate` must be a pure function of the RNG stream — that is what
+/// makes seed replay exact. `shrink` proposes strictly simpler candidate
+/// values; strategies whose family membership an edge removal could break
+/// (e.g. biconnected graphs) return no candidates rather than risk
+/// shrinking out of the family.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value from the strategy.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Proposes simpler candidates derived from `value` (may be empty).
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
+}
+
+/// The graph families [`GraphStrategy`] can draw from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Family {
+    Simple,
+    Multi,
+    Biconnected,
+    ChainHeavy,
+    Cactus,
+    MultiBcc,
+    Workload,
+}
+
+/// A seeded strategy over one of the workspace's graph families.
+#[derive(Clone, Debug)]
+pub struct GraphStrategy {
+    family: Family,
+    max_n: usize,
+    max_w: Weight,
+}
+
+/// Arbitrary simple graphs with up to `max_n` vertices (≥ 2) and up to
+/// `3·n` edges. Shrinks by removing edges and trimming isolated tail
+/// vertices.
+pub fn simple_graphs(max_n: usize) -> GraphStrategy {
+    GraphStrategy {
+        family: Family::Simple,
+        max_n: max_n.max(3),
+        max_w: 100,
+    }
+}
+
+/// Arbitrary multigraphs (parallel edges and self-loops allowed) with up
+/// to `max_n` vertices (≥ 1) and up to `4·n` edges.
+pub fn multigraphs(max_n: usize) -> GraphStrategy {
+    GraphStrategy {
+        family: Family::Multi,
+        max_n: max_n.max(2),
+        max_w: 100,
+    }
+}
+
+/// Biconnected graphs: a Hamiltonian cycle on `3..max_n` vertices plus
+/// random chords. No shrinking (edge removal can break biconnectivity).
+pub fn biconnected_graphs(max_n: usize) -> GraphStrategy {
+    GraphStrategy {
+        family: Family::Biconnected,
+        max_n: max_n.max(4),
+        max_w: 100,
+    }
+}
+
+/// Chain-heavy graphs: a min-degree-3 core with many edges subdivided
+/// into long degree-2 ears — the paper's favourable workload shape.
+pub fn chain_heavy_graphs(max_n: usize) -> GraphStrategy {
+    GraphStrategy {
+        family: Family::ChainHeavy,
+        max_n: max_n.max(8),
+        max_w: 100,
+    }
+}
+
+/// Cactus-like graphs: a tree of edge-disjoint cycles with occasional
+/// pendant edges.
+pub fn cactus_graphs(max_n: usize) -> GraphStrategy {
+    GraphStrategy {
+        family: Family::Cactus,
+        max_n: max_n.max(4),
+        max_w: 100,
+    }
+}
+
+/// Disconnected multi-BCC graphs: several independent components, each a
+/// small block structure with bridges and pendants, plus isolated
+/// vertices.
+pub fn multi_bcc_graphs(max_n: usize) -> GraphStrategy {
+    GraphStrategy {
+        family: Family::MultiBcc,
+        max_n: max_n.max(8),
+        max_w: 100,
+    }
+}
+
+/// The `ear-workloads` generators (triangulated grids, min-degree-3 cores,
+/// subdivided variants) wrapped as a strategy, downscaled to `max_n`.
+pub fn workload_graphs(max_n: usize) -> GraphStrategy {
+    GraphStrategy {
+        family: Family::Workload,
+        max_n: max_n.max(16),
+        max_w: 100,
+    }
+}
+
+impl GraphStrategy {
+    fn gen_simple(&self, rng: &mut TestRng) -> CsrGraph {
+        let n = rng.usize_in(2, self.max_n);
+        let budget = rng.usize_in(0, 3 * n + 1);
+        let mut seen = std::collections::HashSet::new();
+        let mut edges: Vec<(u32, u32, Weight)> = Vec::with_capacity(budget);
+        for _ in 0..budget {
+            let u = rng.u32_in(0, n as u32);
+            let v = rng.u32_in(0, n as u32);
+            if u != v && seen.insert((u.min(v), u.max(v))) {
+                edges.push((u, v, rng.u64_in(1, self.max_w + 1)));
+            }
+        }
+        CsrGraph::from_edges(n, &edges)
+    }
+
+    fn gen_multi(&self, rng: &mut TestRng) -> CsrGraph {
+        let n = rng.usize_in(1, self.max_n);
+        let budget = rng.usize_in(0, 4 * n + 1);
+        let edges: Vec<(u32, u32, Weight)> = (0..budget)
+            .map(|_| {
+                (
+                    rng.u32_in(0, n as u32),
+                    rng.u32_in(0, n as u32),
+                    rng.u64_in(1, self.max_w + 1),
+                )
+            })
+            .collect();
+        CsrGraph::from_edges(n, &edges)
+    }
+
+    fn gen_biconnected(&self, rng: &mut TestRng) -> CsrGraph {
+        let n = rng.usize_in(3, self.max_n);
+        let mut seen = std::collections::HashSet::new();
+        let mut edges: Vec<(u32, u32, Weight)> = Vec::with_capacity(2 * n);
+        for v in 0..n as u32 {
+            let u = (v + 1) % n as u32;
+            seen.insert((u.min(v), u.max(v)));
+            edges.push((v, u, rng.u64_in(1, self.max_w + 1)));
+        }
+        for _ in 0..rng.usize_in(0, n + 1) {
+            let u = rng.u32_in(0, n as u32);
+            let v = rng.u32_in(0, n as u32);
+            if u != v && seen.insert((u.min(v), u.max(v))) {
+                edges.push((u, v, rng.u64_in(1, self.max_w + 1)));
+            }
+        }
+        CsrGraph::from_edges(n, &edges)
+    }
+
+    fn gen_chain_heavy(&self, rng: &mut TestRng) -> CsrGraph {
+        // A min-degree-3 core, then subdivide a majority of edges into
+        // degree-2 chains (weights in the core are ≥ chain_len+1 eligible
+        // by construction of MAX_WEIGHT=100).
+        let core_n = rng.usize_in(4, (self.max_n / 3).max(5));
+        let core = random_min_deg3(core_n, 2 * core_n + rng.usize_in(0, core_n + 1), rng.fork());
+        let chain_len = rng.usize_in(1, 4);
+        let count = rng.usize_in(1, core.m() + 1);
+        subdivide_edges(&core, count, chain_len, rng.fork())
+    }
+
+    fn gen_cactus(&self, rng: &mut TestRng) -> CsrGraph {
+        let target = rng.usize_in(3, self.max_n);
+        let mut edges: Vec<(u32, u32, Weight)> = Vec::new();
+        let mut next: u32 = 1;
+        while (next as usize) < target {
+            let host = rng.u32_in(0, next);
+            if rng.percent(25) {
+                // Pendant edge.
+                edges.push((host, next, rng.u64_in(1, self.max_w + 1)));
+                next += 1;
+            } else {
+                // A cycle of 3..=6 vertices sharing only `host`.
+                let len = rng.usize_in(3, 7).min(target - next as usize + 1).max(3);
+                let ring: Vec<u32> = std::iter::once(host)
+                    .chain((0..len as u32 - 1).map(|i| next + i))
+                    .collect();
+                next += len as u32 - 1;
+                for i in 0..ring.len() {
+                    let a = ring[i];
+                    let b = ring[(i + 1) % ring.len()];
+                    edges.push((a, b, rng.u64_in(1, self.max_w + 1)));
+                }
+            }
+        }
+        CsrGraph::from_edges(next as usize, &edges)
+    }
+
+    fn gen_multi_bcc(&self, rng: &mut TestRng) -> CsrGraph {
+        let comps = rng.usize_in(2, 5);
+        let mut edges: Vec<(u32, u32, Weight)> = Vec::new();
+        let mut base: u32 = 0;
+        for _ in 0..comps {
+            let n = rng.usize_in(2, (self.max_n / comps).max(3)) as u32;
+            // A path spine (bridges), with a chance of closing cycles.
+            for v in 1..n {
+                edges.push((base + v - 1, base + v, rng.u64_in(1, self.max_w + 1)));
+            }
+            for _ in 0..rng.usize_in(0, n as usize + 1) {
+                let u = rng.u32_in(0, n);
+                let v = rng.u32_in(0, n);
+                if u != v {
+                    edges.push((base + u, base + v, rng.u64_in(1, self.max_w + 1)));
+                }
+            }
+            base += n;
+        }
+        // Isolated vertices on top.
+        let isolated = rng.usize_in(0, 3) as u32;
+        let mut seen = std::collections::HashSet::new();
+        let edges: Vec<(u32, u32, Weight)> = edges
+            .into_iter()
+            .filter(|&(u, v, _)| seen.insert((u.min(v), u.max(v))))
+            .collect();
+        CsrGraph::from_edges((base + isolated) as usize, &edges)
+    }
+
+    fn gen_workload(&self, rng: &mut TestRng) -> CsrGraph {
+        match rng.usize_in(0, 3) {
+            0 => {
+                let side = rng.usize_in(2, ((self.max_n as f64).sqrt() as usize).max(3));
+                triangulated_grid(side, side, rng.fork())
+            }
+            1 => {
+                let n = rng.usize_in(4, self.max_n.max(5));
+                random_min_deg3(n, 2 * n + rng.usize_in(0, n + 1), rng.fork())
+            }
+            _ => {
+                let n = rng.usize_in(4, (self.max_n / 2).max(5));
+                let core = random_min_deg3(n, 2 * n, rng.fork());
+                subdivide_edges(&core, core.m() / 2, rng.usize_in(1, 3), rng.fork())
+            }
+        }
+    }
+}
+
+impl Strategy for GraphStrategy {
+    type Value = CsrGraph;
+
+    fn generate(&self, rng: &mut TestRng) -> CsrGraph {
+        match self.family {
+            Family::Simple => self.gen_simple(rng),
+            Family::Multi => self.gen_multi(rng),
+            Family::Biconnected => self.gen_biconnected(rng),
+            Family::ChainHeavy => self.gen_chain_heavy(rng),
+            Family::Cactus => self.gen_cactus(rng),
+            Family::MultiBcc => self.gen_multi_bcc(rng),
+            Family::Workload => self.gen_workload(rng),
+        }
+    }
+
+    fn shrink(&self, g: &CsrGraph) -> Vec<CsrGraph> {
+        // Only the unconstrained families shrink: removing an edge keeps a
+        // simple graph simple and a multigraph a multigraph, but can break
+        // biconnectivity, chain structure, etc.
+        if !matches!(self.family, Family::Simple | Family::Multi) {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let all: Vec<(u32, u32, Weight)> = g.edges().iter().map(|e| (e.u, e.v, e.w)).collect();
+        // Drop an isolated trailing vertex first — smallest step.
+        if g.n() > 1 && g.degree(g.n() as u32 - 1) == 0 {
+            out.push(CsrGraph::from_edges(g.n() - 1, &all));
+        }
+        for skip in 0..all.len() {
+            let edges: Vec<(u32, u32, Weight)> = all
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != skip)
+                .map(|(_, &e)| e)
+                .collect();
+            out.push(CsrGraph::from_edges(g.n(), &edges));
+        }
+        // Weight simplification: all weights to 1 (often keeps the failure
+        // while making the counterexample readable).
+        if all.iter().any(|&(_, _, w)| w != 1) {
+            let unit: Vec<(u32, u32, Weight)> = all.iter().map(|&(u, v, _)| (u, v, 1)).collect();
+            out.push(CsrGraph::from_edges(g.n(), &unit));
+        }
+        out
+    }
+}
+
+/// A strategy from a plain closure (no shrinking). The bridge for wrapping
+/// any `ear-workloads` generator call as a strategy.
+pub struct FnStrategy<T, F: Fn(&mut TestRng) -> T> {
+    f: F,
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+/// Wraps `f` as a [`Strategy`].
+pub fn from_fn<T: std::fmt::Debug, F: Fn(&mut TestRng) -> T>(f: F) -> FnStrategy<T, F> {
+    FnStrategy {
+        f,
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: std::fmt::Debug, F: Fn(&mut TestRng) -> T> Strategy for FnStrategy<T, F> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(rng)
+    }
+}
+
+/// Uniform `usize` from a half-open range, shrinking toward the lower
+/// bound.
+#[derive(Clone, Debug)]
+pub struct UsizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+/// Strategy over `lo..hi`.
+pub fn usizes(range: std::ops::Range<usize>) -> UsizeRange {
+    assert!(range.start < range.end, "empty range");
+    UsizeRange {
+        lo: range.start,
+        hi: range.end,
+    }
+}
+
+impl Strategy for UsizeRange {
+    type Value = usize;
+
+    fn generate(&self, rng: &mut TestRng) -> usize {
+        rng.usize_in(self.lo, self.hi)
+    }
+
+    fn shrink(&self, value: &usize) -> Vec<usize> {
+        // A geometric ladder of candidates from `lo` up to `value - 1`, so
+        // greedy adoption bisects toward the failure boundary in
+        // O(log² span) checks instead of decrementing one by one.
+        let v = *value;
+        let mut out = Vec::new();
+        if v == self.lo {
+            return out;
+        }
+        out.push(self.lo);
+        let mut gap = (v - self.lo) / 2;
+        while gap > 0 {
+            let cand = v - gap;
+            if cand > self.lo && out.last() != Some(&cand) {
+                out.push(cand);
+            }
+            gap /= 2;
+        }
+        out
+    }
+}
+
+/// Pairs two strategies; shrinks each side independently.
+#[derive(Clone, Debug)]
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+/// Strategy over `(A::Value, B::Value)`.
+pub fn zip<A: Strategy, B: Strategy>(a: A, b: B) -> Zip<A, B> {
+    Zip { a, b }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for Zip<A, B>
+where
+    A::Value: Clone,
+    B::Value: Clone,
+{
+    type Value = (A::Value, B::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.a.generate(rng), self.b.generate(rng))
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let mut out: Vec<Self::Value> = self
+            .a
+            .shrink(&value.0)
+            .into_iter()
+            .map(|a| (a, value.1.clone()))
+            .collect();
+        out.extend(
+            self.b
+                .shrink(&value.1)
+                .into_iter()
+                .map(|b| (value.0.clone(), b)),
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ear_graph::connected_components;
+
+    fn rng(seed: u64) -> TestRng {
+        TestRng::new(seed)
+    }
+
+    #[test]
+    fn simple_graphs_are_simple() {
+        let s = simple_graphs(30);
+        for seed in 0..50 {
+            let g = s.generate(&mut rng(seed));
+            assert!(g.is_simple());
+            assert!(g.n() >= 2 && g.n() < 30);
+        }
+    }
+
+    #[test]
+    fn biconnected_graphs_are_biconnected() {
+        let s = biconnected_graphs(20);
+        for seed in 0..50 {
+            let g = s.generate(&mut rng(seed));
+            let b = ear_decomp::bcc::biconnected_components(&g);
+            assert_eq!(b.count(), 1, "seed {seed}");
+            assert!(b.articulation_points().is_empty(), "seed {seed}");
+            assert!(connected_components(&g).is_connected());
+        }
+    }
+
+    #[test]
+    fn chain_heavy_graphs_have_degree_two_vertices() {
+        let s = chain_heavy_graphs(40);
+        for seed in 0..20 {
+            let g = s.generate(&mut rng(seed));
+            let deg2 = (0..g.n() as u32).filter(|&v| g.degree(v) == 2).count();
+            assert!(deg2 >= 1, "seed {seed}: no chains planted");
+            assert!(connected_components(&g).is_connected());
+        }
+    }
+
+    #[test]
+    fn cactus_graphs_have_edge_disjoint_cycles() {
+        let s = cactus_graphs(25);
+        for seed in 0..30 {
+            let g = s.generate(&mut rng(seed));
+            // Cactus property: every BCC is a single edge or a simple cycle
+            // (edge count == vertex count within the component).
+            let b = ear_decomp::bcc::biconnected_components(&g);
+            for c in 0..b.count() {
+                let verts = b.comp_vertices(&g, c);
+                let edges = &b.comps[c];
+                assert!(
+                    edges.len() == 1 || edges.len() == verts.len(),
+                    "seed {seed}: component with {} edges, {} vertices",
+                    edges.len(),
+                    verts.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_bcc_graphs_are_disconnected() {
+        let s = multi_bcc_graphs(30);
+        for seed in 0..30 {
+            let g = s.generate(&mut rng(seed));
+            assert!(connected_components(&g).count >= 2, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let s = simple_graphs(30);
+        let a = s.generate(&mut rng(9));
+        let b = s.generate(&mut rng(9));
+        assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn shrink_reduces_edges() {
+        let s = simple_graphs(20);
+        let g = s.generate(&mut rng(3));
+        for cand in s.shrink(&g) {
+            assert!(cand.m() < g.m() || cand.n() < g.n() || cand.total_weight() < g.total_weight());
+        }
+    }
+
+    #[test]
+    fn zip_shrinks_componentwise() {
+        let s = zip(usizes(1..10), usizes(5..20));
+        let v = (9, 19);
+        for (a, b) in s.shrink(&v) {
+            assert!((a, b) != v);
+            assert!((1..10).contains(&a) && (5..20).contains(&b));
+        }
+    }
+}

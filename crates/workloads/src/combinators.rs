@@ -15,8 +15,9 @@ pub fn subdivide_edges(g: &CsrGraph, count: usize, chain_len: usize, seed: u64) 
     let mut rng = StdRng::seed_from_u64(seed);
     // Only edges heavy enough to split into chain_len+1 positive segments
     // are eligible — subdividing lighter ones would inflate distances.
-    let mut picks: Vec<EdgeId> =
-        (0..g.m() as u32).filter(|&e| g.weight(e) >= chain_len as u64 + 1).collect();
+    let mut picks: Vec<EdgeId> = (0..g.m() as u32)
+        .filter(|&e| g.weight(e) > chain_len as u64)
+        .collect();
     picks.shuffle(&mut rng);
     picks.truncate(count.min(picks.len()));
     let chosen: std::collections::HashSet<EdgeId> = picks.into_iter().collect();
@@ -54,8 +55,7 @@ pub fn subdivide_edges(g: &CsrGraph, count: usize, chain_len: usize, seed: u64) 
 /// population of the collaboration graphs.
 pub fn attach_pendants(g: &CsrGraph, count: usize, seed: u64) -> CsrGraph {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut edges: Vec<(u32, u32, Weight)> =
-        g.edges().iter().map(|e| (e.u, e.v, e.w)).collect();
+    let mut edges: Vec<(u32, u32, Weight)> = g.edges().iter().map(|e| (e.u, e.v, e.w)).collect();
     let mut next = g.n() as u32;
     for _ in 0..count {
         let host = rng.gen_range(0..next); // pendants can chain off pendants
@@ -71,8 +71,7 @@ pub fn attach_pendants(g: &CsrGraph, count: usize, seed: u64) -> CsrGraph {
 pub fn attach_satellite_blocks(g: &CsrGraph, count: usize, size: usize, seed: u64) -> CsrGraph {
     assert!(size >= 3);
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut edges: Vec<(u32, u32, Weight)> =
-        g.edges().iter().map(|e| (e.u, e.v, e.w)).collect();
+    let mut edges: Vec<(u32, u32, Weight)> = g.edges().iter().map(|e| (e.u, e.v, e.w)).collect();
     let mut next = g.n() as u32;
     let host_max = g.n() as u32;
     for _ in 0..count {

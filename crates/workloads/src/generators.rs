@@ -65,7 +65,7 @@ pub fn triangulated_grid(rows: usize, cols: usize, seed: u64) -> CsrGraph {
 /// degree. Heavy-tailed, one giant biconnected core — the collaboration /
 /// AS-topology stand-in.
 pub fn power_law(n: usize, attach: usize, seed: u64) -> CsrGraph {
-    assert!(n >= attach + 1 && attach >= 1);
+    assert!(n > attach && attach >= 1);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = GraphBuilder::with_capacity(n, n * attach);
     // Degree-proportional sampling via the repeated-endpoints trick.
@@ -175,8 +175,7 @@ pub fn random_min_deg3(n: usize, m: usize, seed: u64) -> CsrGraph {
     assert!(n >= 4, "need at least K4");
     let base = random_connected(n, m.max(2 * n), seed);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
-    let mut edges: Vec<(u32, u32, Weight)> =
-        base.edges().iter().map(|e| (e.u, e.v, e.w)).collect();
+    let mut edges: Vec<(u32, u32, Weight)> = base.edges().iter().map(|e| (e.u, e.v, e.w)).collect();
     let mut seen: std::collections::HashSet<(u32, u32)> =
         edges.iter().map(|&(u, v, _)| key(u, v)).collect();
     let mut deg = vec![0usize; n];

@@ -134,27 +134,192 @@ impl DatasetSpec {
 /// collection).
 pub fn table1_specs() -> Vec<DatasetSpec> {
     vec![
-        DatasetSpec { name: "nopoly", n: 10_000, m: 30_000, bccs: 1, largest_bcc_pct: 100.0, removed_pct: 0.018, paper_ours_mb: 443, paper_max_mb: 443, base: BaseKind::Mesh, planar: false },
-        DatasetSpec { name: "OPF_3754", n: 15_000, m: 86_000, bccs: 1, largest_bcc_pct: 100.0, removed_pct: 1.98, paper_ours_mb: 873, paper_max_mb: 909, base: BaseKind::SmallWorld, planar: false },
-        DatasetSpec { name: "ca-AstroPh", n: 18_000, m: 198_000, bccs: 647, largest_bcc_pct: 98.43, removed_pct: 15.85, paper_ours_mb: 970, paper_max_mb: 1344, base: BaseKind::PowerLaw, planar: false },
-        DatasetSpec { name: "as-22july06", n: 22_000, m: 48_000, bccs: 13, largest_bcc_pct: 99.9, removed_pct: 77.60, paper_ours_mb: 851, paper_max_mb: 2012, base: BaseKind::PowerLaw, planar: false },
-        DatasetSpec { name: "c-50", n: 22_000, m: 90_000, bccs: 1, largest_bcc_pct: 100.0, removed_pct: 52.04, paper_ours_mb: 651, paper_max_mb: 1914, base: BaseKind::SmallWorld, planar: false },
-        DatasetSpec { name: "cond_mat_2003", n: 31_000, m: 120_000, bccs: 2157, largest_bcc_pct: 80.52, removed_pct: 26.88, paper_ours_mb: 1826, paper_max_mb: 3705, base: BaseKind::PowerLaw, planar: false },
-        DatasetSpec { name: "delaunay_n15", n: 32_000, m: 98_000, bccs: 1, largest_bcc_pct: 100.0, removed_pct: 0.0, paper_ours_mb: 4096, paper_max_mb: 4096, base: BaseKind::Mesh, planar: false },
-        DatasetSpec { name: "Rajat26", n: 51_000, m: 247_000, bccs: 5053, largest_bcc_pct: 95.17, removed_pct: 32.92, paper_ours_mb: 7176, paper_max_mb: 9934, base: BaseKind::RandomCore, planar: false },
-        DatasetSpec { name: "Wordnet3", n: 82_000, m: 132_000, bccs: 156, largest_bcc_pct: 98.92, removed_pct: 77.24, paper_ours_mb: 4663, paper_max_mb: 26_071, base: BaseKind::PowerLaw, planar: false },
-        DatasetSpec { name: "soc-sign-epinions", n: 131_000, m: 841_000, bccs: 609, largest_bcc_pct: 99.7, removed_pct: 67.86, paper_ours_mb: 12_932, paper_max_mb: 66_294, base: BaseKind::PowerLaw, planar: false },
+        DatasetSpec {
+            name: "nopoly",
+            n: 10_000,
+            m: 30_000,
+            bccs: 1,
+            largest_bcc_pct: 100.0,
+            removed_pct: 0.018,
+            paper_ours_mb: 443,
+            paper_max_mb: 443,
+            base: BaseKind::Mesh,
+            planar: false,
+        },
+        DatasetSpec {
+            name: "OPF_3754",
+            n: 15_000,
+            m: 86_000,
+            bccs: 1,
+            largest_bcc_pct: 100.0,
+            removed_pct: 1.98,
+            paper_ours_mb: 873,
+            paper_max_mb: 909,
+            base: BaseKind::SmallWorld,
+            planar: false,
+        },
+        DatasetSpec {
+            name: "ca-AstroPh",
+            n: 18_000,
+            m: 198_000,
+            bccs: 647,
+            largest_bcc_pct: 98.43,
+            removed_pct: 15.85,
+            paper_ours_mb: 970,
+            paper_max_mb: 1344,
+            base: BaseKind::PowerLaw,
+            planar: false,
+        },
+        DatasetSpec {
+            name: "as-22july06",
+            n: 22_000,
+            m: 48_000,
+            bccs: 13,
+            largest_bcc_pct: 99.9,
+            removed_pct: 77.60,
+            paper_ours_mb: 851,
+            paper_max_mb: 2012,
+            base: BaseKind::PowerLaw,
+            planar: false,
+        },
+        DatasetSpec {
+            name: "c-50",
+            n: 22_000,
+            m: 90_000,
+            bccs: 1,
+            largest_bcc_pct: 100.0,
+            removed_pct: 52.04,
+            paper_ours_mb: 651,
+            paper_max_mb: 1914,
+            base: BaseKind::SmallWorld,
+            planar: false,
+        },
+        DatasetSpec {
+            name: "cond_mat_2003",
+            n: 31_000,
+            m: 120_000,
+            bccs: 2157,
+            largest_bcc_pct: 80.52,
+            removed_pct: 26.88,
+            paper_ours_mb: 1826,
+            paper_max_mb: 3705,
+            base: BaseKind::PowerLaw,
+            planar: false,
+        },
+        DatasetSpec {
+            name: "delaunay_n15",
+            n: 32_000,
+            m: 98_000,
+            bccs: 1,
+            largest_bcc_pct: 100.0,
+            removed_pct: 0.0,
+            paper_ours_mb: 4096,
+            paper_max_mb: 4096,
+            base: BaseKind::Mesh,
+            planar: false,
+        },
+        DatasetSpec {
+            name: "Rajat26",
+            n: 51_000,
+            m: 247_000,
+            bccs: 5053,
+            largest_bcc_pct: 95.17,
+            removed_pct: 32.92,
+            paper_ours_mb: 7176,
+            paper_max_mb: 9934,
+            base: BaseKind::RandomCore,
+            planar: false,
+        },
+        DatasetSpec {
+            name: "Wordnet3",
+            n: 82_000,
+            m: 132_000,
+            bccs: 156,
+            largest_bcc_pct: 98.92,
+            removed_pct: 77.24,
+            paper_ours_mb: 4663,
+            paper_max_mb: 26_071,
+            base: BaseKind::PowerLaw,
+            planar: false,
+        },
+        DatasetSpec {
+            name: "soc-sign-epinions",
+            n: 131_000,
+            m: 841_000,
+            bccs: 609,
+            largest_bcc_pct: 99.7,
+            removed_pct: 67.86,
+            paper_ours_mb: 12_932,
+            paper_max_mb: 66_294,
+            base: BaseKind::PowerLaw,
+            planar: false,
+        },
     ]
 }
 
 /// The five OGDF-planar rows of Table 1.
 pub fn planar_specs() -> Vec<DatasetSpec> {
     vec![
-        DatasetSpec { name: "Planar_1", n: 19_000, m: 54_000, bccs: 46, largest_bcc_pct: 99.55, removed_pct: 12.42, paper_ours_mb: 1278, paper_max_mb: 1296, base: BaseKind::Mesh, planar: true },
-        DatasetSpec { name: "Planar_2", n: 25_000, m: 64_000, bccs: 164, largest_bcc_pct: 93.65, removed_pct: 5.63, paper_ours_mb: 1627, paper_max_mb: 1881, base: BaseKind::Mesh, planar: true },
-        DatasetSpec { name: "Planar_3", n: 30_000, m: 70_000, bccs: 298, largest_bcc_pct: 96.53, removed_pct: 19.72, paper_ours_mb: 2068, paper_max_mb: 2275, base: BaseKind::Mesh, planar: true },
-        DatasetSpec { name: "Planar_4", n: 36_000, m: 94_000, bccs: 175, largest_bcc_pct: 98.37, removed_pct: 18.56, paper_ours_mb: 3890, paper_max_mb: 4074, base: BaseKind::Mesh, planar: true },
-        DatasetSpec { name: "Planar_5", n: 41_000, m: 128_000, bccs: 223, largest_bcc_pct: 95.63, removed_pct: 16.34, paper_ours_mb: 4350, paper_max_mb: 4942, base: BaseKind::Mesh, planar: true },
+        DatasetSpec {
+            name: "Planar_1",
+            n: 19_000,
+            m: 54_000,
+            bccs: 46,
+            largest_bcc_pct: 99.55,
+            removed_pct: 12.42,
+            paper_ours_mb: 1278,
+            paper_max_mb: 1296,
+            base: BaseKind::Mesh,
+            planar: true,
+        },
+        DatasetSpec {
+            name: "Planar_2",
+            n: 25_000,
+            m: 64_000,
+            bccs: 164,
+            largest_bcc_pct: 93.65,
+            removed_pct: 5.63,
+            paper_ours_mb: 1627,
+            paper_max_mb: 1881,
+            base: BaseKind::Mesh,
+            planar: true,
+        },
+        DatasetSpec {
+            name: "Planar_3",
+            n: 30_000,
+            m: 70_000,
+            bccs: 298,
+            largest_bcc_pct: 96.53,
+            removed_pct: 19.72,
+            paper_ours_mb: 2068,
+            paper_max_mb: 2275,
+            base: BaseKind::Mesh,
+            planar: true,
+        },
+        DatasetSpec {
+            name: "Planar_4",
+            n: 36_000,
+            m: 94_000,
+            bccs: 175,
+            largest_bcc_pct: 98.37,
+            removed_pct: 18.56,
+            paper_ours_mb: 3890,
+            paper_max_mb: 4074,
+            base: BaseKind::Mesh,
+            planar: true,
+        },
+        DatasetSpec {
+            name: "Planar_5",
+            n: 41_000,
+            m: 128_000,
+            bccs: 223,
+            largest_bcc_pct: 95.63,
+            removed_pct: 16.34,
+            paper_ours_mb: 4350,
+            paper_max_mb: 4942,
+            base: BaseKind::Mesh,
+            planar: true,
+        },
     ]
 }
 

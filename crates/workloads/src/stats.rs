@@ -134,7 +134,15 @@ mod tests {
     fn memory_is_below_flat_table_when_blocky() {
         let g = CsrGraph::from_edges(
             6,
-            &[(0, 1, 1), (1, 2, 1), (2, 0, 1), (2, 3, 1), (3, 4, 1), (4, 5, 1), (5, 3, 1)],
+            &[
+                (0, 1, 1),
+                (1, 2, 1),
+                (2, 0, 1),
+                (2, 3, 1),
+                (3, 4, 1),
+                (4, 5, 1),
+                (5, 3, 1),
+            ],
         );
         let s = GraphStats::measure(&g);
         assert!(s.ours_memory_mb() < s.max_memory_mb());

@@ -18,7 +18,13 @@ fn kernel(size: &u64) -> (u64, WorkCounters) {
     // Pretend each item relaxes one edge; the checksum output proves the
     // work happened.
     let checksum = (0..*size).fold(0u64, |acc, x| acc.wrapping_mul(31).wrapping_add(x));
-    (checksum, WorkCounters { edges_relaxed: *size, ..Default::default() })
+    (
+        checksum,
+        WorkCounters {
+            edges_relaxed: *size,
+            ..Default::default()
+        },
+    )
 }
 
 fn main() {
@@ -28,7 +34,7 @@ fn main() {
     let mut units: Vec<u64> = Vec::new();
     units.push(3_000_000);
     units.extend((0..8).map(|i| 400_000 >> i));
-    units.extend(std::iter::repeat(700).take(4000));
+    units.extend(std::iter::repeat_n(700, 4000));
     let total: u64 = units.iter().sum();
     println!(
         "{} workunits, {} total items, largest unit holds {:.1}% of all work\n",
@@ -80,7 +86,10 @@ fn main() {
 
     // Genuinely concurrent execution (no model): exactly-once checks.
     let conc = exec.run_concurrent(units.clone(), |&s| s, kernel);
-    assert_eq!(conc.results, out.results, "same checksums under real concurrency");
+    assert_eq!(
+        conc.results, out.results,
+        "same checksums under real concurrency"
+    );
     let items: u64 = conc.report.total_counters().edges_relaxed;
     assert_eq!(items, total, "every item processed exactly once");
     println!(

@@ -42,9 +42,18 @@ fn main() {
     let o = &ours.oracle;
 
     println!("\n== modelled build time (CPU+GPU) ==");
-    println!("  with ear reduction:  {:.2} ms", ours.modelled_time_s * 1e3);
-    println!("  without (Banerjee):  {:.2} ms", plain.modelled_time_s * 1e3);
-    println!("  speedup:             {:.2}x", plain.modelled_time_s / ours.modelled_time_s);
+    println!(
+        "  with ear reduction:  {:.2} ms",
+        ours.modelled_time_s * 1e3
+    );
+    println!(
+        "  without (Banerjee):  {:.2} ms",
+        plain.modelled_time_s * 1e3
+    );
+    println!(
+        "  speedup:             {:.2}x",
+        plain.modelled_time_s / ours.modelled_time_s
+    );
     let mteps = |t: f64| (g.n() as f64 * g.m() as f64) / t / 1e6;
     println!(
         "  MTEPS (fig. 3):      {:.0} vs {:.0}",
@@ -73,14 +82,16 @@ fn main() {
         .filter(|&v| g.degree(v) == 1)
         .max_by_key(|&v| o.dist(hub, v))
         .unwrap_or(0);
-    let far = (0..g.n() as u32).max_by_key(|&v| {
-        let d = o.dist(leaf, v);
-        if d >= INF {
-            0
-        } else {
-            d
-        }
-    }).unwrap();
+    let far = (0..g.n() as u32)
+        .max_by_key(|&v| {
+            let d = o.dist(leaf, v);
+            if d >= INF {
+                0
+            } else {
+                d
+            }
+        })
+        .unwrap();
     for (a, b, label) in [
         (hub, leaf, "hub -> farthest stub"),
         (leaf, far, "stub -> farthest AS (network diameter path)"),

@@ -82,7 +82,10 @@ fn report(name: &str, g: &CsrGraph, expected_rings: &[usize]) {
     println!("ring sizes: {sizes:?} (expected {expected_rings:?})");
     assert_eq!(sizes, expected_rings, "{name}: wrong ring system");
     for (i, c) in out.result.cycles.iter().enumerate() {
-        assert!(is_simple_cycle(g, &c.edges), "ring {i} must be a simple cycle");
+        assert!(
+            is_simple_cycle(g, &c.edges),
+            "ring {i} must be a simple cycle"
+        );
         let mut atoms: Vec<u32> = c
             .edges
             .iter()
@@ -100,7 +103,11 @@ fn report(name: &str, g: &CsrGraph, expected_rings: &[usize]) {
 
 fn main() {
     report("naphthalene (2 fused six-rings)", &naphthalene(), &[6, 6]);
-    report("gonane (steroid skeleton: 6-6-6-5)", &gonane(), &[5, 6, 6, 6]);
+    report(
+        "gonane (steroid skeleton: 6-6-6-5)",
+        &gonane(),
+        &[5, 6, 6, 6],
+    );
 
     // The ring systems above are small; show the ear reduction earning its
     // keep on a polymer: a long chain of naphthalene units connected by

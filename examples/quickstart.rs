@@ -79,7 +79,10 @@ fn main() {
     for (u, v) in [(0u32, 1u32), (2, 6), (0, 8), (4, 9)] {
         println!("  d({u},{v}) = {}", apsp.oracle.dist(u, v));
     }
-    println!("modelled heterogeneous build time: {:.3} us", apsp.modelled_time_s * 1e6);
+    println!(
+        "modelled heterogeneous build time: {:.3} us",
+        apsp.modelled_time_s * 1e6
+    );
 
     // MCB.
     println!("\n== minimum cycle basis (Algorithm 2 + Lemma 3.1) ==");

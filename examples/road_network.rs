@@ -28,7 +28,10 @@ fn main() {
     );
 
     let ours = ApspPipeline::new().mode(ExecMode::Hetero).run(&roads);
-    let baseline = ApspPipeline::new().mode(ExecMode::Hetero).use_ear(false).run(&roads);
+    let baseline = ApspPipeline::new()
+        .mode(ExecMode::Hetero)
+        .use_ear(false)
+        .run(&roads);
 
     let s = ours.oracle.stats();
     println!("\n== preprocessing ==");
@@ -44,11 +47,20 @@ fn main() {
     let base_relax = baseline.oracle.processing.total_counters().edges_relaxed;
     println!("  with ear reduction:    {ours_relax:>12}");
     println!("  without (Banerjee):    {base_relax:>12}");
-    println!("  reduction factor:      {:>11.2}x", base_relax as f64 / ours_relax as f64);
+    println!(
+        "  reduction factor:      {:>11.2}x",
+        base_relax as f64 / ours_relax as f64
+    );
 
     println!("\n== modelled heterogeneous time ==");
-    println!("  with ear reduction:    {:.3} ms", ours.modelled_time_s * 1e3);
-    println!("  without:               {:.3} ms", baseline.modelled_time_s * 1e3);
+    println!(
+        "  with ear reduction:    {:.3} ms",
+        ours.modelled_time_s * 1e3
+    );
+    println!(
+        "  without:               {:.3} ms",
+        baseline.modelled_time_s * 1e3
+    );
     println!(
         "  speedup:               {:.2}x (paper reports 1.7x on average)",
         baseline.modelled_time_s / ours.modelled_time_s

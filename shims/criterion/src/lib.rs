@@ -1,0 +1,261 @@
+//! Offline stand-in for the `criterion` API subset this workspace uses.
+//!
+//! The build environment has no crates.io access, so the real `criterion`
+//! cannot be fetched. This shim keeps the bench targets compiling and
+//! running: each benchmark executes a short warm-up plus `sample_size`
+//! timed iterations and prints min/mean wall times. There is no outlier
+//! analysis, no HTML report, and no statistical machinery — the figures
+//! are indicative, not publication-grade (the repo's modelled device
+//! comparison lives in `ear-bench`'s binaries, not here).
+
+#![deny(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            warm_up: Duration::from_millis(200),
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one("", id, self.new_bencher(), &mut f);
+        self
+    }
+
+    fn new_bencher(&self) -> Bencher {
+        Bencher {
+            sample_size: 10,
+            warm_up: Duration::from_millis(200),
+            samples: Vec::new(),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing sampling settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration (clamped to 200 ms in this shim to keep
+    /// `cargo bench` fast offline).
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d.min(Duration::from_millis(200));
+        self
+    }
+
+    /// Accepted for API compatibility; the shim times exactly
+    /// `sample_size` iterations instead of a wall-clock budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; throughput is not reported.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let b = Bencher {
+            sample_size: self.sample_size,
+            warm_up: self.warm_up,
+            samples: Vec::new(),
+        };
+        run_one(&self.name, &id.to_string(), b, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let b = Bencher {
+            sample_size: self.sample_size,
+            warm_up: self.warm_up,
+            samples: Vec::new(),
+        };
+        run_one(
+            &self.name,
+            &id.to_string(),
+            b,
+            &mut |bench: &mut Bencher| f(bench, input),
+        );
+        self
+    }
+
+    /// Ends the group (no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Parameterised benchmark identifier, mirroring `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Builds `"{name}/{parameter}"`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Builds an id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Throughput declaration, accepted for API compatibility.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Per-benchmark measurement driver handed to the closure.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    warm_up: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `sample_size` iterations of `f` after a short warm-up.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warm_deadline = Instant::now() + self.warm_up;
+        while Instant::now() < warm_deadline {
+            black_box(f());
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn run_one(group: &str, id: &str, mut b: Bencher, f: &mut dyn FnMut(&mut Bencher)) {
+    f(&mut b);
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    if b.samples.is_empty() {
+        println!("{label:<48} (no samples)");
+        return;
+    }
+    let min = b.samples.iter().min().unwrap();
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    println!(
+        "{label:<48} min {min:>12.3?}   mean {mean:>12.3?}   ({} samples)",
+        b.samples.len()
+    );
+}
+
+/// Declares a benchmark group function list, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_closures() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3).warm_up_time(Duration::from_millis(1));
+        let mut runs = 0usize;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.finish();
+        assert!(runs >= 3);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2).warm_up_time(Duration::from_millis(1));
+        group.bench_with_input(BenchmarkId::new("square", 7), &7u64, |b, &x| {
+            b.iter(|| x * x)
+        });
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("bcc", 42).to_string(), "bcc/42");
+        assert_eq!(BenchmarkId::from_parameter(9).to_string(), "9");
+    }
+}

@@ -1,0 +1,89 @@
+//! Offline stand-in for the `parking_lot` API subset this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the real
+//! `parking_lot` cannot be fetched; this shim maps the same API onto
+//! `std::sync`. Semantics differ only in fairness/perf details:
+//! [`Mutex::lock`] never returns a poison error (a poisoned std mutex is
+//! unwrapped into its inner guard, matching parking_lot's no-poisoning
+//! model).
+
+#![deny(missing_docs)]
+
+use std::sync::TryLockError;
+
+/// A mutual-exclusion primitive with the `parking_lot` calling convention:
+/// `lock()` returns the guard directly, with no poisoning `Result`.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+/// RAII guard returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex protecting `t`.
+    pub const fn new(t: T) -> Self {
+        Mutex(std::sync::Mutex::new(t))
+    }
+
+    /// Consumes the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the mutex, blocking until it is available. Poisoning is
+    /// ignored, as in `parking_lot`.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Attempts to acquire the mutex without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(g),
+            Err(TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_round_trips() {
+        let m = Mutex::new(5);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 6);
+        assert_eq!(m.into_inner(), 6);
+    }
+
+    #[test]
+    fn try_lock_fails_while_held() {
+        let m = Mutex::new(0u32);
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn survives_panic_while_locked() {
+        let m = std::sync::Arc::new(Mutex::new(1));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison the std mutex");
+        })
+        .join();
+        // parking_lot semantics: no poisoning, the lock stays usable.
+        assert_eq!(*m.lock(), 1);
+    }
+}

@@ -1,0 +1,192 @@
+//! Offline stand-in for the `rayon` API subset this workspace uses.
+//!
+//! The build environment has no crates.io access, so the real `rayon`
+//! cannot be fetched. This shim keeps the same call sites
+//! (`par_iter().zip(..).map(..).collect()`, `par_iter_mut().map(..)`)
+//! compiling and genuinely parallel: `map` fans the items out over
+//! `std::thread::scope` chunks, one per available core, preserving input
+//! order in the output. There is no work stealing — chunks are static —
+//! which is fine for this workspace's uniform workunit batches.
+
+#![deny(missing_docs)]
+
+/// The glob-importable surface, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, IntoParallelRefMutIterator, ParIter};
+}
+
+/// Extension trait providing [`par_iter`](IntoParallelRefIterator::par_iter)
+/// on any collection whose shared reference iterates.
+pub trait IntoParallelRefIterator<'data> {
+    /// The borrowed item type.
+    type Item: Send + 'data;
+    /// Snapshots the items into a [`ParIter`].
+    fn par_iter(&'data self) -> ParIter<Self::Item>;
+}
+
+impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoIterator,
+    <&'data C as IntoIterator>::Item: Send,
+{
+    type Item = <&'data C as IntoIterator>::Item;
+
+    fn par_iter(&'data self) -> ParIter<Self::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// Extension trait providing
+/// [`par_iter_mut`](IntoParallelRefMutIterator::par_iter_mut) on any
+/// collection whose exclusive reference iterates.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// The mutably borrowed item type.
+    type Item: Send + 'data;
+    /// Snapshots the mutable borrows into a [`ParIter`].
+    fn par_iter_mut(&'data mut self) -> ParIter<Self::Item>;
+}
+
+impl<'data, C: 'data + ?Sized> IntoParallelRefMutIterator<'data> for C
+where
+    &'data mut C: IntoIterator,
+    <&'data mut C as IntoIterator>::Item: Send,
+{
+    type Item = <&'data mut C as IntoIterator>::Item;
+
+    fn par_iter_mut(&'data mut self) -> ParIter<Self::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// A snapshot of items flowing through the parallel pipeline.
+///
+/// `map` is the parallel step: it executes eagerly across scoped threads.
+/// Everything else (`zip`, `collect`) is plain order-preserving plumbing.
+pub struct ParIter<I: Send> {
+    items: Vec<I>,
+}
+
+impl<I: Send> ParIter<I> {
+    /// Pairs each item with the corresponding item of `other`, truncating
+    /// to the shorter side (same contract as `Iterator::zip`).
+    pub fn zip<J>(self, other: J) -> ParIter<(I, J::Item)>
+    where
+        J: IntoIterator,
+        J::Item: Send,
+    {
+        ParIter {
+            items: self.items.into_iter().zip(other).collect(),
+        }
+    }
+
+    /// Applies `f` to every item in parallel, preserving order.
+    pub fn map<R: Send, F: Fn(I) -> R + Sync>(self, f: F) -> ParIter<R> {
+        ParIter {
+            items: par_map_vec(self.items, f),
+        }
+    }
+
+    /// Applies `f` to every item in parallel, discarding results.
+    pub fn for_each<F: Fn(I) + Sync>(self, f: F) {
+        par_map_vec(self.items, f);
+    }
+
+    /// Gathers the items into any `FromIterator` collection, in order.
+    pub fn collect<C: FromIterator<I>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// Order-preserving parallel map over an owned vector: static chunks, one
+/// scoped thread per chunk. Panics in `f` propagate to the caller with
+/// their original payload.
+fn par_map_vec<I: Send, R: Send>(items: Vec<I>, f: impl Fn(I) -> R + Sync) -> Vec<R> {
+    let len = items.len();
+    let threads = std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(len.max(1));
+    if threads <= 1 || len <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = len.div_ceil(threads);
+    let mut chunks: Vec<Vec<I>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<I> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| match h.join() {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..10_000).collect();
+        let ys: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(ys, xs.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zip_then_map() {
+        let a = vec![1u32, 2, 3];
+        let b = vec![10u32, 20, 30];
+        let s: Vec<u32> = a.par_iter().zip(&b).map(|(x, y)| x + y).collect();
+        assert_eq!(s, vec![11, 22, 33]);
+    }
+
+    #[test]
+    fn par_iter_mut_writes_through() {
+        let mut xs = vec![0u32; 100];
+        let counts: Vec<u32> = xs
+            .par_iter_mut()
+            .map(|x| {
+                *x += 1;
+                *x
+            })
+            .collect();
+        assert!(xs.iter().all(|&x| x == 1));
+        assert_eq!(counts.len(), 100);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let xs: Vec<u8> = Vec::new();
+        let ys: Vec<u8> = xs.par_iter().map(|&x| x).collect();
+        assert!(ys.is_empty());
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let xs = vec![1u32, 2, 3];
+        let r = std::panic::catch_unwind(|| {
+            let _: Vec<u32> = xs
+                .par_iter()
+                .map(|&x| if x == 2 { panic!("boom") } else { x })
+                .collect();
+        });
+        assert!(r.is_err());
+    }
+}

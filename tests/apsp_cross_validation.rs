@@ -1,98 +1,117 @@
 //! Cross-validation of every APSP implementation against the
-//! Floyd–Warshall oracle on random graphs.
+//! Floyd–Warshall oracle on random graphs, via the shared `ear-testkit`
+//! strategies and invariant checkers.
+//!
+//! Any failure prints a one-line `EAR_TESTKIT_SEED=… cargo test <name>`
+//! reproduction.
 
 use ear_apsp::baselines::{floyd_warshall, plain_apsp};
 use ear_apsp::djidjev::djidjev_apsp;
 use ear_apsp::ear::ear_apsp;
 use ear_apsp::{build_oracle, ApspMethod};
-use ear_graph::{CsrGraph, Weight};
+use ear_graph::CsrGraph;
 use ear_hetero::HeteroExecutor;
-use proptest::prelude::*;
+use ear_testkit::{forall, invariants, multigraphs, simple_graphs, usizes, zip};
 
-fn simple_graph(nmax: usize) -> impl Strategy<Value = CsrGraph> {
-    (2..nmax).prop_flat_map(|n| {
-        proptest::collection::vec((0..n as u32, 0..n as u32, 1..100u64), 0..(3 * n))
-            .prop_map(move |raw| {
-                let mut seen = std::collections::HashSet::new();
-                let edges: Vec<(u32, u32, Weight)> = raw
-                    .into_iter()
-                    .filter(|&(u, v, _)| u != v)
-                    .filter(|&(u, v, _)| seen.insert((u.min(v), u.max(v))))
-                    .collect();
-                CsrGraph::from_edges(n, &edges)
-            })
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Algorithm 1 (single-matrix form) equals the oracle on arbitrary
-    /// simple graphs, under both device configurations.
-    #[test]
-    fn ear_apsp_matches_floyd_warshall(g in simple_graph(28)) {
-        let fw = floyd_warshall(&g);
-        for exec in [HeteroExecutor::sequential(), HeteroExecutor::cpu_gpu()] {
-            let out = ear_apsp(&g, &exec);
-            prop_assert_eq!(&out.dist, &fw);
-        }
-    }
-
-    /// The general-graph oracle (both per-block methods) answers every
-    /// query exactly.
-    #[test]
-    fn oracle_matches_floyd_warshall(g in simple_graph(28)) {
-        let fw = floyd_warshall(&g);
-        let exec = HeteroExecutor::cpu_gpu();
-        for method in [ApspMethod::Ear, ApspMethod::Plain] {
-            let o = build_oracle(&g, &exec, method);
-            for u in 0..g.n() as u32 {
-                for v in 0..g.n() as u32 {
-                    prop_assert_eq!(o.dist(u, v), fw.get(u, v), "method {:?} ({},{})", method, u, v);
+/// Algorithm 1 (single-matrix form) equals the oracle on arbitrary simple
+/// graphs, under both device configurations — and is a metric.
+#[test]
+fn ear_apsp_matches_floyd_warshall() {
+    forall("ear_apsp_matches_floyd_warshall")
+        .cases(48)
+        .run(&simple_graphs(28), |g| {
+            let fw = floyd_warshall(g);
+            invariants::metric_axioms(g, &fw)?;
+            for exec in [HeteroExecutor::sequential(), HeteroExecutor::cpu_gpu()] {
+                let out = ear_apsp(g, &exec);
+                if out.dist != fw {
+                    return Err("ear_apsp disagrees with floyd_warshall".into());
                 }
             }
-        }
-    }
+            Ok(())
+        });
+}
 
-    /// The Djidjev partition baseline is exact for any part count.
-    #[test]
-    fn djidjev_matches_floyd_warshall(g in simple_graph(24), k in 1usize..6) {
-        let fw = floyd_warshall(&g);
-        let out = djidjev_apsp(&g, k, &HeteroExecutor::sequential());
-        prop_assert_eq!(&out.dist, &fw);
-    }
+/// The general-graph oracle (both per-block methods) answers every query
+/// exactly, and its reconstructed paths realize the claimed distances.
+#[test]
+fn oracle_matches_floyd_warshall() {
+    forall("oracle_matches_floyd_warshall")
+        .cases(48)
+        .run(&simple_graphs(28), |g| {
+            let fw = floyd_warshall(g);
+            let exec = HeteroExecutor::cpu_gpu();
+            for method in [ApspMethod::Ear, ApspMethod::Plain] {
+                let o = build_oracle(g, &exec, method);
+                invariants::oracle_consistency(&o, &fw).map_err(|e| format!("{method:?}: {e}"))?;
+                invariants::oracle_paths_realize_distances(g, &o, &fw)
+                    .map_err(|e| format!("{method:?}: {e}"))?;
+            }
+            Ok(())
+        });
+}
 
-    /// Plain all-sources Dijkstra agrees too (and with parallel edges and
-    /// self-loops present, which the others don't accept).
-    #[test]
-    fn plain_apsp_matches_on_multigraphs(
-        n in 2usize..20,
-        raw in proptest::collection::vec((0u32..20, 0u32..20, 1u64..50), 0..60)
-    ) {
-        let edges: Vec<(u32, u32, Weight)> = raw
-            .into_iter()
-            .map(|(u, v, w)| (u % n as u32, v % n as u32, w))
-            .collect();
-        let g = CsrGraph::from_edges(n, &edges);
-        let fw = floyd_warshall(&g);
-        let (m, _) = plain_apsp(&g, &HeteroExecutor::cpu_gpu());
-        prop_assert_eq!(&m, &fw);
-    }
+/// The Djidjev partition baseline is exact for any part count.
+#[test]
+fn djidjev_matches_floyd_warshall() {
+    forall("djidjev_matches_floyd_warshall").cases(48).run(
+        &zip(simple_graphs(24), usizes(1..6)),
+        |(g, k)| {
+            let fw = floyd_warshall(g);
+            let out = djidjev_apsp(g, *k, &HeteroExecutor::sequential());
+            if out.dist != fw {
+                return Err(format!("djidjev k={k} disagrees with floyd_warshall"));
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Memory accounting: the oracle's table entries never exceed the flat
-    /// table, and they match the definition `a² + Σ nᵢ²` recomputed here.
-    #[test]
-    fn oracle_memory_accounting(g in simple_graph(32)) {
-        let o = build_oracle(&g, &HeteroExecutor::sequential(), ApspMethod::Ear);
-        let s = o.stats();
-        let bcc = ear_decomp::bcc::biconnected_components(&g);
-        let a = bcc.articulation_points().len() as u64;
-        let sum_sq: u64 = (0..bcc.count())
-            .map(|b| (bcc.comp_vertices(&g, b).len() as u64).pow(2))
-            .sum();
-        prop_assert_eq!(s.table_entries, a * a + sum_sq);
-        prop_assert_eq!(s.articulation_points as u64, a);
-    }
+/// Plain all-sources Dijkstra agrees too (and with parallel edges and
+/// self-loops present, which the others don't accept).
+#[test]
+fn plain_apsp_matches_on_multigraphs() {
+    forall("plain_apsp_matches_on_multigraphs")
+        .cases(48)
+        .run(&multigraphs(20), |g| {
+            let fw = floyd_warshall(g);
+            let (m, _) = plain_apsp(g, &HeteroExecutor::cpu_gpu());
+            if m != fw {
+                return Err("plain_apsp disagrees with floyd_warshall".into());
+            }
+            Ok(())
+        });
+}
+
+/// Memory accounting: the oracle's table entries never exceed the flat
+/// table, and they match the definition `a² + Σ nᵢ²` recomputed here.
+#[test]
+fn oracle_memory_accounting() {
+    forall("oracle_memory_accounting")
+        .cases(48)
+        .run(&simple_graphs(32), |g| {
+            let o = build_oracle(g, &HeteroExecutor::sequential(), ApspMethod::Ear);
+            let s = o.stats();
+            let bcc = ear_decomp::bcc::biconnected_components(g);
+            let a = bcc.articulation_points().len() as u64;
+            let sum_sq: u64 = (0..bcc.count())
+                .map(|b| (bcc.comp_vertices(g, b).len() as u64).pow(2))
+                .sum();
+            if s.table_entries != a * a + sum_sq {
+                return Err(format!(
+                    "table_entries = {}, expected a² + Σnᵢ² = {}",
+                    s.table_entries,
+                    a * a + sum_sq
+                ));
+            }
+            if s.articulation_points as u64 != a {
+                return Err(format!(
+                    "articulation_points = {}, expected {a}",
+                    s.articulation_points
+                ));
+            }
+            Ok(())
+        });
 }
 
 /// Deterministic regression: a graph exercising every routing case at once

@@ -3,13 +3,17 @@
 
 use ear_bc::{betweenness, betweenness_hetero, betweenness_pendant_reduced};
 use ear_hetero::HeteroExecutor;
+use ear_testkit::{cactus_graphs, forall, invariants, simple_graphs};
 use ear_workloads::combinators::{attach_pendants, subdivide_edges};
 use ear_workloads::generators::{random_min_deg3, triangulated_grid};
 
 fn close(a: &[f64], b: &[f64]) {
     assert_eq!(a.len(), b.len());
     for (i, (x, y)) in a.iter().zip(b).enumerate() {
-        assert!((x - y).abs() < 1e-6 * (1.0 + x.abs()), "vertex {i}: {x} vs {y}");
+        assert!(
+            (x - y).abs() < 1e-6 * (1.0 + x.abs()),
+            "vertex {i}: {x} vs {y}"
+        );
     }
 }
 
@@ -53,6 +57,50 @@ fn degree_two_chains_carry_all_their_traffic() {
     close(&bc, &betweenness_pendant_reduced(&g));
 }
 
+/// The pendant reduction is exact and the heterogeneous runner processes
+/// one workunit per vertex, on arbitrary simple graphs.
+#[test]
+fn pendant_reduction_and_hetero_bc_on_random_graphs() {
+    forall("pendant_reduction_and_hetero_bc_on_random_graphs")
+        .cases(32)
+        .run(&simple_graphs(24), |g| {
+            let plain = betweenness(g);
+            let reduced = betweenness_pendant_reduced(g);
+            for (i, (x, y)) in plain.iter().zip(&reduced).enumerate() {
+                if (x - y).abs() >= 1e-6 * (1.0 + x.abs()) {
+                    return Err(format!("vertex {i}: {x} vs {y}"));
+                }
+            }
+            let (bc, report) = betweenness_hetero(g, &HeteroExecutor::cpu_gpu());
+            invariants::exactly_once(&report, g.n())?;
+            for (i, (x, y)) in plain.iter().zip(&bc).enumerate() {
+                if (x - y).abs() >= 1e-6 * (1.0 + x.abs()) {
+                    return Err(format!("hetero vertex {i}: {x} vs {y}"));
+                }
+            }
+            Ok(())
+        });
+}
+
+/// On cactus graphs every cycle is edge-disjoint, so the pendant
+/// reduction's core is small and the closed-form tree terms dominate —
+/// a stress case for the bookkeeping.
+#[test]
+fn pendant_reduction_on_cactus_graphs() {
+    forall("pendant_reduction_on_cactus_graphs")
+        .cases(32)
+        .run(&cactus_graphs(30), |g| {
+            let plain = betweenness(g);
+            let reduced = betweenness_pendant_reduced(g);
+            for (i, (x, y)) in plain.iter().zip(&reduced).enumerate() {
+                if (x - y).abs() >= 1e-6 * (1.0 + x.abs()) {
+                    return Err(format!("vertex {i}: {x} vs {y}"));
+                }
+            }
+            Ok(())
+        });
+}
+
 #[test]
 fn bc_scales_with_gateway_position() {
     // Barbell: two cliques joined by a path; path vertices must outrank
@@ -70,9 +118,15 @@ fn bc_scales_with_gateway_position() {
     edges.push((7, 8, 1));
     let g = ear_graph::CsrGraph::from_edges(13, &edges);
     let bc = betweenness(&g);
-    let max_clique_bc = (0..4).chain(9..13).map(|v| bc[v as usize]).fold(0.0, f64::max);
+    let max_clique_bc = (0..4)
+        .chain(9..13)
+        .map(|v| bc[v as usize])
+        .fold(0.0, f64::max);
     for mid in [5u32, 6, 7] {
-        assert!(bc[mid as usize] > max_clique_bc, "bridge vertex {mid} must dominate");
+        assert!(
+            bc[mid as usize] > max_clique_bc,
+            "bridge vertex {mid} must dominate"
+        );
     }
     close(&bc, &betweenness_pendant_reduced(&g));
 }

@@ -1,152 +1,193 @@
 //! Property tests for the structural decompositions: biconnectivity, ear
-//! decomposition, degree-2 reduction, feedback vertex sets.
+//! decomposition, degree-2 reduction, feedback vertex sets — driven by the
+//! shared `ear-testkit` strategies and invariant checkers.
 
 use ear_decomp::bcc::biconnected_components;
 use ear_decomp::ear::{ear_decomposition, validate_ears, EarError};
 use ear_decomp::fvs::{feedback_vertex_set, is_feedback_vertex_set};
-use ear_decomp::reduce::reduce_graph;
 use ear_graph::{connected_components, CsrGraph, Weight};
 use ear_mcb::CycleSpace;
-use proptest::prelude::*;
+use ear_testkit::{biconnected_graphs, chain_heavy_graphs, forall, invariants, simple_graphs};
 
-/// Strategy: a random simple graph with up to `nmax` vertices.
-fn simple_graph(nmax: usize) -> impl Strategy<Value = CsrGraph> {
-    (2..nmax).prop_flat_map(|n| {
-        proptest::collection::vec((0..n as u32, 0..n as u32, 1..50u64), 0..(3 * n))
-            .prop_map(move |raw| {
-                let mut seen = std::collections::HashSet::new();
-                let edges: Vec<(u32, u32, Weight)> = raw
-                    .into_iter()
-                    .filter(|&(u, v, _)| u != v)
-                    .filter(|&(u, v, _)| seen.insert((u.min(v), u.max(v))))
-                    .collect();
-                CsrGraph::from_edges(n, &edges)
-            })
-    })
+/// The edge sets of the biconnected components partition E (minus
+/// nothing: every edge belongs to exactly one component).
+#[test]
+fn bcc_edges_partition() {
+    forall("bcc_edges_partition")
+        .cases(64)
+        .run(&simple_graphs(40), |g| {
+            let b = biconnected_components(g);
+            let mut seen = vec![false; g.m()];
+            for comp in &b.comps {
+                for &e in comp {
+                    if seen[e as usize] {
+                        return Err(format!("edge {e} in two components"));
+                    }
+                    seen[e as usize] = true;
+                }
+            }
+            if let Some(e) = seen.iter().position(|&s| !s) {
+                return Err(format!("edge {e} in no component"));
+            }
+            Ok(())
+        });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The edge sets of the biconnected components partition E (minus
-    /// nothing: every edge belongs to exactly one component).
-    #[test]
-    fn bcc_edges_partition(g in simple_graph(40)) {
-        let b = biconnected_components(&g);
-        let mut seen = vec![false; g.m()];
-        for comp in &b.comps {
-            for &e in comp {
-                prop_assert!(!seen[e as usize], "edge {e} in two components");
-                seen[e as usize] = true;
+/// Removing an articulation point increases the component count; removing
+/// a non-articulation vertex does not.
+#[test]
+fn articulation_points_are_exactly_the_cut_vertices() {
+    forall("articulation_points_are_exactly_the_cut_vertices")
+        .cases(64)
+        .run(&simple_graphs(24), |g| {
+            let b = biconnected_components(g);
+            let base = connected_components(g);
+            for v in 0..g.n() as u32 {
+                if g.degree(v) == 0 {
+                    continue;
+                }
+                // Delete v by keeping all edges not incident to it.
+                let edges: Vec<(u32, u32, Weight)> = g
+                    .edges()
+                    .iter()
+                    .filter(|e| e.u != v && e.v != v)
+                    .map(|e| (e.u, e.v, e.w))
+                    .collect();
+                let without = CsrGraph::from_edges(g.n(), &edges);
+                // Components among the remaining vertices (v became
+                // isolated in `without`, so subtract its singleton). v cuts
+                // iff that count exceeds the original component count.
+                let remaining = connected_components(&without).count - 1;
+                let grew = remaining > base.count;
+                if b.is_articulation[v as usize] != grew {
+                    return Err(format!("vertex {v} articulation claim mismatch"));
+                }
             }
-        }
-        prop_assert!(seen.iter().all(|&s| s), "some edge in no component");
-    }
+            Ok(())
+        });
+}
 
-    /// Removing an articulation point increases the component count;
-    /// removing a non-articulation vertex does not.
-    #[test]
-    fn articulation_points_are_exactly_the_cut_vertices(g in simple_graph(24)) {
-        let b = biconnected_components(&g);
-        let base = connected_components(&g);
-        for v in 0..g.n() as u32 {
-            if g.degree(v) == 0 {
-                continue;
+/// A graph passes `ear_decomposition` iff its BCC analysis says it is
+/// biconnected (one component spanning all edges, no articulation point),
+/// and the produced decomposition validates.
+#[test]
+fn ear_decomposition_agrees_with_bcc() {
+    forall("ear_decomposition_agrees_with_bcc")
+        .cases(64)
+        .run(&simple_graphs(30), |g| {
+            let b = biconnected_components(g);
+            let comps = connected_components(g);
+            let biconnected = g.n() >= 2
+                && g.m() >= 1
+                && comps.is_connected()
+                && b.count() == 1
+                && b.articulation_points().is_empty()
+                && g.m() >= g.n(); // single-edge K2 has no ear decomposition
+            match ear_decomposition(g) {
+                Ok(d) => {
+                    validate_ears(g, &d)?;
+                    if !biconnected {
+                        return Err("decomposed a non-biconnected graph".into());
+                    }
+                    if d.ears.len() != g.m() - g.n() + 1 {
+                        return Err(format!("{} ears, expected m−n+1", d.ears.len()));
+                    }
+                }
+                Err(EarError::TooSmall) => {
+                    if g.n() >= 2 && g.m() > 0 {
+                        return Err("TooSmall on a non-trivial graph".into());
+                    }
+                }
+                Err(_) => {
+                    if biconnected {
+                        return Err("rejected a biconnected graph".into());
+                    }
+                }
             }
-            // Delete v by keeping all edges not incident to it.
-            let edges: Vec<(u32, u32, Weight)> = g
-                .edges()
-                .iter()
-                .filter(|e| e.u != v && e.v != v)
-                .map(|e| (e.u, e.v, e.w))
-                .collect();
-            let without = CsrGraph::from_edges(g.n(), &edges);
-            // Components among the remaining vertices (v became isolated in
-            // `without`, so subtract its singleton). v cuts iff that count
-            // exceeds the original component count.
-            let remaining = connected_components(&without).count - 1;
-            let grew = remaining > base.count;
-            prop_assert_eq!(
-                b.is_articulation[v as usize],
-                grew,
-                "vertex {} articulation claim mismatch", v
-            );
-        }
-    }
+            Ok(())
+        });
+}
 
-    /// A graph passes `ear_decomposition` iff its BCC analysis says it is
-    /// biconnected (one component spanning all edges, no articulation
-    /// point), and the produced decomposition validates.
-    #[test]
-    fn ear_decomposition_agrees_with_bcc(g in simple_graph(30)) {
-        let b = biconnected_components(&g);
-        let comps = connected_components(&g);
-        let biconnected = g.n() >= 2
-            && g.m() >= 1
-            && comps.is_connected()
-            && b.count() == 1
-            && b.articulation_points().is_empty()
-            && g.m() >= g.n(); // single-edge K2 has no ear decomposition
-        match ear_decomposition(&g) {
-            Ok(d) => {
-                prop_assert!(validate_ears(&g, &d).is_ok());
-                prop_assert!(biconnected, "decomposed a non-biconnected graph");
-                prop_assert_eq!(d.ears.len(), g.m() - g.n() + 1);
+/// Every graph the biconnected strategy emits decomposes into exactly
+/// `m − n + 1` validated ears (the strategy is the precondition's family).
+#[test]
+fn biconnected_family_always_decomposes() {
+    forall("biconnected_family_always_decomposes")
+        .cases(64)
+        .run(&biconnected_graphs(24), |g| {
+            let d = ear_decomposition(g).map_err(|e| format!("rejected: {e:?}"))?;
+            validate_ears(g, &d)?;
+            if d.ears.len() != g.m() - g.n() + 1 {
+                return Err(format!(
+                    "{} ears, expected {}",
+                    d.ears.len(),
+                    g.m() - g.n() + 1
+                ));
             }
-            Err(EarError::TooSmall) => prop_assert!(g.n() < 2 || g.m() == 0),
-            Err(_) => prop_assert!(!biconnected, "rejected a biconnected graph"),
-        }
-    }
+            Ok(())
+        });
+}
 
-    /// Reduction invariants: removed vertices are exactly the degree-2
-    /// non-anchors, chain prefix weights are consistent, and every original
-    /// edge appears in exactly one reduced edge's expansion.
-    #[test]
-    fn reduction_partitions_edges_and_keeps_weights(g in simple_graph(40)) {
-        let r = reduce_graph(&g);
-        // Edge partition.
-        let mut seen = vec![false; g.m()];
-        for re in 0..r.reduced.m() as u32 {
-            for e in r.expand_edge(re) {
-                prop_assert!(!seen[e as usize]);
-                seen[e as usize] = true;
+/// Reduction invariants: removed vertices are exactly the degree-2
+/// non-anchors, chain prefix weights are consistent, every original edge
+/// appears in exactly one reduced edge's expansion, the cycle-space
+/// dimension is preserved (Lemma 3.1(3)), and anchor distances survive —
+/// all bundled in the shared checker, exercised on both arbitrary and
+/// chain-heavy inputs.
+#[test]
+fn reduction_invariants_on_arbitrary_graphs() {
+    forall("reduction_invariants_on_arbitrary_graphs")
+        .cases(64)
+        .run(&simple_graphs(40), invariants::reduction_invariants);
+}
+
+/// Same invariants on the paper's favourable shape: graphs whose edges
+/// were subdivided into long degree-2 ears, where reduction does real
+/// work.
+#[test]
+fn reduction_invariants_on_chain_heavy_graphs() {
+    forall("reduction_invariants_on_chain_heavy_graphs")
+        .cases(32)
+        .run(&chain_heavy_graphs(48), invariants::reduction_invariants);
+}
+
+/// The greedy FVS is always a valid feedback vertex set, and empty on
+/// forests.
+#[test]
+fn fvs_is_valid() {
+    forall("fvs_is_valid")
+        .cases(64)
+        .run(&simple_graphs(40), |g| {
+            let z = feedback_vertex_set(g);
+            if !is_feedback_vertex_set(g, &z) {
+                return Err("claimed FVS leaves a cycle".into());
             }
-            // Weight of the reduced edge equals its expansion's weight.
-            let w: Weight = r.expand_edge(re).iter().map(|&e| g.weight(e)).sum();
-            prop_assert_eq!(w, r.reduced.weight(re));
-        }
-        prop_assert!(seen.iter().all(|&s| s));
-        // Prefix weights.
-        for x in 0..g.n() as u32 {
-            if let Some(info) = r.removed[x as usize] {
-                let chain = &r.chains[info.chain as usize];
-                prop_assert_eq!(info.w_left + info.w_right, chain.total_weight);
-                prop_assert!(info.w_left >= 1 && info.w_right >= 1);
+            let f = CycleSpace::new(g).dim();
+            if f == 0 && !z.is_empty() {
+                return Err(format!("forest got a {}-vertex FVS", z.len()));
             }
+            if f > 0 && z.is_empty() {
+                return Err("cyclic graph got an empty FVS".into());
+            }
+            Ok(())
+        });
+}
+
+/// Promoted proptest regression (formerly a checked-in shrink in
+/// `decomp_properties.proptest-regressions`): a triangle 1–2–3 with a
+/// pendant edge 0–1 — the smallest graph mixing a cycle block with a
+/// bridge block, which once tripped the decomposition bookkeeping.
+#[test]
+fn regression_triangle_with_pendant_edge() {
+    let g = CsrGraph::from_edges(4, &[(0, 1, 1), (2, 3, 1), (3, 1, 1), (1, 2, 1)]);
+    invariants::reduction_invariants(&g).unwrap();
+    let b = biconnected_components(&g);
+    let mut seen = vec![false; g.m()];
+    for comp in &b.comps {
+        for &e in comp {
+            assert!(!seen[e as usize], "edge {e} in two components");
+            seen[e as usize] = true;
         }
     }
-
-    /// Lemma 3.1(3): the cycle-space dimension of the reduced graph equals
-    /// the original's.
-    #[test]
-    fn reduction_preserves_cycle_space_dimension(g in simple_graph(40)) {
-        let r = reduce_graph(&g);
-        let dim_g = CycleSpace::new(&g).dim();
-        let dim_r = CycleSpace::new(&r.reduced).dim();
-        prop_assert_eq!(dim_g, dim_r);
-    }
-
-    /// The greedy FVS is always a valid feedback vertex set, and empty on
-    /// forests.
-    #[test]
-    fn fvs_is_valid(g in simple_graph(40)) {
-        let z = feedback_vertex_set(&g);
-        prop_assert!(is_feedback_vertex_set(&g, &z));
-        let f = CycleSpace::new(&g).dim();
-        if f == 0 {
-            prop_assert!(z.is_empty());
-        } else {
-            prop_assert!(!z.is_empty());
-        }
-    }
+    assert!(seen.iter().all(|&s| s));
 }

@@ -1,145 +1,216 @@
 //! Property tests for the graph substrate: Dijkstra, BFS, spanning
-//! forests, subgraph extraction.
+//! forests, subgraph extraction — driven by the shared `ear-testkit`
+//! strategies.
 
 use ear_graph::{
     bfs, connected_components, dijkstra, dijkstra_tree, edge_subgraph, non_tree_edges,
     spanning_forest, CsrGraph, Weight, INF,
 };
-use proptest::prelude::*;
+use ear_testkit::{forall, from_fn, multigraphs, Strategy, TestRng};
 
-fn multigraph(nmax: usize) -> impl Strategy<Value = CsrGraph> {
-    (1..nmax).prop_flat_map(|n| {
-        proptest::collection::vec((0..n as u32, 0..n as u32, 1..100u64), 0..(4 * n))
-            .prop_map(move |edges| CsrGraph::from_edges(n, &edges))
+/// A multigraph paired with a valid source vertex.
+fn multigraph_with_source(nmax: usize) -> impl Strategy<Value = (CsrGraph, u32)> {
+    let graphs = multigraphs(nmax);
+    from_fn(move |rng: &mut TestRng| {
+        let g = graphs.generate(rng);
+        let src = rng.u32_in(0, g.n() as u32);
+        (g, src)
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Dijkstra's output is the unique relaxation fixpoint: zero at the
+/// source, every edge relaxed, and every finite distance witnessed by a
+/// tight incoming edge.
+#[test]
+fn dijkstra_is_a_relaxation_fixpoint() {
+    forall("dijkstra_is_a_relaxation_fixpoint").cases(64).run(
+        &multigraph_with_source(40),
+        |(g, src)| {
+            let src = *src;
+            let d = dijkstra(g, src);
+            if d[src as usize] != 0 {
+                return Err(format!("d(src) = {}", d[src as usize]));
+            }
+            for e in g.edges() {
+                if e.is_self_loop() {
+                    continue;
+                }
+                // No edge can be over-tight.
+                if d[e.u as usize] < INF && d[e.v as usize] > d[e.u as usize] + e.w {
+                    return Err(format!("edge {}–{} not relaxed", e.u, e.v));
+                }
+                if d[e.v as usize] < INF && d[e.u as usize] > d[e.v as usize] + e.w {
+                    return Err(format!("edge {}–{} not relaxed", e.v, e.u));
+                }
+            }
+            for v in 0..g.n() as u32 {
+                if v == src || d[v as usize] >= INF {
+                    continue;
+                }
+                // Some neighbor provides the distance exactly.
+                let tight = g.neighbors(v).iter().any(|&(u, e)| {
+                    u != v && d[u as usize] < INF && d[u as usize] + g.weight(e) == d[v as usize]
+                });
+                if !tight {
+                    return Err(format!("no tight edge into {v}"));
+                }
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Dijkstra's output is the unique relaxation fixpoint: zero at the
-    /// source, every edge relaxed, and every finite distance witnessed by a
-    /// tight incoming edge.
-    #[test]
-    fn dijkstra_is_a_relaxation_fixpoint(g in multigraph(40), src_raw in 0u32..40) {
-        let src = src_raw % g.n() as u32;
-        let d = dijkstra(&g, src);
-        prop_assert_eq!(d[src as usize], 0);
-        for e in g.edges() {
-            if e.is_self_loop() {
-                continue;
+/// Reachability under Dijkstra equals connected-component membership.
+#[test]
+fn dijkstra_reaches_exactly_the_component() {
+    forall("dijkstra_reaches_exactly_the_component")
+        .cases(64)
+        .run(&multigraph_with_source(30), |(g, src)| {
+            let d = dijkstra(g, *src);
+            let c = connected_components(g);
+            for v in 0..g.n() as u32 {
+                let reached = d[v as usize] < INF;
+                let same = c.comp[v as usize] == c.comp[*src as usize];
+                if reached != same {
+                    return Err(format!(
+                        "vertex {v}: reached={reached}, same component={same}"
+                    ));
+                }
             }
-            // No edge can be over-tight.
-            if d[e.u as usize] < INF {
-                prop_assert!(d[e.v as usize] <= d[e.u as usize] + e.w);
-            }
-            if d[e.v as usize] < INF {
-                prop_assert!(d[e.u as usize] <= d[e.v as usize] + e.w);
-            }
-        }
-        for v in 0..g.n() as u32 {
-            if v == src || d[v as usize] >= INF {
-                continue;
-            }
-            // Some neighbor provides the distance exactly.
-            let tight = g.neighbors(v).iter().any(|&(u, e)| {
-                u != v && d[u as usize] < INF && d[u as usize] + g.weight(e) == d[v as usize]
-            });
-            prop_assert!(tight, "no tight edge into {v}");
-        }
-    }
+            Ok(())
+        });
+}
 
-    /// Reachability under Dijkstra equals connected-component membership.
-    #[test]
-    fn dijkstra_reaches_exactly_the_component(g in multigraph(30), s in 0u32..30) {
-        let src = s % g.n() as u32;
-        let d = dijkstra(&g, src);
-        let c = connected_components(&g);
-        for v in 0..g.n() as u32 {
-            prop_assert_eq!(
-                d[v as usize] < INF,
-                c.comp[v as usize] == c.comp[src as usize]
-            );
-        }
-    }
-
-    /// The shortest-path tree reconstructs its own distances.
-    #[test]
-    fn sssp_tree_paths_sum_to_distances(g in multigraph(30), s in 0u32..30) {
-        let src = s % g.n() as u32;
-        let t = dijkstra_tree(&g, src);
-        for v in 0..g.n() as u32 {
-            if let Some(path) = t.path_edges_to_root(v) {
-                let w: Weight = path.iter().map(|&e| g.weight(e)).sum();
-                prop_assert_eq!(w, t.dist[v as usize]);
+/// The shortest-path tree reconstructs its own distances.
+#[test]
+fn sssp_tree_paths_sum_to_distances() {
+    forall("sssp_tree_paths_sum_to_distances").cases(64).run(
+        &multigraph_with_source(30),
+        |(g, src)| {
+            let t = dijkstra_tree(g, *src);
+            for v in 0..g.n() as u32 {
+                if let Some(path) = t.path_edges_to_root(v) {
+                    let w: Weight = path.iter().map(|&e| g.weight(e)).sum();
+                    if w != t.dist[v as usize] {
+                        return Err(format!(
+                            "path to {v} sums to {w}, distance is {}",
+                            t.dist[v as usize]
+                        ));
+                    }
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// BFS levels equal Dijkstra distances on a unit-weight copy.
-    #[test]
-    fn bfs_is_unit_dijkstra(g in multigraph(30), s in 0u32..30) {
-        let src = s % g.n() as u32;
-        let unit: Vec<(u32, u32, Weight)> =
-            g.edges().iter().map(|e| (e.u, e.v, 1)).collect();
-        let gu = CsrGraph::from_edges(g.n(), &unit);
-        let d = dijkstra(&gu, src);
-        let l = bfs(&gu, src);
-        for v in 0..g.n() as usize {
-            if l[v] == u32::MAX {
-                prop_assert_eq!(d[v], INF);
-            } else {
-                prop_assert_eq!(d[v], l[v] as Weight);
+/// BFS levels equal Dijkstra distances on a unit-weight copy.
+#[test]
+fn bfs_is_unit_dijkstra() {
+    forall("bfs_is_unit_dijkstra")
+        .cases(64)
+        .run(&multigraph_with_source(30), |(g, src)| {
+            let unit: Vec<(u32, u32, Weight)> = g.edges().iter().map(|e| (e.u, e.v, 1)).collect();
+            let gu = CsrGraph::from_edges(g.n(), &unit);
+            let d = dijkstra(&gu, *src);
+            let l = bfs(&gu, *src);
+            for v in 0..g.n() {
+                let want = if l[v] == u32::MAX {
+                    INF
+                } else {
+                    l[v] as Weight
+                };
+                if d[v] != want {
+                    return Err(format!(
+                        "vertex {v}: dijkstra {} vs bfs level {}",
+                        d[v], l[v]
+                    ));
+                }
             }
-        }
-    }
+            Ok(())
+        });
+}
 
-    /// Spanning forest: |F| = n - #components, acyclic, and tree+nontree
-    /// partitions the edges.
-    #[test]
-    fn spanning_forest_properties(g in multigraph(40)) {
-        let f = spanning_forest(&g);
-        let c = connected_components(&g);
-        prop_assert_eq!(f.len(), g.n() - c.count);
-        prop_assert_eq!(f.len() + non_tree_edges(&g).len(), g.m());
-        // Acyclic: union-find over the forest edges never merges twice.
-        let mut parent: Vec<u32> = (0..g.n() as u32).collect();
-        fn find(p: &mut [u32], mut x: u32) -> u32 {
-            while p[x as usize] != x {
-                p[x as usize] = p[p[x as usize] as usize];
-                x = p[x as usize];
+/// Spanning forest: |F| = n - #components, acyclic, and tree+nontree
+/// partitions the edges.
+#[test]
+fn spanning_forest_properties() {
+    forall("spanning_forest_properties")
+        .cases(64)
+        .run(&multigraphs(40), |g| {
+            let f = spanning_forest(g);
+            let c = connected_components(g);
+            if f.len() != g.n() - c.count {
+                return Err(format!(
+                    "|F| = {}, expected n − c = {}",
+                    f.len(),
+                    g.n() - c.count
+                ));
             }
-            x
-        }
-        for &e in &f {
-            let r = g.edge(e);
-            let (a, b) = (find(&mut parent, r.u), find(&mut parent, r.v));
-            prop_assert_ne!(a, b, "forest has a cycle");
-            parent[a as usize] = b;
-        }
-    }
+            if f.len() + non_tree_edges(g).len() != g.m() {
+                return Err("tree + nontree does not partition E".into());
+            }
+            // Acyclic: union-find over the forest edges never merges twice.
+            let mut parent: Vec<u32> = (0..g.n() as u32).collect();
+            fn find(p: &mut [u32], mut x: u32) -> u32 {
+                while p[x as usize] != x {
+                    p[x as usize] = p[p[x as usize] as usize];
+                    x = p[x as usize];
+                }
+                x
+            }
+            for &e in &f {
+                let r = g.edge(e);
+                let (a, b) = (find(&mut parent, r.u), find(&mut parent, r.v));
+                if a == b {
+                    return Err("forest has a cycle".into());
+                }
+                parent[a as usize] = b;
+            }
+            Ok(())
+        });
+}
 
-    /// Extracting a subgraph and mapping ids back is lossless.
-    #[test]
-    fn subgraph_roundtrip(g in multigraph(30), keep_mask in proptest::collection::vec(any::<bool>(), 0..120)) {
-        let keep: Vec<u32> = (0..g.m() as u32)
-            .filter(|&e| keep_mask.get(e as usize).copied().unwrap_or(false))
-            .collect();
-        let (sub, map) = edge_subgraph(&g, &keep);
-        prop_assert_eq!(sub.m(), keep.len());
-        for le in 0..sub.m() as u32 {
-            let lr = sub.edge(le);
-            let pr = g.edge(map.to_parent_edge[le as usize]);
-            prop_assert_eq!(lr.w, pr.w);
-            let pu = map.parent(lr.u);
-            let pv = map.parent(lr.v);
-            prop_assert!(
-                (pu == pr.u && pv == pr.v) || (pu == pr.v && pv == pr.u)
-            );
-        }
-        // Local ids are compact and mapped both ways consistently.
-        for l in 0..sub.n() as u32 {
-            prop_assert_eq!(map.local(map.parent(l)), Some(l));
-        }
-    }
+/// Extracting a subgraph and mapping ids back is lossless.
+#[test]
+fn subgraph_roundtrip() {
+    let strat = {
+        let graphs = multigraphs(30);
+        from_fn(move |rng: &mut TestRng| {
+            let g = graphs.generate(rng);
+            let keep: Vec<u32> = (0..g.m() as u32).filter(|_| rng.coin()).collect();
+            (g, keep)
+        })
+    };
+    forall("subgraph_roundtrip")
+        .cases(64)
+        .run(&strat, |(g, keep)| {
+            let (sub, map) = edge_subgraph(g, keep);
+            if sub.m() != keep.len() {
+                return Err(format!(
+                    "kept {} edges, subgraph has {}",
+                    keep.len(),
+                    sub.m()
+                ));
+            }
+            for le in 0..sub.m() as u32 {
+                let lr = sub.edge(le);
+                let pr = g.edge(map.to_parent_edge[le as usize]);
+                if lr.w != pr.w {
+                    return Err(format!("edge {le}: weight {} vs parent {}", lr.w, pr.w));
+                }
+                let pu = map.parent(lr.u);
+                let pv = map.parent(lr.v);
+                if !((pu == pr.u && pv == pr.v) || (pu == pr.v && pv == pr.u)) {
+                    return Err(format!("edge {le}: endpoint mapping broken"));
+                }
+            }
+            // Local ids are compact and mapped both ways consistently.
+            for l in 0..sub.n() as u32 {
+                if map.local(map.parent(l)) != Some(l) {
+                    return Err(format!("local id {l} does not round-trip"));
+                }
+            }
+            Ok(())
+        });
 }

@@ -1,107 +1,157 @@
 //! Cross-validation of every MCB implementation: the full execution-mode ×
 //! ear-reduction grid against the Horton and signed-de-Pina references, on
-//! random graphs, with structural basis verification throughout.
+//! random graphs, with structural basis verification throughout — driven
+//! by the shared `ear-testkit` strategies.
 
 use ear_graph::{CsrGraph, Weight};
 use ear_mcb::depina::{depina_mcb, DepinaOptions};
 use ear_mcb::{horton_mcb, mcb, signed_mcb, verify_basis, CycleSpace, ExecMode, McbConfig};
-use proptest::prelude::*;
-
-fn simple_graph(nmax: usize) -> impl Strategy<Value = CsrGraph> {
-    (3..nmax).prop_flat_map(|n| {
-        proptest::collection::vec((0..n as u32, 0..n as u32, 1..30u64), 0..(3 * n))
-            .prop_map(move |raw| {
-                let mut seen = std::collections::HashSet::new();
-                let edges: Vec<(u32, u32, Weight)> = raw
-                    .into_iter()
-                    .filter(|&(u, v, _)| u != v)
-                    .filter(|&(u, v, _)| seen.insert((u.min(v), u.max(v))))
-                    .collect();
-                CsrGraph::from_edges(n, &edges)
-            })
-    })
-}
-
-fn multigraph(nmax: usize) -> impl Strategy<Value = CsrGraph> {
-    (2..nmax).prop_flat_map(|n| {
-        proptest::collection::vec((0..n as u32, 0..n as u32, 1..30u64), 0..(3 * n))
-            .prop_map(move |edges| CsrGraph::from_edges(n, &edges))
-    })
-}
+use ear_testkit::{forall, invariants, multigraphs, simple_graphs};
 
 fn weight(cycles: &[ear_mcb::Cycle]) -> Weight {
     cycles.iter().map(|c| c.weight).sum()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    /// The full pipeline grid agrees with Horton's algorithm on weight and
-    /// produces verified bases.
-    #[test]
-    fn pipeline_grid_matches_horton(g in simple_graph(18)) {
-        let reference = weight(&horton_mcb(&g));
-        for mode in [ExecMode::Sequential, ExecMode::Gpu, ExecMode::Hetero] {
-            for use_ear in [true, false] {
-                let out = mcb(&g, &McbConfig { mode, use_ear });
-                prop_assert_eq!(
-                    out.total_weight, reference,
-                    "mode {:?} ear {}", mode, use_ear
-                );
-                prop_assert!(verify_basis(&g, &out.cycles).is_ok());
+/// The full pipeline grid agrees with Horton's algorithm on weight and
+/// produces verified bases.
+#[test]
+fn pipeline_grid_matches_horton() {
+    forall("pipeline_grid_matches_horton")
+        .cases(40)
+        .run(&simple_graphs(18), |g| {
+            let reference = weight(&horton_mcb(g));
+            for mode in [ExecMode::Sequential, ExecMode::Gpu, ExecMode::Hetero] {
+                for use_ear in [true, false] {
+                    let out = mcb(g, &McbConfig { mode, use_ear });
+                    if out.total_weight != reference {
+                        return Err(format!(
+                            "mode {mode:?} ear {use_ear}: weight {} vs horton {reference}",
+                            out.total_weight
+                        ));
+                    }
+                    invariants::basis_valid(g, &out.cycles)
+                        .map_err(|e| format!("mode {mode:?} ear {use_ear}: {e}"))?;
+                }
             }
-        }
-    }
+            Ok(())
+        });
+}
 
-    /// Candidate-restricted de Pina equals signed de Pina on raw
-    /// multigraphs (parallel edges and self-loops included).
-    #[test]
-    fn depina_matches_signed_on_multigraphs(g in multigraph(14)) {
-        let signed = signed_mcb(&g);
-        let (restricted, profile) = depina_mcb(
-            &g,
-            &ear_hetero::HeteroExecutor::sequential(),
-            &DepinaOptions::default(),
-        );
-        prop_assert_eq!(weight(&restricted), weight(&signed));
-        prop_assert!(verify_basis(&g, &restricted).is_ok());
-        // The backstop should almost never fire, but when it does the
-        // result above still held — record that it stayed rare.
-        prop_assert!(profile.fallbacks <= restricted.len());
-    }
-
-    /// Lemma 3.1 end-to-end: ear reduction changes neither the dimension
-    /// nor the weight of the basis, and expanded cycles live entirely in
-    /// the original edge space.
-    #[test]
-    fn lemma_3_1_weight_and_dimension(g in simple_graph(20)) {
-        let with = mcb(&g, &McbConfig { mode: ExecMode::Sequential, use_ear: true });
-        let without = mcb(&g, &McbConfig { mode: ExecMode::Sequential, use_ear: false });
-        prop_assert_eq!(with.dim, without.dim);
-        prop_assert_eq!(with.total_weight, without.total_weight);
-        prop_assert_eq!(with.dim, CycleSpace::new(&g).dim());
-        for c in &with.cycles {
-            for &e in &c.edges {
-                prop_assert!((e as usize) < g.m());
+/// Candidate-restricted de Pina equals signed de Pina on raw multigraphs
+/// (parallel edges and self-loops included).
+#[test]
+fn depina_matches_signed_on_multigraphs() {
+    forall("depina_matches_signed_on_multigraphs")
+        .cases(40)
+        .run(&multigraphs(14), |g| {
+            let signed = signed_mcb(g);
+            let (restricted, profile) = depina_mcb(
+                g,
+                &ear_hetero::HeteroExecutor::sequential(),
+                &DepinaOptions::default(),
+            );
+            if weight(&restricted) != weight(&signed) {
+                return Err(format!(
+                    "restricted weight {} vs signed {}",
+                    weight(&restricted),
+                    weight(&signed)
+                ));
             }
-        }
-    }
+            invariants::basis_valid(g, &restricted)?;
+            // The backstop should almost never fire, but when it does the
+            // result above still held — record that it stayed rare.
+            if profile.fallbacks > restricted.len() {
+                return Err(format!(
+                    "{} fallbacks for {} cycles",
+                    profile.fallbacks,
+                    restricted.len()
+                ));
+            }
+            Ok(())
+        });
+}
 
-    /// Basis cycles never shrink below the girth: every basis member's
-    /// weight is at least the minimum cycle weight (which the signed
-    /// search can compute via an all-ones witness trick on each bit).
-    #[test]
-    fn basis_members_are_at_least_girth_weight(g in simple_graph(14)) {
-        let basis = signed_mcb(&g);
-        if basis.is_empty() {
-            return Ok(());
-        }
-        let girth_w = basis.iter().map(|c| c.weight).min().unwrap();
-        let grid = mcb(&g, &McbConfig { mode: ExecMode::Hetero, use_ear: true });
-        for c in &grid.cycles {
-            prop_assert!(c.weight >= girth_w);
-        }
-    }
+/// Lemma 3.1 end-to-end: ear reduction changes neither the dimension nor
+/// the weight of the basis, and expanded cycles live entirely in the
+/// original edge space.
+#[test]
+fn lemma_3_1_weight_and_dimension() {
+    forall("lemma_3_1_weight_and_dimension")
+        .cases(40)
+        .run(&simple_graphs(20), |g| {
+            let with = mcb(
+                g,
+                &McbConfig {
+                    mode: ExecMode::Sequential,
+                    use_ear: true,
+                },
+            );
+            let without = mcb(
+                g,
+                &McbConfig {
+                    mode: ExecMode::Sequential,
+                    use_ear: false,
+                },
+            );
+            if with.dim != without.dim {
+                return Err(format!(
+                    "dim {} with ear, {} without",
+                    with.dim, without.dim
+                ));
+            }
+            if with.total_weight != without.total_weight {
+                return Err(format!(
+                    "weight {} with ear, {} without",
+                    with.total_weight, without.total_weight
+                ));
+            }
+            if with.dim != CycleSpace::new(g).dim() {
+                return Err(format!(
+                    "dim {} but cycle space says {}",
+                    with.dim,
+                    CycleSpace::new(g).dim()
+                ));
+            }
+            for c in &with.cycles {
+                for &e in &c.edges {
+                    if e as usize >= g.m() {
+                        return Err(format!("expanded cycle uses phantom edge id {e}"));
+                    }
+                }
+            }
+            Ok(())
+        });
+}
+
+/// Basis cycles never shrink below the girth: every basis member's weight
+/// is at least the minimum cycle weight (which the signed search can
+/// compute via an all-ones witness trick on each bit).
+#[test]
+fn basis_members_are_at_least_girth_weight() {
+    forall("basis_members_are_at_least_girth_weight")
+        .cases(40)
+        .run(&simple_graphs(14), |g| {
+            let basis = signed_mcb(g);
+            let Some(girth_w) = basis.iter().map(|c| c.weight).min() else {
+                return Ok(());
+            };
+            let grid = mcb(
+                g,
+                &McbConfig {
+                    mode: ExecMode::Hetero,
+                    use_ear: true,
+                },
+            );
+            for c in &grid.cycles {
+                if c.weight < girth_w {
+                    return Err(format!(
+                        "basis member of weight {} below girth {girth_w}",
+                        c.weight
+                    ));
+                }
+            }
+            Ok(())
+        });
 }
 
 /// Deterministic regression: the paper's Figure 4 example — chains
@@ -126,8 +176,20 @@ fn paper_figure_4_example() {
             (5, 2, 1), // chain {1,4,5,2}
         ],
     );
-    let with = mcb(&g, &McbConfig { mode: ExecMode::Sequential, use_ear: true });
-    let without = mcb(&g, &McbConfig { mode: ExecMode::Sequential, use_ear: false });
+    let with = mcb(
+        &g,
+        &McbConfig {
+            mode: ExecMode::Sequential,
+            use_ear: true,
+        },
+    );
+    let without = mcb(
+        &g,
+        &McbConfig {
+            mode: ExecMode::Sequential,
+            use_ear: false,
+        },
+    );
     assert_eq!(with.dim, 3);
     assert_eq!(with.total_weight, without.total_weight);
     // Lightest basis: triangle (3) + [chain 0-3-2 plus edge 0-2] (3) +
@@ -158,9 +220,21 @@ fn modes_are_bitwise_deterministic() {
             (9, 3, 4),
         ],
     );
-    let reference = mcb(&g, &McbConfig { mode: ExecMode::Sequential, use_ear: true });
+    let reference = mcb(
+        &g,
+        &McbConfig {
+            mode: ExecMode::Sequential,
+            use_ear: true,
+        },
+    );
     for mode in ExecMode::all() {
-        let out = mcb(&g, &McbConfig { mode, use_ear: true });
+        let out = mcb(
+            &g,
+            &McbConfig {
+                mode,
+                use_ear: true,
+            },
+        );
         assert_eq!(out.cycles.len(), reference.cycles.len());
         for (a, b) in out.cycles.iter().zip(&reference.cycles) {
             assert_eq!(a.edges, b.edges, "mode {mode:?}");

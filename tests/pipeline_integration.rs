@@ -37,7 +37,10 @@ fn apsp_ear_and_plain_agree_on_specs() {
     for spec in table1_specs().into_iter().take(4) {
         let g = spec.build(spec.n / 300, 3);
         let ours = ApspPipeline::new().mode(ExecMode::Hetero).run(&g);
-        let plain = ApspPipeline::new().use_ear(false).mode(ExecMode::Sequential).run(&g);
+        let plain = ApspPipeline::new()
+            .use_ear(false)
+            .mode(ExecMode::Sequential)
+            .run(&g);
         let n = g.n() as u32;
         for s in (0..n).step_by((n as usize / 17).max(1)) {
             for t in (0..n).step_by((n as usize / 13).max(1)) {
@@ -52,7 +55,10 @@ fn mcb_pipeline_on_mcb_specs() {
     for spec in ear_workloads::specs::mcb_specs() {
         let g = spec.build(spec.n / 120, 5);
         let with = McbPipeline::new().run(&g);
-        let without = McbPipeline::new().use_ear(false).mode(ExecMode::MultiCore).run(&g);
+        let without = McbPipeline::new()
+            .use_ear(false)
+            .mode(ExecMode::MultiCore)
+            .run(&g);
         assert_eq!(
             with.result.total_weight, without.result.total_weight,
             "{}",
@@ -61,7 +67,12 @@ fn mcb_pipeline_on_mcb_specs() {
         verify_basis(&g, &with.result.cycles).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
         // The dimension formula m - n + k.
         let comps = ear_graph::connected_components(&g);
-        assert_eq!(with.result.dim, g.m() - g.n() + comps.count, "{}", spec.name);
+        assert_eq!(
+            with.result.dim,
+            g.m() - g.n() + comps.count,
+            "{}",
+            spec.name
+        );
     }
 }
 
@@ -107,6 +118,42 @@ fn stats_track_specs_at_moderate_scale() {
     }
 }
 
+/// The pipelines are exact on randomly drawn workload-family graphs (the
+/// same generators the benchmarks use, downscaled via the `ear-testkit`
+/// strategy wrapper): oracle answers equal fresh Dijkstra runs, and the
+/// MCB pipeline's basis verifies with ear reduction on and off.
+#[test]
+fn pipelines_are_exact_on_random_workload_graphs() {
+    use ear_testkit::{forall, invariants, workload_graphs};
+    forall("pipelines_are_exact_on_random_workload_graphs")
+        .cases(12)
+        .run(&workload_graphs(60), |g| {
+            let out = ApspPipeline::new().run(g);
+            let n = g.n() as u32;
+            for s in [0, n / 2, n - 1] {
+                let d = dijkstra(g, s);
+                for t in 0..n {
+                    if out.oracle.dist(s, t) != d[t as usize] {
+                        return Err(format!(
+                            "oracle.dist({s},{t}) = {}, dijkstra says {}",
+                            out.oracle.dist(s, t),
+                            d[t as usize]
+                        ));
+                    }
+                }
+            }
+            let with = McbPipeline::new().run(g);
+            let without = McbPipeline::new().use_ear(false).run(g);
+            if with.result.total_weight != without.result.total_weight {
+                return Err(format!(
+                    "MCB weight {} with ear, {} without",
+                    with.result.total_weight, without.result.total_weight
+                ));
+            }
+            invariants::basis_valid(g, &with.result.cycles)
+        });
+}
+
 #[test]
 fn modelled_mode_hierarchy_on_real_workload() {
     // On a sizable chain-heavy graph the modelled times must reproduce the
@@ -133,5 +180,9 @@ fn modelled_mode_hierarchy_on_real_workload() {
     // combination is never worse than the best single device.
     assert!(mc < seq, "multicore {mc} vs sequential {seq}");
     assert!(gpu < seq, "gpu {gpu} vs sequential {seq}");
-    assert!(het <= mc.min(gpu) * 1.10, "hetero {het} vs best single {}", mc.min(gpu));
+    assert!(
+        het <= mc.min(gpu) * 1.10,
+        "hetero {het} vs best single {}",
+        mc.min(gpu)
+    );
 }
