@@ -6,7 +6,7 @@
 //! [`floyd_warshall`] is the exact `O(n³)` oracle every other implementation
 //! is tested against on small graphs.
 
-use ear_graph::{dijkstra_with_stats, CsrGraph, Weight, INF};
+use ear_graph::{with_engine, CsrGraph, Weight, INF};
 use ear_hetero::{HeteroExecutor, RunOutput, WorkCounters};
 
 use crate::matrix::DistMatrix;
@@ -23,13 +23,15 @@ pub fn plain_apsp(
         sources,
         |_| m_hint,
         |&s| {
-            let (dist, stats) = dijkstra_with_stats(g, s);
-            let counters = WorkCounters {
-                edges_relaxed: stats.edges_relaxed,
-                vertices_settled: stats.settled,
-                ..Default::default()
-            };
-            (dist, counters)
+            with_engine(|eng| {
+                let stats = eng.run(g, s);
+                let counters = WorkCounters {
+                    edges_relaxed: stats.edges_relaxed,
+                    vertices_settled: stats.settled,
+                    ..Default::default()
+                };
+                (eng.dist_vec(), counters)
+            })
         },
     );
     (DistMatrix::from_rows(results), report)

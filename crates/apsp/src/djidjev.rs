@@ -17,7 +17,7 @@
 //! Efficient only when the boundary is small — which is why the paper (and
 //! we) evaluate it on planar graphs.
 
-use ear_graph::{dijkstra_with_stats, dist_add, CsrGraph, VertexId, Weight, INF};
+use ear_graph::{dist_add, with_engine, CsrGraph, VertexId, Weight, INF};
 use ear_hetero::{ExecutionReport, HeteroExecutor, RunOutput, WorkCounters};
 
 use crate::matrix::DistMatrix;
@@ -70,15 +70,17 @@ pub fn djidjev_apsp(g: &CsrGraph, k: usize, exec: &HeteroExecutor) -> DjidjevOut
         units.clone(),
         |&(pi, _)| subs[pi as usize].0.m() as u64 + 1,
         |&(pi, s)| {
-            let (dist, stats) = dijkstra_with_stats(&subs[pi as usize].0, s);
-            (
-                dist,
-                WorkCounters {
-                    edges_relaxed: stats.edges_relaxed,
-                    vertices_settled: stats.settled,
-                    ..Default::default()
-                },
-            )
+            with_engine(|eng| {
+                let stats = eng.run(&subs[pi as usize].0, s);
+                (
+                    eng.dist_vec(),
+                    WorkCounters {
+                        edges_relaxed: stats.edges_relaxed,
+                        vertices_settled: stats.settled,
+                        ..Default::default()
+                    },
+                )
+            })
         },
     );
     // Assemble per-part matrices.
@@ -126,15 +128,17 @@ pub fn djidjev_apsp(g: &CsrGraph, k: usize, exec: &HeteroExecutor) -> DjidjevOut
         (0..bn as u32).collect::<Vec<_>>(),
         |_| bg.m() as u64 + 1,
         |&s| {
-            let (dist, stats) = dijkstra_with_stats(&bg, s);
-            (
-                dist,
-                WorkCounters {
-                    edges_relaxed: stats.edges_relaxed,
-                    vertices_settled: stats.settled,
-                    ..Default::default()
-                },
-            )
+            with_engine(|eng| {
+                let stats = eng.run(&bg, s);
+                (
+                    eng.dist_vec(),
+                    WorkCounters {
+                        edges_relaxed: stats.edges_relaxed,
+                        vertices_settled: stats.settled,
+                        ..Default::default()
+                    },
+                )
+            })
         },
     );
     let db = DistMatrix::from_rows(b_rows);

@@ -24,7 +24,7 @@ use ear_decomp::bcc::biconnected_components;
 use ear_decomp::block_cut::{BlockCutTree, Route};
 use ear_decomp::reduce::reduce_graph;
 use ear_graph::{
-    dijkstra_with_stats, dist_add, edge_subgraph, CsrGraph, SubgraphMap, VertexId, Weight, INF,
+    dist_add, edge_subgraph, with_engine, CsrGraph, SubgraphMap, VertexId, Weight, INF,
 };
 use ear_hetero::{ExecutionReport, HeteroExecutor, RunOutput, WorkCounters};
 
@@ -284,15 +284,19 @@ pub fn build_oracle(g: &CsrGraph, exec: &HeteroExecutor, method: ApspMethod) -> 
                 Some(r) => &r.reduced,
                 None => &subs[b as usize].0,
             };
-            let (dist, stats) = dijkstra_with_stats(target, s);
-            (
-                dist,
-                WorkCounters {
-                    edges_relaxed: stats.edges_relaxed,
-                    vertices_settled: stats.settled,
-                    ..Default::default()
-                },
-            )
+            // Pooled engine: per-source scratch is reused across workunits
+            // handled by the same worker thread.
+            with_engine(|eng| {
+                let stats = eng.run(target, s);
+                (
+                    eng.dist_vec(),
+                    WorkCounters {
+                        edges_relaxed: stats.edges_relaxed,
+                        vertices_settled: stats.settled,
+                        ..Default::default()
+                    },
+                )
+            })
         },
     );
     // Assemble per-block reduced (or full) matrices.
@@ -368,15 +372,17 @@ pub fn build_oracle(g: &CsrGraph, exec: &HeteroExecutor, method: ApspMethod) -> 
         (0..a as u32).collect::<Vec<_>>(),
         |_| ap_graph.m() as u64 + 1,
         |&s| {
-            let (dist, stats) = dijkstra_with_stats(&ap_graph, s);
-            (
-                dist,
-                WorkCounters {
-                    edges_relaxed: stats.edges_relaxed,
-                    vertices_settled: stats.settled,
-                    ..Default::default()
-                },
-            )
+            with_engine(|eng| {
+                let stats = eng.run(&ap_graph, s);
+                (
+                    eng.dist_vec(),
+                    WorkCounters {
+                        edges_relaxed: stats.edges_relaxed,
+                        vertices_settled: stats.settled,
+                        ..Default::default()
+                    },
+                )
+            })
         },
     );
     let ap_table = DistMatrix::from_rows(ap_rows);

@@ -15,7 +15,7 @@ use ear_decomp::bcc::biconnected_components;
 use ear_decomp::block_cut::{BlockCutTree, Route};
 use ear_decomp::reduce::{reduce_graph, ReducedGraph};
 use ear_graph::{
-    dijkstra_with_stats, dist_add, edge_subgraph, CsrGraph, SubgraphMap, VertexId, Weight, INF,
+    dist_add, edge_subgraph, with_engine, CsrGraph, SubgraphMap, VertexId, Weight, INF,
 };
 use ear_hetero::{ExecutionReport, HeteroExecutor, RunOutput, WorkCounters};
 
@@ -81,15 +81,19 @@ impl ReducedOracle {
                     Some(r) => &r.reduced,
                     None => &subs[b as usize],
                 };
-                let (dist, stats) = dijkstra_with_stats(target, s);
-                (
-                    dist,
-                    WorkCounters {
-                        edges_relaxed: stats.edges_relaxed,
-                        vertices_settled: stats.settled,
-                        ..Default::default()
-                    },
-                )
+                // Pooled engine: scratch reused across the (block, source)
+                // workunits each worker thread handles.
+                with_engine(|eng| {
+                    let stats = eng.run(target, s);
+                    (
+                        eng.dist_vec(),
+                        WorkCounters {
+                            edges_relaxed: stats.edges_relaxed,
+                            vertices_settled: stats.settled,
+                            ..Default::default()
+                        },
+                    )
+                })
             },
         );
         for ((b, s), row) in units.into_iter().zip(rows) {

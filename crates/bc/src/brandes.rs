@@ -7,89 +7,163 @@
 //! accumulation; sources fan out as workunits exactly like the paper's
 //! APSP Phase II.
 
+use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Mutex;
 
 use ear_graph::{CsrGraph, VertexId, Weight, INF};
 use ear_hetero::{ExecutionReport, HeteroExecutor, RunOutput, WorkCounters};
 use rayon::prelude::*;
 
-/// Per-source shortest-path DAG with path counts.
-struct Sssp {
+/// Reusable per-source shortest-path-DAG scratch: distances, path counts,
+/// predecessor lists (which keep their capacity across sources — the
+/// dominant allocation of the old per-call version), settle order, and the
+/// heap. Reset is O(touched): only vertices settled by the previous run
+/// are cleared.
+struct BcScratch {
     dist: Vec<Weight>,
     sigma: Vec<f64>,
     preds: Vec<Vec<VertexId>>,
+    done: Vec<bool>,
     /// Vertices in settle order (non-decreasing distance).
     order: Vec<VertexId>,
+    heap: BinaryHeap<Reverse<(Weight, VertexId)>>,
     stats: WorkCounters,
 }
 
-fn count_paths(g: &CsrGraph, s: VertexId) -> Sssp {
-    let n = g.n();
-    let mut dist = vec![INF; n];
-    let mut sigma = vec![0.0; n];
-    let mut preds: Vec<Vec<VertexId>> = vec![Vec::new(); n];
-    let mut done = vec![false; n];
-    let mut order = Vec::with_capacity(n);
-    let mut stats = WorkCounters::default();
-    let mut heap: BinaryHeap<Reverse<(Weight, VertexId)>> = BinaryHeap::new();
-    dist[s as usize] = 0;
-    sigma[s as usize] = 1.0;
-    heap.push(Reverse((0, s)));
-    while let Some(Reverse((d, u))) = heap.pop() {
-        if done[u as usize] {
+impl BcScratch {
+    fn new() -> Self {
+        BcScratch {
+            dist: Vec::new(),
+            sigma: Vec::new(),
+            preds: Vec::new(),
+            done: Vec::new(),
+            order: Vec::new(),
+            heap: BinaryHeap::new(),
+            stats: WorkCounters::default(),
+        }
+    }
+
+    /// Clears the previous run's footprint and grows arrays to `n`.
+    fn begin(&mut self, n: usize) {
+        // Every written entry belongs to a settled vertex (a vertex is only
+        // touched when strictly improved, which pushes it, so it settles).
+        for &v in &self.order {
+            let vi = v as usize;
+            self.dist[vi] = INF;
+            self.sigma[vi] = 0.0;
+            self.preds[vi].clear();
+            self.done[vi] = false;
+        }
+        self.order.clear();
+        self.heap.clear();
+        self.stats = WorkCounters::default();
+        if self.dist.len() < n {
+            self.dist.resize(n, INF);
+            self.sigma.resize(n, 0.0);
+            self.preds.resize_with(n, Vec::new);
+            self.done.resize(n, false);
+        }
+    }
+}
+
+fn count_paths(g: &CsrGraph, s: VertexId, sc: &mut BcScratch) {
+    sc.begin(g.n());
+    sc.dist[s as usize] = 0;
+    sc.sigma[s as usize] = 1.0;
+    sc.heap.push(Reverse((0, s)));
+    while let Some(Reverse((d, u))) = sc.heap.pop() {
+        if sc.done[u as usize] {
             continue;
         }
-        done[u as usize] = true;
-        order.push(u);
-        stats.vertices_settled += 1;
+        sc.done[u as usize] = true;
+        sc.order.push(u);
+        sc.stats.vertices_settled += 1;
         for &(v, e) in g.neighbors(u) {
-            stats.edges_relaxed += 1;
+            sc.stats.edges_relaxed += 1;
             if v == u {
                 continue;
             }
             let nd = d + g.weight(e);
-            if nd < dist[v as usize] {
-                dist[v as usize] = nd;
-                sigma[v as usize] = sigma[u as usize];
-                preds[v as usize].clear();
-                preds[v as usize].push(u);
-                heap.push(Reverse((nd, v)));
-            } else if nd == dist[v as usize] {
+            if nd < sc.dist[v as usize] {
+                sc.dist[v as usize] = nd;
+                sc.sigma[v as usize] = sc.sigma[u as usize];
+                sc.preds[v as usize].clear();
+                sc.preds[v as usize].push(u);
+                sc.heap.push(Reverse((nd, v)));
+            } else if nd == sc.dist[v as usize] {
                 // A second shortest route into v (weights are >= 1, so u is
                 // settled and sigma[u] is final here).
-                sigma[v as usize] += sigma[u as usize];
-                preds[v as usize].push(u);
+                sc.sigma[v as usize] += sc.sigma[u as usize];
+                sc.preds[v as usize].push(u);
             }
         }
     }
-    Sssp {
-        dist,
-        sigma,
-        preds,
-        order,
-        stats,
+}
+
+// Per-thread scratch pool, same shape as `ear_graph::engine::with_engine`:
+// a thread-local slot whose Drop feeds a bounded global free list, so warm
+// scratch survives the scoped worker threads the rayon shim spawns.
+static FREE_SCRATCH: Mutex<Vec<BcScratch>> = Mutex::new(Vec::new());
+const MAX_POOLED: usize = 64;
+
+thread_local! {
+    static TLS_SCRATCH: RefCell<ScratchSlot> = const { RefCell::new(ScratchSlot(None)) };
+}
+
+struct ScratchSlot(Option<BcScratch>);
+
+impl Drop for ScratchSlot {
+    fn drop(&mut self) {
+        if let Some(sc) = self.0.take() {
+            recycle(sc);
+        }
     }
+}
+
+fn recycle(sc: BcScratch) {
+    if let Ok(mut free) = FREE_SCRATCH.lock() {
+        if free.len() < MAX_POOLED {
+            free.push(sc);
+        }
+    }
+}
+
+fn with_scratch<R>(f: impl FnOnce(&mut BcScratch) -> R) -> R {
+    let mut sc = TLS_SCRATCH
+        .try_with(|slot| slot.borrow_mut().0.take())
+        .ok()
+        .flatten()
+        .or_else(|| FREE_SCRATCH.lock().ok().and_then(|mut v| v.pop()))
+        .unwrap_or_else(BcScratch::new);
+    let r = f(&mut sc);
+    if let Ok(Some(displaced)) = TLS_SCRATCH.try_with(|slot| slot.borrow_mut().0.replace(sc)) {
+        recycle(displaced);
+    }
+    r
 }
 
 /// Dependency accumulation from one source: returns `δ_s(v)` for all `v`,
 /// where targets carry weight `target_w[t]` (classic Brandes is all-ones).
 fn dependencies(g: &CsrGraph, s: VertexId, target_w: &[f64]) -> (Vec<f64>, WorkCounters) {
-    let sp = count_paths(g, s);
-    let n = g.n();
-    let mut delta = vec![0.0; n];
-    let mut stats = sp.stats;
-    for &v in sp.order.iter().rev() {
-        if v == s || sp.dist[v as usize] >= INF {
-            continue;
+    with_scratch(|sc| {
+        count_paths(g, s, sc);
+        let n = g.n();
+        let mut delta = vec![0.0; n];
+        let mut stats = sc.stats;
+        for &v in sc.order.iter().rev() {
+            if v == s || sc.dist[v as usize] >= INF {
+                continue;
+            }
+            let coeff = (target_w[v as usize] + delta[v as usize]) / sc.sigma[v as usize];
+            for &u in &sc.preds[v as usize] {
+                delta[u as usize] += sc.sigma[u as usize] * coeff;
+                stats.distances_combined += 1;
+            }
         }
-        let coeff = (target_w[v as usize] + delta[v as usize]) / sp.sigma[v as usize];
-        for &u in &sp.preds[v as usize] {
-            delta[u as usize] += sp.sigma[u as usize] * coeff;
-            stats.distances_combined += 1;
-        }
-    }
-    (delta, stats)
+        (delta, stats)
+    })
 }
 
 /// Weighted-multiplicity betweenness over a restricted source set: each
@@ -184,8 +258,9 @@ mod tests {
     fn brute(g: &CsrGraph) -> Vec<f64> {
         let n = g.n();
         let mut bc = vec![0.0; n];
+        let mut sp = BcScratch::new();
         for s in 0..n as u32 {
-            let sp = count_paths(g, s);
+            count_paths(g, s, &mut sp);
             for t in 0..n as u32 {
                 if t <= s || sp.dist[t as usize] >= INF {
                     continue;

@@ -533,9 +533,10 @@ pub fn reduce_graph_parallel(g: &CsrGraph) -> ReducedGraph {
     let walked: Vec<((u32, u32), Chain)> = starts
         .par_iter()
         .map(|&(rank, ai, a, first, first_edge)| {
-            let mut scratch = ChainScratch;
-            let chain = walk_chain_pure(g, &anchor, a, first, first_edge, &mut scratch);
-            ((rank, ai), chain)
+            (
+                (rank, ai),
+                walk_chain_pure(g, &anchor, a, first, first_edge),
+            )
         })
         .collect();
 
@@ -607,9 +608,6 @@ pub fn reduce_graph_parallel(g: &CsrGraph) -> ReducedGraph {
     }
 }
 
-#[derive(Default)]
-struct ChainScratch;
-
 /// Side-effect-free chain walk (no shared visited map): a degree-2 interior
 /// uniquely determines the continuation, so the walk needs no marking.
 fn walk_chain_pure(
@@ -618,7 +616,6 @@ fn walk_chain_pure(
     a: VertexId,
     first: VertexId,
     first_edge: EdgeId,
-    _scratch: &mut ChainScratch,
 ) -> Chain {
     let mut edges = vec![first_edge];
     let mut interior = vec![first];

@@ -1,15 +1,20 @@
 //! Single-source shortest paths (Dijkstra) with operation instrumentation.
 //!
 //! The paper runs one Dijkstra instance per source vertex of the reduced
-//! graph, each instance on its own thread/GPU workunit (Section 2.1.2), so
-//! this implementation is deliberately self-contained: no shared scratch
-//! state, a lazy-deletion binary heap, and an optional shortest-path-tree
-//! output used by the minimum-cycle-basis candidate generation.
-
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+//! graph, each instance on its own thread/GPU workunit (Section 2.1.2).
+//! The free functions here ([`dijkstra`], [`dijkstra_with_stats`],
+//! [`dijkstra_tree`]) are thin compatibility wrappers that borrow a pooled
+//! [`SsspEngine`](crate::engine::SsspEngine) — preallocated scratch with
+//! generation-stamp reset and an indexed 4-ary decrease-key heap — so
+//! repeated per-source calls no longer allocate O(n) state each time.
+//!
+//! The original allocate-per-source implementation is retained verbatim in
+//! [`legacy`]: it is the differential-testing reference and the baseline
+//! the `sssp_engine` benchmark measures against. Both paths produce
+//! bit-identical distances, parents, settle orders, and statistics.
 
 use crate::csr::CsrGraph;
+use crate::engine::with_engine;
 use crate::types::{EdgeId, VertexId, Weight, INF};
 
 /// Operation counters for one SSSP run. These feed the heterogeneous cost
@@ -20,7 +25,7 @@ pub struct DijkstraStats {
     pub settled: u64,
     /// Edge relaxations attempted.
     pub edges_relaxed: u64,
-    /// Heap pushes (successful relaxations).
+    /// Strictly-improving relaxations (heap pushes or decrease-keys).
     pub heap_pushes: u64,
 }
 
@@ -38,7 +43,7 @@ impl DijkstraStats {
 /// `parent_vertex[v]` / `parent_edge[v]` describe the last hop of the chosen
 /// shortest path to `v`; the source (and unreachable vertices) have
 /// `u32::MAX` sentinels.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SsspTree {
     /// Root of the tree.
     pub source: VertexId,
@@ -49,6 +54,12 @@ pub struct SsspTree {
     pub parent_vertex: Vec<VertexId>,
     /// Edge id of the last hop, `u32::MAX` at the root / unreachable.
     pub parent_edge: Vec<EdgeId>,
+    /// Hop depth of every vertex (0 at the root and at unreachable
+    /// vertices), recorded during the run so [`depth`](Self::depth) is O(1).
+    pub depths: Vec<u32>,
+    /// Vertices in the order they were settled: non-decreasing distance,
+    /// parents before children. Unreachable vertices are absent.
+    pub settle_order: Vec<VertexId>,
     /// Instrumentation for the run that built this tree.
     pub stats: DijkstraStats,
 }
@@ -65,7 +76,7 @@ impl SsspTree {
         if !self.reachable(v) {
             return None;
         }
-        let mut out = Vec::new();
+        let mut out = Vec::with_capacity(self.depths[v as usize] as usize);
         let mut cur = v;
         while cur != self.source {
             let pe = self.parent_edge[cur as usize];
@@ -76,18 +87,13 @@ impl SsspTree {
         Some(out)
     }
 
-    /// Depth (hop count) of `v` in the tree; `None` if unreachable.
+    /// Depth (hop count) of `v` in the tree; `None` if unreachable. O(1):
+    /// depths are recorded while the tree is built.
     pub fn depth(&self, v: VertexId) -> Option<u32> {
         if !self.reachable(v) {
             return None;
         }
-        let mut d = 0;
-        let mut cur = v;
-        while cur != self.source {
-            cur = self.parent_vertex[cur as usize];
-            d += 1;
-        }
-        Some(d)
+        Some(self.depths[v as usize])
     }
 
     /// Vertices in order of non-decreasing distance (root first); ties are
@@ -95,27 +101,44 @@ impl SsspTree {
     /// vertices are omitted. This is the level-order style traversal the
     /// label-computation pass of the MCB algorithm needs (parents always
     /// precede children).
+    ///
+    /// Built from the recorded settle order — already non-decreasing in
+    /// distance — so only equal-distance runs need sorting, not the whole
+    /// vertex set.
     pub fn top_down_order(&self) -> Vec<VertexId> {
-        let mut order: Vec<VertexId> = (0..self.dist.len() as u32)
-            .filter(|&v| self.reachable(v))
-            .collect();
-        order.sort_unstable_by_key(|&v| (self.dist[v as usize], v));
+        let mut order = self.settle_order.clone();
+        let mut i = 0;
+        while i < order.len() {
+            let d = self.dist[order[i] as usize];
+            let mut j = i + 1;
+            while j < order.len() && self.dist[order[j] as usize] == d {
+                j += 1;
+            }
+            order[i..j].sort_unstable();
+            i = j;
+        }
         order
     }
 }
 
-/// Plain Dijkstra: distances only.
+/// Plain Dijkstra: distances only. Borrows a pooled engine.
 pub fn dijkstra(g: &CsrGraph, source: VertexId) -> Vec<Weight> {
-    run(g, source, false).dist
+    with_engine(|e| {
+        e.run(g, source);
+        e.dist_vec()
+    })
 }
 
 /// Dijkstra with distances plus counters, avoiding the tree bookkeeping.
+/// Borrows a pooled engine.
 pub fn dijkstra_with_stats(g: &CsrGraph, source: VertexId) -> (Vec<Weight>, DijkstraStats) {
-    let t = run(g, source, false);
-    (t.dist, t.stats)
+    with_engine(|e| {
+        let stats = e.run(g, source);
+        (e.dist_vec(), stats)
+    })
 }
 
-/// Dijkstra producing the full shortest-path tree.
+/// Dijkstra producing the full shortest-path tree. Borrows a pooled engine.
 ///
 /// Tie-breaking is deterministic: among equal-distance relaxations the first
 /// one found with the smaller `(distance, vertex, edge)` ordering wins, so
@@ -123,70 +146,110 @@ pub fn dijkstra_with_stats(g: &CsrGraph, source: VertexId) -> (Vec<Weight>, Dijk
 /// trees keep the Mehlhorn–Michail candidate set stable across the
 /// sequential / multicore / GPU execution modes.
 pub fn dijkstra_tree(g: &CsrGraph, source: VertexId) -> SsspTree {
-    run(g, source, true)
-}
-
-fn run(g: &CsrGraph, source: VertexId, want_tree: bool) -> SsspTree {
-    let n = g.n();
-    assert!((source as usize) < n, "source out of range");
-    let mut dist = vec![INF; n];
-    let mut parent_vertex = vec![u32::MAX; n];
-    let mut parent_edge = vec![u32::MAX; n];
-    let mut done = vec![false; n];
-    let mut stats = DijkstraStats::default();
-
-    let mut heap: BinaryHeap<Reverse<(Weight, VertexId)>> = BinaryHeap::new();
-    dist[source as usize] = 0;
-    heap.push(Reverse((0, source)));
-
-    while let Some(Reverse((d, u))) = heap.pop() {
-        if done[u as usize] {
-            continue; // stale entry (lazy deletion)
-        }
-        done[u as usize] = true;
-        stats.settled += 1;
-        debug_assert_eq!(d, dist[u as usize]);
-        for &(v, e) in g.neighbors(u) {
-            stats.edges_relaxed += 1;
-            if v == u {
-                continue; // self-loops never improve a distance
-            }
-            let nd = d + g.weight(e);
-            let strictly_better = nd < dist[v as usize];
-            // With non-negative weights a settled vertex can never be
-            // strictly improved, so `strictly_better` implies `!done[v]`.
-            let tie_better = want_tree
-                && nd == dist[v as usize]
-                && !done[v as usize]
-                && tie_prefers(u, e, parent_vertex[v as usize], parent_edge[v as usize]);
-            if strictly_better || tie_better {
-                dist[v as usize] = nd;
-                if want_tree {
-                    parent_vertex[v as usize] = u;
-                    parent_edge[v as usize] = e;
-                }
-                if strictly_better {
-                    heap.push(Reverse((nd, v)));
-                    stats.heap_pushes += 1;
-                }
-            }
-        }
-    }
-
-    SsspTree {
-        source,
-        dist,
-        parent_vertex,
-        parent_edge,
-        stats,
-    }
+    with_engine(|e| {
+        e.run_tree(g, source);
+        e.tree()
+    })
 }
 
 /// Deterministic tie-break for equal-distance parents: prefer the smaller
-/// (parent vertex, edge id) pair.
+/// (parent vertex, edge id) pair. Shared by the engine and the legacy path.
 #[inline]
-fn tie_prefers(u: VertexId, e: EdgeId, cur_pv: VertexId, cur_pe: EdgeId) -> bool {
+pub(crate) fn tie_prefers(u: VertexId, e: EdgeId, cur_pv: VertexId, cur_pe: EdgeId) -> bool {
     (u, e) < (cur_pv, cur_pe)
+}
+
+/// The original allocate-per-source Dijkstra, kept as the differential
+/// reference and benchmark baseline for the pooled
+/// [`SsspEngine`](crate::engine::SsspEngine) path.
+///
+/// Four O(n) vectors and a lazy-deletion binary heap are allocated on every
+/// call; output is bit-identical to the engine.
+pub mod legacy {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    use super::{tie_prefers, CsrGraph, DijkstraStats, SsspTree, VertexId, Weight, INF};
+
+    /// Allocate-per-source equivalent of [`crate::dijkstra::dijkstra`].
+    pub fn dijkstra(g: &CsrGraph, source: VertexId) -> Vec<Weight> {
+        run(g, source, false).dist
+    }
+
+    /// Allocate-per-source equivalent of
+    /// [`crate::dijkstra::dijkstra_with_stats`].
+    pub fn dijkstra_with_stats(g: &CsrGraph, source: VertexId) -> (Vec<Weight>, DijkstraStats) {
+        let t = run(g, source, false);
+        (t.dist, t.stats)
+    }
+
+    /// Allocate-per-source equivalent of
+    /// [`crate::dijkstra::dijkstra_tree`].
+    pub fn dijkstra_tree(g: &CsrGraph, source: VertexId) -> SsspTree {
+        run(g, source, true)
+    }
+
+    fn run(g: &CsrGraph, source: VertexId, want_tree: bool) -> SsspTree {
+        let n = g.n();
+        assert!((source as usize) < n, "source out of range");
+        let mut dist = vec![INF; n];
+        let mut parent_vertex = vec![u32::MAX; n];
+        let mut parent_edge = vec![u32::MAX; n];
+        let mut depths = vec![0u32; n];
+        let mut done = vec![false; n];
+        let mut settle_order = Vec::new();
+        let mut stats = DijkstraStats::default();
+
+        let mut heap: BinaryHeap<Reverse<(Weight, VertexId)>> = BinaryHeap::new();
+        dist[source as usize] = 0;
+        heap.push(Reverse((0, source)));
+
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if done[u as usize] {
+                continue; // stale entry (lazy deletion)
+            }
+            done[u as usize] = true;
+            settle_order.push(u);
+            stats.settled += 1;
+            debug_assert_eq!(d, dist[u as usize]);
+            for &(v, e) in g.neighbors(u) {
+                stats.edges_relaxed += 1;
+                if v == u {
+                    continue; // self-loops never improve a distance
+                }
+                let nd = d + g.weight(e);
+                let strictly_better = nd < dist[v as usize];
+                // With non-negative weights a settled vertex can never be
+                // strictly improved, so `strictly_better` implies `!done[v]`.
+                let tie_better = want_tree
+                    && nd == dist[v as usize]
+                    && !done[v as usize]
+                    && tie_prefers(u, e, parent_vertex[v as usize], parent_edge[v as usize]);
+                if strictly_better || tie_better {
+                    dist[v as usize] = nd;
+                    if want_tree {
+                        parent_vertex[v as usize] = u;
+                        parent_edge[v as usize] = e;
+                        depths[v as usize] = depths[u as usize] + 1;
+                    }
+                    if strictly_better {
+                        heap.push(Reverse((nd, v)));
+                        stats.heap_pushes += 1;
+                    }
+                }
+            }
+        }
+
+        SsspTree {
+            source,
+            dist,
+            parent_vertex,
+            parent_edge,
+            depths,
+            settle_order,
+            stats,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -269,10 +332,51 @@ mod tests {
     }
 
     #[test]
+    fn top_down_order_matches_full_sort() {
+        let g = CsrGraph::from_edges(
+            7,
+            &[
+                (0, 1, 1),
+                (0, 2, 1),
+                (1, 3, 1),
+                (2, 4, 1),
+                (3, 5, 3),
+                (4, 6, 3),
+            ],
+        );
+        let t = dijkstra_tree(&g, 0);
+        let mut expected: Vec<VertexId> = (0..t.dist.len() as u32)
+            .filter(|&v| t.reachable(v))
+            .collect();
+        expected.sort_unstable_by_key(|&v| (t.dist[v as usize], v));
+        assert_eq!(t.top_down_order(), expected);
+    }
+
+    #[test]
     fn single_vertex_graph() {
         let g = CsrGraph::from_edges(1, &[]);
         let t = dijkstra_tree(&g, 0);
         assert_eq!(t.dist, vec![0]);
         assert_eq!(t.path_edges_to_root(0), Some(vec![]));
+        assert_eq!(t.settle_order, vec![0]);
+    }
+
+    #[test]
+    fn wrappers_match_legacy() {
+        let g = CsrGraph::from_edges(6, &[(0, 1, 1), (1, 2, 1), (0, 2, 2), (2, 3, 5), (4, 5, 1)]);
+        for s in 0..6u32 {
+            let (d, st) = dijkstra_with_stats(&g, s);
+            let (ld, lst) = legacy::dijkstra_with_stats(&g, s);
+            assert_eq!(d, ld);
+            assert_eq!(st, lst);
+            let t = dijkstra_tree(&g, s);
+            let lt = legacy::dijkstra_tree(&g, s);
+            assert_eq!(t.dist, lt.dist);
+            assert_eq!(t.parent_vertex, lt.parent_vertex);
+            assert_eq!(t.parent_edge, lt.parent_edge);
+            assert_eq!(t.depths, lt.depths);
+            assert_eq!(t.settle_order, lt.settle_order);
+            assert_eq!(t.stats, lt.stats);
+        }
     }
 }

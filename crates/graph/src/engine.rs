@@ -1,0 +1,641 @@
+//! Reusable zero-allocation SSSP engine with pooled scratch state.
+//!
+//! The paper's whole pipeline is "run one Dijkstra per source of the
+//! reduced graph" (§2.1.2), so per-source constant factors dominate. The
+//! free functions in [`crate::dijkstra`] allocate four O(n) vectors and a
+//! heap per call; [`SsspEngine`] preallocates them once and reuses them
+//! across runs:
+//!
+//! * **Generation-stamped scratch** — instead of clearing `dist`/`parent`
+//!   arrays between runs, every write is tagged with the current run's
+//!   generation number (`stamp[v] == gen` means "touched this run").
+//!   Resetting is a single counter bump: O(1) per run, O(touched) total
+//!   work instead of O(n). When the `u32` generation wraps, the stamps are
+//!   cleared once in full so a stale stamp can never alias a new run.
+//! * **Indexed 4-ary heap** — replaces the lazy-deletion `BinaryHeap` with
+//!   a decrease-key heap keyed on `(dist, vertex)`. No stale entries, at
+//!   most one slot per vertex, and the 4-way fanout keeps sift-downs cache
+//!   friendly.
+//! * **Engine pool** — [`with_engine`] hands out a per-thread engine
+//!   (thread-local slot backed by a global free list), so the hot
+//!   `kernel-per-source` loops in `ear-apsp` / `ear-mcb` / `ear-bc` reuse
+//!   scratch even when the executor spawns fresh worker threads per batch.
+//!
+//! Results are **bit-identical** to the legacy free functions
+//! ([`crate::dijkstra::legacy`]): the lazy-deletion heap always pops the
+//! minimum `(dist, vertex)` among unsettled touched vertices, which is
+//! exactly the key this heap orders by, so the settle order — and with it
+//! every distance, parent choice, and statistic — is the same. The
+//! deterministic `(distance, vertex, edge)` parent tie-break is shared
+//! verbatim. `heap_pushes` counts every strictly-improving relaxation even
+//! when it is implemented as a decrease-key rather than a push.
+
+use std::cell::RefCell;
+use std::sync::Mutex;
+
+use crate::csr::CsrGraph;
+use crate::dijkstra::{tie_prefers, DijkstraStats, SsspTree};
+use crate::types::{EdgeId, VertexId, Weight, INF};
+
+/// `pos` sentinel: touched this generation but not currently in the heap
+/// (either settled-and-popped is tracked by [`SETTLED`], or never pushed —
+/// a vertex whose only known "distance" is the `INF` parent-tie case).
+const NOT_IN_HEAP: u32 = u32::MAX;
+/// `pos` sentinel: settled (popped from the heap) this generation.
+const SETTLED: u32 = u32::MAX - 1;
+
+/// Per-vertex hot state, packed so one relaxation touches one cache line
+/// instead of three separate arrays.
+#[derive(Clone, Copy, Debug)]
+struct VertexState {
+    /// Tentative distance; meaningful while `stamp == ` the engine's gen.
+    dist: Weight,
+    /// Generation tag: equal to the engine's `gen` iff touched this run.
+    stamp: u32,
+    /// Heap slot, or [`NOT_IN_HEAP`] / [`SETTLED`].
+    pos: u32,
+}
+
+/// Per-vertex tree state (written only by [`SsspEngine::run_tree`]).
+#[derive(Clone, Copy, Debug)]
+struct ParentState {
+    vertex: VertexId,
+    edge: EdgeId,
+    depth: u32,
+}
+
+/// A reusable Dijkstra instance: preallocated arrays, generation-stamp
+/// lazy reset, indexed 4-ary decrease-key heap.
+///
+/// One engine serves one run at a time; query methods ([`dist`](Self::dist),
+/// [`dist_vec`](Self::dist_vec), [`tree`](Self::tree),
+/// [`settle_order`](Self::settle_order)) read the most recent run. Engines
+/// grow monotonically to the largest graph they have seen and can be reused
+/// across graphs of different sizes.
+#[derive(Debug)]
+pub struct SsspEngine {
+    /// Current generation; `state[v].stamp == gen` marks `v` as touched.
+    gen: u32,
+    /// Vertex count of the most recent run's graph.
+    n: usize,
+    /// Source of the most recent run.
+    source: VertexId,
+    /// Whether the most recent run recorded parent pointers.
+    tree_run: bool,
+    state: Vec<VertexState>,
+    /// Parent pointers; stale (ignored) for distances-only runs.
+    parent: Vec<ParentState>,
+    /// The 4-ary heap: `(dist, vertex)` entries, keys inline for
+    /// cache-local comparisons.
+    heap: Vec<(Weight, VertexId)>,
+    /// Every vertex written this run (superset of `order`).
+    touched: Vec<VertexId>,
+    /// Settle order of the most recent run (non-decreasing distance).
+    order: Vec<VertexId>,
+    stats: DijkstraStats,
+}
+
+impl Default for SsspEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SsspEngine {
+    /// An empty engine; arrays grow on first use.
+    pub fn new() -> Self {
+        SsspEngine {
+            gen: 0,
+            n: 0,
+            source: 0,
+            tree_run: false,
+            state: Vec::new(),
+            parent: Vec::new(),
+            heap: Vec::new(),
+            touched: Vec::new(),
+            order: Vec::new(),
+            stats: DijkstraStats::default(),
+        }
+    }
+
+    /// Grows the scratch arrays to hold `n` vertices (never shrinks).
+    pub fn ensure_capacity(&mut self, n: usize) {
+        if self.state.len() < n {
+            // New stamp entries are 0; the generation is bumped to >= 1
+            // before every run, so 0 can never equal a live generation.
+            self.state.resize(
+                n,
+                VertexState {
+                    dist: INF,
+                    stamp: 0,
+                    pos: NOT_IN_HEAP,
+                },
+            );
+            self.parent.resize(
+                n,
+                ParentState {
+                    vertex: u32::MAX,
+                    edge: u32::MAX,
+                    depth: 0,
+                },
+            );
+        }
+    }
+
+    /// Distances-only run (no parent bookkeeping). Returns the run's
+    /// operation counters.
+    pub fn run(&mut self, g: &CsrGraph, source: VertexId) -> DijkstraStats {
+        self.run_inner::<false>(g, source)
+    }
+
+    /// Full shortest-path-tree run with the deterministic
+    /// `(distance, vertex, edge)` parent tie-break.
+    pub fn run_tree(&mut self, g: &CsrGraph, source: VertexId) -> DijkstraStats {
+        self.run_inner::<true>(g, source)
+    }
+
+    // Monomorphised on `WANT_TREE` so the distances-only path carries no
+    // per-edge tree branches at all.
+    fn run_inner<const WANT_TREE: bool>(
+        &mut self,
+        g: &CsrGraph,
+        source: VertexId,
+    ) -> DijkstraStats {
+        let n = g.n();
+        assert!((source as usize) < n, "source out of range");
+        // Heap positions < n must stay clear of the two sentinels.
+        assert!(
+            n <= (u32::MAX - 2) as usize,
+            "graph too large for SsspEngine"
+        );
+        self.ensure_capacity(n);
+        self.bump_gen();
+        // Restore the resting invariant `dist == INF, pos == NOT_IN_HEAP`
+        // for everything the previous run wrote — O(touched), and it keeps
+        // the hot relaxation below at a single `nd < dist` compare, with no
+        // stamp check on the fast path. (Parent state is *not* reset here;
+        // the generation stamp guards its validity lazily.)
+        for &v in &self.touched {
+            let vi = v as usize;
+            self.state[vi].dist = INF;
+            self.state[vi].pos = NOT_IN_HEAP;
+        }
+        self.n = n;
+        self.source = source;
+        self.tree_run = WANT_TREE;
+        self.heap.clear();
+        self.touched.clear();
+        self.order.clear();
+        self.stats = DijkstraStats::default();
+
+        let s = source as usize;
+        self.state[s] = VertexState {
+            dist: 0,
+            stamp: self.gen,
+            pos: NOT_IN_HEAP,
+        };
+        if WANT_TREE {
+            self.parent[s] = ParentState {
+                vertex: u32::MAX,
+                edge: u32::MAX,
+                depth: 0,
+            };
+        }
+        self.touched.push(source);
+        self.heap_insert(0, source);
+
+        // Counters live in locals so the optimiser keeps them in registers
+        // across the loop body (incrementing through `&mut self` would
+        // force a load/store per edge next to the other `self` accesses).
+        let gen = self.gen;
+        let mut edges_relaxed = 0u64;
+        let mut heap_pushes = 0u64;
+
+        while let Some((du, u)) = self.heap_pop_min() {
+            self.order.push(u);
+            let u_depth = if WANT_TREE {
+                self.parent[u as usize].depth
+            } else {
+                0
+            };
+            for &(v, e) in g.neighbors(u) {
+                edges_relaxed += 1;
+                if v == u {
+                    continue; // self-loops never improve a distance
+                }
+                let nd = du + g.weight(e);
+                let vi = v as usize;
+                // The resting invariant (untouched reads as INF /
+                // NOT_IN_HEAP) makes this the same single data-dependent
+                // compare as the legacy loop's `nd < dist[v]`.
+                let st = self.state[vi];
+                let strictly_better = nd < st.dist;
+                // `nd == dist == INF` on an untouched vertex replicates the
+                // legacy parent-tie against the (u32::MAX, u32::MAX)
+                // sentinel pair, which always prefers the real `(u, e)`.
+                // A settled vertex (pos == SETTLED) never changes: with
+                // non-negative weights nd >= dist, and the legacy tie
+                // branch requires an unsettled vertex.
+                let tie_better = WANT_TREE && nd == st.dist && st.pos != SETTLED && {
+                    let (pv, pe) = if st.stamp == gen {
+                        let p = self.parent[vi];
+                        (p.vertex, p.edge)
+                    } else {
+                        (u32::MAX, u32::MAX)
+                    };
+                    tie_prefers(u, e, pv, pe)
+                };
+                if strictly_better || tie_better {
+                    if st.stamp != gen {
+                        self.state[vi].stamp = gen;
+                        self.touched.push(v);
+                    }
+                    self.state[vi].dist = nd;
+                    if WANT_TREE {
+                        self.parent[vi] = ParentState {
+                            vertex: u,
+                            edge: e,
+                            depth: u_depth + 1,
+                        };
+                    }
+                    if strictly_better {
+                        if st.pos == NOT_IN_HEAP {
+                            self.heap_insert(nd, v);
+                        } else {
+                            self.heap_decrease(st.pos as usize, nd);
+                        }
+                        heap_pushes += 1;
+                    }
+                }
+            }
+        }
+        self.stats.settled = self.order.len() as u64;
+        self.stats.edges_relaxed = edges_relaxed;
+        self.stats.heap_pushes = heap_pushes;
+        self.stats
+    }
+
+    /// Distance to `v` from the most recent run's source (`INF` when
+    /// unreachable or out of range).
+    pub fn dist(&self, v: VertexId) -> Weight {
+        let vi = v as usize;
+        if vi < self.n && self.state[vi].stamp == self.gen {
+            self.state[vi].dist
+        } else {
+            INF
+        }
+    }
+
+    /// Materialises the most recent run's distance array (`INF` for
+    /// untouched vertices).
+    pub fn dist_vec(&self) -> Vec<Weight> {
+        let mut out = vec![INF; self.n];
+        for &v in &self.touched {
+            out[v as usize] = self.state[v as usize].dist;
+        }
+        out
+    }
+
+    /// Settle order of the most recent run: vertices in the order they
+    /// were popped, i.e. non-decreasing distance.
+    pub fn settle_order(&self) -> &[VertexId] {
+        &self.order
+    }
+
+    /// Parent vertex of `v` in the most recent tree run (`u32::MAX` at the
+    /// source and at untouched vertices).
+    pub fn parent_vertex(&self, v: VertexId) -> VertexId {
+        debug_assert!(self.tree_run, "parents require a run_tree()");
+        let vi = v as usize;
+        if vi < self.n && self.state[vi].stamp == self.gen {
+            self.parent[vi].vertex
+        } else {
+            u32::MAX
+        }
+    }
+
+    /// Parent edge of `v` in the most recent tree run (`u32::MAX` at the
+    /// source and at untouched vertices).
+    pub fn parent_edge(&self, v: VertexId) -> EdgeId {
+        debug_assert!(self.tree_run, "parents require a run_tree()");
+        let vi = v as usize;
+        if vi < self.n && self.state[vi].stamp == self.gen {
+            self.parent[vi].edge
+        } else {
+            u32::MAX
+        }
+    }
+
+    /// Operation counters of the most recent run.
+    pub fn stats(&self) -> DijkstraStats {
+        self.stats
+    }
+
+    /// Source vertex of the most recent run.
+    pub fn source(&self) -> VertexId {
+        self.source
+    }
+
+    /// Materialises the most recent [`run_tree`](Self::run_tree) as an
+    /// owned [`SsspTree`], bit-identical to what
+    /// [`crate::dijkstra::dijkstra_tree`] returns.
+    ///
+    /// # Panics
+    /// Panics if the most recent run was distances-only.
+    pub fn tree(&self) -> SsspTree {
+        assert!(
+            self.tree_run,
+            "SsspEngine::tree() requires a preceding run_tree()"
+        );
+        let n = self.n;
+        let mut dist = vec![INF; n];
+        let mut parent_vertex = vec![u32::MAX; n];
+        let mut parent_edge = vec![u32::MAX; n];
+        let mut depths = vec![0u32; n];
+        for &v in &self.touched {
+            let vi = v as usize;
+            dist[vi] = self.state[vi].dist;
+            parent_vertex[vi] = self.parent[vi].vertex;
+            parent_edge[vi] = self.parent[vi].edge;
+            depths[vi] = self.parent[vi].depth;
+        }
+        SsspTree {
+            source: self.source,
+            dist,
+            parent_vertex,
+            parent_edge,
+            depths,
+            settle_order: self.order.clone(),
+            stats: self.stats,
+        }
+    }
+
+    /// Current generation counter (testing / introspection).
+    pub fn generation(&self) -> u32 {
+        self.gen
+    }
+
+    /// Testing hook: jump the generation counter (e.g. to just below
+    /// `u32::MAX`) to exercise the wraparound path. Clears every stamp so
+    /// the "no stamp exceeds the generation" invariant is preserved.
+    pub fn jump_generation(&mut self, gen: u32) {
+        self.gen = gen;
+        for st in &mut self.state {
+            st.stamp = 0;
+        }
+    }
+
+    fn bump_gen(&mut self) {
+        if self.gen == u32::MAX {
+            // Wraparound: clear all stamps once so values from the
+            // previous epoch can never alias the restarted counter.
+            for st in &mut self.state {
+                st.stamp = 0;
+            }
+            self.gen = 1;
+        } else {
+            self.gen += 1;
+        }
+    }
+
+    // ---- indexed 4-ary heap keyed on (dist, vertex) ----
+    //
+    // Entries carry their key `(dist, vertex)` inline so sift comparisons
+    // stay cache-local instead of chasing random `dist[]` loads — the
+    // difference between winning and losing to the legacy lazy-deletion
+    // heap once the distance array outgrows L2.
+
+    #[inline(always)]
+    fn heap_insert(&mut self, key: Weight, v: VertexId) {
+        let i = self.heap.len();
+        self.heap.push((key, v));
+        self.sift_up(i);
+    }
+
+    /// Lowers the key of the entry at heap slot `i` and restores order.
+    #[inline(always)]
+    fn heap_decrease(&mut self, i: usize, key: Weight) {
+        debug_assert!(self.heap[i].0 >= key);
+        self.heap[i].0 = key;
+        self.sift_up(i);
+    }
+
+    #[inline(always)]
+    fn heap_pop_min(&mut self) -> Option<(Weight, VertexId)> {
+        let top = *self.heap.first()?;
+        self.state[top.1 as usize].pos = SETTLED;
+        let last = self.heap.pop().expect("heap is non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.sift_down(0);
+        }
+        Some(top)
+    }
+
+    /// Hole-based sift: the moving entry is written (and its `pos` stamped)
+    /// once at its final slot, displaced entries move one hop each.
+    fn sift_up(&mut self, mut i: usize) {
+        let entry = self.heap[i];
+        while i > 0 {
+            let p = (i - 1) / 4;
+            let parent = self.heap[p];
+            if entry < parent {
+                self.heap[i] = parent;
+                self.state[parent.1 as usize].pos = i as u32;
+                i = p;
+            } else {
+                break;
+            }
+        }
+        self.heap[i] = entry;
+        self.state[entry.1 as usize].pos = i as u32;
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let entry = self.heap[i];
+        let len = self.heap.len();
+        loop {
+            let first = 4 * i + 1;
+            if first >= len {
+                break;
+            }
+            let end = (first + 4).min(len);
+            let mut best = first;
+            let mut best_entry = self.heap[first];
+            for c in first + 1..end {
+                if self.heap[c] < best_entry {
+                    best = c;
+                    best_entry = self.heap[c];
+                }
+            }
+            if best_entry < entry {
+                self.heap[i] = best_entry;
+                self.state[best_entry.1 as usize].pos = i as u32;
+                i = best;
+            } else {
+                break;
+            }
+        }
+        self.heap[i] = entry;
+        self.state[entry.1 as usize].pos = i as u32;
+    }
+}
+
+// ---- per-thread engine pool ----
+
+/// Global free list feeding threads that have no engine yet. Bounded so a
+/// burst of short-lived worker threads cannot hoard memory forever.
+static FREE_ENGINES: Mutex<Vec<SsspEngine>> = Mutex::new(Vec::new());
+const MAX_POOLED: usize = 64;
+
+thread_local! {
+    static TLS_ENGINE: RefCell<TlsSlot> = const { RefCell::new(TlsSlot(None)) };
+}
+
+/// Thread-local engine slot whose `Drop` returns the engine to the global
+/// free list — essential because the executor / rayon shim spawn fresh
+/// scoped worker threads per batch, so warm engines must outlive threads.
+struct TlsSlot(Option<SsspEngine>);
+
+impl Drop for TlsSlot {
+    fn drop(&mut self) {
+        if let Some(e) = self.0.take() {
+            recycle(e);
+        }
+    }
+}
+
+fn recycle(e: SsspEngine) {
+    if let Ok(mut free) = FREE_ENGINES.lock() {
+        if free.len() < MAX_POOLED {
+            free.push(e);
+        }
+    }
+}
+
+fn checkout() -> SsspEngine {
+    TLS_ENGINE
+        .try_with(|slot| slot.borrow_mut().0.take())
+        .ok()
+        .flatten()
+        .or_else(|| FREE_ENGINES.lock().ok().and_then(|mut v| v.pop()))
+        .unwrap_or_default()
+}
+
+fn checkin(e: SsspEngine) {
+    match TLS_ENGINE.try_with(|slot| slot.borrow_mut().0.replace(e)) {
+        // Nested `with_engine` calls can displace an engine; keep both.
+        Ok(Some(displaced)) => recycle(displaced),
+        Ok(None) => {}
+        // Thread is tearing down: the engine is dropped with the closure.
+        Err(_) => {}
+    }
+}
+
+/// Runs `f` with a pooled per-thread [`SsspEngine`].
+///
+/// The engine comes from (in order) the calling thread's slot, the global
+/// free list, or a fresh allocation; afterwards it is parked back in the
+/// thread's slot. Warm scratch therefore survives both sequential loops on
+/// one thread and repeated fan-outs over short-lived worker threads.
+pub fn with_engine<R>(f: impl FnOnce(&mut SsspEngine) -> R) -> R {
+    let mut engine = checkout();
+    let r = f(&mut engine);
+    checkin(engine);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::legacy;
+
+    fn diamond() -> CsrGraph {
+        CsrGraph::from_edges(4, &[(0, 1, 1), (0, 2, 1), (1, 3, 1), (2, 3, 1)])
+    }
+
+    #[test]
+    fn matches_legacy_distances_and_stats() {
+        let g = diamond();
+        let mut e = SsspEngine::new();
+        for s in 0..4u32 {
+            let stats = e.run(&g, s);
+            let (ld, ls) = legacy::dijkstra_with_stats(&g, s);
+            assert_eq!(e.dist_vec(), ld);
+            assert_eq!(stats, ls);
+        }
+    }
+
+    #[test]
+    fn matches_legacy_tree() {
+        let g = diamond();
+        let mut e = SsspEngine::new();
+        e.run_tree(&g, 0);
+        let mine = e.tree();
+        let theirs = legacy::dijkstra_tree(&g, 0);
+        assert_eq!(mine.dist, theirs.dist);
+        assert_eq!(mine.parent_vertex, theirs.parent_vertex);
+        assert_eq!(mine.parent_edge, theirs.parent_edge);
+        assert_eq!(mine.depths, theirs.depths);
+        assert_eq!(mine.settle_order, theirs.settle_order);
+        assert_eq!(mine.stats, theirs.stats);
+    }
+
+    #[test]
+    fn reuse_across_graphs_of_different_sizes() {
+        let big = CsrGraph::from_edges(6, &[(0, 1, 2), (1, 2, 2), (2, 3, 2), (4, 5, 1)]);
+        let small = CsrGraph::from_edges(2, &[(0, 1, 7)]);
+        let mut e = SsspEngine::new();
+        e.run(&big, 0);
+        assert_eq!(e.dist_vec(), legacy::dijkstra(&big, 0));
+        e.run(&small, 1);
+        assert_eq!(e.dist_vec(), legacy::dijkstra(&small, 1));
+        assert_eq!(e.dist_vec().len(), 2);
+        e.run(&big, 4);
+        assert_eq!(e.dist_vec(), legacy::dijkstra(&big, 4));
+    }
+
+    #[test]
+    fn generation_wraparound_is_transparent() {
+        let g = diamond();
+        let mut e = SsspEngine::new();
+        e.run(&g, 0); // populate stamps with a live generation
+        e.jump_generation(u32::MAX - 2);
+        for s in [0u32, 1, 2, 3, 0, 1] {
+            // Crosses the u32::MAX boundary mid-sequence.
+            e.run(&g, s);
+            assert_eq!(e.dist_vec(), legacy::dijkstra(&g, s));
+        }
+        assert!(e.generation() < 10, "generation restarted after wrap");
+    }
+
+    #[test]
+    fn pooled_engine_is_reused_on_one_thread() {
+        let g = diamond();
+        let d0 = with_engine(|e| {
+            e.run(&g, 0);
+            e.dist_vec()
+        });
+        let d0_again = with_engine(|e| {
+            assert!(e.generation() > 0, "engine carries state across calls");
+            e.run(&g, 0);
+            e.dist_vec()
+        });
+        assert_eq!(d0, d0_again);
+    }
+
+    #[test]
+    fn nested_with_engine_is_safe() {
+        let g = diamond();
+        let (outer, inner) = with_engine(|a| {
+            a.run(&g, 0);
+            let inner = with_engine(|b| {
+                b.run(&g, 1);
+                b.dist_vec()
+            });
+            (a.dist_vec(), inner)
+        });
+        assert_eq!(outer, legacy::dijkstra(&g, 0));
+        assert_eq!(inner, legacy::dijkstra(&g, 1));
+    }
+}

@@ -25,6 +25,7 @@
 pub mod builder;
 pub mod csr;
 pub mod dijkstra;
+pub mod engine;
 pub mod io;
 pub mod spanning;
 pub mod subgraph;
@@ -34,6 +35,7 @@ pub mod types;
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
 pub use dijkstra::{dijkstra, dijkstra_tree, dijkstra_with_stats, DijkstraStats, SsspTree};
+pub use engine::{with_engine, SsspEngine};
 pub use spanning::{non_tree_edges, spanning_forest, tree_edge_flags};
 pub use subgraph::{edge_subgraph, induced_subgraph, SubgraphMap};
 pub use traverse::{bfs, bfs_tree, connected_components, BfsTree, Components};

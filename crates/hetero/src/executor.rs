@@ -14,6 +14,12 @@
 //!
 //! [`HeteroExecutor::run_concurrent`] is the wall-clock twin used by tests
 //! and examples: one OS thread per device, genuinely concurrent, no model.
+//!
+//! Kernels that run SSSP should go through `ear_graph::with_engine` (or an
+//! equivalent pooled scratch): batches execute on short-lived Rayon worker
+//! threads, and the engine pool's thread-local slot plus global free list
+//! keeps warm, pre-sized scratch flowing between batches instead of
+//! reallocating per workunit.
 
 use std::time::Instant;
 
@@ -487,15 +493,19 @@ impl HeteroExecutor {
                         if batch.is_empty() {
                             break;
                         }
-                        let mut rep = reports[d].lock();
-                        rep.batches += 1;
-                        rep.units += batch.len();
-                        drop(rep);
+                        // Accumulate counters locally; touch the shared
+                        // report once per batch, not once per unit.
+                        let mut acc = WorkCounters::default();
+                        let units = batch.len();
                         for (i, t) in batch {
                             let (r, c) = kernel(t);
                             *slots[i].lock() = Some(r);
-                            reports[d].lock().counters.merge(&c);
+                            acc.merge(&c);
                         }
+                        let mut rep = reports[d].lock();
+                        rep.batches += 1;
+                        rep.units += units;
+                        rep.counters.merge(&acc);
                     }
                     reports[d].lock().busy_s = t0.elapsed().as_secs_f64();
                 });

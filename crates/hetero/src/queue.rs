@@ -42,14 +42,16 @@ impl<T> WorkQueue<T> {
         q.drain(..take).collect()
     }
 
-    /// Pops up to `k` items from the back (the small-workunit end).
+    /// Pops up to `k` items from the back (the small-workunit end), in
+    /// "closest to the end first" order — a single back-to-front pass, no
+    /// intermediate copy-and-reverse.
     pub fn pop_back_batch(&self, k: usize) -> Vec<T> {
         let mut q = self.inner.lock();
         let take = k.min(q.len());
-        let start = q.len() - take;
-        let mut out: Vec<T> = q.drain(start..).collect();
-        // Keep "closest to the end first" ordering stable for consumers.
-        out.reverse();
+        let mut out = Vec::with_capacity(take);
+        for _ in 0..take {
+            out.push(q.pop_back().expect("take <= len"));
+        }
         out
     }
 

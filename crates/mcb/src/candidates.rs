@@ -15,7 +15,7 @@
 //! (the paper's "setting off the MSB"), nodes compacted once half-dead.
 
 use ear_decomp::fvs::feedback_vertex_set;
-use ear_graph::{dijkstra_tree, CsrGraph, EdgeId, SsspTree, VertexId, Weight};
+use ear_graph::{CsrGraph, EdgeId, SsspTree, VertexId, Weight};
 use ear_hetero::WorkCounters;
 use rayon::prelude::*;
 
@@ -237,13 +237,17 @@ pub fn generate(g: &CsrGraph) -> Candidates {
     let results: Vec<(SsspTree, WorkCounters)> = z
         .par_iter()
         .map(|&root| {
-            let t = dijkstra_tree(g, root);
-            let c = WorkCounters {
-                edges_relaxed: t.stats.edges_relaxed,
-                vertices_settled: t.stats.settled,
-                ..Default::default()
-            };
-            (t, c)
+            // Pooled engine: scratch survives across the roots a worker
+            // thread handles.
+            ear_graph::with_engine(|eng| {
+                let stats = eng.run_tree(g, root);
+                let c = WorkCounters {
+                    edges_relaxed: stats.edges_relaxed,
+                    vertices_settled: stats.settled,
+                    ..Default::default()
+                };
+                (eng.tree(), c)
+            })
         })
         .collect();
     let tree_units = group_units(m_hint, results.iter().map(|(_, c)| *c));

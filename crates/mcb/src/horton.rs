@@ -7,7 +7,7 @@
 //! here as the historically-faithful baseline and as another independent
 //! oracle for cross-validation.
 
-use ear_graph::{dijkstra_tree, CsrGraph, Weight};
+use ear_graph::{with_engine, CsrGraph, Weight};
 
 use crate::cycle_space::{Cycle, CycleSpace, DenseBits};
 
@@ -20,40 +20,44 @@ pub fn horton_mcb(g: &CsrGraph) -> Vec<Cycle> {
         return Vec::new();
     }
 
-    // Candidate generation from every vertex.
+    // Candidate generation from every vertex; one pooled engine is held
+    // across the whole n-source sweep.
     let mut cands: Vec<Cycle> = Vec::new();
     let mut seen = std::collections::HashSet::<(Weight, Vec<u32>)>::new();
-    for z in 0..g.n() as u32 {
-        let t = dijkstra_tree(g, z);
-        for e in 0..g.m() as u32 {
-            let r = g.edge(e);
-            if r.is_self_loop() {
-                if r.u == z {
-                    let c = cs.cycle_from_edges(g, vec![e]);
-                    if seen.insert((c.weight, c.nt.clone())) {
-                        cands.push(c);
+    with_engine(|eng| {
+        for z in 0..g.n() as u32 {
+            eng.run_tree(g, z);
+            let t = eng.tree();
+            for e in 0..g.m() as u32 {
+                let r = g.edge(e);
+                if r.is_self_loop() {
+                    if r.u == z {
+                        let c = cs.cycle_from_edges(g, vec![e]);
+                        if seen.insert((c.weight, c.nt.clone())) {
+                            cands.push(c);
+                        }
                     }
+                    continue;
                 }
-                continue;
-            }
-            if !t.reachable(r.u) || !t.reachable(r.v) {
-                continue;
-            }
-            if t.parent_edge[r.u as usize] == e || t.parent_edge[r.v as usize] == e {
-                continue;
-            }
-            let mut edges = t.path_edges_to_root(r.u).unwrap();
-            edges.extend(t.path_edges_to_root(r.v).unwrap());
-            edges.push(e);
-            let c = cs.cycle_from_edges(g, edges);
-            if c.edges.is_empty() {
-                continue; // paths fully overlapped: no cycle through z
-            }
-            if seen.insert((c.weight, c.nt.clone())) {
-                cands.push(c);
+                if !t.reachable(r.u) || !t.reachable(r.v) {
+                    continue;
+                }
+                if t.parent_edge[r.u as usize] == e || t.parent_edge[r.v as usize] == e {
+                    continue;
+                }
+                let mut edges = t.path_edges_to_root(r.u).unwrap();
+                edges.extend(t.path_edges_to_root(r.v).unwrap());
+                edges.push(e);
+                let c = cs.cycle_from_edges(g, edges);
+                if c.edges.is_empty() {
+                    continue; // paths fully overlapped: no cycle through z
+                }
+                if seen.insert((c.weight, c.nt.clone())) {
+                    cands.push(c);
+                }
             }
         }
-    }
+    });
     cands.sort_by(|a, b| (a.weight, &a.nt).cmp(&(b.weight, &b.nt)));
 
     // Greedy independence filter (Gaussian elimination over E').

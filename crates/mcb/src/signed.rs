@@ -14,7 +14,7 @@
 //! a standalone exact MCB ([`signed_mcb`]) for cross-validation.
 
 use ear_decomp::fvs::feedback_vertex_set;
-use ear_graph::{dijkstra_tree, CsrGraph, VertexId, Weight, INF};
+use ear_graph::{with_engine, CsrGraph, VertexId, Weight, INF};
 use ear_hetero::WorkCounters;
 
 use crate::cycle_space::{Cycle, CycleSpace, DenseBits};
@@ -69,22 +69,39 @@ pub fn min_cycle_nonorthogonal(
         }
     };
 
-    let mut best: Option<(Weight, Vec<u32>)> = None;
-    for &x in roots {
-        let t = dijkstra_tree(&aux, x);
-        counters.edges_relaxed += t.stats.edges_relaxed;
-        counters.vertices_settled += t.stats.settled;
-        let d = t.dist[x as usize + n];
-        if d >= INF {
-            continue;
+    // One pooled engine serves every root: a cheap distances-only run per
+    // root selects the winner, and a single tree run on the winning root
+    // extracts the path (legacy built a full tree per root).
+    let orig_edges = with_engine(|eng| {
+        let mut best: Option<(Weight, VertexId)> = None;
+        for &x in roots {
+            let stats = eng.run(&aux, x);
+            counters.edges_relaxed += stats.edges_relaxed;
+            counters.vertices_settled += stats.settled;
+            let d = eng.dist(x + n as u32);
+            if d >= INF {
+                continue;
+            }
+            if best.is_none_or(|(bw, _)| d < bw) {
+                best = Some((d, x));
+            }
         }
-        if best.as_ref().is_none_or(|(bw, _)| d < *bw) {
-            let path = t.path_edges_to_root(x + n as u32).expect("reachable");
-            let orig: Vec<u32> = path.iter().map(|&ae| origin[ae as usize]).collect();
-            best = Some((d, orig));
-        }
-    }
-    best.map(|(_, edges)| cs.cycle_from_edges(g, edges))
+        best.map(|(_, x)| {
+            // Path work for the winning root was already counted above;
+            // the tree re-run is bookkeeping, not modelled device work.
+            eng.run_tree(&aux, x);
+            let mut orig: Vec<u32> = Vec::new();
+            let mut cur = x + n as u32;
+            while cur != x {
+                let ae = eng.parent_edge(cur);
+                debug_assert_ne!(ae, u32::MAX);
+                orig.push(origin[ae as usize]);
+                cur = eng.parent_vertex(cur);
+            }
+            orig
+        })
+    });
+    orig_edges.map(|edges| cs.cycle_from_edges(g, edges))
 }
 
 /// Exact MCB by pure de Pina with signed search in every phase — slower

@@ -3,69 +3,133 @@
 //! The build environment has no crates.io access, so the real `rayon`
 //! cannot be fetched. This shim keeps the same call sites
 //! (`par_iter().zip(..).map(..).collect()`, `par_iter_mut().map(..)`)
-//! compiling and genuinely parallel: `map` fans the items out over
-//! `std::thread::scope` chunks, one per available core, preserving input
-//! order in the output. There is no work stealing — chunks are static —
-//! which is fine for this workspace's uniform workunit batches.
+//! compiling and genuinely parallel, with two properties the workspace's
+//! hot paths rely on:
+//!
+//! * **Borrowed fast path** — `par_iter()` on a slice or `Vec` yields a
+//!   [`ParSlice`] that borrows the data directly instead of snapshotting
+//!   every element reference into a fresh `Vec`, so the scratch-pool
+//!   kernels downstream are not defeated by shim allocations.
+//! * **Dynamic chunk claiming** — workers repeatedly claim the next chunk
+//!   of indices from a shared atomic counter until the input is drained,
+//!   so a thread that finishes early keeps pulling work instead of idling
+//!   behind a static per-core partition (workunit batches in this
+//!   workspace are deliberately *non*-uniform). Output order is preserved
+//!   by stitching per-chunk results back by their starting offset.
+//!
+//! Panics in worker closures propagate to the caller with their original
+//! payload, as with real rayon.
 
 #![deny(missing_docs)]
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
 /// The glob-importable surface, mirroring `rayon::prelude`.
 pub mod prelude {
-    pub use crate::{IntoParallelRefIterator, IntoParallelRefMutIterator, ParIter};
+    pub use crate::{IntoParallelRefIterator, IntoParallelRefMutIterator, ParIter, ParSlice};
 }
 
 /// Extension trait providing [`par_iter`](IntoParallelRefIterator::par_iter)
-/// on any collection whose shared reference iterates.
+/// on slices and vectors (the collection types this workspace fans out
+/// over). Borrows the data — no snapshot.
 pub trait IntoParallelRefIterator<'data> {
-    /// The borrowed item type.
-    type Item: Send + 'data;
-    /// Snapshots the items into a [`ParIter`].
-    fn par_iter(&'data self) -> ParIter<Self::Item>;
+    /// The element type iterated by reference.
+    type Item: Sync + 'data;
+    /// Borrows the items as a [`ParSlice`].
+    fn par_iter(&'data self) -> ParSlice<'data, Self::Item>;
 }
 
-impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
-where
-    &'data C: IntoIterator,
-    <&'data C as IntoIterator>::Item: Send,
-{
-    type Item = <&'data C as IntoIterator>::Item;
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
 
-    fn par_iter(&'data self) -> ParIter<Self::Item> {
-        ParIter {
-            items: self.into_iter().collect(),
-        }
+    fn par_iter(&'data self) -> ParSlice<'data, T> {
+        ParSlice { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'data self) -> ParSlice<'data, T> {
+        ParSlice { items: self }
     }
 }
 
 /// Extension trait providing
-/// [`par_iter_mut`](IntoParallelRefMutIterator::par_iter_mut) on any
-/// collection whose exclusive reference iterates.
+/// [`par_iter_mut`](IntoParallelRefMutIterator::par_iter_mut) on slices and
+/// vectors.
 pub trait IntoParallelRefMutIterator<'data> {
-    /// The mutably borrowed item type.
+    /// The element type iterated by mutable reference.
     type Item: Send + 'data;
-    /// Snapshots the mutable borrows into a [`ParIter`].
-    fn par_iter_mut(&'data mut self) -> ParIter<Self::Item>;
+    /// Collects the mutable borrows into a [`ParIter`].
+    fn par_iter_mut(&'data mut self) -> ParIter<&'data mut Self::Item>;
 }
 
-impl<'data, C: 'data + ?Sized> IntoParallelRefMutIterator<'data> for C
-where
-    &'data mut C: IntoIterator,
-    <&'data mut C as IntoIterator>::Item: Send,
-{
-    type Item = <&'data mut C as IntoIterator>::Item;
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+    type Item = T;
 
-    fn par_iter_mut(&'data mut self) -> ParIter<Self::Item> {
+    fn par_iter_mut(&'data mut self) -> ParIter<&'data mut T> {
         ParIter {
-            items: self.into_iter().collect(),
+            items: self.iter_mut().collect(),
         }
     }
 }
 
-/// A snapshot of items flowing through the parallel pipeline.
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+    type Item = T;
+
+    fn par_iter_mut(&'data mut self) -> ParIter<&'data mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+/// A borrowed view of a slice flowing into the parallel pipeline: the
+/// zero-copy entry point produced by `par_iter()`.
+pub struct ParSlice<'data, T: Sync> {
+    items: &'data [T],
+}
+
+impl<'data, T: Sync> ParSlice<'data, T> {
+    /// Pairs each item with the corresponding item of `other`, truncating
+    /// to the shorter side (same contract as `Iterator::zip`).
+    pub fn zip<J>(self, other: J) -> ParIter<(&'data T, J::Item)>
+    where
+        J: IntoIterator,
+        J::Item: Send,
+    {
+        ParIter {
+            items: self.items.iter().zip(other).collect(),
+        }
+    }
+
+    /// Applies `f` to every item in parallel (dynamic chunk claiming),
+    /// preserving order.
+    pub fn map<R: Send, F: Fn(&'data T) -> R + Sync>(self, f: F) -> ParIter<R> {
+        ParIter {
+            items: par_map_indexed(self.items.len(), |i| f(&self.items[i])),
+        }
+    }
+
+    /// Applies `f` to every item in parallel, discarding results.
+    pub fn for_each<F: Fn(&'data T) + Sync>(self, f: F) {
+        par_map_indexed(self.items.len(), |i| f(&self.items[i]));
+    }
+
+    /// Gathers the borrowed items into any `FromIterator` collection.
+    pub fn collect<C: FromIterator<&'data T>>(self) -> C {
+        self.items.iter().collect()
+    }
+}
+
+/// Owned items flowing through the parallel pipeline (produced by `zip`,
+/// `map`, or `par_iter_mut`).
 ///
-/// `map` is the parallel step: it executes eagerly across scoped threads.
-/// Everything else (`zip`, `collect`) is plain order-preserving plumbing.
+/// `map` is the parallel step: it executes eagerly across dynamically
+/// scheduled chunks. Everything else (`zip`, `collect`) is plain
+/// order-preserving plumbing.
 pub struct ParIter<I: Send> {
     items: Vec<I>,
 }
@@ -83,7 +147,8 @@ impl<I: Send> ParIter<I> {
         }
     }
 
-    /// Applies `f` to every item in parallel, preserving order.
+    /// Applies `f` to every item in parallel (dynamic chunk claiming),
+    /// preserving order.
     pub fn map<R: Send, F: Fn(I) -> R + Sync>(self, f: F) -> ParIter<R> {
         ParIter {
             items: par_map_vec(self.items, f),
@@ -101,32 +166,44 @@ impl<I: Send> ParIter<I> {
     }
 }
 
-/// Order-preserving parallel map over an owned vector: static chunks, one
-/// scoped thread per chunk. Panics in `f` propagate to the caller with
-/// their original payload.
-fn par_map_vec<I: Send, R: Send>(items: Vec<I>, f: impl Fn(I) -> R + Sync) -> Vec<R> {
-    let len = items.len();
+/// Number of worker threads for `len` items, and the chunk size they claim.
+/// Chunks are a fraction of a fair share so late-finishing threads leave
+/// work on the table for early finishers to steal.
+fn schedule(len: usize) -> (usize, usize) {
     let threads = std::thread::available_parallelism()
         .map_or(1, |n| n.get())
         .min(len.max(1));
+    let chunk = len.div_ceil(threads * 4).max(1);
+    (threads, chunk)
+}
+
+/// Order-preserving parallel map over index space `0..len`: workers claim
+/// chunks of indices from a shared atomic counter until the range drains.
+/// Panics in `f` propagate to the caller with their original payload.
+fn par_map_indexed<R: Send>(len: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    let (threads, chunk) = schedule(len);
     if threads <= 1 || len <= 1 {
-        return items.into_iter().map(f).collect();
+        return (0..len).map(f).collect();
     }
-    let chunk = len.div_ceil(threads);
-    let mut chunks: Vec<Vec<I>> = Vec::with_capacity(threads);
-    let mut it = items.into_iter();
-    loop {
-        let c: Vec<I> = it.by_ref().take(chunk).collect();
-        if c.is_empty() {
-            break;
-        }
-        chunks.push(c);
-    }
+    let next = AtomicUsize::new(0);
     let f = &f;
-    std::thread::scope(|s| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+    let next = &next;
+    let pieces: Vec<(usize, Vec<R>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut mine: Vec<(usize, Vec<R>)> = Vec::new();
+                    loop {
+                        let start = next.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= len {
+                            break;
+                        }
+                        let end = (start + chunk).min(len);
+                        mine.push((start, (start..end).map(f).collect()));
+                    }
+                    mine
+                })
+            })
             .collect();
         handles
             .into_iter()
@@ -135,7 +212,67 @@ fn par_map_vec<I: Send, R: Send>(items: Vec<I>, f: impl Fn(I) -> R + Sync) -> Ve
                 Err(payload) => std::panic::resume_unwind(payload),
             })
             .collect()
-    })
+    });
+    stitch(len, pieces)
+}
+
+/// Order-preserving parallel map over an owned vector: workers pull chunks
+/// of items from a shared queue (dynamic scheduling). Panics in `f`
+/// propagate to the caller with their original payload.
+fn par_map_vec<I: Send, R: Send>(items: Vec<I>, f: impl Fn(I) -> R + Sync) -> Vec<R> {
+    let len = items.len();
+    let (threads, chunk) = schedule(len);
+    if threads <= 1 || len <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // The items are owned, so workers pull (offset, chunk) pairs from a
+    // mutex-guarded iterator; the lock is held only while moving items out,
+    // never while running `f`.
+    let queue = Mutex::new((0usize, items.into_iter()));
+    let f = &f;
+    let queue = &queue;
+    let pieces: Vec<(usize, Vec<R>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut mine: Vec<(usize, Vec<R>)> = Vec::new();
+                    loop {
+                        let (start, batch): (usize, Vec<I>) = {
+                            let mut q = queue.lock().unwrap();
+                            let start = q.0;
+                            let batch: Vec<I> = q.1.by_ref().take(chunk).collect();
+                            q.0 = start + batch.len();
+                            (start, batch)
+                        };
+                        if batch.is_empty() {
+                            break;
+                        }
+                        mine.push((start, batch.into_iter().map(f).collect()));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| match h.join() {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    stitch(len, pieces)
+}
+
+/// Reassembles per-chunk results into input order by their starting offset.
+fn stitch<R>(len: usize, mut pieces: Vec<(usize, Vec<R>)>) -> Vec<R> {
+    pieces.sort_unstable_by_key(|&(start, _)| start);
+    let mut out = Vec::with_capacity(len);
+    for (start, piece) in pieces {
+        debug_assert_eq!(start, out.len());
+        out.extend(piece);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -147,6 +284,13 @@ mod tests {
         let xs: Vec<u64> = (0..10_000).collect();
         let ys: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
         assert_eq!(ys, xs.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn slice_par_iter_borrows() {
+        let xs = [5u32, 6, 7];
+        let ys: Vec<u32> = xs[1..].par_iter().map(|&x| x + 1).collect();
+        assert_eq!(ys, vec![7, 8]);
     }
 
     #[test]
@@ -172,10 +316,38 @@ mod tests {
     }
 
     #[test]
+    fn subslice_par_iter_mut_writes_through() {
+        let mut xs = [0u32; 10];
+        xs[4..].par_iter_mut().for_each(|x| *x = 9);
+        assert_eq!(&xs[..4], &[0, 0, 0, 0]);
+        assert!(xs[4..].iter().all(|&x| x == 9));
+    }
+
+    #[test]
     fn empty_input_is_fine() {
         let xs: Vec<u8> = Vec::new();
         let ys: Vec<u8> = xs.par_iter().map(|&x| x).collect();
         assert!(ys.is_empty());
+    }
+
+    #[test]
+    fn nonuniform_work_is_balanced_dynamically() {
+        // One huge item at the front of a long tail of tiny ones; static
+        // per-core chunking would serialize the tail behind it. Mostly a
+        // correctness check that claimed chunks cover every index once.
+        let xs: Vec<u64> = (0..4_096).collect();
+        let ys: Vec<u64> = xs
+            .par_iter()
+            .map(|&x| {
+                if x == 0 {
+                    (0..10_000u64).sum::<u64>() + x
+                } else {
+                    x
+                }
+            })
+            .collect();
+        assert_eq!(ys[0], (0..10_000u64).sum::<u64>());
+        assert_eq!(&ys[1..], &xs[1..]);
     }
 
     #[test]
@@ -185,6 +357,19 @@ mod tests {
             let _: Vec<u32> = xs
                 .par_iter()
                 .map(|&x| if x == 2 { panic!("boom") } else { x })
+                .collect();
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn panics_propagate_from_owned_map() {
+        let xs = vec![1u32, 2, 3];
+        let r = std::panic::catch_unwind(|| {
+            let _: Vec<u32> = xs
+                .par_iter()
+                .zip(0u32..)
+                .map(|(&x, _)| if x == 2 { panic!("boom") } else { x })
                 .collect();
         });
         assert!(r.is_err());

@@ -1,0 +1,178 @@
+//! Differential sweep for the zero-allocation SSSP engine: one shared
+//! [`SsspEngine`] (reused across every case, graph size, and source — the
+//! exact reuse pattern the scratch pool produces) must be bit-exact
+//! against the retained allocate-per-source legacy implementation on every
+//! testkit graph family, for distances, statistics, and every field of the
+//! shortest-path tree.
+//!
+//! A divergence prints a one-line `EAR_TESTKIT_SEED=… cargo test <name>`
+//! reproduction.
+
+use std::cell::RefCell;
+
+use ear_graph::dijkstra::legacy;
+use ear_graph::{CsrGraph, SsspEngine, INF};
+use ear_testkit::{
+    biconnected_graphs, cactus_graphs, chain_heavy_graphs, forall, multi_bcc_graphs, multigraphs,
+    simple_graphs, workload_graphs, Strategy, TestRng,
+};
+
+/// Every source of `g`, engine vs legacy: distances (`dist`, `dist_vec`),
+/// run statistics, and the full `SsspTree` (parents, depths, settle order).
+fn engine_matches_legacy(g: &CsrGraph, eng: &mut SsspEngine) -> Result<(), String> {
+    for s in 0..g.n() as u32 {
+        let (ld, lstats) = legacy::dijkstra_with_stats(g, s);
+        let estats = eng.run(g, s);
+        if estats != lstats {
+            return Err(format!("source {s}: stats {estats:?} != legacy {lstats:?}"));
+        }
+        if eng.dist_vec() != ld {
+            return Err(format!("source {s}: dist_vec mismatch"));
+        }
+        for v in 0..g.n() as u32 {
+            if eng.dist(v) != ld[v as usize] {
+                return Err(format!(
+                    "source {s}: dist({v}) = {} != legacy {}",
+                    eng.dist(v),
+                    ld[v as usize]
+                ));
+            }
+        }
+        // Out-of-range queries answer INF rather than touching stale state.
+        if eng.dist(g.n() as u32) != INF {
+            return Err(format!("source {s}: out-of-range dist not INF"));
+        }
+
+        let lt = legacy::dijkstra_tree(g, s);
+        eng.run_tree(g, s);
+        let et = eng.tree();
+        if et.source != lt.source
+            || et.dist != lt.dist
+            || et.parent_vertex != lt.parent_vertex
+            || et.parent_edge != lt.parent_edge
+            || et.depths != lt.depths
+            || et.settle_order != lt.settle_order
+            || et.stats != lt.stats
+        {
+            return Err(format!(
+                "source {s}: tree mismatch\n{et:?}\nvs legacy\n{lt:?}"
+            ));
+        }
+        if eng.settle_order() != &lt.settle_order[..] {
+            return Err(format!("source {s}: settle_order accessor mismatch"));
+        }
+    }
+    Ok(())
+}
+
+/// One engine shared across a whole family sweep, so stale state from a
+/// previous (differently-sized) graph is part of what is being tested.
+fn sweep(name: &'static str, strat: &ear_testkit::GraphStrategy, cases: usize) {
+    let eng = RefCell::new(SsspEngine::new());
+    forall(name)
+        .cases(cases)
+        .run(strat, |g| engine_matches_legacy(g, &mut eng.borrow_mut()));
+}
+
+#[test]
+fn engine_matches_legacy_on_simple_graphs() {
+    sweep(
+        "engine_matches_legacy_on_simple_graphs",
+        &simple_graphs(24),
+        48,
+    );
+}
+
+#[test]
+fn engine_matches_legacy_on_multigraphs() {
+    // Parallel edges and self-loops: the parent-edge tie-break and the
+    // self-loop skip must agree exactly.
+    sweep("engine_matches_legacy_on_multigraphs", &multigraphs(20), 48);
+}
+
+#[test]
+fn engine_matches_legacy_on_biconnected_graphs() {
+    sweep(
+        "engine_matches_legacy_on_biconnected_graphs",
+        &biconnected_graphs(24),
+        32,
+    );
+}
+
+#[test]
+fn engine_matches_legacy_on_chain_heavy_graphs() {
+    sweep(
+        "engine_matches_legacy_on_chain_heavy_graphs",
+        &chain_heavy_graphs(48),
+        32,
+    );
+}
+
+#[test]
+fn engine_matches_legacy_on_cactus_graphs() {
+    sweep(
+        "engine_matches_legacy_on_cactus_graphs",
+        &cactus_graphs(32),
+        32,
+    );
+}
+
+#[test]
+fn engine_matches_legacy_on_multi_bcc_graphs() {
+    // Multiple biconnected components: sources in one block leave every
+    // other block unreachable (INF / sentinel parents).
+    sweep(
+        "engine_matches_legacy_on_multi_bcc_graphs",
+        &multi_bcc_graphs(40),
+        32,
+    );
+}
+
+#[test]
+fn engine_matches_legacy_on_workload_graphs() {
+    sweep(
+        "engine_matches_legacy_on_workload_graphs",
+        &workload_graphs(32),
+        16,
+    );
+}
+
+/// The generation counter wrapping around mid-sweep must be invisible: a
+/// stale stamp may never alias a live run.
+#[test]
+fn generation_wraparound_mid_sweep_is_transparent() {
+    let strat = simple_graphs(20);
+    let mut rng = TestRng::new(0x5eed_cafe);
+    let mut eng = SsspEngine::new();
+    // Park the generation just below the wrap point, then keep running
+    // cases straight through it.
+    eng.jump_generation(u32::MAX - 5);
+    for case in 0..16 {
+        let g = strat.generate(&mut rng);
+        if let Err(e) = engine_matches_legacy(&g, &mut eng) {
+            panic!("case {case} after generation jump: {e}");
+        }
+    }
+}
+
+/// The public entry points still exist with their original signatures and
+/// still agree with the retained legacy implementations.
+#[test]
+fn public_api_matches_legacy() {
+    let strat = simple_graphs(16);
+    let mut rng = TestRng::new(0xd1ff);
+    for _ in 0..8 {
+        let g = strat.generate(&mut rng);
+        for s in 0..g.n() as u32 {
+            let d: Vec<ear_graph::Weight> = ear_graph::dijkstra(&g, s);
+            let (dw, st) = ear_graph::dijkstra_with_stats(&g, s);
+            let t: ear_graph::SsspTree = ear_graph::dijkstra_tree(&g, s);
+            let (ld, lst) = legacy::dijkstra_with_stats(&g, s);
+            assert_eq!(d, ld);
+            assert_eq!(dw, ld);
+            assert_eq!(st, lst);
+            assert_eq!(t.dist, ld);
+            assert_eq!(t, legacy::dijkstra_tree(&g, s));
+        }
+    }
+}
