@@ -53,7 +53,7 @@ impl EarApspOutput {
 /// Runs the three-phase ear-decomposition APSP on `g`.
 pub fn ear_apsp(g: &CsrGraph, exec: &HeteroExecutor) -> EarApspOutput {
     // Phase I.
-    let r = reduce_graph(g);
+    let r = reduce_graph(g).expect("ear_apsp requires a simple graph");
     let nr = r.reduced.n();
 
     // Phase II: all-sources Dijkstra on G^r.

@@ -22,6 +22,14 @@
 //! The Banerjee et al. baseline (BCC decomposition *without* ear reduction)
 //! is [`oracle::build_oracle`] with [`oracle::ApspMethod::Plain`] — exactly
 //! the paper's own "w/o ear decomposition" axis.
+//!
+//! Both oracles consume a prebuilt decomposition plan
+//! (`ear_decomp::plan::DecompPlan`): [`build_oracle`] and
+//! [`ReducedOracle::build`] construct one internally, while
+//! [`build_oracle_with_plan`] and [`ReducedOracle::build_with_plan`] accept
+//! a shared `Arc<DecompPlan>` so a combined run (stats + APSP + MCB)
+//! decomposes the graph exactly once — see the "Decomposition plan"
+//! sections of `README.md` / `DESIGN.md`.
 
 pub mod baselines;
 pub mod djidjev;
@@ -33,5 +41,5 @@ pub mod reduced_oracle;
 
 pub use ear::{ear_apsp, EarApspOutput};
 pub use matrix::DistMatrix;
-pub use oracle::{build_oracle, ApspMethod, DistanceOracle, OracleStats};
+pub use oracle::{build_oracle, build_oracle_with_plan, ApspMethod, DistanceOracle, OracleStats};
 pub use reduced_oracle::ReducedOracle;

@@ -20,12 +20,11 @@
 //! Storage is `O(a² + Σᵢ nᵢ²)` instead of `O(n²)` — the paper's Table 1
 //! "Our's Memory" vs "Max Memory" columns, reproduced by [`OracleStats`].
 
-use ear_decomp::bcc::biconnected_components;
+use std::sync::Arc;
+
 use ear_decomp::block_cut::{BlockCutTree, Route};
-use ear_decomp::reduce::reduce_graph;
-use ear_graph::{
-    dist_add, edge_subgraph, with_engine, CsrGraph, SubgraphMap, VertexId, Weight, INF,
-};
+use ear_decomp::plan::DecompPlan;
+use ear_graph::{dist_add, with_engine, CsrGraph, VertexId, Weight, INF};
 use ear_hetero::{ExecutionReport, HeteroExecutor, RunOutput, WorkCounters};
 
 use crate::matrix::DistMatrix;
@@ -86,9 +85,8 @@ impl OracleStats {
 /// The queryable distance oracle.
 #[derive(Debug)]
 pub struct DistanceOracle {
-    bct: BlockCutTree,
+    plan: Arc<DecompPlan>,
     tables: Vec<DistMatrix>,
-    maps: Vec<SubgraphMap>,
     ap_table: DistMatrix,
     stats: OracleStats,
     /// Executor report of the per-block processing phases (II + III).
@@ -103,9 +101,15 @@ impl DistanceOracle {
         &self.stats
     }
 
+    /// The decomposition plan this oracle was built from (shareable with
+    /// other pipelines via [`Arc::clone`]).
+    pub fn plan(&self) -> &Arc<DecompPlan> {
+        &self.plan
+    }
+
     /// Block-cut tree access.
     pub fn block_cut_tree(&self) -> &BlockCutTree {
-        &self.bct
+        self.plan.bct()
     }
 
     /// Total modelled device time across all build phases.
@@ -119,7 +123,7 @@ impl DistanceOracle {
         if u == v {
             return 0;
         }
-        match self.bct.route(u, v) {
+        match self.plan.bct().route(u, v) {
             Route::Disconnected => INF,
             Route::SameBlock(b) => self.block_dist(b, u, v),
             Route::ViaAps { a1, a2 } => {
@@ -141,8 +145,9 @@ impl DistanceOracle {
 
     /// Distance between two articulation points from the `a × a` table.
     pub fn ap_dist(&self, a1: VertexId, a2: VertexId) -> Weight {
-        let i = self.bct.ap_index[a1 as usize];
-        let j = self.bct.ap_index[a2 as usize];
+        let bct = self.plan.bct();
+        let i = bct.ap_index[a1 as usize];
+        let j = bct.ap_index[a2 as usize];
         debug_assert!(i != u32::MAX && j != u32::MAX);
         self.ap_table.get(i, j)
     }
@@ -197,8 +202,7 @@ impl DistanceOracle {
     }
 
     fn block_dist(&self, block: u32, u: VertexId, v: VertexId) -> Weight {
-        let map = &self.maps[block as usize];
-        let (Some(lu), Some(lv)) = (map.local(u), map.local(v)) else {
+        let (Some(lu), Some(lv)) = (self.plan.local(block, u), self.plan.local(block, v)) else {
             return INF;
         };
         self.tables[block as usize].get(lu, lv)
@@ -208,18 +212,15 @@ impl DistanceOracle {
     /// For the routing results this always exists: `a` is the gateway of
     /// `x`'s own block.
     fn common_block(&self, x: VertexId, a: VertexId) -> u32 {
-        let b = self.bct.vertex_block[x as usize];
+        let b = self.plan.bct().vertex_block[x as usize];
         debug_assert_ne!(b, u32::MAX);
-        if self.maps[b as usize].local(a).is_some() {
+        if self.plan.local(b, a).is_some() {
             return b;
         }
         // `x` is itself an articulation point whose stored block does not
         // contain `a`: find the block of `x` adjacent to `a` in the tree.
-        (0..self.bct.n_blocks as u32)
-            .find(|&blk| {
-                self.maps[blk as usize].local(x).is_some()
-                    && self.maps[blk as usize].local(a).is_some()
-            })
+        (0..self.plan.n_blocks() as u32)
+            .find(|&blk| self.plan.local(blk, x).is_some() && self.plan.local(blk, a).is_some())
             .expect("routing produced a non-adjacent gateway")
     }
 }
@@ -241,31 +242,38 @@ impl DistanceOracle {
 /// assert_eq!(oracle.stats().articulation_points, 1);
 /// ```
 pub fn build_oracle(g: &CsrGraph, exec: &HeteroExecutor, method: ApspMethod) -> DistanceOracle {
-    let bcc = biconnected_components(g);
-    let bct = BlockCutTree::new(g, &bcc);
-    let nb = bcc.count();
+    build_oracle_with_plan(Arc::new(DecompPlan::build(g)), exec, method)
+}
 
-    // Per-block subgraphs (and reductions, in Ear mode).
-    let mut subs: Vec<(CsrGraph, SubgraphMap)> = Vec::with_capacity(nb);
-    for b in 0..nb {
-        subs.push(edge_subgraph(g, &bcc.comps[b]));
-    }
+/// Builds the oracle from a prebuilt [`DecompPlan`], skipping the BCC
+/// split, block extraction and per-block reduction entirely.
+///
+/// The plan can be shared (`Arc::clone`) with the MCB pipeline,
+/// [`crate::ReducedOracle`] and statistics over the same graph — a
+/// server-style caller pays the decomposition once per graph, not once per
+/// workload. In `Plain` mode the plan's reductions are simply ignored (and
+/// [`OracleStats::removed_vertices`] reports zero), so one plan serves both
+/// methods.
+pub fn build_oracle_with_plan(
+    plan: Arc<DecompPlan>,
+    exec: &HeteroExecutor,
+    method: ApspMethod,
+) -> DistanceOracle {
+    let nb = plan.n_blocks();
     // Ear reduction requires simple blocks; a multigraph input's parallel
-    // bundles fall back to plain processing for that block.
-    let reductions: Vec<Option<ear_decomp::reduce::ReducedGraph>> = match method {
-        ApspMethod::Ear => subs
-            .iter()
-            .map(|(sg, _)| sg.is_simple().then(|| reduce_graph(sg)))
-            .collect(),
-        ApspMethod::Plain => subs.iter().map(|_| None).collect(),
+    // bundles fall back to plain processing for that block. The plan's
+    // per-block `reduction` accessor is the single guard.
+    let red = |b: u32| match method {
+        ApspMethod::Ear => plan.reduction(b),
+        ApspMethod::Plain => None,
     };
 
     // Phase II: one workunit per (block, source-in-processed-graph).
     let units: Vec<(u32, u32)> = (0..nb as u32)
         .flat_map(|b| {
-            let srcs = match &reductions[b as usize] {
+            let srcs = match red(b) {
                 Some(r) => r.reduced.n(),
-                None => subs[b as usize].0.n(),
+                None => plan.block(b).n(),
             };
             (0..srcs as u32).map(move |s| (b, s))
         })
@@ -275,14 +283,14 @@ pub fn build_oracle(g: &CsrGraph, exec: &HeteroExecutor, method: ApspMethod) -> 
         report: phase2,
     } = exec.run(
         units.clone(),
-        |&(b, _)| match &reductions[b as usize] {
+        |&(b, _)| match red(b) {
             Some(r) => r.reduced.m() as u64 + 1,
-            None => subs[b as usize].0.m() as u64 + 1,
+            None => plan.block(b).m() as u64 + 1,
         },
         |&(b, s)| {
-            let target = match &reductions[b as usize] {
+            let target = match red(b) {
                 Some(r) => &r.reduced,
-                None => &subs[b as usize].0,
+                None => &plan.block(b).sub,
             };
             // Pooled engine: per-source scratch is reused across workunits
             // handled by the same worker thread.
@@ -300,10 +308,10 @@ pub fn build_oracle(g: &CsrGraph, exec: &HeteroExecutor, method: ApspMethod) -> 
         },
     );
     // Assemble per-block reduced (or full) matrices.
-    let mut srs: Vec<DistMatrix> = (0..nb)
-        .map(|b| match &reductions[b] {
+    let mut srs: Vec<DistMatrix> = (0..nb as u32)
+        .map(|b| match red(b) {
             Some(r) => DistMatrix::new(r.reduced.n()),
-            None => DistMatrix::new(subs[b].0.n()),
+            None => DistMatrix::new(plan.block(b).n()),
         })
         .collect();
     for ((b, s), row) in units.into_iter().zip(rows) {
@@ -318,23 +326,24 @@ pub fn build_oracle(g: &CsrGraph, exec: &HeteroExecutor, method: ApspMethod) -> 
         ApspMethod::Plain => (srs, None),
         ApspMethod::Ear => {
             let units: Vec<(u32, u32)> = (0..nb as u32)
-                .flat_map(|b| (0..subs[b as usize].0.n() as u32).map(move |x| (b, x)))
+                .flat_map(|b| (0..plan.block(b).n() as u32).map(move |x| (b, x)))
                 .collect();
             let RunOutput {
                 results: rows,
                 report,
             } = exec.run(
                 units.clone(),
-                |&(b, _)| subs[b as usize].0.n() as u64,
-                |&(b, x)| match reductions[b as usize].as_ref() {
-                    Some(r) => crate::ear::extend_row(&subs[b as usize].0, r, &srs[b as usize], x),
+                |&(b, _)| plan.block(b).n() as u64,
+                |&(b, x)| match red(b) {
+                    Some(r) => crate::ear::extend_row(&plan.block(b).sub, r, &srs[b as usize], x),
                     // Non-simple block processed plainly: its reduced matrix
                     // is already the full per-block table.
                     None => (srs[b as usize].row(x).to_vec(), Default::default()),
                 },
             );
-            let mut tables: Vec<DistMatrix> =
-                (0..nb).map(|b| DistMatrix::new(subs[b].0.n())).collect();
+            let mut tables: Vec<DistMatrix> = (0..nb as u32)
+                .map(|b| DistMatrix::new(plan.block(b).n()))
+                .collect();
             for ((b, x), row) in units.into_iter().zip(rows) {
                 for (t, w) in row.into_iter().enumerate() {
                     tables[b as usize].set(x, t as u32, w);
@@ -345,15 +354,18 @@ pub fn build_oracle(g: &CsrGraph, exec: &HeteroExecutor, method: ApspMethod) -> 
     };
 
     // Stage 2 post-processing: the AP graph and its all-sources Dijkstra.
+    let bct = plan.bct();
     let a = bct.ap_count();
     let mut ap_edges: Vec<(u32, u32, Weight)> = Vec::new();
-    for b in 0..nb {
+    for (b, table) in tables.iter().enumerate() {
         let aps = &bct.block_aps[b];
-        let map = &subs[b].1;
         for i in 0..aps.len() {
             for j in i + 1..aps.len() {
-                let (li, lj) = (map.local(aps[i]).unwrap(), map.local(aps[j]).unwrap());
-                let w = tables[b].get(li, lj);
+                let (li, lj) = (
+                    plan.local(b as u32, aps[i]).unwrap(),
+                    plan.local(b as u32, aps[j]).unwrap(),
+                );
+                let w = table.get(li, lj);
                 if w < INF {
                     ap_edges.push((
                         bct.ap_index[aps[i] as usize],
@@ -388,40 +400,38 @@ pub fn build_oracle(g: &CsrGraph, exec: &HeteroExecutor, method: ApspMethod) -> 
     let ap_table = DistMatrix::from_rows(ap_rows);
 
     // Statistics.
-    let removed = reductions
-        .iter()
-        .map(|r| r.as_ref().map_or(0, |r| r.removed_count()))
-        .sum();
-    let largest = bcc.largest().map_or(0, |b| bcc.comps[b].len());
+    let removed = match method {
+        ApspMethod::Ear => plan.removed_vertices(),
+        ApspMethod::Plain => 0,
+    };
     let table_entries = (a as u64) * (a as u64)
-        + subs
+        + plan
+            .blocks()
             .iter()
-            .map(|(sg, _)| (sg.n() as u64).pow(2))
+            .map(|bp| (bp.n() as u64).pow(2))
             .sum::<u64>();
     let stats = OracleStats {
-        n: g.n(),
-        m: g.m(),
+        n: plan.n(),
+        m: plan.m(),
         n_bccs: nb,
-        largest_bcc_edge_share: if g.m() == 0 {
+        largest_bcc_edge_share: if plan.m() == 0 {
             0.0
         } else {
-            largest as f64 / g.m() as f64
+            plan.largest_block_edges() as f64 / plan.m() as f64
         },
         removed_vertices: removed,
         articulation_points: a,
         table_entries,
-        max_entries: (g.n() as u64).pow(2),
+        max_entries: (plan.n() as u64).pow(2),
     };
 
     let processing = match phase3 {
         Some(p3) => merge_reports(phase2, p3),
         None => phase2,
     };
-    let maps = subs.into_iter().map(|(_, m)| m).collect();
     DistanceOracle {
-        bct,
+        plan,
         tables,
-        maps,
         ap_table,
         stats,
         processing,

@@ -11,32 +11,23 @@
 //! type is that storage level: every distance involving a removed vertex
 //! costs a constant number of reduced-table lookups at query time.
 
-use ear_decomp::bcc::biconnected_components;
-use ear_decomp::block_cut::{BlockCutTree, Route};
-use ear_decomp::reduce::{reduce_graph, ReducedGraph};
-use ear_graph::{
-    dist_add, edge_subgraph, with_engine, CsrGraph, SubgraphMap, VertexId, Weight, INF,
-};
+use std::sync::Arc;
+
+use ear_decomp::block_cut::Route;
+use ear_decomp::plan::{BlockPlan, DecompPlan};
+use ear_decomp::reduce::ReducedGraph;
+use ear_graph::{dist_add, with_engine, CsrGraph, VertexId, Weight, INF};
 use ear_hetero::{ExecutionReport, HeteroExecutor, RunOutput, WorkCounters};
 
 use crate::matrix::DistMatrix;
 
-struct BlockData {
-    map: SubgraphMap,
-    /// `Some` when the block was simple and got reduced; `None` for plain
-    /// (multigraph or trivially small) blocks whose `sr` is the full table.
-    red: Option<ReducedGraph>,
-    /// Distance matrix over the *reduced* (or full, when `red` is `None`)
-    /// block vertices.
-    sr: DistMatrix,
-}
-
 /// A distance oracle storing `a² + Σ (nᵢʳ)²` entries.
 pub struct ReducedOracle {
-    bct: BlockCutTree,
-    blocks: Vec<BlockData>,
+    plan: Arc<DecompPlan>,
+    /// Per-block distance matrices over the *reduced* (or full, when the
+    /// block is not simple) block vertices.
+    srs: Vec<DistMatrix>,
     ap_table: DistMatrix,
-    n: usize,
     /// Executor report of the build (reduced all-sources Dijkstra phase).
     pub processing: ExecutionReport,
 }
@@ -46,27 +37,26 @@ impl ReducedOracle {
     /// Dijkstra on every reduced block, articulation-point table. No
     /// Phase III — extension happens per query.
     pub fn build(g: &CsrGraph, exec: &HeteroExecutor) -> ReducedOracle {
-        let bcc = biconnected_components(g);
-        let bct = BlockCutTree::new(g, &bcc);
-        let nb = bcc.count();
+        Self::build_with_plan(Arc::new(DecompPlan::build(g)), exec)
+    }
 
-        let mut blocks: Vec<BlockData> = Vec::with_capacity(nb);
-        for b in 0..nb {
-            let (sub, map) = edge_subgraph(g, &bcc.comps[b]);
-            let red = sub.is_simple().then(|| reduce_graph(&sub));
-            let srn = red.as_ref().map_or(sub.n(), |r| r.reduced.n());
-            blocks.push(BlockData {
-                map,
-                red,
-                sr: DistMatrix::new(srn),
-            });
-        }
-        // Keep the subgraphs alive for the Dijkstra phase.
-        let subs: Vec<CsrGraph> = (0..nb).map(|b| edge_subgraph(g, &bcc.comps[b]).0).collect();
+    /// Builds the oracle from a prebuilt (and possibly shared)
+    /// [`DecompPlan`]; only the all-sources Dijkstra over the plan's
+    /// reduced blocks and the AP table remain to be computed.
+    pub fn build_with_plan(plan: Arc<DecompPlan>, exec: &HeteroExecutor) -> ReducedOracle {
+        let nb = plan.n_blocks();
+        let mut srs: Vec<DistMatrix> = (0..nb as u32)
+            .map(|b| {
+                let srn = plan
+                    .reduction(b)
+                    .map_or(plan.block(b).n(), |r| r.reduced.n());
+                DistMatrix::new(srn)
+            })
+            .collect();
 
         let units: Vec<(u32, u32)> = (0..nb as u32)
             .flat_map(|b| {
-                let srcs = blocks[b as usize].sr.n();
+                let srcs = srs[b as usize].n();
                 (0..srcs as u32).map(move |s| (b, s))
             })
             .collect();
@@ -75,11 +65,11 @@ impl ReducedOracle {
             report: processing,
         } = exec.run(
             units.clone(),
-            |&(b, _)| subs[b as usize].m() as u64 + 1,
+            |&(b, _)| plan.block(b).m() as u64 + 1,
             |&(b, s)| {
-                let target = match &blocks[b as usize].red {
+                let target = match plan.reduction(b) {
                     Some(r) => &r.reduced,
-                    None => &subs[b as usize],
+                    None => &plan.block(b).sub,
                 };
                 // Pooled engine: scratch reused across the (block, source)
                 // workunits each worker thread handles.
@@ -98,23 +88,24 @@ impl ReducedOracle {
         );
         for ((b, s), row) in units.into_iter().zip(rows) {
             for (t, w) in row.into_iter().enumerate() {
-                blocks[b as usize].sr.set(s, t as u32, w);
+                srs[b as usize].set(s, t as u32, w);
             }
         }
 
         // AP table over the AP graph, with within-block AP distances
         // answered by the per-query formula (an articulation point can
         // itself be a degree-2 vertex of its block).
+        let bct = plan.bct();
         let a = bct.ap_count();
         let mut ap_edges: Vec<(u32, u32, Weight)> = Vec::new();
-        for (blk, aps) in blocks.iter().zip(&bct.block_aps) {
+        for (b, aps) in bct.block_aps.iter().enumerate() {
             for i in 0..aps.len() {
                 for j in i + 1..aps.len() {
                     let (lu, lv) = (
-                        blk.map.local(aps[i]).unwrap(),
-                        blk.map.local(aps[j]).unwrap(),
+                        plan.local(b as u32, aps[i]).unwrap(),
+                        plan.local(b as u32, aps[j]).unwrap(),
                     );
-                    let w = block_pair_dist(blk, lu, lv);
+                    let w = block_pair_dist(plan.block(b as u32), &srs[b], lu, lv);
                     if w < INF {
                         ap_edges.push((
                             bct.ap_index[aps[i] as usize],
@@ -132,10 +123,9 @@ impl ReducedOracle {
         let ap_table = DistMatrix::from_rows(ap_rows);
 
         ReducedOracle {
-            bct,
-            blocks,
+            plan,
+            srs,
             ap_table,
-            n: g.n(),
             processing,
         }
     }
@@ -144,9 +134,9 @@ impl ReducedOracle {
     pub fn table_entries(&self) -> u64 {
         (self.ap_table.n() as u64).pow(2)
             + self
-                .blocks
+                .srs
                 .iter()
-                .map(|b| (b.sr.n() as u64).pow(2))
+                .map(|sr| (sr.n() as u64).pow(2))
                 .sum::<u64>()
     }
 
@@ -155,37 +145,36 @@ impl ReducedOracle {
         if u == v {
             return 0;
         }
-        match self.bct.route(u, v) {
+        let bct = self.plan.bct();
+        match bct.route(u, v) {
             Route::Disconnected => INF,
             Route::SameBlock(b) => {
-                let blk = &self.blocks[b as usize];
-                let (Some(lu), Some(lv)) = (blk.map.local(u), blk.map.local(v)) else {
+                let (Some(lu), Some(lv)) = (self.plan.local(b, u), self.plan.local(b, v)) else {
                     return INF;
                 };
-                block_pair_dist(blk, lu, lv)
+                block_pair_dist(self.plan.block(b), &self.srs[b as usize], lu, lv)
             }
             Route::ViaAps { a1, a2 } => {
                 let d1 = if a1 == u { 0 } else { self.vertex_to_ap(u, a1) };
                 let d2 = if a2 == v { 0 } else { self.vertex_to_ap(v, a2) };
-                let i = self.bct.ap_index[a1 as usize];
-                let j = self.bct.ap_index[a2 as usize];
+                let i = bct.ap_index[a1 as usize];
+                let j = bct.ap_index[a2 as usize];
                 dist_add(d1, dist_add(self.ap_table.get(i, j), d2))
             }
         }
     }
 
     fn vertex_to_ap(&self, x: VertexId, ap: VertexId) -> Weight {
-        let b = self.bct.vertex_block[x as usize];
+        let b = self.plan.bct().vertex_block[x as usize];
         debug_assert_ne!(b, u32::MAX);
-        let blk = &self.blocks[b as usize];
-        if let (Some(lx), Some(la)) = (blk.map.local(x), blk.map.local(ap)) {
-            return block_pair_dist(blk, lx, la);
+        if let (Some(lx), Some(la)) = (self.plan.local(b, x), self.plan.local(b, ap)) {
+            return block_pair_dist(self.plan.block(b), &self.srs[b as usize], lx, la);
         }
         // x is an articulation point whose stored block lacks `ap`: find a
         // block holding both.
-        for blk in &self.blocks {
-            if let (Some(lx), Some(la)) = (blk.map.local(x), blk.map.local(ap)) {
-                return block_pair_dist(blk, lx, la);
+        for b in 0..self.plan.n_blocks() as u32 {
+            if let (Some(lx), Some(la)) = (self.plan.local(b, x), self.plan.local(b, ap)) {
+                return block_pair_dist(self.plan.block(b), &self.srs[b as usize], lx, la);
             }
         }
         INF
@@ -193,30 +182,33 @@ impl ReducedOracle {
 
     /// Number of vertices of the underlying graph.
     pub fn n(&self) -> usize {
-        self.n
+        self.plan.n()
+    }
+
+    /// The decomposition plan this oracle was built from.
+    pub fn plan(&self) -> &Arc<DecompPlan> {
+        &self.plan
     }
 }
 
 /// Within-block distance between two block-local vertices, computed from
 /// the reduced table with the paper's §2.1.3 minima.
-fn block_pair_dist(blk: &BlockData, u: VertexId, v: VertexId) -> Weight {
+fn block_pair_dist(bp: &BlockPlan, sr: &DistMatrix, u: VertexId, v: VertexId) -> Weight {
     if u == v {
         return 0;
     }
-    let Some(r) = &blk.red else {
-        return blk.sr.get(u, v);
+    let Some(r) = &bp.reduction else {
+        return sr.get(u, v);
     };
     match (r.removed[u as usize], r.removed[v as usize]) {
-        (None, None) => blk
-            .sr
-            .get(r.to_reduced[u as usize], r.to_reduced[v as usize]),
+        (None, None) => sr.get(r.to_reduced[u as usize], r.to_reduced[v as usize]),
         (None, Some(iy)) => {
             let lu = r.to_reduced[u as usize];
-            two_way(&blk.sr, lu, r, &iy)
+            two_way(sr, lu, r, &iy)
         }
         (Some(ix), None) => {
             let lv = r.to_reduced[v as usize];
-            two_way(&blk.sr, lv, r, &ix)
+            two_way(sr, lv, r, &ix)
         }
         (Some(ix), Some(iy)) => {
             let (lxl, lxr) = (
@@ -227,19 +219,10 @@ fn block_pair_dist(blk: &BlockData, u: VertexId, v: VertexId) -> Weight {
                 r.to_reduced[iy.left as usize],
                 r.to_reduced[iy.right as usize],
             );
-            let mut best = dist_add(ix.w_left, dist_add(blk.sr.get(lxl, lyl), iy.w_left))
-                .min(dist_add(
-                    ix.w_left,
-                    dist_add(blk.sr.get(lxl, lyr), iy.w_right),
-                ))
-                .min(dist_add(
-                    ix.w_right,
-                    dist_add(blk.sr.get(lxr, lyl), iy.w_left),
-                ))
-                .min(dist_add(
-                    ix.w_right,
-                    dist_add(blk.sr.get(lxr, lyr), iy.w_right),
-                ));
+            let mut best = dist_add(ix.w_left, dist_add(sr.get(lxl, lyl), iy.w_left))
+                .min(dist_add(ix.w_left, dist_add(sr.get(lxl, lyr), iy.w_right)))
+                .min(dist_add(ix.w_right, dist_add(sr.get(lxr, lyl), iy.w_left)))
+                .min(dist_add(ix.w_right, dist_add(sr.get(lxr, lyr), iy.w_right)));
             if ix.chain == iy.chain {
                 best = best.min(ix.w_left.abs_diff(iy.w_left));
             }

@@ -3,9 +3,9 @@
 //! both pipeline variants.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ear_decomp::bcc::biconnected_components;
 use ear_decomp::ear::ear_decomposition;
 use ear_decomp::fvs::feedback_vertex_set;
+use ear_decomp::plan::DecompPlan;
 use ear_decomp::reduce::reduce_graph;
 use ear_workloads::combinators::subdivide_edges;
 use ear_workloads::generators::{random_min_deg3, triangulated_grid};
@@ -20,11 +20,11 @@ fn bench_decomp(c: &mut Criterion) {
     for &n in &[1000usize, 4000] {
         let core = random_min_deg3(n, 3 * n, 42);
         let chained = subdivide_edges(&core, n, 2, 43);
-        group.bench_with_input(BenchmarkId::new("bcc", n), &chained, |b, g| {
-            b.iter(|| black_box(biconnected_components(g)))
+        group.bench_with_input(BenchmarkId::new("plan", n), &chained, |b, g| {
+            b.iter(|| black_box(DecompPlan::build(g)))
         });
         group.bench_with_input(BenchmarkId::new("reduce", n), &chained, |b, g| {
-            b.iter(|| black_box(reduce_graph(g)))
+            b.iter(|| black_box(reduce_graph(g).unwrap()))
         });
         group.bench_with_input(BenchmarkId::new("fvs", n), &chained, |b, g| {
             b.iter(|| black_box(feedback_vertex_set(g)))

@@ -22,9 +22,8 @@
 
 use std::time::Instant;
 
-use ear_decomp::bcc::biconnected_components;
-use ear_decomp::reduce::reduce_graph;
-use ear_graph::{edge_subgraph, CsrGraph, SsspEngine, Weight};
+use ear_decomp::plan::DecompPlan;
+use ear_graph::{CsrGraph, SsspEngine, Weight};
 use ear_testkit::{chain_heavy_graphs, multi_bcc_graphs, workload_graphs, Strategy, TestRng};
 
 struct Opts {
@@ -85,13 +84,11 @@ fn prepare(family: &'static str, strat: &ear_testkit::GraphStrategy, cases: &[u6
     let mut blocks = Vec::new();
     for &seed in cases {
         let g = strat.generate(&mut TestRng::new(seed));
-        let bcc = biconnected_components(&g);
-        for comp in &bcc.comps {
-            let (sub, _) = edge_subgraph(&g, comp);
-            let target = if sub.is_simple() {
-                reduce_graph(&sub).reduced
-            } else {
-                sub
+        let plan = DecompPlan::build(&g);
+        for bp in plan.blocks() {
+            let target = match &bp.reduction {
+                Some(r) => r.reduced.clone(),
+                None => bp.sub.clone(),
             };
             if target.n() > 0 {
                 blocks.push(target);

@@ -1,8 +1,9 @@
 //! Subcommand implementations.
 
+use std::sync::Arc;
+
 use ear_core::prelude::*;
-use ear_decomp::{biconnected_components, ear_decomposition, reduce_graph, BlockCutTree};
-use ear_graph::edge_subgraph;
+use ear_decomp::{ear_decomposition, DecompPlan};
 use ear_mcb::verify_basis;
 use ear_workloads::specs::all_specs;
 use ear_workloads::GraphStats;
@@ -11,7 +12,11 @@ use crate::CommonOpts;
 
 /// `ear stats` — the Table 1 columns for an arbitrary graph.
 pub fn stats(g: &CsrGraph) -> Result<(), String> {
-    let s = GraphStats::measure(g);
+    print_stats(&GraphStats::measure(g));
+    Ok(())
+}
+
+fn print_stats(s: &GraphStats) {
     println!("vertices              {}", s.n);
     println!("edges                 {}", s.m);
     println!("biconnected comps     {}", s.n_bccs);
@@ -31,43 +36,80 @@ pub fn stats(g: &CsrGraph) -> Result<(), String> {
         s.reduced_memory_mb()
     );
     println!("flat n^2 memory       {:.1} MB", s.max_memory_mb());
-    Ok(())
 }
 
 /// `ear decompose` — blocks, articulation points, per-block ears and
-/// reduction summary.
+/// reduction summary, all read off one [`DecompPlan`].
 pub fn decompose(g: &CsrGraph) -> Result<(), String> {
-    let bcc = biconnected_components(g);
-    let bct = BlockCutTree::new(g, &bcc);
+    let plan = DecompPlan::build(g);
+    print_decomposition(&plan);
+    Ok(())
+}
+
+fn print_decomposition(plan: &DecompPlan) {
     println!(
         "{} biconnected components, {} articulation points",
-        bcc.count(),
-        bct.ap_count()
+        plan.n_blocks(),
+        plan.bct().ap_count()
     );
-    let mut order: Vec<usize> = (0..bcc.count()).collect();
-    order.sort_by_key(|&b| std::cmp::Reverse(bcc.comps[b].len()));
-    for (rank, b) in order.into_iter().take(10).enumerate() {
-        let (sub, _) = edge_subgraph(g, &bcc.comps[b]);
+    for (rank, b) in plan.blocks_by_size_desc().into_iter().take(10).enumerate() {
+        let bp = plan.block(b as u32);
+        let sub = &bp.sub;
         print!("  block {rank}: {} vertices, {} edges", sub.n(), sub.m());
-        if sub.m() >= sub.n() && sub.is_simple() {
-            match ear_decomposition(&sub) {
+        if sub.m() >= sub.n() && bp.simple {
+            match ear_decomposition(sub) {
                 Ok(d) => print!(", {} ears", d.ears.len()),
                 Err(e) => print!(", no open ear decomposition ({e})"),
             }
-            let r = reduce_graph(&sub);
-            print!(
-                ", reduction {} -> {} vertices ({} chains)",
-                sub.n(),
-                r.reduced.n(),
-                r.chains.len()
-            );
+            if let Some(r) = &bp.reduction {
+                print!(
+                    ", reduction {} -> {} vertices ({} chains)",
+                    sub.n(),
+                    r.reduced.n(),
+                    r.chains.len()
+                );
+            }
         }
         println!();
     }
-    if bcc.count() > 10 {
-        println!("  ... {} more blocks", bcc.count() - 10);
+    if plan.n_blocks() > 10 {
+        println!("  ... {} more blocks", plan.n_blocks() - 10);
     }
-    println!("bridges: {}", bcc.bridges.len());
+    println!("bridges: {}", plan.bridges().len());
+}
+
+/// `ear combined` — stats + decomposition + APSP + MCB off a single
+/// [`DecompPlan`]: the graph is decomposed (BCC split, block-cut tree,
+/// per-block subgraphs and reductions) exactly once and the plan is
+/// shared by every stage.
+pub fn combined(g: &CsrGraph, opts: &CommonOpts, pairs: &[(u32, u32)]) -> Result<(), String> {
+    let plan = Arc::new(DecompPlan::build(g));
+
+    println!("== stats ==");
+    print_stats(&GraphStats::from_plan(&plan));
+
+    println!("== decomposition ==");
+    print_decomposition(&plan);
+
+    println!("== apsp ==");
+    let out = ApspPipeline::new()
+        .mode(opts.mode)
+        .use_ear(!opts.no_ear)
+        .plan(Arc::clone(&plan))
+        .run(g);
+    report_apsp(g, &out, pairs);
+
+    println!("== mcb ==");
+    if g.is_simple() {
+        let out = McbPipeline::new()
+            .mode(opts.mode)
+            .use_ear(!opts.no_ear)
+            .plan(Arc::clone(&plan))
+            .run(g);
+        report_mcb(g, &out, false)?;
+    } else {
+        println!("skipped: mcb expects a simple graph");
+    }
     Ok(())
 }
 
@@ -77,6 +119,11 @@ pub fn apsp(g: &CsrGraph, opts: &CommonOpts, pairs: &[(u32, u32)]) -> Result<(),
         .mode(opts.mode)
         .use_ear(!opts.no_ear)
         .run(g);
+    report_apsp(g, &out, pairs);
+    Ok(())
+}
+
+fn report_apsp(g: &CsrGraph, out: &ApspOutcome, pairs: &[(u32, u32)]) {
     let st = out.oracle.stats();
     println!(
         "oracle built: {} blocks, {} APs, {} removed vertices, {} table entries",
@@ -94,7 +141,6 @@ pub fn apsp(g: &CsrGraph, opts: &CommonOpts, pairs: &[(u32, u32)]) -> Result<(),
             }
         }
     }
-    Ok(())
 }
 
 /// `ear mcb` — minimum cycle basis with verification.
@@ -106,6 +152,10 @@ pub fn mcb(g: &CsrGraph, opts: &CommonOpts, print_cycles: bool) -> Result<(), St
         .mode(opts.mode)
         .use_ear(!opts.no_ear)
         .run(g);
+    report_mcb(g, &out, print_cycles)
+}
+
+fn report_mcb(g: &CsrGraph, out: &McbOutcome, print_cycles: bool) -> Result<(), String> {
     verify_basis(g, &out.result.cycles).map_err(|e| format!("basis verification failed: {e}"))?;
     println!(
         "minimum cycle basis: dimension {}, total weight {}",

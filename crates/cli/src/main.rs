@@ -5,6 +5,7 @@
 //! ear decompose <graph>                  blocks, articulation points, ears, reduction
 //! ear apsp <graph> [--pairs u:v,...]     build the distance oracle, answer queries
 //! ear mcb <graph> [--print-cycles]       minimum cycle basis
+//! ear combined <graph> [--pairs u:v,...] stats + APSP + MCB off one shared plan
 //! ear bc <graph> [--top K]               betweenness centrality
 //! ear generate <spec> <scale> [out]      write a synthetic Table-1 analog
 //! ```
@@ -40,6 +41,7 @@ fn usage() -> &'static str {
   ear decompose <graph>
   ear apsp <graph> [--pairs u:v[,u:v...]] [--mode M] [--no-ear]
   ear mcb <graph> [--print-cycles] [--mode M] [--no-ear]
+  ear combined <graph> [--pairs u:v[,u:v...]] [--mode M] [--no-ear]
   ear bc <graph> [--top K]
   ear generate <spec-name> <scale> [out-file]
 
@@ -62,6 +64,12 @@ fn run(args: Vec<String>) -> Result<(), String> {
             let opts = CommonOpts::parse(&rest[1..])?;
             let pairs = parse_pairs(&rest[1..], g.n())?;
             commands::apsp(&g, &opts, &pairs)
+        }
+        "combined" => {
+            let g = load(rest.first().ok_or("missing graph path")?)?;
+            let opts = CommonOpts::parse(&rest[1..])?;
+            let pairs = parse_pairs(&rest[1..], g.n())?;
+            commands::combined(&g, &opts, &pairs)
         }
         "bc" => {
             let g = load(rest.first().ok_or("missing graph path")?)?;

@@ -1,8 +1,11 @@
 //! Builder-style front doors for the APSP and MCB pipelines.
 
-use ear_apsp::{build_oracle, ApspMethod, DistanceOracle};
+use std::sync::Arc;
+
+use ear_apsp::{build_oracle_with_plan, ApspMethod, DistanceOracle};
+use ear_decomp::plan::DecompPlan;
 use ear_graph::CsrGraph;
-use ear_mcb::{mcb, ExecMode, McbConfig, McbResult};
+use ear_mcb::{mcb_with_plan, ExecMode, McbConfig, McbResult};
 
 /// Configures and runs the ear-decomposition APSP pipeline (paper §2).
 ///
@@ -11,6 +14,7 @@ use ear_mcb::{mcb, ExecMode, McbConfig, McbResult};
 pub struct ApspPipeline {
     mode: ExecMode,
     use_ear: bool,
+    plan: Option<Arc<DecompPlan>>,
 }
 
 impl Default for ApspPipeline {
@@ -25,6 +29,7 @@ impl ApspPipeline {
         ApspPipeline {
             mode: ExecMode::Hetero,
             use_ear: true,
+            plan: None,
         }
     }
 
@@ -41,6 +46,14 @@ impl ApspPipeline {
         self
     }
 
+    /// Supplies a prebuilt [`DecompPlan`] so `run` skips the decomposition
+    /// front half. The plan must have been built from the same graph that
+    /// is later passed to [`ApspPipeline::run`].
+    pub fn plan(mut self, plan: Arc<DecompPlan>) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
     /// Builds the distance oracle for `g`.
     pub fn run(&self, g: &CsrGraph) -> ApspOutcome {
         let exec = self.mode.executor();
@@ -49,7 +62,11 @@ impl ApspPipeline {
         } else {
             ApspMethod::Plain
         };
-        let oracle = build_oracle(g, &exec, method);
+        let plan = match &self.plan {
+            Some(p) => Arc::clone(p),
+            None => Arc::new(DecompPlan::build(g)),
+        };
+        let oracle = build_oracle_with_plan(plan, &exec, method);
         let modelled_time_s = oracle.modelled_time_s();
         ApspOutcome {
             oracle,
@@ -71,6 +88,7 @@ pub struct ApspOutcome {
 #[derive(Clone, Debug, Default)]
 pub struct McbPipeline {
     config: McbConfig,
+    plan: Option<Arc<DecompPlan>>,
 }
 
 impl McbPipeline {
@@ -91,9 +109,20 @@ impl McbPipeline {
         self
     }
 
+    /// Supplies a prebuilt [`DecompPlan`] so `run` skips the decomposition
+    /// front half. The plan must have been built from the same graph that
+    /// is later passed to [`McbPipeline::run`].
+    pub fn plan(mut self, plan: Arc<DecompPlan>) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
     /// Computes the minimum cycle basis of `g`.
     pub fn run(&self, g: &CsrGraph) -> McbOutcome {
-        let result = mcb(g, &self.config);
+        let result = match &self.plan {
+            Some(p) => mcb_with_plan(g, p, &self.config),
+            None => mcb_with_plan(g, &DecompPlan::build(g), &self.config),
+        };
         let modelled_time_s = result.modelled_time_s();
         McbOutcome {
             result,
@@ -164,6 +193,29 @@ mod tests {
             }
         }
         assert_eq!(weights.len(), 1, "all configs must agree: {weights:?}");
+    }
+
+    #[test]
+    fn shared_plan_matches_cold_runs() {
+        let g = sample();
+        let plan = Arc::new(DecompPlan::build(&g));
+        let apsp_cold = ApspPipeline::new().mode(ExecMode::Sequential).run(&g);
+        let apsp_warm = ApspPipeline::new()
+            .mode(ExecMode::Sequential)
+            .plan(Arc::clone(&plan))
+            .run(&g);
+        for u in 0..g.n() as u32 {
+            for v in 0..g.n() as u32 {
+                assert_eq!(apsp_cold.oracle.dist(u, v), apsp_warm.oracle.dist(u, v));
+            }
+        }
+        let mcb_cold = McbPipeline::new().mode(ExecMode::Sequential).run(&g);
+        let mcb_warm = McbPipeline::new()
+            .mode(ExecMode::Sequential)
+            .plan(Arc::clone(&plan))
+            .run(&g);
+        assert_eq!(mcb_cold.result.total_weight, mcb_warm.result.total_weight);
+        assert_eq!(mcb_cold.result.dim, mcb_warm.result.dim);
     }
 
     #[test]

@@ -16,13 +16,17 @@
 //! * [`fvs`] — feedback vertex sets for the Mehlhorn–Michail candidate
 //!   restriction in the MCB algorithm;
 //! * [`pendant`] — iterative degree-1 peeling (the Banerjee et al.
-//!   optimisation the paper compares against).
+//!   optimisation the paper compares against);
+//! * [`plan`] — the [`DecompPlan`]: all of the above front half (BCC split,
+//!   block-cut tree, per-block subgraphs, per-block reductions) built once
+//!   and shared — via `Arc` — by the APSP, MCB and statistics pipelines.
 
 pub mod bcc;
 pub mod block_cut;
 pub mod ear;
 pub mod fvs;
 pub mod pendant;
+pub mod plan;
 pub mod reduce;
 
 pub use bcc::{biconnected_components, Bcc};
@@ -30,6 +34,8 @@ pub use block_cut::BlockCutTree;
 pub use ear::{ear_decomposition, validate_ears, Ear, EarDecomposition, EarError};
 pub use fvs::feedback_vertex_set;
 pub use pendant::{peel_pendants, PendantPeel};
+pub use plan::{BlockPlan, DecompPlan};
 pub use reduce::{
-    reduce_graph, reduce_graph_parallel, Chain, EdgeOrigin, ReducedGraph, RemovedInfo,
+    reduce_graph, reduce_graph_parallel, Chain, EdgeOrigin, NotSimpleError, ReducedGraph,
+    RemovedInfo,
 };

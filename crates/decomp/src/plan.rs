@@ -1,0 +1,404 @@
+//! The shared decomposition plan: every pipeline's front half, built once.
+//!
+//! The paper's design is "decompose once, then solve many small problems":
+//! biconnected split → block-cut tree → per-block ear reduction feeds both
+//! the APSP oracle (§2) and the MCB pipeline (§3). A [`DecompPlan`] owns
+//! that whole front half as one reusable artifact:
+//!
+//! * the [`BlockCutTree`] (which also fixes articulation points and
+//!   per-vertex home blocks);
+//! * one [`BlockPlan`] per biconnected component, holding the extracted
+//!   block subgraph, its id maps back to the parent graph, and — for
+//!   simple blocks — the degree-2 chain reduction ([`ReducedGraph`] with
+//!   all its `RemovedInfo` bookkeeping);
+//! * the edge→block assignment and the bridge list.
+//!
+//! Consumers (`ear-apsp`'s `build_oracle_with_plan` and `ReducedOracle`,
+//! `ear-mcb`'s `mcb_with_plan`, the CLI, `ear-workloads`' `GraphStats`)
+//! take a plan instead of recomputing the split themselves; a server-style
+//! caller wraps the plan in an `Arc` and amortises the decomposition across
+//! APSP, MCB and statistics workloads over the same graph.
+//!
+//! # Id-translation conventions
+//!
+//! Block subgraphs use compact local vertex ids `0..block.n()`. The plan
+//! settles the translation in one place:
+//!
+//! * [`BlockPlan::parent`] / [`BlockPlan::to_parent_vertex`] map local →
+//!   parent; [`BlockPlan::to_parent_edge`] maps local edge `i` of the block
+//!   subgraph to its parent edge id.
+//! * [`DecompPlan::local`] maps (block, parent vertex) → local id, `None`
+//!   when the vertex is not in that block. Every vertex has a *home* block
+//!   (the block-cut tree's `vertex_block`); vertices appearing in several
+//!   blocks (articulation points, and self-loop copies of a vertex) are
+//!   resolved through a small sorted per-block side table.
+//!
+//! Reduction is eager and runs per block in parallel through the rayon
+//! shim; blocks that are not simple (parallel edges or self-loops — only
+//! possible for multigraph inputs) carry `reduction: None`, and
+//! [`DecompPlan::reduction`] is the single guard every pipeline routes
+//! through (see [`crate::reduce::NotSimpleError`]).
+//!
+//! ```
+//! use ear_decomp::plan::DecompPlan;
+//! use ear_graph::CsrGraph;
+//! // Two triangles sharing vertex 2 (an articulation point).
+//! let g = CsrGraph::from_edges(5, &[
+//!     (0, 1, 1), (1, 2, 2), (2, 0, 3),
+//!     (2, 3, 4), (3, 4, 5), (4, 2, 6),
+//! ]);
+//! let plan = DecompPlan::build(&g);
+//! assert_eq!(plan.n_blocks(), 2);
+//! assert_eq!(plan.bct().ap_count(), 1);
+//! // Vertex 2 is in both blocks; vertex 0 only in its own.
+//! assert!(plan.local(0, 2).is_some() && plan.local(1, 2).is_some());
+//! assert_eq!((0..2).filter(|&b| plan.local(b, 0).is_some()).count(), 1);
+//! ```
+
+use crate::bcc::{biconnected_components, Bcc};
+use crate::block_cut::BlockCutTree;
+use crate::reduce::{reduce_graph, ReducedGraph};
+use ear_graph::{edge_subgraph_reusing, CsrGraph, EdgeId, SubgraphScratch, VertexId};
+
+/// One biconnected component of the plan: the extracted subgraph, its id
+/// maps, and (for simple blocks) its degree-2 chain reduction.
+#[derive(Clone, Debug)]
+pub struct BlockPlan {
+    /// The block subgraph on compact local vertex ids.
+    pub sub: CsrGraph,
+    /// `local → parent` vertex ids.
+    pub to_parent_vertex: Vec<VertexId>,
+    /// `local edge → parent edge` ids (the component's edge list, owned).
+    pub to_parent_edge: Vec<EdgeId>,
+    /// Whether `sub` is simple — the one flag all reduction guards use.
+    pub simple: bool,
+    /// The chain contraction of `sub`, present exactly when `simple`.
+    pub reduction: Option<ReducedGraph>,
+    /// Members of this block whose home block is a different one
+    /// (articulation points, plus self-loop copies of a vertex), as sorted
+    /// `(parent id, local id)` pairs — the side table behind
+    /// [`DecompPlan::local`].
+    shared: Vec<(VertexId, VertexId)>,
+}
+
+impl BlockPlan {
+    /// Vertices in the block.
+    pub fn n(&self) -> usize {
+        self.sub.n()
+    }
+
+    /// Edges in the block.
+    pub fn m(&self) -> usize {
+        self.sub.m()
+    }
+
+    /// Parent id of a local vertex.
+    #[inline]
+    pub fn parent(&self, local: VertexId) -> VertexId {
+        self.to_parent_vertex[local as usize]
+    }
+}
+
+/// The full decomposition front half of both pipelines, built once from a
+/// graph (see the [module docs](self) for what it owns and the id-map
+/// conventions).
+#[derive(Clone, Debug)]
+pub struct DecompPlan {
+    n: usize,
+    m: usize,
+    bct: BlockCutTree,
+    /// Block id of every edge.
+    edge_comp: Vec<u32>,
+    /// Bridge edges (single-edge non-loop blocks).
+    bridges: Vec<EdgeId>,
+    blocks: Vec<BlockPlan>,
+    /// `vertex → local id within its home block` (`u32::MAX` for isolated
+    /// vertices); the home block is `bct.vertex_block`.
+    home_local: Vec<u32>,
+}
+
+impl DecompPlan {
+    /// Builds the plan: biconnected components, block-cut tree, per-block
+    /// subgraph extraction (scratch-reusing, O(n + m) total), and parallel
+    /// per-block chain reduction of every simple block.
+    pub fn build(g: &CsrGraph) -> DecompPlan {
+        let bcc = biconnected_components(g);
+        let bct = BlockCutTree::new(g, &bcc);
+        let Bcc {
+            comps,
+            edge_comp,
+            bridges,
+            ..
+        } = bcc;
+
+        // Extract every block with one shared scratch; the component edge
+        // lists move into the blocks without copying.
+        let mut scratch = SubgraphScratch::new();
+        let mut extracted: Vec<(CsrGraph, Vec<VertexId>, Vec<EdgeId>, bool)> =
+            Vec::with_capacity(comps.len());
+        for comp in comps {
+            let (sub, map) = edge_subgraph_reusing(g, comp, &mut scratch);
+            let simple = sub.is_simple();
+            extracted.push((sub, map.to_parent_vertex, map.to_parent_edge, simple));
+        }
+
+        // Chain-contract all simple blocks, in parallel across blocks. The
+        // per-block sequential `reduce_graph` keeps the output bit-identical
+        // to what each pipeline used to compute on its own.
+        let reductions: Vec<Option<ReducedGraph>> = {
+            use rayon::prelude::*;
+            extracted
+                .par_iter()
+                .map(|(sub, _, _, simple)| {
+                    simple.then(|| reduce_graph(sub).expect("simplicity was just checked"))
+                })
+                .collect()
+        };
+
+        let mut home_local = vec![u32::MAX; g.n()];
+        let blocks: Vec<BlockPlan> = extracted
+            .into_iter()
+            .zip(reductions)
+            .enumerate()
+            .map(
+                |(b, ((sub, to_parent_vertex, to_parent_edge, simple), reduction))| {
+                    let mut shared = Vec::new();
+                    for (l, &p) in to_parent_vertex.iter().enumerate() {
+                        if bct.vertex_block[p as usize] == b as u32 {
+                            home_local[p as usize] = l as u32;
+                        } else {
+                            shared.push((p, l as u32));
+                        }
+                    }
+                    shared.sort_unstable();
+                    BlockPlan {
+                        sub,
+                        to_parent_vertex,
+                        to_parent_edge,
+                        simple,
+                        reduction,
+                        shared,
+                    }
+                },
+            )
+            .collect();
+
+        DecompPlan {
+            n: g.n(),
+            m: g.m(),
+            bct,
+            edge_comp,
+            bridges,
+            blocks,
+            home_local,
+        }
+    }
+
+    /// Vertices of the decomposed graph.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Edges of the decomposed graph.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Number of biconnected components.
+    pub fn n_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// All blocks, indexed by block id.
+    pub fn blocks(&self) -> &[BlockPlan] {
+        &self.blocks
+    }
+
+    /// One block.
+    pub fn block(&self, b: u32) -> &BlockPlan {
+        &self.blocks[b as usize]
+    }
+
+    /// The block-cut tree (articulation points, routing, home blocks).
+    pub fn bct(&self) -> &BlockCutTree {
+        &self.bct
+    }
+
+    /// Block id of every edge.
+    pub fn edge_comp(&self) -> &[u32] {
+        &self.edge_comp
+    }
+
+    /// Bridge edges.
+    pub fn bridges(&self) -> &[EdgeId] {
+        &self.bridges
+    }
+
+    /// Whether block `b`'s subgraph is simple — the single guard behind
+    /// every "can this block be ear-reduced?" decision.
+    pub fn is_simple(&self, b: u32) -> bool {
+        self.blocks[b as usize].simple
+    }
+
+    /// Block `b`'s chain reduction, `Some` exactly when the block is simple.
+    pub fn reduction(&self, b: u32) -> Option<&ReducedGraph> {
+        self.blocks[b as usize].reduction.as_ref()
+    }
+
+    /// Local id of parent vertex `v` inside block `b`, `None` when `v` is
+    /// not a member of that block.
+    pub fn local(&self, b: u32, v: VertexId) -> Option<VertexId> {
+        if self.bct.vertex_block[v as usize] == b {
+            return Some(self.home_local[v as usize]);
+        }
+        let shared = &self.blocks[b as usize].shared;
+        shared
+            .binary_search_by_key(&v, |&(p, _)| p)
+            .ok()
+            .map(|i| shared[i].1)
+    }
+
+    /// Total vertices removed by chain reduction across all (simple) blocks.
+    pub fn removed_vertices(&self) -> usize {
+        self.blocks
+            .iter()
+            .filter_map(|bp| bp.reduction.as_ref())
+            .map(|r| r.removed_count())
+            .sum()
+    }
+
+    /// Edge count of the largest block.
+    pub fn largest_block_edges(&self) -> usize {
+        self.blocks.iter().map(|bp| bp.m()).max().unwrap_or(0)
+    }
+
+    /// Block ids ordered biggest-first by edge count (ties by ascending
+    /// block id) — the paper's workunit order, shared by the MCB pipeline
+    /// and the CLI.
+    pub fn blocks_by_size_desc(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.blocks.len()).collect();
+        order.sort_by_key(|&b| std::cmp::Reverse(self.blocks[b].m()));
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// triangle(0,1,2) — AP 2 — square(2,3,4,5 with chord-free chain) —
+    /// bridge 5-6.
+    fn mixed() -> CsrGraph {
+        CsrGraph::from_edges(
+            7,
+            &[
+                (0, 1, 1),
+                (1, 2, 2),
+                (2, 0, 3),
+                (2, 3, 4),
+                (3, 4, 1),
+                (4, 5, 2),
+                (5, 2, 3),
+                (5, 6, 9),
+            ],
+        )
+    }
+
+    #[test]
+    fn blocks_partition_edges() {
+        let g = mixed();
+        let plan = DecompPlan::build(&g);
+        let mut seen = vec![0u32; g.m()];
+        for (b, bp) in plan.blocks().iter().enumerate() {
+            for &e in &bp.to_parent_edge {
+                seen[e as usize] += 1;
+                assert_eq!(plan.edge_comp()[e as usize], b as u32);
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn local_parent_roundtrip_covers_every_member() {
+        let g = mixed();
+        let plan = DecompPlan::build(&g);
+        for (b, bp) in plan.blocks().iter().enumerate() {
+            for l in 0..bp.n() as u32 {
+                let p = bp.parent(l);
+                assert_eq!(plan.local(b as u32, p), Some(l), "block {b} vertex {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_members_resolve_to_none() {
+        let g = mixed();
+        let plan = DecompPlan::build(&g);
+        for b in 0..plan.n_blocks() as u32 {
+            let bp = plan.block(b);
+            for v in 0..g.n() as u32 {
+                let member = bp.to_parent_vertex.contains(&v);
+                assert_eq!(plan.local(b, v).is_some(), member, "block {b} vertex {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn reductions_present_exactly_for_simple_blocks() {
+        // Multigraph: parallel pair plus a triangle.
+        let g = CsrGraph::from_edges(4, &[(0, 1, 1), (0, 1, 2), (1, 2, 1), (2, 3, 1), (3, 1, 1)]);
+        let plan = DecompPlan::build(&g);
+        for b in 0..plan.n_blocks() as u32 {
+            assert_eq!(plan.is_simple(b), plan.block(b).sub.is_simple());
+            assert_eq!(plan.reduction(b).is_some(), plan.is_simple(b));
+        }
+        assert!((0..plan.n_blocks() as u32).any(|b| !plan.is_simple(b)));
+    }
+
+    #[test]
+    fn reduction_matches_direct_reduce_graph() {
+        let g = mixed();
+        let plan = DecompPlan::build(&g);
+        for bp in plan.blocks() {
+            let direct = reduce_graph(&bp.sub).unwrap();
+            let r = bp.reduction.as_ref().unwrap();
+            assert_eq!(r.retained, direct.retained);
+            assert_eq!(r.reduced.edges(), direct.reduced.edges());
+            assert_eq!(r.chains.len(), direct.chains.len());
+        }
+    }
+
+    #[test]
+    fn size_order_is_stable_biggest_first() {
+        let g = mixed();
+        let plan = DecompPlan::build(&g);
+        let order = plan.blocks_by_size_desc();
+        for w in order.windows(2) {
+            let (a, b) = (plan.block(w[0] as u32).m(), plan.block(w[1] as u32).m());
+            assert!(a > b || (a == b && w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn self_loop_copy_is_reachable_in_both_blocks() {
+        // Vertex 0 carries a self-loop and a bridge: two blocks, no APs.
+        let g = CsrGraph::from_edges(2, &[(0, 0, 1), (0, 1, 1)]);
+        let plan = DecompPlan::build(&g);
+        assert_eq!(plan.n_blocks(), 2);
+        assert_eq!(plan.bct().ap_count(), 0);
+        for b in 0..2u32 {
+            assert!(
+                plan.local(b, 0).is_some(),
+                "vertex 0 missing from block {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_graph_builds() {
+        let plan = DecompPlan::build(&CsrGraph::from_edges(0, &[]));
+        assert_eq!(plan.n_blocks(), 0);
+        assert_eq!(plan.removed_vertices(), 0);
+        assert_eq!(plan.largest_block_edges(), 0);
+    }
+}

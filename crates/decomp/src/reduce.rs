@@ -21,6 +21,27 @@
 
 use ear_graph::{CsrGraph, EdgeId, VertexId, Weight};
 
+/// Error returned when chain contraction is asked to reduce a non-simple
+/// graph (self-loops or parallel edges present).
+///
+/// Contraction is defined on *simple* graphs only: a degree-2 vertex with a
+/// self-loop or a parallel pair does not sit on a well-defined chain, and
+/// the paper's `left/right` bookkeeping (§2.1.1) assumes distinct chain
+/// neighbors. Callers that slice a multigraph into biconnected blocks
+/// should check each block (e.g. via the plan's per-block simplicity flag,
+/// [`crate::plan::DecompPlan::is_simple`]) and fall back to the unreduced
+/// block instead of reducing it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NotSimpleError;
+
+impl std::fmt::Display for NotSimpleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("chain contraction requires a simple graph (no self-loops or parallel edges)")
+    }
+}
+
+impl std::error::Error for NotSimpleError {}
+
 /// A maximal degree-2 chain that was contracted into one reduced edge.
 #[derive(Clone, Debug)]
 pub struct Chain {
@@ -107,14 +128,16 @@ impl ReducedGraph {
     }
 }
 
-/// Contracts all maximal degree-2 chains of `g` (which must be simple —
-/// reduction is a preprocessing step on input graphs, and input graphs in
-/// this suite are simple; reduced graphs themselves are never re-reduced).
+/// Contracts all maximal degree-2 chains of `g`.
 ///
-/// # Panics
-/// Panics if `g` has self-loops or parallel edges.
-pub fn reduce_graph(g: &CsrGraph) -> ReducedGraph {
-    assert!(g.is_simple(), "reduce_graph expects a simple input graph");
+/// # Errors
+/// Returns [`NotSimpleError`] if `g` has self-loops or parallel edges —
+/// reduction is only defined on simple graphs (see the error type's docs
+/// for why, and for what callers should do with non-simple blocks).
+pub fn reduce_graph(g: &CsrGraph) -> Result<ReducedGraph, NotSimpleError> {
+    if !g.is_simple() {
+        return Err(NotSimpleError);
+    }
     let n = g.n();
 
     // Anchor set: degree != 2, plus one honorary anchor per pure-cycle
@@ -185,14 +208,14 @@ pub fn reduce_graph(g: &CsrGraph) -> ReducedGraph {
     }
 
     let reduced = CsrGraph::from_edges(retained.len(), &reduced_edges);
-    ReducedGraph {
+    Ok(ReducedGraph {
         reduced,
         retained,
         to_reduced,
         edge_origin,
         chains,
         removed,
-    }
+    })
 }
 
 /// Walks a maximal chain starting at anchor `a` through degree-2 vertex
@@ -292,7 +315,7 @@ mod tests {
     #[test]
     fn theta_contracts_two_chains() {
         let g = theta();
-        let r = reduce_graph(&g);
+        let r = reduce_graph(&g).unwrap();
         assert_eq!(r.retained, vec![0, 2]);
         assert_eq!(r.removed_count(), 2);
         assert_eq!(r.reduced.n(), 2);
@@ -306,7 +329,7 @@ mod tests {
     #[test]
     fn removed_info_prefix_weights() {
         let g = theta();
-        let r = reduce_graph(&g);
+        let r = reduce_graph(&g).unwrap();
         let i1 = r.removed[1].unwrap();
         assert_eq!(i1.w_left + i1.w_right, 3);
         // distance to the anchors along the chain must match Dijkstra on the
@@ -337,7 +360,7 @@ mod tests {
                 (4, 6, 1),
             ],
         );
-        let r = reduce_graph(&g);
+        let r = reduce_graph(&g).unwrap();
         assert!(!r.is_removed(0));
         assert!(!r.is_removed(4));
         for (x, wl) in [(1u32, 1u64), (2, 3), (3, 6)] {
@@ -358,7 +381,7 @@ mod tests {
     #[test]
     fn pure_cycle_becomes_self_loop() {
         let g = CsrGraph::from_edges(4, &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 0, 1)]);
-        let r = reduce_graph(&g);
+        let r = reduce_graph(&g).unwrap();
         assert_eq!(r.retained, vec![0]);
         assert_eq!(r.reduced.m(), 1);
         let e = r.reduced.edge(0);
@@ -380,7 +403,7 @@ mod tests {
                 (2, 3, 1),
             ],
         );
-        let r = reduce_graph(&g);
+        let r = reduce_graph(&g).unwrap();
         assert_eq!(r.removed_count(), 0);
         assert_eq!(r.reduced.n(), 4);
         assert_eq!(r.reduced.m(), 6);
@@ -405,7 +428,7 @@ mod tests {
                 (4, 5, 3),
             ],
         );
-        let r = reduce_graph(&g);
+        let r = reduce_graph(&g).unwrap();
         assert!(r.is_removed(4));
         assert!(!r.is_removed(5)); // degree-1 vertices are anchors
         let info = r.removed[4].unwrap();
@@ -424,7 +447,7 @@ mod tests {
     fn parallel_chains_become_parallel_edges() {
         // Two vertices joined by three chains of lengths 2,2,1 edges.
         let g = CsrGraph::from_edges(4, &[(0, 2, 1), (2, 1, 1), (0, 3, 2), (3, 1, 2), (0, 1, 9)]);
-        let r = reduce_graph(&g);
+        let r = reduce_graph(&g).unwrap();
         assert_eq!(r.reduced.n(), 2);
         assert_eq!(r.reduced.m(), 3);
         assert!(!r.reduced.is_simple()); // parallel edges preserved
@@ -436,7 +459,7 @@ mod tests {
     #[test]
     fn expand_edge_roundtrips_chains() {
         let g = theta();
-        let r = reduce_graph(&g);
+        let r = reduce_graph(&g).unwrap();
         for re in 0..r.reduced.m() as u32 {
             let orig = r.expand_edge(re);
             let total: Weight = orig.iter().map(|&e| g.weight(e)).sum();
@@ -447,7 +470,7 @@ mod tests {
     #[test]
     fn chain_edge_count_partitions_original_edges() {
         let g = theta();
-        let r = reduce_graph(&g);
+        let r = reduce_graph(&g).unwrap();
         let mut covered: Vec<EdgeId> = (0..r.reduced.m() as u32)
             .flat_map(|re| r.expand_edge(re))
             .collect();
@@ -460,7 +483,7 @@ mod tests {
     fn anchor_to_self_chain_is_self_loop() {
         // Hub 0 (degree 4) with a lollipop cycle 0-1-2-0 of degree-2 vertices.
         let g = CsrGraph::from_edges(5, &[(0, 1, 1), (1, 2, 1), (2, 0, 1), (0, 3, 1), (0, 4, 1)]);
-        let r = reduce_graph(&g);
+        let r = reduce_graph(&g).unwrap();
         let loops: Vec<_> = r
             .reduced
             .edges()
@@ -472,10 +495,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn rejects_multigraph_input() {
+    fn rejects_multigraph_input_with_error() {
         let g = CsrGraph::from_edges(2, &[(0, 1, 1), (0, 1, 2)]);
-        reduce_graph(&g);
+        assert_eq!(reduce_graph(&g).unwrap_err(), NotSimpleError);
+        assert_eq!(reduce_graph_parallel(&g).unwrap_err(), NotSimpleError);
+        let g = CsrGraph::from_edges(2, &[(0, 0, 1), (0, 1, 2)]);
+        assert_eq!(reduce_graph(&g).unwrap_err(), NotSimpleError);
     }
 }
 
@@ -490,10 +515,15 @@ mod tests {
 /// (Ramachandran) at the step that actually matters in practice: the
 /// decomposition itself is a linear scan, while chain contraction touches
 /// every edge.
-pub fn reduce_graph_parallel(g: &CsrGraph) -> ReducedGraph {
+///
+/// # Errors
+/// Returns [`NotSimpleError`] under the same conditions as [`reduce_graph`].
+pub fn reduce_graph_parallel(g: &CsrGraph) -> Result<ReducedGraph, NotSimpleError> {
     use rayon::prelude::*;
 
-    assert!(g.is_simple(), "reduce_graph expects a simple input graph");
+    if !g.is_simple() {
+        return Err(NotSimpleError);
+    }
     let n = g.n();
     let mut anchor = vec![false; n];
     for v in 0..n as u32 {
@@ -598,14 +628,14 @@ pub fn reduce_graph_parallel(g: &CsrGraph) -> ReducedGraph {
     }
 
     let reduced = CsrGraph::from_edges(retained.len(), &reduced_edges);
-    ReducedGraph {
+    Ok(ReducedGraph {
         reduced,
         retained,
         to_reduced,
         edge_origin,
         chains,
         removed,
-    }
+    })
 }
 
 /// Side-effect-free chain walk (no shared visited map): a degree-2 interior
@@ -652,8 +682,8 @@ mod parallel_tests {
     use super::*;
 
     fn assert_identical(g: &CsrGraph) {
-        let a = reduce_graph(g);
-        let b = reduce_graph_parallel(g);
+        let a = reduce_graph(g).unwrap();
+        let b = reduce_graph_parallel(g).unwrap();
         assert_eq!(a.retained, b.retained);
         assert_eq!(a.to_reduced, b.to_reduced);
         assert_eq!(a.reduced.edges(), b.reduced.edges());

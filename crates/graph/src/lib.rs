@@ -37,6 +37,9 @@ pub use csr::CsrGraph;
 pub use dijkstra::{dijkstra, dijkstra_tree, dijkstra_with_stats, DijkstraStats, SsspTree};
 pub use engine::{with_engine, SsspEngine};
 pub use spanning::{non_tree_edges, spanning_forest, tree_edge_flags};
-pub use subgraph::{edge_subgraph, induced_subgraph, SubgraphMap};
+pub use subgraph::{
+    edge_subgraph, edge_subgraph_reusing, induced_subgraph, CompactSubgraphMap, SubgraphMap,
+    SubgraphScratch,
+};
 pub use traverse::{bfs, bfs_tree, connected_components, BfsTree, Components};
 pub use types::{dist_add, Edge, EdgeId, VertexId, Weight, INF};

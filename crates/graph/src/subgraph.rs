@@ -5,7 +5,7 @@
 //! then translated back through a [`SubgraphMap`].
 
 use crate::csr::CsrGraph;
-use crate::types::{EdgeId, VertexId};
+use crate::types::{EdgeId, VertexId, Weight};
 
 /// Id translation between a subgraph and its parent graph.
 #[derive(Clone, Debug)]
@@ -35,29 +35,114 @@ impl SubgraphMap {
     }
 }
 
-/// Extracts the subgraph spanned by `edge_ids` (vertices are those incident
-/// to the listed edges, renumbered compactly in order of first appearance).
-pub fn edge_subgraph(g: &CsrGraph, edge_ids: &[EdgeId]) -> (CsrGraph, SubgraphMap) {
-    let mut to_local = vec![u32::MAX; g.n()];
-    let mut to_parent_vertex = Vec::new();
-    let mut list = Vec::with_capacity(edge_ids.len());
-    let intern = |v: VertexId, to_local: &mut Vec<u32>, to_parent: &mut Vec<u32>| {
+/// Id translation for a subgraph that does **not** carry the dense
+/// `parent -> local` array: just the two `local -> parent` tables, both
+/// sized by the subgraph.
+///
+/// Produced by [`edge_subgraph_reusing`], which keeps the dense lookup in a
+/// caller-owned [`SubgraphScratch`] so repeated extractions over the same
+/// parent stay O(subgraph) each. `to_parent_edge` is the edge-id vector the
+/// caller passed in, taken by value — local edge `i` is parent edge
+/// `to_parent_edge[i]`.
+#[derive(Clone, Debug, Default)]
+pub struct CompactSubgraphMap {
+    /// `local -> parent` vertex ids.
+    pub to_parent_vertex: Vec<VertexId>,
+    /// `local -> parent` edge ids (ownership of the caller's id list).
+    pub to_parent_edge: Vec<EdgeId>,
+}
+
+impl CompactSubgraphMap {
+    /// Parent id of a local vertex.
+    #[inline]
+    pub fn parent(&self, local: VertexId) -> VertexId {
+        self.to_parent_vertex[local as usize]
+    }
+}
+
+/// Reusable workspace for [`edge_subgraph_reusing`].
+///
+/// Holds the parent-sized dense `parent -> local` array between calls. The
+/// array is allocated (and `u32::MAX`-filled) once on first use and then
+/// *reset sparsely* after each extraction by walking only the vertices the
+/// extraction touched — so slicing a graph into all of its biconnected
+/// components costs O(n + m) total instead of O(n · #components).
+#[derive(Debug, Default)]
+pub struct SubgraphScratch {
+    /// Dense `parent -> local` map; `u32::MAX` everywhere between calls.
+    to_local: Vec<u32>,
+    /// Edge-list staging buffer for [`CsrGraph::from_edges`].
+    list: Vec<(VertexId, VertexId, Weight)>,
+}
+
+impl SubgraphScratch {
+    /// Creates an empty scratch; arrays are sized lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Scratch-reusing, edge-id-owning variant of [`edge_subgraph`].
+///
+/// Takes ownership of `edge_ids` (they become the map's `to_parent_edge`
+/// verbatim — no copy) and reuses `scratch` across calls, so extracting
+/// every block of a decomposition is O(block) per block after the first
+/// call sizes the scratch. Returns a [`CompactSubgraphMap`]; callers that
+/// need the dense `parent -> local` array should use [`edge_subgraph`].
+pub fn edge_subgraph_reusing(
+    g: &CsrGraph,
+    edge_ids: Vec<EdgeId>,
+    scratch: &mut SubgraphScratch,
+) -> (CsrGraph, CompactSubgraphMap) {
+    if scratch.to_local.len() < g.n() {
+        scratch.to_local.resize(g.n(), u32::MAX);
+    }
+    let to_local = &mut scratch.to_local;
+    let mut to_parent_vertex: Vec<VertexId> = Vec::new();
+    scratch.list.clear();
+    let intern = |v: VertexId, to_local: &mut [u32], to_parent: &mut Vec<u32>| {
         if to_local[v as usize] == u32::MAX {
             to_local[v as usize] = to_parent.len() as u32;
             to_parent.push(v);
         }
         to_local[v as usize]
     };
-    for &e in edge_ids {
+    for &e in &edge_ids {
         let r = g.edge(e);
-        let lu = intern(r.u, &mut to_local, &mut to_parent_vertex);
-        let lv = intern(r.v, &mut to_local, &mut to_parent_vertex);
-        list.push((lu, lv, r.w));
+        let lu = intern(r.u, to_local, &mut to_parent_vertex);
+        let lv = intern(r.v, to_local, &mut to_parent_vertex);
+        scratch.list.push((lu, lv, r.w));
     }
-    let sub = CsrGraph::from_edges(to_parent_vertex.len(), &list);
-    let map = SubgraphMap {
+    let sub = CsrGraph::from_edges(to_parent_vertex.len(), &scratch.list);
+    // Sparse reset: only the entries this extraction wrote.
+    for &p in &to_parent_vertex {
+        to_local[p as usize] = u32::MAX;
+    }
+    let map = CompactSubgraphMap {
         to_parent_vertex,
-        to_parent_edge: edge_ids.to_vec(),
+        to_parent_edge: edge_ids,
+    };
+    (sub, map)
+}
+
+/// Extracts the subgraph spanned by `edge_ids` (vertices are those incident
+/// to the listed edges, renumbered compactly in order of first appearance).
+///
+/// One-shot convenience over [`edge_subgraph_reusing`]: allocates its own
+/// scratch and rebuilds the dense `parent -> local` array for the returned
+/// [`SubgraphMap`].
+pub fn edge_subgraph(g: &CsrGraph, edge_ids: &[EdgeId]) -> (CsrGraph, SubgraphMap) {
+    let mut scratch = SubgraphScratch::new();
+    let (sub, compact) = edge_subgraph_reusing(g, edge_ids.to_vec(), &mut scratch);
+    // The scratch's map was sparsely reset back to all-MAX; re-mark this
+    // subgraph's vertices to hand out as the dense map.
+    let mut to_local = scratch.to_local;
+    for (l, &p) in compact.to_parent_vertex.iter().enumerate() {
+        to_local[p as usize] = l as u32;
+    }
+    let map = SubgraphMap {
+        to_parent_vertex: compact.to_parent_vertex,
+        to_parent_edge: compact.to_parent_edge,
         to_local_vertex: to_local,
     };
     (sub, map)
@@ -151,5 +236,31 @@ mod tests {
         let (sub, _) = edge_subgraph(&g, &[]);
         assert_eq!(sub.n(), 0);
         assert_eq!(sub.m(), 0);
+    }
+
+    #[test]
+    fn reusing_variant_matches_one_shot_across_repeated_extractions() {
+        let g = square_with_diagonal();
+        let mut scratch = SubgraphScratch::new();
+        for ids in [vec![1, 2], vec![4, 0], vec![0, 1, 2, 3, 4], vec![3]] {
+            let (sub_a, map_a) = edge_subgraph(&g, &ids);
+            let (sub_b, map_b) = edge_subgraph_reusing(&g, ids.clone(), &mut scratch);
+            assert_eq!(sub_a.n(), sub_b.n());
+            assert_eq!(sub_a.edges(), sub_b.edges());
+            assert_eq!(map_a.to_parent_vertex, map_b.to_parent_vertex);
+            assert_eq!(map_b.to_parent_edge, ids);
+        }
+    }
+
+    #[test]
+    fn scratch_is_clean_between_calls() {
+        let g = square_with_diagonal();
+        let mut scratch = SubgraphScratch::new();
+        let _ = edge_subgraph_reusing(&g, vec![0, 1, 2, 3, 4], &mut scratch);
+        assert!(scratch.to_local.iter().all(|&l| l == u32::MAX));
+        // A later extraction on a disjoint edge set must renumber from zero.
+        let (sub, map) = edge_subgraph_reusing(&g, vec![2], &mut scratch);
+        assert_eq!(sub.n(), 2);
+        assert_eq!(map.to_parent_vertex, vec![2, 3]);
     }
 }

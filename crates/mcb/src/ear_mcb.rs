@@ -11,9 +11,8 @@
 
 use std::time::Instant;
 
-use ear_decomp::bcc::biconnected_components;
-use ear_decomp::reduce::reduce_graph;
-use ear_graph::{edge_subgraph, CsrGraph, EdgeId, Weight};
+use ear_decomp::plan::DecompPlan;
+use ear_graph::{CsrGraph, EdgeId, Weight};
 use ear_hetero::HeteroExecutor;
 
 use crate::cycle_space::{Cycle, CycleSpace};
@@ -122,7 +121,14 @@ impl McbResult {
 /// assert_eq!(out.total_weight, 9);
 /// ```
 pub fn mcb(g: &CsrGraph, config: &McbConfig) -> McbResult {
-    let (cycles, removed, trace, wall_s) = run_blocks(g, config.use_ear);
+    mcb_with_plan(g, &DecompPlan::build(g), config)
+}
+
+/// Like [`mcb`], but reuses a prebuilt (and possibly shared)
+/// [`DecompPlan`] instead of re-running the biconnected split and
+/// per-block reduction. `plan` must have been built from `g`.
+pub fn mcb_with_plan(g: &CsrGraph, plan: &DecompPlan, config: &McbConfig) -> McbResult {
+    let (cycles, removed, trace, wall_s) = run_blocks(g, plan, config.use_ear);
     let profile = replay_trace(&trace, &config.mode.executor());
     finish(cycles, removed, profile, wall_s)
 }
@@ -132,7 +138,8 @@ pub fn mcb(g: &CsrGraph, config: &McbConfig) -> McbResult {
 /// harnesses use. The returned [`McbResult`] carries the heterogeneous
 /// profile; `profiles` follows [`ExecMode::all`] order.
 pub fn mcb_all_modes(g: &CsrGraph, use_ear: bool) -> (McbResult, [PhaseProfile; 4]) {
-    let (cycles, removed, trace, wall_s) = run_blocks(g, use_ear);
+    let plan = DecompPlan::build(g);
+    let (cycles, removed, trace, wall_s) = run_blocks(g, &plan, use_ear);
     let profiles = ExecMode::all().map(|mode| replay_trace(&trace, &mode.executor()));
     let result = finish(cycles, removed, profiles[3].clone(), wall_s);
     (result, profiles)
@@ -151,11 +158,14 @@ fn finish(cycles: Vec<Cycle>, removed: usize, profile: PhaseProfile, wall_s: f64
     }
 }
 
-/// The mode-independent part: per-block de Pina on the (reduced) blocks,
-/// chain re-expansion, trace collection.
-fn run_blocks(g: &CsrGraph, use_ear: bool) -> (Vec<Cycle>, usize, PhaseTrace, f64) {
+/// The mode-independent part: per-block de Pina on the plan's (reduced)
+/// blocks, chain re-expansion, trace collection.
+fn run_blocks(
+    g: &CsrGraph,
+    plan: &DecompPlan,
+    use_ear: bool,
+) -> (Vec<Cycle>, usize, PhaseTrace, f64) {
     let wall = Instant::now();
-    let bcc = biconnected_components(g);
     let mut cycles: Vec<Cycle> = Vec::new();
     let mut trace = PhaseTrace::default();
     let mut removed = 0usize;
@@ -163,17 +173,14 @@ fn run_blocks(g: &CsrGraph, use_ear: bool) -> (Vec<Cycle>, usize, PhaseTrace, f6
 
     let parent_cs = CycleSpace::new(g);
     // Blocks sorted by size: biggest first, the paper's workunit order.
-    let mut order: Vec<usize> = (0..bcc.count()).collect();
-    order.sort_by_key(|&b| std::cmp::Reverse(bcc.comps[b].len()));
-
-    for b in order {
-        let comp = &bcc.comps[b];
-        let (sub, map) = edge_subgraph(g, comp);
+    for b in plan.blocks_by_size_desc() {
+        let b = b as u32;
+        let bp = plan.block(b);
+        let sub = &bp.sub;
         if sub.m() < sub.n() {
             continue; // a bridge (tree block): no cycles
         }
-        if use_ear && sub.is_simple() {
-            let r = reduce_graph(&sub);
+        if let Some(r) = use_ear.then(|| plan.reduction(b)).flatten() {
             removed += r.removed_count();
             let (basis_r, t) = depina_mcb_traced(&r.reduced, &opts);
             trace.merge(t);
@@ -183,13 +190,13 @@ fn run_blocks(g: &CsrGraph, use_ear: bool) -> (Vec<Cycle>, usize, PhaseTrace, f6
             for c in basis_r {
                 let sub_edges: Vec<EdgeId> =
                     c.edges.iter().flat_map(|&re| r.expand_edge(re)).collect();
-                cycles.push(remap_cycle(g, &parent_cs, &map, sub_edges));
+                cycles.push(remap_cycle(g, &parent_cs, &bp.to_parent_edge, sub_edges));
             }
         } else {
-            let (basis_s, t) = depina_mcb_traced(&sub, &opts);
+            let (basis_s, t) = depina_mcb_traced(sub, &opts);
             trace.merge(t);
             for c in basis_s {
-                cycles.push(remap_cycle(g, &parent_cs, &map, c.edges));
+                cycles.push(remap_cycle(g, &parent_cs, &bp.to_parent_edge, c.edges));
             }
         }
     }
@@ -201,10 +208,10 @@ fn run_blocks(g: &CsrGraph, use_ear: bool) -> (Vec<Cycle>, usize, PhaseTrace, f6
 fn remap_cycle(
     g: &CsrGraph,
     parent_cs: &CycleSpace,
-    map: &ear_graph::SubgraphMap,
+    to_parent_edge: &[EdgeId],
     sub_edges: Vec<EdgeId>,
 ) -> Cycle {
-    let parent_edges = sub_edges.iter().map(|&e| map.to_parent_edge[e as usize]);
+    let parent_edges = sub_edges.iter().map(|&e| to_parent_edge[e as usize]);
     parent_cs.cycle_from_edges(g, parent_edges)
 }
 

@@ -24,6 +24,13 @@
 //! * [`ear_mcb`] — the full pipeline: BCC split, ear reduction, per-block
 //!   MCB, chain re-expansion (Lemma 3.1);
 //! * [`verify`] — independence (GF(2) rank), dimension and weight checks.
+//!
+//! The pipeline's decomposition front half (BCC split, block subgraphs,
+//! per-block reduction) comes from `ear_decomp::plan::DecompPlan`:
+//! [`mcb`] builds one internally, [`mcb_with_plan`] reuses a prebuilt
+//! (possibly `Arc`-shared) plan so a combined run with the APSP oracle
+//! decomposes the graph exactly once — see the "Decomposition plan"
+//! sections of `README.md` / `DESIGN.md`.
 
 pub mod candidates;
 pub mod cycle_space;
@@ -38,7 +45,7 @@ pub use cycle_space::{Cycle, CycleSpace, DenseBits};
 pub use depina::{
     depina_mcb, depina_mcb_traced, replay_trace, DepinaOptions, PhaseProfile, PhaseTrace,
 };
-pub use ear_mcb::{mcb, mcb_all_modes, ExecMode, McbConfig, McbResult};
+pub use ear_mcb::{mcb, mcb_all_modes, mcb_with_plan, ExecMode, McbConfig, McbResult};
 pub use horton::horton_mcb;
 pub use signed::signed_mcb;
 pub use verify::{basis_rank, is_cycle_vector, verify_basis};

@@ -14,6 +14,9 @@
 //!   degree-2 interior vertices, cycle-space dimension preservation
 //!   (Lemma 3.1's `dim MCB(G) = dim MCB(G^r)`), and distance preservation
 //!   between retained vertices;
+//! * [`plan_invariants`] — a [`DecompPlan`] partitions the edge set into
+//!   blocks, its id maps agree with the block-cut tree, and its stored
+//!   per-block reductions are identical to fresh [`reduce_graph`] runs;
 //! * [`basis_valid`] — a claimed cycle basis is independent, spanning and
 //!   made of genuine cycle vectors;
 //! * [`exactly_once`] — a heterogeneous execution processed every
@@ -21,8 +24,9 @@
 
 use ear_apsp::matrix::DistMatrix;
 use ear_apsp::oracle::DistanceOracle;
+use ear_decomp::plan::DecompPlan;
 use ear_decomp::reduce::{reduce_graph, ReducedGraph};
-use ear_graph::{connected_components, dijkstra, CsrGraph, VertexId, Weight, INF};
+use ear_graph::{connected_components, dijkstra, edge_subgraph, CsrGraph, VertexId, Weight, INF};
 use ear_hetero::executor::ExecutionReport;
 use ear_mcb::cycle_space::{Cycle, CycleSpace};
 
@@ -167,7 +171,8 @@ pub fn reduction_invariants(g: &CsrGraph) -> Result<(), String> {
     if !g.is_simple() {
         return Err("reduction_invariants needs a simple graph".into());
     }
-    let r: ReducedGraph = reduce_graph(g);
+    let r: ReducedGraph =
+        reduce_graph(g).map_err(|e| format!("reduce_graph rejected a simple graph: {e}"))?;
 
     // 1. Edge partition: every original edge is owned by exactly one
     //    reduced edge's expansion.
@@ -265,6 +270,133 @@ pub fn reduction_invariants(g: &CsrGraph) -> Result<(), String> {
     Ok(())
 }
 
+/// Checks a [`DecompPlan`] built from `g` against the structures it claims
+/// to own: the blocks partition the edge set, every block member (including
+/// articulation-point copies and self-loop singletons) round-trips through
+/// the local/parent id maps consistently with the block-cut tree, the
+/// simplicity flags are honest, and each stored reduction is identical to a
+/// fresh [`reduce_graph`] run on an independently extracted subgraph.
+pub fn plan_invariants(g: &CsrGraph, plan: &DecompPlan) -> Result<(), String> {
+    if plan.n() != g.n() || plan.m() != g.m() {
+        return Err(format!(
+            "plan says n={} m={}, graph has n={} m={}",
+            plan.n(),
+            plan.m(),
+            g.n(),
+            g.m()
+        ));
+    }
+
+    // 1. Edge partition: every original edge appears in exactly one block,
+    //    and in the block `edge_comp` assigns it to.
+    let mut owner = vec![0usize; g.m()];
+    for (b, bp) in plan.blocks().iter().enumerate() {
+        for &pe in &bp.to_parent_edge {
+            owner[pe as usize] += 1;
+            if plan.edge_comp()[pe as usize] != b as u32 {
+                return Err(format!(
+                    "edge {pe} sits in block {b} but edge_comp says {}",
+                    plan.edge_comp()[pe as usize]
+                ));
+            }
+        }
+    }
+    if let Some(e) = owner.iter().position(|&c| c != 1) {
+        return Err(format!("edge {e} appears in {} blocks, not 1", owner[e]));
+    }
+
+    // 2. Id maps vs the block-cut tree: every member round-trips, every
+    //    articulation point of a block resolves in it, and non-members
+    //    resolve to None.
+    let bct = plan.bct();
+    for (b, bp) in plan.blocks().iter().enumerate() {
+        let b = b as u32;
+        let mut member = vec![false; g.n()];
+        for local in 0..bp.n() as u32 {
+            let p = bp.parent(local);
+            member[p as usize] = true;
+            match plan.local(b, p) {
+                Some(l) if l == local => {}
+                got => {
+                    return Err(format!(
+                        "block {b}: parent({local}) = {p} but local({p}) = {got:?}"
+                    ));
+                }
+            }
+        }
+        for &ap in &bct.block_aps[b as usize] {
+            if plan.local(b, ap).is_none() {
+                return Err(format!(
+                    "articulation point {ap} listed for block {b} but has no local copy"
+                ));
+            }
+        }
+        for v in 0..g.n() as u32 {
+            if !member[v as usize] && plan.local(b, v).is_some() {
+                return Err(format!("non-member {v} resolves in block {b}"));
+            }
+        }
+    }
+
+    // 3. Simplicity flags and reduction presence are honest.
+    for (b, bp) in plan.blocks().iter().enumerate() {
+        if bp.simple != bp.sub.is_simple() {
+            return Err(format!(
+                "block {b}: simple flag {} but is_simple() = {}",
+                bp.simple,
+                bp.sub.is_simple()
+            ));
+        }
+        if bp.simple != bp.reduction.is_some() {
+            return Err(format!(
+                "block {b}: simple = {} but reduction present = {}",
+                bp.simple,
+                bp.reduction.is_some()
+            ));
+        }
+    }
+
+    // 4. Stored reductions match a fresh extraction + reduction, edge for
+    //    edge (the differential guarantee the shared-plan pipelines rely
+    //    on).
+    for (b, bp) in plan.blocks().iter().enumerate() {
+        let (sub, _) = edge_subgraph(g, &bp.to_parent_edge);
+        let sub_edges: Vec<_> = sub.edges().iter().map(|e| (e.u, e.v, e.w)).collect();
+        let bp_edges: Vec<_> = bp.sub.edges().iter().map(|e| (e.u, e.v, e.w)).collect();
+        if sub_edges != bp_edges {
+            return Err(format!(
+                "block {b}: stored subgraph differs from extraction"
+            ));
+        }
+        let Some(r) = &bp.reduction else { continue };
+        let fresh =
+            reduce_graph(&sub).map_err(|e| format!("block {b}: fresh reduce_graph failed: {e}"))?;
+        if r.retained != fresh.retained
+            || r.to_reduced != fresh.to_reduced
+            || r.chains.len() != fresh.chains.len()
+            || r.reduced.n() != fresh.reduced.n()
+            || r.reduced.m() != fresh.reduced.m()
+        {
+            return Err(format!(
+                "block {b}: stored reduction differs from fresh run"
+            ));
+        }
+        let re: Vec<_> = r.reduced.edges().iter().map(|e| (e.u, e.v, e.w)).collect();
+        let fe: Vec<_> = fresh
+            .reduced
+            .edges()
+            .iter()
+            .map(|e| (e.u, e.v, e.w))
+            .collect();
+        if re != fe {
+            return Err(format!(
+                "block {b}: stored reduced graph differs from fresh run"
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Checks that `cycles` is a valid minimum-structure cycle basis of `g`
 /// (independence, correct dimension, genuine cycle vectors) via the `mcb`
 /// crate's verifier.
@@ -335,6 +467,28 @@ mod tests {
             ],
         );
         reduction_invariants(&g).unwrap();
+    }
+
+    #[test]
+    fn plan_invariants_hold_with_self_loops_and_multi_edges() {
+        // Two blocks sharing AP 2, a self-loop singleton on 0, and a
+        // parallel pair 4–5 making one block a multigraph.
+        let g = CsrGraph::from_edges(
+            6,
+            &[
+                (0, 0, 9),
+                (0, 1, 1),
+                (1, 2, 2),
+                (2, 0, 3),
+                (2, 3, 1),
+                (3, 4, 1),
+                (4, 2, 2),
+                (4, 5, 1),
+                (4, 5, 2),
+            ],
+        );
+        let plan = DecompPlan::build(&g);
+        plan_invariants(&g, &plan).unwrap();
     }
 
     #[test]

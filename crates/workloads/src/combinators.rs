@@ -93,7 +93,7 @@ pub fn attach_satellite_blocks(g: &CsrGraph, count: usize, size: usize, seed: u6
 mod tests {
     use super::*;
     use crate::generators::{random_min_deg3, triangulated_grid};
-    use ear_decomp::bcc::biconnected_components;
+    use ear_decomp::plan::DecompPlan;
     use ear_graph::{connected_components, dijkstra};
 
     #[test]
@@ -130,9 +130,9 @@ mod tests {
     #[test]
     fn pendants_raise_bcc_count_linearly() {
         let g = random_min_deg3(20, 60, 7);
-        let before = biconnected_components(&g).count();
+        let before = DecompPlan::build(&g).n_blocks();
         let aug = attach_pendants(&g, 15, 8);
-        let after = biconnected_components(&aug).count();
+        let after = DecompPlan::build(&aug).n_blocks();
         assert_eq!(after, before + 15);
         assert!(connected_components(&aug).is_connected());
     }
@@ -140,9 +140,9 @@ mod tests {
     #[test]
     fn satellites_raise_bcc_count_and_stay_connected() {
         let g = random_min_deg3(20, 60, 9);
-        let before = biconnected_components(&g).count();
+        let before = DecompPlan::build(&g).n_blocks();
         let aug = attach_satellite_blocks(&g, 10, 4, 10);
-        let after = biconnected_components(&aug).count();
+        let after = DecompPlan::build(&aug).n_blocks();
         assert_eq!(after, before + 10);
         assert_eq!(aug.n(), g.n() + 10 * 3);
         assert_eq!(aug.m(), g.m() + 10 * 4);

@@ -1,8 +1,7 @@
 //! Table 1 statistics of a (generated or loaded) graph.
 
-use ear_decomp::bcc::biconnected_components;
-use ear_decomp::reduce::reduce_graph;
-use ear_graph::{edge_subgraph, CsrGraph};
+use ear_decomp::plan::DecompPlan;
+use ear_graph::CsrGraph;
 
 /// Every column the paper's Table 1 reports, measured from a graph.
 #[derive(Clone, Debug)]
@@ -33,30 +32,28 @@ pub struct GraphStats {
 impl GraphStats {
     /// Measures a graph (runs biconnectivity + per-block reduction).
     pub fn measure(g: &CsrGraph) -> Self {
-        let bcc = biconnected_components(g);
-        let mut removed = 0usize;
+        Self::from_plan(&DecompPlan::build(g))
+    }
+
+    /// Reads every Table 1 column off a prebuilt [`DecompPlan`], so a
+    /// combined run (stats + APSP + MCB) decomposes the graph exactly once.
+    pub fn from_plan(plan: &DecompPlan) -> Self {
         let mut largest = 0usize;
         let mut sum_sq = 0u64;
         let mut sum_sq_reduced = 0u64;
-        for comp in &bcc.comps {
-            largest = largest.max(comp.len());
-            let (sub, _) = edge_subgraph(g, comp);
-            sum_sq += (sub.n() as u64).pow(2);
-            if sub.is_simple() {
-                let r = reduce_graph(&sub);
-                removed += r.removed_count();
-                sum_sq_reduced += (r.reduced.n() as u64).pow(2);
-            } else {
-                sum_sq_reduced += (sub.n() as u64).pow(2);
-            }
+        for bp in plan.blocks() {
+            largest = largest.max(bp.m());
+            sum_sq += (bp.n() as u64).pow(2);
+            let nr = bp.reduction.as_ref().map_or(bp.n(), |r| r.reduced.n());
+            sum_sq_reduced += (nr as u64).pow(2);
         }
-        let a = bcc.is_articulation.iter().filter(|&&x| x).count();
+        let a = plan.bct().ap_count();
         GraphStats {
-            n: g.n(),
-            m: g.m(),
-            n_bccs: bcc.count(),
+            n: plan.n(),
+            m: plan.m(),
+            n_bccs: plan.n_blocks(),
             largest_bcc_edges: largest,
-            removed,
+            removed: plan.removed_vertices(),
             articulation_points: a,
             table_entries: (a as u64).pow(2) + sum_sq,
             reduced_table_entries: (a as u64).pow(2) + sum_sq_reduced,

@@ -9,7 +9,7 @@
 //! ```
 
 use ear_core::prelude::*;
-use ear_decomp::{biconnected_components, ear_decomposition, reduce_graph};
+use ear_decomp::{ear_decomposition, DecompPlan};
 
 fn main() {
     // Two hub vertices (0 and 1) joined by three ears, plus a pendant
@@ -38,15 +38,15 @@ fn main() {
     println!("== input ==");
     println!("n = {}, m = {}", g.n(), g.m());
 
-    // Structure: biconnected components and the ear decomposition of the
-    // big block.
-    let bcc = biconnected_components(&g);
+    // Structure: one decomposition plan fronts the biconnected split, the
+    // block-cut tree and the per-block reductions for everything below.
+    let plan = DecompPlan::build(&g);
     println!("\n== decomposition ==");
-    println!("biconnected components: {}", bcc.count());
-    println!("articulation points:    {:?}", bcc.articulation_points());
-    let largest = bcc.largest().unwrap();
-    let (block, _) = ear_graph::edge_subgraph(&g, &bcc.comps[largest]);
-    match ear_decomposition(&block) {
+    println!("biconnected components: {}", plan.n_blocks());
+    println!("articulation points:    {:?}", plan.bct().aps);
+    let largest = plan.blocks_by_size_desc()[0] as u32;
+    let block = &plan.block(largest).sub;
+    match ear_decomposition(block) {
         Ok(d) => {
             println!("largest block has {} ears:", d.ears.len());
             for (i, ear) in d.ears.iter().enumerate() {
@@ -60,7 +60,7 @@ fn main() {
         }
         Err(e) => println!("largest block not biconnected: {e}"),
     }
-    let r = reduce_graph(&block);
+    let r = plan.reduction(largest).expect("largest block is simple");
     println!(
         "reduced graph: {} -> {} vertices ({} degree-2 vertices contracted)",
         block.n(),

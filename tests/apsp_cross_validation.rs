@@ -92,11 +92,9 @@ fn oracle_memory_accounting() {
         .run(&simple_graphs(32), |g| {
             let o = build_oracle(g, &HeteroExecutor::sequential(), ApspMethod::Ear);
             let s = o.stats();
-            let bcc = ear_decomp::bcc::biconnected_components(g);
-            let a = bcc.articulation_points().len() as u64;
-            let sum_sq: u64 = (0..bcc.count())
-                .map(|b| (bcc.comp_vertices(g, b).len() as u64).pow(2))
-                .sum();
+            let plan = ear_decomp::plan::DecompPlan::build(g);
+            let a = plan.bct().ap_count() as u64;
+            let sum_sq: u64 = plan.blocks().iter().map(|bp| (bp.n() as u64).pow(2)).sum();
             if s.table_entries != a * a + sum_sq {
                 return Err(format!(
                     "table_entries = {}, expected a² + Σnᵢ² = {}",

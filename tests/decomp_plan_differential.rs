@@ -1,0 +1,232 @@
+//! Differential acceptance suite for the shared decomposition plan.
+//!
+//! The `DecompPlan` refactor claims that building the decomposition front
+//! half (BCC split, block-cut tree, per-block subgraphs, per-block
+//! reductions) once and sharing it across the APSP oracles, the MCB
+//! pipeline and the statistics reporter changes **nothing** about the
+//! outputs. This suite pins that claim across every testkit graph family:
+//! the plan-built artifacts must be bit-identical to the ones produced by
+//! the direct (plan-less) entry points, and the plan itself must satisfy
+//! the structural invariants of `ear_testkit::invariants::plan_invariants`.
+
+use std::sync::Arc;
+
+use ear_apsp::{build_oracle, build_oracle_with_plan, ApspMethod, ReducedOracle};
+use ear_decomp::plan::DecompPlan;
+use ear_graph::CsrGraph;
+use ear_hetero::HeteroExecutor;
+use ear_mcb::{mcb, mcb_with_plan, ExecMode, McbConfig};
+use ear_testkit::invariants::plan_invariants;
+use ear_testkit::{
+    biconnected_graphs, cactus_graphs, chain_heavy_graphs, forall, multi_bcc_graphs, multigraphs,
+    simple_graphs, workload_graphs, GraphStrategy,
+};
+use ear_workloads::GraphStats;
+
+/// Every strategy family the testkit ships, in one list.
+fn families() -> Vec<(&'static str, GraphStrategy)> {
+    vec![
+        ("simple", simple_graphs(14)),
+        ("multigraph", multigraphs(12)),
+        ("biconnected", biconnected_graphs(12)),
+        ("chain_heavy", chain_heavy_graphs(30)),
+        ("cactus", cactus_graphs(16)),
+        ("multi_bcc", multi_bcc_graphs(16)),
+        ("workload", workload_graphs(40)),
+    ]
+}
+
+/// The plan's structural invariants hold on every graph family.
+#[test]
+fn plan_invariants_hold_on_every_family() {
+    for (name, strat) in families() {
+        forall(format!("plan_invariants/{name}").leak())
+            .cases(16)
+            .run(&strat, |g| plan_invariants(g, &DecompPlan::build(g)));
+    }
+}
+
+fn assert_oracles_identical(g: &CsrGraph, method: ApspMethod, ctx: &str) -> Result<(), String> {
+    let exec = HeteroExecutor::sequential();
+    let direct = build_oracle(g, &exec, method);
+    let planned = build_oracle_with_plan(Arc::new(DecompPlan::build(g)), &exec, method);
+    for u in 0..g.n() as u32 {
+        for v in 0..g.n() as u32 {
+            let (a, b) = (direct.dist(u, v), planned.dist(u, v));
+            if a != b {
+                return Err(format!("{ctx}: dist({u},{v}) direct {a} vs planned {b}"));
+            }
+        }
+    }
+    let (sa, sb) = (direct.stats(), planned.stats());
+    if sa.n_bccs != sb.n_bccs
+        || sa.articulation_points != sb.articulation_points
+        || sa.removed_vertices != sb.removed_vertices
+        || sa.table_entries != sb.table_entries
+    {
+        return Err(format!("{ctx}: oracle stats diverge"));
+    }
+    Ok(())
+}
+
+/// `build_oracle` and `build_oracle_with_plan` materialize identical
+/// distance matrices and stats, for both the Ear and Plain methods.
+#[test]
+fn oracle_with_plan_is_bit_identical() {
+    for (name, strat) in families() {
+        forall(format!("oracle_with_plan/{name}").leak())
+            .cases(10)
+            .run(&strat, |g| {
+                assert_oracles_identical(g, ApspMethod::Ear, "ear")?;
+                assert_oracles_identical(g, ApspMethod::Plain, "plain")
+            });
+    }
+}
+
+/// `ReducedOracle::build` and `ReducedOracle::build_with_plan` answer
+/// every pair identically and store the same number of table entries.
+#[test]
+fn reduced_oracle_with_plan_is_bit_identical() {
+    for (name, strat) in families() {
+        forall(format!("reduced_oracle_with_plan/{name}").leak())
+            .cases(10)
+            .run(&strat, |g| {
+                let exec = HeteroExecutor::sequential();
+                let direct = ReducedOracle::build(g, &exec);
+                let planned = ReducedOracle::build_with_plan(Arc::new(DecompPlan::build(g)), &exec);
+                if direct.table_entries() != planned.table_entries() {
+                    return Err("table_entries diverge".into());
+                }
+                for u in 0..g.n() as u32 {
+                    for v in 0..g.n() as u32 {
+                        let (a, b) = (direct.dist(u, v), planned.dist(u, v));
+                        if a != b {
+                            return Err(format!("dist({u},{v}) direct {a} vs planned {b}"));
+                        }
+                    }
+                }
+                Ok(())
+            });
+    }
+}
+
+fn assert_mcb_identical(g: &CsrGraph, use_ear: bool) -> Result<(), String> {
+    let config = McbConfig {
+        mode: ExecMode::Sequential,
+        use_ear,
+    };
+    let direct = mcb(g, &config);
+    let planned = mcb_with_plan(g, &DecompPlan::build(g), &config);
+    if direct.total_weight != planned.total_weight
+        || direct.dim != planned.dim
+        || direct.removed_vertices != planned.removed_vertices
+    {
+        return Err(format!(
+            "summary diverges (ear {use_ear}): weight {}/{} dim {}/{} removed {}/{}",
+            direct.total_weight,
+            planned.total_weight,
+            direct.dim,
+            planned.dim,
+            direct.removed_vertices,
+            planned.removed_vertices
+        ));
+    }
+    for (i, (a, b)) in direct.cycles.iter().zip(&planned.cycles).enumerate() {
+        if a.edges != b.edges || a.weight != b.weight {
+            return Err(format!("cycle {i} diverges (ear {use_ear})"));
+        }
+    }
+    Ok(())
+}
+
+/// `mcb` and `mcb_with_plan` return the same basis cycle for cycle, edge
+/// for edge, with and without the ear reduction.
+#[test]
+fn mcb_with_plan_is_bit_identical() {
+    for (name, strat) in families() {
+        // `mcb` documents a simple-graph contract; skip the multigraph
+        // family here like the CLI front end does.
+        if name == "multigraph" {
+            continue;
+        }
+        forall(format!("mcb_with_plan/{name}").leak())
+            .cases(10)
+            .run(&strat, |g| {
+                if !g.is_simple() {
+                    return Ok(());
+                }
+                assert_mcb_identical(g, true)?;
+                assert_mcb_identical(g, false)
+            });
+    }
+}
+
+/// `GraphStats::measure` and `GraphStats::from_plan` report identical
+/// Table 1 columns.
+#[test]
+fn stats_from_plan_match_measure() {
+    for (name, strat) in families() {
+        forall(format!("stats_from_plan/{name}").leak())
+            .cases(16)
+            .run(&strat, |g| {
+                let a = GraphStats::measure(g);
+                let b = GraphStats::from_plan(&DecompPlan::build(g));
+                if a.n != b.n
+                    || a.m != b.m
+                    || a.n_bccs != b.n_bccs
+                    || a.largest_bcc_edges != b.largest_bcc_edges
+                    || a.removed != b.removed
+                    || a.articulation_points != b.articulation_points
+                    || a.table_entries != b.table_entries
+                    || a.reduced_table_entries != b.reduced_table_entries
+                {
+                    return Err(format!("stats diverge: {a:?} vs {b:?}"));
+                }
+                Ok(())
+            });
+    }
+}
+
+/// One `Arc<DecompPlan>` feeds the oracle, the reduced oracle, the MCB
+/// pipeline and the stats reporter — the combined-mode contract: a single
+/// decomposition serves every consumer with unchanged outputs.
+#[test]
+fn one_shared_plan_serves_every_consumer() {
+    forall("one_shared_plan_serves_every_consumer")
+        .cases(12)
+        .run(&simple_graphs(14), |g| {
+            let plan = Arc::new(DecompPlan::build(g));
+            let exec = HeteroExecutor::sequential();
+            plan_invariants(g, &plan)?;
+
+            let oracle = build_oracle_with_plan(Arc::clone(&plan), &exec, ApspMethod::Ear);
+            let reduced = ReducedOracle::build_with_plan(Arc::clone(&plan), &exec);
+            let cold = build_oracle(g, &exec, ApspMethod::Ear);
+            for u in 0..g.n() as u32 {
+                for v in 0..g.n() as u32 {
+                    if oracle.dist(u, v) != cold.dist(u, v) || reduced.dist(u, v) != cold.dist(u, v)
+                    {
+                        return Err(format!("shared-plan dist({u},{v}) diverges"));
+                    }
+                }
+            }
+
+            if g.is_simple() {
+                let config = McbConfig {
+                    mode: ExecMode::Sequential,
+                    use_ear: true,
+                };
+                let warm = mcb_with_plan(g, &plan, &config);
+                let cold = mcb(g, &config);
+                if warm.total_weight != cold.total_weight || warm.dim != cold.dim {
+                    return Err("shared-plan MCB diverges".into());
+                }
+            }
+
+            let stats = GraphStats::from_plan(&plan);
+            if stats.table_entries != GraphStats::measure(g).table_entries {
+                return Err("shared-plan stats diverge".into());
+            }
+            Ok(())
+        });
+}

@@ -2,24 +2,25 @@
 //! decomposition, degree-2 reduction, feedback vertex sets — driven by the
 //! shared `ear-testkit` strategies and invariant checkers.
 
-use ear_decomp::bcc::biconnected_components;
 use ear_decomp::ear::{ear_decomposition, validate_ears, EarError};
 use ear_decomp::fvs::{feedback_vertex_set, is_feedback_vertex_set};
+use ear_decomp::plan::DecompPlan;
 use ear_graph::{connected_components, CsrGraph, Weight};
 use ear_mcb::CycleSpace;
 use ear_testkit::{biconnected_graphs, chain_heavy_graphs, forall, invariants, simple_graphs};
 
 /// The edge sets of the biconnected components partition E (minus
-/// nothing: every edge belongs to exactly one component).
+/// nothing: every edge belongs to exactly one component), observed through
+/// the decomposition plan that now fronts the BCC split.
 #[test]
 fn bcc_edges_partition() {
     forall("bcc_edges_partition")
         .cases(64)
         .run(&simple_graphs(40), |g| {
-            let b = biconnected_components(g);
+            let plan = DecompPlan::build(g);
             let mut seen = vec![false; g.m()];
-            for comp in &b.comps {
-                for &e in comp {
+            for bp in plan.blocks() {
+                for &e in &bp.to_parent_edge {
                     if seen[e as usize] {
                         return Err(format!("edge {e} in two components"));
                     }
@@ -40,7 +41,7 @@ fn articulation_points_are_exactly_the_cut_vertices() {
     forall("articulation_points_are_exactly_the_cut_vertices")
         .cases(64)
         .run(&simple_graphs(24), |g| {
-            let b = biconnected_components(g);
+            let plan = DecompPlan::build(g);
             let base = connected_components(g);
             for v in 0..g.n() as u32 {
                 if g.degree(v) == 0 {
@@ -59,7 +60,8 @@ fn articulation_points_are_exactly_the_cut_vertices() {
                 // iff that count exceeds the original component count.
                 let remaining = connected_components(&without).count - 1;
                 let grew = remaining > base.count;
-                if b.is_articulation[v as usize] != grew {
+                let is_ap = plan.bct().ap_index[v as usize] != u32::MAX;
+                if is_ap != grew {
                     return Err(format!("vertex {v} articulation claim mismatch"));
                 }
             }
@@ -75,13 +77,13 @@ fn ear_decomposition_agrees_with_bcc() {
     forall("ear_decomposition_agrees_with_bcc")
         .cases(64)
         .run(&simple_graphs(30), |g| {
-            let b = biconnected_components(g);
+            let plan = DecompPlan::build(g);
             let comps = connected_components(g);
             let biconnected = g.n() >= 2
                 && g.m() >= 1
                 && comps.is_connected()
-                && b.count() == 1
-                && b.articulation_points().is_empty()
+                && plan.n_blocks() == 1
+                && plan.bct().ap_count() == 0
                 && g.m() >= g.n(); // single-edge K2 has no ear decomposition
             match ear_decomposition(g) {
                 Ok(d) => {
@@ -181,10 +183,11 @@ fn fvs_is_valid() {
 fn regression_triangle_with_pendant_edge() {
     let g = CsrGraph::from_edges(4, &[(0, 1, 1), (2, 3, 1), (3, 1, 1), (1, 2, 1)]);
     invariants::reduction_invariants(&g).unwrap();
-    let b = biconnected_components(&g);
+    let plan = DecompPlan::build(&g);
+    invariants::plan_invariants(&g, &plan).unwrap();
     let mut seen = vec![false; g.m()];
-    for comp in &b.comps {
-        for &e in comp {
+    for bp in plan.blocks() {
+        for &e in &bp.to_parent_edge {
             assert!(!seen[e as usize], "edge {e} in two components");
             seen[e as usize] = true;
         }
