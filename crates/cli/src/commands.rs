@@ -144,7 +144,12 @@ fn report_apsp(g: &CsrGraph, out: &ApspOutcome, pairs: &[(u32, u32)]) {
 }
 
 /// `ear mcb` — minimum cycle basis with verification.
-pub fn mcb(g: &CsrGraph, opts: &CommonOpts, print_cycles: bool) -> Result<(), String> {
+pub fn mcb(
+    g: &CsrGraph,
+    opts: &CommonOpts,
+    print_cycles: bool,
+    profile: bool,
+) -> Result<(), String> {
     if !g.is_simple() {
         return Err("mcb expects a simple graph (parallel edges/self-loops in input)".into());
     }
@@ -152,7 +157,44 @@ pub fn mcb(g: &CsrGraph, opts: &CommonOpts, print_cycles: bool) -> Result<(), St
         .mode(opts.mode)
         .use_ear(!opts.no_ear)
         .run(g);
-    report_mcb(g, &out, print_cycles)
+    report_mcb(g, &out, print_cycles)?;
+    if profile {
+        print_mcb_profile(&out.result.profile);
+    }
+    Ok(())
+}
+
+/// The `--profile` table: modelled makespan per phase step under the
+/// selected device mode, with shares over the phase loop (trees are
+/// preprocessing and excluded from the share base, matching
+/// `PhaseProfile::shares`).
+fn print_mcb_profile(p: &ear_mcb::PhaseProfile) {
+    let (l, s, u) = p.shares();
+    println!("phase profile (modelled):");
+    println!("  {:<10} {:>12} {:>8}", "step", "time (ms)", "share");
+    println!("  {:<10} {:>12.4} {:>8}", "trees", p.trees_s * 1e3, "-");
+    for (name, secs, share) in [
+        ("labels", p.labels_s, l),
+        ("search", p.search_s, s),
+        ("update", p.update_s, u),
+    ] {
+        println!(
+            "  {:<10} {:>12.4} {:>7.1}%",
+            name,
+            secs * 1e3,
+            share * 100.0
+        );
+    }
+    println!(
+        "  total {:.4} ms, {} signed-search fallbacks",
+        p.total_s() * 1e3,
+        p.fallbacks
+    );
+    let c = &p.counters;
+    println!(
+        "  counters: {} labels, {} cycles inspected, {} words xored, {} edges relaxed",
+        c.labels_computed, c.cycles_inspected, c.words_xored, c.edges_relaxed
+    );
 }
 
 fn report_mcb(g: &CsrGraph, out: &McbOutcome, print_cycles: bool) -> Result<(), String> {

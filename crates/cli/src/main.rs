@@ -4,7 +4,7 @@
 //! ear stats <graph>                      Table-1 style statistics
 //! ear decompose <graph>                  blocks, articulation points, ears, reduction
 //! ear apsp <graph> [--pairs u:v,...]     build the distance oracle, answer queries
-//! ear mcb <graph> [--print-cycles]       minimum cycle basis
+//! ear mcb <graph> [--print-cycles] [--profile]  minimum cycle basis
 //! ear combined <graph> [--pairs u:v,...] stats + APSP + MCB off one shared plan
 //! ear bc <graph> [--top K]               betweenness centrality
 //! ear generate <spec> <scale> [out]      write a synthetic Table-1 analog
@@ -40,7 +40,7 @@ fn usage() -> &'static str {
   ear stats <graph>
   ear decompose <graph>
   ear apsp <graph> [--pairs u:v[,u:v...]] [--mode M] [--no-ear]
-  ear mcb <graph> [--print-cycles] [--mode M] [--no-ear]
+  ear mcb <graph> [--print-cycles] [--profile] [--mode M] [--no-ear]
   ear combined <graph> [--pairs u:v[,u:v...]] [--mode M] [--no-ear]
   ear bc <graph> [--top K]
   ear generate <spec-name> <scale> [out-file]
@@ -86,7 +86,8 @@ fn run(args: Vec<String>) -> Result<(), String> {
             let g = load(rest.first().ok_or("missing graph path")?)?;
             let opts = CommonOpts::parse(&rest[1..])?;
             let print_cycles = rest.iter().any(|a| a == "--print-cycles");
-            commands::mcb(&g, &opts, print_cycles)
+            let profile = rest.iter().any(|a| a == "--profile");
+            commands::mcb(&g, &opts, print_cycles, profile)
         }
         "generate" => {
             let name = rest.first().ok_or("missing spec name")?;
@@ -128,7 +129,7 @@ impl CommonOpts {
                     };
                 }
                 "--no-ear" => no_ear = true,
-                "--pairs" | "--print-cycles" => {
+                "--pairs" | "--print-cycles" | "--profile" => {
                     if args[i] == "--pairs" {
                         i += 1; // value consumed by parse_pairs
                     }

@@ -132,6 +132,28 @@ fn mcb_finds_the_basis() {
 }
 
 #[test]
+fn mcb_profile_prints_phase_table() {
+    let p = tmpfile("theta7.txt", THETA);
+    let out = ear(&["mcb", p.to_str().unwrap(), "--profile", "--mode", "seq"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("phase profile"), "{text}");
+    for step in ["trees", "labels", "search", "update"] {
+        assert!(text.contains(step), "missing {step} row: {text}");
+    }
+    assert!(text.contains("0 signed-search fallbacks"), "{text}");
+    assert!(text.contains("counters:"), "{text}");
+    // Without the flag, no profile table.
+    let plain = ear(&["mcb", p.to_str().unwrap(), "--mode", "seq"]);
+    assert!(plain.status.success());
+    assert!(!String::from_utf8_lossy(&plain.stdout).contains("phase profile"));
+}
+
+#[test]
 fn reads_edge_list_from_stdin() {
     let out = ear_stdin(&["stats", "-"], THETA);
     assert!(out.status.success());

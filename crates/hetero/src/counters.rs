@@ -93,6 +93,60 @@ impl WorkCounters {
     }
 }
 
+/// Run-length-encoded cost groups of one recorded step: `(size hint,
+/// counters, unit count)` — the shape
+/// [`HeteroExecutor::simulate_grouped`](crate::HeteroExecutor::simulate_grouped)
+/// consumes. Grouping identical per-unit counters keeps trace replay
+/// O(distinct costs) instead of O(units).
+pub type UnitGroups = Vec<(u64, WorkCounters, u64)>;
+
+/// Compresses per-unit counters (all sharing one size hint) into run-length
+/// groups for [`crate::HeteroExecutor::simulate_grouped`].
+///
+/// The output order is deterministic whenever the realized counters have
+/// pairwise-distinct `(weighted_ops, count)` sort keys — true for every
+/// step the MCB phase loop records (label counts differ per tree size,
+/// update counters differ by the XOR word cost).
+pub fn group_units(hint: u64, per_unit: impl IntoIterator<Item = WorkCounters>) -> UnitGroups {
+    let mut map = std::collections::HashMap::<WorkCounters, u64>::new();
+    for c in per_unit {
+        *map.entry(c).or_insert(0) += 1;
+    }
+    let mut v: UnitGroups = map.into_iter().map(|(c, k)| (hint, c, k)).collect();
+    // Deterministic order (HashMap iteration is not).
+    v.sort_by_key(|&(_, c, k)| (std::cmp::Reverse(c.weighted_ops() as u64), k));
+    v
+}
+
+/// [`group_units`] specialised to a two-counter multiset: `n_heavy` units
+/// of cost `heavy` and `n_light` of cost `light`, with
+/// `heavy.weighted_ops() > light.weighted_ops()`.
+///
+/// Produces byte-identical output to feeding the equivalent multiset
+/// through [`group_units`], without hashing O(units) counter structs — the
+/// batched GF(2) kernels know the two group sizes in closed form (updated
+/// vs. untouched witnesses), so the per-phase trace costs O(1).
+pub fn group_units_two(
+    hint: u64,
+    heavy: WorkCounters,
+    n_heavy: u64,
+    light: WorkCounters,
+    n_light: u64,
+) -> UnitGroups {
+    debug_assert!(
+        heavy.weighted_ops() > light.weighted_ops(),
+        "group_units_two requires strictly ordered costs"
+    );
+    let mut v = UnitGroups::new();
+    if n_heavy > 0 {
+        v.push((hint, heavy, n_heavy));
+    }
+    if n_light > 0 {
+        v.push((hint, light, n_light));
+    }
+    v
+}
+
 impl std::ops::Add for WorkCounters {
     type Output = WorkCounters;
     fn add(mut self, rhs: WorkCounters) -> WorkCounters {
@@ -156,6 +210,41 @@ mod tests {
         ];
         let total: WorkCounters = parts.into_iter().sum();
         assert_eq!(total.words_xored, 10);
+    }
+
+    #[test]
+    fn group_units_compresses_and_orders() {
+        let heavy = WorkCounters {
+            words_xored: 9,
+            ..Default::default()
+        };
+        let light = WorkCounters {
+            words_xored: 2,
+            ..Default::default()
+        };
+        let groups = group_units(5, vec![light, heavy, light, light]);
+        assert_eq!(groups, vec![(5, heavy, 1), (5, light, 3)]);
+    }
+
+    #[test]
+    fn group_units_two_matches_group_units() {
+        let heavy = WorkCounters {
+            words_xored: 7,
+            ..Default::default()
+        };
+        let light = WorkCounters {
+            words_xored: 3,
+            ..Default::default()
+        };
+        for (nh, nl) in [(0u64, 0u64), (0, 4), (3, 0), (2, 5)] {
+            let multiset = std::iter::repeat_n(heavy, nh as usize)
+                .chain(std::iter::repeat_n(light, nl as usize));
+            assert_eq!(
+                group_units_two(11, heavy, nh, light, nl),
+                group_units(11, multiset),
+                "nh={nh} nl={nl}"
+            );
+        }
     }
 
     #[test]

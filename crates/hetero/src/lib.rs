@@ -31,7 +31,7 @@ pub mod executor;
 pub mod profile;
 pub mod queue;
 
-pub use counters::WorkCounters;
+pub use counters::{group_units, group_units_two, UnitGroups, WorkCounters};
 pub use executor::{DeviceReport, ExecutionReport, HeteroExecutor, RunOutput};
 pub use profile::{DeviceKind, DeviceProfile};
 pub use queue::WorkQueue;

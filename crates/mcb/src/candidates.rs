@@ -19,6 +19,8 @@ use ear_graph::{CsrGraph, EdgeId, SsspTree, VertexId, Weight};
 use ear_hetero::WorkCounters;
 use rayon::prelude::*;
 
+pub use ear_hetero::counters::group_units;
+
 /// One implicit candidate cycle `C_ze`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CandRef {
@@ -179,6 +181,10 @@ impl<'a> Iterator for LiveIter<'a> {
 
 /// The generated candidate set: FVS, per-`z` SSSP trees (with per-tree
 /// top-child arrays for the O(1) LCA-is-root test), and the sorted store.
+///
+/// `Clone` exists so benchmarks can snapshot a generated set and replay
+/// the (store-consuming) phase loop from the same starting state.
+#[derive(Clone)]
 pub struct Candidates {
     /// Feedback vertex set members.
     pub z: Vec<VertexId>,
@@ -208,22 +214,6 @@ impl Candidates {
         edges.push(c.edge);
         edges
     }
-}
-
-/// Compresses per-unit counters (all sharing one size hint) into run-length
-/// groups for [`ear_hetero::HeteroExecutor::simulate_grouped`].
-pub fn group_units(
-    hint: u64,
-    per_unit: impl IntoIterator<Item = WorkCounters>,
-) -> Vec<(u64, WorkCounters, u64)> {
-    let mut map = std::collections::HashMap::<WorkCounters, u64>::new();
-    for c in per_unit {
-        *map.entry(c).or_insert(0) += 1;
-    }
-    let mut v: Vec<(u64, WorkCounters, u64)> = map.into_iter().map(|(c, k)| (hint, c, k)).collect();
-    // Deterministic order (HashMap iteration is not).
-    v.sort_by_key(|&(_, c, k)| (std::cmp::Reverse(c.weighted_ops() as u64), k));
-    v
 }
 
 /// Generates the candidate set for `g`, building the per-`z` trees in

@@ -1,15 +1,31 @@
 //! The de Pina phase loop (paper Algorithm 2) with Mehlhorn–Michail
-//! candidates, per-phase instrumentation and heterogeneous cost modelling.
+//! candidates, per-phase instrumentation and heterogeneous cost modelling,
+//! executed on the packed GF(2) kernels of [`crate::kernels`].
 //!
-//! Each of the `f` phases:
-//! 1. **label pass** — recompute every tree's labels against the current
-//!    witness `S_i` (Algorithm 3; parallel across trees);
+//! All `f` witnesses live as columns of one word-transposed
+//! [`crate::kernels::BitMatrix`]; each of the `f` phases:
+//! 1. **label pass** — extract witness `S_i` from matrix column `i`
+//!    ([`crate::kernels::PackedWitness`]) and recompute every tree's labels
+//!    against it (Algorithm 3) as one sweep over the flat per-tree
+//!    edge-incidence packing ([`crate::kernels::TreePacks`]; parallel
+//!    across trees past a size threshold);
 //! 2. **search** — scan the weight-sorted candidate store for the first
-//!    cycle non-orthogonal to `S_i` (O(1) test per candidate; batch
-//!    parallel in the paper, early exit);
-//! 3. **independence test** — update every later witness `S_j ← S_j ⊕ S_i`
-//!    when `⟨C_i, S_j⟩ = 1` (parallel across witnesses; the GPU mode maps
-//!    one block per witness).
+//!    cycle non-orthogonal to `S_i` (O(1) packed test per candidate via
+//!    [`crate::kernels::EdgePack`]; early exit);
+//! 3. **independence test** — one batched row-XOR sweep updates every
+//!    later witness at once: `acc = ⊕_{b ∈ C_i} T[b]` computes all dots
+//!    `⟨C_i, S_j⟩` simultaneously, and `T[b] ^= mask(acc)` over the support
+//!    of `S_i` applies `S_j ← S_j ⊕ S_i` to every flagged `j > i` (row
+//!    blocks fan out on the rayon pool past a volume threshold — the GPU
+//!    mode's block-per-witness mapping, word-transposed).
+//!
+//! The batching changes *how* the work executes, never *what* the trace
+//! records: the per-unit [`WorkCounters`] multisets equal the scalar
+//! path's ([`legacy`]) exactly — label groups are phase-invariant and
+//! precomputed, and the update step's two-cost multiset (updated vs.
+//! untouched witnesses) comes from the batch in closed form via
+//! [`ear_hetero::group_units_two`]. `tests/mcb_kernels_differential.rs`
+//! enforces byte-identical traces against [`legacy`].
 //!
 //! If the restricted candidate set has no non-orthogonal member (possible
 //! when shortest-path ties defeat the Horton-set restriction), the phase
@@ -18,20 +34,17 @@
 //! load-bearing for worst-case correctness.
 
 use ear_graph::CsrGraph;
-use ear_hetero::{HeteroExecutor, WorkCounters};
-use rayon::prelude::*;
+use ear_hetero::{group_units, group_units_two, HeteroExecutor, WorkCounters};
 
-use crate::candidates::{self, group_units, Candidates};
-use crate::cycle_space::{Cycle, CycleSpace, DenseBits};
-use crate::labels::{candidate_dot, tree_labels, Labels};
+use crate::candidates::{self, Candidates};
+use crate::cycle_space::{Cycle, CycleSpace};
+use crate::kernels::with_depina_scratch;
 use crate::signed::min_cycle_nonorthogonal;
 
-/// Run-length-encoded cost groups of one phase step: `(size hint,
-/// counters, unit count)`.
-pub type UnitGroups = Vec<(u64, WorkCounters, u64)>;
+pub use ear_hetero::UnitGroups;
 
 /// The recorded steps of one de Pina phase.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct PhaseSteps {
     /// Label pass (one unit per tree).
     pub labels: UnitGroups,
@@ -48,7 +61,7 @@ pub struct PhaseSteps {
 /// ([`replay_trace`]) — which is sound because the algorithm is
 /// deterministic and its results are mode-independent (asserted by the
 /// cross-validation tests).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct PhaseTrace {
     /// Tree-construction phase (one unit per FVS vertex).
     pub tree: UnitGroups,
@@ -159,102 +172,264 @@ pub fn depina_mcb(
     (basis, profile)
 }
 
-/// The de Pina phase loop, recording a device-independent [`PhaseTrace`].
+/// The batched de Pina algorithm, recording a device-independent
+/// [`PhaseTrace`]: candidate generation plus [`depina_phase_loop`].
 pub fn depina_mcb_traced(g: &CsrGraph, opts: &DepinaOptions) -> (Vec<Cycle>, PhaseTrace) {
     let cs = CycleSpace::new(g);
-    let f = cs.dim();
     let mut trace = PhaseTrace::default();
-    if f == 0 {
+    if cs.dim() == 0 {
         return (Vec::new(), trace);
     }
-
     let mut cands: Candidates = candidates::generate(g);
     trace.tree = cands.tree_units.clone();
+    let (basis, loop_trace) = depina_phase_loop(g, &cs, &mut cands, opts);
+    trace.merge(loop_trace);
+    (basis, trace)
+}
 
-    let mut witnesses: Vec<DenseBits> = (0..f).map(|i| DenseBits::unit(f, i)).collect();
+/// The batched phase loop alone, against a prebuilt candidate set (the
+/// store is consumed). Exposed separately so benchmarks can time the loop
+/// without tree construction; the returned trace's `tree` groups are empty
+/// — [`depina_mcb_traced`] fills them from [`Candidates::tree_units`].
+pub fn depina_phase_loop(
+    g: &CsrGraph,
+    cs: &CycleSpace,
+    cands: &mut Candidates,
+    opts: &DepinaOptions,
+) -> (Vec<Cycle>, PhaseTrace) {
+    let f = cs.dim();
+    let mut trace = PhaseTrace::default();
     let mut basis: Vec<Cycle> = Vec::with_capacity(f);
-    let n_hint = g.n() as u64 + 1;
-
-    for i in 0..f {
-        let s = witnesses[i].clone();
-        let mut steps = PhaseSteps::default();
-
-        // Phase 1: labels, parallel across trees (paper Algorithm 3).
-        let labelled: Vec<(Vec<bool>, WorkCounters)> = cands
-            .trees
-            .par_iter()
-            .zip(&cands.order)
-            .map(|(t, ord)| tree_labels(t, ord, &cs, &s))
-            .collect();
-        steps.labels = group_units(n_hint, labelled.iter().map(|(_, c)| *c));
-        let labels = Labels {
-            per_tree: labelled.into_iter().map(|(l, _)| l).collect(),
-        };
-
-        // Phase 2: scan the weight-sorted store for the first cycle
-        // non-orthogonal to S_i.
-        let mut inspected = 0u64;
-        let cand = if opts.force_signed {
-            None
-        } else {
-            cands
-                .store
-                .take_first(|c| candidate_dot(c, &labels, &cs, &s, g), &mut inspected)
-        };
-        if inspected > 0 {
-            steps.search.push((
-                1,
-                WorkCounters {
-                    cycles_inspected: 1,
-                    ..Default::default()
-                },
-                inspected,
-            ));
-        }
-        let cycle = match cand {
-            Some(c) => {
-                let edges = cands.materialize(g, &c);
-                let cyc = cs.cycle_from_edges(g, edges);
-                debug_assert_eq!(cyc.weight, c.live_weight());
-                cyc
-            }
-            None => {
-                // Backstop: exact signed search over the FVS roots. Its
-                // Dijkstra work is charged to the search step.
-                trace.fallbacks += usize::from(!opts.force_signed);
-                let mut c = WorkCounters::default();
-                let cyc = min_cycle_nonorthogonal(g, &cs, &s, Some(&cands.z), &mut c)
-                    .expect("every de Pina witness admits a cycle");
-                steps.search.push((n_hint, c, 1));
-                cyc
-            }
-        };
-        debug_assert!(s.sparse_dot(&cycle.nt), "chosen cycle must hit its witness");
-
-        // Phase 3: witness update, parallel across the remaining witnesses
-        // (steps 4-6 of the paper's Algorithm 2).
-        let words = (f as u64).div_ceil(64);
-        let update_counters: Vec<WorkCounters> = witnesses[i + 1..]
-            .par_iter_mut()
-            .map(|sj| {
-                let mut c = WorkCounters {
-                    words_xored: cycle.nt.len() as u64,
-                    ..Default::default()
-                };
-                if sj.sparse_dot(&cycle.nt) {
-                    sj.xor_assign(&s);
-                    c.words_xored += words;
-                }
-                c
-            })
-            .collect();
-        steps.update = group_units(words, update_counters);
-
-        trace.phases.push(steps);
-        basis.push(cycle);
+    if f == 0 {
+        return (basis, trace);
     }
+    let n_hint = g.n() as u64 + 1;
+    let words = (f as u64).div_ceil(64);
+
+    with_depina_scratch(|scr| {
+        scr.prepare(g, cs, cands);
+
+        // The label-pass cost groups are phase-invariant: every phase
+        // labels the same trees over the same vertex sets, only the label
+        // *values* differ. One computation, cloned per phase — identical
+        // to the scalar path's per-phase grouping because the realized
+        // per-tree counters are the same multiset every time.
+        let label_groups = group_units(
+            n_hint,
+            (0..scr.tree_packs.trees()).map(|t| WorkCounters {
+                labels_computed: scr.tree_packs.count(t),
+                ..Default::default()
+            }),
+        );
+
+        for i in 0..f {
+            let mut steps = PhaseSteps::default();
+
+            // Phase 1: extract S_i from matrix column i and run the packed
+            // label pass over every tree (paper Algorithm 3).
+            scr.begin_phase(i);
+            steps.labels = label_groups.clone();
+
+            // Phase 2: scan the weight-sorted store for the first cycle
+            // non-orthogonal to S_i (packed O(1) test per candidate).
+            let mut inspected = 0u64;
+            let cand = if opts.force_signed {
+                None
+            } else {
+                cands
+                    .store
+                    .take_first(|c| scr.candidate_dot(c), &mut inspected)
+            };
+            if inspected > 0 {
+                steps.search.push((
+                    1,
+                    WorkCounters {
+                        cycles_inspected: 1,
+                        ..Default::default()
+                    },
+                    inspected,
+                ));
+            }
+            let cycle = match cand {
+                Some(c) => {
+                    let edges = cands.materialize(g, &c);
+                    let cyc = cs.cycle_from_edges(g, edges);
+                    debug_assert_eq!(cyc.weight, c.live_weight());
+                    cyc
+                }
+                None => {
+                    // Backstop: exact signed search over the FVS roots. Its
+                    // Dijkstra work is charged to the search step.
+                    trace.fallbacks += usize::from(!opts.force_signed);
+                    let mut c = WorkCounters::default();
+                    let s = scr.witness.to_dense();
+                    let cyc = min_cycle_nonorthogonal(g, cs, &s, Some(&cands.z), &mut c)
+                        .expect("every de Pina witness admits a cycle");
+                    steps.search.push((n_hint, c, 1));
+                    cyc
+                }
+            };
+
+            // Phase 3: one batched row-XOR sweep updates every remaining
+            // witness (steps 4-6 of the paper's Algorithm 2). The trace
+            // still records one unit per remaining witness, at exactly the
+            // scalar path's two per-unit costs: every witness pays the
+            // |C_i|-word dot, updated ones pay the ⌈f/64⌉-word XOR on top.
+            let updated = scr.update_witnesses(i, &cycle.nt);
+            let light = WorkCounters {
+                words_xored: cycle.nt.len() as u64,
+                ..Default::default()
+            };
+            let heavy = WorkCounters {
+                words_xored: cycle.nt.len() as u64 + words,
+                ..Default::default()
+            };
+            let n_light = (f - 1 - i) as u64 - updated;
+            steps.update = group_units_two(words, heavy, updated, light, n_light);
+
+            trace.phases.push(steps);
+            basis.push(cycle);
+        }
+    });
 
     (basis, trace)
+}
+
+pub mod legacy {
+    //! The scalar de Pina phase loop — one [`DenseBits`] vector per
+    //! witness, per-witness sparse dots and XORs, fresh label vectors per
+    //! phase. Retained verbatim as the differential-testing reference for
+    //! the batched kernel path (mirroring `ear_graph::dijkstra::legacy`):
+    //! `tests/mcb_kernels_differential.rs` asserts both paths produce
+    //! identical bases *and* byte-identical [`PhaseTrace`]s.
+
+    use super::*;
+    use crate::cycle_space::DenseBits;
+    use crate::labels::{candidate_dot, tree_labels, Labels};
+    use rayon::prelude::*;
+
+    /// Scalar [`super::depina_mcb`]: basis plus modelled profile.
+    pub fn depina_mcb(
+        g: &CsrGraph,
+        exec: &HeteroExecutor,
+        opts: &DepinaOptions,
+    ) -> (Vec<Cycle>, PhaseProfile) {
+        let (basis, trace) = depina_mcb_traced(g, opts);
+        let profile = replay_trace(&trace, exec);
+        (basis, profile)
+    }
+
+    /// Scalar [`super::depina_mcb_traced`].
+    pub fn depina_mcb_traced(g: &CsrGraph, opts: &DepinaOptions) -> (Vec<Cycle>, PhaseTrace) {
+        let cs = CycleSpace::new(g);
+        let mut trace = PhaseTrace::default();
+        if cs.dim() == 0 {
+            return (Vec::new(), trace);
+        }
+        let mut cands: Candidates = candidates::generate(g);
+        trace.tree = cands.tree_units.clone();
+        let (basis, loop_trace) = depina_phase_loop(g, &cs, &mut cands, opts);
+        trace.merge(loop_trace);
+        (basis, trace)
+    }
+
+    /// Scalar [`super::depina_phase_loop`]: the original per-witness loop.
+    pub fn depina_phase_loop(
+        g: &CsrGraph,
+        cs: &CycleSpace,
+        cands: &mut Candidates,
+        opts: &DepinaOptions,
+    ) -> (Vec<Cycle>, PhaseTrace) {
+        let f = cs.dim();
+        let mut trace = PhaseTrace::default();
+        let mut basis: Vec<Cycle> = Vec::with_capacity(f);
+        if f == 0 {
+            return (basis, trace);
+        }
+        let mut witnesses: Vec<DenseBits> = (0..f).map(|i| DenseBits::unit(f, i)).collect();
+        let n_hint = g.n() as u64 + 1;
+
+        for i in 0..f {
+            let s = witnesses[i].clone();
+            let mut steps = PhaseSteps::default();
+
+            // Phase 1: labels, parallel across trees (paper Algorithm 3).
+            let labelled: Vec<(Vec<bool>, WorkCounters)> = cands
+                .trees
+                .par_iter()
+                .zip(&cands.order)
+                .map(|(t, ord)| tree_labels(t, ord, cs, &s))
+                .collect();
+            steps.labels = group_units(n_hint, labelled.iter().map(|(_, c)| *c));
+            let labels = Labels {
+                per_tree: labelled.into_iter().map(|(l, _)| l).collect(),
+            };
+
+            // Phase 2: scan the weight-sorted store for the first cycle
+            // non-orthogonal to S_i.
+            let mut inspected = 0u64;
+            let cand = if opts.force_signed {
+                None
+            } else {
+                cands
+                    .store
+                    .take_first(|c| candidate_dot(c, &labels, cs, &s, g), &mut inspected)
+            };
+            if inspected > 0 {
+                steps.search.push((
+                    1,
+                    WorkCounters {
+                        cycles_inspected: 1,
+                        ..Default::default()
+                    },
+                    inspected,
+                ));
+            }
+            let cycle = match cand {
+                Some(c) => {
+                    let edges = cands.materialize(g, &c);
+                    let cyc = cs.cycle_from_edges(g, edges);
+                    debug_assert_eq!(cyc.weight, c.live_weight());
+                    cyc
+                }
+                None => {
+                    // Backstop: exact signed search over the FVS roots. Its
+                    // Dijkstra work is charged to the search step.
+                    trace.fallbacks += usize::from(!opts.force_signed);
+                    let mut c = WorkCounters::default();
+                    let cyc = min_cycle_nonorthogonal(g, cs, &s, Some(&cands.z), &mut c)
+                        .expect("every de Pina witness admits a cycle");
+                    steps.search.push((n_hint, c, 1));
+                    cyc
+                }
+            };
+            debug_assert!(s.sparse_dot(&cycle.nt), "chosen cycle must hit its witness");
+
+            // Phase 3: witness update, parallel across the remaining
+            // witnesses (steps 4-6 of the paper's Algorithm 2).
+            let words = (f as u64).div_ceil(64);
+            let update_counters: Vec<WorkCounters> = witnesses[i + 1..]
+                .par_iter_mut()
+                .map(|sj| {
+                    let mut c = WorkCounters {
+                        words_xored: cycle.nt.len() as u64,
+                        ..Default::default()
+                    };
+                    if sj.sparse_dot(&cycle.nt) {
+                        sj.xor_assign(&s);
+                        c.words_xored += words;
+                    }
+                    c
+                })
+                .collect();
+            steps.update = group_units(words, update_counters);
+
+            trace.phases.push(steps);
+            basis.push(cycle);
+        }
+
+        (basis, trace)
+    }
 }
 
 #[cfg(test)]
@@ -278,6 +453,11 @@ mod tests {
             weight(&reference),
             "weight vs signed reference"
         );
+        // The batched kernels must record exactly the scalar path's trace.
+        let (legacy_basis, legacy_trace) = legacy::depina_mcb_traced(g, &DepinaOptions::default());
+        let (_, trace) = depina_mcb_traced(g, &DepinaOptions::default());
+        assert_eq!(weight(&basis), weight(&legacy_basis));
+        assert_eq!(trace, legacy_trace, "batched vs legacy trace");
         (basis, profile)
     }
 

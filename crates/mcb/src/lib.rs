@@ -13,14 +13,19 @@
 //!   stored weight-sorted in the paper's hybrid linked-list-of-arrays
 //!   [`candidates::CycleStore`] with MSB tombstones;
 //! * [`labels`] — Algorithm 3: per-tree node labels that make each
-//!   orthogonality test O(1);
+//!   orthogonality test O(1) (scalar form, used by the `depina::legacy`
+//!   reference path);
+//! * [`kernels`] — the packed GF(2) kernel layer: word-transposed witness
+//!   matrix, packed per-tree edge incidence, pooled scratch — the batched
+//!   engine under the phase loop;
 //! * [`signed`] — de Pina's signed auxiliary-graph search (§3.2.1), used
 //!   both as a standalone exact algorithm and as the correctness backstop
 //!   when candidate restriction plus tie-breaking leaves a phase empty;
 //! * [`horton`] — Horton's original algorithm with Gaussian elimination
 //!   (small-graph cross-validation baseline);
 //! * [`depina`] — the phase loop: label pass → batched candidate scan →
-//!   witness update, instrumented per phase;
+//!   batched witness update, instrumented per phase; the scalar original
+//!   survives as [`depina::legacy`] for differential testing;
 //! * [`ear_mcb`] — the full pipeline: BCC split, ear reduction, per-block
 //!   MCB, chain re-expansion (Lemma 3.1);
 //! * [`verify`] — independence (GF(2) rank), dimension and weight checks.
@@ -37,15 +42,18 @@ pub mod cycle_space;
 pub mod depina;
 pub mod ear_mcb;
 pub mod horton;
+pub mod kernels;
 pub mod labels;
 pub mod signed;
 pub mod verify;
 
 pub use cycle_space::{Cycle, CycleSpace, DenseBits};
 pub use depina::{
-    depina_mcb, depina_mcb_traced, replay_trace, DepinaOptions, PhaseProfile, PhaseTrace,
+    depina_mcb, depina_mcb_traced, depina_phase_loop, replay_trace, DepinaOptions, PhaseProfile,
+    PhaseSteps, PhaseTrace,
 };
 pub use ear_mcb::{mcb, mcb_all_modes, mcb_with_plan, ExecMode, McbConfig, McbResult};
 pub use horton::horton_mcb;
+pub use kernels::{with_depina_scratch, BitMatrix, DepinaScratch, PackedWitness};
 pub use signed::signed_mcb;
 pub use verify::{basis_rank, is_cycle_vector, verify_basis};

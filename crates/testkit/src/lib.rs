@@ -40,6 +40,7 @@ pub use differential::{cross_validate, cross_validate_apsp, cross_validate_mcb, 
 pub use rng::TestRng;
 pub use runner::{forall, Forall};
 pub use strategy::{
-    biconnected_graphs, cactus_graphs, chain_heavy_graphs, from_fn, multi_bcc_graphs, multigraphs,
-    simple_graphs, usizes, workload_graphs, zip, GraphStrategy, Strategy,
+    biconnected_graphs, cactus_graphs, chain_heavy_graphs, dense_residual_graphs, from_fn,
+    multi_bcc_graphs, multigraphs, simple_graphs, usizes, workload_graphs, zip, GraphStrategy,
+    Strategy,
 };

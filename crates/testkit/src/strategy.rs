@@ -18,6 +18,9 @@
 //! * [`multi_bcc_graphs`] — disconnected unions of blocks, bridges,
 //!   pendants and isolated vertices: the block-cut-tree routing worst
 //!   case;
+//! * [`dense_residual_graphs`] — few vertices, dense chords: cycle rank
+//!   `f = Θ(n²) ≥ n`, stressing the MCB back half (witness matrix and
+//!   phase loop) rather than decomposition;
 //! * [`workload_graphs`] — the `ear-workloads` generators wrapped as a
 //!   strategy, so integration tests draw from the same family the
 //!   benchmarks use.
@@ -58,6 +61,7 @@ enum Family {
     ChainHeavy,
     Cactus,
     MultiBcc,
+    DenseResidual,
     Workload,
 }
 
@@ -128,6 +132,19 @@ pub fn multi_bcc_graphs(max_n: usize) -> GraphStrategy {
         family: Family::MultiBcc,
         max_n: max_n.max(8),
         max_w: 100,
+    }
+}
+
+/// High-cycle-rank "dense residual" graphs: a Hamiltonian cycle on few
+/// vertices plus a dense chord set, guaranteeing cycle rank `f ≥ n` — the
+/// witness matrix is wide relative to the graph, so the de Pina phase loop
+/// dominates. Simple and connected; no shrinking (dropping edges lowers
+/// the rank out of the family).
+pub fn dense_residual_graphs(max_n: usize) -> GraphStrategy {
+    GraphStrategy {
+        family: Family::DenseResidual,
+        max_n: max_n.max(7),
+        max_w: 30,
     }
 }
 
@@ -258,6 +275,38 @@ impl GraphStrategy {
         CsrGraph::from_edges((base + isolated) as usize, &edges)
     }
 
+    fn gen_dense_residual(&self, rng: &mut TestRng) -> CsrGraph {
+        let n = rng.usize_in(6, self.max_n);
+        let nu = n as u32;
+        let mut edges: Vec<(u32, u32, Weight)> = Vec::new();
+        // Hamiltonian cycle: connected by construction, so f = m - n + 1.
+        for v in 0..nu {
+            edges.push((v, (v + 1) % nu, rng.u64_in(1, self.max_w + 1)));
+        }
+        // Dense chords: keep each non-cycle pair with high probability.
+        let mut skipped: Vec<(u32, u32)> = Vec::new();
+        for u in 0..nu {
+            for v in u + 2..nu {
+                if u == 0 && v == nu - 1 {
+                    continue; // the closing edge of the Hamiltonian cycle
+                }
+                if rng.percent(75) {
+                    edges.push((u, v, rng.u64_in(1, self.max_w + 1)));
+                } else {
+                    skipped.push((u, v));
+                }
+            }
+        }
+        // Guarantee rank f = chords + 1 ≥ n + 1 even when the coin runs
+        // cold: top up from the skipped pairs (n·(n-3)/2 ≥ n for n ≥ 6,
+        // so enough pairs always exist).
+        let missing = n.saturating_sub(edges.len() - n);
+        for (u, v) in skipped.into_iter().take(missing) {
+            edges.push((u, v, rng.u64_in(1, self.max_w + 1)));
+        }
+        CsrGraph::from_edges(n, &edges)
+    }
+
     fn gen_workload(&self, rng: &mut TestRng) -> CsrGraph {
         match rng.usize_in(0, 3) {
             0 => {
@@ -288,6 +337,7 @@ impl Strategy for GraphStrategy {
             Family::ChainHeavy => self.gen_chain_heavy(rng),
             Family::Cactus => self.gen_cactus(rng),
             Family::MultiBcc => self.gen_multi_bcc(rng),
+            Family::DenseResidual => self.gen_dense_residual(rng),
             Family::Workload => self.gen_workload(rng),
         }
     }
@@ -502,6 +552,24 @@ mod tests {
         for seed in 0..30 {
             let g = s.generate(&mut rng(seed));
             assert!(connected_components(&g).count >= 2, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn dense_residual_graphs_have_high_cycle_rank() {
+        let s = dense_residual_graphs(14);
+        for seed in 0..30 {
+            let g = s.generate(&mut rng(seed));
+            assert!(g.is_simple(), "seed {seed}");
+            assert!(connected_components(&g).is_connected(), "seed {seed}");
+            // Connected, so the cycle rank is m - n + 1; the family
+            // guarantees it exceeds the vertex count.
+            assert!(
+                g.m() + 1 >= 2 * g.n(),
+                "seed {seed}: rank {} below n {}",
+                g.m() - g.n() + 1,
+                g.n()
+            );
         }
     }
 

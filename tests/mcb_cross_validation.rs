@@ -6,7 +6,7 @@
 use ear_graph::{CsrGraph, Weight};
 use ear_mcb::depina::{depina_mcb, DepinaOptions};
 use ear_mcb::{horton_mcb, mcb, signed_mcb, verify_basis, CycleSpace, ExecMode, McbConfig};
-use ear_testkit::{forall, invariants, multigraphs, simple_graphs};
+use ear_testkit::{dense_residual_graphs, forall, invariants, multigraphs, simple_graphs};
 
 fn weight(cycles: &[ear_mcb::Cycle]) -> Weight {
     cycles.iter().map(|c| c.weight).sum()
@@ -66,6 +66,36 @@ fn depina_matches_signed_on_multigraphs() {
                     profile.fallbacks,
                     restricted.len()
                 ));
+            }
+            Ok(())
+        });
+}
+
+/// The high-rank stress family: on dense residual graphs (`f ≥ n`, wide
+/// witness matrices) the batched phase loop still agrees with Horton's
+/// algorithm across the execution-mode grid.
+#[test]
+fn pipeline_grid_matches_horton_on_dense_residual() {
+    forall("pipeline_grid_matches_horton_on_dense_residual")
+        .cases(25)
+        .run(&dense_residual_graphs(13), |g| {
+            let reference = weight(&horton_mcb(g));
+            for mode in [ExecMode::Sequential, ExecMode::Hetero] {
+                let out = mcb(
+                    g,
+                    &McbConfig {
+                        mode,
+                        use_ear: true,
+                    },
+                );
+                if out.total_weight != reference {
+                    return Err(format!(
+                        "mode {mode:?}: weight {} vs horton {reference}",
+                        out.total_weight
+                    ));
+                }
+                invariants::basis_valid(g, &out.cycles)
+                    .map_err(|e| format!("mode {mode:?}: {e}"))?;
             }
             Ok(())
         });
