@@ -39,7 +39,7 @@ pub enum ApspMethod {
 }
 
 /// Structural and memory statistics — the columns of the paper's Table 1.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct OracleStats {
     /// `|V|`.
     pub n: usize,
@@ -260,6 +260,7 @@ pub fn build_oracle_with_plan(
     method: ApspMethod,
 ) -> DistanceOracle {
     let nb = plan.n_blocks();
+    let _build_span = ear_obs::span_with("apsp.build", plan.n() as u64);
     // Ear reduction requires simple blocks; a multigraph input's parallel
     // bundles fall back to plain processing for that block. The plan's
     // per-block `reduction` accessor is the single guard.
@@ -269,6 +270,7 @@ pub fn build_oracle_with_plan(
     };
 
     // Phase II: one workunit per (block, source-in-processed-graph).
+    let phase2_span = ear_obs::span("apsp.phase2");
     let units: Vec<(u32, u32)> = (0..nb as u32)
         .flat_map(|b| {
             let srcs = match red(b) {
@@ -319,9 +321,11 @@ pub fn build_oracle_with_plan(
             srs[b as usize].set(s, t as u32, w);
         }
     }
+    drop(phase2_span);
 
     // Phase III (Ear only): extend each block's reduced matrix to the whole
     // block; workunits are (block, vertex) rows.
+    let phase3_span = ear_obs::span("apsp.phase3");
     let (tables, phase3) = match method {
         ApspMethod::Plain => (srs, None),
         ApspMethod::Ear => {
@@ -352,8 +356,10 @@ pub fn build_oracle_with_plan(
             (tables, Some(report))
         }
     };
+    drop(phase3_span);
 
     // Stage 2 post-processing: the AP graph and its all-sources Dijkstra.
+    let ap_span = ear_obs::span("apsp.ap_table");
     let bct = plan.bct();
     let a = bct.ap_count();
     let mut ap_edges: Vec<(u32, u32, Weight)> = Vec::new();
@@ -398,6 +404,7 @@ pub fn build_oracle_with_plan(
         },
     );
     let ap_table = DistMatrix::from_rows(ap_rows);
+    drop(ap_span);
 
     // Statistics.
     let removed = match method {
@@ -424,6 +431,11 @@ pub fn build_oracle_with_plan(
         table_entries,
         max_entries: (plan.n() as u64).pow(2),
     };
+    if ear_obs::is_enabled() {
+        ear_obs::counter_add("apsp.oracles", 1);
+        ear_obs::counter_add("apsp.table_entries", table_entries);
+        ear_obs::counter_add("apsp.removed_vertices", removed as u64);
+    }
 
     let processing = match phase3 {
         Some(p3) => merge_reports(phase2, p3),

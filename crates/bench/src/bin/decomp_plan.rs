@@ -35,6 +35,7 @@ struct Opts {
     smoke: bool,
     max_n: usize,
     out: String,
+    obs: ear_bench::report::ObsOpts,
 }
 
 fn parse_args() -> Opts {
@@ -44,10 +45,15 @@ fn parse_args() -> Opts {
         smoke: false,
         max_n: 48,
         out: "BENCH_decomp.json".to_string(),
+        obs: Default::default(),
     };
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < args.len() {
+        if opts.obs.try_parse(&args, &mut i) {
+            i += 1;
+            continue;
+        }
         match args[i].as_str() {
             "--seed" => {
                 i += 1;
@@ -169,6 +175,7 @@ struct FamilyResult {
     graphs: usize,
     vertices: u64,
     edges: u64,
+    checksum: Weight,
     plan_build_ns: f64,
     duplicated_front_ns: f64,
     front_speedup: f64,
@@ -212,6 +219,7 @@ fn bench_family(w: &Workload, reps: usize) -> FamilyResult {
         graphs: w.graphs.len(),
         vertices: w.vertices,
         edges: w.edges,
+        checksum: shared_sum,
         plan_build_ns: plan,
         duplicated_front_ns: dup,
         front_speedup: dup / plan,
@@ -222,64 +230,35 @@ fn bench_family(w: &Workload, reps: usize) -> FamilyResult {
 }
 
 fn write_json(path: &str, opts: &Opts, results: &[FamilyResult]) {
-    let mut s = String::new();
-    s.push_str("{\n");
-    s.push_str("  \"bench\": \"decomp_plan\",\n");
-    s.push_str(&format!("  \"seed\": {},\n", opts.seed));
-    s.push_str(&format!("  \"reps\": {},\n", opts.reps));
-    s.push_str(&format!("  \"smoke\": {},\n", opts.smoke));
-    s.push_str(&format!("  \"duplicated_sites\": {DUPLICATED_SITES},\n"));
-    s.push_str("  \"families\": [\n");
-    for (i, r) in results.iter().enumerate() {
-        s.push_str("    {\n");
-        s.push_str(&format!("      \"family\": \"{}\",\n", r.family));
-        s.push_str(&format!("      \"graphs\": {},\n", r.graphs));
-        s.push_str(&format!("      \"vertices\": {},\n", r.vertices));
-        s.push_str(&format!("      \"edges\": {},\n", r.edges));
-        s.push_str(&format!(
-            "      \"plan_build_ns\": {:.0},\n",
-            r.plan_build_ns
-        ));
-        s.push_str(&format!(
-            "      \"duplicated_front_ns\": {:.0},\n",
-            r.duplicated_front_ns
-        ));
-        s.push_str(&format!(
-            "      \"front_speedup\": {:.3},\n",
-            r.front_speedup
-        ));
-        s.push_str(&format!("      \"cold_combined_ns\": {:.0},\n", r.cold_ns));
-        s.push_str(&format!(
-            "      \"shared_combined_ns\": {:.0},\n",
-            r.shared_ns
-        ));
-        s.push_str(&format!(
-            "      \"combined_speedup\": {:.3}\n",
-            r.combined_speedup
-        ));
-        s.push_str(if i + 1 == results.len() {
-            "    }\n"
-        } else {
-            "    },\n"
-        });
+    let mut rep = ear_bench::report::Report::new("decomp_plan");
+    rep.params()
+        .uint("seed", opts.seed)
+        .uint("reps", opts.reps as u64)
+        .flag("smoke", opts.smoke)
+        .uint("duplicated_sites", DUPLICATED_SITES as u64);
+    for r in results {
+        rep.family(r.family, r.checksum, opts.reps as u64)
+            .uint("graphs", r.graphs as u64)
+            .uint("vertices", r.vertices)
+            .uint("edges", r.edges)
+            .num("plan_build_ns", r.plan_build_ns, 0)
+            .num("duplicated_front_ns", r.duplicated_front_ns, 0)
+            .num("front_speedup", r.front_speedup, 3)
+            .num("cold_combined_ns", r.cold_ns, 0)
+            .num("shared_combined_ns", r.shared_ns, 0)
+            .num("combined_speedup", r.combined_speedup, 3);
     }
-    s.push_str("  ],\n");
     let mut front: Vec<f64> = results.iter().map(|r| r.front_speedup).collect();
     let mut combined: Vec<f64> = results.iter().map(|r| r.combined_speedup).collect();
-    s.push_str(&format!(
-        "  \"median_front_speedup\": {:.3},\n",
-        median(&mut front)
-    ));
-    s.push_str(&format!(
-        "  \"median_combined_speedup\": {:.3}\n",
-        median(&mut combined)
-    ));
-    s.push_str("}\n");
-    std::fs::write(path, s).expect("write JSON");
+    rep.summary()
+        .num("median_front_speedup", median(&mut front), 3)
+        .num("median_combined_speedup", median(&mut combined), 3);
+    rep.write(path);
 }
 
 fn main() {
     let opts = parse_args();
+    opts.obs.init();
     let (max_n, cases_per_family, reps) = if opts.smoke {
         (24, 3, 2)
     } else {
@@ -316,5 +295,5 @@ fn main() {
     }
     table.print();
     write_json(&opts.out, &opts, &results);
-    println!("wrote {}", opts.out);
+    opts.obs.finish();
 }

@@ -64,6 +64,7 @@ struct Opts {
     smoke: bool,
     max_n: usize,
     out: String,
+    obs: ear_bench::report::ObsOpts,
 }
 
 fn parse_args() -> Opts {
@@ -73,10 +74,15 @@ fn parse_args() -> Opts {
         smoke: false,
         max_n: 96,
         out: "BENCH_mcb.json".to_string(),
+        obs: Default::default(),
     };
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < args.len() {
+        if opts.obs.try_parse(&args, &mut i) {
+            i += 1;
+            continue;
+        }
         match args[i].as_str() {
             "--seed" => {
                 i += 1;
@@ -246,54 +252,31 @@ fn bench_family(w: &Workload, reps: usize) -> FamilyResult {
 }
 
 fn write_json(path: &str, opts: &Opts, results: &[FamilyResult]) {
-    let mut s = String::new();
-    s.push_str("{\n");
-    s.push_str("  \"bench\": \"mcb_kernels\",\n");
-    s.push_str(&format!("  \"seed\": {},\n", opts.seed));
-    s.push_str(&format!("  \"reps\": {},\n", opts.reps));
-    s.push_str(&format!("  \"smoke\": {},\n", opts.smoke));
-    s.push_str("  \"families\": [\n");
-    for (i, r) in results.iter().enumerate() {
-        s.push_str("    {\n");
-        s.push_str(&format!("      \"family\": \"{}\",\n", r.family));
-        s.push_str(&format!("      \"graphs\": {},\n", r.graphs));
-        s.push_str(&format!("      \"phases\": {},\n", r.phases));
-        s.push_str(&format!("      \"basis_weight_checksum\": {},\n", r.weight));
-        s.push_str(&format!(
-            "      \"legacy_ns_per_phase\": {:.1},\n",
-            r.legacy_ns_per_phase
-        ));
-        s.push_str(&format!(
-            "      \"kernel_ns_per_phase\": {:.1},\n",
-            r.kernel_ns_per_phase
-        ));
-        s.push_str(&format!(
-            "      \"legacy_allocs_per_phase\": {:.2},\n",
-            r.legacy_allocs_per_phase
-        ));
-        s.push_str(&format!(
-            "      \"kernel_allocs_per_phase\": {:.2},\n",
-            r.kernel_allocs_per_phase
-        ));
-        s.push_str(&format!("      \"speedup\": {:.3}\n", r.speedup));
-        s.push_str(if i + 1 == results.len() {
-            "    }\n"
-        } else {
-            "    },\n"
-        });
+    let mut rep = ear_bench::report::Report::new("mcb_kernels");
+    rep.params()
+        .uint("seed", opts.seed)
+        .uint("reps", opts.reps as u64)
+        .flag("smoke", opts.smoke);
+    for r in results {
+        rep.family(r.family, r.weight, opts.reps as u64)
+            .uint("graphs", r.graphs as u64)
+            .uint("phases", r.phases)
+            .uint("basis_weight_checksum", r.weight)
+            .num("legacy_ns_per_phase", r.legacy_ns_per_phase, 1)
+            .num("kernel_ns_per_phase", r.kernel_ns_per_phase, 1)
+            .num("legacy_allocs_per_phase", r.legacy_allocs_per_phase, 2)
+            .num("kernel_allocs_per_phase", r.kernel_allocs_per_phase, 2)
+            .num("speedup", r.speedup, 3);
     }
-    s.push_str("  ],\n");
     let mut speedups: Vec<f64> = results.iter().map(|r| r.speedup).collect();
-    s.push_str(&format!(
-        "  \"median_speedup\": {:.3}\n",
-        median(&mut speedups)
-    ));
-    s.push_str("}\n");
-    std::fs::write(path, s).expect("write JSON");
+    rep.summary()
+        .num("median_speedup", median(&mut speedups), 3);
+    rep.write(path);
 }
 
 fn main() {
     let opts = parse_args();
+    opts.obs.init();
     // Design-point rows: the testkit families the paper's pipeline targets
     // (chain-heavy, multi-BCC, cactus) at whole-graph scale, plus the
     // dense-residual stress family where f ≥ n and the witness matrix is
@@ -351,5 +334,5 @@ fn main() {
     }
     table.print();
     write_json(&opts.out, &opts, &results);
-    println!("wrote {}", opts.out);
+    opts.obs.finish();
 }

@@ -32,6 +32,7 @@ struct Opts {
     smoke: bool,
     max_n: usize,
     out: String,
+    obs: ear_bench::report::ObsOpts,
 }
 
 fn parse_args() -> Opts {
@@ -41,10 +42,15 @@ fn parse_args() -> Opts {
         smoke: false,
         max_n: 32,
         out: "BENCH_sssp.json".to_string(),
+        obs: Default::default(),
     };
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < args.len() {
+        if opts.obs.try_parse(&args, &mut i) {
+            i += 1;
+            continue;
+        }
         match args[i].as_str() {
             "--seed" => {
                 i += 1;
@@ -166,6 +172,7 @@ struct FamilyResult {
     graphs: usize,
     blocks: usize,
     sources: u64,
+    checksum: Weight,
     edges_relaxed_per_source: f64,
     legacy_ns_per_source: f64,
     engine_ns_per_source: f64,
@@ -205,6 +212,7 @@ fn bench_family(w: &Workload, reps: usize) -> FamilyResult {
         graphs: w.graphs,
         blocks: w.blocks.len(),
         sources: w.sources,
+        checksum: l0.checksum,
         edges_relaxed_per_source: per_source_edges,
         legacy_ns_per_source: legacy,
         engine_ns_per_source: engine,
@@ -215,58 +223,32 @@ fn bench_family(w: &Workload, reps: usize) -> FamilyResult {
 }
 
 fn write_json(path: &str, opts: &Opts, results: &[FamilyResult]) {
-    let mut s = String::new();
-    s.push_str("{\n");
-    s.push_str("  \"bench\": \"sssp_engine\",\n");
-    s.push_str(&format!("  \"seed\": {},\n", opts.seed));
-    s.push_str(&format!("  \"reps\": {},\n", opts.reps));
-    s.push_str(&format!("  \"smoke\": {},\n", opts.smoke));
-    s.push_str("  \"families\": [\n");
-    for (i, r) in results.iter().enumerate() {
-        s.push_str("    {\n");
-        s.push_str(&format!("      \"family\": \"{}\",\n", r.family));
-        s.push_str(&format!("      \"graphs\": {},\n", r.graphs));
-        s.push_str(&format!("      \"blocks\": {},\n", r.blocks));
-        s.push_str(&format!("      \"sources\": {},\n", r.sources));
-        s.push_str(&format!(
-            "      \"edges_relaxed_per_source\": {:.1},\n",
-            r.edges_relaxed_per_source
-        ));
-        s.push_str(&format!(
-            "      \"legacy_ns_per_source\": {:.1},\n",
-            r.legacy_ns_per_source
-        ));
-        s.push_str(&format!(
-            "      \"engine_ns_per_source\": {:.1},\n",
-            r.engine_ns_per_source
-        ));
-        s.push_str(&format!(
-            "      \"legacy_edges_relaxed_per_sec\": {:.0},\n",
-            r.legacy_edges_per_sec
-        ));
-        s.push_str(&format!(
-            "      \"engine_edges_relaxed_per_sec\": {:.0},\n",
-            r.engine_edges_per_sec
-        ));
-        s.push_str(&format!("      \"speedup\": {:.3}\n", r.speedup));
-        s.push_str(if i + 1 == results.len() {
-            "    }\n"
-        } else {
-            "    },\n"
-        });
+    let mut rep = ear_bench::report::Report::new("sssp_engine");
+    rep.params()
+        .uint("seed", opts.seed)
+        .uint("reps", opts.reps as u64)
+        .flag("smoke", opts.smoke);
+    for r in results {
+        rep.family(r.family, r.checksum, opts.reps as u64)
+            .uint("graphs", r.graphs as u64)
+            .uint("blocks", r.blocks as u64)
+            .uint("sources", r.sources)
+            .num("edges_relaxed_per_source", r.edges_relaxed_per_source, 1)
+            .num("legacy_ns_per_source", r.legacy_ns_per_source, 1)
+            .num("engine_ns_per_source", r.engine_ns_per_source, 1)
+            .num("legacy_edges_relaxed_per_sec", r.legacy_edges_per_sec, 0)
+            .num("engine_edges_relaxed_per_sec", r.engine_edges_per_sec, 0)
+            .num("speedup", r.speedup, 3);
     }
-    s.push_str("  ],\n");
     let mut speedups: Vec<f64> = results.iter().map(|r| r.speedup).collect();
-    s.push_str(&format!(
-        "  \"median_speedup\": {:.3}\n",
-        median(&mut speedups)
-    ));
-    s.push_str("}\n");
-    std::fs::write(path, s).expect("write JSON");
+    rep.summary()
+        .num("median_speedup", median(&mut speedups), 3);
+    rep.write(path);
 }
 
 fn main() {
     let opts = parse_args();
+    opts.obs.init();
     // The headline rows measure the reduced oracle's design point: chain
     // contraction and BCC splitting leave *small* per-block SSSP targets,
     // where the legacy per-source allocations are a large fraction of the
@@ -328,5 +310,5 @@ fn main() {
     }
     table.print();
     write_json(&opts.out, &opts, &results);
-    println!("wrote {}", opts.out);
+    opts.obs.finish();
 }

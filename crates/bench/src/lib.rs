@@ -13,6 +13,8 @@
 use ear_graph::CsrGraph;
 use ear_workloads::DatasetSpec;
 
+pub mod report;
+
 /// Parsed common CLI options.
 #[derive(Clone, Copy, Debug)]
 pub struct BenchOpts {

@@ -1,0 +1,266 @@
+//! Shared JSON report schema for the bench binaries (`ear-bench/v1`).
+//!
+//! The table/figure binaries used to hand-roll their own `write_json`
+//! string assembly; this module gives them one builder with a common
+//! envelope:
+//!
+//! * `schema` / `name` — format tag and bench name (plus the legacy
+//!   `bench` key so pre-existing tooling keeps parsing);
+//! * run parameters (`seed`, `reps`, ...) in declaration order;
+//! * a `families` array whose rows always start with `family`,
+//!   `checksum` (the run's correctness certificate — distance sum, basis
+//!   weight, combined-pipeline digest) and `samples` (timing repetitions
+//!   behind each median), followed by the binary's own measurement
+//!   fields under their historical names;
+//! * summary fields (medians across families);
+//! * the current metrics snapshot embedded under `"metrics"`, so a bench
+//!   run with tracing enabled is self-describing — the operation counts
+//!   behind the wall-clock numbers travel in the same file.
+//!
+//! Values are pre-rendered at insertion (numbers keep each binary's
+//! historical precision), so rendering is a join — no value model, no
+//! escaping surprises.
+//!
+//! The binaries also take `--trace-out` / `--metrics-out` (via
+//! [`ObsOpts`]) mirroring the `ear` CLI flags.
+
+/// Ordered `key -> rendered JSON value` pairs.
+#[derive(Clone, Debug, Default)]
+pub struct Fields(Vec<(String, String)>);
+
+impl Fields {
+    /// Empty field list.
+    pub fn new() -> Self {
+        Fields(Vec::new())
+    }
+
+    fn push(&mut self, key: &str, rendered: String) -> &mut Self {
+        self.0.push((key.to_string(), rendered));
+        self
+    }
+
+    /// Unsigned integer field.
+    pub fn uint(&mut self, key: &str, v: u64) -> &mut Self {
+        self.push(key, v.to_string())
+    }
+
+    /// Float field with a fixed number of decimal places (matches the
+    /// binaries' historical `{:.prec}` formatting).
+    pub fn num(&mut self, key: &str, v: f64, prec: usize) -> &mut Self {
+        let r = if v.is_finite() {
+            format!("{v:.prec$}")
+        } else {
+            "0".to_string()
+        };
+        self.push(key, r)
+    }
+
+    /// Boolean field.
+    pub fn flag(&mut self, key: &str, v: bool) -> &mut Self {
+        self.push(key, v.to_string())
+    }
+
+    /// String field (JSON-escaped).
+    pub fn text(&mut self, key: &str, v: &str) -> &mut Self {
+        self.push(key, format!("\"{}\"", ear_obs::json::escape(v)))
+    }
+
+    fn render_into(&self, out: &mut String, indent: &str, trailing_comma: bool) {
+        for (i, (k, v)) in self.0.iter().enumerate() {
+            let comma = if trailing_comma || i + 1 < self.0.len() {
+                ","
+            } else {
+                ""
+            };
+            out.push_str(&format!("{indent}\"{k}\": {v}{comma}\n"));
+        }
+    }
+}
+
+/// Builder for one bench run's JSON report.
+pub struct Report {
+    name: String,
+    params: Fields,
+    families: Vec<Fields>,
+    summary: Fields,
+}
+
+impl Report {
+    /// New report for the named bench.
+    pub fn new(name: &str) -> Self {
+        Report {
+            name: name.to_string(),
+            params: Fields::new(),
+            families: Vec::new(),
+            summary: Fields::new(),
+        }
+    }
+
+    /// Top-level run parameters (seed, reps, flags...).
+    pub fn params(&mut self) -> &mut Fields {
+        &mut self.params
+    }
+
+    /// Appends a family row pre-seeded with the schema's common keys and
+    /// returns it so the caller can add its measurement fields.
+    pub fn family(&mut self, family: &str, checksum: u64, samples: u64) -> &mut Fields {
+        let mut f = Fields::new();
+        f.text("family", family)
+            .uint("checksum", checksum)
+            .uint("samples", samples);
+        self.families.push(f);
+        self.families.last_mut().expect("just pushed")
+    }
+
+    /// Summary fields rendered after the family array (medians etc.).
+    pub fn summary(&mut self) -> &mut Fields {
+        &mut self.summary
+    }
+
+    /// Renders the report, embedding the current metrics snapshot.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"schema\": \"ear-bench/v1\",\n");
+        s.push_str(&format!(
+            "  \"name\": \"{}\",\n",
+            ear_obs::json::escape(&self.name)
+        ));
+        s.push_str(&format!(
+            "  \"bench\": \"{}\",\n",
+            ear_obs::json::escape(&self.name)
+        ));
+        self.params.render_into(&mut s, "  ", true);
+        s.push_str("  \"families\": [\n");
+        for (i, f) in self.families.iter().enumerate() {
+            s.push_str("    {\n");
+            f.render_into(&mut s, "      ", false);
+            s.push_str(if i + 1 == self.families.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        s.push_str("  ],\n");
+        self.summary.render_into(&mut s, "  ", true);
+        let metrics = ear_obs::metrics_json(&ear_obs::metrics_snapshot());
+        s.push_str(&format!(
+            "  \"metrics\": {}\n",
+            metrics.trim_end().replace('\n', "\n  ")
+        ));
+        s.push_str("}\n");
+        s
+    }
+
+    /// Renders and writes to `path`.
+    pub fn write(&self, path: &str) {
+        let rendered = self.render();
+        ear_obs::json::parse(&rendered).expect("report renders valid JSON");
+        std::fs::write(path, rendered).expect("write JSON");
+        println!("wrote {path}");
+    }
+}
+
+/// `--trace-out` / `--metrics-out` handling shared by the bench binaries,
+/// mirroring the `ear` CLI flags: enable observability before the
+/// measured work, write the files after it.
+#[derive(Clone, Debug, Default)]
+pub struct ObsOpts {
+    /// Chrome trace-event JSON output path.
+    pub trace_out: Option<String>,
+    /// Metrics-snapshot JSON output path.
+    pub metrics_out: Option<String>,
+}
+
+impl ObsOpts {
+    /// Tries to consume `args[*i]` (and its value) as an observability
+    /// flag; returns false if the argument is not one.
+    pub fn try_parse(&mut self, args: &[String], i: &mut usize) -> bool {
+        match args[*i].as_str() {
+            "--trace-out" => {
+                *i += 1;
+                self.trace_out = Some(args[*i].clone());
+                true
+            }
+            "--metrics-out" => {
+                *i += 1;
+                self.metrics_out = Some(args[*i].clone());
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Enables tracing when any output was requested. Call before the
+    /// instrumented work (the benches' timed sections run with tracing on
+    /// when this fires — expect some overhead in the reported numbers).
+    pub fn init(&self) {
+        if self.trace_out.is_some() || self.metrics_out.is_some() {
+            ear_obs::enable();
+        }
+    }
+
+    /// Writes the requested outputs from the collector/registry state.
+    pub fn finish(&self) {
+        if let Some(path) = &self.trace_out {
+            ear_obs::write_chrome_trace(path, &ear_obs::trace_snapshot()).expect("write trace");
+            println!("wrote trace to {path}");
+        }
+        if let Some(path) = &self.metrics_out {
+            ear_obs::write_metrics(path, &ear_obs::metrics_snapshot()).expect("write metrics");
+            println!("wrote metrics to {path}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_valid_json_with_common_keys() {
+        let mut rep = Report::new("unit_test");
+        rep.params().uint("seed", 7).flag("smoke", true);
+        rep.family("fam_a", 123, 5)
+            .num("ns_per_op", 41.25, 1)
+            .num("speedup", 1.5, 3);
+        rep.family("fam_b", 456, 5).num("ns_per_op", 7.0, 1);
+        rep.summary().num("median_speedup", 1.5, 3);
+        let text = rep.render();
+        let v = ear_obs::json::parse(&text).expect("valid JSON");
+        assert_eq!(
+            v.get("schema").and_then(|s| s.as_str()),
+            Some("ear-bench/v1")
+        );
+        assert_eq!(v.get("name").and_then(|s| s.as_str()), Some("unit_test"));
+        assert_eq!(v.get("bench").and_then(|s| s.as_str()), Some("unit_test"));
+        let fams = v
+            .get("families")
+            .and_then(|f| f.as_arr())
+            .expect("families");
+        assert_eq!(fams.len(), 2);
+        for f in fams {
+            assert!(f.get("family").is_some());
+            assert!(f.get("checksum").is_some());
+            assert_eq!(f.get("samples").and_then(|s| s.as_f64()), Some(5.0));
+        }
+        assert!(v.get("metrics").is_some());
+        assert!(v.get("median_speedup").is_some());
+    }
+
+    #[test]
+    fn obs_opts_parse_and_ignore() {
+        let args: Vec<String> = ["--trace-out", "t.json", "--other"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut obs = ObsOpts::default();
+        let mut i = 0;
+        assert!(obs.try_parse(&args, &mut i));
+        assert_eq!(i, 1); // consumed the value slot; caller advances past it
+        i = 2;
+        assert!(!obs.try_parse(&args, &mut i));
+        assert_eq!(obs.trace_out.as_deref(), Some("t.json"));
+        assert!(obs.metrics_out.is_none());
+    }
+}

@@ -83,6 +83,9 @@ fn print_decomposition(plan: &DecompPlan) {
 /// per-block subgraphs and reductions) exactly once and the plan is
 /// shared by every stage.
 pub fn combined(g: &CsrGraph, opts: &CommonOpts, pairs: &[(u32, u32)]) -> Result<(), String> {
+    if opts.obs_requested() {
+        ear_obs::enable();
+    }
     let plan = Arc::new(DecompPlan::build(g));
 
     println!("== stats ==");
@@ -110,17 +113,20 @@ pub fn combined(g: &CsrGraph, opts: &CommonOpts, pairs: &[(u32, u32)]) -> Result
     } else {
         println!("skipped: mcb expects a simple graph");
     }
-    Ok(())
+    opts.write_obs_outputs()
 }
 
 /// `ear apsp` — build the oracle, report stats, answer queries.
 pub fn apsp(g: &CsrGraph, opts: &CommonOpts, pairs: &[(u32, u32)]) -> Result<(), String> {
+    if opts.obs_requested() {
+        ear_obs::enable();
+    }
     let out = ApspPipeline::new()
         .mode(opts.mode)
         .use_ear(!opts.no_ear)
         .run(g);
     report_apsp(g, &out, pairs);
-    Ok(())
+    opts.write_obs_outputs()
 }
 
 fn report_apsp(g: &CsrGraph, out: &ApspOutcome, pairs: &[(u32, u32)]) {
@@ -149,18 +155,100 @@ pub fn mcb(
     opts: &CommonOpts,
     print_cycles: bool,
     profile: bool,
+    profile_json: bool,
 ) -> Result<(), String> {
     if !g.is_simple() {
         return Err("mcb expects a simple graph (parallel edges/self-loops in input)".into());
+    }
+    // The profile is read back from the metrics registry, so tracing must
+    // be on before the pipeline runs.
+    if profile || profile_json || opts.obs_requested() {
+        ear_obs::enable();
     }
     let out = McbPipeline::new()
         .mode(opts.mode)
         .use_ear(!opts.no_ear)
         .run(g);
     report_mcb(g, &out, print_cycles)?;
-    if profile {
-        print_mcb_profile(&out.result.profile);
+    if profile || profile_json {
+        let p = profile_from_registry();
+        if profile {
+            print_mcb_profile(&p);
+        }
+        if profile_json {
+            println!("{}", mcb_profile_json(&p));
+        }
     }
+    opts.write_obs_outputs()
+}
+
+/// Rebuilds a [`ear_mcb::PhaseProfile`] from the metrics registry. The
+/// registry is the source of truth for `--profile`: the pipeline publishes
+/// its modelled phase timings as `mcb.*` gauges and its operation counters
+/// as `mcb.*` counters, and the CLI runs exactly one MCB pipeline per
+/// process, so the registry totals equal that run's profile.
+fn profile_from_registry() -> ear_mcb::PhaseProfile {
+    let snap = ear_obs::metrics_snapshot();
+    ear_mcb::PhaseProfile {
+        trees_s: snap.gauge("mcb.trees_s").unwrap_or(0.0),
+        labels_s: snap.gauge("mcb.labels_s").unwrap_or(0.0),
+        search_s: snap.gauge("mcb.search_s").unwrap_or(0.0),
+        update_s: snap.gauge("mcb.update_s").unwrap_or(0.0),
+        counters: ear_hetero::WorkCounters {
+            labels_computed: snap.counter("mcb.labels_computed"),
+            cycles_inspected: snap.counter("mcb.cycles_inspected"),
+            words_xored: snap.counter("mcb.words_xored"),
+            edges_relaxed: snap.counter("mcb.edges_relaxed"),
+            vertices_settled: snap.counter("mcb.vertices_settled"),
+            ..Default::default()
+        },
+        fallbacks: snap.counter("mcb.fallbacks") as usize,
+    }
+}
+
+/// Machine-readable `--profile-json` line, mirroring the human table.
+fn mcb_profile_json(p: &ear_mcb::PhaseProfile) -> String {
+    let (l, s, u) = p.shares();
+    let c = &p.counters;
+    format!(
+        concat!(
+            "{{\"schema\":\"ear-mcb-profile/v1\",",
+            "\"trees_s\":{},\"labels_s\":{},\"search_s\":{},\"update_s\":{},",
+            "\"total_s\":{},",
+            "\"shares\":{{\"labels\":{},\"search\":{},\"update\":{}}},",
+            "\"fallbacks\":{},",
+            "\"counters\":{{\"labels_computed\":{},\"cycles_inspected\":{},",
+            "\"words_xored\":{},\"edges_relaxed\":{},\"vertices_settled\":{}}}}}"
+        ),
+        p.trees_s,
+        p.labels_s,
+        p.search_s,
+        p.update_s,
+        p.total_s(),
+        l,
+        s,
+        u,
+        p.fallbacks,
+        c.labels_computed,
+        c.cycles_inspected,
+        c.words_xored,
+        c.edges_relaxed,
+        c.vertices_settled
+    )
+}
+
+/// `ear trace-check` — validate a Chrome trace-event file's structure
+/// (JSON shape, required keys, per-lane span nesting). CI runs this on
+/// traces produced by `--trace-out` so a malformed exporter fails the
+/// build instead of silently producing a file Perfetto rejects.
+pub fn trace_check(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let check =
+        ear_obs::validate_chrome_trace(&text).map_err(|e| format!("{path}: invalid trace: {e}"))?;
+    println!(
+        "{path}: ok ({} events, {} lanes, max span depth {}, {} complete events)",
+        check.events, check.lanes, check.max_depth, check.complete_events
+    );
     Ok(())
 }
 

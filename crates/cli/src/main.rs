@@ -14,6 +14,12 @@
 //! (`u v [w]` per line, zero-based ids); `-` reads the edge list from
 //! stdin. All subcommands accept `--mode seq|multicore|gpu|hetero`
 //! (default hetero) and `--no-ear` to disable the reduction.
+//!
+//! Observability: `--trace-out <path>` writes a Chrome trace-event JSON
+//! of the run (load it in `chrome://tracing` or Perfetto) and
+//! `--metrics-out <path>` writes a flat metrics snapshot; both flags work
+//! on `apsp`, `mcb` and `combined`. `ear trace-check <file>` validates a
+//! trace file's structure (for CI).
 
 use std::process::ExitCode;
 
@@ -40,13 +46,15 @@ fn usage() -> &'static str {
   ear stats <graph>
   ear decompose <graph>
   ear apsp <graph> [--pairs u:v[,u:v...]] [--mode M] [--no-ear]
-  ear mcb <graph> [--print-cycles] [--profile] [--mode M] [--no-ear]
+  ear mcb <graph> [--print-cycles] [--profile] [--profile-json] [--mode M] [--no-ear]
   ear combined <graph> [--pairs u:v[,u:v...]] [--mode M] [--no-ear]
   ear bc <graph> [--top K]
   ear generate <spec-name> <scale> [out-file]
+  ear trace-check <trace-file>
 
 graph: .mtx (Matrix Market) or edge list 'u v [w]' per line; '-' = stdin
 mode:  seq | multicore | gpu | hetero (default)
+obs:   apsp/mcb/combined also take [--trace-out FILE] [--metrics-out FILE]
 specs: nopoly OPF_3754 ca-AstroPh as-22july06 c-50 cond_mat_2003
        delaunay_n15 Rajat26 Wordnet3 soc-sign-epinions Planar_1..Planar_5"
 }
@@ -87,8 +95,10 @@ fn run(args: Vec<String>) -> Result<(), String> {
             let opts = CommonOpts::parse(&rest[1..])?;
             let print_cycles = rest.iter().any(|a| a == "--print-cycles");
             let profile = rest.iter().any(|a| a == "--profile");
-            commands::mcb(&g, &opts, print_cycles, profile)
+            let profile_json = rest.iter().any(|a| a == "--profile-json");
+            commands::mcb(&g, &opts, print_cycles, profile, profile_json)
         }
+        "trace-check" => commands::trace_check(rest.first().ok_or("missing trace file")?),
         "generate" => {
             let name = rest.first().ok_or("missing spec name")?;
             let scale: usize = rest
@@ -109,12 +119,18 @@ pub struct CommonOpts {
     pub mode: ExecMode,
     /// Disable the ear reduction.
     pub no_ear: bool,
+    /// Write a Chrome trace-event JSON of the run here.
+    pub trace_out: Option<String>,
+    /// Write a metrics-snapshot JSON of the run here.
+    pub metrics_out: Option<String>,
 }
 
 impl CommonOpts {
     fn parse(args: &[String]) -> Result<Self, String> {
         let mut mode = ExecMode::Hetero;
         let mut no_ear = false;
+        let mut trace_out = None;
+        let mut metrics_out = None;
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
@@ -129,7 +145,15 @@ impl CommonOpts {
                     };
                 }
                 "--no-ear" => no_ear = true,
-                "--pairs" | "--print-cycles" | "--profile" => {
+                "--trace-out" => {
+                    i += 1;
+                    trace_out = Some(args.get(i).ok_or("--trace-out needs a path")?.clone());
+                }
+                "--metrics-out" => {
+                    i += 1;
+                    metrics_out = Some(args.get(i).ok_or("--metrics-out needs a path")?.clone());
+                }
+                "--pairs" | "--print-cycles" | "--profile" | "--profile-json" => {
                     if args[i] == "--pairs" {
                         i += 1; // value consumed by parse_pairs
                     }
@@ -138,7 +162,33 @@ impl CommonOpts {
             }
             i += 1;
         }
-        Ok(CommonOpts { mode, no_ear })
+        Ok(CommonOpts {
+            mode,
+            no_ear,
+            trace_out,
+            metrics_out,
+        })
+    }
+
+    /// True when any observability output was requested.
+    pub fn obs_requested(&self) -> bool {
+        self.trace_out.is_some() || self.metrics_out.is_some()
+    }
+
+    /// Writes the requested trace/metrics files from the current collector
+    /// and registry state. Call once, after the instrumented work is done.
+    pub fn write_obs_outputs(&self) -> Result<(), String> {
+        if let Some(path) = &self.trace_out {
+            let trace = ear_obs::trace_snapshot();
+            ear_obs::write_chrome_trace(path, &trace).map_err(|e| format!("{path}: {e}"))?;
+            println!("wrote trace to {path}");
+        }
+        if let Some(path) = &self.metrics_out {
+            let snap = ear_obs::metrics_snapshot();
+            ear_obs::write_metrics(path, &snap).map_err(|e| format!("{path}: {e}"))?;
+            println!("wrote metrics to {path}");
+        }
+        Ok(())
     }
 }
 

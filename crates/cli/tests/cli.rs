@@ -154,6 +154,124 @@ fn mcb_profile_prints_phase_table() {
 }
 
 #[test]
+fn mcb_profile_json_emits_a_parseable_object() {
+    let p = tmpfile("theta8.txt", THETA);
+    let out = ear(&[
+        "mcb",
+        p.to_str().unwrap(),
+        "--profile-json",
+        "--mode",
+        "seq",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    let line = text
+        .lines()
+        .find(|l| l.starts_with('{'))
+        .expect("JSON line in output");
+    let v = ear_obs::json::parse(line).expect("profile JSON parses");
+    assert_eq!(
+        v.get("schema").and_then(|s| s.as_str()),
+        Some("ear-mcb-profile/v1")
+    );
+    assert_eq!(v.get("fallbacks").and_then(|f| f.as_f64()), Some(0.0));
+    let counters = v.get("counters").expect("counters object");
+    assert!(
+        counters
+            .get("words_xored")
+            .and_then(|c| c.as_f64())
+            .unwrap()
+            > 0.0
+    );
+    // The human table and the JSON line coexist when both flags are given.
+    let both = ear(&[
+        "mcb",
+        p.to_str().unwrap(),
+        "--profile",
+        "--profile-json",
+        "--mode",
+        "seq",
+    ]);
+    assert!(both.status.success());
+    let both_text = String::from_utf8_lossy(&both.stdout);
+    assert!(both_text.contains("phase profile"), "{both_text}");
+    assert!(
+        both_text.contains("\"schema\":\"ear-mcb-profile/v1\""),
+        "{both_text}"
+    );
+}
+
+#[test]
+fn combined_writes_trace_and_metrics_that_pass_trace_check() {
+    // Two blocks joined at articulation vertex 2: theta graph + a triangle.
+    let multi_bcc = "0 1 1\n1 2 2\n0 2 10\n0 3 3\n3 2 4\n2 4 1\n4 5 2\n5 2 3\n";
+    let p = tmpfile("multibcc.txt", multi_bcc);
+    let dir = std::env::temp_dir().join("ear-cli-tests");
+    let trace_path = dir.join("combined_trace.json");
+    let metrics_path = dir.join("combined_metrics.json");
+    let out = ear(&[
+        "combined",
+        p.to_str().unwrap(),
+        "--trace-out",
+        trace_path.to_str().unwrap(),
+        "--metrics-out",
+        metrics_path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("wrote trace to"), "{text}");
+    assert!(text.contains("wrote metrics to"), "{text}");
+
+    // The trace validates both in-process and through the subcommand.
+    let trace_text = std::fs::read_to_string(&trace_path).unwrap();
+    let check = ear_obs::json::validate_chrome_trace(&trace_text).expect("valid Chrome trace");
+    assert!(check.events > 0);
+    let checked = ear(&["trace-check", trace_path.to_str().unwrap()]);
+    assert!(
+        checked.status.success(),
+        "{}",
+        String::from_utf8_lossy(&checked.stderr)
+    );
+    assert!(String::from_utf8_lossy(&checked.stdout).contains("ok"));
+
+    // The metrics snapshot carries the pipeline's counters, and the
+    // decomposition ran exactly once (the shared-plan guarantee).
+    let metrics_text = std::fs::read_to_string(&metrics_path).unwrap();
+    let m = ear_obs::json::parse(&metrics_text).expect("metrics JSON parses");
+    assert_eq!(
+        m.get("schema").and_then(|s| s.as_str()),
+        Some("ear-metrics/v1")
+    );
+    let counters = m.get("counters").expect("counters object");
+    assert_eq!(
+        counters.get("decomp.plans").and_then(|c| c.as_f64()),
+        Some(1.0)
+    );
+    for key in ["decomp.blocks", "hetero.units", "sssp.runs", "mcb.phases"] {
+        assert!(
+            counters.get(key).and_then(|c| c.as_f64()).unwrap_or(0.0) > 0.0,
+            "metrics missing {key}: {metrics_text}"
+        );
+    }
+}
+
+#[test]
+fn trace_check_rejects_malformed_traces() {
+    let p = tmpfile("bad_trace.json", "{\"traceEvents\": [{\"ph\": \"E\"}]}");
+    let out = ear(&["trace-check", p.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("invalid trace"));
+}
+
+#[test]
 fn reads_edge_list_from_stdin() {
     let out = ear_stdin(&["stats", "-"], THETA);
     assert!(out.status.success());

@@ -122,8 +122,15 @@ impl DecompPlan {
     /// subgraph extraction (scratch-reusing, O(n + m) total), and parallel
     /// per-block chain reduction of every simple block.
     pub fn build(g: &CsrGraph) -> DecompPlan {
-        let bcc = biconnected_components(g);
-        let bct = BlockCutTree::new(g, &bcc);
+        let _span = ear_obs::span_with("decomp.plan", g.n() as u64);
+        let bcc = {
+            let _s = ear_obs::span("decomp.bcc");
+            biconnected_components(g)
+        };
+        let bct = {
+            let _s = ear_obs::span("decomp.bct");
+            BlockCutTree::new(g, &bcc)
+        };
         let Bcc {
             comps,
             edge_comp,
@@ -133,6 +140,7 @@ impl DecompPlan {
 
         // Extract every block with one shared scratch; the component edge
         // lists move into the blocks without copying.
+        let extract_span = ear_obs::span_with("decomp.extract", comps.len() as u64);
         let mut scratch = SubgraphScratch::new();
         let mut extracted: Vec<(CsrGraph, Vec<VertexId>, Vec<EdgeId>, bool)> =
             Vec::with_capacity(comps.len());
@@ -141,15 +149,18 @@ impl DecompPlan {
             let simple = sub.is_simple();
             extracted.push((sub, map.to_parent_vertex, map.to_parent_edge, simple));
         }
+        drop(extract_span);
 
         // Chain-contract all simple blocks, in parallel across blocks. The
         // per-block sequential `reduce_graph` keeps the output bit-identical
         // to what each pipeline used to compute on its own.
         let reductions: Vec<Option<ReducedGraph>> = {
             use rayon::prelude::*;
+            let _s = ear_obs::span("decomp.reduce");
             extracted
                 .par_iter()
                 .map(|(sub, _, _, simple)| {
+                    let _b = ear_obs::span_with("decomp.reduce.block", sub.n() as u64);
                     simple.then(|| reduce_graph(sub).expect("simplicity was just checked"))
                 })
                 .collect()
@@ -182,6 +193,18 @@ impl DecompPlan {
                 },
             )
             .collect();
+
+        if ear_obs::is_enabled() {
+            ear_obs::counter_add("decomp.plans", 1);
+            ear_obs::counter_add("decomp.blocks", blocks.len() as u64);
+            ear_obs::counter_add("decomp.bridges", bridges.len() as u64);
+            let removed: u64 = blocks
+                .iter()
+                .filter_map(|b| b.reduction.as_ref())
+                .map(|r| r.removed_count() as u64)
+                .sum();
+            ear_obs::counter_add("decomp.removed_vertices", removed);
+        }
 
         DecompPlan {
             n: g.n(),

@@ -161,6 +161,7 @@ impl SsspEngine {
         g: &CsrGraph,
         source: VertexId,
     ) -> DijkstraStats {
+        let _span = ear_obs::span_with("sssp.run", source as u64);
         let n = g.n();
         assert!((source as usize) < n, "source out of range");
         // Heap positions < n must stay clear of the two sentinels.
@@ -272,6 +273,13 @@ impl SsspEngine {
         self.stats.settled = self.order.len() as u64;
         self.stats.edges_relaxed = edges_relaxed;
         self.stats.heap_pushes = heap_pushes;
+        if ear_obs::is_enabled() {
+            ear_obs::counter_add("sssp.runs", 1);
+            ear_obs::counter_add("sssp.settled", self.stats.settled);
+            ear_obs::counter_add("sssp.edges_relaxed", edges_relaxed);
+            ear_obs::counter_add("sssp.heap_pushes", heap_pushes);
+            ear_obs::histogram_record("sssp.settled_per_run", self.stats.settled);
+        }
         self.stats
     }
 
@@ -514,12 +522,16 @@ fn recycle(e: SsspEngine) {
 }
 
 fn checkout() -> SsspEngine {
-    TLS_ENGINE
-        .try_with(|slot| slot.borrow_mut().0.take())
-        .ok()
-        .flatten()
-        .or_else(|| FREE_ENGINES.lock().ok().and_then(|mut v| v.pop()))
-        .unwrap_or_default()
+    if let Ok(Some(e)) = TLS_ENGINE.try_with(|slot| slot.borrow_mut().0.take()) {
+        ear_obs::counter_add("sssp.pool.tls_hits", 1);
+        return e;
+    }
+    if let Some(e) = FREE_ENGINES.lock().ok().and_then(|mut v| v.pop()) {
+        ear_obs::counter_add("sssp.pool.freelist_hits", 1);
+        return e;
+    }
+    ear_obs::counter_add("sssp.pool.misses", 1);
+    SsspEngine::default()
 }
 
 fn checkin(e: SsspEngine) {

@@ -70,6 +70,29 @@ impl ExecutionReport {
     }
 }
 
+/// Publish a *real* execution's totals into the `ear-obs` metrics
+/// registry under the `hetero.*` names. Only `run` / `run_concurrent`
+/// call this: modelled replays (`simulate*`) would double-count work
+/// that real kernels already reported.
+fn publish_report(report: &ExecutionReport) {
+    if !ear_obs::is_enabled() {
+        return;
+    }
+    ear_obs::counter_add("hetero.units", report.total_units() as u64);
+    ear_obs::counter_add(
+        "hetero.batches",
+        report.devices.iter().map(|d| d.batches as u64).sum(),
+    );
+    let c = report.total_counters();
+    ear_obs::counter_add("hetero.edges_relaxed", c.edges_relaxed);
+    ear_obs::counter_add("hetero.vertices_settled", c.vertices_settled);
+    ear_obs::counter_add("hetero.labels_computed", c.labels_computed);
+    ear_obs::counter_add("hetero.cycles_inspected", c.cycles_inspected);
+    ear_obs::counter_add("hetero.words_xored", c.words_xored);
+    ear_obs::counter_add("hetero.distances_combined", c.distances_combined);
+    ear_obs::counter_add("hetero.dense_combined", c.dense_combined);
+}
+
 /// Results plus the execution report.
 #[derive(Debug)]
 pub struct RunOutput<R> {
@@ -143,6 +166,9 @@ impl HeteroExecutor {
         K: Fn(&T) -> (R, WorkCounters) + Sync,
         S: Fn(&T) -> u64,
     {
+        let _span = ear_obs::span_with("hetero.run", units.len() as u64);
+        let obs_on = ear_obs::is_enabled();
+        let mut slices: Vec<ear_obs::ModelledSlice> = Vec::new();
         let wall_start = Instant::now();
         let n = units.len();
         let mut indexed: Vec<(usize, &T)> = units.iter().enumerate().collect();
@@ -188,13 +214,19 @@ impl HeteroExecutor {
                 break;
             }
             // Execute the batch for real, in parallel, on the host.
+            let batch_span = ear_obs::span_with("hetero.batch", batch.len() as u64);
             let outs: Vec<(usize, R, WorkCounters)> = batch
                 .par_iter()
                 .map(|&(i, t)| {
+                    let _u = ear_obs::span_with("hetero.unit", i as u64);
                     let (r, c) = kernel(t);
                     (i, r, c)
                 })
                 .collect();
+            drop(batch_span);
+            if obs_on {
+                ear_obs::histogram_record("hetero.batch_units", outs.len() as u64);
+            }
             let per_unit: Vec<WorkCounters> = outs.iter().map(|(_, _, c)| *c).collect();
             let rep = &mut reports[d];
             // Launch overhead is paid once per device per run: follow-up
@@ -204,6 +236,15 @@ impl HeteroExecutor {
                 dt += dev.launch_overhead_us * 1e-6;
             }
             clocks[d] += dt;
+            if obs_on {
+                slices.push(ear_obs::ModelledSlice {
+                    lane: dev.name.clone(),
+                    name: "batch".to_string(),
+                    start_s: clocks[d] - dt,
+                    end_s: clocks[d],
+                    units: outs.len() as u64,
+                });
+            }
             rep.units += outs.len();
             rep.batches += 1;
             rep.busy_s += dt;
@@ -218,14 +259,16 @@ impl HeteroExecutor {
             .into_iter()
             .map(|r| r.expect("every unit executed"))
             .collect();
-        RunOutput {
-            results,
-            report: ExecutionReport {
-                devices: reports,
-                makespan_s,
-                wall_s: wall_start.elapsed().as_secs_f64(),
-            },
+        let report = ExecutionReport {
+            devices: reports,
+            makespan_s,
+            wall_s: wall_start.elapsed().as_secs_f64(),
+        };
+        if obs_on {
+            ear_obs::modelled_run(slices, makespan_s);
         }
+        publish_report(&report);
+        RunOutput { results, report }
     }
 
     /// Replays the discrete-event schedule over work that was *already*
@@ -235,6 +278,8 @@ impl HeteroExecutor {
     /// sequentially but is modelled as the paper's per-batch parallel
     /// check), so the device model can still charge them consistently.
     pub fn simulate(&self, units: &[(u64, WorkCounters)]) -> ExecutionReport {
+        let obs_on = ear_obs::is_enabled();
+        let mut slices: Vec<ear_obs::ModelledSlice> = Vec::new();
         let mut order: Vec<usize> = (0..units.len()).collect();
         order.sort_by_key(|&i| (std::cmp::Reverse(units[i].0), i));
         let queue = WorkQueue::new(order);
@@ -275,6 +320,15 @@ impl HeteroExecutor {
                 dt += dev.launch_overhead_us * 1e-6;
             }
             clocks[d] += dt;
+            if obs_on {
+                slices.push(ear_obs::ModelledSlice {
+                    lane: dev.name.clone(),
+                    name: "batch".to_string(),
+                    start_s: clocks[d] - dt,
+                    end_s: clocks[d],
+                    units: batch.len() as u64,
+                });
+            }
             rep.units += batch.len();
             rep.batches += 1;
             rep.busy_s += dt;
@@ -283,6 +337,9 @@ impl HeteroExecutor {
             }
         }
         let makespan_s = clocks.iter().copied().fold(0.0, f64::max);
+        if obs_on {
+            ear_obs::modelled_run(slices, makespan_s);
+        }
         ExecutionReport {
             devices: reports,
             makespan_s,
@@ -301,6 +358,8 @@ impl HeteroExecutor {
     /// configuration is scored from the same recording (the real
     /// computation runs once — results are identical across modes anyway).
     pub fn simulate_grouped(&self, groups: &[(u64, WorkCounters, u64)]) -> ExecutionReport {
+        let obs_on = ear_obs::is_enabled();
+        let mut slices: Vec<ear_obs::ModelledSlice> = Vec::new();
         // Expand group order: sorted descending by hint (stable).
         let mut order: Vec<usize> = (0..groups.len()).collect();
         order.sort_by_key(|&i| (std::cmp::Reverse(groups[i].0), i));
@@ -382,6 +441,15 @@ impl HeteroExecutor {
                 dt += dev.launch_overhead_us * 1e-6;
             }
             clocks[d] += dt;
+            if obs_on {
+                slices.push(ear_obs::ModelledSlice {
+                    lane: dev.name.clone(),
+                    name: "batch".to_string(),
+                    start_s: clocks[d] - dt,
+                    end_s: clocks[d],
+                    units: taken,
+                });
+            }
             rep.units += taken as usize;
             rep.batches += 1;
             rep.busy_s += dt;
@@ -428,12 +496,27 @@ impl HeteroExecutor {
                     },
                 })
                 .collect();
-            let _ = dev;
+            if obs_on {
+                // The shared schedule was discarded; its slices go with it.
+                ear_obs::modelled_run(
+                    vec![ear_obs::ModelledSlice {
+                        lane: dev.name.clone(),
+                        name: "batch".to_string(),
+                        start_s: 0.0,
+                        end_s: solo_t,
+                        units: total_units,
+                    }],
+                    solo_t,
+                );
+            }
             return ExecutionReport {
                 devices,
                 makespan_s: solo_t,
                 wall_s: 0.0,
             };
+        }
+        if obs_on {
+            ear_obs::modelled_run(slices, makespan_s);
         }
         ExecutionReport {
             devices: reports,
@@ -483,32 +566,38 @@ impl HeteroExecutor {
                 let slots = &slots;
                 let kernel = &kernel;
                 let reports = &reports;
-                scope.spawn(move || {
-                    let t0 = Instant::now();
-                    loop {
-                        let batch = match dev.kind {
-                            DeviceKind::Gpu => queue.pop_front_batch(dev.batch_units),
-                            DeviceKind::Cpu => queue.pop_back_batch(dev.batch_units),
-                        };
-                        if batch.is_empty() {
-                            break;
+                // Named threads give the trace one readable lane per device.
+                std::thread::Builder::new()
+                    .name(format!("dev:{}", dev.name))
+                    .spawn_scoped(scope, move || {
+                        let t0 = Instant::now();
+                        loop {
+                            let batch = match dev.kind {
+                                DeviceKind::Gpu => queue.pop_front_batch(dev.batch_units),
+                                DeviceKind::Cpu => queue.pop_back_batch(dev.batch_units),
+                            };
+                            if batch.is_empty() {
+                                break;
+                            }
+                            let _b = ear_obs::span_with("hetero.batch", batch.len() as u64);
+                            // Accumulate counters locally; touch the shared
+                            // report once per batch, not once per unit.
+                            let mut acc = WorkCounters::default();
+                            let units = batch.len();
+                            for (i, t) in batch {
+                                let _u = ear_obs::span_with("hetero.unit", i as u64);
+                                let (r, c) = kernel(t);
+                                *slots[i].lock() = Some(r);
+                                acc.merge(&c);
+                            }
+                            let mut rep = reports[d].lock();
+                            rep.batches += 1;
+                            rep.units += units;
+                            rep.counters.merge(&acc);
                         }
-                        // Accumulate counters locally; touch the shared
-                        // report once per batch, not once per unit.
-                        let mut acc = WorkCounters::default();
-                        let units = batch.len();
-                        for (i, t) in batch {
-                            let (r, c) = kernel(t);
-                            *slots[i].lock() = Some(r);
-                            acc.merge(&c);
-                        }
-                        let mut rep = reports[d].lock();
-                        rep.batches += 1;
-                        rep.units += units;
-                        rep.counters.merge(&acc);
-                    }
-                    reports[d].lock().busy_s = t0.elapsed().as_secs_f64();
-                });
+                        reports[d].lock().busy_s = t0.elapsed().as_secs_f64();
+                    })
+                    .expect("spawn device thread");
             }
         });
 
@@ -519,14 +608,13 @@ impl HeteroExecutor {
         let devices: Vec<DeviceReport> = reports.into_iter().map(|r| r.into_inner()).collect();
         let wall_s = wall_start.elapsed().as_secs_f64();
         let makespan_s = devices.iter().map(|d| d.busy_s).fold(0.0, f64::max);
-        RunOutput {
-            results,
-            report: ExecutionReport {
-                devices,
-                makespan_s,
-                wall_s,
-            },
-        }
+        let report = ExecutionReport {
+            devices,
+            makespan_s,
+            wall_s,
+        };
+        publish_report(&report);
+        RunOutput { results, report }
     }
 }
 

@@ -39,7 +39,14 @@ impl<T> WorkQueue<T> {
     pub fn pop_front_batch(&self, k: usize) -> Vec<T> {
         let mut q = self.inner.lock();
         let take = k.min(q.len());
-        q.drain(..take).collect()
+        let out: Vec<T> = q.drain(..take).collect();
+        if ear_obs::is_enabled() && take > 0 {
+            ear_obs::counter_add("queue.pops.front", 1);
+            ear_obs::counter_add("queue.units.front", take as u64);
+            ear_obs::counter_event("queue.len", q.len() as u64);
+            ear_obs::histogram_record("queue.len_after_pop", q.len() as u64);
+        }
+        out
     }
 
     /// Pops up to `k` items from the back (the small-workunit end), in
@@ -51,6 +58,12 @@ impl<T> WorkQueue<T> {
         let mut out = Vec::with_capacity(take);
         for _ in 0..take {
             out.push(q.pop_back().expect("take <= len"));
+        }
+        if ear_obs::is_enabled() && take > 0 {
+            ear_obs::counter_add("queue.pops.back", 1);
+            ear_obs::counter_add("queue.units.back", take as u64);
+            ear_obs::counter_event("queue.len", q.len() as u64);
+            ear_obs::histogram_record("queue.len_after_pop", q.len() as u64);
         }
         out
     }

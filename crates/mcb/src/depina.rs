@@ -180,7 +180,10 @@ pub fn depina_mcb_traced(g: &CsrGraph, opts: &DepinaOptions) -> (Vec<Cycle>, Pha
     if cs.dim() == 0 {
         return (Vec::new(), trace);
     }
-    let mut cands: Candidates = candidates::generate(g);
+    let mut cands: Candidates = {
+        let _s = ear_obs::span_with("mcb.candidates", cs.dim() as u64);
+        candidates::generate(g)
+    };
     trace.tree = cands.tree_units.clone();
     let (basis, loop_trace) = depina_phase_loop(g, &cs, &mut cands, opts);
     trace.merge(loop_trace);
@@ -223,15 +226,19 @@ pub fn depina_phase_loop(
         );
 
         for i in 0..f {
+            let _phase_span = ear_obs::span_with("mcb.phase", i as u64);
             let mut steps = PhaseSteps::default();
 
             // Phase 1: extract S_i from matrix column i and run the packed
             // label pass over every tree (paper Algorithm 3).
+            let labels_span = ear_obs::span_with("mcb.phase.labels", i as u64);
             scr.begin_phase(i);
             steps.labels = label_groups.clone();
+            drop(labels_span);
 
             // Phase 2: scan the weight-sorted store for the first cycle
             // non-orthogonal to S_i (packed O(1) test per candidate).
+            let search_span = ear_obs::span_with("mcb.phase.search", i as u64);
             let mut inspected = 0u64;
             let cand = if opts.force_signed {
                 None
@@ -269,6 +276,8 @@ pub fn depina_phase_loop(
                     cyc
                 }
             };
+            drop(search_span);
+            let update_span = ear_obs::span_with("mcb.phase.update", i as u64);
 
             // Phase 3: one batched row-XOR sweep updates every remaining
             // witness (steps 4-6 of the paper's Algorithm 2). The trace
@@ -286,11 +295,17 @@ pub fn depina_phase_loop(
             };
             let n_light = (f - 1 - i) as u64 - updated;
             steps.update = group_units_two(words, heavy, updated, light, n_light);
+            drop(update_span);
 
             trace.phases.push(steps);
             basis.push(cycle);
         }
     });
+
+    if ear_obs::is_enabled() {
+        ear_obs::counter_add("mcb.phases", f as u64);
+        ear_obs::counter_add("mcb.fallbacks", trace.fallbacks as u64);
+    }
 
     (basis, trace)
 }

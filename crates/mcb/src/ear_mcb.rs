@@ -129,7 +129,10 @@ pub fn mcb(g: &CsrGraph, config: &McbConfig) -> McbResult {
 /// per-block reduction. `plan` must have been built from `g`.
 pub fn mcb_with_plan(g: &CsrGraph, plan: &DecompPlan, config: &McbConfig) -> McbResult {
     let (cycles, removed, trace, wall_s) = run_blocks(g, plan, config.use_ear);
-    let profile = replay_trace(&trace, &config.mode.executor());
+    let profile = {
+        let _s = ear_obs::span("mcb.replay");
+        replay_trace(&trace, &config.mode.executor())
+    };
     finish(cycles, removed, profile, wall_s)
 }
 
@@ -145,9 +148,34 @@ pub fn mcb_all_modes(g: &CsrGraph, use_ear: bool) -> (McbResult, [PhaseProfile; 
     (result, profiles)
 }
 
+/// Publish the final (aggregated, replayed) profile into the `ear-obs`
+/// metrics registry under the `mcb.*` names the CLI `--profile` table and
+/// the `--metrics-out` snapshot read. `mcb.fallbacks` and `mcb.phases`
+/// are published by the phase loop itself; everything else lands here,
+/// once per pipeline run.
+fn publish_profile(p: &PhaseProfile) {
+    if !ear_obs::is_enabled() {
+        return;
+    }
+    ear_obs::gauge_set("mcb.trees_s", p.trees_s);
+    ear_obs::gauge_set("mcb.labels_s", p.labels_s);
+    ear_obs::gauge_set("mcb.search_s", p.search_s);
+    ear_obs::gauge_set("mcb.update_s", p.update_s);
+    ear_obs::counter_add("mcb.labels_computed", p.counters.labels_computed);
+    ear_obs::counter_add("mcb.cycles_inspected", p.counters.cycles_inspected);
+    ear_obs::counter_add("mcb.words_xored", p.counters.words_xored);
+    ear_obs::counter_add("mcb.edges_relaxed", p.counters.edges_relaxed);
+    ear_obs::counter_add("mcb.vertices_settled", p.counters.vertices_settled);
+}
+
 fn finish(cycles: Vec<Cycle>, removed: usize, profile: PhaseProfile, wall_s: f64) -> McbResult {
     let total_weight = cycles.iter().map(|c| c.weight).sum();
     let dim = cycles.len();
+    publish_profile(&profile);
+    if ear_obs::is_enabled() {
+        ear_obs::counter_add("mcb.dim", dim as u64);
+        ear_obs::counter_add("mcb.weight", total_weight);
+    }
     McbResult {
         cycles,
         total_weight,
@@ -180,6 +208,7 @@ fn run_blocks(
         if sub.m() < sub.n() {
             continue; // a bridge (tree block): no cycles
         }
+        let _block_span = ear_obs::span_with("mcb.block", b as u64);
         if let Some(r) = use_ear.then(|| plan.reduction(b)).flatten() {
             removed += r.removed_count();
             let (basis_r, t) = depina_mcb_traced(&r.reduced, &opts);

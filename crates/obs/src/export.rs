@@ -1,0 +1,316 @@
+//! Exporters: Chrome trace-event JSON and the flat metrics snapshot.
+//!
+//! Lane layout of the emitted trace (see the diagram in `DESIGN.md`):
+//! pid 1 (`ear-suite`) carries one lane per worker thread with wall-clock
+//! `B`/`E` spans and `C` counter samples; pid 2 (`modelled devices`)
+//! carries one lane per modelled device with `X` complete events on the
+//! discrete-event timeline of the hetero executor. Timestamps are
+//! microseconds, as the format requires.
+
+use std::io::Write as _;
+
+use crate::collector::{EventKind, Trace};
+use crate::json::escape;
+use crate::metrics::MetricsSnapshot;
+
+const WALL_PID: u32 = 1;
+const MODEL_PID: u32 = 2;
+
+fn us(ts_ns: u64) -> f64 {
+    ts_ns as f64 / 1000.0
+}
+
+/// Render a [`Trace`] as a Chrome trace-event JSON document.
+///
+/// The emitter sanitises ring-buffer artefacts so the output always
+/// passes [`crate::validate_chrome_trace`]: `E` events whose `B` was
+/// overwritten by ring overflow are skipped, and spans still open at
+/// snapshot time are closed at the lane's last timestamp.
+pub fn chrome_trace_json(trace: &Trace) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\"traceEvents\":[\n");
+    let mut first = true;
+    let mut push = |out: &mut String, line: String| {
+        if !std::mem::take(&mut first) {
+            out.push_str(",\n");
+        }
+        out.push_str(&line);
+    };
+
+    push(
+        &mut out,
+        format!(
+            "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{WALL_PID},\"tid\":0,\
+             \"args\":{{\"name\":\"ear-suite\"}}}}"
+        ),
+    );
+    if !trace.modelled.is_empty() {
+        push(
+            &mut out,
+            format!(
+                "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{MODEL_PID},\"tid\":0,\
+                 \"args\":{{\"name\":\"modelled devices\"}}}}"
+            ),
+        );
+    }
+
+    for t in &trace.threads {
+        push(
+            &mut out,
+            format!(
+                "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{WALL_PID},\"tid\":{},\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                t.tid,
+                escape(&t.name)
+            ),
+        );
+        let last_ts = t.events.last().map(|e| e.ts_ns).unwrap_or(0);
+        let mut depth = 0usize;
+        for e in &t.events {
+            match e.kind {
+                EventKind::Begin => {
+                    depth += 1;
+                    push(
+                        &mut out,
+                        format!(
+                            "{{\"ph\":\"B\",\"name\":\"{}\",\"pid\":{WALL_PID},\"tid\":{},\
+                             \"ts\":{:.3},\"args\":{{\"arg\":{}}}}}",
+                            escape(e.name),
+                            t.tid,
+                            us(e.ts_ns),
+                            e.arg
+                        ),
+                    );
+                }
+                EventKind::End => {
+                    // An E whose B fell off the ring has nothing to close.
+                    if depth == 0 {
+                        continue;
+                    }
+                    depth -= 1;
+                    push(
+                        &mut out,
+                        format!(
+                            "{{\"ph\":\"E\",\"name\":\"{}\",\"pid\":{WALL_PID},\"tid\":{},\
+                             \"ts\":{:.3}}}",
+                            escape(e.name),
+                            t.tid,
+                            us(e.ts_ns)
+                        ),
+                    );
+                }
+                EventKind::Counter => {
+                    push(
+                        &mut out,
+                        format!(
+                            "{{\"ph\":\"C\",\"name\":\"{}\",\"pid\":{WALL_PID},\"tid\":{},\
+                             \"ts\":{:.3},\"args\":{{\"value\":{}}}}}",
+                            escape(e.name),
+                            t.tid,
+                            us(e.ts_ns),
+                            e.arg
+                        ),
+                    );
+                }
+            }
+        }
+        // Close anything still open (snapshot taken mid-span).
+        let mut open = Vec::new();
+        let mut d = 0usize;
+        for e in &t.events {
+            match e.kind {
+                EventKind::Begin => {
+                    d += 1;
+                    open.push(e.name);
+                }
+                EventKind::End => {
+                    if d > 0 {
+                        d -= 1;
+                        open.pop();
+                    }
+                }
+                EventKind::Counter => {}
+            }
+        }
+        for name in open.into_iter().rev() {
+            push(
+                &mut out,
+                format!(
+                    "{{\"ph\":\"E\",\"name\":\"{}\",\"pid\":{WALL_PID},\"tid\":{},\"ts\":{:.3}}}",
+                    escape(name),
+                    t.tid,
+                    us(last_ts)
+                ),
+            );
+        }
+    }
+
+    // Modelled device lanes: one tid per distinct lane name, in order of
+    // first appearance; slices become complete (X) events.
+    let mut lanes: Vec<&str> = Vec::new();
+    for s in &trace.modelled {
+        if !lanes.iter().any(|l| *l == s.lane) {
+            lanes.push(&s.lane);
+        }
+    }
+    for (tid, lane) in lanes.iter().enumerate() {
+        push(
+            &mut out,
+            format!(
+                "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{MODEL_PID},\"tid\":{},\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                tid + 1,
+                escape(lane)
+            ),
+        );
+    }
+    for s in &trace.modelled {
+        let tid = lanes.iter().position(|l| *l == s.lane).unwrap() + 1;
+        let start_us = s.start_s * 1e6;
+        let dur_us = (s.end_s - s.start_s).max(0.0) * 1e6;
+        push(
+            &mut out,
+            format!(
+                "{{\"ph\":\"X\",\"name\":\"{}\",\"pid\":{MODEL_PID},\"tid\":{tid},\
+                 \"ts\":{start_us:.3},\"dur\":{dur_us:.3},\"args\":{{\"units\":{}}}}}",
+                escape(&s.name),
+                s.units
+            ),
+        );
+    }
+
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Render a [`MetricsSnapshot`] as a flat JSON document
+/// (`ear-metrics/v1`: counters, gauges, histogram summaries).
+pub fn metrics_json(snap: &MetricsSnapshot) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\n  \"schema\": \"ear-metrics/v1\",\n  \"counters\": {");
+    for (i, (name, v)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n    \"{}\": {v}", escape(name)));
+    }
+    out.push_str("\n  },\n  \"gauges\": {");
+    for (i, (name, v)) in snap.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n    \"{}\": {}", escape(name), fmt_f64(*v)));
+    }
+    out.push_str("\n  },\n  \"histograms\": {");
+    for (i, (name, h)) in snap.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let min = if h.count == 0 { 0 } else { h.min };
+        out.push_str(&format!(
+            "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {min}, \"max\": {}, \"mean\": {}}}",
+            escape(name),
+            h.count,
+            h.sum,
+            h.max,
+            fmt_f64(h.mean())
+        ));
+    }
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+/// Format an `f64` as a JSON number (JSON has no NaN/Inf; map those to 0).
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Write the Chrome trace for `trace` to `path`.
+pub fn write_chrome_trace(path: &str, trace: &Trace) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(chrome_trace_json(trace).as_bytes())
+}
+
+/// Write the metrics snapshot JSON for `snap` to `path`.
+pub fn write_metrics(path: &str, snap: &MetricsSnapshot) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(metrics_json(snap).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::{Event, ModelledSlice, ThreadLog};
+    use crate::json::{parse, validate_chrome_trace};
+
+    fn ev(name: &'static str, kind: EventKind, ts_ns: u64, arg: u64) -> Event {
+        Event {
+            name,
+            kind,
+            ts_ns,
+            arg,
+        }
+    }
+
+    #[test]
+    fn export_validates_and_sanitises() {
+        let trace = Trace {
+            threads: vec![ThreadLog {
+                tid: 1,
+                name: "worker \"1\"".into(),
+                events: vec![
+                    // Orphan E from ring overflow: must be skipped.
+                    ev("lost", EventKind::End, 5, 0),
+                    ev("outer", EventKind::Begin, 10, 3),
+                    ev("q", EventKind::Counter, 15, 7),
+                    ev("inner", EventKind::Begin, 20, 0),
+                    ev("inner", EventKind::End, 30, 0),
+                    // "outer" left open: must be auto-closed.
+                ],
+                dropped: 1,
+            }],
+            modelled: vec![ModelledSlice {
+                lane: "GTX-660".into(),
+                name: "batch".into(),
+                start_s: 0.5,
+                end_s: 1.0,
+                units: 4,
+            }],
+        };
+        let json = chrome_trace_json(&trace);
+        let check = validate_chrome_trace(&json).unwrap();
+        assert_eq!(check.complete_events, 1);
+        assert_eq!(check.max_depth, 2);
+        // wall lane + modelled lane
+        assert_eq!(check.lanes, 2);
+    }
+
+    #[test]
+    fn metrics_json_parses_back() {
+        let snap = MetricsSnapshot {
+            counters: vec![("a.b".into(), 42)],
+            gauges: vec![("g".into(), 0.25)],
+            histograms: vec![("h".into(), {
+                let mut h = crate::metrics::Histogram::default();
+                h.record(3);
+                h
+            })],
+        };
+        let doc = parse(&metrics_json(&snap)).unwrap();
+        assert_eq!(
+            doc.get("counters").unwrap().get("a.b").unwrap().as_f64(),
+            Some(42.0)
+        );
+        assert_eq!(
+            doc.get("gauges").unwrap().get("g").unwrap().as_f64(),
+            Some(0.25)
+        );
+        let h = doc.get("histograms").unwrap().get("h").unwrap();
+        assert_eq!(h.get("count").unwrap().as_f64(), Some(1.0));
+        assert_eq!(h.get("mean").unwrap().as_f64(), Some(3.0));
+    }
+}

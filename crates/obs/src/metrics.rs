@@ -1,0 +1,239 @@
+//! The metrics registry: named counters, gauges and log₂ histograms.
+//!
+//! This is the unification point for the numbers the workspace used to
+//! scatter across `DijkstraStats` (ear-graph), `WorkCounters`
+//! (ear-hetero) and `PhaseTrace`/`PhaseProfile` (ear-mcb): the producing
+//! layers publish into this registry under the dotted names catalogued in
+//! `DESIGN.md`, and consumers (the CLI `--profile` table, the bench
+//! report JSON, the `--metrics-out` snapshot) all read one source.
+//!
+//! Like the tracer, every mutation is gated on [`crate::is_enabled`] so
+//! the disabled path is one relaxed load and zero allocation.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+/// A log₂-bucket histogram of `u64` samples.
+///
+/// Bucket `i` counts samples whose bit length is `i` (bucket 0 holds the
+/// value 0, bucket 1 holds 1, bucket 2 holds 2–3, …), so the full `u64`
+/// range fits in 65 fixed buckets and recording never allocates.
+#[derive(Clone, Copy, Debug)]
+pub struct Histogram {
+    /// Number of samples recorded.
+    pub count: u64,
+    /// Sum of all samples (saturating).
+    pub sum: u64,
+    /// Smallest sample.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// `buckets[i]` = samples with bit length `i`.
+    pub buckets: [u64; 65],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; 65],
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[(64 - v.leading_zeros()) as usize] += 1;
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static R: OnceLock<Mutex<Registry>> = OnceLock::new();
+    R.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+/// Add `delta` to the counter `name` (created at 0 on first use).
+#[inline]
+pub fn counter_add(name: &'static str, delta: u64) {
+    if !crate::is_enabled() {
+        return;
+    }
+    *registry().lock().unwrap().counters.entry(name).or_insert(0) += delta;
+}
+
+/// Set the gauge `name` to `value` (last write wins).
+#[inline]
+pub fn gauge_set(name: &'static str, value: f64) {
+    if !crate::is_enabled() {
+        return;
+    }
+    registry().lock().unwrap().gauges.insert(name, value);
+}
+
+/// Record one sample into the histogram `name`.
+#[inline]
+pub fn histogram_record(name: &'static str, value: u64) {
+    if !crate::is_enabled() {
+        return;
+    }
+    registry()
+        .lock()
+        .unwrap()
+        .histograms
+        .entry(name)
+        .or_default()
+        .record(value);
+}
+
+/// Current value of a counter (0 if never written). Reads are not gated
+/// on the enabled flag so consumers can inspect a frozen registry.
+pub fn counter_value(name: &str) -> u64 {
+    registry()
+        .lock()
+        .unwrap()
+        .counters
+        .get(name)
+        .copied()
+        .unwrap_or(0)
+}
+
+/// Current value of a gauge (`None` if never written).
+pub fn gauge_value(name: &str) -> Option<f64> {
+    registry().lock().unwrap().gauges.get(name).copied()
+}
+
+/// A frozen copy of the whole registry, sorted by name.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// All counters, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// All gauges, name-sorted.
+    pub gauges: Vec<(String, f64)>,
+    /// All histograms, name-sorted.
+    pub histograms: Vec<(String, Histogram)>,
+}
+
+impl MetricsSnapshot {
+    /// Counter by name (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    }
+
+    /// Gauge by name (`None` if absent).
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+/// Freeze the registry into a [`MetricsSnapshot`].
+pub fn snapshot() -> MetricsSnapshot {
+    let r = registry().lock().unwrap();
+    MetricsSnapshot {
+        counters: r
+            .counters
+            .iter()
+            .map(|(&n, &v)| (n.to_string(), v))
+            .collect(),
+        gauges: r.gauges.iter().map(|(&n, &v)| (n.to_string(), v)).collect(),
+        histograms: r
+            .histograms
+            .iter()
+            .map(|(&n, &h)| (n.to_string(), h))
+            .collect(),
+    }
+}
+
+pub(crate) fn reset() {
+    let mut r = registry().lock().unwrap();
+    r.counters.clear();
+    r.gauges.clear();
+    r.histograms.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with_obs<R>(f: impl FnOnce() -> R) -> R {
+        static LOCK: Mutex<()> = Mutex::new(());
+        let _g = LOCK.lock().unwrap();
+        crate::reset();
+        crate::enable();
+        let r = f();
+        crate::disable();
+        crate::reset();
+        r
+    }
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        with_obs(|| {
+            counter_add("t.a", 2);
+            counter_add("t.a", 3);
+            gauge_set("t.g", 1.5);
+            histogram_record("t.h", 0);
+            histogram_record("t.h", 7);
+            let s = snapshot();
+            assert_eq!(s.counter("t.a"), 5);
+            assert_eq!(s.gauge("t.g"), Some(1.5));
+            let h = s.histogram("t.h").unwrap();
+            assert_eq!((h.count, h.sum, h.min, h.max), (2, 7, 0, 7));
+            assert_eq!(h.buckets[0], 1); // the 0 sample
+            assert_eq!(h.buckets[3], 1); // 7 has bit length 3
+            assert!((h.mean() - 3.5).abs() < 1e-12);
+        });
+    }
+
+    #[test]
+    fn disabled_mutations_are_dropped() {
+        with_obs(|| {
+            crate::disable();
+            counter_add("t.off", 1);
+            gauge_set("t.off.g", 1.0);
+            histogram_record("t.off.h", 1);
+            assert!(snapshot().is_empty());
+            crate::enable();
+        });
+    }
+}

@@ -20,7 +20,12 @@
 //! * [`basis_valid`] — a claimed cycle basis is independent, spanning and
 //!   made of genuine cycle vectors;
 //! * [`exactly_once`] — a heterogeneous execution processed every
-//!   workunit exactly once across all devices.
+//!   workunit exactly once across all devices;
+//! * [`trace_invariants`] — a captured `ear-obs` trace is well-formed:
+//!   spans nest properly per thread with non-regressing timestamps, every
+//!   `hetero.unit` span opened is closed exactly once (the tracing-level
+//!   counterpart of [`exactly_once`]), and modelled device slices have
+//!   non-negative extent.
 
 use ear_apsp::matrix::DistMatrix;
 use ear_apsp::oracle::DistanceOracle;
@@ -429,6 +434,113 @@ pub fn exactly_once(report: &ExecutionReport, expected: usize) -> Result<(), Str
     Ok(())
 }
 
+/// Checks that an `ear-obs` trace snapshot is structurally sound.
+///
+/// Per thread: events are in chronological order, every `End` matches the
+/// innermost open `Begin` by name with `end ≥ start`, and nothing is left
+/// open. Globally: `hetero.unit` spans open and close exactly once each —
+/// and, when `expected_units` is given, their count equals the number of
+/// workunits the executor was handed (the trace-level mirror of
+/// [`exactly_once`]). Modelled device slices must have `end ≥ start`.
+///
+/// Threads whose ring buffer overflowed (`dropped > 0`) lost their oldest
+/// events, so their nesting cannot be reconstructed; they are checked
+/// only for timestamp order, and the exactly-once count is skipped for
+/// the whole trace (it would undercount).
+pub fn trace_invariants(
+    trace: &ear_obs::Trace,
+    expected_units: Option<usize>,
+) -> Result<(), String> {
+    use ear_obs::EventKind;
+
+    let mut unit_opens = 0usize;
+    let mut unit_closes = 0usize;
+    for tl in &trace.threads {
+        let lossy = tl.dropped > 0;
+        let mut stack: Vec<(&str, u64)> = Vec::new();
+        let mut last_ts = 0u64;
+        for ev in &tl.events {
+            if ev.ts_ns < last_ts {
+                return Err(format!(
+                    "thread {} ('{}'): timestamp regresses ({} ns after {} ns)",
+                    tl.tid, tl.name, ev.ts_ns, last_ts
+                ));
+            }
+            last_ts = ev.ts_ns;
+            if lossy {
+                continue;
+            }
+            match ev.kind {
+                EventKind::Begin => {
+                    stack.push((ev.name, ev.ts_ns));
+                    if ev.name == "hetero.unit" {
+                        unit_opens += 1;
+                    }
+                }
+                EventKind::End => {
+                    if ev.name == "hetero.unit" {
+                        unit_closes += 1;
+                    }
+                    let Some((open_name, open_ts)) = stack.pop() else {
+                        return Err(format!(
+                            "thread {} ('{}'): end '{}' with no open span",
+                            tl.tid, tl.name, ev.name
+                        ));
+                    };
+                    if open_name != ev.name {
+                        return Err(format!(
+                            "thread {} ('{}'): end '{}' closes open span '{open_name}'",
+                            tl.tid, tl.name, ev.name
+                        ));
+                    }
+                    if ev.ts_ns < open_ts {
+                        return Err(format!(
+                            "thread {} ('{}'): span '{}' ends at {} ns before starting at {} ns",
+                            tl.tid, tl.name, ev.name, ev.ts_ns, open_ts
+                        ));
+                    }
+                }
+                EventKind::Counter => {}
+            }
+        }
+        if !stack.is_empty() {
+            return Err(format!(
+                "thread {} ('{}'): {} spans left open (innermost '{}')",
+                tl.tid,
+                tl.name,
+                stack.len(),
+                stack.last().expect("non-empty").0
+            ));
+        }
+    }
+
+    let lossy_trace = trace.threads.iter().any(|t| t.dropped > 0);
+    if !lossy_trace {
+        if unit_opens != unit_closes {
+            return Err(format!(
+                "hetero.unit spans: {unit_opens} opened, {unit_closes} closed"
+            ));
+        }
+        if let Some(expected) = expected_units {
+            if unit_opens != expected {
+                return Err(format!(
+                    "trace records {unit_opens} hetero.unit spans, executor was handed {expected}"
+                ));
+            }
+        }
+    }
+
+    for s in &trace.modelled {
+        if s.end_s < s.start_s {
+            return Err(format!(
+                "modelled slice '{}' on lane '{}' ends at {} s before starting at {} s",
+                s.name, s.lane, s.end_s, s.start_s
+            ));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -489,6 +601,49 @@ mod tests {
         );
         let plan = DecompPlan::build(&g);
         plan_invariants(&g, &plan).unwrap();
+    }
+
+    #[test]
+    fn trace_invariants_accept_nested_and_reject_crossed_spans() {
+        use ear_obs::{Event, EventKind, ModelledSlice, ThreadLog, Trace};
+        let ev = |name, kind, ts| Event {
+            name,
+            kind,
+            ts_ns: ts,
+            arg: 0,
+        };
+        let good = Trace {
+            threads: vec![ThreadLog {
+                tid: 1,
+                name: "main".into(),
+                events: vec![
+                    ev("hetero.run", EventKind::Begin, 0),
+                    ev("hetero.unit", EventKind::Begin, 1),
+                    ev("hetero.unit", EventKind::End, 2),
+                    ev("hetero.run", EventKind::End, 3),
+                ],
+                dropped: 0,
+            }],
+            modelled: vec![ModelledSlice {
+                lane: "gpu".into(),
+                name: "batch".into(),
+                start_s: 0.0,
+                end_s: 0.5,
+                units: 1,
+            }],
+        };
+        trace_invariants(&good, Some(1)).unwrap();
+        assert!(trace_invariants(&good, Some(2)).is_err());
+
+        let mut crossed = good.clone();
+        crossed.threads[0].events.swap(2, 3); // run ends inside unit
+        crossed.threads[0].events[2].ts_ns = 2;
+        crossed.threads[0].events[3].ts_ns = 3;
+        assert!(trace_invariants(&crossed, None).is_err());
+
+        let mut regressing = good.clone();
+        regressing.threads[0].events[3].ts_ns = 1;
+        assert!(trace_invariants(&regressing, None).is_err());
     }
 
     #[test]

@@ -21,8 +21,9 @@
 //!   over the `ear-workloads` generators.
 //! * [`invariants`] — reusable checkers returning `Result<(), String>`:
 //!   metric axioms on distance matrices and oracles, ear-reduction
-//!   bookkeeping, cycle-basis validity, and exactly-once coverage of
-//!   heterogeneous executor runs.
+//!   bookkeeping, cycle-basis validity, exactly-once coverage of
+//!   heterogeneous executor runs, and structural soundness of captured
+//!   `ear-obs` traces (span nesting, workunit open/close pairing).
 //! * [`differential`] — one registry of every APSP implementation and
 //!   every MCB mode in the workspace, with a single
 //!   [`differential::cross_validate`] entry point that runs all of them

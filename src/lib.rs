@@ -17,7 +17,8 @@
 //! * [`bc`] — betweenness centrality (the companion path-problem the
 //!   paper's conclusions point at) with pendant-tree reduction;
 //! * [`workloads`] — synthetic dataset generators matched to the paper;
-//! * [`core`] — high-level pipelines.
+//! * [`core`] — high-level pipelines;
+//! * [`obs`] — tracing + metrics with Chrome-trace export.
 
 pub use ear_apsp as apsp;
 pub use ear_bc as bc;
@@ -26,4 +27,5 @@ pub use ear_decomp as decomp;
 pub use ear_graph as graph;
 pub use ear_hetero as hetero;
 pub use ear_mcb as mcb;
+pub use ear_obs as obs;
 pub use ear_workloads as workloads;

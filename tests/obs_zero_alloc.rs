@@ -1,0 +1,111 @@
+//! Disabled-overhead guard for `ear-obs`: with tracing off, the
+//! instrumentation must be a single relaxed atomic load per call site —
+//! in particular, ZERO heap allocations. A counting global allocator
+//! catches any regression (a lazily-registered thread buffer, a format!
+//! in a span constructor, a metrics map touch...).
+//!
+//! One `#[test]` only: the allocator counter and the tracing switch are
+//! process-global, and a parallel test would pollute the deltas.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOC_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOC_EVENTS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn disabled_tracing_allocates_nothing_and_records_nothing() {
+    ear_obs::disable();
+    ear_obs::reset();
+
+    // 1. Hammer every obs entry point with tracing off: the disabled path
+    //    must not allocate once across 100k iterations.
+    let before = allocs();
+    for i in 0..100_000u64 {
+        let _a = ear_obs::span("guard.span");
+        let _b = ear_obs::span_with("guard.span_with", i);
+        ear_obs::counter_add("guard.counter", 1);
+        ear_obs::gauge_set("guard.gauge", i as f64);
+        ear_obs::histogram_record("guard.histogram", i);
+        ear_obs::counter_event("guard.event", i);
+    }
+    let delta = allocs() - before;
+    assert_eq!(
+        delta, 0,
+        "disabled obs entry points allocated {delta} times in 100k iterations"
+    );
+
+    // 2. A real APSP + MCB pipeline with tracing off leaves the collector
+    //    and registry untouched — the instrumented hot loops never reach
+    //    an obs buffer, so they cannot have paid obs allocations either.
+    let g = ear_graph::CsrGraph::from_edges(
+        8,
+        &[
+            (0, 1, 1),
+            (1, 2, 2),
+            (0, 2, 10),
+            (0, 3, 3),
+            (3, 2, 4),
+            (2, 4, 1),
+            (4, 5, 2),
+            (5, 2, 3),
+            (5, 6, 1),
+            (6, 7, 2),
+            (7, 5, 1),
+        ],
+    );
+    let exec = ear_hetero::HeteroExecutor::sequential();
+    let oracle = ear_apsp::build_oracle(&g, &exec, ear_apsp::ApspMethod::Ear);
+    let basis = ear_mcb::mcb(
+        &g,
+        &ear_mcb::McbConfig {
+            mode: ear_mcb::ExecMode::Sequential,
+            use_ear: true,
+        },
+    );
+    assert_eq!(oracle.dist(0, 7), ear_graph::dijkstra(&g, 0)[7]);
+    assert_eq!(basis.dim, 4);
+    assert_eq!(
+        ear_obs::event_count(),
+        0,
+        "pipeline recorded trace events while tracing was off"
+    );
+    assert!(
+        ear_obs::metrics_snapshot().is_empty(),
+        "pipeline recorded metrics while tracing was off"
+    );
+
+    // 3. The registry reads used by `--profile` are allocation-free too
+    //    when nothing was recorded.
+    let before = allocs();
+    for _ in 0..10_000 {
+        std::hint::black_box(ear_obs::counter_value("guard.counter"));
+        std::hint::black_box(ear_obs::is_enabled());
+    }
+    let delta = allocs() - before;
+    assert_eq!(delta, 0, "registry reads allocated {delta} times");
+}
