@@ -24,7 +24,10 @@ use std::sync::Arc;
 
 use ear_decomp::block_cut::{BlockCutTree, Route};
 use ear_decomp::plan::DecompPlan;
-use ear_graph::{dist_add, with_engine, CsrGraph, VertexId, Weight, INF};
+use ear_graph::{
+    dist_add, lane_batches, with_engine, with_multi_engine, CsrGraph, SsspMode, VertexId, Weight,
+    INF, LANES,
+};
 use ear_hetero::{ExecutionReport, HeteroExecutor, RunOutput, WorkCounters};
 
 use crate::matrix::DistMatrix;
@@ -245,6 +248,62 @@ pub fn build_oracle(g: &CsrGraph, exec: &HeteroExecutor, method: ApspMethod) -> 
     build_oracle_with_plan(Arc::new(DecompPlan::build(g)), exec, method)
 }
 
+/// Runs every SSSP phase of `f` in lane batches when `sssp` is
+/// [`SsspMode::Batched`], one scalar run per source otherwise. `total`
+/// sources are consumed in order; `f` receives `(start, &sources)` per
+/// workunit and must return one distance row per source plus summed
+/// counters.
+pub(crate) fn sssp_units(total: u32, sssp: SsspMode) -> Vec<(u32, u32)> {
+    match sssp {
+        SsspMode::Scalar => (0..total).map(|s| (s, 1)).collect(),
+        SsspMode::Batched => lane_batches(total).collect(),
+    }
+}
+
+/// One Phase-II / AP-phase workunit: all sources `start..start + len` of
+/// `target`, through the pooled lane engine in batched mode (its own
+/// straggler fallback absorbs `len == 1` tails and tiny blocks) or one
+/// pooled scalar run per source otherwise.
+pub(crate) fn sssp_unit_rows(
+    target: &CsrGraph,
+    start: u32,
+    len: u32,
+    sssp: SsspMode,
+) -> (Vec<Vec<Weight>>, WorkCounters) {
+    debug_assert!(len >= 1 && len as usize <= LANES);
+    if sssp == SsspMode::Scalar {
+        let mut counters = WorkCounters::default();
+        let rows = (start..start + len)
+            .map(|s| {
+                with_engine(|eng| {
+                    let stats = eng.run(target, s);
+                    counters.edges_relaxed += stats.edges_relaxed;
+                    counters.vertices_settled += stats.settled;
+                    eng.dist_vec()
+                })
+            })
+            .collect();
+        return (rows, counters);
+    }
+    with_multi_engine(|me| {
+        let mut sources = [0u32; LANES];
+        for (i, s) in sources.iter_mut().enumerate().take(len as usize) {
+            *s = start + i as u32;
+        }
+        me.run_batch(target, &sources[..len as usize]);
+        let mut counters = WorkCounters::default();
+        let rows = (0..len as usize)
+            .map(|lane| {
+                let stats = me.stats(lane);
+                counters.edges_relaxed += stats.edges_relaxed;
+                counters.vertices_settled += stats.settled;
+                me.dist_vec(lane)
+            })
+            .collect();
+        (rows, counters)
+    })
+}
+
 /// Builds the oracle from a prebuilt [`DecompPlan`], skipping the BCC
 /// split, block extraction and per-block reduction entirely.
 ///
@@ -259,6 +318,21 @@ pub fn build_oracle_with_plan(
     exec: &HeteroExecutor,
     method: ApspMethod,
 ) -> DistanceOracle {
+    build_oracle_with_plan_mode(plan, exec, method, SsspMode::from_env())
+}
+
+/// [`build_oracle_with_plan`] with an explicit [`SsspMode`]: `Scalar`
+/// drives one pooled [`SsspEngine`](ear_graph::SsspEngine) run per
+/// workunit (the retained differential baseline); `Batched` feeds each
+/// block's sources to the lane engine in [`LANES`]-wide batches, so one
+/// CSR edge scan serves up to eight sources. The two modes produce
+/// bit-identical oracles — `tests/sssp_multi_differential.rs` enforces it.
+pub fn build_oracle_with_plan_mode(
+    plan: Arc<DecompPlan>,
+    exec: &HeteroExecutor,
+    method: ApspMethod,
+    sssp: SsspMode,
+) -> DistanceOracle {
     let nb = plan.n_blocks();
     let _build_span = ear_obs::span_with("apsp.build", plan.n() as u64);
     // Ear reduction requires simple blocks; a multigraph input's parallel
@@ -269,15 +343,19 @@ pub fn build_oracle_with_plan(
         ApspMethod::Plain => None,
     };
 
-    // Phase II: one workunit per (block, source-in-processed-graph).
+    // Phase II: workunits are (block, source-range) — one source each in
+    // scalar mode, a lane batch of up to LANES consecutive sources in
+    // batched mode, so the executor sees fewer, larger units.
     let phase2_span = ear_obs::span("apsp.phase2");
-    let units: Vec<(u32, u32)> = (0..nb as u32)
+    let units: Vec<(u32, u32, u32)> = (0..nb as u32)
         .flat_map(|b| {
             let srcs = match red(b) {
                 Some(r) => r.reduced.n(),
                 None => plan.block(b).n(),
             };
-            (0..srcs as u32).map(move |s| (b, s))
+            sssp_units(srcs as u32, sssp)
+                .into_iter()
+                .map(move |(start, len)| (b, start, len))
         })
         .collect();
     let RunOutput {
@@ -285,28 +363,21 @@ pub fn build_oracle_with_plan(
         report: phase2,
     } = exec.run(
         units.clone(),
-        |&(b, _)| match red(b) {
-            Some(r) => r.reduced.m() as u64 + 1,
-            None => plan.block(b).m() as u64 + 1,
+        |&(b, _, len)| {
+            let per_source = match red(b) {
+                Some(r) => r.reduced.m() as u64 + 1,
+                None => plan.block(b).m() as u64 + 1,
+            };
+            per_source * len as u64
         },
-        |&(b, s)| {
+        |&(b, start, len)| {
             let target = match red(b) {
                 Some(r) => &r.reduced,
                 None => &plan.block(b).sub,
             };
-            // Pooled engine: per-source scratch is reused across workunits
-            // handled by the same worker thread.
-            with_engine(|eng| {
-                let stats = eng.run(target, s);
-                (
-                    eng.dist_vec(),
-                    WorkCounters {
-                        edges_relaxed: stats.edges_relaxed,
-                        vertices_settled: stats.settled,
-                        ..Default::default()
-                    },
-                )
-            })
+            // Pooled engines: per-source scratch is reused across
+            // workunits handled by the same worker thread.
+            sssp_unit_rows(target, start, len, sssp)
         },
     );
     // Assemble per-block reduced (or full) matrices.
@@ -316,9 +387,12 @@ pub fn build_oracle_with_plan(
             None => DistMatrix::new(plan.block(b).n()),
         })
         .collect();
-    for ((b, s), row) in units.into_iter().zip(rows) {
-        for (t, w) in row.into_iter().enumerate() {
-            srs[b as usize].set(s, t as u32, w);
+    for ((b, start, _), unit_rows) in units.into_iter().zip(rows) {
+        for (i, row) in unit_rows.into_iter().enumerate() {
+            let s = start + i as u32;
+            for (t, w) in row.into_iter().enumerate() {
+                srs[b as usize].set(s, t as u32, w);
+            }
         }
     }
     drop(phase2_span);
@@ -384,26 +458,14 @@ pub fn build_oracle_with_plan(
     }
     let ap_graph = CsrGraph::from_edges(a, &ap_edges);
     let RunOutput {
-        results: ap_rows,
+        results: ap_unit_rows,
         report: ap_phase,
     } = exec.run(
-        (0..a as u32).collect::<Vec<_>>(),
-        |_| ap_graph.m() as u64 + 1,
-        |&s| {
-            with_engine(|eng| {
-                let stats = eng.run(&ap_graph, s);
-                (
-                    eng.dist_vec(),
-                    WorkCounters {
-                        edges_relaxed: stats.edges_relaxed,
-                        vertices_settled: stats.settled,
-                        ..Default::default()
-                    },
-                )
-            })
-        },
+        sssp_units(a as u32, sssp),
+        |&(_, len)| (ap_graph.m() as u64 + 1) * len as u64,
+        |&(start, len)| sssp_unit_rows(&ap_graph, start, len, sssp),
     );
-    let ap_table = DistMatrix::from_rows(ap_rows);
+    let ap_table = DistMatrix::from_rows(ap_unit_rows.into_iter().flatten().collect());
     drop(ap_span);
 
     // Statistics.

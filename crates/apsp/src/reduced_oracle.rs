@@ -16,10 +16,11 @@ use std::sync::Arc;
 use ear_decomp::block_cut::Route;
 use ear_decomp::plan::{BlockPlan, DecompPlan};
 use ear_decomp::reduce::ReducedGraph;
-use ear_graph::{dist_add, with_engine, CsrGraph, VertexId, Weight, INF};
-use ear_hetero::{ExecutionReport, HeteroExecutor, RunOutput, WorkCounters};
+use ear_graph::{dist_add, CsrGraph, SsspMode, VertexId, Weight, INF};
+use ear_hetero::{ExecutionReport, HeteroExecutor, RunOutput};
 
 use crate::matrix::DistMatrix;
+use crate::oracle::{sssp_unit_rows, sssp_units};
 
 /// A distance oracle storing `a² + Σ (nᵢʳ)²` entries.
 pub struct ReducedOracle {
@@ -44,6 +45,19 @@ impl ReducedOracle {
     /// [`DecompPlan`]; only the all-sources Dijkstra over the plan's
     /// reduced blocks and the AP table remain to be computed.
     pub fn build_with_plan(plan: Arc<DecompPlan>, exec: &HeteroExecutor) -> ReducedOracle {
+        Self::build_with_plan_mode(plan, exec, SsspMode::from_env())
+    }
+
+    /// [`Self::build_with_plan`] with an explicit [`SsspMode`]: `Batched`
+    /// runs the all-sources phase (and the AP table) in lane batches of up
+    /// to [`ear_graph::LANES`] sources per CSR edge scan; `Scalar` is the
+    /// retained one-run-per-source baseline. Both produce bit-identical
+    /// oracles.
+    pub fn build_with_plan_mode(
+        plan: Arc<DecompPlan>,
+        exec: &HeteroExecutor,
+        sssp: SsspMode,
+    ) -> ReducedOracle {
         let nb = plan.n_blocks();
         let mut srs: Vec<DistMatrix> = (0..nb as u32)
             .map(|b| {
@@ -54,10 +68,12 @@ impl ReducedOracle {
             })
             .collect();
 
-        let units: Vec<(u32, u32)> = (0..nb as u32)
+        let units: Vec<(u32, u32, u32)> = (0..nb as u32)
             .flat_map(|b| {
                 let srcs = srs[b as usize].n();
-                (0..srcs as u32).map(move |s| (b, s))
+                sssp_units(srcs as u32, sssp)
+                    .into_iter()
+                    .map(move |(start, len)| (b, start, len))
             })
             .collect();
         let RunOutput {
@@ -65,30 +81,23 @@ impl ReducedOracle {
             report: processing,
         } = exec.run(
             units.clone(),
-            |&(b, _)| plan.block(b).m() as u64 + 1,
-            |&(b, s)| {
+            |&(b, _, len)| (plan.block(b).m() as u64 + 1) * len as u64,
+            |&(b, start, len)| {
                 let target = match plan.reduction(b) {
                     Some(r) => &r.reduced,
                     None => &plan.block(b).sub,
                 };
-                // Pooled engine: scratch reused across the (block, source)
-                // workunits each worker thread handles.
-                with_engine(|eng| {
-                    let stats = eng.run(target, s);
-                    (
-                        eng.dist_vec(),
-                        WorkCounters {
-                            edges_relaxed: stats.edges_relaxed,
-                            vertices_settled: stats.settled,
-                            ..Default::default()
-                        },
-                    )
-                })
+                // Pooled engines: scratch reused across the (block,
+                // source-range) workunits each worker thread handles.
+                sssp_unit_rows(target, start, len, sssp)
             },
         );
-        for ((b, s), row) in units.into_iter().zip(rows) {
-            for (t, w) in row.into_iter().enumerate() {
-                srs[b as usize].set(s, t as u32, w);
+        for ((b, start, _), unit_rows) in units.into_iter().zip(rows) {
+            for (i, row) in unit_rows.into_iter().enumerate() {
+                let s = start + i as u32;
+                for (t, w) in row.into_iter().enumerate() {
+                    srs[b as usize].set(s, t as u32, w);
+                }
             }
         }
 
@@ -117,8 +126,9 @@ impl ReducedOracle {
             }
         }
         let ap_graph = CsrGraph::from_edges(a, &ap_edges);
-        let ap_rows: Vec<Vec<Weight>> = (0..a as u32)
-            .map(|s| ear_graph::dijkstra(&ap_graph, s))
+        let ap_rows: Vec<Vec<Weight>> = sssp_units(a as u32, sssp)
+            .into_iter()
+            .flat_map(|(start, len)| sssp_unit_rows(&ap_graph, start, len, sssp).0)
             .collect();
         let ap_table = DistMatrix::from_rows(ap_rows);
 

@@ -1,13 +1,17 @@
 //! Old-vs-new SSSP microbenchmark: the legacy allocate-per-source
-//! `dijkstra_with_stats` against the pooled [`SsspEngine`], on the exact
-//! workload the reduced oracle's build phase runs — all-sources Dijkstra
-//! over the reduced biconnected blocks of testkit graph families.
+//! `dijkstra_with_stats` against the pooled [`SsspEngine`] and the
+//! lane-batched [`MultiSsspEngine`], on the exact workload the reduced
+//! oracle's build phase runs — all-sources Dijkstra over the reduced
+//! biconnected blocks of testkit graph families.
 //!
-//! Both sides compute identical rows (asserted via checksum and relaxation
-//! counts — the engine is bit-exact by construction); what differs is the
-//! per-source setup cost: the legacy path allocates and INF-fills fresh
-//! arrays plus a lazy-deletion binary heap for every source, the engine
-//! path reuses generation-stamped scratch and an indexed 4-ary heap.
+//! All sides compute identical rows (asserted via checksum and relaxation
+//! counts before any timing — the bench refuses to report a speedup for
+//! an implementation that diverged); what differs is the per-source
+//! overhead: the legacy path allocates and INF-fills fresh arrays plus a
+//! lazy-deletion binary heap for every source, the engine path reuses
+//! generation-stamped scratch and an indexed 4-ary heap, and the batched
+//! path additionally amortizes one CSR edge scan over up to eight
+//! co-popping source lanes.
 //!
 //! The headline families measure the oracle's design point — the small
 //! reduced blocks left after chain contraction / BCC splitting, where the
@@ -23,7 +27,7 @@
 use std::time::Instant;
 
 use ear_decomp::plan::DecompPlan;
-use ear_graph::{CsrGraph, SsspEngine, Weight};
+use ear_graph::{lane_batches, CsrGraph, MultiSsspEngine, SsspEngine, Weight, LANES};
 use ear_testkit::{chain_heavy_graphs, multi_bcc_graphs, workload_graphs, Strategy, TestRng};
 
 struct Opts {
@@ -156,6 +160,32 @@ fn run_engine(w: &Workload, eng: &mut SsspEngine) -> Pass {
     }
 }
 
+fn run_batched(w: &Workload, me: &mut MultiSsspEngine) -> Pass {
+    let t0 = Instant::now();
+    let mut edges_relaxed = 0u64;
+    let mut checksum: Weight = 0;
+    let mut sources = [0u32; LANES];
+    for b in &w.blocks {
+        for (start, len) in lane_batches(b.n() as u32) {
+            for i in 0..len {
+                sources[i as usize] = start + i;
+            }
+            me.run_batch(b, &sources[..len as usize]);
+            for lane in 0..len as usize {
+                edges_relaxed += me.stats(lane).edges_relaxed;
+                for t in 0..b.n() as u32 {
+                    checksum = checksum.wrapping_add(me.dist(lane, t));
+                }
+            }
+        }
+    }
+    Pass {
+        ns: t0.elapsed().as_nanos(),
+        edges_relaxed,
+        checksum,
+    }
+}
+
 fn median(xs: &mut [f64]) -> f64 {
     assert!(!xs.is_empty());
     xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -176,36 +206,58 @@ struct FamilyResult {
     edges_relaxed_per_source: f64,
     legacy_ns_per_source: f64,
     engine_ns_per_source: f64,
+    batched_ns_per_source: f64,
     legacy_edges_per_sec: f64,
     engine_edges_per_sec: f64,
+    batched_edges_per_sec: f64,
     speedup: f64,
+    batched_speedup: f64,
+    batched_vs_engine: f64,
 }
 
 fn bench_family(w: &Workload, reps: usize) -> FamilyResult {
     let mut eng = SsspEngine::new();
-    // Warm-up: page in the graphs, size the engine, and cross-check that
-    // both implementations agree before timing anything.
+    let mut multi = MultiSsspEngine::new();
+    // Warm-up: page in the graphs, size the engines, and cross-check that
+    // all three implementations agree before timing anything. A checksum
+    // or relaxation-count mismatch aborts the run — the bench refuses to
+    // report a speedup for an implementation that computed different
+    // distances.
     let l0 = run_legacy(w);
     let e0 = run_engine(w, &mut eng);
+    let b0 = run_batched(w, &mut multi);
     assert_eq!(
         l0.checksum, e0.checksum,
-        "{}: distance checksum mismatch",
+        "{}: engine distance checksum mismatch",
         w.family
     );
     assert_eq!(
         l0.edges_relaxed, e0.edges_relaxed,
-        "{}: relaxation count mismatch",
+        "{}: engine relaxation count mismatch",
+        w.family
+    );
+    assert_eq!(
+        l0.checksum, b0.checksum,
+        "{}: batched distance checksum mismatch",
+        w.family
+    );
+    assert_eq!(
+        l0.edges_relaxed, b0.edges_relaxed,
+        "{}: batched relaxation count mismatch",
         w.family
     );
 
     let mut legacy_ns = Vec::with_capacity(reps);
     let mut engine_ns = Vec::with_capacity(reps);
+    let mut batched_ns = Vec::with_capacity(reps);
     for _ in 0..reps {
         legacy_ns.push(run_legacy(w).ns as f64 / w.sources as f64);
         engine_ns.push(run_engine(w, &mut eng).ns as f64 / w.sources as f64);
+        batched_ns.push(run_batched(w, &mut multi).ns as f64 / w.sources as f64);
     }
     let legacy = median(&mut legacy_ns);
     let engine = median(&mut engine_ns);
+    let batched = median(&mut batched_ns);
     let per_source_edges = l0.edges_relaxed as f64 / w.sources as f64;
     FamilyResult {
         family: w.family,
@@ -216,9 +268,13 @@ fn bench_family(w: &Workload, reps: usize) -> FamilyResult {
         edges_relaxed_per_source: per_source_edges,
         legacy_ns_per_source: legacy,
         engine_ns_per_source: engine,
+        batched_ns_per_source: batched,
         legacy_edges_per_sec: per_source_edges / (legacy * 1e-9),
         engine_edges_per_sec: per_source_edges / (engine * 1e-9),
+        batched_edges_per_sec: per_source_edges / (batched * 1e-9),
         speedup: legacy / engine,
+        batched_speedup: legacy / batched,
+        batched_vs_engine: engine / batched,
     }
 }
 
@@ -236,13 +292,19 @@ fn write_json(path: &str, opts: &Opts, results: &[FamilyResult]) {
             .num("edges_relaxed_per_source", r.edges_relaxed_per_source, 1)
             .num("legacy_ns_per_source", r.legacy_ns_per_source, 1)
             .num("engine_ns_per_source", r.engine_ns_per_source, 1)
+            .num("batched_per_source", r.batched_ns_per_source, 1)
             .num("legacy_edges_relaxed_per_sec", r.legacy_edges_per_sec, 0)
             .num("engine_edges_relaxed_per_sec", r.engine_edges_per_sec, 0)
-            .num("speedup", r.speedup, 3);
+            .num("batched_edges_relaxed_per_sec", r.batched_edges_per_sec, 0)
+            .num("speedup", r.speedup, 3)
+            .num("batched_speedup", r.batched_speedup, 3)
+            .num("batched_vs_engine", r.batched_vs_engine, 3);
     }
     let mut speedups: Vec<f64> = results.iter().map(|r| r.speedup).collect();
+    let mut batched: Vec<f64> = results.iter().map(|r| r.batched_speedup).collect();
     rep.summary()
-        .num("median_speedup", median(&mut speedups), 3);
+        .num("median_speedup", median(&mut speedups), 3)
+        .num("median_batched_speedup", median(&mut batched), 3);
     rep.write(path);
 }
 
@@ -292,7 +354,15 @@ fn main() {
     }
 
     let mut table = ear_bench::Table::new(&[
-        "family", "graphs", "blocks", "sources", "legacy", "engine", "speedup",
+        "family",
+        "graphs",
+        "blocks",
+        "sources",
+        "legacy",
+        "engine",
+        "batched",
+        "speedup",
+        "batched_x",
     ]);
     let mut results = Vec::new();
     for w in &workloads {
@@ -304,7 +374,9 @@ fn main() {
             r.sources.to_string(),
             format!("{:.0} ns/src", r.legacy_ns_per_source),
             format!("{:.0} ns/src", r.engine_ns_per_source),
+            format!("{:.0} ns/src", r.batched_ns_per_source),
             format!("{:.2}x", r.speedup),
+            format!("{:.2}x", r.batched_speedup),
         ]);
         results.push(r);
     }

@@ -98,6 +98,7 @@ pub fn combined(g: &CsrGraph, opts: &CommonOpts, pairs: &[(u32, u32)]) -> Result
     let out = ApspPipeline::new()
         .mode(opts.mode)
         .use_ear(!opts.no_ear)
+        .batched(opts.batched)
         .plan(Arc::clone(&plan))
         .run(g);
     report_apsp(g, &out, pairs);
@@ -124,6 +125,7 @@ pub fn apsp(g: &CsrGraph, opts: &CommonOpts, pairs: &[(u32, u32)]) -> Result<(),
     let out = ApspPipeline::new()
         .mode(opts.mode)
         .use_ear(!opts.no_ear)
+        .batched(opts.batched)
         .run(g);
     report_apsp(g, &out, pairs);
     opts.write_obs_outputs()

@@ -45,7 +45,7 @@ fn usage() -> &'static str {
     "usage:
   ear stats <graph>
   ear decompose <graph>
-  ear apsp <graph> [--pairs u:v[,u:v...]] [--mode M] [--no-ear]
+  ear apsp <graph> [--pairs u:v[,u:v...]] [--mode M] [--no-ear] [--batched]
   ear mcb <graph> [--print-cycles] [--profile] [--profile-json] [--mode M] [--no-ear]
   ear combined <graph> [--pairs u:v[,u:v...]] [--mode M] [--no-ear]
   ear bc <graph> [--top K]
@@ -119,6 +119,8 @@ pub struct CommonOpts {
     pub mode: ExecMode,
     /// Disable the ear reduction.
     pub no_ear: bool,
+    /// Use the lane-batched multi-source SSSP engine for the oracle build.
+    pub batched: bool,
     /// Write a Chrome trace-event JSON of the run here.
     pub trace_out: Option<String>,
     /// Write a metrics-snapshot JSON of the run here.
@@ -129,6 +131,7 @@ impl CommonOpts {
     fn parse(args: &[String]) -> Result<Self, String> {
         let mut mode = ExecMode::Hetero;
         let mut no_ear = false;
+        let mut batched = SsspMode::from_env() == SsspMode::Batched;
         let mut trace_out = None;
         let mut metrics_out = None;
         let mut i = 0;
@@ -145,6 +148,7 @@ impl CommonOpts {
                     };
                 }
                 "--no-ear" => no_ear = true,
+                "--batched" => batched = true,
                 "--trace-out" => {
                     i += 1;
                     trace_out = Some(args.get(i).ok_or("--trace-out needs a path")?.clone());
@@ -165,6 +169,7 @@ impl CommonOpts {
         Ok(CommonOpts {
             mode,
             no_ear,
+            batched,
             trace_out,
             metrics_out,
         })

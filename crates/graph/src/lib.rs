@@ -27,6 +27,7 @@ pub mod csr;
 pub mod dijkstra;
 pub mod engine;
 pub mod io;
+pub mod multi;
 pub mod spanning;
 pub mod subgraph;
 pub mod traverse;
@@ -36,6 +37,7 @@ pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
 pub use dijkstra::{dijkstra, dijkstra_tree, dijkstra_with_stats, DijkstraStats, SsspTree};
 pub use engine::{with_engine, SsspEngine};
+pub use multi::{lane_batches, with_multi_engine, LaneMask, MultiSsspEngine, SsspMode, LANES};
 pub use spanning::{non_tree_edges, spanning_forest, tree_edge_flags};
 pub use subgraph::{
     edge_subgraph, edge_subgraph_reusing, induced_subgraph, CompactSubgraphMap, SubgraphMap,

@@ -1,0 +1,977 @@
+//! Lane-batched multi-source SSSP: K Dijkstra instances advanced in
+//! lockstep over one shared CSR edge scan.
+//!
+//! The oracle build is "one Dijkstra per reduced-block vertex" — a
+//! `Σ nᵢ²` loop over *small* graphs where per-run fixed costs (scratch
+//! reset, heap setup, result extraction) rival the traversal itself.
+//! [`MultiSsspEngine`] amortises them across a batch of up to [`LANES`]
+//! sources of the *same* graph:
+//!
+//! * **Lane rows** — per vertex, one `[Weight; LANES]` distance row plus
+//!   `u8` touched/settled bitmasks. All lanes relaxing an edge into `v`
+//!   hit the same cache lines, and the batch resets scratch once, not
+//!   once per source.
+//! * **Lockstep rounds with a shared scan** — each round pops one vertex
+//!   per still-active lane; lanes that popped the *same* vertex share a
+//!   single pass over its CSR adjacency, relaxing their lanes off one
+//!   `(neighbor, edge)` load.
+//! * **Two frontiers** — small graphs (the reduced-block design point)
+//!   use a shared linear scan over the active rows: one pass per round
+//!   refreshes every lane's minimum at once and relaxations pay no heap
+//!   maintenance at all. Larger graphs switch to per-lane indexed 4-ary
+//!   heaps ([`SCAN_CUTOFF`]) to keep the asymptotics of the scalar
+//!   engine. Both pop the minimum `(dist, vertex)` per lane, so both are
+//!   bit-identical to [`crate::engine::SsspEngine`].
+//! * **Scalar fallback for stragglers** — single-source batches,
+//!   duplicate sources within a batch, and tiny graphs run through an
+//!   owned scalar engine and are copied into the lanes, so the query
+//!   surface is uniform regardless of which path executed.
+//!
+//! Every lane is an *independent, conforming* Dijkstra: it pops the
+//! minimum `(dist, vertex)` among its touched-unsettled vertices and
+//! relaxes that vertex's incidences in CSR order, which pins down the
+//! settle order, every distance, the `(distance, vertex, edge)` parent
+//! tie-break and all three [`DijkstraStats`] counters. The differential
+//! suite (`tests/sssp_multi_differential.rs`) holds the engine to that
+//! contract on every testkit family.
+
+use std::cell::RefCell;
+use std::sync::{Mutex, OnceLock};
+
+use crate::csr::CsrGraph;
+use crate::dijkstra::{tie_prefers, DijkstraStats, SsspTree};
+use crate::engine::SsspEngine;
+use crate::types::{EdgeId, VertexId, Weight, INF};
+
+/// Distance lanes per batch: one source per lane, one `[Weight; LANES]`
+/// row per vertex. Eight keeps a row exactly one cache line.
+pub const LANES: usize = 8;
+
+/// Per-vertex lane bitmask (bit `i` = lane `i`).
+pub type LaneMask = u8;
+
+/// Vertex count at or below which the lockstep loop uses the shared
+/// linear frontier scan instead of per-lane heaps.
+const SCAN_CUTOFF: usize = 64;
+
+/// `pos` sentinel: not currently in the lane's heap.
+const NOT_IN_HEAP: u32 = u32::MAX;
+
+/// Which SSSP engine the batch-capable pipelines drive.
+///
+/// `Scalar` is the retained differential baseline (exactly as
+/// [`crate::dijkstra::legacy`] backs the scalar engine); `Batched` routes
+/// the per-source loops through [`MultiSsspEngine`] lane batches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SsspMode {
+    /// One pooled [`SsspEngine`] run per source.
+    Scalar,
+    /// Lane batches of up to [`LANES`] sources per [`MultiSsspEngine`] run.
+    Batched,
+}
+
+impl SsspMode {
+    /// Reads the process-wide default from `EAR_SSSP_BATCHED` (cached on
+    /// first call): `1`/`true`/`on` select [`SsspMode::Batched`].
+    pub fn from_env() -> SsspMode {
+        static MODE: OnceLock<SsspMode> = OnceLock::new();
+        *MODE.get_or_init(|| match std::env::var("EAR_SSSP_BATCHED").ok().as_deref() {
+            Some("1") | Some("true") | Some("on") => SsspMode::Batched,
+            _ => SsspMode::Scalar,
+        })
+    }
+}
+
+/// Splits `total` sources into `(start, len)` lane batches of at most
+/// [`LANES`], in source order. The tail batch carries the remainder.
+pub fn lane_batches(total: u32) -> impl Iterator<Item = (u32, u32)> {
+    (0..total).step_by(LANES).map(move |start| {
+        let len = (total - start).min(LANES as u32);
+        (start, len)
+    })
+}
+
+/// Per-(vertex, lane) tree state (tree runs only).
+#[derive(Clone, Copy, Debug)]
+struct ParentLane {
+    vertex: VertexId,
+    edge: EdgeId,
+    depth: u32,
+}
+
+const PARENT_RESTING: ParentLane = ParentLane {
+    vertex: u32::MAX,
+    edge: u32::MAX,
+    depth: 0,
+};
+
+/// A reusable lane-batched multi-source Dijkstra instance.
+///
+/// One engine serves one batch at a time; the query methods
+/// ([`dist`](Self::dist), [`dist_vec`](Self::dist_vec),
+/// [`tree`](Self::tree), [`stats`](Self::stats)) read the most recent
+/// batch by lane index. Like the scalar engine, scratch grows
+/// monotonically and is reused across graphs of different sizes.
+#[derive(Debug, Default)]
+pub struct MultiSsspEngine {
+    /// Vertex count of the most recent batch's graph.
+    n: usize,
+    /// Active lanes of the most recent batch.
+    k: usize,
+    /// Sources of the most recent batch (first `k` entries live).
+    sources: [VertexId; LANES],
+    /// Whether the most recent batch recorded parent pointers.
+    tree_run: bool,
+    /// Whether the most recent batch ran through the scalar fallback.
+    fallback: bool,
+    /// Whether the most recent lane run dirtied the `pos` rows.
+    pos_dirty: bool,
+    /// Per-vertex distance rows; resting value `[INF; LANES]`.
+    dist: Vec<[Weight; LANES]>,
+    /// Lanes that wrote `v` this batch; resting value 0.
+    touched_mask: Vec<LaneMask>,
+    /// Lanes that settled `v` this batch; resting value 0.
+    settled_mask: Vec<LaneMask>,
+    /// Per-(vertex, lane) heap slots (heap mode only); resting
+    /// [`NOT_IN_HEAP`].
+    pos: Vec<[u32; LANES]>,
+    /// Per-(vertex, lane) parents; validity guarded by `touched_mask`.
+    parent: Vec<[ParentLane; LANES]>,
+    /// Per-lane 4-ary heaps, keys `(dist, vertex)` inline.
+    heaps: Vec<Vec<(Weight, VertexId)>>,
+    /// Every vertex any lane wrote this batch (reset list).
+    touched: Vec<VertexId>,
+    /// Scan-mode working set: touched vertices with at least one
+    /// touched-but-unsettled lane.
+    frontier: Vec<VertexId>,
+    /// Scan-mode frontier membership (1 = in `frontier`); resting 0.
+    /// Lets the pop pass compact rows whose touched lanes are all
+    /// settled while still re-admitting them if a later lane arrives.
+    in_frontier: Vec<u8>,
+    /// Per-lane settle orders.
+    orders: Vec<Vec<VertexId>>,
+    /// Per-lane run counters.
+    stats: Vec<DijkstraStats>,
+    /// Owned scalar engine backing the straggler fallback.
+    scalar: SsspEngine,
+}
+
+impl MultiSsspEngine {
+    /// An empty engine; arrays grow on first use.
+    pub fn new() -> Self {
+        MultiSsspEngine {
+            heaps: (0..LANES).map(|_| Vec::new()).collect(),
+            orders: (0..LANES).map(|_| Vec::new()).collect(),
+            stats: vec![DijkstraStats::default(); LANES],
+            ..Default::default()
+        }
+    }
+
+    /// Grows the scratch arrays to hold `n` vertices (never shrinks). New
+    /// entries start in the resting state the reset loop maintains.
+    pub fn ensure_capacity(&mut self, n: usize) {
+        if self.dist.len() < n {
+            self.dist.resize(n, [INF; LANES]);
+            self.touched_mask.resize(n, 0);
+            self.settled_mask.resize(n, 0);
+            self.pos.resize(n, [NOT_IN_HEAP; LANES]);
+            self.parent.resize(n, [PARENT_RESTING; LANES]);
+            self.in_frontier.resize(n, 0);
+        }
+        if self.heaps.is_empty() {
+            // Constructed via `Default` rather than `new`.
+            self.heaps = (0..LANES).map(|_| Vec::new()).collect();
+            self.orders = (0..LANES).map(|_| Vec::new()).collect();
+            self.stats = vec![DijkstraStats::default(); LANES];
+        }
+    }
+
+    /// Distances-only batch over up to [`LANES`] sources of `g`. Lane `i`
+    /// afterwards answers queries for `sources[i]`.
+    pub fn run_batch(&mut self, g: &CsrGraph, sources: &[VertexId]) {
+        self.run_inner::<false>(g, sources);
+    }
+
+    /// Full shortest-path-tree batch with the deterministic
+    /// `(distance, vertex, edge)` parent tie-break per lane.
+    pub fn run_batch_trees(&mut self, g: &CsrGraph, sources: &[VertexId]) {
+        self.run_inner::<true>(g, sources);
+    }
+
+    fn run_inner<const WANT_TREE: bool>(&mut self, g: &CsrGraph, sources: &[VertexId]) {
+        let k = sources.len();
+        assert!(
+            (1..=LANES).contains(&k),
+            "batch must hold 1..={LANES} sources, got {k}"
+        );
+        let n = g.n();
+        for &s in sources {
+            assert!((s as usize) < n, "source {s} out of range");
+        }
+        assert!(
+            n <= (u32::MAX - 2) as usize,
+            "graph too large for MultiSsspEngine"
+        );
+        let _span = ear_obs::span_with("sssp.multi.batch", k as u64);
+        self.ensure_capacity(n);
+        self.reset();
+        self.n = n;
+        self.k = k;
+        self.sources[..k].copy_from_slice(sources);
+        self.tree_run = WANT_TREE;
+
+        // Straggler batches — a lone source, duplicate sources sharing a
+        // lane row, or a graph too small to win anything from lanes — run
+        // through the scalar engine and are copied into the lanes, so the
+        // two code paths stay bit-identical by construction.
+        let has_dup = (1..k).any(|i| sources[..i].contains(&sources[i]));
+        self.fallback = k < 2 || n <= 2 || has_dup;
+        if self.fallback {
+            self.run_fallback::<WANT_TREE>(g, sources);
+        } else if n <= SCAN_CUTOFF {
+            self.run_lanes::<WANT_TREE, true>(g, sources);
+        } else {
+            self.run_lanes::<WANT_TREE, false>(g, sources);
+        }
+
+        if ear_obs::is_enabled() {
+            ear_obs::counter_add("sssp.multi.batches", 1);
+            ear_obs::counter_add("sssp.multi.sources", k as u64);
+            ear_obs::histogram_record("sssp.multi.lane_occupancy", k as u64);
+            if self.fallback {
+                // The scalar engine published the per-run `sssp.*` series
+                // itself; only the straggler count is ours to record.
+                ear_obs::counter_add("sssp.multi.stragglers", 1);
+            } else {
+                ear_obs::counter_add("sssp.runs", k as u64);
+                for lane in 0..k {
+                    let st = self.stats[lane];
+                    ear_obs::counter_add("sssp.settled", st.settled);
+                    ear_obs::counter_add("sssp.edges_relaxed", st.edges_relaxed);
+                    ear_obs::counter_add("sssp.heap_pushes", st.heap_pushes);
+                    ear_obs::histogram_record("sssp.settled_per_run", st.settled);
+                }
+            }
+        }
+    }
+
+    /// Restores the resting invariant (`dist == INF`, masks 0, `pos ==
+    /// NOT_IN_HEAP`) for everything the previous batch wrote — O(touched
+    /// rows), mirroring the scalar engine's reset. Parent rows are *not*
+    /// reset; `touched_mask` guards their validity lazily.
+    fn reset(&mut self) {
+        let reset_pos = self.pos_dirty;
+        for &v in &self.touched {
+            let vi = v as usize;
+            self.dist[vi] = [INF; LANES];
+            self.touched_mask[vi] = 0;
+            self.settled_mask[vi] = 0;
+            self.in_frontier[vi] = 0;
+            if reset_pos {
+                self.pos[vi] = [NOT_IN_HEAP; LANES];
+            }
+        }
+        self.touched.clear();
+        self.frontier.clear();
+        for lane in 0..LANES {
+            self.heaps[lane].clear();
+            self.orders[lane].clear();
+            self.stats[lane] = DijkstraStats::default();
+        }
+        self.pos_dirty = false;
+    }
+
+    /// The lockstep lane loop. `SCAN` selects the shared linear frontier
+    /// scan (small graphs) or the per-lane indexed 4-ary heaps.
+    fn run_lanes<const WANT_TREE: bool, const SCAN: bool>(
+        &mut self,
+        g: &CsrGraph,
+        sources: &[VertexId],
+    ) {
+        let k = sources.len();
+        self.pos_dirty = !SCAN;
+        for (lane, &s) in sources.iter().enumerate() {
+            let si = s as usize;
+            let bit = 1u8 << lane;
+            if self.touched_mask[si] == 0 {
+                self.touched.push(s);
+            }
+            self.touched_mask[si] |= bit;
+            if SCAN && self.in_frontier[si] == 0 {
+                self.in_frontier[si] = 1;
+                self.frontier.push(s);
+            }
+            self.dist[si][lane] = 0;
+            if WANT_TREE {
+                self.parent[si][lane] = PARENT_RESTING;
+            }
+            if !SCAN {
+                heap_insert(&mut self.heaps[lane], &mut self.pos, lane, 0, s);
+            }
+        }
+        let mut edges_relaxed = [0u64; LANES];
+        let mut heap_pushes = [0u64; LANES];
+
+        loop {
+            // ---- pop phase: the minimum (dist, vertex) per active lane,
+            // grouped by vertex so co-popping lanes share one edge scan.
+            let mut group_v = [0u32; LANES];
+            let mut group_mask = [0u8; LANES];
+            let mut groups = 0usize;
+            if SCAN {
+                // One pass over the frontier refreshes every lane's
+                // minimum at once; rows with no touched-but-unsettled
+                // lane left are compacted out in the same pass (a lane
+                // arriving later re-admits them via `in_frontier`).
+                let mut best = [(INF, u32::MAX); LANES];
+                let mut keep = 0usize;
+                for i in 0..self.frontier.len() {
+                    let v = self.frontier[i];
+                    let vi = v as usize;
+                    let active = self.touched_mask[vi] & !self.settled_mask[vi];
+                    if active == 0 {
+                        self.in_frontier[vi] = 0;
+                        continue;
+                    }
+                    self.frontier[keep] = v;
+                    keep += 1;
+                    let mut m = active;
+                    while m != 0 {
+                        let lane = m.trailing_zeros() as usize;
+                        m &= m - 1;
+                        let d = self.dist[vi][lane];
+                        // A tie-touched-at-INF vertex never enters the
+                        // scalar heap and must not settle here either.
+                        if d < INF && (d, v) < best[lane] {
+                            best[lane] = (d, v);
+                        }
+                    }
+                }
+                self.frontier.truncate(keep);
+                for (lane, &(d, u)) in best.iter().enumerate().take(k) {
+                    if u == u32::MAX {
+                        continue;
+                    }
+                    debug_assert!(d < INF);
+                    self.settle(lane, u, &mut group_v, &mut group_mask, &mut groups);
+                }
+            } else {
+                for lane in 0..k {
+                    let Some((_, u)) = heap_pop_min(&mut self.heaps[lane], &mut self.pos, lane)
+                    else {
+                        continue;
+                    };
+                    self.settle(lane, u, &mut group_v, &mut group_mask, &mut groups);
+                }
+            }
+            if groups == 0 {
+                break;
+            }
+
+            // ---- scan phase: one pass over each popped vertex's CSR
+            // adjacency, relaxing every lane that popped it.
+            for gi in 0..groups {
+                let u = group_v[gi];
+                let mask = group_mask[gi];
+                let ui = u as usize;
+                let nbrs = g.neighbors(u);
+                // Every incidence (self-loops included) counts once per
+                // popping lane — the scalar engine's accounting. Lanes are
+                // outermost: their states are independent, so relax order
+                // across lanes is unobservable, and the (overwhelmingly
+                // common) single-lane group becomes a tight scalar loop
+                // over the shared, cache-hot edge slice.
+                let mut lanes = mask;
+                while lanes != 0 {
+                    let lane = lanes.trailing_zeros() as usize;
+                    lanes &= lanes - 1;
+                    let bit = 1u8 << lane;
+                    edges_relaxed[lane] += nbrs.len() as u64;
+                    let du = self.dist[ui][lane];
+                    let udepth = if WANT_TREE {
+                        self.parent[ui][lane].depth
+                    } else {
+                        0
+                    };
+                    for &(v, e) in nbrs {
+                        if v == u {
+                            continue; // self-loops never improve a distance
+                        }
+                        let w = g.weight(e);
+                        let vi = v as usize;
+                        let nd = du + w;
+                        let cur = self.dist[vi][lane];
+                        let strictly_better = nd < cur;
+                        // `nd == cur == INF` on an untouched lane
+                        // replicates the legacy parent tie against the
+                        // (u32::MAX, u32::MAX) sentinel pair.
+                        let tie_better =
+                            WANT_TREE && nd == cur && self.settled_mask[vi] & bit == 0 && {
+                                let (pv, pe) = if self.touched_mask[vi] & bit != 0 {
+                                    let p = self.parent[vi][lane];
+                                    (p.vertex, p.edge)
+                                } else {
+                                    (u32::MAX, u32::MAX)
+                                };
+                                tie_prefers(u, e, pv, pe)
+                            };
+                        if strictly_better || tie_better {
+                            if self.touched_mask[vi] == 0 {
+                                self.touched.push(v);
+                            }
+                            self.touched_mask[vi] |= bit;
+                            if SCAN && self.in_frontier[vi] == 0 {
+                                self.in_frontier[vi] = 1;
+                                self.frontier.push(v);
+                            }
+                            self.dist[vi][lane] = nd;
+                            if WANT_TREE {
+                                self.parent[vi][lane] = ParentLane {
+                                    vertex: u,
+                                    edge: e,
+                                    depth: udepth + 1,
+                                };
+                            }
+                            if strictly_better {
+                                heap_pushes[lane] += 1;
+                                if !SCAN {
+                                    let p = self.pos[vi][lane];
+                                    if p == NOT_IN_HEAP {
+                                        heap_insert(
+                                            &mut self.heaps[lane],
+                                            &mut self.pos,
+                                            lane,
+                                            nd,
+                                            v,
+                                        );
+                                    } else {
+                                        heap_decrease(
+                                            &mut self.heaps[lane],
+                                            &mut self.pos,
+                                            lane,
+                                            p as usize,
+                                            nd,
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        for lane in 0..k {
+            self.stats[lane] = DijkstraStats {
+                settled: self.orders[lane].len() as u64,
+                edges_relaxed: edges_relaxed[lane],
+                heap_pushes: heap_pushes[lane],
+            };
+        }
+    }
+
+    /// Records a pop: settle bookkeeping plus round-group insertion
+    /// (lanes that popped the same vertex share its edge scan).
+    #[inline]
+    fn settle(
+        &mut self,
+        lane: usize,
+        u: VertexId,
+        group_v: &mut [u32; LANES],
+        group_mask: &mut [u8; LANES],
+        groups: &mut usize,
+    ) {
+        self.settled_mask[u as usize] |= 1 << lane;
+        self.orders[lane].push(u);
+        for gi in 0..*groups {
+            if group_v[gi] == u {
+                group_mask[gi] |= 1 << lane;
+                return;
+            }
+        }
+        group_v[*groups] = u;
+        group_mask[*groups] = 1 << lane;
+        *groups += 1;
+    }
+
+    /// Straggler path: one scalar run per source, results copied into the
+    /// lane rows so the query surface is identical to the lane path.
+    fn run_fallback<const WANT_TREE: bool>(&mut self, g: &CsrGraph, sources: &[VertexId]) {
+        for (lane, &s) in sources.iter().enumerate() {
+            let bit = 1u8 << lane;
+            if WANT_TREE {
+                self.scalar.run_tree(g, s);
+            } else {
+                self.scalar.run(g, s);
+            }
+            self.stats[lane] = self.scalar.stats();
+            self.orders[lane].clear();
+            self.orders[lane].extend_from_slice(self.scalar.settle_order());
+            for &u in self.scalar.settle_order() {
+                self.settled_mask[u as usize] |= bit;
+            }
+            if WANT_TREE {
+                let t = self.scalar.tree();
+                for (vi, &pv) in t.parent_vertex.iter().enumerate() {
+                    // Touched iff a distance or a parent was recorded (a
+                    // parent can exist at dist INF via the tie branch).
+                    let touched = t.dist[vi] < INF || pv != u32::MAX || vi == s as usize;
+                    if !touched {
+                        continue;
+                    }
+                    if self.touched_mask[vi] == 0 {
+                        self.touched.push(vi as u32);
+                    }
+                    self.touched_mask[vi] |= bit;
+                    self.dist[vi][lane] = t.dist[vi];
+                    self.parent[vi][lane] = ParentLane {
+                        vertex: pv,
+                        edge: t.parent_edge[vi],
+                        depth: t.depths[vi],
+                    };
+                }
+            } else {
+                for vi in 0..g.n() {
+                    let d = self.scalar.dist(vi as u32);
+                    if d >= INF {
+                        continue;
+                    }
+                    if self.touched_mask[vi] == 0 {
+                        self.touched.push(vi as u32);
+                    }
+                    self.touched_mask[vi] |= bit;
+                    self.dist[vi][lane] = d;
+                }
+            }
+        }
+    }
+
+    // ---- queries over the most recent batch ----
+
+    /// Active lanes of the most recent batch.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Source assigned to `lane` in the most recent batch.
+    pub fn source(&self, lane: usize) -> VertexId {
+        assert!(lane < self.k, "lane {lane} out of range (k = {})", self.k);
+        self.sources[lane]
+    }
+
+    /// True when the most recent batch took the scalar straggler path.
+    pub fn was_fallback(&self) -> bool {
+        self.fallback
+    }
+
+    /// Distance from lane `lane`'s source to `v` (`INF` when unreachable
+    /// or out of range).
+    pub fn dist(&self, lane: usize, v: VertexId) -> Weight {
+        assert!(lane < self.k, "lane {lane} out of range (k = {})", self.k);
+        let vi = v as usize;
+        if vi < self.n {
+            self.dist[vi][lane]
+        } else {
+            INF
+        }
+    }
+
+    /// Materialises lane `lane`'s distance array (`INF` for untouched
+    /// vertices) — bit-identical to the scalar engine's `dist_vec`.
+    pub fn dist_vec(&self, lane: usize) -> Vec<Weight> {
+        assert!(lane < self.k, "lane {lane} out of range (k = {})", self.k);
+        let mut out = vec![INF; self.n];
+        for &v in &self.touched {
+            out[v as usize] = self.dist[v as usize][lane];
+        }
+        out
+    }
+
+    /// Operation counters of lane `lane`'s run.
+    pub fn stats(&self, lane: usize) -> DijkstraStats {
+        assert!(lane < self.k, "lane {lane} out of range (k = {})", self.k);
+        self.stats[lane]
+    }
+
+    /// Settle order of lane `lane` (non-decreasing distance pop order).
+    pub fn settle_order(&self, lane: usize) -> &[VertexId] {
+        assert!(lane < self.k, "lane {lane} out of range (k = {})", self.k);
+        &self.orders[lane]
+    }
+
+    /// Lanes that settled `v` in the most recent batch.
+    pub fn settled_lanes(&self, v: VertexId) -> LaneMask {
+        let vi = v as usize;
+        if vi < self.n {
+            self.settled_mask[vi] & lane_mask(self.k)
+        } else {
+            0
+        }
+    }
+
+    /// Materialises lane `lane`'s shortest-path tree, bit-identical to
+    /// [`SsspEngine::tree`] for the same source.
+    ///
+    /// # Panics
+    /// Panics if the most recent batch was distances-only.
+    pub fn tree(&self, lane: usize) -> SsspTree {
+        assert!(
+            self.tree_run,
+            "MultiSsspEngine::tree() requires a preceding run_batch_trees()"
+        );
+        assert!(lane < self.k, "lane {lane} out of range (k = {})", self.k);
+        let bit = 1u8 << lane;
+        let n = self.n;
+        let mut dist = vec![INF; n];
+        let mut parent_vertex = vec![u32::MAX; n];
+        let mut parent_edge = vec![u32::MAX; n];
+        let mut depths = vec![0u32; n];
+        for &v in &self.touched {
+            let vi = v as usize;
+            if self.touched_mask[vi] & bit == 0 {
+                continue;
+            }
+            dist[vi] = self.dist[vi][lane];
+            let p = self.parent[vi][lane];
+            parent_vertex[vi] = p.vertex;
+            parent_edge[vi] = p.edge;
+            depths[vi] = p.depth;
+        }
+        SsspTree {
+            source: self.sources[lane],
+            dist,
+            parent_vertex,
+            parent_edge,
+            depths,
+            settle_order: self.orders[lane].clone(),
+            stats: self.stats[lane],
+        }
+    }
+}
+
+#[inline]
+fn lane_mask(k: usize) -> LaneMask {
+    debug_assert!((1..=LANES).contains(&k));
+    if k == LANES {
+        u8::MAX
+    } else {
+        (1u8 << k) - 1
+    }
+}
+
+// ---- per-lane indexed 4-ary heaps (one `pos` column per lane) ----
+//
+// Free functions rather than methods so the lockstep loop can borrow one
+// lane's heap and the shared `pos` rows disjointly from `self`.
+
+#[inline(always)]
+fn heap_insert(
+    heap: &mut Vec<(Weight, VertexId)>,
+    pos: &mut [[u32; LANES]],
+    lane: usize,
+    key: Weight,
+    v: VertexId,
+) {
+    let i = heap.len();
+    heap.push((key, v));
+    sift_up(heap, pos, lane, i);
+}
+
+#[inline(always)]
+fn heap_decrease(
+    heap: &mut [(Weight, VertexId)],
+    pos: &mut [[u32; LANES]],
+    lane: usize,
+    i: usize,
+    key: Weight,
+) {
+    debug_assert!(heap[i].0 >= key);
+    heap[i].0 = key;
+    sift_up(heap, pos, lane, i);
+}
+
+#[inline(always)]
+fn heap_pop_min(
+    heap: &mut Vec<(Weight, VertexId)>,
+    pos: &mut [[u32; LANES]],
+    lane: usize,
+) -> Option<(Weight, VertexId)> {
+    let top = *heap.first()?;
+    pos[top.1 as usize][lane] = NOT_IN_HEAP;
+    let last = heap.pop().expect("heap is non-empty");
+    if !heap.is_empty() {
+        heap[0] = last;
+        sift_down(heap, pos, lane, 0);
+    }
+    Some(top)
+}
+
+fn sift_up(heap: &mut [(Weight, VertexId)], pos: &mut [[u32; LANES]], lane: usize, mut i: usize) {
+    let entry = heap[i];
+    while i > 0 {
+        let p = (i - 1) / 4;
+        let parent = heap[p];
+        if entry < parent {
+            heap[i] = parent;
+            pos[parent.1 as usize][lane] = i as u32;
+            i = p;
+        } else {
+            break;
+        }
+    }
+    heap[i] = entry;
+    pos[entry.1 as usize][lane] = i as u32;
+}
+
+fn sift_down(heap: &mut [(Weight, VertexId)], pos: &mut [[u32; LANES]], lane: usize, mut i: usize) {
+    let entry = heap[i];
+    let len = heap.len();
+    loop {
+        let first = 4 * i + 1;
+        if first >= len {
+            break;
+        }
+        let end = (first + 4).min(len);
+        let mut best = first;
+        let mut best_entry = heap[first];
+        for (c, &e) in heap.iter().enumerate().take(end).skip(first + 1) {
+            if e < best_entry {
+                best = c;
+                best_entry = e;
+            }
+        }
+        if best_entry < entry {
+            heap[i] = best_entry;
+            pos[best_entry.1 as usize][lane] = i as u32;
+            i = best;
+        } else {
+            break;
+        }
+    }
+    heap[i] = entry;
+    pos[entry.1 as usize][lane] = i as u32;
+}
+
+// ---- per-thread engine pool (mirrors `engine::with_engine`) ----
+
+/// Global free list feeding threads that have no multi engine yet.
+static FREE_MULTI: Mutex<Vec<MultiSsspEngine>> = Mutex::new(Vec::new());
+const MAX_POOLED: usize = 64;
+
+thread_local! {
+    static TLS_MULTI: RefCell<TlsSlot> = const { RefCell::new(TlsSlot(None)) };
+}
+
+/// Thread-local slot whose `Drop` returns the engine to the global free
+/// list, so warm lane scratch outlives the executor's short-lived worker
+/// threads (same lifecycle as the scalar engine pool).
+struct TlsSlot(Option<MultiSsspEngine>);
+
+impl Drop for TlsSlot {
+    fn drop(&mut self) {
+        if let Some(e) = self.0.take() {
+            recycle(e);
+        }
+    }
+}
+
+fn recycle(e: MultiSsspEngine) {
+    if let Ok(mut free) = FREE_MULTI.lock() {
+        if free.len() < MAX_POOLED {
+            free.push(e);
+        }
+    }
+}
+
+fn checkout() -> MultiSsspEngine {
+    if let Ok(Some(e)) = TLS_MULTI.try_with(|slot| slot.borrow_mut().0.take()) {
+        ear_obs::counter_add("sssp.multi.pool.tls_hits", 1);
+        return e;
+    }
+    if let Some(e) = FREE_MULTI.lock().ok().and_then(|mut v| v.pop()) {
+        ear_obs::counter_add("sssp.multi.pool.freelist_hits", 1);
+        return e;
+    }
+    ear_obs::counter_add("sssp.multi.pool.misses", 1);
+    MultiSsspEngine::new()
+}
+
+fn checkin(e: MultiSsspEngine) {
+    match TLS_MULTI.try_with(|slot| slot.borrow_mut().0.replace(e)) {
+        Ok(Some(displaced)) => recycle(displaced),
+        Ok(None) => {}
+        Err(_) => {}
+    }
+}
+
+/// Runs `f` with a pooled per-thread [`MultiSsspEngine`] (thread-local
+/// slot, then global free list, then fresh — exactly the
+/// [`crate::engine::with_engine`] lifecycle).
+pub fn with_multi_engine<R>(f: impl FnOnce(&mut MultiSsspEngine) -> R) -> R {
+    let mut engine = checkout();
+    let r = f(&mut engine);
+    checkin(engine);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::legacy;
+
+    fn theta() -> CsrGraph {
+        CsrGraph::from_edges(
+            5,
+            &[
+                (0, 1, 1),
+                (1, 2, 2),
+                (0, 2, 10),
+                (0, 3, 3),
+                (3, 2, 4),
+                (2, 4, 1),
+            ],
+        )
+    }
+
+    fn assert_lane_matches(g: &CsrGraph, me: &MultiSsspEngine, lane: usize, s: VertexId) {
+        let (ld, lstats) = legacy::dijkstra_with_stats(g, s);
+        assert_eq!(me.stats(lane), lstats, "lane {lane} stats");
+        assert_eq!(me.dist_vec(lane), ld, "lane {lane} dist_vec");
+        for v in 0..g.n() as u32 {
+            assert_eq!(me.dist(lane, v), ld[v as usize], "lane {lane} dist({v})");
+        }
+        assert_eq!(me.dist(lane, g.n() as u32), INF);
+    }
+
+    #[test]
+    fn full_batch_matches_legacy() {
+        let g = theta();
+        let sources: Vec<u32> = (0..5).collect();
+        let mut me = MultiSsspEngine::new();
+        me.run_batch(&g, &sources);
+        assert!(!me.was_fallback());
+        for (lane, &s) in sources.iter().enumerate() {
+            assert_lane_matches(&g, &me, lane, s);
+        }
+    }
+
+    #[test]
+    fn tree_batch_matches_legacy() {
+        let g = theta();
+        let sources = [4u32, 0, 2];
+        let mut me = MultiSsspEngine::new();
+        me.run_batch_trees(&g, &sources);
+        for (lane, &s) in sources.iter().enumerate() {
+            assert_eq!(me.tree(lane), legacy::dijkstra_tree(&g, s), "lane {lane}");
+            assert_eq!(
+                me.settle_order(lane),
+                &legacy::dijkstra_tree(&g, s).settle_order[..]
+            );
+        }
+    }
+
+    #[test]
+    fn single_source_batch_falls_back() {
+        let g = theta();
+        let mut me = MultiSsspEngine::new();
+        me.run_batch(&g, &[3]);
+        assert!(me.was_fallback());
+        assert_lane_matches(&g, &me, 0, 3);
+    }
+
+    #[test]
+    fn duplicate_sources_fall_back_and_match() {
+        let g = theta();
+        let sources = [1u32, 4, 1];
+        let mut me = MultiSsspEngine::new();
+        me.run_batch_trees(&g, &sources);
+        assert!(me.was_fallback());
+        for (lane, &s) in sources.iter().enumerate() {
+            assert_eq!(me.tree(lane), legacy::dijkstra_tree(&g, s), "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn reuse_across_graphs_of_different_sizes() {
+        let big = CsrGraph::from_edges(6, &[(0, 1, 2), (1, 2, 2), (2, 3, 2), (4, 5, 1)]);
+        let small = CsrGraph::from_edges(3, &[(0, 1, 7), (1, 2, 1)]);
+        let mut me = MultiSsspEngine::new();
+        me.run_batch(&big, &[0, 4, 5, 2]);
+        for (lane, s) in [0u32, 4, 5, 2].into_iter().enumerate() {
+            assert_lane_matches(&big, &me, lane, s);
+        }
+        me.run_batch(&small, &[2, 0, 1]);
+        for (lane, s) in [2u32, 0, 1].into_iter().enumerate() {
+            assert_lane_matches(&small, &me, lane, s);
+        }
+        me.run_batch(&big, &[5, 3, 1]);
+        for (lane, s) in [5u32, 3, 1].into_iter().enumerate() {
+            assert_lane_matches(&big, &me, lane, s);
+        }
+    }
+
+    #[test]
+    fn heap_mode_on_large_graph_matches() {
+        // A ring with chords, comfortably past SCAN_CUTOFF.
+        let n = (SCAN_CUTOFF + 40) as u32;
+        let mut edges: Vec<(u32, u32, u64)> = (0..n)
+            .map(|i| (i, (i + 1) % n, 1 + (i as u64 % 5)))
+            .collect();
+        edges.push((0, n / 2, 2));
+        edges.push((n / 4, 3 * n / 4, 3));
+        let g = CsrGraph::from_edges(n as usize, &edges);
+        let sources: Vec<u32> = (0..LANES as u32).map(|i| i * 7 % n).collect();
+        let mut me = MultiSsspEngine::new();
+        me.run_batch(&g, &sources);
+        assert!(!me.was_fallback());
+        for (lane, &s) in sources.iter().enumerate() {
+            assert_lane_matches(&g, &me, lane, s);
+        }
+        me.run_batch_trees(&g, &sources);
+        for (lane, &s) in sources.iter().enumerate() {
+            assert_eq!(me.tree(lane), legacy::dijkstra_tree(&g, s), "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn unreachable_lane_is_all_inf() {
+        let g = CsrGraph::from_edges(6, &[(0, 1, 1), (1, 2, 1), (3, 4, 1), (4, 5, 2)]);
+        let mut me = MultiSsspEngine::new();
+        me.run_batch(&g, &[0, 3, 2]);
+        assert_eq!(me.dist(0, 4), INF);
+        assert_eq!(me.dist(1, 0), INF);
+        assert_eq!(me.dist(1, 5), 3);
+        assert_eq!(me.settled_lanes(4), 0b010);
+    }
+
+    #[test]
+    fn lane_batches_cover_sources_in_order() {
+        let batches: Vec<(u32, u32)> = lane_batches(19).collect();
+        assert_eq!(batches, vec![(0, 8), (8, 8), (16, 3)]);
+        assert!(lane_batches(0).next().is_none());
+        assert_eq!(lane_batches(8).collect::<Vec<_>>(), vec![(0, 8)]);
+    }
+
+    #[test]
+    fn pooled_multi_engine_is_reused_on_one_thread() {
+        let g = theta();
+        let d = with_multi_engine(|me| {
+            me.run_batch(&g, &[0, 1, 2]);
+            me.dist_vec(0)
+        });
+        let d2 = with_multi_engine(|me| {
+            me.run_batch(&g, &[0, 4, 3]);
+            me.dist_vec(0)
+        });
+        assert_eq!(d, d2);
+        assert_eq!(d, legacy::dijkstra(&g, 0));
+    }
+
+    #[test]
+    fn mode_env_default_is_scalar_shaped() {
+        // `from_env` caches; in the test process the variable is unset (or
+        // whatever the harness set), so just exercise both arms compile.
+        let m = SsspMode::from_env();
+        assert!(matches!(m, SsspMode::Scalar | SsspMode::Batched));
+    }
+}

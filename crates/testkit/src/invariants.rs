@@ -21,6 +21,10 @@
 //!   made of genuine cycle vectors;
 //! * [`exactly_once`] — a heterogeneous execution processed every
 //!   workunit exactly once across all devices;
+//! * [`multi_source_invariants`] — a lane-batched multi-source SSSP run
+//!   is an honest bundle of independent Dijkstras: per-lane distance
+//!   axioms, bit-identity of every lane against the scalar engine, and
+//!   exactly-once settled-mask accounting;
 //! * [`trace_invariants`] — a captured `ear-obs` trace is well-formed:
 //!   spans nest properly per thread with non-regressing timestamps, every
 //!   `hetero.unit` span opened is closed exactly once (the tracing-level
@@ -402,6 +406,124 @@ pub fn plan_invariants(g: &CsrGraph, plan: &DecompPlan) -> Result<(), String> {
     Ok(())
 }
 
+/// Checks that a lane-batched multi-source SSSP run over `sources` is an
+/// honest bundle of independent single-source Dijkstras.
+///
+/// Runs a fresh [`MultiSsspEngine`](ear_graph::MultiSsspEngine) tree
+/// batch and verifies, per lane:
+///
+/// * **distance axioms** — the source sits at distance 0, every edge
+///   `u–v` of weight `w` satisfies the relaxation inequality
+///   `d(v) ≤ d(u) + w` on finite `d(u)`, and unreachable vertices answer
+///   `INF`;
+/// * **lane/scalar equality** — distances, statistics and the full
+///   shortest-path tree are bit-identical to a scalar
+///   [`SsspEngine`](ear_graph::SsspEngine) run from the same source;
+/// * **settled exactly once** — the lane's settle order names each vertex
+///   at most once, its length equals `stats.settled`, and the per-vertex
+///   settled bitmask holds the lane's bit exactly for the vertices that
+///   order names (and for no lane index ≥ the batch width).
+pub fn multi_source_invariants(g: &CsrGraph, sources: &[VertexId]) -> Result<(), String> {
+    use ear_graph::MultiSsspEngine;
+
+    if sources.is_empty() || sources.len() > ear_graph::LANES {
+        return Err(format!(
+            "batch must hold 1..={} sources, got {}",
+            ear_graph::LANES,
+            sources.len()
+        ));
+    }
+    let mut me = MultiSsspEngine::new();
+    me.run_batch_trees(g, sources);
+    let mut scalar = ear_graph::SsspEngine::new();
+    let n = g.n();
+
+    let mut settled_seen = vec![0u8; n];
+    for (lane, &s) in sources.iter().enumerate() {
+        let dv = me.dist_vec(lane);
+
+        // Distance axioms.
+        if dv[s as usize] != 0 {
+            return Err(format!("lane {lane}: d(source {s}) = {}", dv[s as usize]));
+        }
+        for e in g.edges() {
+            if e.is_self_loop() {
+                continue;
+            }
+            for (a, b) in [(e.u, e.v), (e.v, e.u)] {
+                let da = dv[a as usize];
+                if da < INF && dv[b as usize] > da + e.w {
+                    return Err(format!(
+                        "lane {lane}: edge {a}–{b} (w {}) under-relaxed: d({b}) = {} > {}",
+                        e.w,
+                        dv[b as usize],
+                        da + e.w
+                    ));
+                }
+            }
+        }
+
+        // Bit-identity against the scalar engine.
+        let sstats = scalar.run_tree(g, s);
+        if me.stats(lane) != sstats {
+            return Err(format!(
+                "lane {lane}: stats {:?} != scalar {sstats:?}",
+                me.stats(lane)
+            ));
+        }
+        if dv != scalar.dist_vec() {
+            return Err(format!("lane {lane}: dist_vec diverges from scalar"));
+        }
+        let st = scalar.tree();
+        let mt = me.tree(lane);
+        if mt != st {
+            return Err(format!("lane {lane}: tree diverges from scalar"));
+        }
+
+        // Settled exactly once, and exactly the finite-distance vertices.
+        let order = me.settle_order(lane);
+        if order.len() as u64 != me.stats(lane).settled {
+            return Err(format!(
+                "lane {lane}: settle order names {} vertices, stats say {}",
+                order.len(),
+                me.stats(lane).settled
+            ));
+        }
+        let bit = 1u8 << lane;
+        for &v in order {
+            if settled_seen[v as usize] & bit != 0 {
+                return Err(format!("lane {lane}: vertex {v} settled twice"));
+            }
+            settled_seen[v as usize] |= bit;
+        }
+        for v in 0..n as u32 {
+            let settled = settled_seen[v as usize] & bit != 0;
+            if settled != (dv[v as usize] < INF) {
+                return Err(format!(
+                    "lane {lane}: vertex {v} settled={settled} but d = {}",
+                    dv[v as usize]
+                ));
+            }
+        }
+    }
+    for v in 0..n as u32 {
+        let mask = me.settled_lanes(v);
+        if mask != settled_seen[v as usize] {
+            return Err(format!(
+                "vertex {v}: settled mask {mask:#b} but settle orders say {:#b}",
+                settled_seen[v as usize]
+            ));
+        }
+        if (mask as u32) >> sources.len() != 0 {
+            return Err(format!(
+                "vertex {v}: settled mask {mask:#b} has bits beyond the {} batch lanes",
+                sources.len()
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Checks that `cycles` is a valid minimum-structure cycle basis of `g`
 /// (independence, correct dimension, genuine cycle vectors) via the `mcb`
 /// crate's verifier.
@@ -644,6 +766,28 @@ mod tests {
         let mut regressing = good.clone();
         regressing.threads[0].events[3].ts_ns = 1;
         assert!(trace_invariants(&regressing, None).is_err());
+    }
+
+    #[test]
+    fn multi_source_invariants_hold_on_mixed_batches() {
+        // Two components: lanes sourced in one must leave the other
+        // unsettled; duplicate sources exercise the fallback path.
+        let g = CsrGraph::from_edges(
+            7,
+            &[
+                (0, 1, 1),
+                (1, 2, 2),
+                (2, 0, 4),
+                (3, 4, 1),
+                (4, 5, 2),
+                (5, 6, 1),
+                (6, 3, 3),
+            ],
+        );
+        multi_source_invariants(&g, &[0, 3, 2, 5]).unwrap();
+        multi_source_invariants(&g, &[1]).unwrap();
+        multi_source_invariants(&g, &[4, 4, 0]).unwrap();
+        assert!(multi_source_invariants(&g, &[]).is_err());
     }
 
     #[test]

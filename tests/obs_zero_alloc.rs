@@ -89,6 +89,17 @@ fn disabled_tracing_allocates_nothing_and_records_nothing() {
     );
     assert_eq!(oracle.dist(0, 7), ear_graph::dijkstra(&g, 0)[7]);
     assert_eq!(basis.dim, 4);
+    // The lane-batched oracle build takes the same disabled fast path: its
+    // batch spans, lane-occupancy histograms and pool counters must all
+    // collapse to the single relaxed load.
+    let plan = std::sync::Arc::new(ear_decomp::plan::DecompPlan::build(&g));
+    let batched = ear_apsp::build_oracle_with_plan_mode(
+        plan,
+        &exec,
+        ear_apsp::ApspMethod::Ear,
+        ear_graph::SsspMode::Batched,
+    );
+    assert_eq!(batched.dist(0, 7), oracle.dist(0, 7));
     assert_eq!(
         ear_obs::event_count(),
         0,

@@ -1,0 +1,362 @@
+//! Differential sweep for the lane-batched multi-source SSSP engine: one
+//! shared [`MultiSsspEngine`] (reused across every case, graph size and
+//! batch shape — the exact reuse pattern the engine pool produces) must be
+//! bit-exact against the scalar [`SsspEngine`] on every testkit graph
+//! family, for distances, statistics, settle orders and every field of
+//! the shortest-path tree — and the oracles built on top of it must
+//! answer every s–t query identically to the scalar-built ones.
+//!
+//! Batch shapes are adversarial on purpose: single-source batches (K=1),
+//! tails with `source count % LANES ≠ 0`, duplicate sources inside one
+//! batch, lanes whose source reaches nothing, and single-/two-vertex
+//! graphs — every straggler route through the scalar fallback plus both
+//! frontier modes of the lane path.
+//!
+//! A divergence prints a one-line `EAR_TESTKIT_SEED=… cargo test <name>`
+//! reproduction.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use ear_apsp::{build_oracle_with_plan_mode, ApspMethod, ReducedOracle};
+use ear_decomp::plan::DecompPlan;
+use ear_graph::{lane_batches, CsrGraph, MultiSsspEngine, SsspEngine, SsspMode, INF, LANES};
+use ear_hetero::HeteroExecutor;
+use ear_testkit::invariants::multi_source_invariants;
+use ear_testkit::{
+    biconnected_graphs, cactus_graphs, chain_heavy_graphs, forall, multi_bcc_graphs, multigraphs,
+    simple_graphs, workload_graphs, Strategy, TestRng,
+};
+
+/// One batch, both run kinds, every lane checked field-for-field against
+/// the scalar engine run from the same source.
+fn batch_matches_scalar(
+    g: &CsrGraph,
+    me: &mut MultiSsspEngine,
+    eng: &mut SsspEngine,
+    sources: &[u32],
+) -> Result<(), String> {
+    let shape = format!("batch {sources:?} (n={}, m={})", g.n(), g.m());
+
+    me.run_batch(g, sources);
+    if me.k() != sources.len() {
+        return Err(format!("{shape}: k() = {} after run_batch", me.k()));
+    }
+    for (lane, &s) in sources.iter().enumerate() {
+        let sstats = eng.run(g, s);
+        if me.source(lane) != s {
+            return Err(format!("{shape}: lane {lane} source {}", me.source(lane)));
+        }
+        if me.stats(lane) != sstats {
+            return Err(format!(
+                "{shape}: lane {lane} stats {:?} != scalar {sstats:?}",
+                me.stats(lane)
+            ));
+        }
+        if me.dist_vec(lane) != eng.dist_vec() {
+            return Err(format!("{shape}: lane {lane} dist_vec mismatch"));
+        }
+        for v in 0..g.n() as u32 {
+            if me.dist(lane, v) != eng.dist(v) {
+                return Err(format!(
+                    "{shape}: lane {lane} dist({v}) = {} != scalar {}",
+                    me.dist(lane, v),
+                    eng.dist(v)
+                ));
+            }
+        }
+        if me.dist(lane, g.n() as u32) != INF {
+            return Err(format!("{shape}: lane {lane} out-of-range dist not INF"));
+        }
+        if me.settle_order(lane) != eng.settle_order() {
+            return Err(format!("{shape}: lane {lane} settle_order mismatch"));
+        }
+    }
+
+    me.run_batch_trees(g, sources);
+    for (lane, &s) in sources.iter().enumerate() {
+        eng.run_tree(g, s);
+        let st = eng.tree();
+        let mt = me.tree(lane);
+        if mt != st {
+            return Err(format!(
+                "{shape}: lane {lane} tree mismatch\n{mt:?}\nvs scalar\n{st:?}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Deterministic adversarial batch shapes for `g`: the full source sweep
+/// in lane batches (tails exercise `% LANES ≠ 0` and K=1), a strided
+/// full-width batch, a reversed batch, and a duplicate-source batch.
+fn batch_shapes(n: usize) -> Vec<Vec<u32>> {
+    let n32 = n as u32;
+    let mut shapes: Vec<Vec<u32>> = lane_batches(n32)
+        .map(|(start, len)| (start..start + len).collect())
+        .collect();
+    if n >= 2 {
+        let stride = (n32 / 2).max(1) | 1;
+        let mut seen = vec![false; n];
+        let mut strided = Vec::new();
+        for i in 0..n32 {
+            let s = (i * stride) % n32;
+            if !seen[s as usize] {
+                seen[s as usize] = true;
+                strided.push(s);
+                if strided.len() == LANES {
+                    break;
+                }
+            }
+        }
+        shapes.push(strided);
+        shapes.push((0..n32.min(LANES as u32)).rev().collect());
+        // Duplicate sources inside one batch force the scalar fallback.
+        shapes.push(vec![0, n32 - 1, 0, n32 / 2]);
+    }
+    shapes
+}
+
+fn engine_matches_scalar(
+    g: &CsrGraph,
+    me: &mut MultiSsspEngine,
+    eng: &mut SsspEngine,
+) -> Result<(), String> {
+    for sources in batch_shapes(g.n()) {
+        batch_matches_scalar(g, me, eng, &sources)?;
+    }
+    // The testkit invariant checker doubles the coverage with the
+    // settled-mask accounting on a fresh engine.
+    let full: Vec<u32> = (0..g.n().min(LANES) as u32).collect();
+    multi_source_invariants(g, &full)
+}
+
+/// One engine pair shared across a whole family sweep, so stale state from
+/// a previous (differently-sized) graph is part of what is being tested.
+fn sweep(name: &'static str, strat: &ear_testkit::GraphStrategy, cases: usize) {
+    let engines = RefCell::new((MultiSsspEngine::new(), SsspEngine::new()));
+    forall(name).cases(cases).run(strat, |g| {
+        let (me, eng) = &mut *engines.borrow_mut();
+        engine_matches_scalar(g, me, eng)
+    });
+}
+
+#[test]
+fn multi_matches_scalar_on_simple_graphs() {
+    sweep(
+        "multi_matches_scalar_on_simple_graphs",
+        &simple_graphs(24),
+        32,
+    );
+}
+
+#[test]
+fn multi_matches_scalar_on_multigraphs() {
+    // Parallel edges and self-loops: the per-lane parent-edge tie-break
+    // and the self-loop skip (which still counts in edges_relaxed) must
+    // agree exactly.
+    sweep("multi_matches_scalar_on_multigraphs", &multigraphs(20), 32);
+}
+
+#[test]
+fn multi_matches_scalar_on_biconnected_graphs() {
+    sweep(
+        "multi_matches_scalar_on_biconnected_graphs",
+        &biconnected_graphs(24),
+        24,
+    );
+}
+
+#[test]
+fn multi_matches_scalar_on_chain_heavy_graphs() {
+    sweep(
+        "multi_matches_scalar_on_chain_heavy_graphs",
+        &chain_heavy_graphs(48),
+        24,
+    );
+}
+
+#[test]
+fn multi_matches_scalar_on_cactus_graphs() {
+    sweep(
+        "multi_matches_scalar_on_cactus_graphs",
+        &cactus_graphs(32),
+        24,
+    );
+}
+
+#[test]
+fn multi_matches_scalar_on_multi_bcc_graphs() {
+    // Multiple biconnected components: lanes sourced in one block leave
+    // every other block at INF with sentinel parents.
+    sweep(
+        "multi_matches_scalar_on_multi_bcc_graphs",
+        &multi_bcc_graphs(40),
+        24,
+    );
+}
+
+#[test]
+fn multi_matches_scalar_on_workload_graphs() {
+    sweep(
+        "multi_matches_scalar_on_workload_graphs",
+        &workload_graphs(32),
+        12,
+    );
+}
+
+/// Heap mode (graphs past the scan cutoff) against the same contract —
+/// the family sweeps mostly sit below the cutoff, so force it here.
+#[test]
+fn multi_matches_scalar_in_heap_mode() {
+    let strat = simple_graphs(160);
+    let mut rng = TestRng::new(0xb16_b00c);
+    let mut me = MultiSsspEngine::new();
+    let mut eng = SsspEngine::new();
+    for case in 0..6 {
+        let g = strat.generate(&mut rng);
+        if g.n() <= 64 {
+            continue;
+        }
+        let sources: Vec<u32> = (0..LANES as u32)
+            .map(|i| (i * 19 + 3) % g.n() as u32)
+            .collect();
+        if let Err(e) = batch_matches_scalar(&g, &mut me, &mut eng, &sources) {
+            panic!("case {case}: {e}");
+        }
+    }
+}
+
+/// Tiny and degenerate graphs: single vertex, two vertices, an isolated
+/// (all-targets-unreachable) source lane, self-loop-only vertices.
+#[test]
+fn adversarial_blocks_match_scalar() {
+    let mut me = MultiSsspEngine::new();
+    let mut eng = SsspEngine::new();
+
+    // Single-vertex block (K=1 is also the minimum batch).
+    let one = CsrGraph::from_edges(1, &[]);
+    batch_matches_scalar(&one, &mut me, &mut eng, &[0]).unwrap();
+
+    // Single vertex with a self-loop: the loop counts in edges_relaxed
+    // but never relaxes.
+    let looped = CsrGraph::from_edges(1, &[(0, 0, 5)]);
+    batch_matches_scalar(&looped, &mut me, &mut eng, &[0]).unwrap();
+
+    // Two-vertex blocks, connected and not.
+    let pair = CsrGraph::from_edges(2, &[(0, 1, 3)]);
+    batch_matches_scalar(&pair, &mut me, &mut eng, &[0, 1]).unwrap();
+    let split = CsrGraph::from_edges(2, &[]);
+    batch_matches_scalar(&split, &mut me, &mut eng, &[1, 0]).unwrap();
+
+    // A lane whose source reaches nothing at all (vertex 4 is isolated),
+    // next to lanes that reach their whole component.
+    let islands = CsrGraph::from_edges(5, &[(0, 1, 1), (1, 2, 2), (2, 0, 3)]);
+    batch_matches_scalar(&islands, &mut me, &mut eng, &[4, 0, 3, 2]).unwrap();
+    me.run_batch(&islands, &[4, 0]);
+    assert_eq!(me.stats(0).settled, 1, "isolated lane settles only itself");
+    for v in 0..5u32 {
+        assert_eq!(me.dist(0, v), if v == 4 { 0 } else { INF });
+    }
+
+    // Duplicate sources in every slot.
+    let theta = CsrGraph::from_edges(4, &[(0, 1, 1), (1, 2, 2), (2, 3, 1), (3, 0, 2), (0, 2, 5)]);
+    batch_matches_scalar(&theta, &mut me, &mut eng, &[2, 2, 2, 2, 2]).unwrap();
+    assert!(me.was_fallback());
+}
+
+/// End-to-end: oracles built with the batched engine answer every s–t
+/// query identically to the scalar-built ones, across both APSP methods
+/// and the reduced-storage oracle.
+#[test]
+fn batched_oracles_match_scalar_oracles() {
+    let families = [
+        ("simple", simple_graphs(16)),
+        ("multigraph", multigraphs(14)),
+        ("chain_heavy", chain_heavy_graphs(36)),
+        ("multi_bcc", multi_bcc_graphs(30)),
+        ("workload", workload_graphs(36)),
+    ];
+    let exec = HeteroExecutor::sequential();
+    for (fi, (family, strat)) in families.into_iter().enumerate() {
+        for case in 0..3u64 {
+            let g: CsrGraph =
+                strat.generate(&mut TestRng::new(0x0_5eed ^ ((fi as u64) << 40) ^ case));
+            let tag = format!("{family}/{case} (n={}, m={})", g.n(), g.m());
+            let plan = Arc::new(DecompPlan::build(&g));
+            for method in [ApspMethod::Ear, ApspMethod::Plain] {
+                let scalar =
+                    build_oracle_with_plan_mode(Arc::clone(&plan), &exec, method, SsspMode::Scalar);
+                let batched = build_oracle_with_plan_mode(
+                    Arc::clone(&plan),
+                    &exec,
+                    method,
+                    SsspMode::Batched,
+                );
+                assert_eq!(
+                    scalar.stats(),
+                    batched.stats(),
+                    "{tag}: {method:?} oracle stats diverged"
+                );
+                for u in 0..g.n() as u32 {
+                    for v in 0..g.n() as u32 {
+                        assert_eq!(
+                            scalar.dist(u, v),
+                            batched.dist(u, v),
+                            "{tag}: {method:?} d({u},{v}) diverged"
+                        );
+                    }
+                }
+            }
+            let scalar =
+                ReducedOracle::build_with_plan_mode(Arc::clone(&plan), &exec, SsspMode::Scalar);
+            let batched =
+                ReducedOracle::build_with_plan_mode(Arc::clone(&plan), &exec, SsspMode::Batched);
+            assert_eq!(
+                scalar.table_entries(),
+                batched.table_entries(),
+                "{tag}: reduced-oracle storage diverged"
+            );
+            for u in 0..g.n() as u32 {
+                for v in 0..g.n() as u32 {
+                    assert_eq!(
+                        scalar.dist(u, v),
+                        batched.dist(u, v),
+                        "{tag}: reduced d({u},{v}) diverged"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The MCB candidate pass consumes FVS roots in lane chunks; trees, cost
+/// groups and the weight-sorted candidate store must be bit-identical.
+#[test]
+fn batched_mcb_candidates_match_scalar() {
+    let families = [
+        ("simple", simple_graphs(18)),
+        ("biconnected", biconnected_graphs(16)),
+        ("cactus", cactus_graphs(24)),
+    ];
+    for (fi, (family, strat)) in families.into_iter().enumerate() {
+        for case in 0..3u64 {
+            let g: CsrGraph =
+                strat.generate(&mut TestRng::new(0xca9d ^ ((fi as u64) << 16) ^ case));
+            if !g.is_simple() {
+                continue;
+            }
+            let tag = format!("{family}/{case} (n={}, m={})", g.n(), g.m());
+            let s = ear_mcb::candidates::generate_with_mode(&g, SsspMode::Scalar);
+            let b = ear_mcb::candidates::generate_with_mode(&g, SsspMode::Batched);
+            assert_eq!(s.z, b.z, "{tag}: FVS diverged");
+            assert_eq!(s.trees, b.trees, "{tag}: SSSP trees diverged");
+            assert_eq!(s.top_child, b.top_child, "{tag}: top-child diverged");
+            assert_eq!(s.order, b.order, "{tag}: top-down orders diverged");
+            assert_eq!(s.tree_units, b.tree_units, "{tag}: cost groups diverged");
+            let sc: Vec<_> = s.store.iter_live().copied().collect();
+            let bc: Vec<_> = b.store.iter_live().copied().collect();
+            assert_eq!(sc, bc, "{tag}: candidate stores diverged");
+        }
+    }
+}
