@@ -53,7 +53,7 @@ impl EarApspOutput {
 /// Runs the three-phase ear-decomposition APSP on `g`.
 pub fn ear_apsp(g: &CsrGraph, exec: &HeteroExecutor) -> EarApspOutput {
     // Phase I.
-    let r = reduce_graph(g).expect("ear_apsp requires a simple graph");
+    let r = reduce_graph(g.view()).expect("ear_apsp requires a simple graph");
     let nr = r.reduced.n();
 
     // Phase II: all-sources Dijkstra on G^r.
@@ -84,7 +84,7 @@ pub fn ear_apsp(g: &CsrGraph, exec: &HeteroExecutor) -> EarApspOutput {
     } = exec.run(
         (0..n as u32).collect::<Vec<_>>(),
         |_| n as u64,
-        |&x| extend_row(g, &r, &sr, x),
+        |&x| extend_row(n, &r, &sr, x),
     );
     let dist = DistMatrix::from_rows(rows);
 
@@ -99,15 +99,16 @@ pub fn ear_apsp(g: &CsrGraph, exec: &HeteroExecutor) -> EarApspOutput {
 }
 
 /// Computes the full distance row of `x` in `G` from the reduced matrix
-/// (the `UPDATE_DISTANCE(s)` of Algorithm 1). Shared with the per-BCC
-/// pipeline in [`crate::oracle`].
+/// (the `UPDATE_DISTANCE(s)` of Algorithm 1), where `n` is the vertex
+/// count of `G` — the whole graph never needs to be materialized, so the
+/// per-BCC pipeline in [`crate::oracle`] can drive this from zero-copy
+/// block views.
 pub(crate) fn extend_row(
-    g: &CsrGraph,
+    n: usize,
     r: &ReducedGraph,
     sr: &DistMatrix,
     x: VertexId,
 ) -> (Vec<Weight>, WorkCounters) {
-    let n = g.n();
     let mut row = vec![0; n];
     let mut combos = 0u64;
     match r.removed[x as usize] {

@@ -25,8 +25,8 @@ use std::sync::Arc;
 use ear_decomp::block_cut::{BlockCutTree, Route};
 use ear_decomp::plan::DecompPlan;
 use ear_graph::{
-    dist_add, lane_batches, with_engine, with_multi_engine, CsrGraph, SsspMode, VertexId, Weight,
-    INF, LANES,
+    dist_add, lane_batches, with_engine, with_multi_engine, CsrGraph, CsrView, SsspMode, VertexId,
+    Weight, INF, LANES, MAX_BATCH_VERTICES, MIN_BATCH_VERTICES,
 };
 use ear_hetero::{ExecutionReport, HeteroExecutor, RunOutput, WorkCounters};
 
@@ -253,30 +253,46 @@ pub fn build_oracle(g: &CsrGraph, exec: &HeteroExecutor, method: ApspMethod) -> 
 /// sources are consumed in order; `f` receives `(start, &sources)` per
 /// workunit and must return one distance row per source plus summed
 /// counters.
+///
+/// Batched mode applies the per-block size heuristic: a block narrower
+/// than [`MIN_BATCH_VERTICES`] cannot fill a lane batch, and a scalar run
+/// on it is cheap enough that the per-batch dispatch alone would cost a
+/// double-digit percentage; a block wider than [`MAX_BATCH_VERTICES`]
+/// makes the lane engines' aggregate scratch outgrow the cache a single
+/// pooled engine stays warm in. Both get scalar-shaped units. The sweep
+/// runs every vertex as a source, so `total` *is* the block's vertex
+/// count and doubles as the size check.
 pub(crate) fn sssp_units(total: u32, sssp: SsspMode) -> Vec<(u32, u32)> {
     match sssp {
-        SsspMode::Scalar => (0..total).map(|s| (s, 1)).collect(),
-        SsspMode::Batched => lane_batches(total).collect(),
+        SsspMode::Batched
+            if (MIN_BATCH_VERTICES..=MAX_BATCH_VERTICES).contains(&(total as usize)) =>
+        {
+            lane_batches(total).collect()
+        }
+        _ => (0..total).map(|s| (s, 1)).collect(),
     }
 }
 
 /// One Phase-II / AP-phase workunit: all sources `start..start + len` of
-/// `target`, through the pooled lane engine in batched mode (its own
-/// straggler fallback absorbs `len == 1` tails and tiny blocks) or one
-/// pooled scalar run per source otherwise.
+/// `target`, through the pooled lane engine in batched mode or one pooled
+/// scalar run per source otherwise. Single-source units — scalar mode,
+/// blocks outside the [`MIN_BATCH_VERTICES`]..=[`MAX_BATCH_VERTICES`]
+/// band, and `len == 1` batch tails — take the scalar engine directly:
+/// the lane engine would only delegate to it anyway, paying its batch
+/// dispatch for nothing.
 pub(crate) fn sssp_unit_rows(
-    target: &CsrGraph,
+    target: CsrView<'_>,
     start: u32,
     len: u32,
     sssp: SsspMode,
 ) -> (Vec<Vec<Weight>>, WorkCounters) {
     debug_assert!(len >= 1 && len as usize <= LANES);
-    if sssp == SsspMode::Scalar {
+    if sssp == SsspMode::Scalar || len == 1 {
         let mut counters = WorkCounters::default();
         let rows = (start..start + len)
             .map(|s| {
                 with_engine(|eng| {
-                    let stats = eng.run(target, s);
+                    let stats = eng.run_view(target, s);
                     counters.edges_relaxed += stats.edges_relaxed;
                     counters.vertices_settled += stats.settled;
                     eng.dist_vec()
@@ -290,7 +306,7 @@ pub(crate) fn sssp_unit_rows(
         for (i, s) in sources.iter_mut().enumerate().take(len as usize) {
             *s = start + i as u32;
         }
-        me.run_batch(target, &sources[..len as usize]);
+        me.run_batch_view(target, &sources[..len as usize]);
         let mut counters = WorkCounters::default();
         let rows = (0..len as usize)
             .map(|lane| {
@@ -372,8 +388,8 @@ pub fn build_oracle_with_plan_mode(
         },
         |&(b, start, len)| {
             let target = match red(b) {
-                Some(r) => &r.reduced,
-                None => &plan.block(b).sub,
+                Some(r) => r.reduced.view(),
+                None => plan.block_graph(b),
             };
             // Pooled engines: per-source scratch is reused across
             // workunits handled by the same worker thread.
@@ -413,7 +429,7 @@ pub fn build_oracle_with_plan_mode(
                 units.clone(),
                 |&(b, _)| plan.block(b).n() as u64,
                 |&(b, x)| match red(b) {
-                    Some(r) => crate::ear::extend_row(&plan.block(b).sub, r, &srs[b as usize], x),
+                    Some(r) => crate::ear::extend_row(plan.block(b).n(), r, &srs[b as usize], x),
                     // Non-simple block processed plainly: its reduced matrix
                     // is already the full per-block table.
                     None => (srs[b as usize].row(x).to_vec(), Default::default()),
@@ -463,7 +479,7 @@ pub fn build_oracle_with_plan_mode(
     } = exec.run(
         sssp_units(a as u32, sssp),
         |&(_, len)| (ap_graph.m() as u64 + 1) * len as u64,
-        |&(start, len)| sssp_unit_rows(&ap_graph, start, len, sssp),
+        |&(start, len)| sssp_unit_rows(ap_graph.view(), start, len, sssp),
     );
     let ap_table = DistMatrix::from_rows(ap_unit_rows.into_iter().flatten().collect());
     drop(ap_span);

@@ -84,8 +84,8 @@ impl ReducedOracle {
             |&(b, _, len)| (plan.block(b).m() as u64 + 1) * len as u64,
             |&(b, start, len)| {
                 let target = match plan.reduction(b) {
-                    Some(r) => &r.reduced,
-                    None => &plan.block(b).sub,
+                    Some(r) => r.reduced.view(),
+                    None => plan.block_graph(b),
                 };
                 // Pooled engines: scratch reused across the (block,
                 // source-range) workunits each worker thread handles.
@@ -128,7 +128,7 @@ impl ReducedOracle {
         let ap_graph = CsrGraph::from_edges(a, &ap_edges);
         let ap_rows: Vec<Vec<Weight>> = sssp_units(a as u32, sssp)
             .into_iter()
-            .flat_map(|(start, len)| sssp_unit_rows(&ap_graph, start, len, sssp).0)
+            .flat_map(|(start, len)| sssp_unit_rows(ap_graph.view(), start, len, sssp).0)
             .collect();
         let ap_table = DistMatrix::from_rows(ap_rows);
 

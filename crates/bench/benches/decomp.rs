@@ -24,7 +24,7 @@ fn bench_decomp(c: &mut Criterion) {
             b.iter(|| black_box(DecompPlan::build(g)))
         });
         group.bench_with_input(BenchmarkId::new("reduce", n), &chained, |b, g| {
-            b.iter(|| black_box(reduce_graph(g).unwrap()))
+            b.iter(|| black_box(reduce_graph(g.view()).unwrap()))
         });
         group.bench_with_input(BenchmarkId::new("fvs", n), &chained, |b, g| {
             b.iter(|| black_box(feedback_vertex_set(g)))

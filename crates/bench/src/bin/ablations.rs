@@ -132,10 +132,10 @@ fn main() {
     let mesh = triangulated_grid(260 / div.max(1), 260 / div.max(1), 13);
     let chained = subdivide_edges(&mesh, mesh.m(), 2, 14);
     let t0 = Instant::now();
-    let a = reduce_graph(&chained).unwrap();
+    let a = reduce_graph(chained.view()).unwrap();
     let seq_t = t0.elapsed();
     let t0 = Instant::now();
-    let b = reduce_graph_parallel(&chained).unwrap();
+    let b = reduce_graph_parallel(chained.view()).unwrap();
     let par_t = t0.elapsed();
     assert_eq!(a.reduced.edges(), b.reduced.edges());
     println!(

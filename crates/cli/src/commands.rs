@@ -54,9 +54,18 @@ fn print_decomposition(plan: &DecompPlan) {
     );
     for (rank, b) in plan.blocks_by_size_desc().into_iter().take(10).enumerate() {
         let bp = plan.block(b as u32);
-        let sub = &bp.sub;
-        print!("  block {rank}: {} vertices, {} edges", sub.n(), sub.m());
-        if sub.m() >= sub.n() && bp.simple {
+        print!("  block {rank}: {} vertices, {} edges", bp.n(), bp.m());
+        if bp.m() >= bp.n() && bp.simple {
+            // Ear decomposition wants an owned graph; viewed plans
+            // materialize the block (a print-path copy only).
+            let owned;
+            let sub = match &bp.sub {
+                Some(sub) => sub,
+                None => {
+                    owned = plan.block_graph(b as u32).materialize();
+                    &owned
+                }
+            };
             match ear_decomposition(sub) {
                 Ok(d) => print!(", {} ears", d.ears.len()),
                 Err(e) => print!(", no open ear decomposition ({e})"),
@@ -64,7 +73,7 @@ fn print_decomposition(plan: &DecompPlan) {
             if let Some(r) = &bp.reduction {
                 print!(
                     ", reduction {} -> {} vertices ({} chains)",
-                    sub.n(),
+                    bp.n(),
                     r.reduced.n(),
                     r.chains.len()
                 );
@@ -86,7 +95,7 @@ pub fn combined(g: &CsrGraph, opts: &CommonOpts, pairs: &[(u32, u32)]) -> Result
     if opts.obs_requested() {
         ear_obs::enable();
     }
-    let plan = Arc::new(DecompPlan::build(g));
+    let plan = Arc::new(DecompPlan::build_with_layout(g, opts.layout()));
 
     println!("== stats ==");
     print_stats(&GraphStats::from_plan(&plan));
@@ -126,6 +135,7 @@ pub fn apsp(g: &CsrGraph, opts: &CommonOpts, pairs: &[(u32, u32)]) -> Result<(),
         .mode(opts.mode)
         .use_ear(!opts.no_ear)
         .batched(opts.batched)
+        .plan(Arc::new(DecompPlan::build_with_layout(g, opts.layout())))
         .run(g);
     report_apsp(g, &out, pairs);
     opts.write_obs_outputs()
@@ -170,6 +180,7 @@ pub fn mcb(
     let out = McbPipeline::new()
         .mode(opts.mode)
         .use_ear(!opts.no_ear)
+        .plan(Arc::new(DecompPlan::build_with_layout(g, opts.layout())))
         .run(g);
     report_mcb(g, &out, print_cycles)?;
     if profile || profile_json {

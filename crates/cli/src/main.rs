@@ -25,6 +25,7 @@ use std::process::ExitCode;
 
 use ear_core::prelude::*;
 use ear_graph::io::{read_edge_list, read_matrix_market};
+use ear_graph::LayoutMode;
 
 mod commands;
 
@@ -45,7 +46,7 @@ fn usage() -> &'static str {
     "usage:
   ear stats <graph>
   ear decompose <graph>
-  ear apsp <graph> [--pairs u:v[,u:v...]] [--mode M] [--no-ear] [--batched]
+  ear apsp <graph> [--pairs u:v[,u:v...]] [--mode M] [--no-ear] [--batched] [--views]
   ear mcb <graph> [--print-cycles] [--profile] [--profile-json] [--mode M] [--no-ear]
   ear combined <graph> [--pairs u:v[,u:v...]] [--mode M] [--no-ear]
   ear bc <graph> [--top K]
@@ -54,6 +55,7 @@ fn usage() -> &'static str {
 
 graph: .mtx (Matrix Market) or edge list 'u v [w]' per line; '-' = stdin
 mode:  seq | multicore | gpu | hetero (default)
+views: store decomposition blocks as zero-copy arena views (EAR_CSR_VIEWS=1)
 obs:   apsp/mcb/combined also take [--trace-out FILE] [--metrics-out FILE]
 specs: nopoly OPF_3754 ca-AstroPh as-22july06 c-50 cond_mat_2003
        delaunay_n15 Rajat26 Wordnet3 soc-sign-epinions Planar_1..Planar_5"
@@ -121,6 +123,9 @@ pub struct CommonOpts {
     pub no_ear: bool,
     /// Use the lane-batched multi-source SSSP engine for the oracle build.
     pub batched: bool,
+    /// Store decomposition blocks as zero-copy arena views instead of
+    /// per-block copied graphs.
+    pub views: bool,
     /// Write a Chrome trace-event JSON of the run here.
     pub trace_out: Option<String>,
     /// Write a metrics-snapshot JSON of the run here.
@@ -132,6 +137,7 @@ impl CommonOpts {
         let mut mode = ExecMode::Hetero;
         let mut no_ear = false;
         let mut batched = SsspMode::from_env() == SsspMode::Batched;
+        let mut views = LayoutMode::from_env() == LayoutMode::Viewed;
         let mut trace_out = None;
         let mut metrics_out = None;
         let mut i = 0;
@@ -149,6 +155,7 @@ impl CommonOpts {
                 }
                 "--no-ear" => no_ear = true,
                 "--batched" => batched = true,
+                "--views" => views = true,
                 "--trace-out" => {
                     i += 1;
                     trace_out = Some(args.get(i).ok_or("--trace-out needs a path")?.clone());
@@ -170,9 +177,19 @@ impl CommonOpts {
             mode,
             no_ear,
             batched,
+            views,
             trace_out,
             metrics_out,
         })
+    }
+
+    /// The block-storage layout the flags select.
+    pub fn layout(&self) -> LayoutMode {
+        if self.views {
+            LayoutMode::Viewed
+        } else {
+            LayoutMode::Copied
+        }
     }
 
     /// True when any observability output was requested.

@@ -58,14 +58,24 @@
 use crate::bcc::{biconnected_components, Bcc};
 use crate::block_cut::BlockCutTree;
 use crate::reduce::{reduce_graph, ReducedGraph};
-use ear_graph::{edge_subgraph_reusing, CsrGraph, EdgeId, SubgraphScratch, VertexId};
+use ear_graph::{
+    edge_subgraph_into_arena, edge_subgraph_reusing, CsrArena, CsrGraph, CsrSpan, CsrView, EdgeId,
+    LayoutMode, NodeOrder, SubgraphScratch, VertexId,
+};
 
 /// One biconnected component of the plan: the extracted subgraph, its id
 /// maps, and (for simple blocks) its degree-2 chain reduction.
 #[derive(Clone, Debug)]
 pub struct BlockPlan {
-    /// The block subgraph on compact local vertex ids.
-    pub sub: CsrGraph,
+    /// The block subgraph as an **owned** graph — `Some` exactly under
+    /// [`LayoutMode::Copied`]. Viewed plans keep every block inside the
+    /// plan's shared [`CsrArena`] instead; use [`DecompPlan::block_graph`]
+    /// for layout-independent access.
+    pub sub: Option<CsrGraph>,
+    /// Vertex count of the block (valid in both layouts).
+    n: usize,
+    /// Edge count of the block (valid in both layouts).
+    m: usize,
     /// `local → parent` vertex ids.
     pub to_parent_vertex: Vec<VertexId>,
     /// `local edge → parent edge` ids (the component's edge list, owned).
@@ -84,12 +94,12 @@ pub struct BlockPlan {
 impl BlockPlan {
     /// Vertices in the block.
     pub fn n(&self) -> usize {
-        self.sub.n()
+        self.n
     }
 
     /// Edges in the block.
     pub fn m(&self) -> usize {
-        self.sub.m()
+        self.m
     }
 
     /// Parent id of a local vertex.
@@ -115,13 +125,37 @@ pub struct DecompPlan {
     /// `vertex → local id within its home block` (`u32::MAX` for isolated
     /// vertices); the home block is `bct.vertex_block`.
     home_local: Vec<u32>,
+    /// Which block-storage layout this plan was built with.
+    layout: LayoutMode,
+    /// Shared CSR storage for every block under [`LayoutMode::Viewed`]
+    /// (empty under `Copied`).
+    arena: CsrArena,
+    /// One arena window per block under [`LayoutMode::Viewed`].
+    spans: Vec<CsrSpan>,
+    /// BCC-clustered locality order over the parent graph's vertices:
+    /// blocks in id order, home vertices of each block in local-id order
+    /// (DFS discovery order along the component edge list), isolated
+    /// vertices last.
+    node_order: NodeOrder,
 }
 
 impl DecompPlan {
+    /// Builds the plan with the process-default layout
+    /// ([`LayoutMode::from_env`], i.e. `EAR_CSR_VIEWS`).
+    pub fn build(g: &CsrGraph) -> DecompPlan {
+        Self::build_with_layout(g, LayoutMode::from_env())
+    }
+
     /// Builds the plan: biconnected components, block-cut tree, per-block
     /// subgraph extraction (scratch-reusing, O(n + m) total), and parallel
     /// per-block chain reduction of every simple block.
-    pub fn build(g: &CsrGraph) -> DecompPlan {
+    ///
+    /// Under [`LayoutMode::Copied`] every block is extracted into its own
+    /// [`CsrGraph`]; under [`LayoutMode::Viewed`] all blocks land in one
+    /// shared [`CsrArena`] and are served as zero-copy [`CsrView`] windows
+    /// — bit-identical local ids, edge order and adjacency order either
+    /// way (the arena push mirrors standalone CSR construction exactly).
+    pub fn build_with_layout(g: &CsrGraph, layout: LayoutMode) -> DecompPlan {
         let _span = ear_obs::span_with("decomp.plan", g.n() as u64);
         let bcc = {
             let _s = ear_obs::span("decomp.bcc");
@@ -139,29 +173,76 @@ impl DecompPlan {
         } = bcc;
 
         // Extract every block with one shared scratch; the component edge
-        // lists move into the blocks without copying.
+        // lists move into the blocks without copying. Copied layout builds
+        // one owned CsrGraph per block; Viewed layout appends each block's
+        // CSR windows to the shared arena instead (zero per-block
+        // adjacency allocations).
         let extract_span = ear_obs::span_with("decomp.extract", comps.len() as u64);
         let mut scratch = SubgraphScratch::new();
-        let mut extracted: Vec<(CsrGraph, Vec<VertexId>, Vec<EdgeId>, bool)> =
-            Vec::with_capacity(comps.len());
+        let mut arena = CsrArena::new();
+        let mut spans: Vec<CsrSpan> = Vec::new();
+        // (copied graph, n, m, parent vertex map, parent edge map, simple)
+        // per block — the copied graph is None under the arena layout.
+        type Extracted = (
+            Option<CsrGraph>,
+            usize,
+            usize,
+            Vec<VertexId>,
+            Vec<EdgeId>,
+            bool,
+        );
+        let mut extracted: Vec<Extracted> = Vec::with_capacity(comps.len());
         for comp in comps {
-            let (sub, map) = edge_subgraph_reusing(g, comp, &mut scratch);
-            let simple = sub.is_simple();
-            extracted.push((sub, map.to_parent_vertex, map.to_parent_edge, simple));
+            match layout {
+                LayoutMode::Copied => {
+                    let (sub, map) = edge_subgraph_reusing(g, comp, &mut scratch);
+                    let simple = sub.is_simple();
+                    let (n, m) = (sub.n(), sub.m());
+                    extracted.push((
+                        Some(sub),
+                        n,
+                        m,
+                        map.to_parent_vertex,
+                        map.to_parent_edge,
+                        simple,
+                    ));
+                }
+                LayoutMode::Viewed => {
+                    let (span, map) = edge_subgraph_into_arena(g, comp, &mut scratch, &mut arena);
+                    let simple = arena.view(&span).is_simple();
+                    extracted.push((
+                        None,
+                        span.n as usize,
+                        span.m as usize,
+                        map.to_parent_vertex,
+                        map.to_parent_edge,
+                        simple,
+                    ));
+                    spans.push(span);
+                }
+            }
         }
         drop(extract_span);
 
         // Chain-contract all simple blocks, in parallel across blocks. The
         // per-block sequential `reduce_graph` keeps the output bit-identical
-        // to what each pipeline used to compute on its own.
+        // to what each pipeline used to compute on its own; it consumes a
+        // view, so both layouts share the exact same code path.
         let reductions: Vec<Option<ReducedGraph>> = {
             use rayon::prelude::*;
             let _s = ear_obs::span("decomp.reduce");
             extracted
                 .par_iter()
-                .map(|(sub, _, _, simple)| {
-                    let _b = ear_obs::span_with("decomp.reduce.block", sub.n() as u64);
-                    simple.then(|| reduce_graph(sub).expect("simplicity was just checked"))
+                .zip(0usize..)
+                .map(|((sub, n, _, _, _, simple), b)| {
+                    let _b = ear_obs::span_with("decomp.reduce.block", *n as u64);
+                    simple.then(|| {
+                        let view = match sub {
+                            Some(sub) => sub.view(),
+                            None => arena.view(&spans[b]),
+                        };
+                        reduce_graph(view).expect("simplicity was just checked")
+                    })
                 })
                 .collect()
         };
@@ -172,7 +253,7 @@ impl DecompPlan {
             .zip(reductions)
             .enumerate()
             .map(
-                |(b, ((sub, to_parent_vertex, to_parent_edge, simple), reduction))| {
+                |(b, ((sub, n, m, to_parent_vertex, to_parent_edge, simple), reduction))| {
                     let mut shared = Vec::new();
                     for (l, &p) in to_parent_vertex.iter().enumerate() {
                         if bct.vertex_block[p as usize] == b as u32 {
@@ -184,6 +265,8 @@ impl DecompPlan {
                     shared.sort_unstable();
                     BlockPlan {
                         sub,
+                        n,
+                        m,
                         to_parent_vertex,
                         to_parent_edge,
                         simple,
@@ -193,6 +276,32 @@ impl DecompPlan {
                 },
             )
             .collect();
+
+        // BCC-clustered locality order: blocks in id order, each block's
+        // home vertices in local-id order (first appearance along the
+        // DFS-generated component edge list), isolated vertices last.
+        // Permuting the parent graph by this order lays each block's
+        // vertices contiguously, which is what the cache-aware layout
+        // benchmarks exploit.
+        let node_order = {
+            let mut rank = vec![u32::MAX; g.n()];
+            let mut next = 0u32;
+            for (b, bp) in blocks.iter().enumerate() {
+                for &p in &bp.to_parent_vertex {
+                    if bct.vertex_block[p as usize] == b as u32 && rank[p as usize] == u32::MAX {
+                        rank[p as usize] = next;
+                        next += 1;
+                    }
+                }
+            }
+            for r in rank.iter_mut() {
+                if *r == u32::MAX {
+                    *r = next;
+                    next += 1;
+                }
+            }
+            NodeOrder::from_rank(rank)
+        };
 
         if ear_obs::is_enabled() {
             ear_obs::counter_add("decomp.plans", 1);
@@ -204,6 +313,9 @@ impl DecompPlan {
                 .map(|r| r.removed_count() as u64)
                 .sum();
             ear_obs::counter_add("decomp.removed_vertices", removed);
+            // Bytes the viewed layout serves from shared storage instead of
+            // per-block copies (zero when the plan was built Copied).
+            ear_obs::counter_add("decomp.plan.view_bytes_saved", arena.used_bytes() as u64);
         }
 
         DecompPlan {
@@ -214,7 +326,55 @@ impl DecompPlan {
             bridges,
             blocks,
             home_local,
+            layout,
+            arena,
+            spans,
+            node_order,
         }
+    }
+
+    /// The block-storage layout this plan was built with.
+    pub fn layout(&self) -> LayoutMode {
+        self.layout
+    }
+
+    /// Block `b`'s subgraph as a zero-copy [`CsrView`] — the
+    /// layout-independent access path every solver should use. Copied
+    /// plans view the block's owned graph; viewed plans window the shared
+    /// arena. Both are bit-identical (same local ids, edge order and
+    /// adjacency order).
+    pub fn block_graph(&self, b: u32) -> CsrView<'_> {
+        match &self.blocks[b as usize].sub {
+            Some(sub) => sub.view(),
+            None => self.arena.view(&self.spans[b as usize]),
+        }
+    }
+
+    /// The BCC-clustered locality order computed by the build (blocks in id
+    /// order, home vertices in local discovery order, isolated vertices
+    /// last). `CsrGraph::permute` with this order lays each block's
+    /// vertices contiguously in memory.
+    pub fn node_order(&self) -> &NodeOrder {
+        &self.node_order
+    }
+
+    /// Bytes of shared arena storage backing a viewed plan's blocks (zero
+    /// for copied plans) — the allocation the viewed layout avoids.
+    pub fn arena_bytes(&self) -> usize {
+        self.arena.used_bytes()
+    }
+
+    /// The arena spans backing a viewed plan's blocks, one per block in
+    /// block-id order (empty for copied plans). Exposed so invariant
+    /// checkers can verify the spans tile the arena exactly.
+    pub fn spans(&self) -> &[CsrSpan] {
+        &self.spans
+    }
+
+    /// The shared storage arena behind a viewed plan (empty for copied
+    /// plans).
+    pub fn arena(&self) -> &CsrArena {
+        &self.arena
     }
 
     /// Vertices of the decomposed graph.
@@ -372,7 +532,7 @@ mod tests {
         let g = CsrGraph::from_edges(4, &[(0, 1, 1), (0, 1, 2), (1, 2, 1), (2, 3, 1), (3, 1, 1)]);
         let plan = DecompPlan::build(&g);
         for b in 0..plan.n_blocks() as u32 {
-            assert_eq!(plan.is_simple(b), plan.block(b).sub.is_simple());
+            assert_eq!(plan.is_simple(b), plan.block_graph(b).is_simple());
             assert_eq!(plan.reduction(b).is_some(), plan.is_simple(b));
         }
         assert!((0..plan.n_blocks() as u32).any(|b| !plan.is_simple(b)));
@@ -382,13 +542,75 @@ mod tests {
     fn reduction_matches_direct_reduce_graph() {
         let g = mixed();
         let plan = DecompPlan::build(&g);
-        for bp in plan.blocks() {
-            let direct = reduce_graph(&bp.sub).unwrap();
-            let r = bp.reduction.as_ref().unwrap();
+        for b in 0..plan.n_blocks() as u32 {
+            let direct = reduce_graph(plan.block_graph(b)).unwrap();
+            let r = plan.block(b).reduction.as_ref().unwrap();
             assert_eq!(r.retained, direct.retained);
             assert_eq!(r.reduced.edges(), direct.reduced.edges());
             assert_eq!(r.chains.len(), direct.chains.len());
         }
+    }
+
+    #[test]
+    fn viewed_plan_matches_copied_plan() {
+        for g in [
+            mixed(),
+            CsrGraph::from_edges(4, &[(0, 1, 1), (0, 1, 2), (1, 2, 1), (2, 3, 1), (3, 1, 1)]),
+            CsrGraph::from_edges(2, &[(0, 0, 1), (0, 1, 1)]),
+            CsrGraph::from_edges(0, &[]),
+        ] {
+            let c = DecompPlan::build_with_layout(&g, LayoutMode::Copied);
+            let v = DecompPlan::build_with_layout(&g, LayoutMode::Viewed);
+            assert_eq!(c.n_blocks(), v.n_blocks());
+            assert_eq!(c.node_order().ranks(), v.node_order().ranks());
+            assert_eq!(c.arena_bytes(), 0);
+            for b in 0..c.n_blocks() as u32 {
+                let (cb, vb) = (c.block(b), v.block(b));
+                assert!(cb.sub.is_some() && vb.sub.is_none());
+                assert_eq!((cb.n(), cb.m()), (vb.n(), vb.m()));
+                assert_eq!(cb.to_parent_vertex, vb.to_parent_vertex);
+                assert_eq!(cb.to_parent_edge, vb.to_parent_edge);
+                assert_eq!(cb.simple, vb.simple);
+                let (cg, vg) = (c.block_graph(b), v.block_graph(b));
+                assert_eq!(cg.edges(), vg.edges());
+                for u in 0..cg.n() as u32 {
+                    assert_eq!(cg.neighbors(u), vg.neighbors(u));
+                    assert_eq!(cg.incidences(u).1, vg.incidences(u).1);
+                }
+                match (&cb.reduction, &vb.reduction) {
+                    (None, None) => {}
+                    (Some(rc), Some(rv)) => {
+                        assert_eq!(rc.retained, rv.retained);
+                        assert_eq!(rc.reduced.edges(), rv.reduced.edges());
+                    }
+                    _ => panic!("reduction presence differs on block {b}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn node_order_clusters_blocks_contiguously() {
+        let g = mixed();
+        let plan = DecompPlan::build(&g);
+        let order = plan.node_order();
+        // Bijection is enforced by NodeOrder's constructor; check that the
+        // home vertices of each block occupy a contiguous rank range, in
+        // block order.
+        let mut next = 0u32;
+        for (b, bp) in plan.blocks().iter().enumerate() {
+            let mut home: Vec<u32> = bp
+                .to_parent_vertex
+                .iter()
+                .filter(|&&p| plan.bct().vertex_block[p as usize] == b as u32)
+                .map(|&p| order.rank(p))
+                .collect();
+            home.sort_unstable();
+            let want: Vec<u32> = (next..next + home.len() as u32).collect();
+            assert_eq!(home, want, "block {b} ranks not contiguous");
+            next += home.len() as u32;
+        }
+        assert_eq!(next as usize, g.n(), "mixed() has no isolated vertices");
     }
 
     #[test]

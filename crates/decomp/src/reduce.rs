@@ -19,7 +19,7 @@
 //! MCB pipeline needs them (each is an independent cycle generator); APSP
 //! simply lets Dijkstra skip the non-minimal copies.
 
-use ear_graph::{CsrGraph, EdgeId, VertexId, Weight};
+use ear_graph::{CsrGraph, CsrView, EdgeId, VertexId, Weight};
 
 /// Error returned when chain contraction is asked to reduce a non-simple
 /// graph (self-loops or parallel edges present).
@@ -134,7 +134,7 @@ impl ReducedGraph {
 /// Returns [`NotSimpleError`] if `g` has self-loops or parallel edges —
 /// reduction is only defined on simple graphs (see the error type's docs
 /// for why, and for what callers should do with non-simple blocks).
-pub fn reduce_graph(g: &CsrGraph) -> Result<ReducedGraph, NotSimpleError> {
+pub fn reduce_graph(g: CsrView<'_>) -> Result<ReducedGraph, NotSimpleError> {
     if !g.is_simple() {
         return Err(NotSimpleError);
     }
@@ -221,7 +221,7 @@ pub fn reduce_graph(g: &CsrGraph) -> Result<ReducedGraph, NotSimpleError> {
 /// Walks a maximal chain starting at anchor `a` through degree-2 vertex
 /// `first`, reached by `first_edge`, until the next anchor.
 fn walk_chain(
-    g: &CsrGraph,
+    g: CsrView<'_>,
     anchor: &[bool],
     on_chain: &mut [bool],
     a: VertexId,
@@ -265,7 +265,7 @@ fn walk_chain(
 
 /// Finds components where every vertex has degree exactly two (pure cycles)
 /// and marks their smallest vertex as an anchor.
-fn mark_pure_cycle_anchors(g: &CsrGraph, anchor: &mut [bool]) {
+fn mark_pure_cycle_anchors(g: CsrView<'_>, anchor: &mut [bool]) {
     let n = g.n();
     let mut seen = vec![false; n];
     for s in 0..n as u32 {
@@ -315,7 +315,7 @@ mod tests {
     #[test]
     fn theta_contracts_two_chains() {
         let g = theta();
-        let r = reduce_graph(&g).unwrap();
+        let r = reduce_graph(g.view()).unwrap();
         assert_eq!(r.retained, vec![0, 2]);
         assert_eq!(r.removed_count(), 2);
         assert_eq!(r.reduced.n(), 2);
@@ -329,7 +329,7 @@ mod tests {
     #[test]
     fn removed_info_prefix_weights() {
         let g = theta();
-        let r = reduce_graph(&g).unwrap();
+        let r = reduce_graph(g.view()).unwrap();
         let i1 = r.removed[1].unwrap();
         assert_eq!(i1.w_left + i1.w_right, 3);
         // distance to the anchors along the chain must match Dijkstra on the
@@ -360,7 +360,7 @@ mod tests {
                 (4, 6, 1),
             ],
         );
-        let r = reduce_graph(&g).unwrap();
+        let r = reduce_graph(g.view()).unwrap();
         assert!(!r.is_removed(0));
         assert!(!r.is_removed(4));
         for (x, wl) in [(1u32, 1u64), (2, 3), (3, 6)] {
@@ -381,7 +381,7 @@ mod tests {
     #[test]
     fn pure_cycle_becomes_self_loop() {
         let g = CsrGraph::from_edges(4, &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 0, 1)]);
-        let r = reduce_graph(&g).unwrap();
+        let r = reduce_graph(g.view()).unwrap();
         assert_eq!(r.retained, vec![0]);
         assert_eq!(r.reduced.m(), 1);
         let e = r.reduced.edge(0);
@@ -403,7 +403,7 @@ mod tests {
                 (2, 3, 1),
             ],
         );
-        let r = reduce_graph(&g).unwrap();
+        let r = reduce_graph(g.view()).unwrap();
         assert_eq!(r.removed_count(), 0);
         assert_eq!(r.reduced.n(), 4);
         assert_eq!(r.reduced.m(), 6);
@@ -428,7 +428,7 @@ mod tests {
                 (4, 5, 3),
             ],
         );
-        let r = reduce_graph(&g).unwrap();
+        let r = reduce_graph(g.view()).unwrap();
         assert!(r.is_removed(4));
         assert!(!r.is_removed(5)); // degree-1 vertices are anchors
         let info = r.removed[4].unwrap();
@@ -447,7 +447,7 @@ mod tests {
     fn parallel_chains_become_parallel_edges() {
         // Two vertices joined by three chains of lengths 2,2,1 edges.
         let g = CsrGraph::from_edges(4, &[(0, 2, 1), (2, 1, 1), (0, 3, 2), (3, 1, 2), (0, 1, 9)]);
-        let r = reduce_graph(&g).unwrap();
+        let r = reduce_graph(g.view()).unwrap();
         assert_eq!(r.reduced.n(), 2);
         assert_eq!(r.reduced.m(), 3);
         assert!(!r.reduced.is_simple()); // parallel edges preserved
@@ -459,7 +459,7 @@ mod tests {
     #[test]
     fn expand_edge_roundtrips_chains() {
         let g = theta();
-        let r = reduce_graph(&g).unwrap();
+        let r = reduce_graph(g.view()).unwrap();
         for re in 0..r.reduced.m() as u32 {
             let orig = r.expand_edge(re);
             let total: Weight = orig.iter().map(|&e| g.weight(e)).sum();
@@ -470,7 +470,7 @@ mod tests {
     #[test]
     fn chain_edge_count_partitions_original_edges() {
         let g = theta();
-        let r = reduce_graph(&g).unwrap();
+        let r = reduce_graph(g.view()).unwrap();
         let mut covered: Vec<EdgeId> = (0..r.reduced.m() as u32)
             .flat_map(|re| r.expand_edge(re))
             .collect();
@@ -483,7 +483,7 @@ mod tests {
     fn anchor_to_self_chain_is_self_loop() {
         // Hub 0 (degree 4) with a lollipop cycle 0-1-2-0 of degree-2 vertices.
         let g = CsrGraph::from_edges(5, &[(0, 1, 1), (1, 2, 1), (2, 0, 1), (0, 3, 1), (0, 4, 1)]);
-        let r = reduce_graph(&g).unwrap();
+        let r = reduce_graph(g.view()).unwrap();
         let loops: Vec<_> = r
             .reduced
             .edges()
@@ -497,10 +497,10 @@ mod tests {
     #[test]
     fn rejects_multigraph_input_with_error() {
         let g = CsrGraph::from_edges(2, &[(0, 1, 1), (0, 1, 2)]);
-        assert_eq!(reduce_graph(&g).unwrap_err(), NotSimpleError);
-        assert_eq!(reduce_graph_parallel(&g).unwrap_err(), NotSimpleError);
+        assert_eq!(reduce_graph(g.view()).unwrap_err(), NotSimpleError);
+        assert_eq!(reduce_graph_parallel(g.view()).unwrap_err(), NotSimpleError);
         let g = CsrGraph::from_edges(2, &[(0, 0, 1), (0, 1, 2)]);
-        assert_eq!(reduce_graph(&g).unwrap_err(), NotSimpleError);
+        assert_eq!(reduce_graph(g.view()).unwrap_err(), NotSimpleError);
     }
 }
 
@@ -518,7 +518,7 @@ mod tests {
 ///
 /// # Errors
 /// Returns [`NotSimpleError`] under the same conditions as [`reduce_graph`].
-pub fn reduce_graph_parallel(g: &CsrGraph) -> Result<ReducedGraph, NotSimpleError> {
+pub fn reduce_graph_parallel(g: CsrView<'_>) -> Result<ReducedGraph, NotSimpleError> {
     use rayon::prelude::*;
 
     if !g.is_simple() {
@@ -641,7 +641,7 @@ pub fn reduce_graph_parallel(g: &CsrGraph) -> Result<ReducedGraph, NotSimpleErro
 /// Side-effect-free chain walk (no shared visited map): a degree-2 interior
 /// uniquely determines the continuation, so the walk needs no marking.
 fn walk_chain_pure(
-    g: &CsrGraph,
+    g: CsrView<'_>,
     anchor: &[bool],
     a: VertexId,
     first: VertexId,
@@ -682,8 +682,8 @@ mod parallel_tests {
     use super::*;
 
     fn assert_identical(g: &CsrGraph) {
-        let a = reduce_graph(g).unwrap();
-        let b = reduce_graph_parallel(g).unwrap();
+        let a = reduce_graph(g.view()).unwrap();
+        let b = reduce_graph_parallel(g.view()).unwrap();
         assert_eq!(a.retained, b.retained);
         assert_eq!(a.to_reduced, b.to_reduced);
         assert_eq!(a.reduced.edges(), b.reduced.edges());

@@ -1,6 +1,8 @@
 //! Compressed-sparse-row storage for undirected weighted multigraphs.
 
+use crate::layout::NodeOrder;
 use crate::types::{Edge, EdgeId, VertexId, Weight};
+use crate::view::CsrView;
 
 /// An immutable undirected weighted multigraph in CSR form.
 ///
@@ -26,6 +28,9 @@ pub struct CsrGraph {
     edges: Vec<Edge>,
     offsets: Vec<u32>,
     adj: Vec<(VertexId, EdgeId)>,
+    /// Per-incidence weights, parallel to `adj` — relaxation loops stream
+    /// this alongside the adjacency instead of gathering `edges[e].w`.
+    adj_weights: Vec<Weight>,
 }
 
 impl CsrGraph {
@@ -57,13 +62,19 @@ impl CsrGraph {
         }
         let offsets = deg;
         let mut cursor = offsets.clone();
-        let mut adj = vec![(0u32, 0u32); *offsets.last().unwrap_or(&0) as usize];
+        let adj_len = *offsets.last().unwrap_or(&0) as usize;
+        let mut adj = vec![(0u32, 0u32); adj_len];
+        let mut adj_weights = vec![0 as Weight; adj_len];
         for (idx, e) in edges.iter().enumerate() {
             let id = idx as EdgeId;
-            adj[cursor[e.u as usize] as usize] = (e.v, id);
+            let cu = cursor[e.u as usize] as usize;
+            adj[cu] = (e.v, id);
+            adj_weights[cu] = e.w;
             cursor[e.u as usize] += 1;
             if !e.is_self_loop() {
-                adj[cursor[e.v as usize] as usize] = (e.u, id);
+                let cv = cursor[e.v as usize] as usize;
+                adj[cv] = (e.u, id);
+                adj_weights[cv] = e.w;
                 cursor[e.v as usize] += 1;
             }
         }
@@ -72,6 +83,7 @@ impl CsrGraph {
             edges,
             offsets,
             adj,
+            adj_weights,
         }
     }
 
@@ -111,6 +123,50 @@ impl CsrGraph {
         let lo = self.offsets[v as usize] as usize;
         let hi = self.offsets[v as usize + 1] as usize;
         &self.adj[lo..hi]
+    }
+
+    /// Incidence list of `v` together with the parallel per-incidence
+    /// weight slice — the relaxation loops' streaming access path.
+    #[inline]
+    pub fn incidences(&self, v: VertexId) -> (&[(VertexId, EdgeId)], &[Weight]) {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        (&self.adj[lo..hi], &self.adj_weights[lo..hi])
+    }
+
+    /// A zero-copy [`CsrView`] of the whole graph — the borrowed currency
+    /// every solver in the suite traverses.
+    #[inline]
+    pub fn view(&self) -> CsrView<'_> {
+        CsrView::from_raw_unchecked(
+            self.n,
+            &self.offsets,
+            &self.adj,
+            &self.adj_weights,
+            &self.edges,
+        )
+    }
+
+    /// Rebuilds the graph with vertex `v` stored at position
+    /// `order.rank(v)`. Edge records keep their list order (edge ids are
+    /// stable); only endpoints are renamed, so the result is the same
+    /// multigraph under the bijection and [`NodeOrder::node`] maps
+    /// per-vertex results back. Records the rebuild time in the
+    /// `graph.layout.reorder_ns` counter.
+    ///
+    /// # Panics
+    /// Panics if `order.n() != self.n()`.
+    pub fn permute(&self, order: &NodeOrder) -> CsrGraph {
+        assert_eq!(order.n(), self.n, "order must cover every vertex");
+        let t0 = std::time::Instant::now();
+        let edges: Vec<Edge> = self
+            .edges
+            .iter()
+            .map(|e| Edge::new(order.rank(e.u), order.rank(e.v), e.w))
+            .collect();
+        let g = CsrGraph::from_edge_records(self.n, edges);
+        ear_obs::counter_add("graph.layout.reorder_ns", t0.elapsed().as_nanos() as u64);
+        g
     }
 
     /// Incidence-list length of `v` (self-loops counted once).
@@ -262,5 +318,47 @@ mod tests {
     #[test]
     fn total_weight_sums_all_edges() {
         assert_eq!(triangle().total_weight(), 6);
+    }
+
+    #[test]
+    fn incidences_stream_matches_edge_gather() {
+        let g = CsrGraph::from_edges(3, &[(0, 1, 4), (0, 1, 9), (1, 1, 7), (1, 2, 2)]);
+        for v in 0..g.n() as u32 {
+            let (adj, wts) = g.incidences(v);
+            assert_eq!(adj, g.neighbors(v));
+            assert_eq!(wts.len(), adj.len());
+            for (&(_, e), &w) in adj.iter().zip(wts) {
+                assert_eq!(w, g.weight(e));
+            }
+        }
+    }
+
+    #[test]
+    fn permute_renames_endpoints_and_keeps_edge_ids() {
+        let g = CsrGraph::from_edges(4, &[(0, 1, 3), (1, 2, 5), (2, 3, 7), (3, 3, 9)]);
+        let order = crate::layout::NodeOrder::from_rank(vec![3, 1, 0, 2]);
+        let p = g.permute(&order);
+        assert_eq!(p.n(), g.n());
+        assert_eq!(p.m(), g.m());
+        for (id, e) in g.edges().iter().enumerate() {
+            let pe = p.edge(id as u32);
+            assert_eq!(pe.u, order.rank(e.u));
+            assert_eq!(pe.v, order.rank(e.v));
+            assert_eq!(pe.w, e.w);
+        }
+        // Degrees transport through the bijection.
+        for v in 0..g.n() as u32 {
+            assert_eq!(p.degree(order.rank(v)), g.degree(v));
+        }
+    }
+
+    #[test]
+    fn identity_permute_is_a_fixpoint() {
+        let g = triangle();
+        let p = g.permute(&crate::layout::NodeOrder::identity(g.n()));
+        assert_eq!(p.edges(), g.edges());
+        for v in 0..g.n() as u32 {
+            assert_eq!(p.neighbors(v), g.neighbors(v));
+        }
     }
 }

@@ -20,6 +20,18 @@
 //!   (thread-local slot backed by a global free list), so the hot
 //!   `kernel-per-source` loops in `ear-apsp` / `ear-mcb` / `ear-bc` reuse
 //!   scratch even when the executor spawns fresh worker threads per batch.
+//! * **Dial bucket queue for the large-graph regime** — once a block
+//!   outgrows [`DIAL_MIN_N`] vertices, the heap's random `pos[]` writes
+//!   and sift chains are the dominant cache-miss source. When every edge
+//!   weight fits the bucket range (`1..DIAL_BUCKETS`), the engine swaps
+//!   the heap for a circular array of [`DIAL_BUCKETS`] distance buckets:
+//!   pushes append to a sequential `Vec`, pops drain one bucket at a
+//!   time, and a [`DIAL_BUCKETS`]-bit occupancy mask skips empty buckets
+//!   with word-level scans.
+//!   Draining each bucket in ascending vertex order replicates the
+//!   heap's `(dist, vertex)` pop order *exactly* (with strictly positive
+//!   weights, no relaxation from a distance-`d` vertex can create
+//!   another distance-`d` entry), so the fast path stays bit-identical.
 //!
 //! Results are **bit-identical** to the legacy free functions
 //! ([`crate::dijkstra::legacy`]): the lazy-deletion heap always pops the
@@ -28,7 +40,8 @@
 //! every distance, parent choice, and statistic — is the same. The
 //! deterministic `(distance, vertex, edge)` parent tie-break is shared
 //! verbatim. `heap_pushes` counts every strictly-improving relaxation even
-//! when it is implemented as a decrease-key rather than a push.
+//! when it is implemented as a decrease-key or a bucket append rather
+//! than a push.
 
 use std::cell::RefCell;
 use std::sync::Mutex;
@@ -36,6 +49,7 @@ use std::sync::Mutex;
 use crate::csr::CsrGraph;
 use crate::dijkstra::{tie_prefers, DijkstraStats, SsspTree};
 use crate::types::{EdgeId, VertexId, Weight, INF};
+use crate::view::CsrView;
 
 /// `pos` sentinel: touched this generation but not currently in the heap
 /// (either settled-and-popped is tracked by [`SETTLED`], or never pushed —
@@ -43,6 +57,21 @@ use crate::types::{EdgeId, VertexId, Weight, INF};
 const NOT_IN_HEAP: u32 = u32::MAX;
 /// `pos` sentinel: settled (popped from the heap) this generation.
 const SETTLED: u32 = u32::MAX - 1;
+
+/// Below this vertex count the indexed heap wins: the whole working set is
+/// cache-resident, so the bucket array's footprint and the per-run weight
+/// scan cost more than the heap's sifts save.
+pub const DIAL_MIN_N: usize = 256;
+/// Bucket count of the Dial fast path (power of two). Tentative distances
+/// span at most `max_weight <= DIAL_BUCKETS - 1` above the settling
+/// distance, so `d % DIAL_BUCKETS` is collision-free and the occupancy
+/// mask is a fixed 128 words. The range is sized for *reduced* blocks,
+/// not just raw ones: chain contraction re-weights a reduced edge to the
+/// whole chain's weight sum, so blocks that left the reducer carry
+/// weights far above the raw generator range, and a single over-range
+/// edge would otherwise push an entire block back onto the heap.
+pub const DIAL_BUCKETS: usize = 8192;
+const DIAL_MASK_WORDS: usize = DIAL_BUCKETS / 64;
 
 /// Per-vertex hot state, packed so one relaxation touches one cache line
 /// instead of three separate arrays.
@@ -88,6 +117,13 @@ pub struct SsspEngine {
     /// The 4-ary heap: `(dist, vertex)` entries, keys inline for
     /// cache-local comparisons.
     heap: Vec<(Weight, VertexId)>,
+    /// Dial fast path: `buckets[d % DIAL_BUCKETS]` holds vertices whose
+    /// tentative distance is `d`. Lazily sized to [`DIAL_BUCKETS`] on the
+    /// first bucket run; always fully drained (empty) between runs.
+    buckets: Vec<Vec<VertexId>>,
+    /// Occupancy bit per bucket, so advancing past empty buckets costs a
+    /// word scan instead of a per-bucket probe.
+    bucket_live: [u64; DIAL_MASK_WORDS],
     /// Every vertex written this run (superset of `order`).
     touched: Vec<VertexId>,
     /// Settle order of the most recent run (non-decreasing distance).
@@ -112,6 +148,8 @@ impl SsspEngine {
             state: Vec::new(),
             parent: Vec::new(),
             heap: Vec::new(),
+            buckets: Vec::new(),
+            bucket_live: [0; DIAL_MASK_WORDS],
             touched: Vec::new(),
             order: Vec::new(),
             stats: DijkstraStats::default(),
@@ -145,12 +183,23 @@ impl SsspEngine {
     /// Distances-only run (no parent bookkeeping). Returns the run's
     /// operation counters.
     pub fn run(&mut self, g: &CsrGraph, source: VertexId) -> DijkstraStats {
-        self.run_inner::<false>(g, source)
+        self.run_inner::<false>(g.view(), source)
     }
 
     /// Full shortest-path-tree run with the deterministic
     /// `(distance, vertex, edge)` parent tie-break.
     pub fn run_tree(&mut self, g: &CsrGraph, source: VertexId) -> DijkstraStats {
+        self.run_inner::<true>(g.view(), source)
+    }
+
+    /// [`run`](Self::run) on a borrowed [`CsrView`] (whole graph or arena
+    /// block window) — the same code path, so results are bit-identical.
+    pub fn run_view(&mut self, g: CsrView<'_>, source: VertexId) -> DijkstraStats {
+        self.run_inner::<false>(g, source)
+    }
+
+    /// [`run_tree`](Self::run_tree) on a borrowed [`CsrView`].
+    pub fn run_tree_view(&mut self, g: CsrView<'_>, source: VertexId) -> DijkstraStats {
         self.run_inner::<true>(g, source)
     }
 
@@ -158,7 +207,7 @@ impl SsspEngine {
     // per-edge tree branches at all.
     fn run_inner<const WANT_TREE: bool>(
         &mut self,
-        g: &CsrGraph,
+        g: CsrView<'_>,
         source: VertexId,
     ) -> DijkstraStats {
         let _span = ear_obs::span_with("sssp.run", source as u64);
@@ -203,7 +252,42 @@ impl SsspEngine {
             };
         }
         self.touched.push(source);
-        self.heap_insert(0, source);
+
+        let (edges_relaxed, heap_pushes) = if self.bucket_eligible(g) {
+            self.run_buckets::<WANT_TREE>(g)
+        } else {
+            self.run_heap::<WANT_TREE>(g)
+        };
+        self.stats.settled = self.order.len() as u64;
+        self.stats.edges_relaxed = edges_relaxed;
+        self.stats.heap_pushes = heap_pushes;
+        if ear_obs::is_enabled() {
+            ear_obs::counter_add("sssp.runs", 1);
+            ear_obs::counter_add("sssp.settled", self.stats.settled);
+            ear_obs::counter_add("sssp.edges_relaxed", edges_relaxed);
+            ear_obs::counter_add("sssp.heap_pushes", heap_pushes);
+            ear_obs::histogram_record("sssp.settled_per_run", self.stats.settled);
+        }
+        self.stats
+    }
+
+    /// True when this run should take the Dial bucket path: the graph is
+    /// big enough that the heap's random accesses dominate, and every
+    /// weight is strictly positive and below the bucket span (one
+    /// sequential pass over the incidence weight window; the `w - 1`
+    /// wrap sends zero weights to `u64::MAX`, excluding them).
+    #[inline]
+    fn bucket_eligible(&self, g: CsrView<'_>) -> bool {
+        g.n() > DIAL_MIN_N
+            && g.incidence_weights()
+                .iter()
+                .all(|&w| w.wrapping_sub(1) < (DIAL_BUCKETS - 1) as u64)
+    }
+
+    /// The indexed-heap main loop (the general path: any weights, any
+    /// size). Assumes the prologue has seeded `state[source]`.
+    fn run_heap<const WANT_TREE: bool>(&mut self, g: CsrView<'_>) -> (u64, u64) {
+        self.heap_insert(0, self.source);
 
         // Counters live in locals so the optimiser keeps them in registers
         // across the loop body (incrementing through `&mut self` would
@@ -219,12 +303,16 @@ impl SsspEngine {
             } else {
                 0
             };
-            for &(v, e) in g.neighbors(u) {
+            let (adj, wts) = g.incidences(u);
+            for (&(v, e), &w) in adj.iter().zip(wts) {
                 edges_relaxed += 1;
                 if v == u {
                     continue; // self-loops never improve a distance
                 }
-                let nd = du + g.weight(e);
+                // `w == g.weight(e)` by the parallel-slice invariant; the
+                // zipped stream replaces a random 16-byte `edges[e]` gather
+                // per relaxation.
+                let nd = du + w;
                 let vi = v as usize;
                 // The resting invariant (untouched reads as INF /
                 // NOT_IN_HEAP) makes this the same single data-dependent
@@ -270,21 +358,120 @@ impl SsspEngine {
                 }
             }
         }
-        self.stats.settled = self.order.len() as u64;
-        self.stats.edges_relaxed = edges_relaxed;
-        self.stats.heap_pushes = heap_pushes;
-        if ear_obs::is_enabled() {
-            ear_obs::counter_add("sssp.runs", 1);
-            ear_obs::counter_add("sssp.settled", self.stats.settled);
-            ear_obs::counter_add("sssp.edges_relaxed", edges_relaxed);
-            ear_obs::counter_add("sssp.heap_pushes", heap_pushes);
-            ear_obs::histogram_record("sssp.settled_per_run", self.stats.settled);
+        (edges_relaxed, heap_pushes)
+    }
+
+    /// The Dial bucket-queue main loop. Bit-identical to [`run_heap`]
+    /// (see the module docs for the settle-order argument): every bucket
+    /// is drained in ascending vertex order, and with strictly positive
+    /// weights no relaxation from the settling distance can feed the
+    /// bucket currently draining.
+    ///
+    /// [`run_heap`]: Self::run_heap
+    fn run_buckets<const WANT_TREE: bool>(&mut self, g: CsrView<'_>) -> (u64, u64) {
+        if self.buckets.is_empty() {
+            self.buckets = vec![Vec::new(); DIAL_BUCKETS];
         }
-        self.stats
+        let gen = self.gen;
+        let mut edges_relaxed = 0u64;
+        let mut heap_pushes = 0u64;
+        // Total entries across all buckets, stale ones included — the
+        // loop terminates exactly when the circular array is empty, which
+        // also restores the "all buckets drained" resting invariant.
+        let mut entries = 1usize;
+        self.buckets[0].push(self.source);
+        self.bucket_live[0] |= 1;
+        let mut cur_i = 0usize;
+        let mut cur_d: Weight = 0;
+        while entries > 0 {
+            let idx = self.next_live_bucket(cur_i);
+            cur_d += ((idx + DIAL_BUCKETS - cur_i) % DIAL_BUCKETS) as Weight;
+            cur_i = idx;
+            self.bucket_live[idx / 64] &= !(1u64 << (idx % 64));
+            let mut bucket = std::mem::take(&mut self.buckets[idx]);
+            entries -= bucket.len();
+            // Ascending vertex order within one distance replicates the
+            // heap's (dist, vertex) pop order. A vertex appears at most
+            // once per bucket (an equal-distance relaxation is not
+            // strictly better), so the sort never reorders duplicates.
+            bucket.sort_unstable();
+            for &u in &bucket {
+                let ui = u as usize;
+                let st_u = self.state[ui];
+                if st_u.pos == SETTLED || st_u.dist != cur_d {
+                    continue; // superseded: improved into an earlier bucket
+                }
+                self.state[ui].pos = SETTLED;
+                self.order.push(u);
+                let u_depth = if WANT_TREE { self.parent[ui].depth } else { 0 };
+                let (adj, wts) = g.incidences(u);
+                for (&(v, e), &w) in adj.iter().zip(wts) {
+                    edges_relaxed += 1;
+                    if v == u {
+                        continue; // self-loops never improve a distance
+                    }
+                    let nd = cur_d + w;
+                    let vi = v as usize;
+                    let st = self.state[vi];
+                    let strictly_better = nd < st.dist;
+                    // Same tie handling as the heap loop; see the
+                    // comments there.
+                    let tie_better = WANT_TREE && nd == st.dist && st.pos != SETTLED && {
+                        let (pv, pe) = if st.stamp == gen {
+                            let p = self.parent[vi];
+                            (p.vertex, p.edge)
+                        } else {
+                            (u32::MAX, u32::MAX)
+                        };
+                        tie_prefers(u, e, pv, pe)
+                    };
+                    if strictly_better || tie_better {
+                        if st.stamp != gen {
+                            self.state[vi].stamp = gen;
+                            self.touched.push(v);
+                        }
+                        self.state[vi].dist = nd;
+                        if WANT_TREE {
+                            self.parent[vi] = ParentState {
+                                vertex: u,
+                                edge: e,
+                                depth: u_depth + 1,
+                            };
+                        }
+                        if strictly_better {
+                            let b = (nd % DIAL_BUCKETS as Weight) as usize;
+                            self.buckets[b].push(v);
+                            self.bucket_live[b / 64] |= 1u64 << (b % 64);
+                            entries += 1;
+                            heap_pushes += 1;
+                        }
+                    }
+                }
+            }
+            bucket.clear();
+            self.buckets[idx] = bucket;
+        }
+        (edges_relaxed, heap_pushes)
+    }
+
+    /// Index of the first occupied bucket at or (circularly) after
+    /// `start`. Only called while `entries > 0`, so some bit is set.
+    #[inline]
+    fn next_live_bucket(&self, start: usize) -> usize {
+        let mut wi = start / 64;
+        let mut m = self.bucket_live[wi] & (!0u64 << (start % 64));
+        loop {
+            if m != 0 {
+                return wi * 64 + m.trailing_zeros() as usize;
+            }
+            wi = (wi + 1) % DIAL_MASK_WORDS;
+            m = self.bucket_live[wi];
+        }
     }
 
     /// Distance to `v` from the most recent run's source (`INF` when
     /// unreachable or out of range).
+    #[inline]
     pub fn dist(&self, v: VertexId) -> Weight {
         let vi = v as usize;
         if vi < self.n && self.state[vi].stamp == self.gen {
@@ -308,6 +495,18 @@ impl SsspEngine {
     /// were popped, i.e. non-decreasing distance.
     pub fn settle_order(&self) -> &[VertexId] {
         &self.order
+    }
+
+    /// Every vertex the most recent run wrote (a superset of
+    /// [`settle_order`](Self::settle_order)), in first-touch order.
+    pub fn touched(&self) -> &[VertexId] {
+        &self.touched
+    }
+
+    /// True iff `v` was settled (popped) by the most recent run.
+    pub fn is_settled(&self, v: VertexId) -> bool {
+        let vi = v as usize;
+        vi < self.n && self.state[vi].stamp == self.gen && self.state[vi].pos == SETTLED
     }
 
     /// Parent vertex of `v` in the most recent tree run (`u32::MAX` at the
@@ -335,6 +534,7 @@ impl SsspEngine {
     }
 
     /// Operation counters of the most recent run.
+    #[inline]
     pub fn stats(&self) -> DijkstraStats {
         self.stats
     }
@@ -634,6 +834,102 @@ mod tests {
             e.dist_vec()
         });
         assert_eq!(d0, d0_again);
+    }
+
+    /// Deterministic multigraph (parallel edges and self-loops possible)
+    /// from a splitmix-style LCG — big enough to cross [`DIAL_MIN_N`].
+    fn random_graph(n: usize, m: usize, wmax: u64, seed: u64) -> CsrGraph {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            s >> 33
+        };
+        let edges: Vec<(u32, u32, Weight)> = (0..m)
+            .map(|_| {
+                (
+                    (next() % n as u64) as u32,
+                    (next() % n as u64) as u32,
+                    1 + next() % wmax,
+                )
+            })
+            .collect();
+        CsrGraph::from_edges(n, &edges)
+    }
+
+    fn assert_matches_legacy(g: &CsrGraph, sources: &[u32]) {
+        let mut e = SsspEngine::new();
+        for &s in sources {
+            let stats = e.run(g, s);
+            let (ld, ls) = legacy::dijkstra_with_stats(g, s);
+            assert_eq!(e.dist_vec(), ld, "dist mismatch from source {s}");
+            assert_eq!(stats, ls, "stats mismatch from source {s}");
+            e.run_tree(g, s);
+            let mine = e.tree();
+            let theirs = legacy::dijkstra_tree(g, s);
+            assert_eq!(mine.dist, theirs.dist);
+            assert_eq!(mine.parent_vertex, theirs.parent_vertex);
+            assert_eq!(mine.parent_edge, theirs.parent_edge);
+            assert_eq!(mine.depths, theirs.depths);
+            assert_eq!(mine.settle_order, theirs.settle_order);
+            assert_eq!(mine.stats, theirs.stats);
+        }
+    }
+
+    #[test]
+    fn bucket_path_matches_legacy_at_scale() {
+        // n > DIAL_MIN_N with in-range weights selects the Dial path;
+        // distances, trees, settle order, and stats stay bit-identical.
+        let g = random_graph(400, 1600, 100, 99);
+        assert_matches_legacy(&g, &[0, 7, 399]);
+    }
+
+    #[test]
+    fn bucket_path_handles_equal_weight_ties() {
+        // Unit weights maximise equal-distance buckets, stressing the
+        // ascending-vertex drain order and the parent tie-break.
+        let g = random_graph(300, 2400, 1, 5);
+        assert_matches_legacy(&g, &[0, 123, 299]);
+    }
+
+    #[test]
+    fn bucket_wraparound_on_long_paths() {
+        // A path of near-maximal weights makes distances wrap the
+        // circular bucket array hundreds of times.
+        let edges: Vec<(u32, u32, Weight)> = (0..499u32)
+            .map(|i| (i, i + 1, DIAL_BUCKETS as Weight - 2))
+            .collect();
+        let g = CsrGraph::from_edges(500, &edges);
+        assert_matches_legacy(&g, &[0, 250]);
+    }
+
+    #[test]
+    fn wide_weights_fall_back_to_the_heap() {
+        // A single weight at or above DIAL_BUCKETS keeps the whole run on
+        // the heap path — same results either way.
+        let mut edges: Vec<(u32, u32, Weight)> = (0..499u32).map(|i| (i, i + 1, 3)).collect();
+        edges.push((0, 499, DIAL_BUCKETS as Weight + 7));
+        let g = CsrGraph::from_edges(500, &edges);
+        assert_matches_legacy(&g, &[0, 499]);
+    }
+
+    #[test]
+    fn bucket_and_heap_runs_interleave_on_one_engine() {
+        // The same engine must flip between paths without state leaking:
+        // buckets stay drained, heap stays cleared, stamps stay valid.
+        let dial = random_graph(320, 1200, 50, 11);
+        let heap = random_graph(320, 1200, 5000, 12);
+        let small = diamond();
+        let mut e = SsspEngine::new();
+        for s in [0u32, 31, 64] {
+            e.run(&dial, s);
+            assert_eq!(e.dist_vec(), legacy::dijkstra(&dial, s));
+            e.run(&heap, s);
+            assert_eq!(e.dist_vec(), legacy::dijkstra(&heap, s));
+            e.run(&small, s % 4);
+            assert_eq!(e.dist_vec(), legacy::dijkstra(&small, s % 4));
+        }
     }
 
     #[test]

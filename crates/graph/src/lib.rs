@@ -22,26 +22,35 @@
 //!   forests) are instrumented with operation counters that the
 //!   heterogeneous cost model in `ear-hetero` consumes.
 
+pub mod arena;
 pub mod builder;
 pub mod csr;
 pub mod dijkstra;
 pub mod engine;
 pub mod io;
+pub mod layout;
 pub mod multi;
 pub mod spanning;
 pub mod subgraph;
 pub mod traverse;
 pub mod types;
+pub mod view;
 
+pub use arena::{CsrArena, CsrSpan};
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
 pub use dijkstra::{dijkstra, dijkstra_tree, dijkstra_with_stats, DijkstraStats, SsspTree};
 pub use engine::{with_engine, SsspEngine};
-pub use multi::{lane_batches, with_multi_engine, LaneMask, MultiSsspEngine, SsspMode, LANES};
+pub use layout::{LayoutMode, NodeOrder};
+pub use multi::{
+    lane_batches, with_multi_engine, BatchPolicy, LaneMask, MultiSsspEngine, SsspMode, LANES,
+    MAX_BATCH_VERTICES, MIN_BATCH_VERTICES,
+};
 pub use spanning::{non_tree_edges, spanning_forest, tree_edge_flags};
 pub use subgraph::{
-    edge_subgraph, edge_subgraph_reusing, induced_subgraph, CompactSubgraphMap, SubgraphMap,
-    SubgraphScratch,
+    edge_subgraph, edge_subgraph_into_arena, edge_subgraph_reusing, induced_subgraph,
+    CompactSubgraphMap, SubgraphMap, SubgraphScratch,
 };
 pub use traverse::{bfs, bfs_tree, connected_components, BfsTree, Components};
 pub use types::{dist_add, Edge, EdgeId, VertexId, Weight, INF};
+pub use view::CsrView;

@@ -22,10 +22,20 @@
 //!   heaps ([`SCAN_CUTOFF`]) to keep the asymptotics of the scalar
 //!   engine. Both pop the minimum `(dist, vertex)` per lane, so both are
 //!   bit-identical to [`crate::engine::SsspEngine`].
-//! * **Scalar fallback for stragglers** — single-source batches,
-//!   duplicate sources within a batch, and tiny graphs run through an
-//!   owned scalar engine and are copied into the lanes, so the query
-//!   surface is uniform regardless of which path executed.
+//! * **Delegated scalar fallback** — single-source batches, duplicate
+//!   sources within a batch, and tiny graphs run through per-lane owned
+//!   scalar engines with queries forwarded, so the query surface is
+//!   uniform regardless of which path executed. [`BatchPolicy::Auto`]
+//!   (the default) currently delegates *every* batch this way: measured
+//!   across the bench block profiles, the lockstep paths trail the
+//!   per-lane scalar engines at every block size (see the policy docs),
+//!   so the lockstep loop is opt-in via [`BatchPolicy::Lanes`]. One level
+//!   up, batched-mode *dispatch* skips the lane engine entirely for
+//!   blocks narrower than [`MIN_BATCH_VERTICES`], where even the minimal
+//!   per-batch shell is a double-digit fraction of a scalar run, and for
+//!   blocks wider than [`MAX_BATCH_VERTICES`], where the lanes' aggregate
+//!   scratch footprint outgrows the last-level cache a single pooled
+//!   engine would stay warm in.
 //!
 //! Every lane is an *independent, conforming* Dijkstra: it pops the
 //! minimum `(dist, vertex)` among its touched-unsettled vertices and
@@ -42,6 +52,7 @@ use crate::csr::CsrGraph;
 use crate::dijkstra::{tie_prefers, DijkstraStats, SsspTree};
 use crate::engine::SsspEngine;
 use crate::types::{EdgeId, VertexId, Weight, INF};
+use crate::view::CsrView;
 
 /// Distance lanes per batch: one source per lane, one `[Weight; LANES]`
 /// row per vertex. Eight keeps a row exactly one cache line.
@@ -82,6 +93,65 @@ impl SsspMode {
     }
 }
 
+/// How [`MultiSsspEngine`] decides between the lockstep lane loop and the
+/// delegated per-lane scalar fallback.
+///
+/// Correctness-mandatory fallbacks (single-source batches, duplicate
+/// sources, `n <= 2`) apply under every policy; the policy only governs
+/// the discretionary choice.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BatchPolicy {
+    /// Measured dispatch — currently the delegated per-lane scalar
+    /// engines for every batch, the production default.
+    ///
+    /// Calibration over the bench block profiles (`sssp_engine`, all
+    /// families) put the lockstep paths behind the delegation at every
+    /// block size: the shared frontier scan refreshes each lane's
+    /// minimum from the same pass but still pays one `[Weight; LANES]`
+    /// row probe per active lane per round (1.2–2.2× slower than
+    /// per-lane heaps on reduced blocks with `n ≤ 64`), and heap-mode
+    /// lanes pay a `[u32; LANES]`-strided `pos` row per relaxation
+    /// (~1.2× at `n ≈ 256`). Cross-lane scan sharing only amortises when
+    /// lanes co-pop a vertex in the same round, which distinct sources
+    /// almost never do. The delegation *is* the scalar engine (one
+    /// pooled instance per lane, queries forwarded), so batched mode
+    /// tracks scalar mode to within dispatch noise — this is what keeps
+    /// `--batched` within the 0.95× floor on every bench family. This
+    /// variant is the single place to re-admit a lane band if a target
+    /// ever measures one ahead.
+    #[default]
+    Auto,
+    /// Always the lane loop (differential tests pin this to keep both
+    /// lockstep frontier modes covered and bit-identical).
+    Lanes,
+    /// Always the delegated scalar fallback.
+    Fallback,
+}
+
+/// Vertex count below which batched-mode dispatch should not form lane
+/// batches at all. A block narrower than the lane width cannot fill even
+/// one batch, and on such blocks a scalar run costs tens of nanoseconds —
+/// the minimal per-batch dispatch (policy check, source copy, delegated
+/// query indirection) shows up as a double-digit relative cost. Pipelines
+/// compare the block's vertex count against this before calling
+/// [`lane_batches`] and hand smaller blocks to the pooled scalar engine;
+/// the lane engine itself still accepts any batch.
+pub const MIN_BATCH_VERTICES: usize = LANES;
+
+/// Vertex count above which batched-mode dispatch should stop forming
+/// lane batches. The delegated batch keeps [`LANES`] scalar engines live
+/// at once, so its scratch footprint is `LANES ×` the single engine's
+/// ~24 bytes per vertex; past this size the aggregate outgrows the
+/// cache tier that a *single* pooled engine keeps its working set warm
+/// in across back-to-back sources, and the batch measurably trails the
+/// scalar loop (≈0.96× on 15–25 K-vertex blocks, ≈0.92× at 60–100 K)
+/// with no dispatch saving to show for it. The bound sits where the
+/// aggregate lane scratch reaches L2 scale (`LANES × 8 Ki × ~24 B ≈
+/// 1.5 MiB`). As with [`MIN_BATCH_VERTICES`], pipelines check the
+/// block's vertex count and hand oversized blocks to the pooled scalar
+/// engine; the lane engine itself still accepts any batch.
+pub const MAX_BATCH_VERTICES: usize = 8 * 1024;
+
 /// Splits `total` sources into `(start, len)` lane batches of at most
 /// [`LANES`], in source order. The tail batch carries the remainder.
 pub fn lane_batches(total: u32) -> impl Iterator<Item = (u32, u32)> {
@@ -112,7 +182,7 @@ const PARENT_RESTING: ParentLane = ParentLane {
 /// [`tree`](Self::tree), [`stats`](Self::stats)) read the most recent
 /// batch by lane index. Like the scalar engine, scratch grows
 /// monotonically and is reused across graphs of different sizes.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MultiSsspEngine {
     /// Vertex count of the most recent batch's graph.
     n: usize,
@@ -152,19 +222,57 @@ pub struct MultiSsspEngine {
     orders: Vec<Vec<VertexId>>,
     /// Per-lane run counters.
     stats: Vec<DijkstraStats>,
-    /// Owned scalar engine backing the straggler fallback.
-    scalar: SsspEngine,
+    /// Lane-vs-fallback selection; see [`BatchPolicy`].
+    policy: BatchPolicy,
+    /// Owned per-lane scalar engines backing the fallback path. Fallback
+    /// batches run each source on its own engine and every query method
+    /// *delegates* to it — nothing is copied into the lane rows, so the
+    /// fallback costs exactly one scalar run per source. A fixed-size
+    /// array (not a `Vec`) so delegated queries index it without a
+    /// bounds check.
+    scalars: Box<[SsspEngine; LANES]>,
+}
+
+impl Default for MultiSsspEngine {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl MultiSsspEngine {
     /// An empty engine; arrays grow on first use.
     pub fn new() -> Self {
         MultiSsspEngine {
-            heaps: (0..LANES).map(|_| Vec::new()).collect(),
-            orders: (0..LANES).map(|_| Vec::new()).collect(),
+            n: 0,
+            k: 0,
+            sources: [0; LANES],
+            tree_run: false,
+            fallback: false,
+            pos_dirty: false,
+            dist: Vec::new(),
+            touched_mask: Vec::new(),
+            settled_mask: Vec::new(),
+            pos: Vec::new(),
+            parent: Vec::new(),
+            heaps: vec![Vec::new(); LANES],
+            touched: Vec::new(),
+            frontier: Vec::new(),
+            in_frontier: Vec::new(),
+            orders: vec![Vec::new(); LANES],
             stats: vec![DijkstraStats::default(); LANES],
-            ..Default::default()
+            policy: BatchPolicy::default(),
+            scalars: Box::new(std::array::from_fn(|_| SsspEngine::new())),
         }
+    }
+
+    /// Sets the lane-vs-fallback selection policy (sticky across batches).
+    pub fn set_policy(&mut self, policy: BatchPolicy) {
+        self.policy = policy;
+    }
+
+    /// The current [`BatchPolicy`].
+    pub fn policy(&self) -> BatchPolicy {
+        self.policy
     }
 
     /// Grows the scratch arrays to hold `n` vertices (never shrinks). New
@@ -178,60 +286,80 @@ impl MultiSsspEngine {
             self.parent.resize(n, [PARENT_RESTING; LANES]);
             self.in_frontier.resize(n, 0);
         }
-        if self.heaps.is_empty() {
-            // Constructed via `Default` rather than `new`.
-            self.heaps = (0..LANES).map(|_| Vec::new()).collect();
-            self.orders = (0..LANES).map(|_| Vec::new()).collect();
-            self.stats = vec![DijkstraStats::default(); LANES];
-        }
     }
 
     /// Distances-only batch over up to [`LANES`] sources of `g`. Lane `i`
     /// afterwards answers queries for `sources[i]`.
+    #[inline]
     pub fn run_batch(&mut self, g: &CsrGraph, sources: &[VertexId]) {
-        self.run_inner::<false>(g, sources);
+        self.run_inner::<false>(g.view(), sources);
     }
 
     /// Full shortest-path-tree batch with the deterministic
     /// `(distance, vertex, edge)` parent tie-break per lane.
+    #[inline]
     pub fn run_batch_trees(&mut self, g: &CsrGraph, sources: &[VertexId]) {
+        self.run_inner::<true>(g.view(), sources);
+    }
+
+    /// [`run_batch`](Self::run_batch) on a borrowed [`CsrView`] (whole
+    /// graph or arena block window) — same code path, bit-identical.
+    #[inline]
+    pub fn run_batch_view(&mut self, g: CsrView<'_>, sources: &[VertexId]) {
+        self.run_inner::<false>(g, sources);
+    }
+
+    /// [`run_batch_trees`](Self::run_batch_trees) on a borrowed [`CsrView`].
+    #[inline]
+    pub fn run_batch_trees_view(&mut self, g: CsrView<'_>, sources: &[VertexId]) {
         self.run_inner::<true>(g, sources);
     }
 
-    fn run_inner<const WANT_TREE: bool>(&mut self, g: &CsrGraph, sources: &[VertexId]) {
+    // Inlined so the per-batch dispatch shell (policy branch, source
+    // copy, obs tail) fuses into the caller's batch loop; the delegated
+    // fallback then costs k `run_view` calls plus a handful of stores,
+    // which is what keeps `Auto` batches at parity with a hand-written
+    // scalar-engine loop even on 4-vertex reduced blocks.
+    #[inline]
+    fn run_inner<const WANT_TREE: bool>(&mut self, g: CsrView<'_>, sources: &[VertexId]) {
         let k = sources.len();
         assert!(
             (1..=LANES).contains(&k),
             "batch must hold 1..={LANES} sources, got {k}"
         );
         let n = g.n();
-        for &s in sources {
-            assert!((s as usize) < n, "source {s} out of range");
-        }
-        assert!(
-            n <= (u32::MAX - 2) as usize,
-            "graph too large for MultiSsspEngine"
-        );
         let _span = ear_obs::span_with("sssp.multi.batch", k as u64);
-        self.ensure_capacity(n);
-        self.reset();
-        self.n = n;
         self.k = k;
-        self.sources[..k].copy_from_slice(sources);
+        // Hand-rolled copy: `copy_from_slice` on an unknown-length slice
+        // compiles to a `memcpy` call, which costs more than the ≤8
+        // stores it replaces on this per-batch dispatch path.
+        for (dst, &s) in self.sources.iter_mut().zip(sources) {
+            *dst = s;
+        }
         self.tree_run = WANT_TREE;
 
         // Straggler batches — a lone source, duplicate sources sharing a
-        // lane row, or a graph too small to win anything from lanes — run
-        // through the scalar engine and are copied into the lanes, so the
-        // two code paths stay bit-identical by construction.
-        let has_dup = (1..k).any(|i| sources[..i].contains(&sources[i]));
-        self.fallback = k < 2 || n <= 2 || has_dup;
+        // lane row, or a graph too small to win anything from lanes — must
+        // take the scalar path under every policy; `Auto` delegates every
+        // batch there (see its docs for the calibration). The fallback
+        // delegates queries to per-lane scalar engines, so the two code
+        // paths stay bit-identical by construction. The delegated path
+        // never touches the lane-major scratch, so it skips the
+        // capacity/reset work entirely — stale lane rows from an earlier
+        // lockstep batch stay on the `touched` list and are cleared by
+        // the next lockstep batch's reset.
+        self.fallback = match self.policy {
+            BatchPolicy::Auto | BatchPolicy::Fallback => true,
+            BatchPolicy::Lanes => {
+                k < 2 || n <= 2 || (1..k).any(|i| sources[..i].contains(&sources[i]))
+            }
+        };
         if self.fallback {
+            // Source-range checks are the delegated engines' own; nothing
+            // is duplicated on the hot dispatch path.
             self.run_fallback::<WANT_TREE>(g, sources);
-        } else if n <= SCAN_CUTOFF {
-            self.run_lanes::<WANT_TREE, true>(g, sources);
         } else {
-            self.run_lanes::<WANT_TREE, false>(g, sources);
+            self.run_lockstep::<WANT_TREE>(g, sources);
         }
 
         if ear_obs::is_enabled() {
@@ -240,7 +368,7 @@ impl MultiSsspEngine {
             ear_obs::histogram_record("sssp.multi.lane_occupancy", k as u64);
             if self.fallback {
                 // The scalar engine published the per-run `sssp.*` series
-                // itself; only the straggler count is ours to record.
+                // itself; only the delegated-batch count is ours to record.
                 ear_obs::counter_add("sssp.multi.stragglers", 1);
             } else {
                 ear_obs::counter_add("sssp.runs", k as u64);
@@ -281,11 +409,33 @@ impl MultiSsspEngine {
         self.pos_dirty = false;
     }
 
+    /// Lockstep-arm entry: validation, scratch sizing and reset, then the
+    /// lane loop in the frontier mode `n` selects. Deliberately *not*
+    /// inline — it keeps the inlined dispatch shell small.
+    fn run_lockstep<const WANT_TREE: bool>(&mut self, g: CsrView<'_>, sources: &[VertexId]) {
+        let n = g.n();
+        for &s in sources {
+            assert!((s as usize) < n, "source {s} out of range");
+        }
+        assert!(
+            n <= (u32::MAX - 2) as usize,
+            "graph too large for MultiSsspEngine"
+        );
+        self.ensure_capacity(n);
+        self.reset();
+        self.n = n;
+        if n <= SCAN_CUTOFF {
+            self.run_lanes::<WANT_TREE, true>(g, sources);
+        } else {
+            self.run_lanes::<WANT_TREE, false>(g, sources);
+        }
+    }
+
     /// The lockstep lane loop. `SCAN` selects the shared linear frontier
     /// scan (small graphs) or the per-lane indexed 4-ary heaps.
     fn run_lanes<const WANT_TREE: bool, const SCAN: bool>(
         &mut self,
-        g: &CsrGraph,
+        g: CsrView<'_>,
         sources: &[VertexId],
     ) {
         let k = sources.len();
@@ -374,7 +524,7 @@ impl MultiSsspEngine {
                 let u = group_v[gi];
                 let mask = group_mask[gi];
                 let ui = u as usize;
-                let nbrs = g.neighbors(u);
+                let (nbrs, wts) = g.incidences(u);
                 // Every incidence (self-loops included) counts once per
                 // popping lane — the scalar engine's accounting. Lanes are
                 // outermost: their states are independent, so relax order
@@ -393,11 +543,12 @@ impl MultiSsspEngine {
                     } else {
                         0
                     };
-                    for &(v, e) in nbrs {
+                    // `w` streams from the parallel weights window instead
+                    // of a random `edges[e]` gather per relaxation.
+                    for (&(v, e), &w) in nbrs.iter().zip(wts) {
                         if v == u {
                             continue; // self-loops never improve a distance
                         }
-                        let w = g.weight(e);
                         let vi = v as usize;
                         let nd = du + w;
                         let cur = self.dist[vi][lane];
@@ -494,54 +645,18 @@ impl MultiSsspEngine {
         *groups += 1;
     }
 
-    /// Straggler path: one scalar run per source, results copied into the
-    /// lane rows so the query surface is identical to the lane path.
-    fn run_fallback<const WANT_TREE: bool>(&mut self, g: &CsrGraph, sources: &[VertexId]) {
-        for (lane, &s) in sources.iter().enumerate() {
-            let bit = 1u8 << lane;
+    /// Fallback path: one scalar run per source on that lane's owned
+    /// engine. Nothing is copied into the lane rows — the query methods
+    /// delegate to `scalars[lane]` while `fallback` is set — so this path
+    /// costs exactly `k` scalar runs plus dispatch, which is what lets
+    /// [`BatchPolicy::Auto`] hand large graphs to it without regressing
+    /// against the scalar engine.
+    fn run_fallback<const WANT_TREE: bool>(&mut self, g: CsrView<'_>, sources: &[VertexId]) {
+        for (eng, &s) in self.scalars.iter_mut().zip(sources) {
             if WANT_TREE {
-                self.scalar.run_tree(g, s);
+                eng.run_tree_view(g, s);
             } else {
-                self.scalar.run(g, s);
-            }
-            self.stats[lane] = self.scalar.stats();
-            self.orders[lane].clear();
-            self.orders[lane].extend_from_slice(self.scalar.settle_order());
-            for &u in self.scalar.settle_order() {
-                self.settled_mask[u as usize] |= bit;
-            }
-            if WANT_TREE {
-                let t = self.scalar.tree();
-                for (vi, &pv) in t.parent_vertex.iter().enumerate() {
-                    // Touched iff a distance or a parent was recorded (a
-                    // parent can exist at dist INF via the tie branch).
-                    let touched = t.dist[vi] < INF || pv != u32::MAX || vi == s as usize;
-                    if !touched {
-                        continue;
-                    }
-                    if self.touched_mask[vi] == 0 {
-                        self.touched.push(vi as u32);
-                    }
-                    self.touched_mask[vi] |= bit;
-                    self.dist[vi][lane] = t.dist[vi];
-                    self.parent[vi][lane] = ParentLane {
-                        vertex: pv,
-                        edge: t.parent_edge[vi],
-                        depth: t.depths[vi],
-                    };
-                }
-            } else {
-                for vi in 0..g.n() {
-                    let d = self.scalar.dist(vi as u32);
-                    if d >= INF {
-                        continue;
-                    }
-                    if self.touched_mask[vi] == 0 {
-                        self.touched.push(vi as u32);
-                    }
-                    self.touched_mask[vi] |= bit;
-                    self.dist[vi][lane] = d;
-                }
+                eng.run_view(g, s);
             }
         }
     }
@@ -549,25 +664,35 @@ impl MultiSsspEngine {
     // ---- queries over the most recent batch ----
 
     /// Active lanes of the most recent batch.
+    #[inline]
     pub fn k(&self) -> usize {
         self.k
     }
 
     /// Source assigned to `lane` in the most recent batch.
+    #[inline]
     pub fn source(&self, lane: usize) -> VertexId {
         assert!(lane < self.k, "lane {lane} out of range (k = {})", self.k);
         self.sources[lane]
     }
 
     /// True when the most recent batch took the scalar straggler path.
+    #[inline]
     pub fn was_fallback(&self) -> bool {
         self.fallback
     }
 
     /// Distance from lane `lane`'s source to `v` (`INF` when unreachable
     /// or out of range).
+    #[inline]
     pub fn dist(&self, lane: usize, v: VertexId) -> Weight {
         assert!(lane < self.k, "lane {lane} out of range (k = {})", self.k);
+        if self.fallback {
+            // The mask is a no-op (`lane < k <= LANES`) that lets the
+            // compiler drop the bounds check on the fixed-size array —
+            // this read sits in per-vertex result-extraction loops.
+            return self.scalars[lane & (LANES - 1)].dist(v);
+        }
         let vi = v as usize;
         if vi < self.n {
             self.dist[vi][lane]
@@ -580,6 +705,9 @@ impl MultiSsspEngine {
     /// vertices) — bit-identical to the scalar engine's `dist_vec`.
     pub fn dist_vec(&self, lane: usize) -> Vec<Weight> {
         assert!(lane < self.k, "lane {lane} out of range (k = {})", self.k);
+        if self.fallback {
+            return self.scalars[lane].dist_vec();
+        }
         let mut out = vec![INF; self.n];
         for &v in &self.touched {
             out[v as usize] = self.dist[v as usize][lane];
@@ -588,19 +716,35 @@ impl MultiSsspEngine {
     }
 
     /// Operation counters of lane `lane`'s run.
+    #[inline]
     pub fn stats(&self, lane: usize) -> DijkstraStats {
         assert!(lane < self.k, "lane {lane} out of range (k = {})", self.k);
+        if self.fallback {
+            return self.scalars[lane & (LANES - 1)].stats();
+        }
         self.stats[lane]
     }
 
     /// Settle order of lane `lane` (non-decreasing distance pop order).
     pub fn settle_order(&self, lane: usize) -> &[VertexId] {
         assert!(lane < self.k, "lane {lane} out of range (k = {})", self.k);
+        if self.fallback {
+            return self.scalars[lane].settle_order();
+        }
         &self.orders[lane]
     }
 
     /// Lanes that settled `v` in the most recent batch.
     pub fn settled_lanes(&self, v: VertexId) -> LaneMask {
+        if self.fallback {
+            let mut mask = 0u8;
+            for lane in 0..self.k {
+                if self.scalars[lane].is_settled(v) {
+                    mask |= 1 << lane;
+                }
+            }
+            return mask;
+        }
         let vi = v as usize;
         if vi < self.n {
             self.settled_mask[vi] & lane_mask(self.k)
@@ -620,6 +764,9 @@ impl MultiSsspEngine {
             "MultiSsspEngine::tree() requires a preceding run_batch_trees()"
         );
         assert!(lane < self.k, "lane {lane} out of range (k = {})", self.k);
+        if self.fallback {
+            return self.scalars[lane].tree();
+        }
         let bit = 1u8 << lane;
         let n = self.n;
         let mut dist = vec![INF; n];
@@ -845,9 +992,12 @@ mod tests {
 
     #[test]
     fn full_batch_matches_legacy() {
+        // `Lanes` pins the lockstep loop (the default `Auto` delegates to
+        // the scalar engines, which this test would not distinguish).
         let g = theta();
         let sources: Vec<u32> = (0..5).collect();
         let mut me = MultiSsspEngine::new();
+        me.set_policy(BatchPolicy::Lanes);
         me.run_batch(&g, &sources);
         assert!(!me.was_fallback());
         for (lane, &s) in sources.iter().enumerate() {
@@ -860,6 +1010,7 @@ mod tests {
         let g = theta();
         let sources = [4u32, 0, 2];
         let mut me = MultiSsspEngine::new();
+        me.set_policy(BatchPolicy::Lanes);
         me.run_batch_trees(&g, &sources);
         for (lane, &s) in sources.iter().enumerate() {
             assert_eq!(me.tree(lane), legacy::dijkstra_tree(&g, s), "lane {lane}");
@@ -896,6 +1047,7 @@ mod tests {
         let big = CsrGraph::from_edges(6, &[(0, 1, 2), (1, 2, 2), (2, 3, 2), (4, 5, 1)]);
         let small = CsrGraph::from_edges(3, &[(0, 1, 7), (1, 2, 1)]);
         let mut me = MultiSsspEngine::new();
+        me.set_policy(BatchPolicy::Lanes);
         me.run_batch(&big, &[0, 4, 5, 2]);
         for (lane, s) in [0u32, 4, 5, 2].into_iter().enumerate() {
             assert_lane_matches(&big, &me, lane, s);
@@ -912,7 +1064,9 @@ mod tests {
 
     #[test]
     fn heap_mode_on_large_graph_matches() {
-        // A ring with chords, comfortably past SCAN_CUTOFF.
+        // A ring with chords, comfortably past SCAN_CUTOFF. Pinning
+        // `Lanes` keeps the heap-mode lane path covered now that `Auto`
+        // hands graphs this size to the scalar fallback.
         let n = (SCAN_CUTOFF + 40) as u32;
         let mut edges: Vec<(u32, u32, u64)> = (0..n)
             .map(|i| (i, (i + 1) % n, 1 + (i as u64 % 5)))
@@ -922,6 +1076,7 @@ mod tests {
         let g = CsrGraph::from_edges(n as usize, &edges);
         let sources: Vec<u32> = (0..LANES as u32).map(|i| i * 7 % n).collect();
         let mut me = MultiSsspEngine::new();
+        me.set_policy(BatchPolicy::Lanes);
         me.run_batch(&g, &sources);
         assert!(!me.was_fallback());
         for (lane, &s) in sources.iter().enumerate() {
@@ -934,9 +1089,58 @@ mod tests {
     }
 
     #[test]
+    fn auto_policy_delegates_every_batch() {
+        // Small (scan band) and large (heap band) graphs both delegate
+        // under the calibrated default, with the full query surface
+        // forwarded per lane.
+        let small = theta();
+        let n = (SCAN_CUTOFF + 10) as u32;
+        let edges: Vec<(u32, u32, u64)> =
+            (0..n - 1).map(|i| (i, i + 1, 1 + (i as u64 % 3))).collect();
+        let large = CsrGraph::from_edges(n as usize, &edges);
+        let mut me = MultiSsspEngine::new();
+        assert_eq!(me.policy(), BatchPolicy::Auto);
+        for g in [&small, &large] {
+            let sources = [0u32, g.n() as u32 / 3, g.n() as u32 - 1];
+            me.run_batch_trees(g, &sources);
+            assert!(me.was_fallback());
+            for (lane, &s) in sources.iter().enumerate() {
+                assert_lane_matches(g, &me, lane, s);
+                assert_eq!(me.tree(lane), legacy::dijkstra_tree(g, s), "lane {lane}");
+            }
+            // Settled-lane queries delegate per lane.
+            assert_eq!(me.settled_lanes(0), 0b111);
+        }
+    }
+
+    #[test]
+    fn forced_fallback_matches_lanes_on_small_graph() {
+        let g = theta();
+        let sources = [0u32, 2, 4];
+        let mut lanes = MultiSsspEngine::new();
+        lanes.set_policy(BatchPolicy::Lanes);
+        lanes.run_batch_trees(&g, &sources);
+        assert!(!lanes.was_fallback());
+        let mut fb = MultiSsspEngine::new();
+        fb.set_policy(BatchPolicy::Fallback);
+        fb.run_batch_trees(&g, &sources);
+        assert!(fb.was_fallback());
+        for lane in 0..sources.len() {
+            assert_eq!(fb.tree(lane), lanes.tree(lane), "lane {lane}");
+            assert_eq!(fb.stats(lane), lanes.stats(lane), "lane {lane}");
+            assert_eq!(fb.settle_order(lane), lanes.settle_order(lane));
+            assert_eq!(fb.dist_vec(lane), lanes.dist_vec(lane));
+        }
+        for v in 0..g.n() as u32 {
+            assert_eq!(fb.settled_lanes(v), lanes.settled_lanes(v), "vertex {v}");
+        }
+    }
+
+    #[test]
     fn unreachable_lane_is_all_inf() {
         let g = CsrGraph::from_edges(6, &[(0, 1, 1), (1, 2, 1), (3, 4, 1), (4, 5, 2)]);
         let mut me = MultiSsspEngine::new();
+        me.set_policy(BatchPolicy::Lanes);
         me.run_batch(&g, &[0, 3, 2]);
         assert_eq!(me.dist(0, 4), INF);
         assert_eq!(me.dist(1, 0), INF);

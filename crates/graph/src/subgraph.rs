@@ -4,6 +4,7 @@
 //! subgraphs that are processed independently (and in parallel); results are
 //! then translated back through a [`SubgraphMap`].
 
+use crate::arena::{CsrArena, CsrSpan};
 use crate::csr::CsrGraph;
 use crate::types::{EdgeId, VertexId, Weight};
 
@@ -94,11 +95,60 @@ pub fn edge_subgraph_reusing(
     edge_ids: Vec<EdgeId>,
     scratch: &mut SubgraphScratch,
 ) -> (CsrGraph, CompactSubgraphMap) {
+    let mut to_parent_vertex: Vec<VertexId> = Vec::new();
+    intern_edge_list(g, &edge_ids, scratch, &mut to_parent_vertex);
+    let sub = CsrGraph::from_edges(to_parent_vertex.len(), &scratch.list);
+    // Sparse reset: only the entries this extraction wrote.
+    for &p in &to_parent_vertex {
+        scratch.to_local[p as usize] = u32::MAX;
+    }
+    let map = CompactSubgraphMap {
+        to_parent_vertex,
+        to_parent_edge: edge_ids,
+    };
+    (sub, map)
+}
+
+/// [`edge_subgraph_reusing`], but the subgraph is appended to a shared
+/// [`CsrArena`] instead of allocating a standalone [`CsrGraph`]. The
+/// interning (and therefore every local id and the local edge order) is
+/// the same shared core, and [`CsrArena::push`] mirrors
+/// [`CsrGraph::from_edge_records`], so `arena.view(&span)` is bit-identical
+/// to the graph the standalone variant would have built.
+pub fn edge_subgraph_into_arena(
+    g: &CsrGraph,
+    edge_ids: Vec<EdgeId>,
+    scratch: &mut SubgraphScratch,
+    arena: &mut CsrArena,
+) -> (CsrSpan, CompactSubgraphMap) {
+    let mut to_parent_vertex: Vec<VertexId> = Vec::new();
+    intern_edge_list(g, &edge_ids, scratch, &mut to_parent_vertex);
+    let span = arena.push(to_parent_vertex.len(), &scratch.list);
+    for &p in &to_parent_vertex {
+        scratch.to_local[p as usize] = u32::MAX;
+    }
+    let map = CompactSubgraphMap {
+        to_parent_vertex,
+        to_parent_edge: edge_ids,
+    };
+    (span, map)
+}
+
+/// Shared interning core of the extraction functions: stages the local
+/// edge list of `edge_ids` into `scratch.list`, assigning compact local
+/// vertex ids in order of first appearance. Leaves `scratch.to_local`
+/// holding the live `parent -> local` entries; the caller must sparse-reset
+/// them (walking `to_parent_vertex`) when done.
+fn intern_edge_list(
+    g: &CsrGraph,
+    edge_ids: &[EdgeId],
+    scratch: &mut SubgraphScratch,
+    to_parent_vertex: &mut Vec<VertexId>,
+) {
     if scratch.to_local.len() < g.n() {
         scratch.to_local.resize(g.n(), u32::MAX);
     }
     let to_local = &mut scratch.to_local;
-    let mut to_parent_vertex: Vec<VertexId> = Vec::new();
     scratch.list.clear();
     let intern = |v: VertexId, to_local: &mut [u32], to_parent: &mut Vec<u32>| {
         if to_local[v as usize] == u32::MAX {
@@ -107,22 +157,12 @@ pub fn edge_subgraph_reusing(
         }
         to_local[v as usize]
     };
-    for &e in &edge_ids {
+    for &e in edge_ids {
         let r = g.edge(e);
-        let lu = intern(r.u, to_local, &mut to_parent_vertex);
-        let lv = intern(r.v, to_local, &mut to_parent_vertex);
+        let lu = intern(r.u, to_local, to_parent_vertex);
+        let lv = intern(r.v, to_local, to_parent_vertex);
         scratch.list.push((lu, lv, r.w));
     }
-    let sub = CsrGraph::from_edges(to_parent_vertex.len(), &scratch.list);
-    // Sparse reset: only the entries this extraction wrote.
-    for &p in &to_parent_vertex {
-        to_local[p as usize] = u32::MAX;
-    }
-    let map = CompactSubgraphMap {
-        to_parent_vertex,
-        to_parent_edge: edge_ids,
-    };
-    (sub, map)
 }
 
 /// Extracts the subgraph spanned by `edge_ids` (vertices are those incident
@@ -149,7 +189,12 @@ pub fn edge_subgraph(g: &CsrGraph, edge_ids: &[EdgeId]) -> (CsrGraph, SubgraphMa
 }
 
 /// Extracts the subgraph induced by a vertex set: all edges of `g` whose
-/// endpoints are both in `vertices`.
+/// endpoints are both in `vertices`, plus the isolated members of
+/// `vertices`, which take the trailing local ids in caller order.
+///
+/// Built directly on the [`edge_subgraph_reusing`] interning core: the
+/// isolated members are appended to the vertex table *before* the single
+/// CSR construction, so there is no rebuild and no edge-id-list copy.
 pub fn induced_subgraph(g: &CsrGraph, vertices: &[VertexId]) -> (CsrGraph, SubgraphMap) {
     let mut inset = vec![false; g.n()];
     for &v in vertices {
@@ -161,22 +206,23 @@ pub fn induced_subgraph(g: &CsrGraph, vertices: &[VertexId]) -> (CsrGraph, Subgr
             inset[r.u as usize] && inset[r.v as usize]
         })
         .collect();
-    // Use edge_subgraph for the heavy lifting, then append isolated members
-    // of `vertices` so the induced subgraph keeps its full vertex set.
-    let (sub, mut map) = edge_subgraph(g, &keep);
-    let mut extra = Vec::new();
+    let mut scratch = SubgraphScratch::new();
+    let mut to_parent_vertex: Vec<VertexId> = Vec::new();
+    intern_edge_list(g, &keep, &mut scratch, &mut to_parent_vertex);
     for &v in vertices {
-        if map.to_local_vertex[v as usize] == u32::MAX {
-            map.to_local_vertex[v as usize] = (map.to_parent_vertex.len() + extra.len()) as u32;
-            extra.push(v);
+        if scratch.to_local[v as usize] == u32::MAX {
+            scratch.to_local[v as usize] = to_parent_vertex.len() as u32;
+            to_parent_vertex.push(v);
         }
     }
-    if extra.is_empty() {
-        return (sub, map);
-    }
-    map.to_parent_vertex.extend_from_slice(&extra);
-    let list: Vec<_> = sub.edges().iter().map(|e| (e.u, e.v, e.w)).collect();
-    let sub = CsrGraph::from_edges(map.to_parent_vertex.len(), &list);
+    let sub = CsrGraph::from_edges(to_parent_vertex.len(), &scratch.list);
+    // `scratch.to_local` already holds exactly this subgraph's dense map
+    // (parent-sized, `u32::MAX` outside the vertex set): hand it out.
+    let map = SubgraphMap {
+        to_parent_vertex,
+        to_parent_edge: keep,
+        to_local_vertex: scratch.to_local,
+    };
     (sub, map)
 }
 
@@ -250,6 +296,39 @@ mod tests {
             assert_eq!(map_a.to_parent_vertex, map_b.to_parent_vertex);
             assert_eq!(map_b.to_parent_edge, ids);
         }
+    }
+
+    #[test]
+    fn arena_extraction_matches_standalone() {
+        let g = square_with_diagonal();
+        let mut scratch = SubgraphScratch::new();
+        let mut arena = CsrArena::new();
+        for ids in [vec![1, 2], vec![4, 0], vec![0, 1, 2, 3, 4], vec![3]] {
+            let (sub, map) = edge_subgraph_reusing(&g, ids.clone(), &mut scratch);
+            let (span, amap) = edge_subgraph_into_arena(&g, ids, &mut scratch, &mut arena);
+            let v = arena.view(&span);
+            assert_eq!(v.n(), sub.n());
+            assert_eq!(v.edges(), sub.edges());
+            for u in 0..sub.n() as u32 {
+                assert_eq!(v.neighbors(u), sub.neighbors(u));
+            }
+            assert_eq!(amap.to_parent_vertex, map.to_parent_vertex);
+            assert_eq!(amap.to_parent_edge, map.to_parent_edge);
+        }
+        assert!(scratch.to_local.iter().all(|&l| l == u32::MAX));
+    }
+
+    #[test]
+    fn induced_subgraph_orders_edges_then_isolated() {
+        // Local ids: first appearance along kept edges, then isolated
+        // members in caller order.
+        let g = CsrGraph::from_edges(5, &[(3, 1, 1), (1, 0, 2), (2, 4, 5)]);
+        let (sub, map) = induced_subgraph(&g, &[4, 0, 1, 3]);
+        assert_eq!(sub.m(), 2); // (3,1) and (1,0)
+        assert_eq!(map.to_parent_vertex, vec![3, 1, 0, 4]);
+        assert_eq!(map.local(4), Some(3));
+        assert_eq!(map.local(2), None);
+        assert_eq!(sub.degree(3), 0);
     }
 
     #[test]

@@ -204,8 +204,7 @@ fn run_blocks(
     for b in plan.blocks_by_size_desc() {
         let b = b as u32;
         let bp = plan.block(b);
-        let sub = &bp.sub;
-        if sub.m() < sub.n() {
+        if bp.m() < bp.n() {
             continue; // a bridge (tree block): no cycles
         }
         let _block_span = ear_obs::span_with("mcb.block", b as u64);
@@ -222,6 +221,17 @@ fn run_blocks(
                 cycles.push(remap_cycle(g, &parent_cs, &bp.to_parent_edge, sub_edges));
             }
         } else {
+            // De Pina needs owned storage; copied plans lend the block
+            // directly, viewed plans materialize it (the escape hatch is
+            // bit-identical to the copied block by construction).
+            let owned;
+            let sub = match &bp.sub {
+                Some(sub) => sub,
+                None => {
+                    owned = plan.block_graph(b).materialize();
+                    &owned
+                }
+            };
             let (basis_s, t) = depina_mcb_traced(sub, &opts);
             trace.merge(t);
             for c in basis_s {

@@ -35,7 +35,9 @@ use ear_apsp::matrix::DistMatrix;
 use ear_apsp::oracle::DistanceOracle;
 use ear_decomp::plan::DecompPlan;
 use ear_decomp::reduce::{reduce_graph, ReducedGraph};
-use ear_graph::{connected_components, dijkstra, edge_subgraph, CsrGraph, VertexId, Weight, INF};
+use ear_graph::{
+    connected_components, dijkstra, edge_subgraph, CsrGraph, LayoutMode, VertexId, Weight, INF,
+};
 use ear_hetero::executor::ExecutionReport;
 use ear_mcb::cycle_space::{Cycle, CycleSpace};
 
@@ -181,7 +183,7 @@ pub fn reduction_invariants(g: &CsrGraph) -> Result<(), String> {
         return Err("reduction_invariants needs a simple graph".into());
     }
     let r: ReducedGraph =
-        reduce_graph(g).map_err(|e| format!("reduce_graph rejected a simple graph: {e}"))?;
+        reduce_graph(g.view()).map_err(|e| format!("reduce_graph rejected a simple graph: {e}"))?;
 
     // 1. Edge partition: every original edge is owned by exactly one
     //    reduced edge's expansion.
@@ -347,13 +349,16 @@ pub fn plan_invariants(g: &CsrGraph, plan: &DecompPlan) -> Result<(), String> {
         }
     }
 
-    // 3. Simplicity flags and reduction presence are honest.
+    // 3. Simplicity flags and reduction presence are honest (checked
+    //    through the layout-independent view accessor, so viewed plans are
+    //    held to the same standard as copied ones).
     for (b, bp) in plan.blocks().iter().enumerate() {
-        if bp.simple != bp.sub.is_simple() {
+        let bg = plan.block_graph(b as u32);
+        if bp.simple != bg.is_simple() {
             return Err(format!(
                 "block {b}: simple flag {} but is_simple() = {}",
                 bp.simple,
-                bp.sub.is_simple()
+                bg.is_simple()
             ));
         }
         if bp.simple != bp.reduction.is_some() {
@@ -371,15 +376,16 @@ pub fn plan_invariants(g: &CsrGraph, plan: &DecompPlan) -> Result<(), String> {
     for (b, bp) in plan.blocks().iter().enumerate() {
         let (sub, _) = edge_subgraph(g, &bp.to_parent_edge);
         let sub_edges: Vec<_> = sub.edges().iter().map(|e| (e.u, e.v, e.w)).collect();
-        let bp_edges: Vec<_> = bp.sub.edges().iter().map(|e| (e.u, e.v, e.w)).collect();
+        let bg = plan.block_graph(b as u32);
+        let bp_edges: Vec<_> = bg.edges().iter().map(|e| (e.u, e.v, e.w)).collect();
         if sub_edges != bp_edges {
             return Err(format!(
                 "block {b}: stored subgraph differs from extraction"
             ));
         }
         let Some(r) = &bp.reduction else { continue };
-        let fresh =
-            reduce_graph(&sub).map_err(|e| format!("block {b}: fresh reduce_graph failed: {e}"))?;
+        let fresh = reduce_graph(sub.view())
+            .map_err(|e| format!("block {b}: fresh reduce_graph failed: {e}"))?;
         if r.retained != fresh.retained
             || r.to_reduced != fresh.to_reduced
             || r.chains.len() != fresh.chains.len()
@@ -400,6 +406,154 @@ pub fn plan_invariants(g: &CsrGraph, plan: &DecompPlan) -> Result<(), String> {
         if re != fe {
             return Err(format!(
                 "block {b}: stored reduced graph differs from fresh run"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Checks the cache-aware layout artifacts of a [`DecompPlan`] built from
+/// `g`: the locality [`NodeOrder`](ear_graph::NodeOrder) is a bijection
+/// that clusters each block's home vertices into a contiguous rank range
+/// (blocks in id order, isolated vertices last), and the block storage is
+/// honest for the plan's [`LayoutMode`] — copied plans own one standalone
+/// graph per block and no arena, viewed plans own no per-block graphs and
+/// their spans tile the shared arena exactly once with no gaps or
+/// overlaps.
+pub fn layout_invariants(g: &CsrGraph, plan: &DecompPlan) -> Result<(), String> {
+    // 1. The order is a bijection on the vertex set: rank and node arrays
+    //    are mutually inverse over 0..n.
+    let order = plan.node_order();
+    if order.n() != g.n() {
+        return Err(format!(
+            "node order covers {} vertices, graph has {}",
+            order.n(),
+            g.n()
+        ));
+    }
+    for v in 0..g.n() as u32 {
+        let r = order.rank(v);
+        if r as usize >= g.n() || order.node(r) != v {
+            return Err(format!(
+                "order not a bijection: rank({v}) = {r}, node({r}) = {}",
+                order.node(r)
+            ));
+        }
+    }
+
+    // 2. BCC clustering: block b's home vertices (first block claiming
+    //    them, in local-id order) occupy the next contiguous rank range;
+    //    isolated vertices close out the order.
+    let bct = plan.bct();
+    let mut next = 0u32;
+    let mut seen = vec![false; g.n()];
+    for (b, bp) in plan.blocks().iter().enumerate() {
+        for &p in &bp.to_parent_vertex {
+            if bct.vertex_block[p as usize] == b as u32 && !seen[p as usize] {
+                seen[p as usize] = true;
+                if order.rank(p) != next {
+                    return Err(format!(
+                        "block {b}: home vertex {p} has rank {} but the clustered order wants {next}",
+                        order.rank(p)
+                    ));
+                }
+                next += 1;
+            }
+        }
+    }
+    for v in 0..g.n() as u32 {
+        if !seen[v as usize] && order.rank(v) < next {
+            return Err(format!(
+                "isolated vertex {v} ranked {} inside the block ranges (< {next})",
+                order.rank(v)
+            ));
+        }
+    }
+
+    // 3. Storage honesty per layout mode.
+    match plan.layout() {
+        LayoutMode::Copied => {
+            for (b, bp) in plan.blocks().iter().enumerate() {
+                if bp.sub.is_none() {
+                    return Err(format!("copied plan: block {b} has no owned subgraph"));
+                }
+            }
+            if plan.arena_bytes() != 0 || !plan.spans().is_empty() {
+                return Err(format!(
+                    "copied plan carries arena storage: {} bytes, {} spans",
+                    plan.arena_bytes(),
+                    plan.spans().len()
+                ));
+            }
+        }
+        LayoutMode::Viewed => {
+            for (b, bp) in plan.blocks().iter().enumerate() {
+                if bp.sub.is_some() {
+                    return Err(format!("viewed plan: block {b} owns a per-block copy"));
+                }
+            }
+            if plan.spans().len() != plan.n_blocks() {
+                return Err(format!(
+                    "viewed plan has {} spans for {} blocks",
+                    plan.spans().len(),
+                    plan.n_blocks()
+                ));
+            }
+            // The spans tile the arena arrays exactly once, in block order:
+            // each window starts where the previous one ended, and the last
+            // ends at the arena's high-water mark.
+            let arena = plan.arena();
+            let (mut off, mut adj, mut edge) = (0u32, 0u32, 0u32);
+            for (b, s) in plan.spans().iter().enumerate() {
+                let bp = plan.block(b as u32);
+                if s.n as usize != bp.n() || s.m as usize != bp.m() {
+                    return Err(format!(
+                        "span {b} is {}x{} but the block plan says {}x{}",
+                        s.n,
+                        s.m,
+                        bp.n(),
+                        bp.m()
+                    ));
+                }
+                if s.off != off || s.adj != adj || s.edge != edge {
+                    return Err(format!(
+                        "span {b} windows ({}, {}, {}) leave a gap or overlap after ({off}, {adj}, {edge})",
+                        s.off, s.adj, s.edge
+                    ));
+                }
+                off += s.n + 1;
+                adj += s.adj_len;
+                edge += s.m;
+            }
+            if off as usize != arena.offsets_len()
+                || adj as usize != arena.adj_len()
+                || edge as usize != arena.edges_len()
+            {
+                return Err(format!(
+                    "spans cover ({off}, {adj}, {edge}) of the arena's ({}, {}, {})",
+                    arena.offsets_len(),
+                    arena.adj_len(),
+                    arena.edges_len()
+                ));
+            }
+            if plan.n_blocks() > 0 && plan.arena_bytes() == 0 {
+                return Err("viewed plan with blocks reports zero arena bytes".into());
+            }
+        }
+    }
+
+    // 4. The layout-independent accessor serves windows whose dimensions
+    //    match the block plans in both modes.
+    for b in 0..plan.n_blocks() as u32 {
+        let bg = plan.block_graph(b);
+        let bp = plan.block(b);
+        if bg.n() != bp.n() || bg.m() != bp.m() {
+            return Err(format!(
+                "block_graph({b}) is {}x{} but the block plan says {}x{}",
+                bg.n(),
+                bg.m(),
+                bp.n(),
+                bp.m()
             ));
         }
     }

@@ -45,8 +45,10 @@ fn main() {
     println!("biconnected components: {}", plan.n_blocks());
     println!("articulation points:    {:?}", plan.bct().aps);
     let largest = plan.blocks_by_size_desc()[0] as u32;
-    let block = &plan.block(largest).sub;
-    match ear_decomposition(block) {
+    // block_graph works for both block layouts; materialize for the
+    // owned-graph ear-decomposition API.
+    let block = plan.block_graph(largest).materialize();
+    match ear_decomposition(&block) {
         Ok(d) => {
             println!("largest block has {} ears:", d.ears.len());
             for (i, ear) in d.ears.iter().enumerate() {

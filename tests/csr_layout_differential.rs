@@ -1,0 +1,315 @@
+//! Differential acceptance suite for the cache-aware graph layout.
+//!
+//! The layout work makes two claims and this suite pins both across every
+//! testkit graph family:
+//!
+//! 1. **Permutation invariance** — relabeling vertices with a
+//!    [`NodeOrder`] (DFS pre-order or the plan's BCC-clustered order) and
+//!    solving on the permuted graph yields bit-identical answers once
+//!    mapped back through the inverse: Dijkstra distance vectors, APSP
+//!    oracle tables, MCB weight/dimension, and the permutation-invariant
+//!    engine counters (`settled`, `edges_relaxed`).
+//! 2. **Viewed ≡ Copied** — a `DecompPlan` built with
+//!    `LayoutMode::Viewed` (zero-copy arena windows) is indistinguishable
+//!    from one built with `LayoutMode::Copied` (per-block rebuilt CSRs)
+//!    to every consumer: same blocks, same reductions, same oracle
+//!    tables, same MCB basis, and both satisfy
+//!    `ear_testkit::invariants::layout_invariants`.
+
+use std::sync::Arc;
+
+use ear_apsp::{build_oracle_with_plan, ApspMethod, ReducedOracle};
+use ear_decomp::plan::DecompPlan;
+use ear_graph::{dijkstra, LayoutMode, NodeOrder, SsspEngine};
+use ear_hetero::HeteroExecutor;
+use ear_mcb::{mcb, mcb_with_plan, ExecMode, McbConfig};
+use ear_testkit::invariants::{layout_invariants, plan_invariants};
+use ear_testkit::{
+    biconnected_graphs, cactus_graphs, chain_heavy_graphs, forall, multi_bcc_graphs, multigraphs,
+    simple_graphs, workload_graphs, GraphStrategy,
+};
+
+/// Every strategy family the testkit ships, in one list.
+fn families() -> Vec<(&'static str, GraphStrategy)> {
+    vec![
+        ("simple", simple_graphs(14)),
+        ("multigraph", multigraphs(12)),
+        ("biconnected", biconnected_graphs(12)),
+        ("chain_heavy", chain_heavy_graphs(30)),
+        ("cactus", cactus_graphs(16)),
+        ("multi_bcc", multi_bcc_graphs(16)),
+        ("workload", workload_graphs(40)),
+    ]
+}
+
+/// Both layout modes satisfy the structural plan invariants and the
+/// layout-specific ones (order bijection, contiguous block ranges, exact
+/// arena tiling) on every family.
+#[test]
+fn layout_invariants_hold_on_every_family() {
+    for (name, strat) in families() {
+        forall(format!("layout_invariants/{name}").leak())
+            .cases(16)
+            .run(&strat, |g| {
+                for mode in [LayoutMode::Copied, LayoutMode::Viewed] {
+                    let plan = DecompPlan::build_with_layout(g, mode);
+                    plan_invariants(g, &plan)?;
+                    layout_invariants(g, &plan)?;
+                }
+                Ok(())
+            });
+    }
+}
+
+/// A viewed plan's blocks, reductions and node order are term-for-term
+/// identical to a copied plan's.
+#[test]
+fn viewed_plan_is_bit_identical_to_copied() {
+    for (name, strat) in families() {
+        forall(format!("viewed_vs_copied/{name}").leak())
+            .cases(16)
+            .run(&strat, |g| {
+                let c = DecompPlan::build_with_layout(g, LayoutMode::Copied);
+                let v = DecompPlan::build_with_layout(g, LayoutMode::Viewed);
+                if c.node_order().ranks() != v.node_order().ranks() {
+                    return Err("node orders diverge across layouts".into());
+                }
+                if c.n_blocks() != v.n_blocks() {
+                    return Err("block counts diverge across layouts".into());
+                }
+                for b in 0..c.n_blocks() as u32 {
+                    let (cg, vg) = (c.block_graph(b), v.block_graph(b));
+                    if cg.edges() != vg.edges() {
+                        return Err(format!("block {b}: edge records diverge"));
+                    }
+                    for u in 0..cg.n() as u32 {
+                        if cg.incidences(u) != vg.incidences(u) {
+                            return Err(format!("block {b}: adjacency of {u} diverges"));
+                        }
+                    }
+                    match (c.reduction(b), v.reduction(b)) {
+                        (None, None) => {}
+                        (Some(cr), Some(vr)) => {
+                            if cr.retained != vr.retained
+                                || cr.reduced.edges() != vr.reduced.edges()
+                            {
+                                return Err(format!("block {b}: reductions diverge"));
+                            }
+                        }
+                        _ => return Err(format!("block {b}: reduction presence diverges")),
+                    }
+                }
+                Ok(())
+            });
+    }
+}
+
+/// Dijkstra from every source on a permuted graph maps back to the
+/// unpermuted distance vector exactly, and the permutation-invariant
+/// engine counters (`settled` = component size, `edges_relaxed` = settled
+/// degree sum) are unchanged. Exercises both DFS pre-order and the plan's
+/// BCC-clustered order.
+#[test]
+fn sssp_is_permutation_invariant() {
+    for (name, strat) in families() {
+        forall(format!("sssp_permutation/{name}").leak())
+            .cases(12)
+            .run(&strat, |g| {
+                let orders = [
+                    NodeOrder::dfs_preorder(g),
+                    DecompPlan::build(g).node_order().clone(),
+                ];
+                for order in &orders {
+                    let p = g.permute(order);
+                    if p.n() != g.n() || p.m() != g.m() {
+                        return Err("permute changed the graph size".into());
+                    }
+                    for s in 0..g.n() as u32 {
+                        let mut eng = SsspEngine::new();
+                        let base_stats = eng.run(g, s);
+                        let base = eng.dist_vec();
+                        let perm_stats = eng.run(&p, order.rank(s));
+                        let mapped = order.unpermute(&eng.dist_vec());
+                        if mapped != base {
+                            return Err(format!("source {s}: distances diverge under permutation"));
+                        }
+                        if base_stats.settled != perm_stats.settled
+                            || base_stats.edges_relaxed != perm_stats.edges_relaxed
+                        {
+                            return Err(format!(
+                                "source {s}: invariant counters diverge: settled {}/{} relaxed {}/{}",
+                                base_stats.settled,
+                                perm_stats.settled,
+                                base_stats.edges_relaxed,
+                                perm_stats.edges_relaxed
+                            ));
+                        }
+                    }
+                }
+                Ok(())
+            });
+    }
+}
+
+/// The inverse mapping is exact: permuting then reading every pairwise
+/// distance through `rank` matches the plain `dijkstra` on the original.
+#[test]
+fn permute_round_trips_through_rank_and_node() {
+    for (name, strat) in families() {
+        forall(format!("permute_roundtrip/{name}").leak())
+            .cases(12)
+            .run(&strat, |g| {
+                let order = NodeOrder::dfs_preorder(g);
+                let p = g.permute(&order);
+                // rank∘node and node∘rank are both the identity.
+                for v in 0..g.n() as u32 {
+                    if order.node(order.rank(v)) != v {
+                        return Err(format!("rank/node not inverse at {v}"));
+                    }
+                }
+                // Edge ids are stable: edge e of `p` joins the ranks of the
+                // endpoints edge e of `g` joins, at the same weight.
+                for (e, (pe, ge)) in p.edges().iter().zip(g.edges()).enumerate() {
+                    let want = (order.rank(ge.u), order.rank(ge.v), ge.w);
+                    if (pe.u, pe.v, pe.w) != want {
+                        return Err(format!("edge {e} not relabeled in place"));
+                    }
+                }
+                for s in 0..g.n().min(6) as u32 {
+                    let base = dijkstra(g, s);
+                    let perm = dijkstra(&p, order.rank(s));
+                    for v in 0..g.n() as u32 {
+                        if perm[order.rank(v) as usize] != base[v as usize] {
+                            return Err(format!("d({s},{v}) diverges under permutation"));
+                        }
+                    }
+                }
+                Ok(())
+            });
+    }
+}
+
+/// APSP oracles built under both layout modes agree with each other and
+/// with an oracle built on the permuted graph (read back through `rank`).
+#[test]
+fn oracle_is_layout_and_permutation_invariant() {
+    for (name, strat) in families() {
+        forall(format!("oracle_layout/{name}").leak())
+            .cases(8)
+            .run(&strat, |g| {
+                let exec = HeteroExecutor::sequential();
+                let copied = build_oracle_with_plan(
+                    Arc::new(DecompPlan::build_with_layout(g, LayoutMode::Copied)),
+                    &exec,
+                    ApspMethod::Ear,
+                );
+                let viewed = build_oracle_with_plan(
+                    Arc::new(DecompPlan::build_with_layout(g, LayoutMode::Viewed)),
+                    &exec,
+                    ApspMethod::Ear,
+                );
+                let order = copied.plan().node_order().clone();
+                let p = g.permute(&order);
+                let permuted = build_oracle_with_plan(
+                    Arc::new(DecompPlan::build_with_layout(&p, LayoutMode::Viewed)),
+                    &exec,
+                    ApspMethod::Ear,
+                );
+                for u in 0..g.n() as u32 {
+                    for v in 0..g.n() as u32 {
+                        let a = copied.dist(u, v);
+                        if viewed.dist(u, v) != a {
+                            return Err(format!("dist({u},{v}): viewed oracle diverges"));
+                        }
+                        if permuted.dist(order.rank(u), order.rank(v)) != a {
+                            return Err(format!("dist({u},{v}): permuted oracle diverges"));
+                        }
+                    }
+                }
+                Ok(())
+            });
+    }
+}
+
+/// The reduced oracle answers identically under both layout modes.
+#[test]
+fn reduced_oracle_is_layout_invariant() {
+    for (name, strat) in families() {
+        forall(format!("reduced_oracle_layout/{name}").leak())
+            .cases(8)
+            .run(&strat, |g| {
+                let exec = HeteroExecutor::sequential();
+                let c = ReducedOracle::build_with_plan(
+                    Arc::new(DecompPlan::build_with_layout(g, LayoutMode::Copied)),
+                    &exec,
+                );
+                let v = ReducedOracle::build_with_plan(
+                    Arc::new(DecompPlan::build_with_layout(g, LayoutMode::Viewed)),
+                    &exec,
+                );
+                if c.table_entries() != v.table_entries() {
+                    return Err("table_entries diverge across layouts".into());
+                }
+                for a in 0..g.n() as u32 {
+                    for b in 0..g.n() as u32 {
+                        if c.dist(a, b) != v.dist(a, b) {
+                            return Err(format!("dist({a},{b}) diverges across layouts"));
+                        }
+                    }
+                }
+                Ok(())
+            });
+    }
+}
+
+/// The MCB pipeline returns the same basis, cycle for cycle, under both
+/// layout modes, and the basis weight/dimension survive vertex
+/// permutation (edge ids are stable, so the cycles themselves map 1:1).
+#[test]
+fn mcb_is_layout_and_permutation_invariant() {
+    for (name, strat) in families() {
+        if name == "multigraph" {
+            continue; // `mcb` documents a simple-graph contract.
+        }
+        forall(format!("mcb_layout/{name}").leak())
+            .cases(8)
+            .run(&strat, |g| {
+                if !g.is_simple() {
+                    return Ok(());
+                }
+                let config = McbConfig {
+                    mode: ExecMode::Sequential,
+                    use_ear: true,
+                };
+                let c = mcb_with_plan(
+                    g,
+                    &DecompPlan::build_with_layout(g, LayoutMode::Copied),
+                    &config,
+                );
+                let v = mcb_with_plan(
+                    g,
+                    &DecompPlan::build_with_layout(g, LayoutMode::Viewed),
+                    &config,
+                );
+                if c.total_weight != v.total_weight || c.dim != v.dim {
+                    return Err("MCB summary diverges across layouts".into());
+                }
+                for (i, (a, b)) in c.cycles.iter().zip(&v.cycles).enumerate() {
+                    if a.edges != b.edges || a.weight != b.weight {
+                        return Err(format!("cycle {i} diverges across layouts"));
+                    }
+                }
+                // Weight and dimension are graph properties: invariant
+                // under relabeling.
+                let order = NodeOrder::dfs_preorder(g);
+                let pm = mcb(&g.permute(&order), &config);
+                if pm.total_weight != c.total_weight || pm.dim != c.dim {
+                    return Err(format!(
+                        "MCB weight/dim not permutation-invariant: {}/{} vs {}/{}",
+                        pm.total_weight, c.total_weight, pm.dim, c.dim
+                    ));
+                }
+                Ok(())
+            });
+    }
+}

@@ -20,7 +20,9 @@ use std::sync::Arc;
 
 use ear_apsp::{build_oracle_with_plan_mode, ApspMethod, ReducedOracle};
 use ear_decomp::plan::DecompPlan;
-use ear_graph::{lane_batches, CsrGraph, MultiSsspEngine, SsspEngine, SsspMode, INF, LANES};
+use ear_graph::{
+    lane_batches, BatchPolicy, CsrGraph, MultiSsspEngine, SsspEngine, SsspMode, INF, LANES,
+};
 use ear_hetero::HeteroExecutor;
 use ear_testkit::invariants::multi_source_invariants;
 use ear_testkit::{
@@ -131,13 +133,22 @@ fn engine_matches_scalar(
     multi_source_invariants(g, &full)
 }
 
-/// One engine pair shared across a whole family sweep, so stale state from
+/// One engine set shared across a whole family sweep, so stale state from
 /// a previous (differently-sized) graph is part of what is being tested.
+/// Runs every batch under both the pinned lockstep policy (covering both
+/// lane frontier modes) and the default `Auto` policy (the calibrated
+/// delegation the oracle builds ship with).
 fn sweep(name: &'static str, strat: &ear_testkit::GraphStrategy, cases: usize) {
-    let engines = RefCell::new((MultiSsspEngine::new(), SsspEngine::new()));
+    let engines = RefCell::new((
+        MultiSsspEngine::new(),
+        MultiSsspEngine::new(),
+        SsspEngine::new(),
+    ));
+    engines.borrow_mut().0.set_policy(BatchPolicy::Lanes);
     forall(name).cases(cases).run(strat, |g| {
-        let (me, eng) = &mut *engines.borrow_mut();
-        engine_matches_scalar(g, me, eng)
+        let (lanes, auto, eng) = &mut *engines.borrow_mut();
+        engine_matches_scalar(g, lanes, eng)?;
+        engine_matches_scalar(g, auto, eng)
     });
 }
 
@@ -212,6 +223,7 @@ fn multi_matches_scalar_in_heap_mode() {
     let strat = simple_graphs(160);
     let mut rng = TestRng::new(0xb16_b00c);
     let mut me = MultiSsspEngine::new();
+    me.set_policy(BatchPolicy::Lanes);
     let mut eng = SsspEngine::new();
     for case in 0..6 {
         let g = strat.generate(&mut rng);
@@ -232,6 +244,7 @@ fn multi_matches_scalar_in_heap_mode() {
 #[test]
 fn adversarial_blocks_match_scalar() {
     let mut me = MultiSsspEngine::new();
+    me.set_policy(BatchPolicy::Lanes);
     let mut eng = SsspEngine::new();
 
     // Single-vertex block (K=1 is also the minimum batch).
