@@ -111,14 +111,14 @@ pub(crate) fn extend_row(
 ) -> (Vec<Weight>, WorkCounters) {
     let mut row = vec![0; n];
     let mut combos = 0u64;
-    match r.removed[x as usize] {
+    match r.removed_info(x) {
         None => {
             // x survives into G^r: its reduced row answers retained targets
             // directly and removed targets through their two anchors.
             let lx = r.to_reduced[x as usize];
             let sr_row = sr.row(lx);
             for y in 0..n as u32 {
-                row[y as usize] = match r.removed[y as usize] {
+                row[y as usize] = match r.removed_info(y) {
                     None => sr_row[r.to_reduced[y as usize] as usize],
                     Some(iy) => {
                         combos += 2;
@@ -136,7 +136,7 @@ pub(crate) fn extend_row(
                 if y == x {
                     continue; // row[x] already 0
                 }
-                row[y as usize] = match r.removed[y as usize] {
+                row[y as usize] = match r.removed_info(y) {
                     None => {
                         combos += 2;
                         let ly = r.to_reduced[y as usize] as usize;

@@ -86,11 +86,17 @@ impl OracleStats {
 }
 
 /// The queryable distance oracle.
+///
+/// Per-block tables sit behind [`Arc`] so an incremental
+/// [`DistanceOracle::recustomized`] refresh can share the tables of clean
+/// blocks with its parent oracle instead of recomputing (or copying) them.
 #[derive(Debug)]
 pub struct DistanceOracle {
     plan: Arc<DecompPlan>,
-    tables: Vec<DistMatrix>,
-    ap_table: DistMatrix,
+    method: ApspMethod,
+    sssp: SsspMode,
+    tables: Vec<Arc<DistMatrix>>,
+    ap_table: Arc<DistMatrix>,
     stats: OracleStats,
     /// Executor report of the per-block processing phases (II + III).
     pub processing: ExecutionReport,
@@ -102,6 +108,11 @@ impl DistanceOracle {
     /// Structural statistics (Table 1 columns).
     pub fn stats(&self) -> &OracleStats {
         &self.stats
+    }
+
+    /// The per-block method this oracle was built with.
+    pub fn method(&self) -> ApspMethod {
+        self.method
     }
 
     /// The decomposition plan this oracle was built from (shareable with
@@ -202,6 +213,62 @@ impl DistanceOracle {
             }
         }
         m
+    }
+
+    /// Incrementally refreshes the oracle for a recustomized plan: only the
+    /// tables of `plan`'s **dirty blocks** (see
+    /// [`DecompPlan::dirty_blocks`]) are recomputed — phases II and III run
+    /// on exactly those blocks — while every clean block's table is shared
+    /// with `self` via [`Arc::clone`]. The articulation-point table is
+    /// rebuilt whenever any block is dirty (a changed within-block distance
+    /// can reroute AP-to-AP paths globally); a no-op recustomization shares
+    /// it too and runs nothing.
+    ///
+    /// The result is bit-identical to a cold
+    /// [`build_oracle_with_plan_mode`] on `plan` — the differential suite
+    /// holds it to that — at a cost proportional to the dirty blocks'
+    /// share of the graph, not the graph size.
+    ///
+    /// # Panics
+    /// Panics unless `plan` shares this oracle's plan topology (i.e. it
+    /// came from [`DecompPlan::recustomized`] on the same decomposition).
+    pub fn recustomized(&self, plan: Arc<DecompPlan>, exec: &HeteroExecutor) -> DistanceOracle {
+        assert!(
+            self.plan.shares_topology(&plan),
+            "recustomized requires a plan sharing this oracle's topology \
+             (build it with DecompPlan::recustomized)"
+        );
+        let dirty = plan.dirty_blocks().to_vec();
+        let _span = ear_obs::span_with("apsp.refresh", dirty.len() as u64);
+
+        let (fresh, processing) = compute_block_tables(&plan, exec, self.method, self.sssp, &dirty);
+        let mut tables = self.tables.clone();
+        for (&b, t) in dirty.iter().zip(fresh) {
+            tables[b as usize] = Arc::new(t);
+        }
+
+        let (ap_table, ap_phase) = if dirty.is_empty() {
+            (Arc::clone(&self.ap_table), processing.clone())
+        } else {
+            let (t, r) = compute_ap_table(&plan, exec, self.sssp, &tables);
+            (Arc::new(t), r)
+        };
+
+        if ear_obs::is_enabled() {
+            ear_obs::counter_add("apsp.refreshes", 1);
+            ear_obs::counter_add("apsp.refresh.dirty_blocks", dirty.len() as u64);
+        }
+
+        DistanceOracle {
+            plan,
+            method: self.method,
+            sssp: self.sssp,
+            tables,
+            ap_table,
+            stats: self.stats.clone(),
+            processing,
+            ap_phase,
+        }
     }
 
     fn block_dist(&self, block: u32, u: VertexId, v: VertexId) -> Weight {
@@ -351,6 +418,69 @@ pub fn build_oracle_with_plan_mode(
 ) -> DistanceOracle {
     let nb = plan.n_blocks();
     let _build_span = ear_obs::span_with("apsp.build", plan.n() as u64);
+
+    let all: Vec<u32> = (0..nb as u32).collect();
+    let (fresh, processing) = compute_block_tables(&plan, exec, method, sssp, &all);
+    let tables: Vec<Arc<DistMatrix>> = fresh.into_iter().map(Arc::new).collect();
+
+    let (ap_table, ap_phase) = compute_ap_table(&plan, exec, sssp, &tables);
+
+    // Statistics.
+    let a = plan.bct().ap_count();
+    let removed = match method {
+        ApspMethod::Ear => plan.removed_vertices(),
+        ApspMethod::Plain => 0,
+    };
+    let table_entries = (a as u64) * (a as u64)
+        + plan
+            .blocks()
+            .iter()
+            .map(|bp| (bp.n() as u64).pow(2))
+            .sum::<u64>();
+    let stats = OracleStats {
+        n: plan.n(),
+        m: plan.m(),
+        n_bccs: nb,
+        largest_bcc_edge_share: if plan.m() == 0 {
+            0.0
+        } else {
+            plan.largest_block_edges() as f64 / plan.m() as f64
+        },
+        removed_vertices: removed,
+        articulation_points: a,
+        table_entries,
+        max_entries: (plan.n() as u64).pow(2),
+    };
+    if ear_obs::is_enabled() {
+        ear_obs::counter_add("apsp.oracles", 1);
+        ear_obs::counter_add("apsp.table_entries", table_entries);
+        ear_obs::counter_add("apsp.removed_vertices", removed as u64);
+    }
+
+    DistanceOracle {
+        plan,
+        method,
+        sssp,
+        tables,
+        ap_table: Arc::new(ap_table),
+        stats,
+        processing,
+        ap_phase,
+    }
+}
+
+/// Phases II + III for the given `blocks` only: per-block (reduced)
+/// all-sources SSSP, then — in `Ear` mode — the §2.1.3 extension to the
+/// full block. Returns one table per requested block, aligned with
+/// `blocks`, plus the merged executor report. The cold build passes every
+/// block; an incremental refresh passes just the dirty ones.
+fn compute_block_tables(
+    plan: &Arc<DecompPlan>,
+    exec: &HeteroExecutor,
+    method: ApspMethod,
+    sssp: SsspMode,
+    blocks: &[u32],
+) -> (Vec<DistMatrix>, ExecutionReport) {
     // Ear reduction requires simple blocks; a multigraph input's parallel
     // bundles fall back to plain processing for that block. The plan's
     // per-block `reduction` accessor is the single guard.
@@ -358,13 +488,19 @@ pub fn build_oracle_with_plan_mode(
         ApspMethod::Ear => plan.reduction(b),
         ApspMethod::Plain => None,
     };
+    // Position of each requested block in the output vector.
+    let mut pos = vec![usize::MAX; plan.n_blocks()];
+    for (i, &b) in blocks.iter().enumerate() {
+        pos[b as usize] = i;
+    }
 
     // Phase II: workunits are (block, source-range) — one source each in
     // scalar mode, a lane batch of up to LANES consecutive sources in
     // batched mode, so the executor sees fewer, larger units.
     let phase2_span = ear_obs::span("apsp.phase2");
-    let units: Vec<(u32, u32, u32)> = (0..nb as u32)
-        .flat_map(|b| {
+    let units: Vec<(u32, u32, u32)> = blocks
+        .iter()
+        .flat_map(|&b| {
             let srcs = match red(b) {
                 Some(r) => r.reduced.n(),
                 None => plan.block(b).n(),
@@ -397,8 +533,9 @@ pub fn build_oracle_with_plan_mode(
         },
     );
     // Assemble per-block reduced (or full) matrices.
-    let mut srs: Vec<DistMatrix> = (0..nb as u32)
-        .map(|b| match red(b) {
+    let mut srs: Vec<DistMatrix> = blocks
+        .iter()
+        .map(|&b| match red(b) {
             Some(r) => DistMatrix::new(r.reduced.n()),
             None => DistMatrix::new(plan.block(b).n()),
         })
@@ -407,7 +544,7 @@ pub fn build_oracle_with_plan_mode(
         for (i, row) in unit_rows.into_iter().enumerate() {
             let s = start + i as u32;
             for (t, w) in row.into_iter().enumerate() {
-                srs[b as usize].set(s, t as u32, w);
+                srs[pos[b as usize]].set(s, t as u32, w);
             }
         }
     }
@@ -419,8 +556,9 @@ pub fn build_oracle_with_plan_mode(
     let (tables, phase3) = match method {
         ApspMethod::Plain => (srs, None),
         ApspMethod::Ear => {
-            let units: Vec<(u32, u32)> = (0..nb as u32)
-                .flat_map(|b| (0..plan.block(b).n() as u32).map(move |x| (b, x)))
+            let units: Vec<(u32, u32)> = blocks
+                .iter()
+                .flat_map(|&b| (0..plan.block(b).n() as u32).map(move |x| (b, x)))
                 .collect();
             let RunOutput {
                 results: rows,
@@ -429,18 +567,21 @@ pub fn build_oracle_with_plan_mode(
                 units.clone(),
                 |&(b, _)| plan.block(b).n() as u64,
                 |&(b, x)| match red(b) {
-                    Some(r) => crate::ear::extend_row(plan.block(b).n(), r, &srs[b as usize], x),
+                    Some(r) => {
+                        crate::ear::extend_row(plan.block(b).n(), r, &srs[pos[b as usize]], x)
+                    }
                     // Non-simple block processed plainly: its reduced matrix
                     // is already the full per-block table.
-                    None => (srs[b as usize].row(x).to_vec(), Default::default()),
+                    None => (srs[pos[b as usize]].row(x).to_vec(), Default::default()),
                 },
             );
-            let mut tables: Vec<DistMatrix> = (0..nb as u32)
-                .map(|b| DistMatrix::new(plan.block(b).n()))
+            let mut tables: Vec<DistMatrix> = blocks
+                .iter()
+                .map(|&b| DistMatrix::new(plan.block(b).n()))
                 .collect();
             for ((b, x), row) in units.into_iter().zip(rows) {
                 for (t, w) in row.into_iter().enumerate() {
-                    tables[b as usize].set(x, t as u32, w);
+                    tables[pos[b as usize]].set(x, t as u32, w);
                 }
             }
             (tables, Some(report))
@@ -448,8 +589,22 @@ pub fn build_oracle_with_plan_mode(
     };
     drop(phase3_span);
 
-    // Stage 2 post-processing: the AP graph and its all-sources Dijkstra.
-    let ap_span = ear_obs::span("apsp.ap_table");
+    let processing = match phase3 {
+        Some(p3) => merge_reports(phase2, p3),
+        None => phase2,
+    };
+    (tables, processing)
+}
+
+/// Stage 2 post-processing: the AP graph (APs connected within each block
+/// by within-block distances) and its all-sources Dijkstra.
+fn compute_ap_table(
+    plan: &Arc<DecompPlan>,
+    exec: &HeteroExecutor,
+    sssp: SsspMode,
+    tables: &[Arc<DistMatrix>],
+) -> (DistMatrix, ExecutionReport) {
+    let _ap_span = ear_obs::span("apsp.ap_table");
     let bct = plan.bct();
     let a = bct.ap_count();
     let mut ap_edges: Vec<(u32, u32, Weight)> = Vec::new();
@@ -482,51 +637,7 @@ pub fn build_oracle_with_plan_mode(
         |&(start, len)| sssp_unit_rows(ap_graph.view(), start, len, sssp),
     );
     let ap_table = DistMatrix::from_rows(ap_unit_rows.into_iter().flatten().collect());
-    drop(ap_span);
-
-    // Statistics.
-    let removed = match method {
-        ApspMethod::Ear => plan.removed_vertices(),
-        ApspMethod::Plain => 0,
-    };
-    let table_entries = (a as u64) * (a as u64)
-        + plan
-            .blocks()
-            .iter()
-            .map(|bp| (bp.n() as u64).pow(2))
-            .sum::<u64>();
-    let stats = OracleStats {
-        n: plan.n(),
-        m: plan.m(),
-        n_bccs: nb,
-        largest_bcc_edge_share: if plan.m() == 0 {
-            0.0
-        } else {
-            plan.largest_block_edges() as f64 / plan.m() as f64
-        },
-        removed_vertices: removed,
-        articulation_points: a,
-        table_entries,
-        max_entries: (plan.n() as u64).pow(2),
-    };
-    if ear_obs::is_enabled() {
-        ear_obs::counter_add("apsp.oracles", 1);
-        ear_obs::counter_add("apsp.table_entries", table_entries);
-        ear_obs::counter_add("apsp.removed_vertices", removed as u64);
-    }
-
-    let processing = match phase3 {
-        Some(p3) => merge_reports(phase2, p3),
-        None => phase2,
-    };
-    DistanceOracle {
-        plan,
-        tables,
-        ap_table,
-        stats,
-        processing,
-        ap_phase,
-    }
+    (ap_table, ap_phase)
 }
 
 fn merge_reports(mut a: ExecutionReport, b: ExecutionReport) -> ExecutionReport {
@@ -718,6 +829,60 @@ mod tests {
         let a = build_oracle(&g, &HeteroExecutor::sequential(), ApspMethod::Ear);
         let b = build_oracle(&g, &HeteroExecutor::cpu_gpu(), ApspMethod::Ear);
         assert_eq!(a.materialize(), b.materialize());
+    }
+
+    #[test]
+    fn recustomized_oracle_matches_cold_build() {
+        let g = mixed_graph();
+        let exec = HeteroExecutor::sequential();
+        let plan = Arc::new(DecompPlan::build(&g));
+        for method in [ApspMethod::Ear, ApspMethod::Plain] {
+            let oracle = build_oracle_with_plan(Arc::clone(&plan), &exec, method);
+            let mut w: Vec<Weight> = g.edges().iter().map(|e| e.w).collect();
+            w[0] = 50; // triangle block
+            w[4] = 7; // square block
+            let warm_plan = Arc::new(plan.recustomized(&w));
+            let warm = oracle.recustomized(Arc::clone(&warm_plan), &exec);
+            let cold = build_oracle(&g.reweighted(&w), &exec, method);
+            assert_eq!(warm.materialize(), cold.materialize());
+            assert_eq!(warm.stats(), cold.stats());
+            // The refresh only reran the dirty blocks.
+            assert_eq!(warm.processing.total_units(), {
+                let (_, rep) = compute_block_tables(
+                    &warm_plan,
+                    &exec,
+                    method,
+                    warm.sssp,
+                    warm_plan.dirty_blocks(),
+                );
+                rep.total_units()
+            });
+        }
+    }
+
+    #[test]
+    fn noop_refresh_shares_every_table() {
+        let g = mixed_graph();
+        let exec = HeteroExecutor::sequential();
+        let plan = Arc::new(DecompPlan::build(&g));
+        let oracle = build_oracle_with_plan(Arc::clone(&plan), &exec, ApspMethod::Ear);
+        let w: Vec<Weight> = g.edges().iter().map(|e| e.w).collect();
+        let warm = oracle.recustomized(Arc::new(plan.recustomized(&w)), &exec);
+        for (a, b) in oracle.tables.iter().zip(&warm.tables) {
+            assert!(Arc::ptr_eq(a, b));
+        }
+        assert!(Arc::ptr_eq(&oracle.ap_table, &warm.ap_table));
+        assert_eq!(warm.processing.total_units(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sharing this oracle's topology")]
+    fn refresh_rejects_foreign_plan() {
+        let g = mixed_graph();
+        let exec = HeteroExecutor::sequential();
+        let oracle = build_oracle(&g, &exec, ApspMethod::Ear);
+        let foreign = Arc::new(DecompPlan::build(&g));
+        let _ = oracle.recustomized(foreign, &exec);
     }
 
     #[test]

@@ -23,12 +23,17 @@ use crate::matrix::DistMatrix;
 use crate::oracle::{sssp_unit_rows, sssp_units};
 
 /// A distance oracle storing `a² + Σ (nᵢʳ)²` entries.
+///
+/// Per-block reduced tables sit behind [`Arc`] so an incremental
+/// [`ReducedOracle::recustomized`] refresh shares clean blocks' tables
+/// with its parent oracle instead of recomputing them.
 pub struct ReducedOracle {
     plan: Arc<DecompPlan>,
+    sssp: SsspMode,
     /// Per-block distance matrices over the *reduced* (or full, when the
     /// block is not simple) block vertices.
-    srs: Vec<DistMatrix>,
-    ap_table: DistMatrix,
+    srs: Vec<Arc<DistMatrix>>,
+    ap_table: Arc<DistMatrix>,
     /// Executor report of the build (reduced all-sources Dijkstra phase).
     pub processing: ExecutionReport,
 }
@@ -58,82 +63,59 @@ impl ReducedOracle {
         exec: &HeteroExecutor,
         sssp: SsspMode,
     ) -> ReducedOracle {
-        let nb = plan.n_blocks();
-        let mut srs: Vec<DistMatrix> = (0..nb as u32)
-            .map(|b| {
-                let srn = plan
-                    .reduction(b)
-                    .map_or(plan.block(b).n(), |r| r.reduced.n());
-                DistMatrix::new(srn)
-            })
-            .collect();
+        let all: Vec<u32> = (0..plan.n_blocks() as u32).collect();
+        let (fresh, processing) = compute_reduced_tables(&plan, exec, sssp, &all);
+        let srs: Vec<Arc<DistMatrix>> = fresh.into_iter().map(Arc::new).collect();
+        let ap_table = Arc::new(compute_reduced_ap_table(&plan, sssp, &srs));
+        ReducedOracle {
+            plan,
+            sssp,
+            srs,
+            ap_table,
+            processing,
+        }
+    }
 
-        let units: Vec<(u32, u32, u32)> = (0..nb as u32)
-            .flat_map(|b| {
-                let srcs = srs[b as usize].n();
-                sssp_units(srcs as u32, sssp)
-                    .into_iter()
-                    .map(move |(start, len)| (b, start, len))
-            })
-            .collect();
-        let RunOutput {
-            results: rows,
-            report: processing,
-        } = exec.run(
-            units.clone(),
-            |&(b, _, len)| (plan.block(b).m() as u64 + 1) * len as u64,
-            |&(b, start, len)| {
-                let target = match plan.reduction(b) {
-                    Some(r) => r.reduced.view(),
-                    None => plan.block_graph(b),
-                };
-                // Pooled engines: scratch reused across the (block,
-                // source-range) workunits each worker thread handles.
-                sssp_unit_rows(target, start, len, sssp)
-            },
+    /// Incrementally refreshes the oracle for a recustomized plan: the
+    /// reduced all-sources phase reruns only on `plan`'s **dirty blocks**
+    /// (see [`DecompPlan::dirty_blocks`]); clean blocks' tables are shared
+    /// with `self` via [`Arc::clone`]. The AP table is rebuilt whenever any
+    /// block is dirty, and shared on a no-op recustomization.
+    ///
+    /// Bit-identical to a cold [`Self::build_with_plan_mode`] on `plan`;
+    /// cost scales with the dirty blocks' share of the graph.
+    ///
+    /// # Panics
+    /// Panics unless `plan` shares this oracle's plan topology (i.e. it
+    /// came from [`DecompPlan::recustomized`] on the same decomposition).
+    pub fn recustomized(&self, plan: Arc<DecompPlan>, exec: &HeteroExecutor) -> ReducedOracle {
+        assert!(
+            self.plan.shares_topology(&plan),
+            "recustomized requires a plan sharing this oracle's topology \
+             (build it with DecompPlan::recustomized)"
         );
-        for ((b, start, _), unit_rows) in units.into_iter().zip(rows) {
-            for (i, row) in unit_rows.into_iter().enumerate() {
-                let s = start + i as u32;
-                for (t, w) in row.into_iter().enumerate() {
-                    srs[b as usize].set(s, t as u32, w);
-                }
-            }
-        }
+        let dirty = plan.dirty_blocks().to_vec();
+        let _span = ear_obs::span_with("apsp.reduced_refresh", dirty.len() as u64);
 
-        // AP table over the AP graph, with within-block AP distances
-        // answered by the per-query formula (an articulation point can
-        // itself be a degree-2 vertex of its block).
-        let bct = plan.bct();
-        let a = bct.ap_count();
-        let mut ap_edges: Vec<(u32, u32, Weight)> = Vec::new();
-        for (b, aps) in bct.block_aps.iter().enumerate() {
-            for i in 0..aps.len() {
-                for j in i + 1..aps.len() {
-                    let (lu, lv) = (
-                        plan.local(b as u32, aps[i]).unwrap(),
-                        plan.local(b as u32, aps[j]).unwrap(),
-                    );
-                    let w = block_pair_dist(plan.block(b as u32), &srs[b], lu, lv);
-                    if w < INF {
-                        ap_edges.push((
-                            bct.ap_index[aps[i] as usize],
-                            bct.ap_index[aps[j] as usize],
-                            w,
-                        ));
-                    }
-                }
-            }
+        let (fresh, processing) = compute_reduced_tables(&plan, exec, self.sssp, &dirty);
+        let mut srs = self.srs.clone();
+        for (&b, t) in dirty.iter().zip(fresh) {
+            srs[b as usize] = Arc::new(t);
         }
-        let ap_graph = CsrGraph::from_edges(a, &ap_edges);
-        let ap_rows: Vec<Vec<Weight>> = sssp_units(a as u32, sssp)
-            .into_iter()
-            .flat_map(|(start, len)| sssp_unit_rows(ap_graph.view(), start, len, sssp).0)
-            .collect();
-        let ap_table = DistMatrix::from_rows(ap_rows);
+        let ap_table = if dirty.is_empty() {
+            Arc::clone(&self.ap_table)
+        } else {
+            Arc::new(compute_reduced_ap_table(&plan, self.sssp, &srs))
+        };
+
+        if ear_obs::is_enabled() {
+            ear_obs::counter_add("apsp.reduced_refreshes", 1);
+            ear_obs::counter_add("apsp.reduced_refresh.dirty_blocks", dirty.len() as u64);
+        }
 
         ReducedOracle {
             plan,
+            sssp: self.sssp,
             srs,
             ap_table,
             processing,
@@ -201,6 +183,103 @@ impl ReducedOracle {
     }
 }
 
+/// The reduced all-sources Dijkstra phase for the given `blocks` only.
+/// Returns one reduced table per requested block, aligned with `blocks`,
+/// plus the executor report. The cold build passes every block; an
+/// incremental refresh passes just the dirty ones.
+fn compute_reduced_tables(
+    plan: &Arc<DecompPlan>,
+    exec: &HeteroExecutor,
+    sssp: SsspMode,
+    blocks: &[u32],
+) -> (Vec<DistMatrix>, ExecutionReport) {
+    let mut pos = vec![usize::MAX; plan.n_blocks()];
+    for (i, &b) in blocks.iter().enumerate() {
+        pos[b as usize] = i;
+    }
+    let mut srs: Vec<DistMatrix> = blocks
+        .iter()
+        .map(|&b| {
+            let srn = plan
+                .reduction(b)
+                .map_or(plan.block(b).n(), |r| r.reduced.n());
+            DistMatrix::new(srn)
+        })
+        .collect();
+
+    let units: Vec<(u32, u32, u32)> = blocks
+        .iter()
+        .flat_map(|&b| {
+            let srcs = srs[pos[b as usize]].n();
+            sssp_units(srcs as u32, sssp)
+                .into_iter()
+                .map(move |(start, len)| (b, start, len))
+        })
+        .collect();
+    let RunOutput {
+        results: rows,
+        report: processing,
+    } = exec.run(
+        units.clone(),
+        |&(b, _, len)| (plan.block(b).m() as u64 + 1) * len as u64,
+        |&(b, start, len)| {
+            let target = match plan.reduction(b) {
+                Some(r) => r.reduced.view(),
+                None => plan.block_graph(b),
+            };
+            // Pooled engines: scratch reused across the (block,
+            // source-range) workunits each worker thread handles.
+            sssp_unit_rows(target, start, len, sssp)
+        },
+    );
+    for ((b, start, _), unit_rows) in units.into_iter().zip(rows) {
+        for (i, row) in unit_rows.into_iter().enumerate() {
+            let s = start + i as u32;
+            for (t, w) in row.into_iter().enumerate() {
+                srs[pos[b as usize]].set(s, t as u32, w);
+            }
+        }
+    }
+    (srs, processing)
+}
+
+/// AP table over the AP graph, with within-block AP distances answered by
+/// the per-query formula (an articulation point can itself be a degree-2
+/// vertex of its block).
+fn compute_reduced_ap_table(
+    plan: &Arc<DecompPlan>,
+    sssp: SsspMode,
+    srs: &[Arc<DistMatrix>],
+) -> DistMatrix {
+    let bct = plan.bct();
+    let a = bct.ap_count();
+    let mut ap_edges: Vec<(u32, u32, Weight)> = Vec::new();
+    for (b, aps) in bct.block_aps.iter().enumerate() {
+        for i in 0..aps.len() {
+            for j in i + 1..aps.len() {
+                let (lu, lv) = (
+                    plan.local(b as u32, aps[i]).unwrap(),
+                    plan.local(b as u32, aps[j]).unwrap(),
+                );
+                let w = block_pair_dist(plan.block(b as u32), &srs[b], lu, lv);
+                if w < INF {
+                    ap_edges.push((
+                        bct.ap_index[aps[i] as usize],
+                        bct.ap_index[aps[j] as usize],
+                        w,
+                    ));
+                }
+            }
+        }
+    }
+    let ap_graph = CsrGraph::from_edges(a, &ap_edges);
+    let ap_rows: Vec<Vec<Weight>> = sssp_units(a as u32, sssp)
+        .into_iter()
+        .flat_map(|(start, len)| sssp_unit_rows(ap_graph.view(), start, len, sssp).0)
+        .collect();
+    DistMatrix::from_rows(ap_rows)
+}
+
 /// Within-block distance between two block-local vertices, computed from
 /// the reduced table with the paper's §2.1.3 minima.
 fn block_pair_dist(bp: &BlockPlan, sr: &DistMatrix, u: VertexId, v: VertexId) -> Weight {
@@ -210,7 +289,7 @@ fn block_pair_dist(bp: &BlockPlan, sr: &DistMatrix, u: VertexId, v: VertexId) ->
     let Some(r) = &bp.reduction else {
         return sr.get(u, v);
     };
-    match (r.removed[u as usize], r.removed[v as usize]) {
+    match (r.removed_info(u), r.removed_info(v)) {
         (None, None) => sr.get(r.to_reduced[u as usize], r.to_reduced[v as usize]),
         (None, Some(iy)) => {
             let lu = r.to_reduced[u as usize];
@@ -349,5 +428,50 @@ mod tests {
     fn pure_cycle_component() {
         let g = CsrGraph::from_edges(5, &[(0, 1, 1), (1, 2, 2), (2, 3, 3), (3, 4, 4), (4, 0, 5)]);
         check(&g);
+    }
+
+    #[test]
+    fn recustomized_matches_cold_build_and_shares_clean_tables() {
+        // triangle — bridge — square (chained): three blocks.
+        let g = CsrGraph::from_edges(
+            7,
+            &[
+                (0, 1, 2),
+                (1, 2, 3),
+                (2, 0, 4),
+                (2, 3, 5),
+                (3, 4, 1),
+                (4, 5, 2),
+                (5, 6, 3),
+                (6, 3, 4),
+            ],
+        );
+        let exec = HeteroExecutor::sequential();
+        let plan = Arc::new(DecompPlan::build(&g));
+        let ro = ReducedOracle::build_with_plan(Arc::clone(&plan), &exec);
+        let mut w: Vec<Weight> = g.edges().iter().map(|e| e.w).collect();
+        w[0] = 30; // triangle block only
+        let warm_plan = Arc::new(plan.recustomized(&w));
+        let warm = ro.recustomized(Arc::clone(&warm_plan), &exec);
+        let cold = ReducedOracle::build(&g.reweighted(&w), &exec);
+        for u in 0..g.n() as u32 {
+            for v in 0..g.n() as u32 {
+                assert_eq!(warm.dist(u, v), cold.dist(u, v), "({u},{v})");
+            }
+        }
+        assert_eq!(warm.table_entries(), cold.table_entries());
+        // Clean blocks' tables are the parent's allocations.
+        let dirty = warm_plan.dirty_blocks();
+        assert_eq!(dirty.len(), 1);
+        for b in 0..plan.n_blocks() {
+            let shared = Arc::ptr_eq(&ro.srs[b], &warm.srs[b]);
+            assert_eq!(shared, !dirty.contains(&(b as u32)), "block {b}");
+        }
+        // No-op refresh shares everything, including the AP table.
+        let noop = ro.recustomized(Arc::new(plan.recustomized(plan.edge_weights())), &exec);
+        assert!(Arc::ptr_eq(&ro.ap_table, &noop.ap_table));
+        for b in 0..plan.n_blocks() {
+            assert!(Arc::ptr_eq(&ro.srs[b], &noop.srs[b]));
+        }
     }
 }

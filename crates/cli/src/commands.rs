@@ -1,7 +1,9 @@
 //! Subcommand implementations.
 
 use std::sync::Arc;
+use std::time::Instant;
 
+use ear_apsp::build_oracle_with_plan_mode;
 use ear_core::prelude::*;
 use ear_decomp::{ear_decomposition, DecompPlan};
 use ear_mcb::verify_basis;
@@ -373,4 +375,144 @@ pub fn generate(name: &str, scale: usize, out: Option<&str>) -> Result<(), Strin
         }
     }
     Ok(())
+}
+
+/// `ear recustomize` — weight-replay mode: perturb a seeded fraction of
+/// edge weights each round, refresh the plan and oracle through the
+/// customization layer, and compare against a cold rebuild on the same
+/// weights. Every round is checksum-gated: a deterministic sample of
+/// oracle answers from the warm (recustomized) oracle must match the cold
+/// one bit for bit, so the reported speedup is never bought with wrong
+/// distances.
+pub fn recustomize(
+    g: &CsrGraph,
+    opts: &CommonOpts,
+    fraction: f64,
+    rounds: usize,
+    seed: u64,
+) -> Result<(), String> {
+    if !(fraction > 0.0 && fraction <= 1.0) {
+        return Err("--fraction must be in (0, 1]".into());
+    }
+    if rounds == 0 {
+        return Err("--rounds must be >= 1".into());
+    }
+    if g.m() == 0 {
+        return Err("recustomize needs a graph with at least one edge".into());
+    }
+    if opts.obs_requested() {
+        ear_obs::enable();
+    }
+    let method = if opts.no_ear {
+        ApspMethod::Plain
+    } else {
+        ApspMethod::Ear
+    };
+    let sssp = if opts.batched {
+        SsspMode::Batched
+    } else {
+        SsspMode::Scalar
+    };
+    let exec = opts.mode.executor();
+
+    let build_start = Instant::now();
+    let mut plan = Arc::new(DecompPlan::build_with_layout(g, opts.layout()));
+    let mut oracle = build_oracle_with_plan_mode(Arc::clone(&plan), &exec, method, sssp);
+    println!(
+        "initial build: {} blocks, {} table entries, {:.3} ms wall",
+        plan.n_blocks(),
+        oracle.stats().table_entries,
+        build_start.elapsed().as_secs_f64() * 1e3
+    );
+
+    let per_round = ((g.m() as f64 * fraction).round() as usize).clamp(1, g.m());
+    let mut weights: Vec<Weight> = g.edges().iter().map(|e| e.w).collect();
+    let mut rng = seed ^ 0x9E3779B97F4A7C15;
+    let (mut warm_total, mut cold_total) = (0.0f64, 0.0f64);
+    for round in 0..rounds {
+        for _ in 0..per_round {
+            let e = (splitmix(&mut rng) % g.m() as u64) as usize;
+            weights[e] = 1 + splitmix(&mut rng) % 1000;
+        }
+
+        let warm_start = Instant::now();
+        let warm_plan = Arc::new(plan.recustomized(&weights));
+        let warm_oracle = oracle.recustomized(Arc::clone(&warm_plan), &exec);
+        let warm_s = warm_start.elapsed().as_secs_f64();
+
+        let gp = g.reweighted(&weights);
+        let cold_start = Instant::now();
+        let cold_plan = Arc::new(DecompPlan::build_with_layout(&gp, opts.layout()));
+        let cold_oracle = build_oracle_with_plan_mode(cold_plan, &exec, method, sssp);
+        let cold_s = cold_start.elapsed().as_secs_f64();
+
+        let warm_sum = oracle_checksum(&warm_oracle, g.n(), seed ^ round as u64);
+        let cold_sum = oracle_checksum(&cold_oracle, g.n(), seed ^ round as u64);
+        if warm_sum != cold_sum {
+            return Err(format!(
+                "round {round}: checksum mismatch (warm {warm_sum:016x} != cold {cold_sum:016x})"
+            ));
+        }
+        println!(
+            "round {round}: {} dirty of {} blocks, warm {:.3} ms, cold {:.3} ms ({:.1}x), checksum ok {warm_sum:016x}",
+            warm_plan.dirty_blocks().len(),
+            warm_plan.n_blocks(),
+            warm_s * 1e3,
+            cold_s * 1e3,
+            cold_s / warm_s.max(1e-9),
+        );
+        warm_total += warm_s;
+        cold_total += cold_s;
+        plan = warm_plan;
+        oracle = warm_oracle;
+    }
+    println!(
+        "replayed {rounds} rounds x {per_round} edges ({:.2}% of {}): warm {:.3} ms total, cold {:.3} ms total ({:.1}x)",
+        fraction * 100.0,
+        g.m(),
+        warm_total * 1e3,
+        cold_total * 1e3,
+        cold_total / warm_total.max(1e-9),
+    );
+    opts.write_obs_outputs()
+}
+
+/// splitmix64 step — the CLI's only randomness, so replay runs are fully
+/// determined by `--seed`.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a deterministic sample of oracle answers (up to 4096
+/// pairs, or the full n^2 when smaller).
+fn oracle_checksum(oracle: &DistanceOracle, n: usize, seed: u64) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    let mut digest = |d: Weight| {
+        for b in d.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    };
+    if n == 0 {
+        return h;
+    }
+    if n * n <= 4096 {
+        for u in 0..n as u32 {
+            for v in 0..n as u32 {
+                digest(oracle.dist(u, v));
+            }
+        }
+    } else {
+        let mut state = seed;
+        for _ in 0..4096 {
+            let u = (splitmix(&mut state) % n as u64) as u32;
+            let v = (splitmix(&mut state) % n as u64) as u32;
+            digest(oracle.dist(u, v));
+        }
+    }
+    h
 }

@@ -6,6 +6,8 @@
 //! ear apsp <graph> [--pairs u:v,...]     build the distance oracle, answer queries
 //! ear mcb <graph> [--print-cycles] [--profile]  minimum cycle basis
 //! ear combined <graph> [--pairs u:v,...] stats + APSP + MCB off one shared plan
+//! ear recustomize <graph> [--fraction F] [--rounds N] [--seed S]
+//!                                        weight-replay: recustomize vs cold rebuild
 //! ear bc <graph> [--top K]               betweenness centrality
 //! ear generate <spec> <scale> [out]      write a synthetic Table-1 analog
 //! ```
@@ -49,6 +51,7 @@ fn usage() -> &'static str {
   ear apsp <graph> [--pairs u:v[,u:v...]] [--mode M] [--no-ear] [--batched] [--views]
   ear mcb <graph> [--print-cycles] [--profile] [--profile-json] [--mode M] [--no-ear]
   ear combined <graph> [--pairs u:v[,u:v...]] [--mode M] [--no-ear]
+  ear recustomize <graph> [--fraction F] [--rounds N] [--seed S] [--mode M] [--no-ear] [--batched] [--views]
   ear bc <graph> [--top K]
   ear generate <spec-name> <scale> [out-file]
   ear trace-check <trace-file>
@@ -80,6 +83,14 @@ fn run(args: Vec<String>) -> Result<(), String> {
             let opts = CommonOpts::parse(&rest[1..])?;
             let pairs = parse_pairs(&rest[1..], g.n())?;
             commands::combined(&g, &opts, &pairs)
+        }
+        "recustomize" => {
+            let g = load(rest.first().ok_or("missing graph path")?)?;
+            let opts = CommonOpts::parse(&rest[1..])?;
+            let fraction = parse_value(&rest[1..], "--fraction")?.unwrap_or(0.01f64);
+            let rounds = parse_value(&rest[1..], "--rounds")?.unwrap_or(3usize);
+            let seed = parse_value(&rest[1..], "--seed")?.unwrap_or(7u64);
+            commands::recustomize(&g, &opts, fraction, rounds, seed)
         }
         "bc" => {
             let g = load(rest.first().ok_or("missing graph path")?)?;
@@ -164,11 +175,10 @@ impl CommonOpts {
                     i += 1;
                     metrics_out = Some(args.get(i).ok_or("--metrics-out needs a path")?.clone());
                 }
-                "--pairs" | "--print-cycles" | "--profile" | "--profile-json" => {
-                    if args[i] == "--pairs" {
-                        i += 1; // value consumed by parse_pairs
-                    }
+                "--pairs" | "--fraction" | "--rounds" | "--seed" => {
+                    i += 1; // value consumed by parse_pairs / parse_value
                 }
+                "--print-cycles" | "--profile" | "--profile-json" => {}
                 other => return Err(format!("unknown option '{other}'")),
             }
             i += 1;
@@ -212,6 +222,20 @@ impl CommonOpts {
         }
         Ok(())
     }
+}
+
+/// Looks up `flag VALUE` in `args` and parses the value; `Ok(None)` when
+/// the flag is absent.
+fn parse_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, String> {
+    let Some(pos) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    let raw = args
+        .get(pos + 1)
+        .ok_or_else(|| format!("{flag} needs a value"))?;
+    raw.parse::<T>()
+        .map(Some)
+        .map_err(|_| format!("bad {flag} value '{raw}'"))
 }
 
 fn parse_pairs(args: &[String], n: usize) -> Result<Vec<(u32, u32)>, String> {

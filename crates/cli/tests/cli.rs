@@ -373,3 +373,71 @@ fn bc_ranks_the_hub_first() {
     assert!(first.trim().starts_with('0'), "{text}");
     assert!(first.contains("6.00"), "{text}");
 }
+
+#[test]
+fn recustomize_replays_weight_updates_with_checksum_gate() {
+    let two_blocks = "0 1 3\n1 2 4\n2 0 5\n2 3 2\n3 4 1\n4 5 6\n5 3 2\n";
+    let out = ear_stdin(
+        &[
+            "recustomize",
+            "-",
+            "--fraction",
+            "0.25",
+            "--rounds",
+            "2",
+            "--seed",
+            "11",
+            "--mode",
+            "seq",
+        ],
+        two_blocks,
+    );
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("initial build: 3 blocks"), "{text}");
+    assert!(text.contains("round 0:"), "{text}");
+    assert!(text.contains("round 1:"), "{text}");
+    assert!(text.contains("checksum ok"), "{text}");
+    assert!(text.contains("replayed 2 rounds"), "{text}");
+    // Dirty-share reporting: a 25% perturbation of a 3-block graph never
+    // legitimately reports more dirty blocks than blocks.
+    assert!(text.contains("dirty of 3 blocks"), "{text}");
+}
+
+#[test]
+fn recustomize_is_seed_deterministic() {
+    let p = tmpfile("recust.txt", THETA);
+    let args = [
+        "recustomize",
+        p.to_str().unwrap(),
+        "--rounds",
+        "2",
+        "--seed",
+        "99",
+    ];
+    let a = ear(&args);
+    let b = ear(&args);
+    assert!(a.status.success() && b.status.success());
+    let checks = |o: &std::process::Output| -> Vec<String> {
+        String::from_utf8_lossy(&o.stdout)
+            .lines()
+            .filter_map(|l| l.split("checksum ok ").nth(1).map(str::to_owned))
+            .collect()
+    };
+    let (ca, cb) = (checks(&a), checks(&b));
+    assert_eq!(ca.len(), 2, "{}", String::from_utf8_lossy(&a.stdout));
+    assert_eq!(ca, cb);
+}
+
+#[test]
+fn recustomize_rejects_bad_fraction() {
+    let p = tmpfile("recust_bad.txt", THETA);
+    let out = ear(&["recustomize", p.to_str().unwrap(), "--fraction", "1.5"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--fraction must be in (0, 1]"), "{err}");
+}

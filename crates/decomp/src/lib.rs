@@ -34,8 +34,8 @@ pub use block_cut::BlockCutTree;
 pub use ear::{ear_decomposition, validate_ears, Ear, EarDecomposition, EarError};
 pub use fvs::feedback_vertex_set;
 pub use pendant::{peel_pendants, PendantPeel};
-pub use plan::{BlockPlan, DecompPlan};
+pub use plan::{BlockPlan, CustomizedPlan, DecompPlan, PlanTopology};
 pub use reduce::{
-    reduce_graph, reduce_graph_parallel, Chain, EdgeOrigin, NotSimpleError, ReducedGraph,
-    RemovedInfo,
+    reduce_graph, reduce_graph_parallel, ChainTopology, EdgeOrigin, NotSimpleError, ReducedGraph,
+    ReducedTopology, RemovedInfo, RemovedSlot,
 };

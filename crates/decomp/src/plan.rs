@@ -19,6 +19,30 @@
 //! caller wraps the plan in an `Arc` and amortises the decomposition across
 //! APSP, MCB and statistics workloads over the same graph.
 //!
+//! # Topology / customization layering
+//!
+//! Internally the plan is an explicit two-layer artifact, the CCH-style
+//! split the paper's "disassemble once, reassemble per metric" pipeline
+//! implies:
+//!
+//! * [`PlanTopology`] — everything that depends only on the graph's
+//!   *structure*: the block-cut tree, the edge→block table, bridges, the
+//!   per-vertex home-block numbering, arena spans and the locality
+//!   [`NodeOrder`]. Shared via [`Arc`] by every customization of the same
+//!   graph shape.
+//! * [`CustomizedPlan`] — everything that depends on the current edge
+//!   *weights*: the per-block subgraph weight arrays, the chain-contracted
+//!   reductions, the shared arena's weight layer, and the weight vector
+//!   itself.
+//!
+//! [`DecompPlan::recustomize`] recomputes only the second layer for a new
+//! weight vector — rayon-parallel over the **dirty blocks** (those
+//! containing at least one changed edge, read off the edge→block table) —
+//! and [`DecompPlan::recustomized`] packages it with the shared topology.
+//! The result is bit-identical to a cold [`DecompPlan::build`] of the
+//! reweighted graph (the differential suite holds it to that), at the cost
+//! of one weight sweep instead of a re-decomposition.
+//!
 //! # Id-translation conventions
 //!
 //! Block subgraphs use compact local vertex ids `0..block.n()`. The plan
@@ -53,18 +77,30 @@
 //! // Vertex 2 is in both blocks; vertex 0 only in its own.
 //! assert!(plan.local(0, 2).is_some() && plan.local(1, 2).is_some());
 //! assert_eq!((0..2).filter(|&b| plan.local(b, 0).is_some()).count(), 1);
+//! // Reweight edge 0: only the first triangle is recustomized.
+//! let mut w: Vec<u64> = g.edges().iter().map(|e| e.w).collect();
+//! w[0] = 100;
+//! let fresh = plan.recustomized(&w);
+//! assert_eq!(fresh.dirty_blocks().len(), 1);
 //! ```
+
+use std::sync::Arc;
 
 use crate::bcc::{biconnected_components, Bcc};
 use crate::block_cut::BlockCutTree;
 use crate::reduce::{reduce_graph, ReducedGraph};
 use ear_graph::{
     edge_subgraph_into_arena, edge_subgraph_reusing, CsrArena, CsrGraph, CsrSpan, CsrView, EdgeId,
-    LayoutMode, NodeOrder, SubgraphScratch, VertexId,
+    LayoutMode, NodeOrder, SubgraphScratch, VertexId, Weight,
 };
 
 /// One biconnected component of the plan: the extracted subgraph, its id
 /// maps, and (for simple blocks) its degree-2 chain reduction.
+///
+/// The id maps and the side table are weight-independent and sit behind
+/// [`Arc`], so a recustomization's untouched (and even touched) blocks
+/// share them with the original plan; only `sub` and `reduction` carry
+/// weight-dependent state.
 #[derive(Clone, Debug)]
 pub struct BlockPlan {
     /// The block subgraph as an **owned** graph — `Some` exactly under
@@ -76,10 +112,12 @@ pub struct BlockPlan {
     n: usize,
     /// Edge count of the block (valid in both layouts).
     m: usize,
-    /// `local → parent` vertex ids.
-    pub to_parent_vertex: Vec<VertexId>,
-    /// `local edge → parent edge` ids (the component's edge list, owned).
-    pub to_parent_edge: Vec<EdgeId>,
+    /// `local → parent` vertex ids (topology, shared across
+    /// customizations).
+    pub to_parent_vertex: Arc<Vec<VertexId>>,
+    /// `local edge → parent edge` ids (topology, shared across
+    /// customizations).
+    pub to_parent_edge: Arc<Vec<EdgeId>>,
     /// Whether `sub` is simple — the one flag all reduction guards use.
     pub simple: bool,
     /// The chain contraction of `sub`, present exactly when `simple`.
@@ -88,7 +126,7 @@ pub struct BlockPlan {
     /// (articulation points, plus self-loop copies of a vertex), as sorted
     /// `(parent id, local id)` pairs — the side table behind
     /// [`DecompPlan::local`].
-    shared: Vec<(VertexId, VertexId)>,
+    shared: Arc<Vec<(VertexId, VertexId)>>,
 }
 
 impl BlockPlan {
@@ -109,27 +147,26 @@ impl BlockPlan {
     }
 }
 
-/// The full decomposition front half of both pipelines, built once from a
-/// graph (see the [module docs](self) for what it owns and the id-map
-/// conventions).
+/// The weight-independent layer of a [`DecompPlan`]: BCC partition,
+/// block-cut tree, edge→block table, bridges, home-block numbering, arena
+/// spans and the locality order. Never recomputed by
+/// [`DecompPlan::recustomize`]; shared via [`Arc`] by every customization
+/// of the same graph structure.
 #[derive(Clone, Debug)]
-pub struct DecompPlan {
+pub struct PlanTopology {
     n: usize,
     m: usize,
     bct: BlockCutTree,
-    /// Block id of every edge.
+    /// Block id of every edge — also the dirty-block map of a
+    /// recustomization.
     edge_comp: Vec<u32>,
     /// Bridge edges (single-edge non-loop blocks).
     bridges: Vec<EdgeId>,
-    blocks: Vec<BlockPlan>,
     /// `vertex → local id within its home block` (`u32::MAX` for isolated
     /// vertices); the home block is `bct.vertex_block`.
     home_local: Vec<u32>,
     /// Which block-storage layout this plan was built with.
     layout: LayoutMode,
-    /// Shared CSR storage for every block under [`LayoutMode::Viewed`]
-    /// (empty under `Copied`).
-    arena: CsrArena,
     /// One arena window per block under [`LayoutMode::Viewed`].
     spans: Vec<CsrSpan>,
     /// BCC-clustered locality order over the parent graph's vertices:
@@ -137,6 +174,57 @@ pub struct DecompPlan {
     /// (DFS discovery order along the component edge list), isolated
     /// vertices last.
     node_order: NodeOrder,
+}
+
+/// The weight-dependent layer of a [`DecompPlan`]: per-block subgraphs and
+/// reductions under one specific weight vector, plus the shared arena's
+/// weight layer. Produced by [`DecompPlan::build`] (cold) or
+/// [`DecompPlan::recustomize`] (warm, dirty blocks only).
+#[derive(Clone, Debug)]
+pub struct CustomizedPlan {
+    blocks: Vec<BlockPlan>,
+    /// Shared CSR storage for every block under [`LayoutMode::Viewed`]
+    /// (empty under `Copied`). Topology arrays are shared across
+    /// customizations; the weight layer belongs to this customization.
+    arena: CsrArena,
+    /// The full-graph weight vector this customization was built for —
+    /// the baseline [`DecompPlan::recustomize`] diffs against.
+    edge_weights: Vec<Weight>,
+    /// Blocks whose weight layer was (re)computed by this customization:
+    /// every block for a cold build, exactly the blocks containing a
+    /// changed edge for a recustomization. Sorted ascending.
+    dirty: Vec<u32>,
+    /// 0 for a cold build, parent + 1 for each recustomization.
+    generation: u64,
+}
+
+impl CustomizedPlan {
+    /// Blocks whose weight layer this customization (re)computed, sorted:
+    /// all blocks for a cold build, the blocks containing a changed edge
+    /// for a recustomization. Incremental oracle refreshes rebuild exactly
+    /// these.
+    pub fn dirty_blocks(&self) -> &[u32] {
+        &self.dirty
+    }
+
+    /// 0 for a cold build, parent's generation + 1 after `recustomize`.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The full-graph weight vector this customization embodies.
+    pub fn edge_weights(&self) -> &[Weight] {
+        &self.edge_weights
+    }
+}
+
+/// The full decomposition front half of both pipelines, built once from a
+/// graph (see the [module docs](self) for what it owns, the id-map
+/// conventions, and the topology/customization layering).
+#[derive(Clone, Debug)]
+pub struct DecompPlan {
+    topo: Arc<PlanTopology>,
+    custom: CustomizedPlan,
 }
 
 impl DecompPlan {
@@ -267,11 +355,11 @@ impl DecompPlan {
                         sub,
                         n,
                         m,
-                        to_parent_vertex,
-                        to_parent_edge,
+                        to_parent_vertex: Arc::new(to_parent_vertex),
+                        to_parent_edge: Arc::new(to_parent_edge),
                         simple,
                         reduction,
-                        shared,
+                        shared: Arc::new(shared),
                     }
                 },
             )
@@ -287,7 +375,7 @@ impl DecompPlan {
             let mut rank = vec![u32::MAX; g.n()];
             let mut next = 0u32;
             for (b, bp) in blocks.iter().enumerate() {
-                for &p in &bp.to_parent_vertex {
+                for &p in bp.to_parent_vertex.iter() {
                     if bct.vertex_block[p as usize] == b as u32 && rank[p as usize] == u32::MAX {
                         rank[p as usize] = next;
                         next += 1;
@@ -318,24 +406,197 @@ impl DecompPlan {
             ear_obs::counter_add("decomp.plan.view_bytes_saved", arena.used_bytes() as u64);
         }
 
+        let dirty: Vec<u32> = (0..blocks.len() as u32).collect();
         DecompPlan {
-            n: g.n(),
-            m: g.m(),
-            bct,
-            edge_comp,
-            bridges,
-            blocks,
-            home_local,
-            layout,
-            arena,
-            spans,
-            node_order,
+            topo: Arc::new(PlanTopology {
+                n: g.n(),
+                m: g.m(),
+                bct,
+                edge_comp,
+                bridges,
+                home_local,
+                layout,
+                spans,
+                node_order,
+            }),
+            custom: CustomizedPlan {
+                blocks,
+                arena,
+                edge_weights: g.edges().iter().map(|e| e.w).collect(),
+                dirty,
+                generation: 0,
+            },
         }
+    }
+
+    /// Recomputes only the **weight layer** for `new_weights` (indexed by
+    /// parent edge id): the shared arena's weight arrays, and — for each
+    /// *dirty* block, rayon-parallel — the block subgraph's weights and its
+    /// chain reduction's weight layer, reusing the recorded chains instead
+    /// of re-walking degree-2 paths. No BCC split, block-cut tree, chain
+    /// walk or extraction is repeated, and clean blocks' state is shared
+    /// with `self` (the id maps and every topology array already sit
+    /// behind `Arc`s).
+    ///
+    /// The dirty-block set is read off the edge→block table: exactly the
+    /// blocks containing an edge whose weight differs from this plan's
+    /// current weights.
+    ///
+    /// The returned customization is bit-identical to the one a cold
+    /// [`DecompPlan::build_with_layout`] of the reweighted graph produces.
+    /// Pair it with the shared topology via [`DecompPlan::recustomized`].
+    ///
+    /// # Panics
+    /// Panics if `new_weights.len() != self.m()`.
+    pub fn recustomize(&self, new_weights: &[Weight]) -> CustomizedPlan {
+        assert_eq!(
+            new_weights.len(),
+            self.m(),
+            "one weight per parent edge is required"
+        );
+        let _span = ear_obs::span_with("decomp.recustomize", self.m() as u64);
+
+        // Dirty-block set: one pass over the weight diff through the
+        // edge→block table.
+        let (dirty_flag, dirty, changed_edges) = {
+            let _s = ear_obs::span("decomp.recustomize.dirty");
+            let mut flag = vec![false; self.n_blocks()];
+            let mut changed = 0u64;
+            for (e, (&old, &new)) in self.custom.edge_weights.iter().zip(new_weights).enumerate() {
+                if old != new {
+                    changed += 1;
+                    flag[self.topo.edge_comp[e] as usize] = true;
+                }
+            }
+            let dirty: Vec<u32> = flag
+                .iter()
+                .enumerate()
+                .filter_map(|(b, &d)| d.then_some(b as u32))
+                .collect();
+            (flag, dirty, changed)
+        };
+
+        // Viewed layout: swap the shared arena's weight layer first (the
+        // block views below window it). The arena weight stream is indexed
+        // by arena edge record; each span's records map to parent edges
+        // through the block's edge map.
+        let arena = match self.topo.layout {
+            LayoutMode::Viewed => {
+                let _s = ear_obs::span("decomp.recustomize.arena");
+                let mut arena_w = vec![0 as Weight; self.custom.arena.edges_len()];
+                for (s, bp) in self.topo.spans.iter().zip(&self.custom.blocks) {
+                    for (i, &pe) in bp.to_parent_edge.iter().enumerate() {
+                        arena_w[s.edge as usize + i] = new_weights[pe as usize];
+                    }
+                }
+                self.custom.arena.reweighted(&self.topo.spans, &arena_w)
+            }
+            LayoutMode::Copied => CsrArena::new(),
+        };
+
+        // Per-block weight layer: dirty blocks are reweighted (subgraph
+        // weights + chain-reduction resummation), clean blocks are shared.
+        let blocks: Vec<BlockPlan> = {
+            use rayon::prelude::*;
+            let _s = ear_obs::span("decomp.recustomize.blocks");
+            self.custom
+                .blocks
+                .par_iter()
+                .zip(0usize..)
+                .map(|(bp, b)| {
+                    if !dirty_flag[b] {
+                        return bp.clone();
+                    }
+                    let _b = ear_obs::span_with("decomp.recustomize.block", bp.n as u64);
+                    let sub = bp.sub.as_ref().map(|s| {
+                        let local_w: Vec<Weight> = bp
+                            .to_parent_edge
+                            .iter()
+                            .map(|&pe| new_weights[pe as usize])
+                            .collect();
+                        s.reweighted(&local_w)
+                    });
+                    let view = match &sub {
+                        Some(s) => s.view(),
+                        None => arena.view(&self.topo.spans[b]),
+                    };
+                    let reduction = bp.reduction.as_ref().map(|r| r.reweighted(view));
+                    BlockPlan {
+                        sub,
+                        n: bp.n,
+                        m: bp.m,
+                        to_parent_vertex: Arc::clone(&bp.to_parent_vertex),
+                        to_parent_edge: Arc::clone(&bp.to_parent_edge),
+                        simple: bp.simple,
+                        reduction,
+                        shared: Arc::clone(&bp.shared),
+                    }
+                })
+                .collect()
+        };
+
+        if ear_obs::is_enabled() {
+            ear_obs::counter_add("decomp.recustomizes", 1);
+            ear_obs::counter_add("decomp.recustomize.changed_edges", changed_edges);
+            ear_obs::counter_add("decomp.recustomize.dirty_blocks", dirty.len() as u64);
+        }
+
+        CustomizedPlan {
+            blocks,
+            arena,
+            edge_weights: new_weights.to_vec(),
+            dirty,
+            generation: self.custom.generation + 1,
+        }
+    }
+
+    /// [`DecompPlan::recustomize`] packaged with the shared topology: a
+    /// full plan for the new weights whose topology layer is the same
+    /// [`Arc`] as `self`'s ([`DecompPlan::shares_topology`] holds).
+    pub fn recustomized(&self, new_weights: &[Weight]) -> DecompPlan {
+        DecompPlan {
+            topo: Arc::clone(&self.topo),
+            custom: self.recustomize(new_weights),
+        }
+    }
+
+    /// The shared weight-independent layer.
+    pub fn topology(&self) -> &Arc<PlanTopology> {
+        &self.topo
+    }
+
+    /// The weight-dependent layer (current customization).
+    pub fn custom(&self) -> &CustomizedPlan {
+        &self.custom
+    }
+
+    /// True when `other` shares this plan's topology layer (one is a
+    /// `recustomized` descendant of the other). O(1).
+    pub fn shares_topology(&self, other: &DecompPlan) -> bool {
+        Arc::ptr_eq(&self.topo, &other.topo)
+    }
+
+    /// Blocks whose weight layer the current customization (re)computed:
+    /// all blocks for a cold build, exactly the blocks containing a changed
+    /// edge after [`DecompPlan::recustomized`]. Sorted ascending.
+    pub fn dirty_blocks(&self) -> &[u32] {
+        self.custom.dirty_blocks()
+    }
+
+    /// Customization generation: 0 for a cold build, +1 per recustomize.
+    pub fn generation(&self) -> u64 {
+        self.custom.generation()
+    }
+
+    /// The full-graph weight vector the current customization was built
+    /// for, indexed by parent edge id.
+    pub fn edge_weights(&self) -> &[Weight] {
+        self.custom.edge_weights()
     }
 
     /// The block-storage layout this plan was built with.
     pub fn layout(&self) -> LayoutMode {
-        self.layout
+        self.topo.layout
     }
 
     /// Block `b`'s subgraph as a zero-copy [`CsrView`] — the
@@ -344,9 +605,9 @@ impl DecompPlan {
     /// arena. Both are bit-identical (same local ids, edge order and
     /// adjacency order).
     pub fn block_graph(&self, b: u32) -> CsrView<'_> {
-        match &self.blocks[b as usize].sub {
+        match &self.custom.blocks[b as usize].sub {
             Some(sub) => sub.view(),
-            None => self.arena.view(&self.spans[b as usize]),
+            None => self.custom.arena.view(&self.topo.spans[b as usize]),
         }
     }
 
@@ -355,86 +616,86 @@ impl DecompPlan {
     /// last). `CsrGraph::permute` with this order lays each block's
     /// vertices contiguously in memory.
     pub fn node_order(&self) -> &NodeOrder {
-        &self.node_order
+        &self.topo.node_order
     }
 
     /// Bytes of shared arena storage backing a viewed plan's blocks (zero
     /// for copied plans) — the allocation the viewed layout avoids.
     pub fn arena_bytes(&self) -> usize {
-        self.arena.used_bytes()
+        self.custom.arena.used_bytes()
     }
 
     /// The arena spans backing a viewed plan's blocks, one per block in
     /// block-id order (empty for copied plans). Exposed so invariant
     /// checkers can verify the spans tile the arena exactly.
     pub fn spans(&self) -> &[CsrSpan] {
-        &self.spans
+        &self.topo.spans
     }
 
     /// The shared storage arena behind a viewed plan (empty for copied
     /// plans).
     pub fn arena(&self) -> &CsrArena {
-        &self.arena
+        &self.custom.arena
     }
 
     /// Vertices of the decomposed graph.
     pub fn n(&self) -> usize {
-        self.n
+        self.topo.n
     }
 
     /// Edges of the decomposed graph.
     pub fn m(&self) -> usize {
-        self.m
+        self.topo.m
     }
 
     /// Number of biconnected components.
     pub fn n_blocks(&self) -> usize {
-        self.blocks.len()
+        self.custom.blocks.len()
     }
 
     /// All blocks, indexed by block id.
     pub fn blocks(&self) -> &[BlockPlan] {
-        &self.blocks
+        &self.custom.blocks
     }
 
     /// One block.
     pub fn block(&self, b: u32) -> &BlockPlan {
-        &self.blocks[b as usize]
+        &self.custom.blocks[b as usize]
     }
 
     /// The block-cut tree (articulation points, routing, home blocks).
     pub fn bct(&self) -> &BlockCutTree {
-        &self.bct
+        &self.topo.bct
     }
 
     /// Block id of every edge.
     pub fn edge_comp(&self) -> &[u32] {
-        &self.edge_comp
+        &self.topo.edge_comp
     }
 
     /// Bridge edges.
     pub fn bridges(&self) -> &[EdgeId] {
-        &self.bridges
+        &self.topo.bridges
     }
 
     /// Whether block `b`'s subgraph is simple — the single guard behind
     /// every "can this block be ear-reduced?" decision.
     pub fn is_simple(&self, b: u32) -> bool {
-        self.blocks[b as usize].simple
+        self.custom.blocks[b as usize].simple
     }
 
     /// Block `b`'s chain reduction, `Some` exactly when the block is simple.
     pub fn reduction(&self, b: u32) -> Option<&ReducedGraph> {
-        self.blocks[b as usize].reduction.as_ref()
+        self.custom.blocks[b as usize].reduction.as_ref()
     }
 
     /// Local id of parent vertex `v` inside block `b`, `None` when `v` is
     /// not a member of that block.
     pub fn local(&self, b: u32, v: VertexId) -> Option<VertexId> {
-        if self.bct.vertex_block[v as usize] == b {
-            return Some(self.home_local[v as usize]);
+        if self.topo.bct.vertex_block[v as usize] == b {
+            return Some(self.topo.home_local[v as usize]);
         }
-        let shared = &self.blocks[b as usize].shared;
+        let shared = &self.custom.blocks[b as usize].shared;
         shared
             .binary_search_by_key(&v, |&(p, _)| p)
             .ok()
@@ -443,7 +704,8 @@ impl DecompPlan {
 
     /// Total vertices removed by chain reduction across all (simple) blocks.
     pub fn removed_vertices(&self) -> usize {
-        self.blocks
+        self.custom
+            .blocks
             .iter()
             .filter_map(|bp| bp.reduction.as_ref())
             .map(|r| r.removed_count())
@@ -452,15 +714,20 @@ impl DecompPlan {
 
     /// Edge count of the largest block.
     pub fn largest_block_edges(&self) -> usize {
-        self.blocks.iter().map(|bp| bp.m()).max().unwrap_or(0)
+        self.custom
+            .blocks
+            .iter()
+            .map(|bp| bp.m())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Block ids ordered biggest-first by edge count (ties by ascending
     /// block id) — the paper's workunit order, shared by the MCB pipeline
     /// and the CLI.
     pub fn blocks_by_size_desc(&self) -> Vec<usize> {
-        let mut order: Vec<usize> = (0..self.blocks.len()).collect();
-        order.sort_by_key(|&b| std::cmp::Reverse(self.blocks[b].m()));
+        let mut order: Vec<usize> = (0..self.custom.blocks.len()).collect();
+        order.sort_by_key(|&b| std::cmp::Reverse(self.custom.blocks[b].m()));
         order
     }
 }
@@ -493,7 +760,7 @@ mod tests {
         let plan = DecompPlan::build(&g);
         let mut seen = vec![0u32; g.m()];
         for (b, bp) in plan.blocks().iter().enumerate() {
-            for &e in &bp.to_parent_edge {
+            for &e in bp.to_parent_edge.iter() {
                 seen[e as usize] += 1;
                 assert_eq!(plan.edge_comp()[e as usize], b as u32);
             }
@@ -645,5 +912,98 @@ mod tests {
         assert_eq!(plan.n_blocks(), 0);
         assert_eq!(plan.removed_vertices(), 0);
         assert_eq!(plan.largest_block_edges(), 0);
+    }
+
+    fn assert_same_customization(a: &DecompPlan, b: &DecompPlan) {
+        assert_eq!(a.n_blocks(), b.n_blocks());
+        assert_eq!(a.edge_weights(), b.edge_weights());
+        for blk in 0..a.n_blocks() as u32 {
+            let (ga, gb) = (a.block_graph(blk), b.block_graph(blk));
+            assert_eq!(ga.edges(), gb.edges(), "block {blk} edges");
+            for u in 0..ga.n() as u32 {
+                assert_eq!(ga.incidences(u), gb.incidences(u), "block {blk} vertex {u}");
+            }
+            match (a.reduction(blk), b.reduction(blk)) {
+                (None, None) => {}
+                (Some(ra), Some(rb)) => {
+                    assert_eq!(ra.reduced.edges(), rb.reduced.edges(), "block {blk}");
+                    for x in 0..ga.n() as u32 {
+                        let (ia, ib) = (ra.removed_info(x), rb.removed_info(x));
+                        assert_eq!(ia.is_some(), ib.is_some());
+                        if let (Some(ia), Some(ib)) = (ia, ib) {
+                            assert_eq!((ia.w_left, ia.w_right), (ib.w_left, ib.w_right));
+                        }
+                    }
+                }
+                _ => panic!("reduction presence differs on block {blk}"),
+            }
+        }
+    }
+
+    #[test]
+    fn recustomized_matches_cold_build_in_both_layouts() {
+        let g = mixed();
+        let mut w: Vec<Weight> = g.edges().iter().map(|e| e.w).collect();
+        w[1] = 20; // triangle block
+        w[7] = 90; // bridge block
+        for layout in [LayoutMode::Copied, LayoutMode::Viewed] {
+            let plan = DecompPlan::build_with_layout(&g, layout);
+            let warm = plan.recustomized(&w);
+            let cold = DecompPlan::build_with_layout(&g.reweighted(&w), layout);
+            assert_same_customization(&warm, &cold);
+            assert!(plan.shares_topology(&warm));
+            assert!(!plan.shares_topology(&cold));
+            assert_eq!(warm.generation(), 1);
+            // Dirty set: exactly the blocks holding edges 1 and 7.
+            let want: Vec<u32> = {
+                let mut v = vec![plan.edge_comp()[1], plan.edge_comp()[7]];
+                v.sort_unstable();
+                v.dedup();
+                v
+            };
+            assert_eq!(warm.dirty_blocks(), &want[..]);
+        }
+    }
+
+    #[test]
+    fn recustomize_noop_marks_nothing_dirty() {
+        let g = mixed();
+        let plan = DecompPlan::build(&g);
+        let w: Vec<Weight> = g.edges().iter().map(|e| e.w).collect();
+        let warm = plan.recustomized(&w);
+        assert!(warm.dirty_blocks().is_empty());
+        assert_same_customization(&warm, &plan);
+    }
+
+    #[test]
+    fn cold_build_marks_every_block_dirty() {
+        let g = mixed();
+        let plan = DecompPlan::build(&g);
+        let all: Vec<u32> = (0..plan.n_blocks() as u32).collect();
+        assert_eq!(plan.dirty_blocks(), &all[..]);
+        assert_eq!(plan.generation(), 0);
+    }
+
+    #[test]
+    fn recustomize_shares_block_topology_arcs() {
+        let g = mixed();
+        let plan = DecompPlan::build(&g);
+        let mut w: Vec<Weight> = g.edges().iter().map(|e| e.w).collect();
+        for x in w.iter_mut() {
+            *x += 1;
+        }
+        let warm = plan.recustomized(&w);
+        for (a, b) in plan.blocks().iter().zip(warm.blocks()) {
+            assert!(Arc::ptr_eq(&a.to_parent_vertex, &b.to_parent_vertex));
+            assert!(Arc::ptr_eq(&a.to_parent_edge, &b.to_parent_edge));
+            match (&a.reduction, &b.reduction) {
+                (Some(ra), Some(rb)) => assert!(ra.shares_topology(rb)),
+                (None, None) => {}
+                _ => panic!("reduction presence changed"),
+            }
+            if let (Some(sa), Some(sb)) = (&a.sub, &b.sub) {
+                assert!(sa.shares_topology(sb));
+            }
+        }
     }
 }

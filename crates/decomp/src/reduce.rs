@@ -18,6 +18,22 @@
 //! become parallel edges and anchor-to-self chains become self-loops. The
 //! MCB pipeline needs them (each is an independent cycle generator); APSP
 //! simply lets Dijkstra skip the non-minimal copies.
+//!
+//! # Topology / weight layering
+//!
+//! The contraction is split into two layers. [`ReducedTopology`] is
+//! everything the chain walks discover that does not depend on weights:
+//! the anchor set, the retained numbering, the chain edge/interior lists,
+//! and each reduced edge's origin. The weight layer — chain totals, the
+//! per-removed-vertex prefix weights, and the reduced multigraph's edge
+//! weights — is recomputed from a recorded topology by one pass over the
+//! chain edge lists, **without re-walking the degree-2 paths**:
+//! [`ReducedGraph::reweighted`] shares the topology (an [`Arc`]) and the
+//! reduced CSR's structure arrays with the original and is bit-identical
+//! to a cold [`reduce_graph`] of the reweighted block.
+
+use std::ops::Deref;
+use std::sync::Arc;
 
 use ear_graph::{CsrGraph, CsrView, EdgeId, VertexId, Weight};
 
@@ -42,9 +58,11 @@ impl std::fmt::Display for NotSimpleError {
 
 impl std::error::Error for NotSimpleError {}
 
-/// A maximal degree-2 chain that was contracted into one reduced edge.
+/// A maximal degree-2 chain that was contracted into one reduced edge —
+/// the weight-independent part (edge ids and vertex ids only; totals and
+/// prefix weights live in the owning [`ReducedGraph`]'s weight layer).
 #[derive(Clone, Debug)]
-pub struct Chain {
+pub struct ChainTopology {
     /// Left anchor (original vertex id, retained in `G^r`).
     pub left: VertexId,
     /// Right anchor (may equal `left` when the chain closes on itself).
@@ -53,8 +71,6 @@ pub struct Chain {
     pub edges: Vec<EdgeId>,
     /// Removed interior vertices in path order.
     pub interior: Vec<VertexId>,
-    /// Total chain weight (the reduced edge's weight).
-    pub total_weight: Weight,
 }
 
 /// Where a reduced edge came from.
@@ -62,16 +78,32 @@ pub struct Chain {
 pub enum EdgeOrigin {
     /// An original edge between two retained vertices, kept verbatim.
     Direct(EdgeId),
-    /// A contracted chain, indexing [`ReducedGraph::chains`].
+    /// A contracted chain, indexing [`ReducedTopology::chains`].
     Chain(u32),
 }
 
-/// Per-removed-vertex metadata: the `left/right` functions of paper §2.1.1.
+/// Weight-independent placement of a removed vertex on its chain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RemovedSlot {
+    /// Chain the vertex sits on.
+    pub chain: u32,
+    /// Position inside [`ChainTopology::interior`].
+    pub pos: u32,
+    /// `left(x)` — original id of the anchor towards the chain head.
+    pub left: VertexId,
+    /// `right(x)` — original id of the anchor towards the chain tail.
+    pub right: VertexId,
+}
+
+/// Per-removed-vertex metadata: the `left/right` functions of paper §2.1.1
+/// together with the exact chain prefix distances. Assembled on demand by
+/// [`ReducedGraph::removed_info`] from the topology slot and the current
+/// weight layer.
 #[derive(Clone, Copy, Debug)]
 pub struct RemovedInfo {
     /// Chain the vertex sits on.
     pub chain: u32,
-    /// Position inside [`Chain::interior`].
+    /// Position inside [`ChainTopology::interior`].
     pub pos: u32,
     /// `left(x)` — original id of the anchor towards the chain head.
     pub left: VertexId,
@@ -83,25 +115,24 @@ pub struct RemovedInfo {
     pub w_right: Weight,
 }
 
-/// The reduced graph `G^r` plus everything needed to map results back to
-/// the original graph.
+/// The weight-independent layer of a contraction: anchors, numbering,
+/// chains and reduced-edge origins. Shared by every [`ReducedGraph`] in a
+/// `reweighted` family via [`Arc`].
 #[derive(Clone, Debug)]
-pub struct ReducedGraph {
-    /// The contracted multigraph on the retained vertices (local ids).
-    pub reduced: CsrGraph,
+pub struct ReducedTopology {
     /// `local → original` vertex ids.
     pub retained: Vec<VertexId>,
     /// `original → local` vertex ids (`u32::MAX` for removed vertices).
     pub to_reduced: Vec<u32>,
     /// One entry per reduced edge describing its origin.
     pub edge_origin: Vec<EdgeOrigin>,
-    /// All contracted chains.
-    pub chains: Vec<Chain>,
-    /// `original vertex → removal metadata` (`None` for retained vertices).
-    pub removed: Vec<Option<RemovedInfo>>,
+    /// All contracted chains (weight-independent part).
+    pub chains: Vec<ChainTopology>,
+    /// `original vertex → chain slot` (`None` for retained vertices).
+    pub removed: Vec<Option<RemovedSlot>>,
 }
 
-impl ReducedGraph {
+impl ReducedTopology {
     /// True if `x` was removed by the contraction.
     pub fn is_removed(&self, x: VertexId) -> bool {
         self.removed[x as usize].is_some()
@@ -128,6 +159,163 @@ impl ReducedGraph {
     }
 }
 
+/// The reduced graph `G^r` plus everything needed to map results back to
+/// the original graph.
+///
+/// Internally two-layered: an [`Arc<ReducedTopology>`] (shared, immutable)
+/// plus the weight layer (`reduced` multigraph, chain totals, prefix
+/// weights). Derefs to [`ReducedTopology`], so topology reads
+/// (`r.retained`, `r.chains`, `r.expand_edge(..)`) keep their call shape.
+#[derive(Clone, Debug)]
+pub struct ReducedGraph {
+    topo: Arc<ReducedTopology>,
+    /// The contracted multigraph on the retained vertices (local ids).
+    pub reduced: CsrGraph,
+    /// Total weight per chain (the reduced chain-edge's weight).
+    chain_weights: Vec<Weight>,
+    /// Flattened `wt(x, left)` per interior vertex, chain-major; window of
+    /// chain `c` is `chain_off[c] .. chain_off[c + 1]`.
+    prefix_weights: Vec<Weight>,
+    chain_off: Vec<u32>,
+}
+
+impl Deref for ReducedGraph {
+    type Target = ReducedTopology;
+
+    fn deref(&self) -> &ReducedTopology {
+        &self.topo
+    }
+}
+
+impl ReducedGraph {
+    /// Assembles the weight layer for `topo` from the block's current
+    /// weights — the one construction path shared by the cold build and
+    /// [`ReducedGraph::reweighted`], so both are bit-identical by
+    /// construction.
+    fn customize(topo: Arc<ReducedTopology>, g: CsrView<'_>) -> ReducedGraph {
+        let (chain_weights, prefix_weights, chain_off) = compute_chain_weights(&topo, g);
+        let reduced_edges: Vec<(u32, u32, Weight)> = topo
+            .edge_origin
+            .iter()
+            .map(|&o| match o {
+                EdgeOrigin::Direct(e) => {
+                    let r = g.edge(e);
+                    (
+                        topo.to_reduced[r.u as usize],
+                        topo.to_reduced[r.v as usize],
+                        r.w,
+                    )
+                }
+                EdgeOrigin::Chain(c) => {
+                    let ch = &topo.chains[c as usize];
+                    (
+                        topo.to_reduced[ch.left as usize],
+                        topo.to_reduced[ch.right as usize],
+                        chain_weights[c as usize],
+                    )
+                }
+            })
+            .collect();
+        let reduced = CsrGraph::from_edges(topo.retained.len(), &reduced_edges);
+        ReducedGraph {
+            topo,
+            reduced,
+            chain_weights,
+            prefix_weights,
+            chain_off,
+        }
+    }
+
+    /// The same contraction under the block's new weights: reuses the
+    /// recorded chains (no degree-2 re-walk) to resum chain totals and
+    /// prefix weights, and swaps the reduced multigraph's weight layer via
+    /// [`CsrGraph::reweighted`]. `g` must be the *same block topology* the
+    /// contraction was built from, only reweighted. The result is
+    /// bit-identical to a cold [`reduce_graph`] of `g` while sharing the
+    /// topology [`Arc`] and the reduced CSR's structure arrays with `self`.
+    pub fn reweighted(&self, g: CsrView<'_>) -> ReducedGraph {
+        let (chain_weights, prefix_weights, chain_off) = compute_chain_weights(&self.topo, g);
+        let new_reduced_w: Vec<Weight> = self
+            .topo
+            .edge_origin
+            .iter()
+            .map(|&o| match o {
+                EdgeOrigin::Direct(e) => g.weight(e),
+                EdgeOrigin::Chain(c) => chain_weights[c as usize],
+            })
+            .collect();
+        ReducedGraph {
+            topo: Arc::clone(&self.topo),
+            reduced: self.reduced.reweighted(&new_reduced_w),
+            chain_weights,
+            prefix_weights,
+            chain_off,
+        }
+    }
+
+    /// The shared weight-independent layer.
+    pub fn topology(&self) -> &Arc<ReducedTopology> {
+        &self.topo
+    }
+
+    /// True when `other` shares this contraction's topology layer (both
+    /// came from the same [`ReducedGraph::reweighted`] family). O(1).
+    pub fn shares_topology(&self, other: &ReducedGraph) -> bool {
+        Arc::ptr_eq(&self.topo, &other.topo) && self.reduced.shares_topology(&other.reduced)
+    }
+
+    /// Removal metadata of `x` under the current weights (`None` for
+    /// retained vertices): the topology slot joined with the chain prefix
+    /// weights — the inputs of the paper's §2.1.3 extension formulas.
+    pub fn removed_info(&self, x: VertexId) -> Option<RemovedInfo> {
+        let s = self.topo.removed[x as usize]?;
+        let w_left =
+            self.prefix_weights[self.chain_off[s.chain as usize] as usize + s.pos as usize];
+        let total = self.chain_weights[s.chain as usize];
+        Some(RemovedInfo {
+            chain: s.chain,
+            pos: s.pos,
+            left: s.left,
+            right: s.right,
+            w_left,
+            w_right: total - w_left,
+        })
+    }
+
+    /// Total weight of chain `c` (the reduced chain-edge's weight).
+    pub fn chain_weight(&self, c: u32) -> Weight {
+        self.chain_weights[c as usize]
+    }
+}
+
+/// One pass over the recorded chain edge lists: totals plus the
+/// per-interior-vertex prefix weights, in chain order. Edge `k` of a chain
+/// joins the previous vertex to `interior[k]`, so `wt(interior[k], left)`
+/// is the sum of edges `0..=k` — the exact summation order of the original
+/// inline walk, preserved for bit-identity.
+fn compute_chain_weights(
+    topo: &ReducedTopology,
+    g: CsrView<'_>,
+) -> (Vec<Weight>, Vec<Weight>, Vec<u32>) {
+    let mut chain_weights = Vec::with_capacity(topo.chains.len());
+    let mut chain_off = Vec::with_capacity(topo.chains.len() + 1);
+    let total_interior: usize = topo.chains.iter().map(|c| c.interior.len()).sum();
+    let mut prefix_weights = Vec::with_capacity(total_interior);
+    chain_off.push(0);
+    for ch in &topo.chains {
+        let mut acc: Weight = 0;
+        for (pos, &e) in ch.edges.iter().enumerate() {
+            acc += g.weight(e);
+            if pos < ch.interior.len() {
+                prefix_weights.push(acc);
+            }
+        }
+        chain_weights.push(acc);
+        chain_off.push(prefix_weights.len() as u32);
+    }
+    (chain_weights, prefix_weights, chain_off)
+}
+
 /// Contracts all maximal degree-2 chains of `g`.
 ///
 /// # Errors
@@ -135,6 +323,13 @@ impl ReducedGraph {
 /// reduction is only defined on simple graphs (see the error type's docs
 /// for why, and for what callers should do with non-simple blocks).
 pub fn reduce_graph(g: CsrView<'_>) -> Result<ReducedGraph, NotSimpleError> {
+    let topo = reduce_topology(g)?;
+    Ok(ReducedGraph::customize(Arc::new(topo), g))
+}
+
+/// The weight-independent half of [`reduce_graph`]: anchor discovery,
+/// retained numbering and the chain walks. Weights are never read.
+fn reduce_topology(g: CsrView<'_>) -> Result<ReducedTopology, NotSimpleError> {
     if !g.is_simple() {
         return Err(NotSimpleError);
     }
@@ -160,15 +355,13 @@ pub fn reduce_graph(g: CsrView<'_>) -> Result<ReducedGraph, NotSimpleError> {
         }
     }
 
-    let mut chains: Vec<Chain> = Vec::new();
-    let mut removed: Vec<Option<RemovedInfo>> = vec![None; n];
-    let mut reduced_edges: Vec<(u32, u32, Weight)> = Vec::new();
+    let mut chains: Vec<ChainTopology> = Vec::new();
+    let mut removed: Vec<Option<RemovedSlot>> = vec![None; n];
     let mut edge_origin: Vec<EdgeOrigin> = Vec::new();
 
     // Direct edges: both endpoints anchors.
     for (idx, e) in g.edges().iter().enumerate() {
         if anchor[e.u as usize] && anchor[e.v as usize] {
-            reduced_edges.push((to_reduced[e.u as usize], to_reduced[e.v as usize], e.w));
             edge_origin.push(EdgeOrigin::Direct(idx as EdgeId));
         }
     }
@@ -182,34 +375,20 @@ pub fn reduce_graph(g: CsrView<'_>) -> Result<ReducedGraph, NotSimpleError> {
             }
             let chain = walk_chain(g, &anchor, &mut on_chain, a, first, first_edge);
             let cid = chains.len() as u32;
-            // Prefix weights along the chain: edge `k` joins the previous
-            // vertex to `interior[k]`, so `wt(interior[k], left)` is the sum
-            // of edges `0..=k`.
-            let mut acc: Weight = 0;
             for (pos, &x) in chain.interior.iter().enumerate() {
-                acc += g.weight(chain.edges[pos]);
-                removed[x as usize] = Some(RemovedInfo {
+                removed[x as usize] = Some(RemovedSlot {
                     chain: cid,
                     pos: pos as u32,
                     left: chain.left,
                     right: chain.right,
-                    w_left: acc,
-                    w_right: chain.total_weight - acc,
                 });
             }
-            reduced_edges.push((
-                to_reduced[chain.left as usize],
-                to_reduced[chain.right as usize],
-                chain.total_weight,
-            ));
             edge_origin.push(EdgeOrigin::Chain(cid));
             chains.push(chain);
         }
     }
 
-    let reduced = CsrGraph::from_edges(retained.len(), &reduced_edges);
-    Ok(ReducedGraph {
-        reduced,
+    Ok(ReducedTopology {
         retained,
         to_reduced,
         edge_origin,
@@ -227,10 +406,9 @@ fn walk_chain(
     a: VertexId,
     first: VertexId,
     first_edge: EdgeId,
-) -> Chain {
+) -> ChainTopology {
     let mut edges = vec![first_edge];
     let mut interior = vec![first];
-    let mut total = g.weight(first_edge);
     on_chain[first as usize] = true;
     let mut prev_edge = first_edge;
     let mut cur = first;
@@ -246,14 +424,12 @@ fn walk_chain(
             nbrs[0]
         };
         edges.push(e);
-        total += g.weight(e);
         if anchor[next as usize] {
-            return Chain {
+            return ChainTopology {
                 left: a,
                 right: next,
                 edges,
                 interior,
-                total_weight: total,
             };
         }
         on_chain[next as usize] = true;
@@ -330,17 +506,17 @@ mod tests {
     fn removed_info_prefix_weights() {
         let g = theta();
         let r = reduce_graph(g.view()).unwrap();
-        let i1 = r.removed[1].unwrap();
+        let i1 = r.removed_info(1).unwrap();
         assert_eq!(i1.w_left + i1.w_right, 3);
         // distance to the anchors along the chain must match Dijkstra on the
         // original graph restricted to the chain (here global shortest too).
         let d = dijkstra(&g, 1);
         let (dl, dr) = (d[i1.left as usize], d[i1.right as usize]);
         assert_eq!(i1.w_left.min(i1.w_right), dl.min(dr));
-        let i3 = r.removed[3].unwrap();
+        let i3 = r.removed_info(3).unwrap();
         assert_eq!(i3.w_left + i3.w_right, 7);
-        assert_eq!({ i3.w_left }, 3);
-        assert_eq!({ i3.w_right }, 4);
+        assert_eq!(i3.w_left, 3);
+        assert_eq!(i3.w_right, 4);
     }
 
     #[test]
@@ -364,7 +540,7 @@ mod tests {
         assert!(!r.is_removed(0));
         assert!(!r.is_removed(4));
         for (x, wl) in [(1u32, 1u64), (2, 3), (3, 6)] {
-            let info = r.removed[x as usize].unwrap();
+            let info = r.removed_info(x).unwrap();
             let (l, rgt) = if info.left == 0 {
                 (info.w_left, info.w_right)
             } else {
@@ -373,9 +549,9 @@ mod tests {
             assert_eq!(l, wl, "vertex {x}");
             assert_eq!(l + rgt, 10);
         }
-        let chain = &r.chains[r.removed[1].unwrap().chain as usize];
-        assert_eq!(chain.interior.len(), 3);
-        assert_eq!(chain.total_weight, 10);
+        let cid = r.removed_info(1).unwrap().chain;
+        assert_eq!(r.chains[cid as usize].interior.len(), 3);
+        assert_eq!(r.chain_weight(cid), 10);
     }
 
     #[test]
@@ -431,14 +607,15 @@ mod tests {
         let r = reduce_graph(g.view()).unwrap();
         assert!(r.is_removed(4));
         assert!(!r.is_removed(5)); // degree-1 vertices are anchors
-        let info = r.removed[4].unwrap();
+        let info = r.removed_info(4).unwrap();
         assert_eq!(info.w_left + info.w_right, 5);
         // Edge 0..5 chain became one reduced edge of weight 5.
         let w: Vec<Weight> = r
             .chains
             .iter()
-            .filter(|c| (c.left == 0 && c.right == 5) || (c.left == 5 && c.right == 0))
-            .map(|c| c.total_weight)
+            .enumerate()
+            .filter(|(_, c)| (c.left == 0 && c.right == 5) || (c.left == 5 && c.right == 0))
+            .map(|(cid, _)| r.chain_weight(cid as u32))
             .collect();
         assert_eq!(w, vec![5]);
     }
@@ -502,6 +679,43 @@ mod tests {
         let g = CsrGraph::from_edges(2, &[(0, 0, 1), (0, 1, 2)]);
         assert_eq!(reduce_graph(g.view()).unwrap_err(), NotSimpleError);
     }
+
+    #[test]
+    fn reweighted_matches_cold_reduce_and_shares_topology() {
+        let g = theta();
+        let r = reduce_graph(g.view()).unwrap();
+        let new_w: Vec<Weight> = g.edges().iter().map(|e| e.w * 3 + 1).collect();
+        let h = g.reweighted(&new_w);
+        let warm = r.reweighted(h.view());
+        let cold = reduce_graph(h.view()).unwrap();
+        assert_eq!(warm.reduced.edges(), cold.reduced.edges());
+        for x in 0..g.n() as u32 {
+            match (warm.removed_info(x), cold.removed_info(x)) {
+                (None, None) => {}
+                (Some(a), Some(b)) => assert_eq!(
+                    (a.chain, a.pos, a.left, a.right, a.w_left, a.w_right),
+                    (b.chain, b.pos, b.left, b.right, b.w_left, b.w_right)
+                ),
+                _ => panic!("removed mismatch at {x}"),
+            }
+        }
+        for c in 0..warm.chains.len() as u32 {
+            assert_eq!(warm.chain_weight(c), cold.chain_weight(c));
+        }
+        assert!(r.shares_topology(&warm));
+        assert!(!r.shares_topology(&cold));
+        // Original's weight layer untouched.
+        assert_eq!(r.chain_weight(0) + r.chain_weight(1), 10);
+    }
+
+    #[test]
+    fn reweighted_noop_is_bit_identical() {
+        let g = theta();
+        let r = reduce_graph(g.view()).unwrap();
+        let same = r.reweighted(g.view());
+        assert_eq!(same.reduced.edges(), r.reduced.edges());
+        assert!(same.shares_topology(&r));
+    }
 }
 
 /// Parallel variant of [`reduce_graph`]: chain walks are independent, so
@@ -560,7 +774,7 @@ pub fn reduce_graph_parallel(g: CsrView<'_>) -> Result<ReducedGraph, NotSimpleEr
 
     // Parallel walks; a dummy visited map per walk is unnecessary — the
     // walk is fully determined by its start.
-    let walked: Vec<((u32, u32), Chain)> = starts
+    let walked: Vec<((u32, u32), ChainTopology)> = starts
         .par_iter()
         .map(|&(rank, ai, a, first, first_edge)| {
             (
@@ -593,49 +807,37 @@ pub fn reduce_graph_parallel(g: CsrView<'_>) -> Result<ReducedGraph, NotSimpleEr
     kept.sort_unstable_by_key(|&i| walked[i].0);
 
     // Assemble in the sequential layout: direct edges first, then chains.
-    let mut chains: Vec<Chain> = Vec::with_capacity(kept.len());
-    let mut removed: Vec<Option<RemovedInfo>> = vec![None; n];
-    let mut reduced_edges: Vec<(u32, u32, Weight)> = Vec::new();
+    let mut chains: Vec<ChainTopology> = Vec::with_capacity(kept.len());
+    let mut removed: Vec<Option<RemovedSlot>> = vec![None; n];
     let mut edge_origin: Vec<EdgeOrigin> = Vec::new();
     for (idx, e) in g.edges().iter().enumerate() {
         if anchor[e.u as usize] && anchor[e.v as usize] {
-            reduced_edges.push((to_reduced[e.u as usize], to_reduced[e.v as usize], e.w));
             edge_origin.push(EdgeOrigin::Direct(idx as EdgeId));
         }
     }
     for i in kept {
         let chain = walked[i].1.clone();
         let cid = chains.len() as u32;
-        let mut acc: Weight = 0;
         for (pos, &x) in chain.interior.iter().enumerate() {
-            acc += g.weight(chain.edges[pos]);
-            removed[x as usize] = Some(RemovedInfo {
+            removed[x as usize] = Some(RemovedSlot {
                 chain: cid,
                 pos: pos as u32,
                 left: chain.left,
                 right: chain.right,
-                w_left: acc,
-                w_right: chain.total_weight - acc,
             });
         }
-        reduced_edges.push((
-            to_reduced[chain.left as usize],
-            to_reduced[chain.right as usize],
-            chain.total_weight,
-        ));
         edge_origin.push(EdgeOrigin::Chain(cid));
         chains.push(chain);
     }
 
-    let reduced = CsrGraph::from_edges(retained.len(), &reduced_edges);
-    Ok(ReducedGraph {
-        reduced,
+    let topo = ReducedTopology {
         retained,
         to_reduced,
         edge_origin,
         chains,
         removed,
-    })
+    };
+    Ok(ReducedGraph::customize(Arc::new(topo), g))
 }
 
 /// Side-effect-free chain walk (no shared visited map): a degree-2 interior
@@ -646,10 +848,9 @@ fn walk_chain_pure(
     a: VertexId,
     first: VertexId,
     first_edge: EdgeId,
-) -> Chain {
+) -> ChainTopology {
     let mut edges = vec![first_edge];
     let mut interior = vec![first];
-    let mut total = g.weight(first_edge);
     let mut prev_edge = first_edge;
     let mut cur = first;
     loop {
@@ -661,14 +862,12 @@ fn walk_chain_pure(
             nbrs[0]
         };
         edges.push(e);
-        total += g.weight(e);
         if anchor[next as usize] {
-            return Chain {
+            return ChainTopology {
                 left: a,
                 right: next,
                 edges,
                 interior,
-                total_weight: total,
             };
         }
         interior.push(next);
@@ -697,8 +896,11 @@ mod parallel_tests {
             assert_eq!(ca.interior, cb.interior);
             assert_eq!((ca.left, ca.right), (cb.left, cb.right));
         }
-        for v in 0..g.n() {
-            match (&a.removed[v], &b.removed[v]) {
+        for c in 0..a.chains.len() as u32 {
+            assert_eq!(a.chain_weight(c), b.chain_weight(c));
+        }
+        for v in 0..g.n() as u32 {
+            match (a.removed_info(v), b.removed_info(v)) {
                 (None, None) => {}
                 (Some(x), Some(y)) => {
                     assert_eq!(

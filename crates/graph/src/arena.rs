@@ -16,6 +16,8 @@
 //! term by term (`tests` below and the layout differential suite hold both
 //! to that).
 
+use std::sync::Arc;
+
 use crate::types::{Edge, EdgeId, VertexId, Weight};
 use crate::view::CsrView;
 
@@ -37,12 +39,18 @@ pub struct CsrSpan {
 }
 
 /// Append-only concatenated CSR storage; see the [module docs](self).
+///
+/// The offsets/adjacency arrays are the arena's weight-independent
+/// **topology layer** and live behind [`Arc`]: during construction the
+/// arena is the sole owner so [`Arc::make_mut`] appends in place without
+/// cloning, and [`CsrArena::reweighted`] later produces a new arena that
+/// shares them while recomputing only the weight/edge arrays.
 #[derive(Clone, Debug, Default)]
 pub struct CsrArena {
     /// Concatenated per-graph offset windows; values are absolute
     /// positions in `adj`.
-    offsets: Vec<u32>,
-    adj: Vec<(VertexId, EdgeId)>,
+    offsets: Arc<Vec<u32>>,
+    adj: Arc<Vec<(VertexId, EdgeId)>>,
     weights: Vec<Weight>,
     edges: Vec<Edge>,
 }
@@ -57,8 +65,8 @@ impl CsrArena {
     /// entry per graph, `adj_total` incidence entries, `m_total` edges).
     pub fn with_capacity(n_total: usize, adj_total: usize, m_total: usize) -> Self {
         CsrArena {
-            offsets: Vec::with_capacity(n_total),
-            adj: Vec::with_capacity(adj_total),
+            offsets: Arc::new(Vec::with_capacity(n_total)),
+            adj: Arc::new(Vec::with_capacity(adj_total)),
             weights: Vec::with_capacity(adj_total),
             edges: Vec::with_capacity(m_total),
         }
@@ -73,13 +81,18 @@ impl CsrArena {
     /// Panics if an endpoint is out of range.
     pub fn push(&mut self, n: usize, list: &[(VertexId, VertexId, Weight)]) -> CsrSpan {
         assert!(n < u32::MAX as usize, "vertex count exceeds u32 id space");
-        let off = self.offsets.len();
-        let adj_base = self.adj.len();
+        // During construction the arena is the sole owner of its topology
+        // arrays, so `make_mut` appends in place (no clone); once spans
+        // have been handed out the arena is only read or `reweighted`.
+        let offsets = Arc::make_mut(&mut self.offsets);
+        let adj = Arc::make_mut(&mut self.adj);
+        let off = offsets.len();
+        let adj_base = adj.len();
         let edge_base = self.edges.len();
 
         // Degree counts into the fresh offsets window.
-        self.offsets.resize(off + n + 1, 0);
-        let win = &mut self.offsets[off..];
+        offsets.resize(off + n + 1, 0);
+        let win = &mut offsets[off..];
         for &(u, v, _) in list {
             assert!(
                 (u as usize) < n && (v as usize) < n,
@@ -98,19 +111,19 @@ impl CsrArena {
         let adj_len = (win[n] as usize) - adj_base;
 
         // Counting-sort fill, same traversal as `from_edge_records`.
-        self.adj.resize(adj_base + adj_len, (0, 0));
+        adj.resize(adj_base + adj_len, (0, 0));
         self.weights.resize(adj_base + adj_len, 0);
-        let mut cursor: Vec<u32> = self.offsets[off..off + n + 1].to_vec();
+        let mut cursor: Vec<u32> = offsets[off..off + n + 1].to_vec();
         for (idx, &(u, v, w)) in list.iter().enumerate() {
             let id = idx as EdgeId;
             self.edges.push(Edge::new(u, v, w));
             let cu = cursor[u as usize] as usize;
-            self.adj[cu] = (v, id);
+            adj[cu] = (v, id);
             self.weights[cu] = w;
             cursor[u as usize] += 1;
             if u != v {
                 let cv = cursor[v as usize] as usize;
-                self.adj[cv] = (u, id);
+                adj[cv] = (u, id);
                 self.weights[cv] = w;
                 cursor[v as usize] += 1;
             }
@@ -140,6 +153,59 @@ impl CsrArena {
             &self.weights[adj..adj_hi],
             &self.edges[edge..edge + s.m as usize],
         )
+    }
+
+    /// The same concatenated topology under new weights. `new_weights` is
+    /// indexed by **arena edge record** (length [`CsrArena::edges_len`]);
+    /// the caller maps its own weight space onto arena records via the
+    /// spans it kept from [`CsrArena::push`] (global record of span `s`'s
+    /// local edge `i` is `s.edge + i`). The offsets/adjacency allocations
+    /// are shared with `self`; only the edge records and the per-incidence
+    /// weight stream are rebuilt, and each rebuilt window is bit-identical
+    /// to a fresh [`CsrArena::push`] of the reweighted list.
+    ///
+    /// # Panics
+    /// Panics if `new_weights.len() != self.edges_len()` or the spans do
+    /// not belong to this arena.
+    pub fn reweighted(&self, spans: &[CsrSpan], new_weights: &[Weight]) -> CsrArena {
+        assert_eq!(
+            new_weights.len(),
+            self.edges.len(),
+            "one weight per arena edge record is required"
+        );
+        let edges: Vec<Edge> = self
+            .edges
+            .iter()
+            .zip(new_weights)
+            .map(|(e, &w)| Edge::new(e.u, e.v, w))
+            .collect();
+        // The adjacency stores span-local edge ids, so the parallel weight
+        // stream needs each span's edge base to find the global record.
+        let mut weights = vec![0 as Weight; self.adj.len()];
+        for s in spans {
+            let lo = s.adj as usize;
+            let hi = lo + s.adj_len as usize;
+            assert!(
+                hi <= self.adj.len() && (s.edge + s.m) as usize <= self.edges.len(),
+                "span does not belong to this arena"
+            );
+            for (slot, &(_, le)) in weights[lo..hi].iter_mut().zip(&self.adj[lo..hi]) {
+                *slot = new_weights[(s.edge + le) as usize];
+            }
+        }
+        CsrArena {
+            offsets: Arc::clone(&self.offsets),
+            adj: Arc::clone(&self.adj),
+            weights,
+            edges,
+        }
+    }
+
+    /// True when `other` shares this arena's topology allocations (both
+    /// came from the same [`CsrArena::reweighted`] family). Pointer
+    /// equality, O(1).
+    pub fn shares_topology(&self, other: &CsrArena) -> bool {
+        Arc::ptr_eq(&self.offsets, &other.offsets) && Arc::ptr_eq(&self.adj, &other.adj)
     }
 
     /// Total offsets entries (tiling checks).
@@ -216,6 +282,45 @@ mod tests {
         assert_eq!(off as usize, arena.offsets_len());
         assert_eq!(adj as usize, arena.adj_len());
         assert_eq!(edge as usize, arena.edges_len());
+    }
+
+    #[test]
+    fn reweighted_matches_fresh_push_and_shares_topology() {
+        type EdgeList = (usize, Vec<(u32, u32, u64)>);
+        let lists: Vec<EdgeList> = vec![
+            (3, vec![(0, 1, 1), (1, 2, 2), (2, 0, 3)]),
+            (2, vec![(0, 0, 5), (0, 1, 1), (0, 1, 9)]),
+            (4, vec![(3, 0, 2), (1, 3, 4)]),
+        ];
+        let mut arena = CsrArena::new();
+        let spans: Vec<CsrSpan> = lists.iter().map(|(n, l)| arena.push(*n, l)).collect();
+
+        // Double every weight, indexed by arena edge record.
+        let new_w: Vec<u64> = lists
+            .iter()
+            .flat_map(|(_, l)| l.iter().map(|&(_, _, w)| w * 2))
+            .collect();
+        let re = arena.reweighted(&spans, &new_w);
+        assert!(arena.shares_topology(&re));
+
+        // The reweighted arena is bit-identical to pushing the doubled
+        // lists into a fresh arena.
+        let mut fresh = CsrArena::new();
+        for (n, l) in &lists {
+            let doubled: Vec<(u32, u32, u64)> = l.iter().map(|&(u, v, w)| (u, v, w * 2)).collect();
+            fresh.push(*n, &doubled);
+        }
+        assert!(!fresh.shares_topology(&re));
+        for s in &spans {
+            let a = re.view(s);
+            let b = fresh.view(s);
+            assert_eq!(a.edges(), b.edges());
+            for u in 0..s.n {
+                assert_eq!(a.incidences(u), b.incidences(u));
+            }
+        }
+        // Original untouched.
+        assert_eq!(arena.view(&spans[0]).weight(0), 1);
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Compressed-sparse-row storage for undirected weighted multigraphs.
 
+use std::sync::Arc;
+
 use crate::layout::NodeOrder;
 use crate::types::{Edge, EdgeId, VertexId, Weight};
 use crate::view::CsrView;
@@ -22,12 +24,19 @@ use crate::view::CsrView;
 /// [`CsrGraph::degree`] counts a self-loop once; the suite's degree-based
 /// reductions only run on simple graphs where this distinction is moot, and
 /// the multigraph consumers (minimum cycle basis) never look at degrees.
+///
+/// The offsets/adjacency arrays are the graph's **topology layer**: the
+/// counting-sort construction never looks at a weight, so two graphs with
+/// the same edge list shape share them bit for bit. They live behind
+/// [`Arc`] so [`CsrGraph::reweighted`] can produce a new graph that
+/// recomputes only the **weight layer** (edge records + per-incidence
+/// weights) while sharing the topology allocation with the original.
 #[derive(Clone, Debug)]
 pub struct CsrGraph {
     n: usize,
     edges: Vec<Edge>,
-    offsets: Vec<u32>,
-    adj: Vec<(VertexId, EdgeId)>,
+    offsets: Arc<Vec<u32>>,
+    adj: Arc<Vec<(VertexId, EdgeId)>>,
     /// Per-incidence weights, parallel to `adj` — relaxation loops stream
     /// this alongside the adjacency instead of gathering `edges[e].w`.
     adj_weights: Vec<Weight>,
@@ -81,10 +90,54 @@ impl CsrGraph {
         CsrGraph {
             n,
             edges,
-            offsets,
-            adj,
+            offsets: Arc::new(offsets),
+            adj: Arc::new(adj),
             adj_weights,
         }
+    }
+
+    /// The same topology under new weights: `new_weights[e]` replaces the
+    /// weight of edge `e` while endpoints, edge ids, adjacency order and the
+    /// offsets array are untouched. The offsets/adjacency allocations are
+    /// **shared** with `self` (no clone), and the result is bit-identical to
+    /// [`CsrGraph::from_edge_records`] on the reweighted edge list — the
+    /// counting sort never consults weights, so only the edge records and
+    /// the per-incidence weight stream differ.
+    ///
+    /// # Panics
+    /// Panics if `new_weights.len() != self.m()`.
+    pub fn reweighted(&self, new_weights: &[Weight]) -> CsrGraph {
+        assert_eq!(
+            new_weights.len(),
+            self.m(),
+            "one weight per edge is required"
+        );
+        let edges: Vec<Edge> = self
+            .edges
+            .iter()
+            .zip(new_weights)
+            .map(|(e, &w)| Edge::new(e.u, e.v, w))
+            .collect();
+        let adj_weights: Vec<Weight> = self
+            .adj
+            .iter()
+            .map(|&(_, e)| new_weights[e as usize])
+            .collect();
+        CsrGraph {
+            n: self.n,
+            edges,
+            offsets: Arc::clone(&self.offsets),
+            adj: Arc::clone(&self.adj),
+            adj_weights,
+        }
+    }
+
+    /// True when `other` shares this graph's topology allocations (both
+    /// came from the same [`CsrGraph::reweighted`] family). Pointer
+    /// equality, O(1) — the customization tests use this to prove the
+    /// weight swap did not clone the structure.
+    pub fn shares_topology(&self, other: &CsrGraph) -> bool {
+        Arc::ptr_eq(&self.offsets, &other.offsets) && Arc::ptr_eq(&self.adj, &other.adj)
     }
 
     /// Number of vertices.
@@ -350,6 +403,37 @@ mod tests {
         for v in 0..g.n() as u32 {
             assert_eq!(p.degree(order.rank(v)), g.degree(v));
         }
+    }
+
+    #[test]
+    fn reweighted_matches_cold_construction_and_shares_topology() {
+        let list = [(0, 1, 4), (0, 1, 9), (1, 1, 7), (1, 2, 2), (2, 0, 5)];
+        let g = CsrGraph::from_edges(3, &list);
+        let new_w: Vec<Weight> = vec![40, 90, 70, 20, 50];
+        let r = g.reweighted(&new_w);
+        let cold = CsrGraph::from_edges(
+            3,
+            &list
+                .iter()
+                .zip(&new_w)
+                .map(|(&(u, v, _), &w)| (u, v, w))
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(r.edges(), cold.edges());
+        for v in 0..3u32 {
+            assert_eq!(r.neighbors(v), cold.neighbors(v));
+            assert_eq!(r.incidences(v), cold.incidences(v));
+        }
+        assert!(g.shares_topology(&r));
+        assert!(!g.shares_topology(&cold));
+        // Original untouched.
+        assert_eq!(g.weight(0), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn reweighted_rejects_wrong_length() {
+        triangle().reweighted(&[1, 2]);
     }
 
     #[test]

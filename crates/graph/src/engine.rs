@@ -276,12 +276,30 @@ impl SsspEngine {
     /// weight is strictly positive and below the bucket span (one
     /// sequential pass over the incidence weight window; the `w - 1`
     /// wrap sends zero weights to `u64::MAX`, excluding them).
+    ///
+    /// When a large-enough graph fails only because some weight exceeds
+    /// the bucket span — the case a weight recustomization can newly
+    /// trigger — the `sssp.dial.range_fallback` counter records the
+    /// forced heap fallback.
     #[inline]
     fn bucket_eligible(&self, g: CsrView<'_>) -> bool {
-        g.n() > DIAL_MIN_N
+        if g.n() <= DIAL_MIN_N {
+            return false;
+        }
+        if g.incidence_weights()
+            .iter()
+            .all(|&w| w.wrapping_sub(1) < (DIAL_BUCKETS - 1) as u64)
+        {
+            return true;
+        }
+        if ear_obs::is_enabled()
             && g.incidence_weights()
                 .iter()
-                .all(|&w| w.wrapping_sub(1) < (DIAL_BUCKETS - 1) as u64)
+                .any(|&w| w > (DIAL_BUCKETS - 1) as Weight)
+        {
+            ear_obs::counter_add("sssp.dial.range_fallback", 1);
+        }
+        false
     }
 
     /// The indexed-heap main loop (the general path: any weights, any
@@ -904,14 +922,48 @@ mod tests {
         assert_matches_legacy(&g, &[0, 250]);
     }
 
+    /// Serialises the tests that run overweight graphs against the global
+    /// `sssp.dial.range_fallback` counter, so the exact-delta assertion
+    /// below cannot race with a concurrent fallback run.
+    static RANGE_FALLBACK_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn wide_weights_fall_back_to_the_heap() {
+        let _guard = RANGE_FALLBACK_LOCK.lock().unwrap();
         // A single weight at or above DIAL_BUCKETS keeps the whole run on
         // the heap path — same results either way.
         let mut edges: Vec<(u32, u32, Weight)> = (0..499u32).map(|i| (i, i + 1, 3)).collect();
         edges.push((0, 499, DIAL_BUCKETS as Weight + 7));
         let g = CsrGraph::from_edges(500, &edges);
         assert_matches_legacy(&g, &[0, 499]);
+    }
+
+    #[test]
+    fn range_fallback_counter_counts_overweight_heap_runs() {
+        // Same shape as `wide_weights_fall_back_to_the_heap`: big enough
+        // for Dial, pushed to the heap only by one overweight edge. With
+        // observability on, each such run must tick the fallback counter —
+        // and runs that fail eligibility for other reasons (small graph,
+        // zero weight) must not.
+        let mut edges: Vec<(u32, u32, Weight)> = (0..499u32).map(|i| (i, i + 1, 3)).collect();
+        edges.push((0, 499, DIAL_BUCKETS as Weight + 7));
+        let overweight = CsrGraph::from_edges(500, &edges);
+        let small = diamond();
+        let mut zero_edges: Vec<(u32, u32, Weight)> = (0..499u32).map(|i| (i, i + 1, 3)).collect();
+        zero_edges.push((0, 499, 0));
+        let zero_weight = CsrGraph::from_edges(500, &zero_edges);
+
+        let _guard = RANGE_FALLBACK_LOCK.lock().unwrap();
+        ear_obs::enable();
+        let before = ear_obs::counter_value("sssp.dial.range_fallback");
+        let mut e = SsspEngine::new();
+        e.run(&overweight, 0);
+        e.run(&overweight, 499);
+        e.run(&small, 0); // too small: not a range fallback
+        e.run(&zero_weight, 0); // zero weight: not a range fallback
+        let after = ear_obs::counter_value("sssp.dial.range_fallback");
+        ear_obs::disable();
+        assert_eq!(after - before, 2);
     }
 
     #[test]

@@ -108,6 +108,31 @@ impl<'a> CsrView<'a> {
         }
     }
 
+    /// The same topology window under different weights: reuses the
+    /// offsets/adjacency slices of `self` and swaps in new per-incidence
+    /// weights and edge records — the borrowed counterpart of
+    /// [`CsrGraph::reweighted`](crate::csr::CsrGraph::reweighted).
+    ///
+    /// # Panics
+    /// Panics unless `weights` parallels the adjacency window and `edges`
+    /// has the same length as the current record window.
+    pub fn with_weights(&self, weights: &'a [Weight], edges: &'a [Edge]) -> Self {
+        assert_eq!(weights.len(), self.adj.len(), "weights must parallel adj");
+        assert_eq!(
+            edges.len(),
+            self.edges.len(),
+            "edge records must keep their count"
+        );
+        CsrView {
+            n: self.n,
+            offsets: self.offsets,
+            base: self.base,
+            adj: self.adj,
+            weights,
+            edges,
+        }
+    }
+
     /// Number of vertices.
     #[inline]
     pub fn n(&self) -> usize {
@@ -247,6 +272,22 @@ mod tests {
         for u in 0..g.n() as u32 {
             assert_eq!(m.neighbors(u), g.neighbors(u));
         }
+    }
+
+    #[test]
+    fn with_weights_swaps_only_the_weight_layer() {
+        let g = sample();
+        let new_w: Vec<Weight> = g.edges().iter().map(|e| e.w * 10).collect();
+        let h = g.reweighted(&new_w);
+        let v = g
+            .view()
+            .with_weights(h.view().incidence_weights(), h.edges());
+        assert_eq!(v.edges(), h.edges());
+        for u in 0..g.n() as u32 {
+            assert_eq!(v.neighbors(u), g.neighbors(u));
+            assert_eq!(v.incidences(u), h.view().incidences(u));
+        }
+        assert_eq!(v.total_weight(), g.total_weight() * 10);
     }
 
     #[test]

@@ -126,8 +126,20 @@ pub fn mcb(g: &CsrGraph, config: &McbConfig) -> McbResult {
 
 /// Like [`mcb`], but reuses a prebuilt (and possibly shared)
 /// [`DecompPlan`] instead of re-running the biconnected split and
-/// per-block reduction. `plan` must have been built from `g`.
+/// per-block reduction. `plan` must have been built from `g` — after a
+/// reweight, pair the reweighted graph with
+/// [`DecompPlan::recustomized`](ear_decomp::plan::DecompPlan::recustomized),
+/// not with the stale customization.
 pub fn mcb_with_plan(g: &CsrGraph, plan: &DecompPlan, config: &McbConfig) -> McbResult {
+    debug_assert!(
+        plan.m() == g.m()
+            && plan
+                .edge_weights()
+                .iter()
+                .zip(g.edges())
+                .all(|(&w, e)| w == e.w),
+        "plan customization does not match g's weights — recustomize the plan first"
+    );
     let (cycles, removed, trace, wall_s) = run_blocks(g, plan, config.use_ear);
     let profile = {
         let _s = ear_obs::span("mcb.replay");

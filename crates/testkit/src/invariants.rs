@@ -17,6 +17,10 @@
 //! * [`plan_invariants`] — a [`DecompPlan`] partitions the edge set into
 //!   blocks, its id maps agree with the block-cut tree, and its stored
 //!   per-block reductions are identical to fresh [`reduce_graph`] runs;
+//! * [`customization_invariants`] — [`DecompPlan::recustomized`] shares
+//!   the topology layer, marks dirty exactly the blocks containing a
+//!   changed edge, and is bit-identical to a cold build on the reweighted
+//!   graph;
 //! * [`basis_valid`] — a claimed cycle basis is independent, spanning and
 //!   made of genuine cycle vectors;
 //! * [`exactly_once`] — a heterogeneous execution processed every
@@ -211,10 +215,10 @@ pub fn reduction_invariants(g: &CsrGraph) -> Result<(), String> {
     }
     for (ci, chain) in r.chains.iter().enumerate() {
         let sum: Weight = chain.edges.iter().map(|&e| g.weight(e)).sum();
-        if sum != chain.total_weight {
+        if sum != r.chain_weight(ci as u32) {
             return Err(format!(
                 "chain {ci}: edges sum to {sum}, recorded {}",
-                chain.total_weight
+                r.chain_weight(ci as u32)
             ));
         }
     }
@@ -222,16 +226,19 @@ pub fn reduction_invariants(g: &CsrGraph) -> Result<(), String> {
     // 3. Removed-vertex prefix weights: wt(x,left) + wt(x,right) equals
     //    the chain weight, both strictly positive (§2's d(x,v) formula
     //    depends on this).
-    for (x, info) in r.removed.iter().enumerate() {
-        let Some(info) = info else { continue };
-        let chain = &r.chains[info.chain as usize];
+    for x in 0..g.n() as u32 {
+        let Some(info) = r.removed_info(x) else {
+            continue;
+        };
         if info.w_left == 0 || info.w_right == 0 {
             return Err(format!("removed vertex {x}: zero-length half-chain"));
         }
-        if info.w_left + info.w_right != chain.total_weight {
+        if info.w_left + info.w_right != r.chain_weight(info.chain) {
             return Err(format!(
                 "removed vertex {x}: {} + {} ≠ chain weight {}",
-                info.w_left, info.w_right, chain.total_weight
+                info.w_left,
+                info.w_right,
+                r.chain_weight(info.chain)
             ));
         }
     }
@@ -302,7 +309,7 @@ pub fn plan_invariants(g: &CsrGraph, plan: &DecompPlan) -> Result<(), String> {
     //    and in the block `edge_comp` assigns it to.
     let mut owner = vec![0usize; g.m()];
     for (b, bp) in plan.blocks().iter().enumerate() {
-        for &pe in &bp.to_parent_edge {
+        for &pe in bp.to_parent_edge.iter() {
             owner[pe as usize] += 1;
             if plan.edge_comp()[pe as usize] != b as u32 {
                 return Err(format!(
@@ -448,7 +455,7 @@ pub fn layout_invariants(g: &CsrGraph, plan: &DecompPlan) -> Result<(), String> 
     let mut next = 0u32;
     let mut seen = vec![false; g.n()];
     for (b, bp) in plan.blocks().iter().enumerate() {
-        for &p in &bp.to_parent_vertex {
+        for &p in bp.to_parent_vertex.iter() {
             if bct.vertex_block[p as usize] == b as u32 && !seen[p as usize] {
                 seen[p as usize] = true;
                 if order.rank(p) != next {
@@ -555,6 +562,138 @@ pub fn layout_invariants(g: &CsrGraph, plan: &DecompPlan) -> Result<(), String> 
                 bp.n(),
                 bp.m()
             ));
+        }
+    }
+    Ok(())
+}
+
+/// Checks the topology/customization split of [`DecompPlan::recustomized`]
+/// for the weight vector `new_weights` against `plan` (built on `g`).
+///
+/// Verifies, in order:
+///
+/// * **topology sharing** — the recustomized plan shares `plan`'s
+///   topology layer (`shares_topology`), every block's id maps are the
+///   same allocations, and every reduction shares its recorded chains;
+/// * **dirty-block exactness** — the dirty set is *exactly* the sorted
+///   set of blocks containing an edge whose weight changed, and the
+///   generation counter advanced by one;
+/// * **cold-build bit-identity** — every block graph (edges and
+///   incidence streams), every reduction (reduced edges and per-removed-
+///   vertex `w_left`/`w_right`), and the stored weight vector equal those
+///   of a cold `DecompPlan::build_with_layout` on the reweighted graph.
+pub fn customization_invariants(
+    g: &CsrGraph,
+    plan: &DecompPlan,
+    new_weights: &[Weight],
+) -> Result<(), String> {
+    use std::sync::Arc;
+
+    if new_weights.len() != g.m() {
+        return Err(format!(
+            "weight vector holds {} entries for {} edges",
+            new_weights.len(),
+            g.m()
+        ));
+    }
+    let warm = plan.recustomized(new_weights);
+
+    // 1. Topology sharing.
+    if !plan.shares_topology(&warm) {
+        return Err("recustomized plan does not share the topology layer".into());
+    }
+    for (b, (old, new)) in plan.blocks().iter().zip(warm.blocks()).enumerate() {
+        if !Arc::ptr_eq(&old.to_parent_vertex, &new.to_parent_vertex)
+            || !Arc::ptr_eq(&old.to_parent_edge, &new.to_parent_edge)
+        {
+            return Err(format!("block {b}: id maps were copied, not shared"));
+        }
+        match (&old.reduction, &new.reduction) {
+            (None, None) => {}
+            (Some(ro), Some(rn)) => {
+                if !ro.shares_topology(rn) {
+                    return Err(format!("block {b}: reduction topology was rebuilt"));
+                }
+            }
+            _ => return Err(format!("block {b}: reduction presence changed")),
+        }
+    }
+
+    // 2. Dirty-block exactness and generation accounting.
+    let mut expected: Vec<u32> = plan
+        .edge_weights()
+        .iter()
+        .zip(new_weights)
+        .enumerate()
+        .filter(|(_, (o, n))| o != n)
+        .map(|(e, _)| plan.edge_comp()[e])
+        .collect();
+    expected.sort_unstable();
+    expected.dedup();
+    if warm.dirty_blocks() != expected {
+        return Err(format!(
+            "dirty blocks {:?}, expected exactly the changed-edge blocks {:?}",
+            warm.dirty_blocks(),
+            expected
+        ));
+    }
+    if warm.generation() != plan.generation() + 1 {
+        return Err(format!(
+            "generation went {} → {}",
+            plan.generation(),
+            warm.generation()
+        ));
+    }
+
+    // 3. Bit-identity against a cold build of the reweighted graph.
+    let cold = DecompPlan::build_with_layout(&g.reweighted(new_weights), plan.layout());
+    if warm.edge_weights() != cold.edge_weights() {
+        return Err("stored weight vectors differ from the cold build".into());
+    }
+    for b in 0..plan.n_blocks() as u32 {
+        let (wg, cg) = (warm.block_graph(b), cold.block_graph(b));
+        if wg.edges() != cg.edges() {
+            return Err(format!(
+                "block {b}: edge records differ from the cold build"
+            ));
+        }
+        for u in 0..wg.n() as u32 {
+            if wg.incidences(u) != cg.incidences(u) {
+                return Err(format!(
+                    "block {b} vertex {u}: incidence stream differs from the cold build"
+                ));
+            }
+        }
+        match (warm.reduction(b), cold.reduction(b)) {
+            (None, None) => {}
+            (Some(rw), Some(rc)) => {
+                if rw.reduced.edges() != rc.reduced.edges() {
+                    return Err(format!(
+                        "block {b}: reduced edges differ from the cold build"
+                    ));
+                }
+                for x in 0..wg.n() as u32 {
+                    let (iw, ic) = (rw.removed_info(x), rc.removed_info(x));
+                    let same = match (iw, ic) {
+                        (None, None) => true,
+                        (Some(a), Some(b)) => {
+                            (a.chain, a.pos, a.left, a.right, a.w_left, a.w_right)
+                                == (b.chain, b.pos, b.left, b.right, b.w_left, b.w_right)
+                        }
+                        _ => false,
+                    };
+                    if !same {
+                        return Err(format!(
+                            "block {b} vertex {x}: removed-vertex info differs from the cold build"
+                        ));
+                    }
+                }
+            }
+            _ => {
+                return Err(format!(
+                    "block {b}: reduction presence differs from the cold build"
+                ))
+            }
         }
     }
     Ok(())

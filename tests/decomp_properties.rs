@@ -20,7 +20,7 @@ fn bcc_edges_partition() {
             let plan = DecompPlan::build(g);
             let mut seen = vec![false; g.m()];
             for bp in plan.blocks() {
-                for &e in &bp.to_parent_edge {
+                for &e in bp.to_parent_edge.iter() {
                     if seen[e as usize] {
                         return Err(format!("edge {e} in two components"));
                     }
@@ -187,7 +187,7 @@ fn regression_triangle_with_pendant_edge() {
     invariants::plan_invariants(&g, &plan).unwrap();
     let mut seen = vec![false; g.m()];
     for bp in plan.blocks() {
-        for &e in &bp.to_parent_edge {
+        for &e in bp.to_parent_edge.iter() {
             assert!(!seen[e as usize], "edge {e} in two components");
             seen[e as usize] = true;
         }
