@@ -13,6 +13,10 @@
 //!   tables are stored (`a² + Σ (nᵢʳ)²`) and the §2.1.3 extension runs per
 //!   query — the storage level the paper's published MB figures for its
 //!   chain-heavy graphs imply;
+//! * [`query`] — the serving-grade fast path over a built oracle:
+//!   precomputed per-vertex gateway records, all tables fused into one
+//!   flat arena, a batched many-to-many kernel, and fast path
+//!   realization — bit-identical to the oracle's own query path;
 //! * [`baselines`] — plain Dijkstra-from-every-vertex and Floyd–Warshall
 //!   (the correctness oracle);
 //! * [`partition`] — region-growing graph partitioner (METIS substitute);
@@ -37,6 +41,7 @@ pub mod ear;
 pub mod matrix;
 pub mod oracle;
 pub mod partition;
+pub mod query;
 pub mod reduced_oracle;
 
 pub use ear::{ear_apsp, EarApspOutput};
@@ -45,4 +50,5 @@ pub use oracle::{
     build_oracle, build_oracle_with_plan, build_oracle_with_plan_mode, ApspMethod, DistanceOracle,
     OracleStats,
 };
+pub use query::{QueryEngine, QueryScratch};
 pub use reduced_oracle::ReducedOracle;

@@ -85,6 +85,10 @@ impl OracleStats {
     }
 }
 
+/// One block's AP-pair edge list `(ap_i, ap_j, d)` feeding the AP-graph
+/// Dijkstra, `Arc`-shared between an oracle and its warm refreshes.
+pub(crate) type ApSegment = Arc<Vec<(u32, u32, Weight)>>;
+
 /// The queryable distance oracle.
 ///
 /// Per-block tables sit behind [`Arc`] so an incremental
@@ -97,6 +101,9 @@ pub struct DistanceOracle {
     sssp: SsspMode,
     tables: Vec<Arc<DistMatrix>>,
     ap_table: Arc<DistMatrix>,
+    /// Per-block AP-pair edge lists feeding the AP-graph Dijkstra, cached
+    /// so a refresh recollects only dirty blocks' segments.
+    ap_segments: Vec<ApSegment>,
     stats: OracleStats,
     /// Executor report of the per-block processing phases (II + III).
     pub processing: ExecutionReport,
@@ -157,6 +164,17 @@ impl DistanceOracle {
         }
     }
 
+    /// The per-block distance tables, indexed by block id. Shared storage:
+    /// the query engine's fused arena packs from these.
+    pub fn block_tables(&self) -> &[Arc<DistMatrix>] {
+        &self.tables
+    }
+
+    /// The `a × a` articulation-point distance table.
+    pub fn ap_table(&self) -> &Arc<DistMatrix> {
+        &self.ap_table
+    }
+
     /// Distance between two articulation points from the `a × a` table.
     pub fn ap_dist(&self, a1: VertexId, a2: VertexId) -> Weight {
         let bct = self.plan.bct();
@@ -169,12 +187,15 @@ impl DistanceOracle {
     /// Reconstructs an actual shortest path `u → v` as a vertex sequence
     /// (inclusive of both endpoints), or `None` when disconnected.
     ///
-    /// Works by greedy descent on the distance function: from `x`, some
-    /// neighbor `y` always satisfies `w(x,y) + d(y,v) = d(x,v)` (ties break
-    /// to the smallest edge id, so the path is deterministic). Each step
-    /// costs one oracle query per incident edge — path extraction is a
-    /// per-query operation, exactly how the paper's oracle is meant to be
-    /// used (§2.3 keeps tables, not parent matrices).
+    /// This is the **legacy baseline** realization: greedy descent on the
+    /// distance function — from `x`, some neighbor `y` always satisfies
+    /// `w(x,y) + d(y,v) = d(x,v)` (ties break to the smallest edge id, so
+    /// the path is deterministic) — with every `d(·,v)` answered by a full
+    /// [`Self::dist`] query, i.e. an LCA route plus table reads per
+    /// incident edge per hop. [`crate::QueryEngine::path`] walks the same
+    /// descent over precomputed gateway records and the fused flat tables
+    /// (bit-identical output, the differential suite holds it to that) and
+    /// is the realization servers should call.
     pub fn path(&self, g: &CsrGraph, u: VertexId, v: VertexId) -> Option<Vec<VertexId>> {
         if self.dist(u, v) >= INF {
             return None;
@@ -247,10 +268,17 @@ impl DistanceOracle {
             tables[b as usize] = Arc::new(t);
         }
 
+        // Only dirty blocks' AP-pair segments need recollecting; clean
+        // blocks' within-block AP distances are unchanged by construction.
+        let mut ap_segments = self.ap_segments.clone();
+        for &b in &dirty {
+            ap_segments[b as usize] = Arc::new(ap_segment(&plan, b, &tables[b as usize]));
+        }
+
         let (ap_table, ap_phase) = if dirty.is_empty() {
             (Arc::clone(&self.ap_table), processing.clone())
         } else {
-            let (t, r) = compute_ap_table(&plan, exec, self.sssp, &tables);
+            let (t, r) = compute_ap_table(&plan, exec, self.sssp, &ap_segments);
             (Arc::new(t), r)
         };
 
@@ -265,6 +293,7 @@ impl DistanceOracle {
             sssp: self.sssp,
             tables,
             ap_table,
+            ap_segments,
             stats: self.stats.clone(),
             processing,
             ap_phase,
@@ -288,9 +317,15 @@ impl DistanceOracle {
             return b;
         }
         // `x` is itself an articulation point whose stored block does not
-        // contain `a`: find the block of `x` adjacent to `a` in the tree.
-        (0..self.plan.n_blocks() as u32)
-            .find(|&blk| self.plan.local(blk, x).is_some() && self.plan.local(blk, a).is_some())
+        // contain `a`: scan x's own adjacent blocks (the precomputed
+        // AP→blocks index) for one holding `a` — O(deg(x)) instead of the
+        // old O(n_blocks) all-blocks fallback.
+        self.plan
+            .bct()
+            .blocks_of_ap(x)
+            .iter()
+            .copied()
+            .find(|&blk| self.plan.local(blk, a).is_some())
             .expect("routing produced a non-adjacent gateway")
     }
 }
@@ -423,7 +458,12 @@ pub fn build_oracle_with_plan_mode(
     let (fresh, processing) = compute_block_tables(&plan, exec, method, sssp, &all);
     let tables: Vec<Arc<DistMatrix>> = fresh.into_iter().map(Arc::new).collect();
 
-    let (ap_table, ap_phase) = compute_ap_table(&plan, exec, sssp, &tables);
+    let ap_segments: Vec<ApSegment> = tables
+        .iter()
+        .enumerate()
+        .map(|(b, t)| Arc::new(ap_segment(&plan, b as u32, t)))
+        .collect();
+    let (ap_table, ap_phase) = compute_ap_table(&plan, exec, sssp, &ap_segments);
 
     // Statistics.
     let a = plan.bct().ap_count();
@@ -463,6 +503,7 @@ pub fn build_oracle_with_plan_mode(
         sssp,
         tables,
         ap_table: Arc::new(ap_table),
+        ap_segments,
         stats,
         processing,
         ap_phase,
@@ -596,37 +637,51 @@ fn compute_block_tables(
     (tables, processing)
 }
 
+/// Block `b`'s contribution to the AP graph: one `(ap_index, ap_index,
+/// within-block distance)` edge per finite AP pair of the block, in the
+/// deterministic `i < j` order the cold build has always used.
+fn ap_segment(plan: &DecompPlan, b: u32, table: &DistMatrix) -> Vec<(u32, u32, Weight)> {
+    let bct = plan.bct();
+    let aps = &bct.block_aps[b as usize];
+    let mut seg = Vec::new();
+    for i in 0..aps.len() {
+        for j in i + 1..aps.len() {
+            let (li, lj) = (
+                plan.local(b, aps[i]).unwrap(),
+                plan.local(b, aps[j]).unwrap(),
+            );
+            let w = table.get(li, lj);
+            if w < INF {
+                seg.push((
+                    bct.ap_index[aps[i] as usize],
+                    bct.ap_index[aps[j] as usize],
+                    w,
+                ));
+            }
+        }
+    }
+    seg
+}
+
 /// Stage 2 post-processing: the AP graph (APs connected within each block
-/// by within-block distances) and its all-sources Dijkstra.
+/// by within-block distances) and its all-sources Dijkstra. Consumes
+/// prebuilt per-block edge segments — a refresh recomputes only dirty
+/// blocks' segments and reuses the rest, so the O(Σ aᵢ²) recollection no
+/// longer reruns in full on every recustomization. Concatenation in block
+/// id order keeps the AP graph's edge ids (and thus the Dijkstra results)
+/// bit-identical to a cold build.
 fn compute_ap_table(
     plan: &Arc<DecompPlan>,
     exec: &HeteroExecutor,
     sssp: SsspMode,
-    tables: &[Arc<DistMatrix>],
+    segments: &[ApSegment],
 ) -> (DistMatrix, ExecutionReport) {
     let _ap_span = ear_obs::span("apsp.ap_table");
-    let bct = plan.bct();
-    let a = bct.ap_count();
-    let mut ap_edges: Vec<(u32, u32, Weight)> = Vec::new();
-    for (b, table) in tables.iter().enumerate() {
-        let aps = &bct.block_aps[b];
-        for i in 0..aps.len() {
-            for j in i + 1..aps.len() {
-                let (li, lj) = (
-                    plan.local(b as u32, aps[i]).unwrap(),
-                    plan.local(b as u32, aps[j]).unwrap(),
-                );
-                let w = table.get(li, lj);
-                if w < INF {
-                    ap_edges.push((
-                        bct.ap_index[aps[i] as usize],
-                        bct.ap_index[aps[j] as usize],
-                        w,
-                    ));
-                }
-            }
-        }
-    }
+    let a = plan.bct().ap_count();
+    let ap_edges: Vec<(u32, u32, Weight)> = segments
+        .iter()
+        .flat_map(|seg| seg.iter().copied())
+        .collect();
     let ap_graph = CsrGraph::from_edges(a, &ap_edges);
     let RunOutput {
         results: ap_unit_rows,
@@ -872,7 +927,30 @@ mod tests {
             assert!(Arc::ptr_eq(a, b));
         }
         assert!(Arc::ptr_eq(&oracle.ap_table, &warm.ap_table));
+        for (a, b) in oracle.ap_segments.iter().zip(&warm.ap_segments) {
+            assert!(Arc::ptr_eq(a, b));
+        }
         assert_eq!(warm.processing.total_units(), 0);
+    }
+
+    #[test]
+    fn refresh_recollects_only_dirty_ap_segments() {
+        let g = mixed_graph();
+        let exec = HeteroExecutor::sequential();
+        let plan = Arc::new(DecompPlan::build(&g));
+        let oracle = build_oracle_with_plan(Arc::clone(&plan), &exec, ApspMethod::Ear);
+        let mut w: Vec<Weight> = g.edges().iter().map(|e| e.w).collect();
+        w[0] = 50; // dirties the triangle block only
+        let warm_plan = Arc::new(plan.recustomized(&w));
+        let dirty = warm_plan.dirty_blocks().to_vec();
+        let warm = oracle.recustomized(warm_plan, &exec);
+        for b in 0..plan.n_blocks() {
+            let shared = Arc::ptr_eq(&oracle.ap_segments[b], &warm.ap_segments[b]);
+            assert_eq!(shared, !dirty.contains(&(b as u32)), "block {b}");
+        }
+        // The rebuilt AP table still matches a cold one bit-for-bit.
+        let cold = build_oracle(&g.reweighted(&w), &exec, ApspMethod::Ear);
+        assert_eq!(*warm.ap_table, *cold.ap_table);
     }
 
     #[test]

@@ -20,7 +20,7 @@ use ear_graph::{dist_add, CsrGraph, SsspMode, VertexId, Weight, INF};
 use ear_hetero::{ExecutionReport, HeteroExecutor, RunOutput};
 
 use crate::matrix::DistMatrix;
-use crate::oracle::{sssp_unit_rows, sssp_units};
+use crate::oracle::{sssp_unit_rows, sssp_units, ApSegment};
 
 /// A distance oracle storing `a² + Σ (nᵢʳ)²` entries.
 ///
@@ -34,6 +34,9 @@ pub struct ReducedOracle {
     /// block is not simple) block vertices.
     srs: Vec<Arc<DistMatrix>>,
     ap_table: Arc<DistMatrix>,
+    /// Per-block AP-pair edge lists feeding the AP-graph Dijkstra, cached
+    /// so a refresh recollects only dirty blocks' segments.
+    ap_segments: Vec<ApSegment>,
     /// Executor report of the build (reduced all-sources Dijkstra phase).
     pub processing: ExecutionReport,
 }
@@ -66,12 +69,18 @@ impl ReducedOracle {
         let all: Vec<u32> = (0..plan.n_blocks() as u32).collect();
         let (fresh, processing) = compute_reduced_tables(&plan, exec, sssp, &all);
         let srs: Vec<Arc<DistMatrix>> = fresh.into_iter().map(Arc::new).collect();
-        let ap_table = Arc::new(compute_reduced_ap_table(&plan, sssp, &srs));
+        let ap_segments: Vec<ApSegment> = srs
+            .iter()
+            .enumerate()
+            .map(|(b, sr)| Arc::new(reduced_ap_segment(&plan, b as u32, sr)))
+            .collect();
+        let ap_table = Arc::new(compute_reduced_ap_table(&plan, sssp, &ap_segments));
         ReducedOracle {
             plan,
             sssp,
             srs,
             ap_table,
+            ap_segments,
             processing,
         }
     }
@@ -102,10 +111,15 @@ impl ReducedOracle {
         for (&b, t) in dirty.iter().zip(fresh) {
             srs[b as usize] = Arc::new(t);
         }
+        // Only dirty blocks' AP-pair segments need recollecting.
+        let mut ap_segments = self.ap_segments.clone();
+        for &b in &dirty {
+            ap_segments[b as usize] = Arc::new(reduced_ap_segment(&plan, b, &srs[b as usize]));
+        }
         let ap_table = if dirty.is_empty() {
             Arc::clone(&self.ap_table)
         } else {
-            Arc::new(compute_reduced_ap_table(&plan, self.sssp, &srs))
+            Arc::new(compute_reduced_ap_table(&plan, self.sssp, &ap_segments))
         };
 
         if ear_obs::is_enabled() {
@@ -118,6 +132,7 @@ impl ReducedOracle {
             sssp: self.sssp,
             srs,
             ap_table,
+            ap_segments,
             processing,
         }
     }
@@ -162,9 +177,10 @@ impl ReducedOracle {
         if let (Some(lx), Some(la)) = (self.plan.local(b, x), self.plan.local(b, ap)) {
             return block_pair_dist(self.plan.block(b), &self.srs[b as usize], lx, la);
         }
-        // x is an articulation point whose stored block lacks `ap`: find a
-        // block holding both.
-        for b in 0..self.plan.n_blocks() as u32 {
+        // x is an articulation point whose stored block lacks `ap`: scan
+        // x's own adjacent blocks (precomputed AP→blocks index) for one
+        // holding both — O(deg(x)) instead of the old O(n_blocks) scan.
+        for &b in self.plan.bct().blocks_of_ap(x) {
             if let (Some(lx), Some(la)) = (self.plan.local(b, x), self.plan.local(b, ap)) {
                 return block_pair_dist(self.plan.block(b), &self.srs[b as usize], lx, la);
             }
@@ -243,35 +259,46 @@ fn compute_reduced_tables(
     (srs, processing)
 }
 
-/// AP table over the AP graph, with within-block AP distances answered by
-/// the per-query formula (an articulation point can itself be a degree-2
-/// vertex of its block).
-fn compute_reduced_ap_table(
-    plan: &Arc<DecompPlan>,
-    sssp: SsspMode,
-    srs: &[Arc<DistMatrix>],
-) -> DistMatrix {
+/// Block `b`'s contribution to the reduced AP graph: one edge per finite
+/// AP pair, with within-block AP distances answered by the per-query
+/// formula (an articulation point can itself be a degree-2 vertex of its
+/// block). Deterministic `i < j` order, as the cold build has always used.
+fn reduced_ap_segment(plan: &DecompPlan, b: u32, sr: &DistMatrix) -> Vec<(u32, u32, Weight)> {
     let bct = plan.bct();
-    let a = bct.ap_count();
-    let mut ap_edges: Vec<(u32, u32, Weight)> = Vec::new();
-    for (b, aps) in bct.block_aps.iter().enumerate() {
-        for i in 0..aps.len() {
-            for j in i + 1..aps.len() {
-                let (lu, lv) = (
-                    plan.local(b as u32, aps[i]).unwrap(),
-                    plan.local(b as u32, aps[j]).unwrap(),
-                );
-                let w = block_pair_dist(plan.block(b as u32), &srs[b], lu, lv);
-                if w < INF {
-                    ap_edges.push((
-                        bct.ap_index[aps[i] as usize],
-                        bct.ap_index[aps[j] as usize],
-                        w,
-                    ));
-                }
+    let aps = &bct.block_aps[b as usize];
+    let mut seg = Vec::new();
+    for i in 0..aps.len() {
+        for j in i + 1..aps.len() {
+            let (lu, lv) = (
+                plan.local(b, aps[i]).unwrap(),
+                plan.local(b, aps[j]).unwrap(),
+            );
+            let w = block_pair_dist(plan.block(b), sr, lu, lv);
+            if w < INF {
+                seg.push((
+                    bct.ap_index[aps[i] as usize],
+                    bct.ap_index[aps[j] as usize],
+                    w,
+                ));
             }
         }
     }
+    seg
+}
+
+/// AP table over the AP graph, from prebuilt per-block edge segments —
+/// a refresh recomputes only dirty blocks' segments. Concatenation in
+/// block id order keeps the result bit-identical to a cold build.
+fn compute_reduced_ap_table(
+    plan: &Arc<DecompPlan>,
+    sssp: SsspMode,
+    segments: &[ApSegment],
+) -> DistMatrix {
+    let a = plan.bct().ap_count();
+    let ap_edges: Vec<(u32, u32, Weight)> = segments
+        .iter()
+        .flat_map(|seg| seg.iter().copied())
+        .collect();
     let ap_graph = CsrGraph::from_edges(a, &ap_edges);
     let ap_rows: Vec<Vec<Weight>> = sssp_units(a as u32, sssp)
         .into_iter()
@@ -466,6 +493,8 @@ mod tests {
         for b in 0..plan.n_blocks() {
             let shared = Arc::ptr_eq(&ro.srs[b], &warm.srs[b]);
             assert_eq!(shared, !dirty.contains(&(b as u32)), "block {b}");
+            let seg_shared = Arc::ptr_eq(&ro.ap_segments[b], &warm.ap_segments[b]);
+            assert_eq!(seg_shared, !dirty.contains(&(b as u32)), "segment {b}");
         }
         // No-op refresh shares everything, including the AP table.
         let noop = ro.recustomized(Arc::new(plan.recustomized(plan.edge_weights())), &exec);

@@ -3,7 +3,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use ear_apsp::build_oracle_with_plan_mode;
+use ear_apsp::{build_oracle_with_plan_mode, QueryEngine};
 use ear_core::prelude::*;
 use ear_decomp::{ear_decomposition, DecompPlan};
 use ear_mcb::verify_basis;
@@ -474,6 +474,107 @@ pub fn recustomize(
         cold_total * 1e3,
         cold_total / warm_total.max(1e-9),
     );
+    opts.write_obs_outputs()
+}
+
+/// `ear query` — serve point-to-point queries off the fast-path
+/// [`QueryEngine`] (precomputed gateway records + fused flat tables),
+/// answer any `--pairs` with distance and realized path, then run a
+/// seeded uniform workload through both the fast path and the legacy
+/// oracle, checksum-gated, and report the throughput of each.
+pub fn query(
+    g: &CsrGraph,
+    opts: &CommonOpts,
+    pairs: &[(u32, u32)],
+    queries: usize,
+    seed: u64,
+) -> Result<(), String> {
+    if opts.obs_requested() {
+        ear_obs::enable();
+    }
+    let method = if opts.no_ear {
+        ApspMethod::Plain
+    } else {
+        ApspMethod::Ear
+    };
+    let sssp = if opts.batched {
+        SsspMode::Batched
+    } else {
+        SsspMode::Scalar
+    };
+    let exec = opts.mode.executor();
+    let build_start = Instant::now();
+    let plan = Arc::new(DecompPlan::build_with_layout(g, opts.layout()));
+    let oracle = build_oracle_with_plan_mode(Arc::clone(&plan), &exec, method, sssp);
+    let engine = QueryEngine::new(&oracle);
+    println!(
+        "query engine: {} blocks, {} APs, {} gateway records, {} fused entries, {:.3} ms build wall",
+        plan.n_blocks(),
+        plan.bct().ap_count(),
+        engine.gateway_records(),
+        engine.arena_entries(),
+        build_start.elapsed().as_secs_f64() * 1e3
+    );
+
+    for &(u, v) in pairs {
+        let d = engine.dist(u, v);
+        let legacy = oracle.dist(u, v);
+        if d != legacy {
+            return Err(format!(
+                "fast path diverged from legacy on ({u},{v}): {d} vs {legacy}"
+            ));
+        }
+        if d >= INF {
+            println!("d({u},{v}) = unreachable");
+        } else {
+            match engine.path(g, u, v) {
+                Some(p) => println!("d({u},{v}) = {d}  path {p:?}"),
+                None => println!("d({u},{v}) = {d}"),
+            }
+        }
+    }
+
+    if queries > 0 && g.n() > 0 {
+        let mut rng = seed ^ 0x9a7e;
+        let workload: Vec<(u32, u32)> = (0..queries)
+            .map(|_| {
+                (
+                    (splitmix(&mut rng) % g.n() as u64) as u32,
+                    (splitmix(&mut rng) % g.n() as u64) as u32,
+                )
+            })
+            .collect();
+        let digest = |mut h: u64, d: Weight| {
+            for b in d.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            h
+        };
+        let t0 = Instant::now();
+        let mut lh = 0xcbf29ce484222325u64;
+        for &(u, v) in &workload {
+            lh = digest(lh, oracle.dist(u, v));
+        }
+        let legacy_s = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let mut fh = 0xcbf29ce484222325u64;
+        for &(u, v) in &workload {
+            fh = digest(fh, engine.dist(u, v));
+        }
+        let fast_s = t0.elapsed().as_secs_f64();
+        if fh != lh {
+            return Err(format!(
+                "workload checksum mismatch (fast {fh:016x} != legacy {lh:016x})"
+            ));
+        }
+        println!(
+            "{queries} uniform queries: fast {:.2}M q/s, legacy {:.2}M q/s ({:.1}x), checksum ok {fh:016x}",
+            queries as f64 / fast_s.max(1e-9) / 1e6,
+            queries as f64 / legacy_s.max(1e-9) / 1e6,
+            legacy_s / fast_s.max(1e-9),
+        );
+    }
     opts.write_obs_outputs()
 }
 

@@ -4,6 +4,9 @@
 //! ear stats <graph>                      Table-1 style statistics
 //! ear decompose <graph>                  blocks, articulation points, ears, reduction
 //! ear apsp <graph> [--pairs u:v,...]     build the distance oracle, answer queries
+//! ear query <graph> [--pairs u:v,...] [--queries N]
+//!                                        fast-path query engine: O(1) gateway routing
+//!                                        over fused flat tables, checksum-gated vs legacy
 //! ear mcb <graph> [--print-cycles] [--profile]  minimum cycle basis
 //! ear combined <graph> [--pairs u:v,...] stats + APSP + MCB off one shared plan
 //! ear recustomize <graph> [--fraction F] [--rounds N] [--seed S]
@@ -49,6 +52,7 @@ fn usage() -> &'static str {
   ear stats <graph>
   ear decompose <graph>
   ear apsp <graph> [--pairs u:v[,u:v...]] [--mode M] [--no-ear] [--batched] [--views]
+  ear query <graph> [--pairs u:v[,u:v...]] [--queries N] [--seed S] [--mode M] [--no-ear] [--batched] [--views]
   ear mcb <graph> [--print-cycles] [--profile] [--profile-json] [--mode M] [--no-ear]
   ear combined <graph> [--pairs u:v[,u:v...]] [--mode M] [--no-ear]
   ear recustomize <graph> [--fraction F] [--rounds N] [--seed S] [--mode M] [--no-ear] [--batched] [--views]
@@ -77,6 +81,14 @@ fn run(args: Vec<String>) -> Result<(), String> {
             let opts = CommonOpts::parse(&rest[1..])?;
             let pairs = parse_pairs(&rest[1..], g.n())?;
             commands::apsp(&g, &opts, &pairs)
+        }
+        "query" => {
+            let g = load(rest.first().ok_or("missing graph path")?)?;
+            let opts = CommonOpts::parse(&rest[1..])?;
+            let pairs = parse_pairs(&rest[1..], g.n())?;
+            let queries = parse_value(&rest[1..], "--queries")?.unwrap_or(10_000usize);
+            let seed = parse_value(&rest[1..], "--seed")?.unwrap_or(7u64);
+            commands::query(&g, &opts, &pairs, queries, seed)
         }
         "combined" => {
             let g = load(rest.first().ok_or("missing graph path")?)?;
@@ -175,7 +187,7 @@ impl CommonOpts {
                     i += 1;
                     metrics_out = Some(args.get(i).ok_or("--metrics-out needs a path")?.clone());
                 }
-                "--pairs" | "--fraction" | "--rounds" | "--seed" => {
+                "--pairs" | "--fraction" | "--rounds" | "--seed" | "--queries" => {
                     i += 1; // value consumed by parse_pairs / parse_value
                 }
                 "--print-cycles" | "--profile" | "--profile-json" => {}

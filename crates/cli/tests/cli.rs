@@ -98,6 +98,34 @@ fn apsp_answers_queries_with_paths() {
 }
 
 #[test]
+fn query_fast_path_answers_and_checksums() {
+    let p = tmpfile("theta_query.txt", THETA);
+    let out = ear(&[
+        "query",
+        p.to_str().unwrap(),
+        "--pairs",
+        "1:3,0:2",
+        "--queries",
+        "2000",
+        "--mode",
+        "seq",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("query engine:"), "{text}");
+    assert!(text.contains("d(1,3) = 4"), "{text}");
+    assert!(text.contains("d(0,2) = 3"), "{text}");
+    assert!(text.contains("path"), "{text}");
+    // The workload runs both the fast path and the legacy oracle and
+    // errors out unless the FNV digests match.
+    assert!(text.contains("checksum ok"), "{text}");
+}
+
+#[test]
 fn apsp_ear_toggle_agrees() {
     let p = tmpfile("theta4.txt", THETA);
     let a = ear(&["apsp", p.to_str().unwrap(), "--pairs", "1:3"]);

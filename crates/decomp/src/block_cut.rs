@@ -26,6 +26,11 @@ pub struct BlockCutTree {
     pub vertex_block: Vec<u32>,
     /// Articulation points contained in each block.
     pub block_aps: Vec<Vec<VertexId>>,
+    /// Blocks adjacent to each articulation point: `ap_blocks[i]` is the
+    /// ascending list of block ids containing `aps[i]`. The inverse of
+    /// `block_aps`, so "which blocks hold this AP?" is a slice read instead
+    /// of an O(n_blocks) membership scan.
+    ap_blocks: Vec<Vec<u32>>,
     parent: Vec<u32>,
     depth: Vec<u32>,
     tree_id: Vec<u32>,
@@ -108,6 +113,11 @@ impl BlockCutTree {
             trees += 1;
         }
 
+        // AP → adjacent blocks: the AP nodes' tree adjacency is exactly
+        // that list, already ascending because the block loop above runs in
+        // block-id order.
+        let ap_blocks: Vec<Vec<u32>> = adj[n_blocks..].to_vec();
+
         // Binary lifting table.
         let max_depth = depth.iter().copied().max().unwrap_or(0);
         let levels = (32 - u32::leading_zeros(max_depth.max(1))) as usize;
@@ -134,6 +144,7 @@ impl BlockCutTree {
             ap_index,
             vertex_block,
             block_aps,
+            ap_blocks,
             parent,
             depth,
             tree_id,
@@ -257,9 +268,36 @@ impl BlockCutTree {
         self.block_aps[block as usize].contains(&ap)
     }
 
+    /// Blocks containing articulation point `ap`, ascending by block id.
+    /// Empty when `ap` is not an articulation point.
+    pub fn blocks_of_ap(&self, ap: VertexId) -> &[u32] {
+        let ai = self.ap_index[ap as usize];
+        if ai == u32::MAX {
+            return &[];
+        }
+        &self.ap_blocks[ai as usize]
+    }
+
+    /// Connected-component id of a vertex (`None` for isolated vertices).
+    /// Two vertices have a path between them iff their component ids match.
+    pub fn component_of(&self, v: VertexId) -> Option<u32> {
+        self.node_of_vertex(v)
+            .map(|node| self.tree_id[node as usize])
+    }
+
+    /// Smallest block id containing both articulation points, via a merge
+    /// over their sorted adjacent-block lists — O(deg) instead of the old
+    /// O(n_blocks) scan.
     fn shared_block(&self, a: VertexId, b: VertexId) -> Option<u32> {
-        (0..self.n_blocks as u32)
-            .find(|&blk| self.block_contains_ap(blk, a) && self.block_contains_ap(blk, b))
+        let (mut xs, mut ys) = (self.blocks_of_ap(a), self.blocks_of_ap(b));
+        while let (Some(&x), Some(&y)) = (xs.first(), ys.first()) {
+            match x.cmp(&y) {
+                std::cmp::Ordering::Equal => return Some(x),
+                std::cmp::Ordering::Less => xs = &xs[1..],
+                std::cmp::Ordering::Greater => ys = &ys[1..],
+            }
+        }
+        None
     }
 }
 
@@ -403,6 +441,36 @@ mod tests {
             }
             r => panic!("expected ViaAps, got {r:?}"),
         }
+    }
+
+    #[test]
+    fn ap_block_index_inverts_block_aps() {
+        let (_, _, t) = chain_of_blocks();
+        for (i, &ap) in t.aps.iter().enumerate() {
+            let blocks = t.blocks_of_ap(ap);
+            assert!(!blocks.is_empty(), "AP {ap} adjacent to no block");
+            assert!(blocks.windows(2).all(|w| w[0] < w[1]), "unsorted");
+            for b in 0..t.n_blocks as u32 {
+                assert_eq!(
+                    blocks.contains(&b),
+                    t.block_aps[b as usize].contains(&ap),
+                    "AP {i} block {b}"
+                );
+            }
+        }
+        // Non-APs have no adjacent-block list.
+        assert!(t.blocks_of_ap(0).is_empty());
+    }
+
+    #[test]
+    fn component_ids_partition_the_graph() {
+        let g = CsrGraph::from_edges(6, &[(0, 1, 1), (1, 2, 1), (2, 0, 1), (3, 4, 1)]);
+        let b = biconnected_components(&g);
+        let t = BlockCutTree::new(&g, &b);
+        assert_eq!(t.component_of(0), t.component_of(2));
+        assert_eq!(t.component_of(3), t.component_of(4));
+        assert_ne!(t.component_of(0), t.component_of(3));
+        assert_eq!(t.component_of(5), None); // isolated
     }
 
     #[test]

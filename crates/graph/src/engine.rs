@@ -32,6 +32,20 @@
 //!   heap's `(dist, vertex)` pop order *exactly* (with strictly positive
 //!   weights, no relaxation from a distance-`d` vertex can create
 //!   another distance-`d` entry), so the fast path stays bit-identical.
+//! * **Two-level overflow above the bucket range** — chain contraction
+//!   re-weights a reduced edge to its whole chain's weight sum, so a
+//!   single chain of ≥ [`DIAL_BUCKETS`] unit edges used to push its
+//!   entire block back onto the heap. Weights in
+//!   `DIAL_BUCKETS..DIAL_WEIGHT_LIMIT` now keep the bucket path: the
+//!   buckets hold a **fixed window** of [`DIAL_BUCKETS`] consecutive
+//!   distances, tentative distances past the window park in a flat
+//!   overflow list, and whenever the window drains the engine jumps it
+//!   to the smallest parked distance and promotes everything now in
+//!   range. Equal distances always land on the same side of the window
+//!   boundary, so each bucket still drains complete and sorted — the
+//!   settle order (and every downstream bit) is unchanged. Only weights
+//!   at or above [`DIAL_WEIGHT_LIMIT`] (or zero-weight edges) still fall
+//!   back to the heap, ticking `sssp.dial.range_fallback`.
 //!
 //! Results are **bit-identical** to the legacy free functions
 //! ([`crate::dijkstra::legacy`]): the lazy-deletion heap always pops the
@@ -68,10 +82,31 @@ pub const DIAL_MIN_N: usize = 256;
 /// mask is a fixed 128 words. The range is sized for *reduced* blocks,
 /// not just raw ones: chain contraction re-weights a reduced edge to the
 /// whole chain's weight sum, so blocks that left the reducer carry
-/// weights far above the raw generator range, and a single over-range
-/// edge would otherwise push an entire block back onto the heap.
+/// weights far above the raw generator range.
 pub const DIAL_BUCKETS: usize = 8192;
 const DIAL_MASK_WORDS: usize = DIAL_BUCKETS / 64;
+/// Upper weight bound (exclusive) of the two-level Dial path. Weights in
+/// `DIAL_BUCKETS..DIAL_WEIGHT_LIMIT` run through the overflow level: an
+/// out-of-window push parks in a flat list and is re-scanned once per
+/// window jump, so an entry is touched at most
+/// `DIAL_WEIGHT_LIMIT / DIAL_BUCKETS + 1` times before it settles. 128
+/// window spans keeps that rescan bound small while covering the chain
+/// weights (tens of thousands) that reduced blocks actually produce;
+/// anything heavier falls back to the heap.
+pub const DIAL_WEIGHT_LIMIT: usize = DIAL_BUCKETS * 128;
+
+/// Which priority queue a run takes (see [`SsspEngine::dial_mode`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum DialMode {
+    /// Sliding-window Dial buckets: all weights in `1..DIAL_BUCKETS`.
+    Plain,
+    /// Fixed-window Dial buckets plus the overflow level: all weights in
+    /// `1..DIAL_WEIGHT_LIMIT`, at least one `>= DIAL_BUCKETS`.
+    Overflow,
+    /// Indexed 4-ary heap: small graph, zero weights, or weights past
+    /// [`DIAL_WEIGHT_LIMIT`].
+    Heap,
+}
 
 /// Per-vertex hot state, packed so one relaxation touches one cache line
 /// instead of three separate arrays.
@@ -124,6 +159,11 @@ pub struct SsspEngine {
     /// Occupancy bit per bucket, so advancing past empty buckets costs a
     /// word scan instead of a per-bucket probe.
     bucket_live: [u64; DIAL_MASK_WORDS],
+    /// Overflow level of the two-level Dial path: `(dist, vertex)` entries
+    /// whose tentative distance lies past the current bucket window,
+    /// promoted in bulk when the window jumps. Always drained (empty)
+    /// between runs.
+    overflow: Vec<(Weight, VertexId)>,
     /// Every vertex written this run (superset of `order`).
     touched: Vec<VertexId>,
     /// Settle order of the most recent run (non-decreasing distance).
@@ -150,6 +190,7 @@ impl SsspEngine {
             heap: Vec::new(),
             buckets: Vec::new(),
             bucket_live: [0; DIAL_MASK_WORDS],
+            overflow: Vec::new(),
             touched: Vec::new(),
             order: Vec::new(),
             stats: DijkstraStats::default(),
@@ -234,6 +275,7 @@ impl SsspEngine {
         self.source = source;
         self.tree_run = WANT_TREE;
         self.heap.clear();
+        self.overflow.clear();
         self.touched.clear();
         self.order.clear();
         self.stats = DijkstraStats::default();
@@ -253,10 +295,10 @@ impl SsspEngine {
         }
         self.touched.push(source);
 
-        let (edges_relaxed, heap_pushes) = if self.bucket_eligible(g) {
-            self.run_buckets::<WANT_TREE>(g)
-        } else {
-            self.run_heap::<WANT_TREE>(g)
+        let (edges_relaxed, heap_pushes) = match self.dial_mode(g) {
+            DialMode::Plain => self.run_buckets::<WANT_TREE, false>(g),
+            DialMode::Overflow => self.run_buckets::<WANT_TREE, true>(g),
+            DialMode::Heap => self.run_heap::<WANT_TREE>(g),
         };
         self.stats.settled = self.order.len() as u64;
         self.stats.edges_relaxed = edges_relaxed;
@@ -271,35 +313,38 @@ impl SsspEngine {
         self.stats
     }
 
-    /// True when this run should take the Dial bucket path: the graph is
-    /// big enough that the heap's random accesses dominate, and every
-    /// weight is strictly positive and below the bucket span (one
-    /// sequential pass over the incidence weight window; the `w - 1`
-    /// wrap sends zero weights to `u64::MAX`, excluding them).
+    /// Picks the queue for this run: the heap for small graphs (the whole
+    /// working set is cache-resident anyway), zero weights (they break the
+    /// bucket invariant) and weights at or above [`DIAL_WEIGHT_LIMIT`];
+    /// the plain sliding-window Dial path when every weight fits the
+    /// bucket span; and the two-level overflow Dial path in between. One
+    /// sequential pass over the incidence weight window decides.
     ///
-    /// When a large-enough graph fails only because some weight exceeds
-    /// the bucket span — the case a weight recustomization can newly
-    /// trigger — the `sssp.dial.range_fallback` counter records the
-    /// forced heap fallback.
+    /// When a large-enough positive-weight graph is forced onto the heap
+    /// purely by weight range — the case a weight recustomization can
+    /// newly trigger — the `sssp.dial.range_fallback` counter records it.
     #[inline]
-    fn bucket_eligible(&self, g: CsrView<'_>) -> bool {
+    fn dial_mode(&self, g: CsrView<'_>) -> DialMode {
         if g.n() <= DIAL_MIN_N {
-            return false;
+            return DialMode::Heap;
         }
-        if g.incidence_weights()
-            .iter()
-            .all(|&w| w.wrapping_sub(1) < (DIAL_BUCKETS - 1) as u64)
-        {
-            return true;
+        let mut max_w: Weight = 0;
+        for &w in g.incidence_weights() {
+            if w == 0 {
+                return DialMode::Heap;
+            }
+            max_w = max_w.max(w);
         }
-        if ear_obs::is_enabled()
-            && g.incidence_weights()
-                .iter()
-                .any(|&w| w > (DIAL_BUCKETS - 1) as Weight)
-        {
-            ear_obs::counter_add("sssp.dial.range_fallback", 1);
+        if max_w <= (DIAL_BUCKETS - 1) as Weight {
+            DialMode::Plain
+        } else if max_w < DIAL_WEIGHT_LIMIT as Weight {
+            DialMode::Overflow
+        } else {
+            if ear_obs::is_enabled() {
+                ear_obs::counter_add("sssp.dial.range_fallback", 1);
+            }
+            DialMode::Heap
         }
-        false
     }
 
     /// The indexed-heap main loop (the general path: any weights, any
@@ -379,14 +424,24 @@ impl SsspEngine {
         (edges_relaxed, heap_pushes)
     }
 
-    /// The Dial bucket-queue main loop. Bit-identical to [`run_heap`]
-    /// (see the module docs for the settle-order argument): every bucket
-    /// is drained in ascending vertex order, and with strictly positive
-    /// weights no relaxation from the settling distance can feed the
-    /// bucket currently draining.
+    /// The Dial bucket-queue main loop, monomorphised on `OVERFLOW`:
+    /// `false` is the plain sliding-window path (all weights inside the
+    /// bucket span — no window bookkeeping at all), `true` is the
+    /// two-level path whose buckets hold the fixed distance window
+    /// `[window_end - DIAL_BUCKETS, window_end)` while farther tentative
+    /// distances park in `self.overflow`. Both are bit-identical to
+    /// [`run_heap`] (see the module docs for the settle-order argument):
+    /// every bucket is drained in ascending vertex order, with strictly
+    /// positive weights no relaxation from the settling distance can feed
+    /// the bucket currently draining, and — in overflow mode — equal
+    /// distances always land on the same side of `window_end`, so a
+    /// bucket is always complete when it drains.
     ///
     /// [`run_heap`]: Self::run_heap
-    fn run_buckets<const WANT_TREE: bool>(&mut self, g: CsrView<'_>) -> (u64, u64) {
+    fn run_buckets<const WANT_TREE: bool, const OVERFLOW: bool>(
+        &mut self,
+        g: CsrView<'_>,
+    ) -> (u64, u64) {
         if self.buckets.is_empty() {
             self.buckets = vec![Vec::new(); DIAL_BUCKETS];
         }
@@ -394,14 +449,51 @@ impl SsspEngine {
         let mut edges_relaxed = 0u64;
         let mut heap_pushes = 0u64;
         // Total entries across all buckets, stale ones included — the
-        // loop terminates exactly when the circular array is empty, which
-        // also restores the "all buckets drained" resting invariant.
+        // window is exhausted exactly when the circular array is empty,
+        // which also restores the "all buckets drained" resting invariant.
         let mut entries = 1usize;
         self.buckets[0].push(self.source);
         self.bucket_live[0] |= 1;
         let mut cur_i = 0usize;
         let mut cur_d: Weight = 0;
-        while entries > 0 {
+        // Exclusive upper distance bound of the bucket window (overflow
+        // mode only; the plain path's invariant `nd < cur_d +
+        // DIAL_BUCKETS` needs no tracking).
+        let mut window_end: Weight = DIAL_BUCKETS as Weight;
+        loop {
+            if entries == 0 {
+                if !OVERFLOW || self.overflow.is_empty() {
+                    break;
+                }
+                // Window jump: the smallest parked distance is the true
+                // next settle distance (every unsettled tentative
+                // distance lives in the — empty — buckets or here), so
+                // start the new window at it and promote everything now
+                // in range. Stale parked entries promote harmlessly: the
+                // settled/superseded check at drain time skips them.
+                let base = self
+                    .overflow
+                    .iter()
+                    .map(|&(d, _)| d)
+                    .min()
+                    .expect("overflow is non-empty");
+                cur_d = base;
+                cur_i = (base % DIAL_BUCKETS as Weight) as usize;
+                window_end = base + DIAL_BUCKETS as Weight;
+                let mut i = 0;
+                while i < self.overflow.len() {
+                    let (d, v) = self.overflow[i];
+                    if d < window_end {
+                        let b = (d % DIAL_BUCKETS as Weight) as usize;
+                        self.buckets[b].push(v);
+                        self.bucket_live[b / 64] |= 1u64 << (b % 64);
+                        entries += 1;
+                        self.overflow.swap_remove(i);
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
             let idx = self.next_live_bucket(cur_i);
             cur_d += ((idx + DIAL_BUCKETS - cur_i) % DIAL_BUCKETS) as Weight;
             cur_i = idx;
@@ -457,10 +549,14 @@ impl SsspEngine {
                             };
                         }
                         if strictly_better {
-                            let b = (nd % DIAL_BUCKETS as Weight) as usize;
-                            self.buckets[b].push(v);
-                            self.bucket_live[b / 64] |= 1u64 << (b % 64);
-                            entries += 1;
+                            if OVERFLOW && nd >= window_end {
+                                self.overflow.push((nd, v));
+                            } else {
+                                let b = (nd % DIAL_BUCKETS as Weight) as usize;
+                                self.buckets[b].push(v);
+                                self.bucket_live[b / 64] |= 1u64 << (b % 64);
+                                entries += 1;
+                            }
                             heap_pushes += 1;
                         }
                     }
@@ -922,6 +1018,78 @@ mod tests {
         assert_matches_legacy(&g, &[0, 250]);
     }
 
+    #[test]
+    fn overflow_path_matches_legacy_at_scale() {
+        // Weights far above the bucket span select the two-level overflow
+        // path; distances, trees, settle order, and stats stay
+        // bit-identical to the heap baseline.
+        let g = random_graph(400, 1600, 100_000, 77);
+        assert_eq!(
+            SsspEngine::new().dial_mode(g.view()),
+            DialMode::Overflow,
+            "fixture must exercise the overflow path"
+        );
+        assert_matches_legacy(&g, &[0, 7, 399]);
+    }
+
+    #[test]
+    fn overflow_equal_weight_ties_across_windows() {
+        // One constant overflow-range weight makes whole distance levels
+        // collide, each level landing a fresh window jump away — the
+        // promote-then-sorted-drain order must still match the heap.
+        let g = random_graph(300, 2400, 1, 5);
+        let edges: Vec<(u32, u32, Weight)> = g.edges().iter().map(|e| (e.u, e.v, 10_000)).collect();
+        let g = CsrGraph::from_edges(300, &edges);
+        assert_eq!(SsspEngine::new().dial_mode(g.view()), DialMode::Overflow);
+        assert_matches_legacy(&g, &[0, 123, 299]);
+    }
+
+    #[test]
+    fn overflow_window_jumps_on_heavy_chains() {
+        // Alternating tiny and near-limit weights force entries onto both
+        // sides of every window boundary, and the total distance crosses
+        // tens of thousands of windows.
+        let edges: Vec<(u32, u32, Weight)> = (0..499u32)
+            .map(|i| {
+                let w = if i % 2 == 0 {
+                    DIAL_WEIGHT_LIMIT as Weight - 1
+                } else {
+                    3
+                };
+                (i, i + 1, w)
+            })
+            .collect();
+        let g = CsrGraph::from_edges(500, &edges);
+        assert_eq!(SsspEngine::new().dial_mode(g.view()), DialMode::Overflow);
+        assert_matches_legacy(&g, &[0, 250, 499]);
+    }
+
+    #[test]
+    fn dial_mode_boundary_weights() {
+        let _guard = RANGE_FALLBACK_LOCK.lock().unwrap();
+        let chain = |w: Weight| {
+            let edges: Vec<(u32, u32, Weight)> = (0..399u32).map(|i| (i, i + 1, w)).collect();
+            CsrGraph::from_edges(400, &edges)
+        };
+        let e = SsspEngine::new();
+        assert_eq!(
+            e.dial_mode(chain(DIAL_BUCKETS as Weight - 1).view()),
+            DialMode::Plain
+        );
+        assert_eq!(
+            e.dial_mode(chain(DIAL_BUCKETS as Weight).view()),
+            DialMode::Overflow
+        );
+        assert_eq!(
+            e.dial_mode(chain(DIAL_WEIGHT_LIMIT as Weight - 1).view()),
+            DialMode::Overflow
+        );
+        assert_eq!(
+            e.dial_mode(chain(DIAL_WEIGHT_LIMIT as Weight).view()),
+            DialMode::Heap
+        );
+    }
+
     /// Serialises the tests that run overweight graphs against the global
     /// `sssp.dial.range_fallback` counter, so the exact-delta assertion
     /// below cannot race with a concurrent fallback run.
@@ -930,28 +1098,34 @@ mod tests {
     #[test]
     fn wide_weights_fall_back_to_the_heap() {
         let _guard = RANGE_FALLBACK_LOCK.lock().unwrap();
-        // A single weight at or above DIAL_BUCKETS keeps the whole run on
-        // the heap path — same results either way.
+        // A single weight at or above DIAL_WEIGHT_LIMIT keeps the whole
+        // run on the heap path — same results either way.
         let mut edges: Vec<(u32, u32, Weight)> = (0..499u32).map(|i| (i, i + 1, 3)).collect();
-        edges.push((0, 499, DIAL_BUCKETS as Weight + 7));
+        edges.push((0, 499, DIAL_WEIGHT_LIMIT as Weight + 7));
         let g = CsrGraph::from_edges(500, &edges);
+        assert_eq!(SsspEngine::new().dial_mode(g.view()), DialMode::Heap);
         assert_matches_legacy(&g, &[0, 499]);
     }
 
     #[test]
     fn range_fallback_counter_counts_overweight_heap_runs() {
         // Same shape as `wide_weights_fall_back_to_the_heap`: big enough
-        // for Dial, pushed to the heap only by one overweight edge. With
-        // observability on, each such run must tick the fallback counter —
-        // and runs that fail eligibility for other reasons (small graph,
-        // zero weight) must not.
+        // for Dial, pushed to the heap only by one edge past the overflow
+        // limit. With observability on, each such run must tick the
+        // fallback counter — and runs that miss Dial for other reasons
+        // (small graph, zero weight) or that the overflow level now
+        // absorbs (weight >= DIAL_BUCKETS but < DIAL_WEIGHT_LIMIT) must
+        // not: the overflow family's delta is exactly zero.
         let mut edges: Vec<(u32, u32, Weight)> = (0..499u32).map(|i| (i, i + 1, 3)).collect();
-        edges.push((0, 499, DIAL_BUCKETS as Weight + 7));
+        edges.push((0, 499, DIAL_WEIGHT_LIMIT as Weight + 7));
         let overweight = CsrGraph::from_edges(500, &edges);
         let small = diamond();
         let mut zero_edges: Vec<(u32, u32, Weight)> = (0..499u32).map(|i| (i, i + 1, 3)).collect();
         zero_edges.push((0, 499, 0));
         let zero_weight = CsrGraph::from_edges(500, &zero_edges);
+        let mut of_edges: Vec<(u32, u32, Weight)> = (0..499u32).map(|i| (i, i + 1, 3)).collect();
+        of_edges.push((0, 499, DIAL_BUCKETS as Weight + 7));
+        let overflow_family = CsrGraph::from_edges(500, &of_edges);
 
         let _guard = RANGE_FALLBACK_LOCK.lock().unwrap();
         ear_obs::enable();
@@ -961,6 +1135,8 @@ mod tests {
         e.run(&overweight, 499);
         e.run(&small, 0); // too small: not a range fallback
         e.run(&zero_weight, 0); // zero weight: not a range fallback
+        e.run(&overflow_family, 0); // overflow Dial handles it: no tick
+        e.run(&overflow_family, 499);
         let after = ear_obs::counter_value("sssp.dial.range_fallback");
         ear_obs::disable();
         assert_eq!(after - before, 2);
@@ -968,15 +1144,23 @@ mod tests {
 
     #[test]
     fn bucket_and_heap_runs_interleave_on_one_engine() {
-        // The same engine must flip between paths without state leaking:
-        // buckets stay drained, heap stays cleared, stamps stay valid.
+        // The same engine must flip between all three paths without state
+        // leaking: buckets stay drained, overflow stays drained, heap
+        // stays cleared, stamps stay valid.
+        let _guard = RANGE_FALLBACK_LOCK.lock().unwrap();
         let dial = random_graph(320, 1200, 50, 11);
-        let heap = random_graph(320, 1200, 5000, 12);
+        let over = random_graph(320, 1200, 80_000, 13);
+        let heap = random_graph(320, 1200, 5_000_000, 12);
         let small = diamond();
         let mut e = SsspEngine::new();
+        assert_eq!(e.dial_mode(dial.view()), DialMode::Plain);
+        assert_eq!(e.dial_mode(over.view()), DialMode::Overflow);
+        assert_eq!(e.dial_mode(heap.view()), DialMode::Heap);
         for s in [0u32, 31, 64] {
             e.run(&dial, s);
             assert_eq!(e.dist_vec(), legacy::dijkstra(&dial, s));
+            e.run(&over, s);
+            assert_eq!(e.dist_vec(), legacy::dijkstra(&over, s));
             e.run(&heap, s);
             assert_eq!(e.dist_vec(), legacy::dijkstra(&heap, s));
             e.run(&small, s % 4);

@@ -141,7 +141,36 @@ fn disabled_tracing_allocates_nothing_and_records_nothing() {
     });
     assert_eq!(delta, 0, "registry reads allocated {delta} times");
 
-    // 4. The viewed decomposition layout earns its name: on a block-rich
+    // 4. The query fast path is allocation-free in steady state with
+    //    tracing off: scalar `dist` always, and the batched kernel once
+    //    its scratch and output vectors are warmed by a first batch.
+    let q = ear_apsp::QueryEngine::new(&oracle);
+    let delta = min_alloc_delta(3, || {
+        for u in 0..8u32 {
+            for v in 0..8u32 {
+                std::hint::black_box(q.dist(u, v));
+            }
+        }
+    });
+    assert_eq!(
+        delta, 0,
+        "disabled-obs scalar queries allocated {delta} times"
+    );
+    let all: Vec<u32> = (0..8).collect();
+    let mut scratch = ear_apsp::QueryScratch::new();
+    let mut out = Vec::new();
+    q.dist_batch_into(&all, &all, &mut scratch, &mut out); // warm-up
+    let delta = min_alloc_delta(3, || {
+        for _ in 0..100 {
+            q.dist_batch_into(&all, &all, &mut scratch, &mut out);
+        }
+    });
+    assert_eq!(
+        delta, 0,
+        "warmed disabled-obs batches allocated {delta} times"
+    );
+
+    // 5. The viewed decomposition layout earns its name: on a block-rich
     //    graph, a `LayoutMode::Viewed` plan build allocates no per-block
     //    adjacency copies, so it must come in well under a
     //    `LayoutMode::Copied` build of the same graph — at least the four
