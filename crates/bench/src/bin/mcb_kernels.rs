@@ -257,6 +257,12 @@ fn write_json(path: &str, opts: &Opts, results: &[FamilyResult]) {
         .uint("seed", opts.seed)
         .uint("reps", opts.reps as u64)
         .flag("smoke", opts.smoke);
+    use ear_bench::report::Direction::{Higher, Lower};
+    rep.column("legacy_ns_per_phase", Lower)
+        .column("kernel_ns_per_phase", Lower)
+        .column("legacy_allocs_per_phase", Lower)
+        .column("kernel_allocs_per_phase", Lower)
+        .column("speedup", Higher);
     for r in results {
         rep.family(r.family, r.weight, opts.reps as u64)
             .uint("graphs", r.graphs as u64)

@@ -496,6 +496,14 @@ fn write_json(path: &str, opts: &Opts, runs: &[FamilyRun]) {
         .uint("queries", opts.queries as u64)
         .uint("blocks", opts.blocks as u64)
         .flag("smoke", opts.smoke);
+    use ear_bench::report::Direction::{Higher, Lower};
+    rep.column("fast_p50_ns", Lower)
+        .column("fast_p99_ns", Lower)
+        .column("fast_qps", Higher)
+        .column("legacy_p50_ns", Lower)
+        .column("legacy_p99_ns", Lower)
+        .column("legacy_qps", Higher)
+        .column("speedup", Higher);
     let mut min_p2p = f64::INFINITY;
     let mut min_path = f64::INFINITY;
     for run in runs {

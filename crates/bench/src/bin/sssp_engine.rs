@@ -484,6 +484,17 @@ fn write_json(path: &str, opts: &Opts, results: &[FamilyResult]) {
         .uint("seed", opts.seed)
         .uint("reps", opts.reps as u64)
         .flag("smoke", opts.smoke);
+    use ear_bench::report::Direction::{Higher, Lower};
+    rep.column("legacy_ns_per_source", Lower)
+        .column("engine_ns_per_source", Lower)
+        .column("batched_per_source", Lower) // ns despite the name
+        .column("legacy_edges_relaxed_per_sec", Higher)
+        .column("engine_edges_relaxed_per_sec", Higher)
+        .column("batched_edges_relaxed_per_sec", Higher)
+        .column("speedup", Higher)
+        .column("batched_speedup", Higher)
+        .column("batched_vs_engine", Higher)
+        .column("view_vs_copied_front_half", Higher);
     for r in results {
         rep.family(r.family, r.checksum, opts.reps as u64)
             .uint("graphs", r.graphs as u64)

@@ -328,6 +328,10 @@ fn write_json(path: &str, opts: &Opts, runs: &[FamilyRun]) {
                 .collect::<Vec<_>>()
                 .join(","),
         );
+    use ear_bench::report::Direction::{Higher, Lower};
+    rep.column("warm_ns", Lower)
+        .column("cold_ns", Lower)
+        .column("speedup", Higher);
     let mut small_speedups = Vec::new();
     for run in runs {
         for c in &run.cells {

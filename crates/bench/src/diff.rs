@@ -1,0 +1,618 @@
+//! The perf-regression sentinel: compare two `ear-bench/v1` reports.
+//!
+//! `ear bench-diff <baseline.json> <candidate.json>` reads the schema
+//! the bench binaries emit ([`crate::report`]) and answers one question:
+//! *did anything get slower, beyond noise?* The comparison is
+//! **checksum-gated**: a family row is only compared when both runs
+//! produced the same correctness certificate (distance sum, basis
+//! weight, pipeline digest), because timings from runs that did
+//! different work — different `--smoke` scale, different seed —
+//! are not a regression signal. Mismatched rows are reported as
+//! `incomparable` and never fail the diff; this is what lets CI diff its
+//! smoke-scale candidates against full-scale committed baselines without
+//! lying about what it measured.
+//!
+//! Which columns are measurements, and which way they improve, comes
+//! from the report's own `columns` direction metadata
+//! ([`crate::report::Direction`]) when present; otherwise a naming
+//! heuristic covers legacy reports (`*_ns`, `*_ns_per_*` → lower is
+//! better; `*_per_sec`, `*speedup*`, `*qps*` → higher). A relative
+//! change past the noise threshold against a column's direction is a
+//! regression; past it in favour, an improvement; anything else `ok`.
+//!
+//! Output is a human table ([`DiffResult::human_table`]) plus a machine
+//! verdict (`ear-bench-diff/v1`, [`DiffResult::to_json`]): verdict
+//! `pass` or `regression`, one entry per family, one per compared
+//! column. Verdict `pass` on identical inputs is a hard guarantee
+//! (change is exactly 0 everywhere), unit-tested below along with an
+//! injected 20% regression fixture.
+
+use ear_obs::json::{escape, parse, Value};
+
+use crate::report::Direction;
+
+/// Default noise threshold: relative change beyond ±5% flags.
+pub const DEFAULT_THRESHOLD: f64 = 0.05;
+
+/// Verdict over the whole diff.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// No compared column regressed beyond the threshold.
+    Pass,
+    /// At least one compared column regressed beyond the threshold.
+    Regression,
+}
+
+impl Verdict {
+    /// The schema string for this verdict.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Verdict::Pass => "pass",
+            Verdict::Regression => "regression",
+        }
+    }
+}
+
+/// Outcome of one column comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ColStatus {
+    /// Within the noise threshold.
+    Ok,
+    /// Changed against the column's direction beyond the threshold.
+    Regression,
+    /// Changed in the column's favour beyond the threshold.
+    Improvement,
+}
+
+impl ColStatus {
+    fn as_str(self) -> &'static str {
+        match self {
+            ColStatus::Ok => "ok",
+            ColStatus::Regression => "regression",
+            ColStatus::Improvement => "improvement",
+        }
+    }
+}
+
+/// One compared measurement column within a family row.
+#[derive(Clone, Debug)]
+pub struct ColDiff {
+    /// Column name (the bench binary's historical field name).
+    pub name: String,
+    /// Comparison direction the column was diffed under.
+    pub direction: Direction,
+    /// Baseline value.
+    pub base: f64,
+    /// Candidate value.
+    pub cand: f64,
+    /// Relative change in percent (`(cand - base) / base * 100`).
+    pub change_pct: f64,
+    /// Outcome against the threshold.
+    pub status: ColStatus,
+}
+
+/// Why a family row was not compared.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FamilyStatus {
+    /// Checksums matched; columns were compared.
+    Compared,
+    /// Both runs have the row but their checksums differ (different
+    /// work — e.g. smoke vs full scale). Skipped, never a failure.
+    ChecksumMismatch,
+    /// Row only present in the baseline.
+    BaselineOnly,
+    /// Row only present in the candidate.
+    CandidateOnly,
+}
+
+impl FamilyStatus {
+    fn as_str(self) -> &'static str {
+        match self {
+            FamilyStatus::Compared => "compared",
+            FamilyStatus::ChecksumMismatch => "checksum-mismatch",
+            FamilyStatus::BaselineOnly => "baseline-only",
+            FamilyStatus::CandidateOnly => "candidate-only",
+        }
+    }
+}
+
+/// One family row's comparison.
+#[derive(Clone, Debug)]
+pub struct FamilyDiff {
+    /// The row's `family` identifier.
+    pub family: String,
+    /// Whether and why the row was (not) compared.
+    pub status: FamilyStatus,
+    /// Per-column results (empty unless [`FamilyStatus::Compared`]).
+    pub columns: Vec<ColDiff>,
+}
+
+/// The full diff of candidate vs baseline.
+#[derive(Clone, Debug)]
+pub struct DiffResult {
+    /// Bench name (from the candidate report).
+    pub name: String,
+    /// Noise threshold the comparison ran under (relative, e.g. 0.05).
+    pub threshold: f64,
+    /// Per-family results, baseline order (candidate-only rows last).
+    pub families: Vec<FamilyDiff>,
+}
+
+impl DiffResult {
+    /// Overall verdict: [`Verdict::Regression`] iff any compared column
+    /// regressed.
+    pub fn verdict(&self) -> Verdict {
+        if self.count(ColStatus::Regression) > 0 {
+            Verdict::Regression
+        } else {
+            Verdict::Pass
+        }
+    }
+
+    fn count(&self, s: ColStatus) -> usize {
+        self.families
+            .iter()
+            .flat_map(|f| f.columns.iter())
+            .filter(|c| c.status == s)
+            .count()
+    }
+
+    fn family_count(&self, s: FamilyStatus) -> usize {
+        self.families.iter().filter(|f| f.status == s).count()
+    }
+
+    /// Render the human-facing comparison table.
+    pub fn human_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "bench-diff: {} (threshold ±{:.1}%)\n",
+            self.name,
+            self.threshold * 100.0
+        ));
+        let w = self
+            .families
+            .iter()
+            .flat_map(|f| f.columns.iter().map(|c| c.name.len()))
+            .chain(std::iter::once(6))
+            .max()
+            .unwrap();
+        for f in &self.families {
+            if f.status != FamilyStatus::Compared {
+                out.push_str(&format!("  {} [{}]\n", f.family, f.status.as_str()));
+                continue;
+            }
+            out.push_str(&format!("  {}\n", f.family));
+            for c in &f.columns {
+                let marker = match c.status {
+                    ColStatus::Ok => "",
+                    ColStatus::Regression => "  <-- REGRESSION",
+                    ColStatus::Improvement => "  (improved)",
+                };
+                out.push_str(&format!(
+                    "    {:<w$}  {:>14.3} -> {:>14.3}  {:>+8.2}%{}\n",
+                    c.name, c.base, c.cand, c.change_pct, marker
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "verdict: {} ({} compared, {} incomparable, {} regressions, {} improvements)\n",
+            self.verdict().as_str(),
+            self.family_count(FamilyStatus::Compared),
+            self.families.len() - self.family_count(FamilyStatus::Compared),
+            self.count(ColStatus::Regression),
+            self.count(ColStatus::Improvement),
+        ));
+        out
+    }
+
+    /// Render the machine verdict (`ear-bench-diff/v1`).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"schema\": \"ear-bench-diff/v1\",\n");
+        s.push_str(&format!("  \"name\": \"{}\",\n", escape(&self.name)));
+        s.push_str(&format!(
+            "  \"threshold_pct\": {},\n",
+            self.threshold * 100.0
+        ));
+        s.push_str(&format!(
+            "  \"verdict\": \"{}\",\n",
+            self.verdict().as_str()
+        ));
+        s.push_str(&format!(
+            "  \"compared\": {},\n  \"incomparable\": {},\n  \
+             \"regressions\": {},\n  \"improvements\": {},\n",
+            self.family_count(FamilyStatus::Compared),
+            self.families.len() - self.family_count(FamilyStatus::Compared),
+            self.count(ColStatus::Regression),
+            self.count(ColStatus::Improvement),
+        ));
+        s.push_str("  \"families\": [\n");
+        for (i, f) in self.families.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"family\": \"{}\", \"status\": \"{}\", \"columns\": [",
+                escape(&f.family),
+                f.status.as_str()
+            ));
+            for (j, c) in f.columns.iter().enumerate() {
+                if j > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&format!(
+                    "{{\"name\": \"{}\", \"direction\": \"{}\", \"base\": {}, \
+                     \"cand\": {}, \"change_pct\": {}, \"status\": \"{}\"}}",
+                    escape(&c.name),
+                    c.direction.as_str(),
+                    fmt(c.base),
+                    fmt(c.cand),
+                    fmt(c.change_pct),
+                    c.status.as_str()
+                ));
+            }
+            s.push_str(if i + 1 == self.families.len() {
+                "]}\n"
+            } else {
+                "]},\n"
+            });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+fn fmt(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Direction of a column when the report carries no `columns` metadata:
+/// infer from the bench binaries' historical naming. Unknown names are
+/// [`Direction::Info`] (context, not measurement).
+pub fn heuristic_direction(name: &str) -> Direction {
+    let lower_better = name.ends_with("_ns")
+        || name.contains("ns_per")
+        || name.contains("_p50_ns")
+        || name.contains("_p99_ns")
+        || name.ends_with("_per_source")
+        || name.ends_with("allocs_per_phase");
+    let higher_better =
+        name.contains("per_sec") || name.contains("speedup") || name.contains("qps");
+    if higher_better {
+        Direction::Higher
+    } else if lower_better {
+        Direction::Lower
+    } else {
+        Direction::Info
+    }
+}
+
+fn parse_direction(s: &str) -> Direction {
+    match s {
+        "lower" => Direction::Lower,
+        "higher" => Direction::Higher,
+        _ => Direction::Info,
+    }
+}
+
+/// The checksum field of a family row: `checksum`, or any `*_checksum`
+/// key (e.g. `basis_weight_checksum` in the MCB report).
+fn row_checksum(row: &Value) -> Option<f64> {
+    if let Some(v) = row.get("checksum").and_then(Value::as_f64) {
+        return Some(v);
+    }
+    row.as_obj()?
+        .iter()
+        .find(|(k, _)| k.ends_with("_checksum"))
+        .and_then(|(_, v)| v.as_f64())
+}
+
+struct ParsedReport {
+    name: String,
+    directions: Vec<(String, Direction)>,
+    families: Vec<(String, Value)>,
+}
+
+fn parse_report(text: &str, which: &str) -> Result<ParsedReport, String> {
+    let doc = parse(text).map_err(|e| format!("{which}: {e}"))?;
+    match doc.get("schema").and_then(Value::as_str) {
+        Some("ear-bench/v1") => {}
+        Some(other) => return Err(format!("{which}: unsupported schema \"{other}\"")),
+        None => {
+            return Err(format!(
+                "{which}: missing \"schema\" (not an ear-bench/v1 report)"
+            ))
+        }
+    }
+    let name = doc
+        .get("name")
+        .or_else(|| doc.get("bench"))
+        .and_then(Value::as_str)
+        .unwrap_or("unknown")
+        .to_string();
+    let mut directions = Vec::new();
+    if let Some(cols) = doc.get("columns").and_then(Value::as_obj) {
+        for (k, v) in cols {
+            if let Some(d) = v.as_str() {
+                directions.push((k.clone(), parse_direction(d)));
+            }
+        }
+    }
+    let rows = doc
+        .get("families")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| format!("{which}: missing \"families\" array"))?;
+    let mut families = Vec::new();
+    for (i, row) in rows.iter().enumerate() {
+        let fam = row
+            .get("family")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("{which}: family row {i} lacks a \"family\" name"))?;
+        families.push((fam.to_string(), row.clone()));
+    }
+    Ok(ParsedReport {
+        name,
+        directions,
+        families,
+    })
+}
+
+/// Compare two rendered `ear-bench/v1` documents. `threshold` is the
+/// relative noise tolerance (e.g. `0.05` = ±5%).
+pub fn diff_reports(baseline: &str, candidate: &str, threshold: f64) -> Result<DiffResult, String> {
+    let base = parse_report(baseline, "baseline")?;
+    let cand = parse_report(candidate, "candidate")?;
+    if base.name != cand.name {
+        return Err(format!(
+            "bench name mismatch: baseline is \"{}\", candidate is \"{}\"",
+            base.name, cand.name
+        ));
+    }
+    // Candidate metadata wins (it reflects the code under test), then
+    // baseline metadata, then the naming heuristic.
+    let direction_of = |col: &str| -> Direction {
+        cand.directions
+            .iter()
+            .chain(base.directions.iter())
+            .find(|(n, _)| n == col)
+            .map(|(_, d)| *d)
+            .unwrap_or_else(|| heuristic_direction(col))
+    };
+
+    let mut families = Vec::new();
+    for (fam, brow) in &base.families {
+        let Some((_, crow)) = cand.families.iter().find(|(f, _)| f == fam) else {
+            families.push(FamilyDiff {
+                family: fam.clone(),
+                status: FamilyStatus::BaselineOnly,
+                columns: Vec::new(),
+            });
+            continue;
+        };
+        if row_checksum(brow) != row_checksum(crow) {
+            families.push(FamilyDiff {
+                family: fam.clone(),
+                status: FamilyStatus::ChecksumMismatch,
+                columns: Vec::new(),
+            });
+            continue;
+        }
+        let mut columns = Vec::new();
+        for (col, bval) in brow.as_obj().into_iter().flatten() {
+            let dir = direction_of(col);
+            if dir == Direction::Info {
+                continue;
+            }
+            let (Some(b), Some(c)) = (bval.as_f64(), crow.get(col).and_then(Value::as_f64)) else {
+                continue;
+            };
+            let change = if b != 0.0 { (c - b) / b } else { 0.0 };
+            let signed = match dir {
+                Direction::Lower => change,   // up = worse
+                Direction::Higher => -change, // down = worse
+                Direction::Info => unreachable!(),
+            };
+            let status = if signed > threshold {
+                ColStatus::Regression
+            } else if signed < -threshold {
+                ColStatus::Improvement
+            } else {
+                ColStatus::Ok
+            };
+            columns.push(ColDiff {
+                name: col.clone(),
+                direction: dir,
+                base: b,
+                cand: c,
+                change_pct: change * 100.0,
+                status,
+            });
+        }
+        families.push(FamilyDiff {
+            family: fam.clone(),
+            status: FamilyStatus::Compared,
+            columns,
+        });
+    }
+    for (fam, _) in &cand.families {
+        if !base.families.iter().any(|(f, _)| f == fam) {
+            families.push(FamilyDiff {
+                family: fam.clone(),
+                status: FamilyStatus::CandidateOnly,
+                columns: Vec::new(),
+            });
+        }
+    }
+    Ok(DiffResult {
+        name: cand.name,
+        threshold,
+        families,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture(ns_per_op: f64, checksum: u64) -> String {
+        let mut rep = crate::report::Report::new("diff_fixture");
+        rep.params().uint("seed", 7);
+        rep.column("ns_per_op", Direction::Lower)
+            .column("ops_per_sec", Direction::Higher)
+            .column("graphs", Direction::Info);
+        rep.family("fam_a", checksum, 5)
+            .num("ns_per_op", ns_per_op, 3)
+            .num("ops_per_sec", 1e9 / ns_per_op, 1)
+            .uint("graphs", 3);
+        rep.family("fam_b", 999, 5)
+            .num("ns_per_op", 10.0, 3)
+            .num("ops_per_sec", 1e8, 1)
+            .uint("graphs", 3);
+        rep.summary().num("median_speedup", 1.0, 3);
+        rep.render()
+    }
+
+    #[test]
+    fn identical_inputs_pass_with_zero_change() {
+        let doc = fixture(100.0, 42);
+        let d = diff_reports(&doc, &doc, DEFAULT_THRESHOLD).unwrap();
+        assert_eq!(d.verdict(), Verdict::Pass);
+        for f in &d.families {
+            assert_eq!(f.status, FamilyStatus::Compared);
+            assert!(!f.columns.is_empty());
+            for c in &f.columns {
+                assert_eq!(c.change_pct, 0.0);
+                assert_eq!(c.status, ColStatus::Ok);
+            }
+            // Info columns are never compared.
+            assert!(f.columns.iter().all(|c| c.name != "graphs"));
+        }
+        // The verdict JSON parses and agrees.
+        let v = parse(&d.to_json()).unwrap();
+        assert_eq!(v.get("verdict").unwrap().as_str(), Some("pass"));
+        assert_eq!(v.get("regressions").unwrap().as_f64(), Some(0.0));
+    }
+
+    #[test]
+    fn injected_20pct_regression_is_flagged() {
+        let base = fixture(100.0, 42);
+        let cand = fixture(120.0, 42); // 20% slower per op
+        let d = diff_reports(&base, &cand, DEFAULT_THRESHOLD).unwrap();
+        assert_eq!(d.verdict(), Verdict::Regression);
+        let fam_a = d.families.iter().find(|f| f.family == "fam_a").unwrap();
+        let ns = fam_a
+            .columns
+            .iter()
+            .find(|c| c.name == "ns_per_op")
+            .unwrap();
+        assert_eq!(ns.status, ColStatus::Regression);
+        assert!((ns.change_pct - 20.0).abs() < 1e-9);
+        // The throughput column regresses too (direction: higher).
+        let ops = fam_a
+            .columns
+            .iter()
+            .find(|c| c.name == "ops_per_sec")
+            .unwrap();
+        assert_eq!(ops.status, ColStatus::Regression);
+        // fam_b unchanged.
+        let fam_b = d.families.iter().find(|f| f.family == "fam_b").unwrap();
+        assert!(fam_b.columns.iter().all(|c| c.status == ColStatus::Ok));
+        let v = parse(&d.to_json()).unwrap();
+        assert_eq!(v.get("verdict").unwrap().as_str(), Some("regression"));
+        assert!(d.human_table().contains("REGRESSION"));
+    }
+
+    #[test]
+    fn improvement_and_threshold_window() {
+        let base = fixture(100.0, 42);
+        let faster = fixture(80.0, 42); // 20% faster
+        let d = diff_reports(&base, &faster, DEFAULT_THRESHOLD).unwrap();
+        assert_eq!(d.verdict(), Verdict::Pass);
+        let ns = d.families[0]
+            .columns
+            .iter()
+            .find(|c| c.name == "ns_per_op")
+            .unwrap();
+        assert_eq!(ns.status, ColStatus::Improvement);
+        // Within-noise change stays ok.
+        let near = fixture(103.0, 42); // +3% < 5% threshold
+        let d = diff_reports(&base, &near, DEFAULT_THRESHOLD).unwrap();
+        assert_eq!(d.verdict(), Verdict::Pass);
+        assert!(d.families[0]
+            .columns
+            .iter()
+            .all(|c| c.status == ColStatus::Ok));
+    }
+
+    #[test]
+    fn checksum_mismatch_is_incomparable_not_a_failure() {
+        let base = fixture(100.0, 42);
+        let cand = fixture(500.0, 43); // 5x slower BUT different work
+        let d = diff_reports(&base, &cand, DEFAULT_THRESHOLD).unwrap();
+        assert_eq!(d.verdict(), Verdict::Pass);
+        let fam_a = d.families.iter().find(|f| f.family == "fam_a").unwrap();
+        assert_eq!(fam_a.status, FamilyStatus::ChecksumMismatch);
+        assert!(fam_a.columns.is_empty());
+        // fam_b still compares (same checksum both sides).
+        let fam_b = d.families.iter().find(|f| f.family == "fam_b").unwrap();
+        assert_eq!(fam_b.status, FamilyStatus::Compared);
+    }
+
+    #[test]
+    fn disjoint_families_are_reported_not_compared() {
+        let base = fixture(100.0, 42);
+        let mut rep = crate::report::Report::new("diff_fixture");
+        rep.family("fam_b", 999, 5).num("ns_per_op", 10.0, 3);
+        rep.family("fam_new", 7, 5).num("ns_per_op", 1.0, 3);
+        let cand = rep.render();
+        let d = diff_reports(&base, &cand, DEFAULT_THRESHOLD).unwrap();
+        let statuses: Vec<(&str, FamilyStatus)> = d
+            .families
+            .iter()
+            .map(|f| (f.family.as_str(), f.status))
+            .collect();
+        assert!(statuses.contains(&("fam_a", FamilyStatus::BaselineOnly)));
+        assert!(statuses.contains(&("fam_new", FamilyStatus::CandidateOnly)));
+        assert_eq!(d.verdict(), Verdict::Pass);
+    }
+
+    #[test]
+    fn heuristics_cover_the_committed_schemas() {
+        // The trap column: nanoseconds despite the rate-like name.
+        assert_eq!(heuristic_direction("batched_per_source"), Direction::Lower);
+        assert_eq!(
+            heuristic_direction("legacy_ns_per_source"),
+            Direction::Lower
+        );
+        assert_eq!(heuristic_direction("kernel_ns_per_phase"), Direction::Lower);
+        assert_eq!(heuristic_direction("fast_p99_ns"), Direction::Lower);
+        assert_eq!(heuristic_direction("cold_ns"), Direction::Lower);
+        assert_eq!(
+            heuristic_direction("kernel_allocs_per_phase"),
+            Direction::Lower
+        );
+        assert_eq!(
+            heuristic_direction("engine_edges_relaxed_per_sec"),
+            Direction::Higher
+        );
+        assert_eq!(heuristic_direction("legacy_qps"), Direction::Higher);
+        assert_eq!(heuristic_direction("speedup"), Direction::Higher);
+        assert_eq!(heuristic_direction("batched_speedup"), Direction::Higher);
+        assert_eq!(heuristic_direction("vertices"), Direction::Info);
+        assert_eq!(heuristic_direction("dirty_share"), Direction::Info);
+        assert_eq!(heuristic_direction("checksum"), Direction::Info);
+    }
+
+    #[test]
+    fn mismatched_names_and_bad_schemas_error() {
+        let a = crate::report::Report::new("one").render();
+        let b = crate::report::Report::new("two").render();
+        assert!(diff_reports(&a, &b, 0.05).unwrap_err().contains("mismatch"));
+        assert!(diff_reports("{}", &a, 0.05).unwrap_err().contains("schema"));
+        assert!(diff_reports("not json", &a, 0.05)
+            .unwrap_err()
+            .contains("baseline"));
+    }
+}

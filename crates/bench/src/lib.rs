@@ -13,6 +13,7 @@
 use ear_graph::CsrGraph;
 use ear_workloads::DatasetSpec;
 
+pub mod diff;
 pub mod report;
 
 /// Parsed common CLI options.

@@ -7,6 +7,9 @@
 //! * `schema` / `name` — format tag and bench name (plus the legacy
 //!   `bench` key so pre-existing tooling keeps parsing);
 //! * run parameters (`seed`, `reps`, ...) in declaration order;
+//! * an optional `columns` object declaring each measurement column's
+//!   comparison direction (`lower` / `higher` / `info`), the contract
+//!   `ear bench-diff` reads instead of guessing from names;
 //! * a `families` array whose rows always start with `family`,
 //!   `checksum` (the run's correctness certificate — distance sum, basis
 //!   weight, combined-pipeline digest) and `samples` (timing repetitions
@@ -77,10 +80,37 @@ impl Fields {
     }
 }
 
+/// Comparison direction of a family-row measurement column, consumed by
+/// `ear bench-diff` (see [`crate::diff`]). Declared per column so the
+/// sentinel never has to guess from names — `batched_per_source` is
+/// nanoseconds (lower is better) despite reading like a rate, which is
+/// exactly the trap explicit metadata exists to avoid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Smaller is better (latencies, ns/op, allocation counts).
+    Lower,
+    /// Larger is better (throughputs, speedups).
+    Higher,
+    /// Context only (sizes, shares, work counts) — never diffed.
+    Info,
+}
+
+impl Direction {
+    /// The schema string for this direction.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Direction::Lower => "lower",
+            Direction::Higher => "higher",
+            Direction::Info => "info",
+        }
+    }
+}
+
 /// Builder for one bench run's JSON report.
 pub struct Report {
     name: String,
     params: Fields,
+    columns: Vec<(String, Direction)>,
     families: Vec<Fields>,
     summary: Fields,
 }
@@ -91,6 +121,7 @@ impl Report {
         Report {
             name: name.to_string(),
             params: Fields::new(),
+            columns: Vec::new(),
             families: Vec::new(),
             summary: Fields::new(),
         }
@@ -99,6 +130,15 @@ impl Report {
     /// Top-level run parameters (seed, reps, flags...).
     pub fn params(&mut self) -> &mut Fields {
         &mut self.params
+    }
+
+    /// Declares the comparison direction of a family-row column. Rendered
+    /// as a top-level `"columns"` object so `ear bench-diff` compares
+    /// exactly what the binary says is a measurement, in the direction the
+    /// binary says it improves.
+    pub fn column(&mut self, name: &str, dir: Direction) -> &mut Self {
+        self.columns.push((name.to_string(), dir));
+        self
     }
 
     /// Appends a family row pre-seeded with the schema's common keys and
@@ -131,6 +171,20 @@ impl Report {
             ear_obs::json::escape(&self.name)
         ));
         self.params.render_into(&mut s, "  ", true);
+        if !self.columns.is_empty() {
+            s.push_str("  \"columns\": {");
+            for (i, (name, dir)) in self.columns.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!(
+                    "\n    \"{}\": \"{}\"",
+                    ear_obs::json::escape(name),
+                    dir.as_str()
+                ));
+            }
+            s.push_str("\n  },\n");
+        }
         s.push_str("  \"families\": [\n");
         for (i, f) in self.families.iter().enumerate() {
             s.push_str("    {\n");

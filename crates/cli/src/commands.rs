@@ -94,9 +94,7 @@ fn print_decomposition(plan: &DecompPlan) {
 /// per-block subgraphs and reductions) exactly once and the plan is
 /// shared by every stage.
 pub fn combined(g: &CsrGraph, opts: &CommonOpts, pairs: &[(u32, u32)]) -> Result<(), String> {
-    if opts.obs_requested() {
-        ear_obs::enable();
-    }
+    let obs = opts.begin_obs("cli.combined")?;
     let plan = Arc::new(DecompPlan::build_with_layout(g, opts.layout()));
 
     println!("== stats ==");
@@ -125,14 +123,12 @@ pub fn combined(g: &CsrGraph, opts: &CommonOpts, pairs: &[(u32, u32)]) -> Result
     } else {
         println!("skipped: mcb expects a simple graph");
     }
-    opts.write_obs_outputs()
+    obs.finish()
 }
 
 /// `ear apsp` — build the oracle, report stats, answer queries.
 pub fn apsp(g: &CsrGraph, opts: &CommonOpts, pairs: &[(u32, u32)]) -> Result<(), String> {
-    if opts.obs_requested() {
-        ear_obs::enable();
-    }
+    let obs = opts.begin_obs("cli.apsp")?;
     let out = ApspPipeline::new()
         .mode(opts.mode)
         .use_ear(!opts.no_ear)
@@ -140,7 +136,7 @@ pub fn apsp(g: &CsrGraph, opts: &CommonOpts, pairs: &[(u32, u32)]) -> Result<(),
         .plan(Arc::new(DecompPlan::build_with_layout(g, opts.layout())))
         .run(g);
     report_apsp(g, &out, pairs);
-    opts.write_obs_outputs()
+    obs.finish()
 }
 
 fn report_apsp(g: &CsrGraph, out: &ApspOutcome, pairs: &[(u32, u32)]) {
@@ -175,10 +171,12 @@ pub fn mcb(
         return Err("mcb expects a simple graph (parallel edges/self-loops in input)".into());
     }
     // The profile is read back from the metrics registry, so tracing must
-    // be on before the pipeline runs.
-    if profile || profile_json || opts.obs_requested() {
+    // be on before the pipeline runs (even when no obs output file was
+    // asked for and begin_obs alone wouldn't enable it).
+    if profile || profile_json {
         ear_obs::enable();
     }
+    let obs = opts.begin_obs("cli.mcb")?;
     let out = McbPipeline::new()
         .mode(opts.mode)
         .use_ear(!opts.no_ear)
@@ -194,7 +192,7 @@ pub fn mcb(
             println!("{}", mcb_profile_json(&p));
         }
     }
-    opts.write_obs_outputs()
+    obs.finish()
 }
 
 /// Rebuilds a [`ear_mcb::PhaseProfile`] from the metrics registry. The
@@ -261,9 +259,36 @@ pub fn trace_check(path: &str) -> Result<(), String> {
     let check =
         ear_obs::validate_chrome_trace(&text).map_err(|e| format!("{path}: invalid trace: {e}"))?;
     println!(
-        "{path}: ok ({} events, {} lanes, max span depth {}, {} complete events)",
-        check.events, check.lanes, check.max_depth, check.complete_events
+        "{path}: ok ({} events, {} lanes, max span depth {}, {} complete events, {} counter events)",
+        check.events, check.lanes, check.max_depth, check.complete_events, check.counter_events
     );
+    Ok(())
+}
+
+/// `ear bench-diff` — the perf-regression sentinel: compare two
+/// `ear-bench/v1` reports (checksum-gated, direction-aware, see
+/// [`ear_bench::diff`]), print the human table, optionally write the
+/// `ear-bench-diff/v1` machine verdict, and exit non-zero on a
+/// regression so CI can gate on it directly.
+pub fn bench_diff(
+    baseline: &str,
+    candidate: &str,
+    threshold: f64,
+    json_out: Option<&str>,
+) -> Result<(), String> {
+    let base = std::fs::read_to_string(baseline).map_err(|e| format!("{baseline}: {e}"))?;
+    let cand = std::fs::read_to_string(candidate).map_err(|e| format!("{candidate}: {e}"))?;
+    let d = ear_bench::diff::diff_reports(&base, &cand, threshold)?;
+    print!("{}", d.human_table());
+    if let Some(path) = json_out {
+        std::fs::write(path, d.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote verdict to {path}");
+    }
+    if d.verdict() == ear_bench::diff::Verdict::Regression {
+        // A regression is a failed check, not a usage error: exit
+        // non-zero without the usage dump an Err would trigger.
+        std::process::exit(1);
+    }
     Ok(())
 }
 
@@ -400,9 +425,7 @@ pub fn recustomize(
     if g.m() == 0 {
         return Err("recustomize needs a graph with at least one edge".into());
     }
-    if opts.obs_requested() {
-        ear_obs::enable();
-    }
+    let obs = opts.begin_obs("cli.recustomize")?;
     let method = if opts.no_ear {
         ApspMethod::Plain
     } else {
@@ -474,7 +497,7 @@ pub fn recustomize(
         cold_total * 1e3,
         cold_total / warm_total.max(1e-9),
     );
-    opts.write_obs_outputs()
+    obs.finish()
 }
 
 /// `ear query` — serve point-to-point queries off the fast-path
@@ -489,9 +512,7 @@ pub fn query(
     queries: usize,
     seed: u64,
 ) -> Result<(), String> {
-    if opts.obs_requested() {
-        ear_obs::enable();
-    }
+    let obs = opts.begin_obs("cli.query")?;
     let method = if opts.no_ear {
         ApspMethod::Plain
     } else {
@@ -575,7 +596,7 @@ pub fn query(
             legacy_s / fast_s.max(1e-9),
         );
     }
-    opts.write_obs_outputs()
+    obs.finish()
 }
 
 /// splitmix64 step — the CLI's only randomness, so replay runs are fully

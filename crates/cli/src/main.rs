@@ -20,11 +20,18 @@
 //! stdin. All subcommands accept `--mode seq|multicore|gpu|hetero`
 //! (default hetero) and `--no-ear` to disable the reduction.
 //!
-//! Observability: `--trace-out <path>` writes a Chrome trace-event JSON
-//! of the run (load it in `chrome://tracing` or Perfetto) and
-//! `--metrics-out <path>` writes a flat metrics snapshot; both flags work
-//! on `apsp`, `mcb` and `combined`. `ear trace-check <file>` validates a
-//! trace file's structure (for CI).
+//! Observability (on `apsp`, `query`, `mcb`, `combined`, `recustomize`):
+//! `--trace-out <path>` writes a Chrome trace-event JSON of the run (load
+//! it in `chrome://tracing` or Perfetto), `--metrics-out <path>` writes a
+//! flat metrics snapshot with quantile histograms, `--profile-out <path>`
+//! runs the span-stack sampling profiler (period via `EAR_OBS_SAMPLE_US`,
+//! default 1000 µs) and writes flamegraph-ready collapsed stacks, and
+//! `--metrics-stream <path> --metrics-interval <ms>` streams periodic
+//! metrics frames (JSON lines) to a file or FIFO while the command runs.
+//! `ear trace-check <file>` validates a trace file's structure, including
+//! counter-event sanity (for CI), and `ear bench-diff <baseline.json>
+//! <candidate.json>` is the perf-regression sentinel over `ear-bench/v1`
+//! reports.
 
 use std::process::ExitCode;
 
@@ -59,11 +66,16 @@ fn usage() -> &'static str {
   ear bc <graph> [--top K]
   ear generate <spec-name> <scale> [out-file]
   ear trace-check <trace-file>
+  ear bench-diff <baseline.json> <candidate.json> [--threshold PCT] [--json-out FILE]
 
 graph: .mtx (Matrix Market) or edge list 'u v [w]' per line; '-' = stdin
 mode:  seq | multicore | gpu | hetero (default)
 views: store decomposition blocks as zero-copy arena views (EAR_CSR_VIEWS=1)
-obs:   apsp/mcb/combined also take [--trace-out FILE] [--metrics-out FILE]
+obs:   apsp/query/mcb/combined/recustomize also take
+         [--trace-out FILE] [--metrics-out FILE] [--profile-out FILE]
+         [--metrics-stream FILE] [--metrics-interval MS]
+       (--profile-out samples span stacks, period EAR_OBS_SAMPLE_US;
+        --metrics-stream writes live ear-metrics/v1 frames as JSON lines)
 specs: nopoly OPF_3754 ca-AstroPh as-22july06 c-50 cond_mat_2003
        delaunay_n15 Rajat26 Wordnet3 soc-sign-epinions Planar_1..Planar_5"
 }
@@ -124,6 +136,32 @@ fn run(args: Vec<String>) -> Result<(), String> {
             commands::mcb(&g, &opts, print_cycles, profile, profile_json)
         }
         "trace-check" => commands::trace_check(rest.first().ok_or("missing trace file")?),
+        "bench-diff" => {
+            let baseline = rest.first().ok_or("missing baseline report path")?;
+            let candidate = rest.get(1).ok_or("missing candidate report path")?;
+            let threshold_pct: f64 = parse_value(&rest[2..], "--threshold")?
+                .unwrap_or(ear_bench::diff::DEFAULT_THRESHOLD * 100.0);
+            // Also rejects NaN, which fails every ordered comparison.
+            if !(threshold_pct.is_finite() && threshold_pct > 0.0) {
+                return Err("--threshold must be a positive percentage".into());
+            }
+            let json_out = rest[2..]
+                .iter()
+                .position(|a| a == "--json-out")
+                .map(|i| {
+                    rest[2..]
+                        .get(i + 1)
+                        .cloned()
+                        .ok_or("--json-out needs a path")
+                })
+                .transpose()?;
+            commands::bench_diff(
+                baseline,
+                candidate,
+                threshold_pct / 100.0,
+                json_out.as_deref(),
+            )
+        }
         "generate" => {
             let name = rest.first().ok_or("missing spec name")?;
             let scale: usize = rest
@@ -153,6 +191,14 @@ pub struct CommonOpts {
     pub trace_out: Option<String>,
     /// Write a metrics-snapshot JSON of the run here.
     pub metrics_out: Option<String>,
+    /// Run the span-stack sampling profiler and write collapsed stacks
+    /// (flamegraph format) here.
+    pub profile_out: Option<String>,
+    /// Stream live metrics frames (JSON lines) to this file/FIFO while
+    /// the command runs.
+    pub metrics_stream: Option<String>,
+    /// Flush interval for `--metrics-stream`, in milliseconds.
+    pub metrics_interval_ms: u64,
 }
 
 impl CommonOpts {
@@ -163,6 +209,9 @@ impl CommonOpts {
         let mut views = LayoutMode::from_env() == LayoutMode::Viewed;
         let mut trace_out = None;
         let mut metrics_out = None;
+        let mut profile_out = None;
+        let mut metrics_stream = None;
+        let mut metrics_interval_ms = ear_obs::stream::DEFAULT_INTERVAL_MS;
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
@@ -187,6 +236,24 @@ impl CommonOpts {
                     i += 1;
                     metrics_out = Some(args.get(i).ok_or("--metrics-out needs a path")?.clone());
                 }
+                "--profile-out" => {
+                    i += 1;
+                    profile_out = Some(args.get(i).ok_or("--profile-out needs a path")?.clone());
+                }
+                "--metrics-stream" => {
+                    i += 1;
+                    metrics_stream =
+                        Some(args.get(i).ok_or("--metrics-stream needs a path")?.clone());
+                }
+                "--metrics-interval" => {
+                    i += 1;
+                    let raw = args.get(i).ok_or("--metrics-interval needs a value (ms)")?;
+                    metrics_interval_ms = raw
+                        .parse::<u64>()
+                        .ok()
+                        .filter(|&ms| ms > 0)
+                        .ok_or_else(|| format!("bad --metrics-interval value '{raw}'"))?;
+                }
                 "--pairs" | "--fraction" | "--rounds" | "--seed" | "--queries" => {
                     i += 1; // value consumed by parse_pairs / parse_value
                 }
@@ -202,6 +269,9 @@ impl CommonOpts {
             views,
             trace_out,
             metrics_out,
+            profile_out,
+            metrics_stream,
+            metrics_interval_ms,
         })
     }
 
@@ -216,21 +286,83 @@ impl CommonOpts {
 
     /// True when any observability output was requested.
     pub fn obs_requested(&self) -> bool {
-        self.trace_out.is_some() || self.metrics_out.is_some()
+        self.trace_out.is_some()
+            || self.metrics_out.is_some()
+            || self.profile_out.is_some()
+            || self.metrics_stream.is_some()
     }
 
-    /// Writes the requested trace/metrics files from the current collector
-    /// and registry state. Call once, after the instrumented work is done.
-    pub fn write_obs_outputs(&self) -> Result<(), String> {
-        if let Some(path) = &self.trace_out {
+    /// Starts the observability session for one subcommand: enables
+    /// collection when any output was requested, starts the sampling
+    /// profiler (`--profile-out`) and the streaming exporter
+    /// (`--metrics-stream`), and opens the command's root span so even a
+    /// sub-millisecond run leaves at least one sampled frame. The
+    /// returned session must be [`ObsSession::finish`]ed after the work.
+    pub fn begin_obs(&self, root: &'static str) -> Result<ObsSession<'_>, String> {
+        if self.obs_requested() {
+            ear_obs::enable();
+            if self.profile_out.is_some() {
+                ear_obs::profile::start(ear_obs::profile::period_from_env())?;
+            }
+            if let Some(path) = &self.metrics_stream {
+                ear_obs::stream::start(
+                    path,
+                    std::time::Duration::from_millis(self.metrics_interval_ms),
+                )?;
+            }
+        }
+        Ok(ObsSession {
+            opts: self,
+            root: Some(ear_obs::span(root)),
+        })
+    }
+}
+
+/// One subcommand's observability lifetime: root span + background
+/// sampler/exporter threads, shut down and flushed by [`Self::finish`].
+pub struct ObsSession<'a> {
+    opts: &'a CommonOpts,
+    root: Option<ear_obs::SpanGuard>,
+}
+
+impl ObsSession<'_> {
+    /// Closes the root span, stops the profiler (taking one final sample)
+    /// and the streaming exporter (flushing one final frame), and writes
+    /// every requested output file.
+    pub fn finish(mut self) -> Result<(), String> {
+        // Stop the profiler while the root span is still open: its final
+        // synchronous sample then captures at least the root frame even on
+        // runs shorter than the sampling period.
+        if self.opts.profile_out.is_some() {
+            ear_obs::profile::stop();
+        }
+        // Close the root span before snapshotting so the trace pairs up.
+        self.root.take();
+        if self.opts.metrics_stream.is_some() {
+            ear_obs::stream::stop()?;
+        }
+        if let Some(path) = &self.opts.trace_out {
             let trace = ear_obs::trace_snapshot();
             ear_obs::write_chrome_trace(path, &trace).map_err(|e| format!("{path}: {e}"))?;
             println!("wrote trace to {path}");
         }
-        if let Some(path) = &self.metrics_out {
+        if let Some(path) = &self.opts.metrics_out {
             let snap = ear_obs::metrics_snapshot();
             ear_obs::write_metrics(path, &snap).map_err(|e| format!("{path}: {e}"))?;
             println!("wrote metrics to {path}");
+        }
+        if let Some(path) = &self.opts.profile_out {
+            ear_obs::profile::write_collapsed(path).map_err(|e| format!("{path}: {e}"))?;
+            println!(
+                "wrote profile to {path} ({} samples)",
+                ear_obs::profile::samples()
+            );
+        }
+        if let Some(path) = &self.opts.metrics_stream {
+            println!(
+                "streamed {} metrics frames to {path}",
+                ear_obs::stream::frames()
+            );
         }
         Ok(())
     }

@@ -469,3 +469,241 @@ fn recustomize_rejects_bad_fraction() {
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("--fraction must be in (0, 1]"), "{err}");
 }
+
+#[test]
+fn query_writes_trace_and_metrics_that_pass_trace_check() {
+    let p = tmpfile("theta_query_obs.txt", THETA);
+    let dir = std::env::temp_dir().join("ear-cli-tests");
+    let trace_path = dir.join("query_trace.json");
+    let metrics_path = dir.join("query_metrics.json");
+    let out = ear(&[
+        "query",
+        p.to_str().unwrap(),
+        "--queries",
+        "500",
+        "--trace-out",
+        trace_path.to_str().unwrap(),
+        "--metrics-out",
+        metrics_path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let checked = ear(&["trace-check", trace_path.to_str().unwrap()]);
+    assert!(
+        checked.status.success(),
+        "{}",
+        String::from_utf8_lossy(&checked.stderr)
+    );
+    let m = ear_obs::json::parse(&std::fs::read_to_string(&metrics_path).unwrap()).unwrap();
+    assert_eq!(
+        m.get("schema").and_then(|s| s.as_str()),
+        Some("ear-metrics/v1")
+    );
+    // The oracle build ran under tracing, so its counters are present.
+    assert!(
+        m.get("counters")
+            .and_then(|c| c.get("apsp.oracles"))
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0)
+            > 0.0
+    );
+    // Histograms carry the v2 distribution fields.
+    let hists = m.get("histograms").expect("histograms object");
+    let (_, h) = hists
+        .as_obj()
+        .and_then(|o| o.iter().next())
+        .expect("at least one histogram");
+    assert!(h.get("quantiles").is_some(), "missing quantiles: {h:?}");
+    assert!(h.get("buckets").is_some(), "missing buckets: {h:?}");
+}
+
+#[test]
+fn recustomize_writes_trace_and_metrics_that_pass_trace_check() {
+    let p = tmpfile("recust_obs.txt", THETA);
+    let dir = std::env::temp_dir().join("ear-cli-tests");
+    let trace_path = dir.join("recust_trace.json");
+    let metrics_path = dir.join("recust_metrics.json");
+    let out = ear(&[
+        "recustomize",
+        p.to_str().unwrap(),
+        "--rounds",
+        "2",
+        "--trace-out",
+        trace_path.to_str().unwrap(),
+        "--metrics-out",
+        metrics_path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let checked = ear(&["trace-check", trace_path.to_str().unwrap()]);
+    assert!(
+        checked.status.success(),
+        "{}",
+        String::from_utf8_lossy(&checked.stderr)
+    );
+    let m = ear_obs::json::parse(&std::fs::read_to_string(&metrics_path).unwrap()).unwrap();
+    assert_eq!(
+        m.get("schema").and_then(|s| s.as_str()),
+        Some("ear-metrics/v1")
+    );
+}
+
+#[test]
+fn profile_out_writes_collapsed_stacks_rooted_at_the_command_span() {
+    let p = tmpfile("profile_obs.txt", THETA);
+    let dir = std::env::temp_dir().join("ear-cli-tests");
+    let folded_path = dir.join("combined.folded");
+    let out = ear(&[
+        "combined",
+        p.to_str().unwrap(),
+        "--profile-out",
+        folded_path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&folded_path).unwrap();
+    assert!(!text.is_empty(), "collapsed-stack output is empty");
+    for line in text.lines() {
+        // Collapsed format: "frame;frame;... count".
+        let (stack, count) = line.rsplit_once(' ').expect("stack<space>count");
+        assert!(!stack.is_empty(), "{line:?}");
+        assert!(count.parse::<u64>().unwrap() >= 1, "{line:?}");
+        // Every sampled stack is rooted at the command's root span (the
+        // final stop() sample guarantees at least that frame).
+        assert!(
+            stack == "cli.combined" || stack.starts_with("cli.combined;"),
+            "stack not rooted at cli.combined: {line:?}"
+        );
+    }
+}
+
+#[test]
+fn metrics_stream_writes_parseable_json_lines() {
+    let p = tmpfile("stream_obs.txt", THETA);
+    let dir = std::env::temp_dir().join("ear-cli-tests");
+    let stream_path = dir.join("query.stream.jsonl");
+    let out = ear(&[
+        "query",
+        p.to_str().unwrap(),
+        "--queries",
+        "2000",
+        "--metrics-stream",
+        stream_path.to_str().unwrap(),
+        "--metrics-interval",
+        "10",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("streamed"));
+    let text = std::fs::read_to_string(&stream_path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    // The stop() flush guarantees at least one frame even on a fast run.
+    assert!(!lines.is_empty());
+    for (i, line) in lines.iter().enumerate() {
+        let v = ear_obs::json::parse(line).unwrap_or_else(|e| panic!("frame {i}: {e}"));
+        assert_eq!(
+            v.get("schema").and_then(|s| s.as_str()),
+            Some("ear-metrics-stream/v1")
+        );
+        assert_eq!(v.get("seq").and_then(|s| s.as_f64()), Some(i as f64));
+        assert_eq!(
+            v.get("snapshot")
+                .and_then(|s| s.get("schema"))
+                .and_then(|s| s.as_str()),
+            Some("ear-metrics/v1")
+        );
+    }
+}
+
+/// Minimal `ear-bench/v1` fixture for bench-diff smoke tests.
+fn bench_fixture(ns_per_op: f64, checksum: u64) -> String {
+    format!(
+        r#"{{
+  "schema": "ear-bench/v1",
+  "name": "cli_fixture",
+  "bench": "cli_fixture",
+  "columns": {{"ns_per_op": "lower", "graphs": "info"}},
+  "families": [
+    {{"family": "fam_a", "checksum": {checksum}, "samples": 3, "graphs": 2, "ns_per_op": {ns_per_op}}}
+  ]
+}}"#
+    )
+}
+
+#[test]
+fn bench_diff_passes_identity_and_flags_regressions() {
+    let base = tmpfile("bd_base.json", &bench_fixture(100.0, 42));
+    let dir = std::env::temp_dir().join("ear-cli-tests");
+
+    // Identical inputs: verdict pass, exit 0, verdict JSON written.
+    let verdict_path = dir.join("bd_verdict.json");
+    let out = ear(&[
+        "bench-diff",
+        base.to_str().unwrap(),
+        base.to_str().unwrap(),
+        "--json-out",
+        verdict_path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("verdict: pass"), "{text}");
+    let v = ear_obs::json::parse(&std::fs::read_to_string(&verdict_path).unwrap()).unwrap();
+    assert_eq!(
+        v.get("schema").and_then(|s| s.as_str()),
+        Some("ear-bench-diff/v1")
+    );
+    assert_eq!(v.get("verdict").and_then(|s| s.as_str()), Some("pass"));
+
+    // Injected 20% regression: non-zero exit, flagged in the table.
+    let slow = tmpfile("bd_slow.json", &bench_fixture(120.0, 42));
+    let out = ear(&["bench-diff", base.to_str().unwrap(), slow.to_str().unwrap()]);
+    assert!(!out.status.success(), "regression must exit non-zero");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("REGRESSION"), "{text}");
+    assert!(text.contains("verdict: regression"), "{text}");
+
+    // Same 20% delta under a loose threshold: tolerated.
+    let out = ear(&[
+        "bench-diff",
+        base.to_str().unwrap(),
+        slow.to_str().unwrap(),
+        "--threshold",
+        "25",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Different checksum: incomparable, not a regression.
+    let other = tmpfile("bd_other.json", &bench_fixture(500.0, 43));
+    let out = ear(&[
+        "bench-diff",
+        base.to_str().unwrap(),
+        other.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("checksum-mismatch"), "{text}");
+}

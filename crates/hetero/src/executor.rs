@@ -27,6 +27,7 @@
 //! [`WorkCounters`], and the size hint scales with the batch width so the
 //! queue still orders by real work.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use rayon::prelude::*;
@@ -232,6 +233,15 @@ impl HeteroExecutor {
             drop(batch_span);
             if obs_on {
                 ear_obs::histogram_record("hetero.batch_units", outs.len() as u64);
+                // Cumulative units series: a process-wide total emitted as
+                // a trace counter event after every batch. The value only
+                // ever grows, giving `ear trace-check` a genuinely
+                // monotone `*.total` series to validate (the occupancy
+                // counter `queue.len` legitimately goes up and down).
+                static UNITS_TOTAL: AtomicU64 = AtomicU64::new(0);
+                let total =
+                    UNITS_TOTAL.fetch_add(outs.len() as u64, Ordering::Relaxed) + outs.len() as u64;
+                ear_obs::counter_event("hetero.units.total", total);
             }
             let per_unit: Vec<WorkCounters> = outs.iter().map(|(_, _, c)| *c).collect();
             let rep = &mut reports[d];

@@ -93,10 +93,35 @@ struct ThreadBuf {
     /// Index of the oldest event once the ring has wrapped.
     head: usize,
     dropped: u64,
+    /// The thread's *currently open* span stack, published here so the
+    /// sampling profiler ([`crate::profile`]) can read it from its
+    /// sampler thread. Maintained on every Begin/End record (same
+    /// critical section as the ring write, so the stack is always
+    /// consistent with the events) and deliberately *not* cleared by
+    /// [`reset`]: spans still open keep their frames.
+    stack: Vec<&'static str>,
+    /// True span depth, including frames beyond [`MAX_STACK_DEPTH`] that
+    /// were not pushed — keeps Begin/End pairing exact under truncation.
+    depth: usize,
 }
 
 impl ThreadBuf {
     fn push(&mut self, e: Event) {
+        match e.kind {
+            EventKind::Begin => {
+                self.depth += 1;
+                if self.depth <= MAX_STACK_DEPTH {
+                    self.stack.push(e.name);
+                }
+            }
+            EventKind::End => {
+                if self.depth <= MAX_STACK_DEPTH {
+                    self.stack.pop();
+                }
+                self.depth = self.depth.saturating_sub(1);
+            }
+            EventKind::Counter => {}
+        }
         if self.ring.len() < RING_CAPACITY {
             self.ring.push(e);
         } else {
@@ -106,6 +131,11 @@ impl ThreadBuf {
         }
     }
 }
+
+/// Published span stacks deeper than this are truncated (the sampler
+/// attributes time to the outermost frames; real span nesting in the
+/// suite tops out around depth 8).
+const MAX_STACK_DEPTH: usize = 64;
 
 struct ModelledLanes {
     /// Where the next run's slices start: runs are laid out back-to-back
@@ -149,6 +179,8 @@ fn register_thread() -> Arc<Mutex<ThreadBuf>> {
         ring: Vec::new(),
         head: 0,
         dropped: 0,
+        stack: Vec::new(),
+        depth: 0,
     }));
     registry().lock().unwrap().push(Arc::clone(&buf));
     buf
@@ -262,6 +294,21 @@ pub fn snapshot() -> Trace {
     threads.sort_by_key(|t| t.tid);
     let modelled = modelled().lock().unwrap().slices.clone();
     Trace { threads, modelled }
+}
+
+/// Copies every thread's currently open span stack (outermost frame
+/// first), skipping threads with nothing open. This is the sampler's
+/// read side: it locks each thread buffer only long enough to clone a
+/// small `Vec` of `&'static str`, so a recording thread is stalled for
+/// at most that window, and only when the sampler fires.
+pub(crate) fn sample_stacks(out: &mut Vec<Vec<&'static str>>) {
+    out.clear();
+    for buf in registry().lock().unwrap().iter() {
+        let b = buf.lock().unwrap();
+        if !b.stack.is_empty() {
+            out.push(b.stack.clone());
+        }
+    }
 }
 
 /// Total events currently buffered across all threads (dropped events

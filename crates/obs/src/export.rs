@@ -185,38 +185,102 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
 
 /// Render a [`MetricsSnapshot`] as a flat JSON document
 /// (`ear-metrics/v1`: counters, gauges, histogram summaries).
+///
+/// Histograms carry their full distribution, not just moments: a
+/// `quantiles` object (`p50/p90/p99/p999`, each within one log-linear
+/// sub-bucket of exact) and a `buckets` array of `[lo, hi, count]`
+/// triples for every non-empty bucket, so external tools can
+/// reconstruct the distribution without hardcoding the bucketing
+/// scheme. The scheme itself is named in a top-level
+/// `histogram_scheme` descriptor.
 pub fn metrics_json(snap: &MetricsSnapshot) -> String {
+    render_metrics(snap, "\n  ", "\n    ", "\n")
+}
+
+/// [`metrics_json`] without any interior newlines or indentation: one
+/// line, same schema — the frame format of [`crate::stream`].
+pub fn metrics_json_compact(snap: &MetricsSnapshot) -> String {
+    render_metrics(snap, "", "", "")
+}
+
+/// Shared renderer: `nl1`/`nl2` are the level-1/level-2 line breaks
+/// (with indent), `end` the trailing break.
+fn render_metrics(snap: &MetricsSnapshot, nl1: &str, nl2: &str, end: &str) -> String {
     let mut out = String::with_capacity(1024);
-    out.push_str("{\n  \"schema\": \"ear-metrics/v1\",\n  \"counters\": {");
+    out.push('{');
+    out.push_str(nl1);
+    out.push_str("\"schema\": \"ear-metrics/v1\",");
+    out.push_str(nl1);
+    out.push_str(&format!(
+        "\"histogram_scheme\": {{\"kind\": \"log-linear\", \"sub_bits\": {}, \
+         \"sub_buckets\": {}}},",
+        crate::metrics::HIST_SUB_BITS,
+        crate::metrics::HIST_SUB
+    ));
+    out.push_str(nl1);
+    out.push_str("\"counters\": {");
     for (i, (name, v)) in snap.counters.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
-        out.push_str(&format!("\n    \"{}\": {v}", escape(name)));
+        out.push_str(nl2);
+        out.push_str(&format!("\"{}\": {v}", escape(name)));
     }
-    out.push_str("\n  },\n  \"gauges\": {");
+    out.push_str(nl1);
+    out.push_str("},");
+    out.push_str(nl1);
+    out.push_str("\"gauges\": {");
     for (i, (name, v)) in snap.gauges.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
-        out.push_str(&format!("\n    \"{}\": {}", escape(name), fmt_f64(*v)));
+        out.push_str(nl2);
+        out.push_str(&format!("\"{}\": {}", escape(name), fmt_f64(*v)));
     }
-    out.push_str("\n  },\n  \"histograms\": {");
+    out.push_str(nl1);
+    out.push_str("},");
+    out.push_str(nl1);
+    out.push_str("\"histograms\": {");
     for (i, (name, h)) in snap.histograms.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
+        out.push_str(nl2);
         let min = if h.count == 0 { 0 } else { h.min };
         out.push_str(&format!(
-            "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {min}, \"max\": {}, \"mean\": {}}}",
+            "\"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {min}, \"max\": {}, \
+             \"mean\": {},",
             escape(name),
             h.count,
             h.sum,
             h.max,
             fmt_f64(h.mean())
         ));
+        out.push_str(&format!(
+            " \"quantiles\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"p999\": {}}},",
+            h.p50(),
+            h.p90(),
+            h.p99(),
+            h.p999()
+        ));
+        out.push_str(" \"buckets\": [");
+        for (j, (lo, hi, c)) in h.nonzero_buckets().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{lo},{hi},{c}]"));
+        }
+        out.push_str("]}");
     }
-    out.push_str("\n  }\n}\n");
+    out.push_str(nl1);
+    out.push('}');
+    // Close the document. Pretty mode puts the brace on its own line.
+    if end.is_empty() {
+        out.push('}');
+    } else {
+        out.push_str("\n}");
+        out.push_str(end);
+    }
     out
 }
 
@@ -312,5 +376,60 @@ mod tests {
         let h = doc.get("histograms").unwrap().get("h").unwrap();
         assert_eq!(h.get("count").unwrap().as_f64(), Some(1.0));
         assert_eq!(h.get("mean").unwrap().as_f64(), Some(3.0));
+        let scheme = doc.get("histogram_scheme").unwrap();
+        assert_eq!(
+            scheme.get("sub_buckets").unwrap().as_f64(),
+            Some(crate::metrics::HIST_SUB as f64)
+        );
+        let q = h.get("quantiles").unwrap();
+        assert_eq!(q.get("p50").unwrap().as_f64(), Some(3.0));
+        assert_eq!(q.get("p999").unwrap().as_f64(), Some(3.0));
+        let buckets = h.get("buckets").unwrap().as_arr().unwrap();
+        assert_eq!(buckets.len(), 1);
+        let b = buckets[0].as_arr().unwrap();
+        let triple: Vec<f64> = b.iter().map(|v| v.as_f64().unwrap()).collect();
+        assert_eq!(triple, vec![3.0, 3.0, 1.0]);
+    }
+
+    /// Round-trip: the exported `[lo, hi, count]` triples plus the scheme
+    /// descriptor are enough to rebuild the distribution — counts and
+    /// bucket-resolution quantiles — without hardcoding the bucketing.
+    #[test]
+    fn histogram_buckets_round_trip_through_json() {
+        let mut h = crate::metrics::Histogram::default();
+        for v in [1u64, 1, 7, 100, 100, 100, 5000, 123_456] {
+            h.record(v);
+        }
+        let snap = MetricsSnapshot {
+            counters: vec![],
+            gauges: vec![],
+            histograms: vec![("rt".into(), h.clone())],
+        };
+        let doc = parse(&metrics_json(&snap)).unwrap();
+        let hj = doc.get("histograms").unwrap().get("rt").unwrap();
+        let buckets = hj.get("buckets").unwrap().as_arr().unwrap();
+        // Rebuild a histogram purely from the exported triples.
+        let mut rebuilt = crate::metrics::Histogram::default();
+        for b in buckets {
+            let t = b.as_arr().unwrap();
+            let (lo, hi, c) = (
+                t[0].as_f64().unwrap() as u64,
+                t[1].as_f64().unwrap() as u64,
+                t[2].as_f64().unwrap() as u64,
+            );
+            assert!(lo <= hi);
+            for _ in 0..c {
+                rebuilt.record(lo); // lo maps back to the same bucket
+            }
+        }
+        assert_eq!(rebuilt.count, h.count);
+        assert_eq!(rebuilt.buckets, h.buckets);
+        // Quantiles agree at bucket resolution (same bucket → same hi).
+        for q in [0.5, 0.9, 0.99] {
+            let (a, b) = (h.quantile(q), rebuilt.quantile(q));
+            let ia = crate::metrics::bucket_index(a.max(1));
+            let ib = crate::metrics::bucket_index(b.max(1));
+            assert_eq!(ia, ib, "quantile {q} moved buckets: {a} vs {b}");
+        }
     }
 }

@@ -58,6 +58,14 @@ impl Value {
             _ => None,
         }
     }
+
+    /// The member map, if this is an object (keys sorted).
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
 }
 
 struct Parser<'a> {
@@ -290,6 +298,8 @@ pub struct TraceCheck {
     pub max_depth: usize,
     /// Number of complete (`ph: "X"`) events.
     pub complete_events: usize,
+    /// Number of counter (`ph: "C"`) events.
+    pub counter_events: usize,
 }
 
 /// Validate a Chrome trace-event JSON document.
@@ -298,7 +308,11 @@ pub struct TraceCheck {
 /// object with a `traceEvents` array; every event has a string `ph`, a
 /// string `name`, and (for non-metadata events) numeric `ts`/`pid`/`tid`;
 /// per lane, `B`/`E` events nest properly (matching names, `end ≥ start`,
-/// nothing left open); `X` events have a non-negative `dur`.
+/// nothing left open); `X` events have a non-negative `dur`; `C` events
+/// carry a numeric non-negative `args.value` (queue occupancies and
+/// totals can't go below zero), and counters named `*.total` — the
+/// convention for cumulative series like `hetero.units.total` — must be
+/// monotone non-decreasing per lane.
 pub fn validate_chrome_trace(text: &str) -> Result<TraceCheck, String> {
     let doc = parse(text)?;
     let events = match &doc {
@@ -315,6 +329,8 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceCheck, String> {
     };
     // Per-lane stack of (name, ts) for B/E matching.
     let mut stacks: BTreeMap<(u64, u64), Vec<(String, f64)>> = BTreeMap::new();
+    // Last value of each cumulative (`*.total`) counter series per lane.
+    let mut totals: BTreeMap<(u64, u64, String), f64> = BTreeMap::new();
     for (i, ev) in events.iter().enumerate() {
         let ph = ev
             .get("ph")
@@ -360,7 +376,31 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceCheck, String> {
                 }
                 check.complete_events += 1;
             }
-            "C" => {}
+            "C" => {
+                let v = ev
+                    .get("args")
+                    .and_then(|a| a.get("value"))
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("event {i} ({name}): 'C' without numeric args.value"))?;
+                if v < 0.0 {
+                    return Err(format!(
+                        "event {i}: counter {name} negative ({v}) on lane {pid}/{tid}"
+                    ));
+                }
+                if name.ends_with(".total") {
+                    let prev = totals
+                        .entry((pid, tid, name.to_string()))
+                        .or_insert(f64::NEG_INFINITY);
+                    if v < *prev {
+                        return Err(format!(
+                            "event {i}: cumulative counter {name} decreased on lane \
+                             {pid}/{tid} ({v} < {prev})"
+                        ));
+                    }
+                    *prev = v;
+                }
+                check.counter_events += 1;
+            }
             other => return Err(format!("event {i}: unsupported ph '{other}'")),
         }
     }
@@ -440,5 +480,43 @@ mod tests {
 
         let missing = r#"[{"ph":"B","name":"a","tid":1,"ts":0}]"#;
         assert!(validate_chrome_trace(missing).unwrap_err().contains("pid"));
+    }
+
+    #[test]
+    fn validator_checks_counter_events() {
+        // Occupancy-style counters may go up and down, but never negative;
+        // "*.total" series must be per-lane monotone.
+        let good = r#"[
+            {"ph":"C","name":"queue.len","pid":1,"tid":1,"ts":0,"args":{"value":3}},
+            {"ph":"C","name":"queue.len","pid":1,"tid":1,"ts":1,"args":{"value":0}},
+            {"ph":"C","name":"units.total","pid":1,"tid":1,"ts":2,"args":{"value":4}},
+            {"ph":"C","name":"units.total","pid":1,"tid":2,"ts":3,"args":{"value":1}},
+            {"ph":"C","name":"units.total","pid":1,"tid":1,"ts":4,"args":{"value":4}},
+            {"ph":"C","name":"units.total","pid":1,"tid":1,"ts":5,"args":{"value":9}}
+        ]"#;
+        let c = validate_chrome_trace(good).unwrap();
+        assert_eq!(c.counter_events, 6);
+
+        let negative = r#"[
+            {"ph":"C","name":"queue.len","pid":1,"tid":1,"ts":0,"args":{"value":-1}}
+        ]"#;
+        assert!(validate_chrome_trace(negative)
+            .unwrap_err()
+            .contains("negative"));
+
+        let nonmono = r#"[
+            {"ph":"C","name":"units.total","pid":1,"tid":1,"ts":0,"args":{"value":5}},
+            {"ph":"C","name":"units.total","pid":1,"tid":1,"ts":1,"args":{"value":4}}
+        ]"#;
+        assert!(validate_chrome_trace(nonmono)
+            .unwrap_err()
+            .contains("decreased"));
+
+        let valueless = r#"[
+            {"ph":"C","name":"q","pid":1,"tid":1,"ts":0}
+        ]"#;
+        assert!(validate_chrome_trace(valueless)
+            .unwrap_err()
+            .contains("args.value"));
     }
 }

@@ -54,6 +54,8 @@ pub mod collector;
 pub mod export;
 pub mod json;
 pub mod metrics;
+pub mod profile;
+pub mod stream;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -82,11 +84,14 @@ pub fn disable() {
     ENABLED.store(false, Ordering::SeqCst);
 }
 
-/// Clear all recorded events, modelled-device slices and metrics.
-/// The enabled/disabled state is unchanged.
+/// Clear all recorded events, modelled-device slices, metrics, and the
+/// profiler's folded-stack accumulator. The enabled/disabled state is
+/// unchanged, and a running sampler or exporter keeps running (its next
+/// tick starts a fresh accumulation).
 pub fn reset() {
     collector::reset();
     metrics::reset();
+    profile::reset();
 }
 
 pub use collector::snapshot as trace_snapshot;

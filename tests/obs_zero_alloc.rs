@@ -78,6 +78,42 @@ fn disabled_tracing_allocates_nothing_and_records_nothing() {
         "disabled obs entry points allocated {delta} times in 100k iterations"
     );
 
+    // 1b. The v2 background machinery (sampling profiler, streaming
+    //     exporter) is pay-for-what-you-use: with neither thread started,
+    //     their state probes are plain atomic loads and the disabled span
+    //     path — which with tracing ON would also publish the span stack —
+    //     still allocates nothing and publishes nothing.
+    assert!(!ear_obs::profile::is_active());
+    assert!(!ear_obs::stream::is_active());
+    let delta = min_alloc_delta(3, || {
+        for _ in 0..100_000u64 {
+            let _a = ear_obs::span("guard.profiled");
+            let _b = ear_obs::span("guard.streamed");
+            std::hint::black_box(ear_obs::profile::is_active());
+            std::hint::black_box(ear_obs::stream::is_active());
+            std::hint::black_box(ear_obs::profile::samples());
+            std::hint::black_box(ear_obs::stream::frames());
+        }
+    });
+    assert_eq!(
+        delta, 0,
+        "profiler/exporter-off probes allocated {delta} times in 100k iterations"
+    );
+    assert_eq!(
+        ear_obs::profile::samples(),
+        0,
+        "sampler ticked without being started"
+    );
+    assert_eq!(
+        ear_obs::stream::frames(),
+        0,
+        "exporter flushed without being started"
+    );
+    assert!(
+        ear_obs::profile::collapsed().is_empty(),
+        "folded stacks accumulated while tracing was off"
+    );
+
     // 2. A real APSP + MCB pipeline with tracing off leaves the collector
     //    and registry untouched — the instrumented hot loops never reach
     //    an obs buffer, so they cannot have paid obs allocations either.
